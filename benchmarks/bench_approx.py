@@ -1,0 +1,28 @@
+"""Benchmark APPROX: the single-break approximation — bound sweep and the
+speed side of the Section-IV-C trade-off."""
+
+from repro.analysis.bounds import corollary1_bound
+from repro.core.approx import SingleBreakScheduler
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.experiments.registry import run_experiment
+
+
+def test_approx_gap_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment, args=("APPROX",), kwargs={"trials": 40}, rounds=1, iterations=1
+    )
+    assert res.passed, res.render()
+
+
+def test_single_break_shortest_k64(benchmark, circular_64):
+    scheduler = SingleBreakScheduler("shortest")
+    res = benchmark(scheduler.schedule, circular_64)
+    opt = HopcroftKarpScheduler().schedule(circular_64).n_granted
+    assert opt - res.n_granted <= corollary1_bound(circular_64.scheme.degree)
+
+
+def test_single_break_minus_end_k64(benchmark, circular_64):
+    scheduler = SingleBreakScheduler("minus-end")
+    res = benchmark(scheduler.schedule, circular_64)
+    opt = HopcroftKarpScheduler().schedule(circular_64).n_granted
+    assert opt - res.n_granted <= res.stats["deficit_bound"]

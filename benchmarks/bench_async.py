@@ -1,0 +1,40 @@
+"""Benchmark ASYNC: the asynchronous FCFS regime and its event engine."""
+
+from repro.analysis.analytical import erlang_b
+from repro.experiments.registry import run_experiment
+from repro.graphs.conversion import CircularConversion, FullRangeConversion
+from repro.sim.asynchronous import AsyncWavelengthRouter
+
+
+def test_async_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment,
+        args=("ASYNC",),
+        kwargs={"n_fibers": 2, "k": 8, "erlangs": 6.0, "sim_time": 1500.0},
+        rounds=1,
+        iterations=1,
+    )
+    assert res.passed, res.render()
+
+
+def test_event_engine_throughput(benchmark):
+    """Events per second of the heapq engine (2 fibers, heavy load)."""
+    def run():
+        router = AsyncWavelengthRouter(
+            2, CircularConversion(16, 1, 1), arrival_rate=12.0, seed=1
+        )
+        return router.run(500.0)
+
+    res = benchmark(run)
+    assert res.offered > 0
+
+
+def test_erlang_validation_point(benchmark):
+    def run():
+        router = AsyncWavelengthRouter(
+            2, FullRangeConversion(8), arrival_rate=6.0, seed=2
+        )
+        return router.run(1000.0, warmup=100.0)
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert abs(res.blocking_probability - erlang_b(6.0, 8)) < 0.03

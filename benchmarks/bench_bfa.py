@@ -1,0 +1,56 @@
+"""Benchmark TAB3 / CPLX-K (Break-and-First-Available): the O(dk) algorithm,
+its optimality sweep, and its (k, d) scaling."""
+
+import pytest
+
+from repro.analysis.instances import random_request_vector
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.core.break_first_available import (
+    BreakFirstAvailableScheduler,
+    bfa_fast,
+)
+from repro.experiments.registry import run_experiment
+from repro.util.rng import make_rng
+
+
+def test_tab3_bfa_optimality_sweep(benchmark):
+    res = benchmark.pedantic(
+        run_experiment, args=("TAB3",), kwargs={"trials": 10}, rounds=1, iterations=1
+    )
+    assert res.passed, res.render()
+
+
+def test_bfa_single_pass_k64(benchmark, circular_64):
+    grants, _stats = benchmark(
+        bfa_fast, circular_64.request_vector, circular_64.available, 2, 2
+    )
+    assert len(grants) == HopcroftKarpScheduler().schedule(circular_64).n_granted
+
+
+@pytest.mark.parametrize("k,d", [(256, 3), (1024, 3), (1024, 9), (4096, 3)])
+def test_bfa_scaling_in_k_and_d(benchmark, k, d):
+    """CPLX-K series: one BFA pass across (k, d) — linear in d·k."""
+    rng = make_rng(k * d)
+    e = (d - 1) // 2
+    vec = random_request_vector(k, 16, 0.9, rng)
+    avail = [True] * k
+    grants, stats = benchmark(bfa_fast, vec, avail, e, d - 1 - e)
+    assert 0 < len(grants) <= k
+    assert stats["reduced_graphs"] <= d
+
+
+def test_bfa_scheduler_end_to_end(benchmark, circular_64):
+    scheduler = BreakFirstAvailableScheduler()
+    res = benchmark(scheduler.schedule, circular_64)
+    assert res.n_granted > 0
+
+
+def test_bfa_with_occupied_channels(benchmark, rng):
+    """Section-V variant: 30% of channels occupied."""
+    from repro.analysis.instances import random_circular_instance
+
+    rg = random_circular_instance(
+        64, 2, 2, load=1.0, occupied_fraction=0.3, rng=rng
+    )
+    grants, _ = benchmark(bfa_fast, rg.request_vector, rg.available, 2, 2)
+    assert len(grants) == HopcroftKarpScheduler().schedule(rg).n_granted

@@ -1,0 +1,44 @@
+"""Benchmark the distributed per-output facade and the full datapath check
+(supporting CPLX-N: per-slot work scales as N independent O(dk) passes)."""
+
+from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.core.distributed import DistributedScheduler, SlotRequest
+from repro.graphs.conversion import CircularConversion
+from repro.interconnect.interconnect import WDMInterconnect
+from repro.util.rng import make_rng
+
+
+def _slot_requests(n, k, seed):
+    rng = make_rng(seed)
+    return [
+        SlotRequest(i, w, int(rng.integers(n)))
+        for i in range(n)
+        for w in range(k)
+        if rng.random() < 0.7
+    ]
+
+
+def test_distributed_slot_16x16(benchmark):
+    scheme = CircularConversion(16, 1, 1)
+    ds = DistributedScheduler(16, scheme, BreakFirstAvailableScheduler())
+    reqs = _slot_requests(16, 16, 4)
+    schedule = benchmark(ds.schedule_slot, reqs)
+    assert schedule.n_granted + schedule.n_rejected == len(reqs)
+
+
+def test_distributed_slot_64x16(benchmark):
+    """4× the fibers ≈ 4× the work (N independent subproblems)."""
+    scheme = CircularConversion(16, 1, 1)
+    ds = DistributedScheduler(64, scheme, BreakFirstAvailableScheduler())
+    reqs = _slot_requests(64, 16, 5)
+    schedule = benchmark(ds.schedule_slot, reqs)
+    assert schedule.n_granted + schedule.n_rejected == len(reqs)
+
+
+def test_datapath_route_schedule(benchmark):
+    scheme = CircularConversion(8, 1, 1)
+    ds = DistributedScheduler(8, scheme, BreakFirstAvailableScheduler())
+    schedule = ds.schedule_slot(_slot_requests(8, 8, 6))
+    ic = WDMInterconnect(8, scheme)
+    routed = benchmark(ic.route_schedule, schedule)
+    assert len(routed) == schedule.n_granted

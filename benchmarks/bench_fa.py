@@ -1,0 +1,44 @@
+"""Benchmark TAB2 / CPLX-K (First Available): the O(k) algorithm itself, its
+optimality sweep, and its k-scaling."""
+
+import pytest
+
+from repro.analysis.instances import random_request_vector
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.core.first_available import FirstAvailableScheduler, first_available_fast
+from repro.experiments.registry import run_experiment
+from repro.util.rng import make_rng
+
+
+def test_tab2_fa_optimality_sweep(benchmark):
+    res = benchmark.pedantic(
+        run_experiment, args=("TAB2",), kwargs={"trials": 10}, rounds=1, iterations=1
+    )
+    assert res.passed, res.render()
+
+
+def test_fa_single_pass_k64(benchmark, noncircular_64):
+    grants = benchmark(
+        first_available_fast,
+        noncircular_64.request_vector,
+        noncircular_64.available,
+        2,
+        2,
+    )
+    assert len(grants) == HopcroftKarpScheduler().schedule(noncircular_64).n_granted
+
+
+@pytest.mark.parametrize("k", [256, 1024, 4096])
+def test_fa_scaling_in_k(benchmark, k):
+    """CPLX-K series: time one FA pass at several k (linear growth)."""
+    rng = make_rng(k)
+    vec = random_request_vector(k, 16, 0.9, rng)
+    avail = [True] * k
+    grants = benchmark(first_available_fast, vec, avail, 2, 2)
+    assert 0 < len(grants) <= k
+
+
+def test_fa_scheduler_end_to_end(benchmark, noncircular_64):
+    scheduler = FirstAvailableScheduler()
+    res = benchmark(scheduler.schedule, noncircular_64)
+    assert res.n_granted > 0

@@ -1,0 +1,43 @@
+"""Benchmark FAIR: grant-policy fairness under hotspot traffic."""
+
+from repro.core.policies import (
+    FixedPriorityPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+from repro.experiments.registry import run_experiment
+
+
+def test_fair_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment,
+        args=("FAIR",),
+        kwargs={"n_fibers": 4, "k": 6, "slots": 150},
+        rounds=1,
+        iterations=1,
+    )
+    assert res.passed, res.render()
+
+
+def _select_many(policy):
+    requesters = list(range(16))
+    out = 0
+    for slot in range(200):
+        out += len(policy.select(0, slot % 4, requesters, 3))
+    return out
+
+
+def test_fixed_priority_select(benchmark):
+    assert benchmark(_select_many, FixedPriorityPolicy()) == 600
+
+
+def test_random_select(benchmark):
+    assert benchmark.pedantic(
+        _select_many, args=(RandomPolicy(1),), rounds=20, iterations=1
+    ) == 600
+
+
+def test_round_robin_select(benchmark):
+    assert benchmark.pedantic(
+        _select_many, args=(RoundRobinPolicy(),), rounds=20, iterations=1
+    ) == 600

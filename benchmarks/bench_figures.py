@@ -1,0 +1,28 @@
+"""Benchmarks FIG2–FIG5: regenerate each paper figure and verify its shape."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig2_conversion_graphs(benchmark):
+    res = benchmark(run_experiment, "FIG2")
+    assert res.passed, res.render()
+
+
+def test_fig3_request_graphs(benchmark):
+    res = benchmark(run_experiment, "FIG3")
+    assert res.passed, res.render()
+
+
+def test_fig4_maximum_matchings(benchmark):
+    res = benchmark(run_experiment, "FIG4")
+    assert res.passed, res.render()
+
+
+def test_fig5_breaking(benchmark):
+    res = benchmark(run_experiment, "FIG5")
+    assert res.passed, res.render()
+
+
+def test_intro_example(benchmark):
+    res = benchmark(run_experiment, "INTRO")
+    assert res.passed, res.render()

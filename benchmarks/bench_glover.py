@@ -1,0 +1,42 @@
+"""Benchmark TAB1: Glover's algorithm on convex bipartite instances."""
+
+from repro.experiments.registry import run_experiment
+from repro.graphs.convex import ConvexInstance
+from repro.graphs.hopcroft_karp import hopcroft_karp
+from repro.util.rng import make_rng
+
+
+def _random_instance(n_left: int, n_right: int, seed: int) -> ConvexInstance:
+    rng = make_rng(seed)
+    intervals = []
+    for _ in range(n_left):
+        lo = int(rng.integers(n_right))
+        hi = min(n_right - 1, lo + int(rng.integers(1, max(2, n_right // 4))))
+        intervals.append((lo, hi))
+    return ConvexInstance(tuple(intervals), n_right)
+
+
+def test_tab1_glover_sweep(benchmark):
+    res = benchmark.pedantic(
+        run_experiment, args=("TAB1",), kwargs={"trials": 15}, rounds=1, iterations=1
+    )
+    assert res.passed, res.render()
+
+
+def test_glover_heap_solver_large(benchmark):
+    inst = _random_instance(512, 256, seed=1)
+    matching = benchmark(inst.solve)
+    assert len(matching) == len(hopcroft_karp(inst.to_graph()))
+
+
+def test_glover_first_available_interval_form(benchmark):
+    inst = _random_instance(512, 256, seed=2)
+    ordered = ConvexInstance(
+        tuple(sorted(inst.intervals)), inst.n_right
+    )
+    ends = [hi for _lo, hi in sorted(inst.intervals)]
+    if ends != sorted(ends):  # FA needs monotone END; fall back to Glover
+        matching = benchmark(ordered.solve)
+    else:
+        matching = benchmark(ordered.solve_first_available)
+    assert len(matching) == len(hopcroft_karp(ordered.to_graph()))

@@ -1,0 +1,55 @@
+"""Benchmark HW: the register-level scheduler units (and the cycle-count
+experiment itself)."""
+
+from repro.experiments.registry import run_experiment
+from repro.hardware.bfa_unit import BreakFirstAvailableUnit, ParallelBFAUnit
+from repro.hardware.fa_unit import FirstAvailableUnit
+from repro.hardware.registers import RequestRegister
+from repro.util.rng import make_rng
+
+
+def _requests(n, k, seed):
+    rng = make_rng(seed)
+    return [
+        (i, w) for i in range(n) for w in range(k) if rng.random() < 0.4
+    ]
+
+
+def test_hw_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment, args=("HW",), rounds=1, iterations=1
+    )
+    assert res.passed, res.render()
+
+
+def test_fa_unit_k32(benchmark):
+    reqs = _requests(16, 32, 1)
+
+    def run():
+        reg = RequestRegister.from_requests(16, 32, reqs)
+        return FirstAvailableUnit(32, 1, 1).run(reg)
+
+    _grants, cycles = benchmark(run)
+    assert cycles == 32
+
+
+def test_bfa_serial_unit_k32(benchmark):
+    reqs = _requests(16, 32, 2)
+
+    def run():
+        reg = RequestRegister.from_requests(16, 32, reqs)
+        return BreakFirstAvailableUnit(32, 1, 1).run(reg)
+
+    _grants, cycles = benchmark(run)
+    assert cycles == 1 + 3 * 31 + 2
+
+
+def test_bfa_parallel_unit_k32(benchmark):
+    reqs = _requests(16, 32, 3)
+
+    def run():
+        reg = RequestRegister.from_requests(16, 32, reqs)
+        return ParallelBFAUnit(32, 1, 1).run(reg)
+
+    _grants, cycles = benchmark(run)
+    assert cycles == 1 + 31 + 2

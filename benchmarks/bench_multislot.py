@@ -1,0 +1,42 @@
+"""Benchmark MULTI: Section-V multi-slot / occupied-channel scheduling."""
+
+from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.experiments.registry import run_experiment
+from repro.graphs.conversion import CircularConversion
+from repro.sim.duration import GeometricDuration
+from repro.sim.engine import SlottedSimulator
+from repro.sim.traffic import BernoulliTraffic
+
+
+def test_multi_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment,
+        args=("MULTI",),
+        kwargs={"trials": 25, "slots": 120},
+        rounds=1,
+        iterations=1,
+    )
+    assert res.passed, res.render()
+
+
+def _run(disturb: bool):
+    sim = SlottedSimulator(
+        4,
+        CircularConversion(8, 1, 1),
+        BreakFirstAvailableScheduler(),
+        BernoulliTraffic(4, 8, 0.35, durations=GeometricDuration(4.0)),
+        disturb=disturb,
+        seed=7,
+    )
+    return sim.run(100, warmup=20)
+
+
+def test_burst_mode_simulation(benchmark):
+    res = benchmark(_run, False)
+    assert res.metrics.n_slots == 100
+
+
+def test_disturb_mode_simulation(benchmark):
+    """Disturb mode pays a rescheduling pass per slot; this quantifies it."""
+    res = benchmark(_run, True)
+    assert res.metrics.n_slots == 100

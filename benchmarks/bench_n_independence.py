@@ -1,0 +1,28 @@
+"""Benchmark CPLX-N: per-output scheduling cost is independent of the
+interconnect size N (the paper's "distributed" headline)."""
+
+import pytest
+
+from repro.analysis.instances import random_request_vector
+from repro.core.break_first_available import bfa_fast
+from repro.experiments.registry import run_experiment
+from repro.util.rng import make_rng
+
+
+def test_cplx_n_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment, args=("CPLX-N",), rounds=1, iterations=1
+    )
+    assert res.passed, res.render()
+
+
+@pytest.mark.parametrize("n_fibers", [4, 64, 1024])
+def test_per_output_bfa_flat_in_n(benchmark, n_fibers):
+    """The timings of this series should be flat across N: only the request
+    counts (which saturate) depend on the interconnect size."""
+    k, e, f = 32, 1, 1
+    rng = make_rng(n_fibers)
+    vec = random_request_vector(k, n_fibers, 0.9, rng)
+    avail = [True] * k
+    grants, _ = benchmark(bfa_fast, vec, avail, e, f)
+    assert len(grants) <= k

@@ -1,0 +1,11 @@
+"""Benchmark CPLX-K: the scaling experiment itself (its internal checks
+assert near-linear growth in k and d·k)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_cplx_k_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment, args=("CPLX-K",), kwargs={"repeats": 3}, rounds=1, iterations=1
+    )
+    assert res.passed, res.render()

@@ -1,0 +1,37 @@
+"""Benchmark PERF-D: the loss-vs-load / conversion-degree study, plus raw
+simulator slot-rate."""
+
+from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.experiments.registry import run_experiment
+from repro.graphs.conversion import CircularConversion
+from repro.sim.engine import SlottedSimulator
+from repro.sim.traffic import BernoulliTraffic
+
+
+def test_perf_d_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment,
+        args=("PERF-D",),
+        kwargs={"n_fibers": 4, "k": 8, "slots": 120},
+        rounds=1,
+        iterations=1,
+    )
+    assert res.passed, res.render()
+
+
+def test_simulator_slot_rate(benchmark):
+    """Raw engine speed: one 100-slot run of an 8×8, k=16, d=3 switch."""
+    def run():
+        sim = SlottedSimulator(
+            8,
+            CircularConversion(16, 1, 1),
+            BreakFirstAvailableScheduler(),
+            BernoulliTraffic(8, 16, 0.9),
+            seed=1,
+        )
+        return sim.run(100)
+
+    res = benchmark(run)
+    m = res.metrics
+    assert m.granted + m.rejected == m.submitted
+    assert m.n_slots == 100

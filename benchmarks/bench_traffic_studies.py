@@ -1,0 +1,48 @@
+"""Benchmarks PERF-TYPE / PERF-BURST / ABLATE: the extended performance
+studies and design-choice ablations."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_perf_type_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment,
+        args=("PERF-TYPE",),
+        kwargs={"n_fibers": 4, "k": 8, "slots": 150},
+        rounds=1,
+        iterations=1,
+    )
+    assert res.passed, res.render()
+
+
+def test_perf_burst_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment,
+        args=("PERF-BURST",),
+        kwargs={"n_fibers": 4, "k": 8, "slots": 200},
+        rounds=1,
+        iterations=1,
+    )
+    assert res.passed, res.render()
+
+
+def test_ablate_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment,
+        args=("ABLATE",),
+        kwargs={"trials": 60},
+        rounds=1,
+        iterations=1,
+    )
+    assert res.passed, res.render()
+
+
+def test_perf_k_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment,
+        args=("PERF-K",),
+        kwargs={"n_fibers": 4, "slots": 200},
+        rounds=1,
+        iterations=1,
+    )
+    assert res.passed, res.render()

@@ -1,0 +1,49 @@
+"""Benchmark CPLX-HK: the distributed algorithms vs the Hopcroft–Karp
+baseline [1] on identical request graphs."""
+
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.core.break_first_available import bfa_fast
+from repro.core.first_available import first_available_fast
+from repro.experiments.registry import run_experiment
+
+
+def test_cplx_hk_experiment(benchmark):
+    res = benchmark.pedantic(
+        run_experiment, args=("CPLX-HK",), rounds=1, iterations=1
+    )
+    assert res.passed, res.render()
+
+
+def test_hopcroft_karp_on_circular_k64(benchmark, circular_64):
+    scheduler = HopcroftKarpScheduler()
+    res = benchmark(scheduler.schedule, circular_64)
+    assert res.n_granted > 0
+
+
+def test_bfa_same_instance_k64(benchmark, circular_64):
+    """Compare this timing against the Hopcroft–Karp one above: the paper's
+    O(dk) vs O(sqrt(n)(m+n)) separation."""
+    grants, _ = benchmark(
+        bfa_fast, circular_64.request_vector, circular_64.available, 2, 2
+    )
+    assert len(grants) == HopcroftKarpScheduler().schedule(circular_64).n_granted
+
+
+def test_hopcroft_karp_on_noncircular_k64(benchmark, noncircular_64):
+    scheduler = HopcroftKarpScheduler()
+    res = benchmark(scheduler.schedule, noncircular_64)
+    assert res.n_granted > 0
+
+
+def test_fa_same_instance_k64(benchmark, noncircular_64):
+    grants = benchmark(
+        first_available_fast,
+        noncircular_64.request_vector,
+        noncircular_64.available,
+        2,
+        2,
+    )
+    assert (
+        len(grants)
+        == HopcroftKarpScheduler().schedule(noncircular_64).n_granted
+    )

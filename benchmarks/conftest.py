@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (figure/table/claim) and
+asserts its shape, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction harness with timing attached.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.instances import (
+    random_circular_instance,
+    random_noncircular_instance,
+)
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def rng():
+    return make_rng(20030422)
+
+
+@pytest.fixture
+def circular_16(rng):
+    """A saturated k=16, d=3 circular request graph."""
+    return random_circular_instance(16, 1, 1, load=1.0, rng=rng)
+
+
+@pytest.fixture
+def circular_64(rng):
+    """A saturated k=64, d=5 circular request graph."""
+    return random_circular_instance(64, 2, 2, load=1.0, rng=rng)
+
+
+@pytest.fixture
+def noncircular_64(rng):
+    """A saturated k=64, d=5 non-circular request graph."""
+    return random_noncircular_instance(64, 2, 2, load=1.0, rng=rng)

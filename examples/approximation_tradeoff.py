@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Speed/throughput trade-off of the single-break approximation (Sec. IV-C).
+
+Break-and-First-Available tries all d breaks; the approximation tries one.
+This example measures, over random saturated request graphs:
+
+* the matching deficit per break-position policy vs the Theorem-3 bound, and
+* the wall-clock speedup of trying one break instead of d.
+
+Run:  python examples/approximation_tradeoff.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    BreakFirstAvailableScheduler,
+    HopcroftKarpScheduler,
+    SingleBreakScheduler,
+)
+from repro.analysis import random_circular_instance
+from repro.analysis.bounds import corollary1_bound
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+
+TRIALS = 200
+
+
+def main() -> None:
+    rng = make_rng(7)
+    hk = HopcroftKarpScheduler()
+    rows = []
+    for k, e, f in ((16, 1, 1), (16, 2, 2), (32, 3, 3)):
+        d = e + f + 1
+        instances = [
+            random_circular_instance(k, e, f, load=1.0, rng=rng)
+            for _ in range(TRIALS)
+        ]
+        optima = [hk.schedule(rg).n_granted for rg in instances]
+
+        # Exact BFA timing baseline.
+        bfa = BreakFirstAvailableScheduler()
+        t0 = time.perf_counter()
+        for rg in instances:
+            bfa.schedule(rg)
+        t_exact = time.perf_counter() - t0
+
+        for policy in ("shortest", "minus-end"):
+            sched = SingleBreakScheduler(policy)
+            t0 = time.perf_counter()
+            results = [sched.schedule(rg) for rg in instances]
+            t_approx = time.perf_counter() - t0
+            gaps = [opt - r.n_granted for opt, r in zip(optima, results)]
+            rows.append(
+                (
+                    k,
+                    d,
+                    policy,
+                    int(np.max(gaps)),
+                    float(np.mean(gaps)),
+                    corollary1_bound(d) if policy == "shortest" else d - 1,
+                    t_exact / t_approx,
+                )
+            )
+    print(
+        format_table(
+            ["k", "d", "policy", "max deficit", "mean deficit",
+             "worst-case bound", "speedup vs BFA"],
+            rows,
+            title=f"Single-break approximation over {TRIALS} saturated "
+            "instances per row",
+            float_fmt=".3f",
+        )
+    )
+    print(
+        "\nReading: the shortest-edge policy (Corollary 1) rarely loses even"
+        "\none match in practice, while running ~d times fewer reduced-graph"
+        "\npasses — the paper's suggested trade-off when the time slot is"
+        "\ntight or hardware is scarce."
+    )
+
+
+if __name__ == "__main__":
+    main()

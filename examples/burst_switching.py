@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Optical burst switching: multi-slot connections (paper Section V).
+
+Connections here hold their output channel for several slots (geometric
+durations).  Two policies from the paper are compared:
+
+* **burst mode** (non-disturb): an ongoing connection cannot be moved —
+  new requests see a *reduced* request graph with the occupied channels
+  removed (the Section-V construction);
+* **disturb mode**: ongoing connections may be reassigned to different
+  channels each slot, packing the band better before new requests are fit.
+
+Run:  python examples/burst_switching.py
+"""
+
+from repro import BreakFirstAvailableScheduler, CircularConversion
+from repro.sim import BernoulliTraffic, GeometricDuration, SlottedSimulator
+from repro.util.tables import format_table
+
+N_FIBERS = 6
+K = 12
+SLOTS = 400
+SEED = 42
+
+
+def run_one(mean_duration: float, disturb: bool) -> dict[str, float]:
+    """Loss/utilization for one duration × rescheduling-policy point."""
+    scheme = CircularConversion(K, e=1, f=1)
+    traffic = BernoulliTraffic(
+        N_FIBERS, K, load=0.35, durations=GeometricDuration(mean_duration)
+    )
+    sim = SlottedSimulator(
+        N_FIBERS,
+        scheme,
+        BreakFirstAvailableScheduler(),
+        traffic,
+        disturb=disturb,
+        seed=SEED,
+    )
+    return sim.run(SLOTS, warmup=60).summary()
+
+
+def main() -> None:
+    rows = []
+    for mean_duration in (1.0, 2.0, 4.0, 8.0, 16.0):
+        burst = run_one(mean_duration, disturb=False)
+        dist = run_one(mean_duration, disturb=True)
+        rows.append(
+            (
+                mean_duration,
+                burst["loss_probability"],
+                dist["loss_probability"],
+                burst["utilization"],
+                dist["utilization"],
+            )
+        )
+    print(
+        format_table(
+            [
+                "mean duration",
+                "loss (burst)",
+                "loss (disturb)",
+                "util (burst)",
+                "util (disturb)",
+            ],
+            rows,
+            title=f"Multi-slot connections, {N_FIBERS}×{N_FIBERS}, k={K}, "
+            "d=3, load 0.35",
+            float_fmt=".4f",
+        )
+    )
+    print(
+        "\nReading: with longer connections the band fragments; allowing"
+        "\nreassignment (disturb) recovers part of the lost throughput,"
+        "\nwhile burst mode (the realistic optical-burst constraint) pays"
+        "\nfor immobility."
+    )
+
+
+if __name__ == "__main__":
+    main()

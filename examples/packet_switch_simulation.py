@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Optical packet switching study: how much wavelength conversion is enough?
+
+Simulates an 8×8 WDM packet switch (16 wavelengths per fiber) under uniform
+Bernoulli traffic and sweeps the conversion degree.  This regenerates the
+paper's motivating story (Section I, via its refs [11][13][14]): a *small*
+conversion degree recovers almost all of full range conversion's throughput,
+which is why the paper optimizes the limited-range scheduling path.
+
+Run:  python examples/packet_switch_simulation.py
+"""
+
+from repro import (
+    BreakFirstAvailableScheduler,
+    CircularConversion,
+    FullRangeConversion,
+    FullRangeScheduler,
+)
+from repro.sim import BernoulliTraffic, SlottedSimulator
+from repro.util.tables import format_table
+
+N_FIBERS = 8
+K = 16
+SLOTS = 400
+SEED = 2003
+
+
+def run_one(degree: int, load: float) -> dict[str, float]:
+    """One simulation point: loss/throughput at the given degree and load."""
+    if degree >= K:
+        scheme, scheduler = FullRangeConversion(K), FullRangeScheduler()
+    else:
+        e = (degree - 1) // 2
+        scheme = CircularConversion(K, e, degree - 1 - e)
+        scheduler = BreakFirstAvailableScheduler()
+    traffic = BernoulliTraffic(N_FIBERS, K, load)
+    sim = SlottedSimulator(N_FIBERS, scheme, scheduler, traffic, seed=SEED)
+    return sim.run(SLOTS, warmup=40).summary()
+
+
+def main() -> None:
+    degrees = [1, 2, 3, 5, 7, K]
+    loads = [0.6, 0.8, 0.9, 1.0]
+    rows = []
+    for d in degrees:
+        summaries = {load: run_one(d, load) for load in loads}
+        rows.append(
+            [f"full (d={K})" if d == K else f"d={d}"]
+            + [summaries[load]["loss_probability"] for load in loads]
+        )
+    print(
+        format_table(
+            ["degree"] + [f"load {load}" for load in loads],
+            rows,
+            title=f"Packet loss probability, {N_FIBERS}×{N_FIBERS} switch, "
+            f"k={K}, uniform Bernoulli traffic ({SLOTS} slots)",
+            float_fmt=".4f",
+        )
+    )
+    print(
+        "\nReading: d=1 (no conversion) loses heavily to output contention;"
+        "\nd=3 already sits within a few tenths of a percent of full range."
+    )
+
+
+if __name__ == "__main__":
+    main()

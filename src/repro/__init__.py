@@ -1,0 +1,98 @@
+"""repro — reproduction of Zhang & Yang (IPDPS 2003), *Distributed Scheduling
+Algorithms for Wavelength Convertible WDM Optical Interconnects*.
+
+Quickstart
+----------
+>>> from repro import CircularConversion, RequestGraph, BreakFirstAvailableScheduler
+>>> scheme = CircularConversion(k=6, e=1, f=1)           # d = 3, Fig. 2(a)
+>>> rg = RequestGraph(scheme, [2, 1, 0, 1, 1, 2])        # Fig. 3(a)
+>>> result = BreakFirstAvailableScheduler().schedule(rg)
+>>> result.n_granted                                     # Fig. 4: all 6 channels used
+6
+
+Package map
+-----------
+``repro.core``
+    The paper's scheduling algorithms (First Available, Break-and-First-
+    Available, single-break approximation, full-range trivial scheduler,
+    Hopcroft–Karp / Glover baselines, the distributed per-output facade).
+``repro.graphs``
+    Conversion graphs, request graphs, matchings, convex-bipartite machinery,
+    crossing edges and graph breaking.
+``repro.interconnect``
+    Datapath model of the Fig. 1 interconnect (demux/fabric/combiner/
+    converter/mux) with physical-feasibility checking.
+``repro.hardware``
+    Register-level models of the schedulers with cycle accounting.
+``repro.sim``
+    Synchronous slotted simulator: traffic models, multi-slot connections,
+    metrics.
+``repro.analysis``
+    Theorem-3 bounds, matching certificates, instance generators.
+``repro.experiments``
+    One entry per paper figure/table/claim; ``python -m repro.experiments``.
+"""
+
+from repro.core import (
+    BreakFirstAvailableReferenceScheduler,
+    BreakFirstAvailableScheduler,
+    DistributedScheduler,
+    FirstAvailableReferenceScheduler,
+    FirstAvailableScheduler,
+    FixedPriorityPolicy,
+    FullRangeScheduler,
+    GloverScheduler,
+    GrantedRequest,
+    HopcroftKarpScheduler,
+    RandomPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    SingleBreakScheduler,
+    SlotRequest,
+    SlotSchedule,
+)
+from repro.errors import ReproError
+from repro.graphs import (
+    BipartiteGraph,
+    CircularConversion,
+    ConversionScheme,
+    FullRangeConversion,
+    Matching,
+    NonCircularConversion,
+    RequestGraph,
+    hopcroft_karp,
+)
+from repro.types import Grant, ScheduleResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Grant",
+    "ScheduleResult",
+    "ConversionScheme",
+    "CircularConversion",
+    "NonCircularConversion",
+    "FullRangeConversion",
+    "RequestGraph",
+    "BipartiteGraph",
+    "Matching",
+    "hopcroft_karp",
+    "Scheduler",
+    "FirstAvailableScheduler",
+    "FirstAvailableReferenceScheduler",
+    "BreakFirstAvailableScheduler",
+    "BreakFirstAvailableReferenceScheduler",
+    "SingleBreakScheduler",
+    "FullRangeScheduler",
+    "HopcroftKarpScheduler",
+    "GloverScheduler",
+    "DistributedScheduler",
+    "SlotRequest",
+    "GrantedRequest",
+    "SlotSchedule",
+    "FixedPriorityPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+]

@@ -1,0 +1,45 @@
+"""Analysis utilities: Theorem-3 bounds, schedule/matching certificates, and
+random instance generation for experiments and tests."""
+
+from repro.analysis.adversarial import tight_single_break_instance
+from repro.analysis.analytical import (
+    full_range_loss_probability,
+    full_range_throughput,
+    loss_bounds,
+    no_conversion_loss_probability,
+)
+from repro.analysis.bounds import (
+    approximation_gap,
+    corollary1_bound,
+    theorem3_bound,
+)
+from repro.analysis.instances import (
+    random_circular_instance,
+    random_noncircular_instance,
+    random_request_vector,
+)
+from repro.analysis.viz import render_request_graph, render_schedule
+from repro.analysis.verify import (
+    assert_maximum_schedule,
+    matching_from_result,
+    optimal_cardinality,
+)
+
+__all__ = [
+    "theorem3_bound",
+    "full_range_loss_probability",
+    "no_conversion_loss_probability",
+    "full_range_throughput",
+    "loss_bounds",
+    "corollary1_bound",
+    "approximation_gap",
+    "optimal_cardinality",
+    "matching_from_result",
+    "assert_maximum_schedule",
+    "random_request_vector",
+    "random_circular_instance",
+    "random_noncircular_instance",
+    "render_request_graph",
+    "render_schedule",
+    "tight_single_break_instance",
+]

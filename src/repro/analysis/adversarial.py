@@ -1,0 +1,47 @@
+"""Adversarial instances: the Theorem-3 bound is *tight*.
+
+Corollary 1 bounds the single-break (shortest-edge) deficit by ``(d - 1)/2``
+for odd ``d``.  The family below achieves that bound exactly, showing the
+paper's analysis cannot be improved.
+
+With ``e = f = a`` (degree ``d = 2a + 1``) and ``k = 2(a + 1)`` channels,
+offer ``a + 1`` requests on ``λ0`` and ``a + 1`` on ``λ1``:
+
+* **Optimum** ``2(a + 1)``: the ``λ0`` requests take the minus-side channels
+  ``{k-a, …, k-1, 0}`` and the ``λ1`` requests take ``{1, …, a+1}`` — every
+  request granted.
+* **Shortest-edge break** at ``(a_0, b_0)`` (offset ``t = 0``): every edge
+  from the remaining requests to the minus-side channels crosses
+  ``a_0 b_0`` and is deleted, so the surviving adjacencies collapse to the
+  prefix intervals ``[b_1, b_a]`` (remaining ``λ0`` copies) and
+  ``[b_1, b_{a+1}]`` (``λ1`` copies).  Only ``a + 1`` of those ``2a + 1``
+  requests fit, for ``a + 2`` total grants — deficit exactly
+  ``a = (d - 1)/2``.
+
+The construction is verified empirically (not just asserted) by the test
+suite and the APPROX experiment's tightness check.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.conversion import CircularConversion
+from repro.graphs.request_graph import RequestGraph
+from repro.util.validation import check_positive_int
+
+__all__ = ["tight_single_break_instance"]
+
+
+def tight_single_break_instance(a: int) -> RequestGraph:
+    """The worst-case instance for the shortest-edge single break.
+
+    ``a >= 1`` is the symmetric conversion reach; the returned request graph
+    has degree ``d = 2a + 1``, optimum ``2(a + 1)``, and a shortest-edge
+    single-break matching of exactly ``a + 2`` (deficit ``a``, meeting
+    Corollary 1's ``(d - 1)/2``).
+    """
+    check_positive_int(a, "a")
+    k = 2 * (a + 1)
+    vector = [0] * k
+    vector[0] = a + 1
+    vector[1] = a + 1
+    return RequestGraph(CircularConversion(k, a, a), vector)

@@ -1,0 +1,134 @@
+"""Analytical loss models for slotted WDM output contention.
+
+The paper's performance references ([11], [13]) analyze blocking
+probabilities of limited-conversion interconnects analytically.  Two regimes
+admit *exact* closed forms under i.i.d. Bernoulli traffic with uniform
+destinations, and they bracket every conversion degree:
+
+* **Full range (d = k)** — only the total request count matters.  The number
+  of requests ``X`` reaching one output fiber in a slot is
+  ``Binomial(N·k, load/N)`` and ``min(X, k)`` of them are granted, so
+
+  ``loss = E[(X - k)^+] / E[X]``.
+
+* **No conversion (d = 1)** — wavelengths are independent single-server
+  systems.  Requests on one wavelength for one output are
+  ``X_w ~ Binomial(N, load/N)`` and exactly ``min(X_w, 1)`` is granted:
+
+  ``loss = 1 - P(X_w >= 1) / E[X_w]``.
+
+Every limited degree ``1 < d < k`` falls between the two (more conversion
+can only help — a matching feasible at degree ``d`` is feasible at ``d' > d``
+since adjacency sets only grow).  The ``ANALYT`` experiment checks the
+simulator against both exact ends and the bracketing in the middle, which is
+an end-to-end validation of the traffic model, the schedulers and the metric
+pipeline at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import InvalidParameterError
+from repro.util.validation import check_positive_int, check_probability
+
+__all__ = [
+    "full_range_loss_probability",
+    "no_conversion_loss_probability",
+    "full_range_throughput",
+    "loss_bounds",
+    "erlang_b",
+]
+
+
+def erlang_b(erlangs: float, servers: int) -> float:
+    """The Erlang-B blocking probability of an ``M/M/c/c`` loss system.
+
+    ``erlangs`` is the offered traffic ``λ/μ`` and ``servers`` the channel
+    count.  Computed with the numerically stable recurrence
+    ``B(0) = 1``, ``B(c) = a·B(c-1) / (c + a·B(c-1))``.
+
+    This is the exact blocking probability of one output fiber of the
+    *asynchronous* full-range interconnect (Poisson request arrivals,
+    exponential holding, k channels) — the regime of the paper's refs
+    [11][13][14] — and validates :class:`~repro.sim.asynchronous.
+    AsyncWavelengthRouter`.
+    """
+    check_positive_int(servers, "servers")
+    if erlangs < 0:
+        raise InvalidParameterError(f"offered erlangs must be >= 0, got {erlangs}")
+    if erlangs == 0:
+        return 0.0
+    b = 1.0
+    for c in range(1, servers + 1):
+        b = erlangs * b / (c + erlangs * b)
+    return b
+
+
+def _binom_mean_excess(n: int, p: float, cap: int) -> float:
+    """``E[(X - cap)^+]`` for ``X ~ Binomial(n, p)``."""
+    ks = np.arange(cap + 1, n + 1)
+    if ks.size == 0:
+        return 0.0
+    pmf = stats.binom.pmf(ks, n, p)
+    return float(np.sum((ks - cap) * pmf))
+
+
+def full_range_loss_probability(n_fibers: int, k: int, load: float) -> float:
+    """Exact per-request loss probability under full range conversion.
+
+    ``X ~ Binomial(N·k, load/N)`` requests hit one output fiber; the trivial
+    scheduler grants ``min(X, k)``.
+    """
+    check_positive_int(n_fibers, "n_fibers")
+    check_positive_int(k, "k")
+    check_probability(load, "load")
+    if load == 0.0:
+        return 0.0
+    n = n_fibers * k
+    p = load / n_fibers
+    mean = n * p  # = k * load
+    return _binom_mean_excess(n, p, k) / mean
+
+
+def no_conversion_loss_probability(n_fibers: int, load: float) -> float:
+    """Exact per-request loss probability with no conversion (d = 1).
+
+    Each (wavelength, output) pair is an independent single-channel system
+    with ``X_w ~ Binomial(N, load/N)`` contenders and one winner.
+    """
+    check_positive_int(n_fibers, "n_fibers")
+    check_probability(load, "load")
+    if load == 0.0:
+        return 0.0
+    p = load / n_fibers
+    mean = n_fibers * p  # = load
+    p_served = 1.0 - float(stats.binom.pmf(0, n_fibers, p))
+    return 1.0 - p_served / mean
+
+
+def full_range_throughput(n_fibers: int, k: int, load: float) -> float:
+    """Exact normalized carried throughput (grants per channel-slot) under
+    full range conversion: ``E[min(X, k)] / k``."""
+    check_positive_int(n_fibers, "n_fibers")
+    check_positive_int(k, "k")
+    check_probability(load, "load")
+    n = n_fibers * k
+    p = load / n_fibers
+    mean = n * p
+    return (mean - _binom_mean_excess(n, p, k)) / k
+
+
+def loss_bounds(n_fibers: int, k: int, load: float) -> tuple[float, float]:
+    """``(lower, upper)`` bracket on the loss probability of *any*
+    conversion degree ``1 <= d <= k``: full range is the best case, no
+    conversion the worst (adjacency sets grow monotonically with ``d``, so a
+    degree-``d`` maximum matching is feasible at any ``d' >= d``)."""
+    lo = full_range_loss_probability(n_fibers, k, load)
+    hi = no_conversion_loss_probability(n_fibers, load)
+    if hi < lo - 1e-12:
+        raise InvalidParameterError(
+            "internal error: bracket inverted — check parameters"
+        )
+    return lo, hi

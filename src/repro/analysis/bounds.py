@@ -1,0 +1,43 @@
+"""Theorem-3 / Corollary-1 approximation bounds (paper Section IV-C)."""
+
+from __future__ import annotations
+
+from repro.core.approx import deficit_bound
+from repro.core.base import Scheduler
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.errors import InvalidParameterError
+from repro.graphs.request_graph import RequestGraph
+
+__all__ = ["theorem3_bound", "corollary1_bound", "approximation_gap"]
+
+
+def theorem3_bound(delta: int, d: int) -> int:
+    """Theorem 3: breaking at the ``delta``-th adjacent edge (1-based from
+    the minus end) loses at most ``max(delta - 1, d - delta)`` matches."""
+    return deficit_bound(delta, d)
+
+
+def corollary1_bound(d: int) -> int:
+    """Corollary 1: the best achievable Theorem-3 bound over all ``delta``.
+
+    Equals ``(d - 1) / 2`` for odd ``d`` (the paper's ``δ = (d+1)/2``) and
+    ``d / 2`` for even ``d`` (where ``(d+1)/2`` is not integral and the best
+    integral ``δ`` gives ``max(δ-1, d-δ) = d/2``).
+    """
+    if d < 1:
+        raise InvalidParameterError(f"conversion degree must be >= 1, got {d}")
+    return min(deficit_bound(delta, d) for delta in range(1, d + 1))
+
+
+def approximation_gap(
+    rg: RequestGraph, approx_scheduler: Scheduler
+) -> tuple[int, int, int]:
+    """Measured deficit of ``approx_scheduler`` on ``rg``.
+
+    Returns ``(optimal, achieved, gap)`` where ``optimal`` is the maximum
+    matching cardinality (via Hopcroft–Karp) and ``gap = optimal -
+    achieved >= 0``.
+    """
+    optimal = HopcroftKarpScheduler().schedule(rg).n_granted
+    achieved = approx_scheduler.schedule(rg).n_granted
+    return optimal, achieved, optimal - achieved

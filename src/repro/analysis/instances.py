@@ -1,0 +1,93 @@
+"""Random request-graph instance generators for experiments and tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.conversion import CircularConversion, NonCircularConversion
+from repro.graphs.request_graph import RequestGraph
+from repro.util.rng import make_rng
+from repro.util.validation import (
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "random_request_vector",
+    "random_circular_instance",
+    "random_noncircular_instance",
+]
+
+
+def random_request_vector(
+    k: int,
+    n_fibers: int,
+    load: float,
+    rng: int | np.random.Generator | None = None,
+) -> list[int]:
+    """A request vector as one output fiber of an ``N × N`` interconnect
+    under uniform traffic would see it.
+
+    Each of the ``N`` input fibers offers a packet on each wavelength with
+    probability ``load``, destined to this output with probability ``1/N``
+    — i.e. entry ``w`` is Binomial(``n_fibers``, ``load / n_fibers``).
+    """
+    check_positive_int(k, "k")
+    check_positive_int(n_fibers, "n_fibers")
+    check_probability(load, "load")
+    gen = make_rng(rng)
+    return [
+        int(x) for x in gen.binomial(n_fibers, load / n_fibers, size=k)
+    ]
+
+
+def _random_available(
+    k: int, occupied_fraction: float, gen: np.random.Generator
+) -> list[bool] | None:
+    if occupied_fraction == 0.0:
+        return None
+    return [bool(x) for x in gen.random(k) >= occupied_fraction]
+
+
+def random_circular_instance(
+    k: int,
+    e: int,
+    f: int,
+    n_fibers: int = 16,
+    load: float = 0.8,
+    occupied_fraction: float = 0.0,
+    rng: int | np.random.Generator | None = None,
+) -> RequestGraph:
+    """A random circular-conversion request graph (optionally with occupied
+    channels, paper Section V)."""
+    check_nonnegative_int(e, "e")
+    check_nonnegative_int(f, "f")
+    check_probability(occupied_fraction, "occupied_fraction")
+    gen = make_rng(rng)
+    vec = random_request_vector(k, n_fibers, load, gen)
+    return RequestGraph(
+        CircularConversion(k, e, f), vec, _random_available(k, occupied_fraction, gen)
+    )
+
+
+def random_noncircular_instance(
+    k: int,
+    e: int,
+    f: int,
+    n_fibers: int = 16,
+    load: float = 0.8,
+    occupied_fraction: float = 0.0,
+    rng: int | np.random.Generator | None = None,
+) -> RequestGraph:
+    """A random non-circular-conversion request graph."""
+    check_nonnegative_int(e, "e")
+    check_nonnegative_int(f, "f")
+    check_probability(occupied_fraction, "occupied_fraction")
+    gen = make_rng(rng)
+    vec = random_request_vector(k, n_fibers, load, gen)
+    return RequestGraph(
+        NonCircularConversion(k, e, f),
+        vec,
+        _random_available(k, occupied_fraction, gen),
+    )

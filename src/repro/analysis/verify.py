@@ -1,0 +1,62 @@
+"""Optimality certificates for schedules.
+
+A scheduler's output is converted back to an explicit matching in the
+request graph and checked two ways: validity (vertex-disjoint conversion
+edges) and maximality (no augmenting path, Berge's theorem) — independent
+certificates that do not trust any of the algorithms under test.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.graphs.hopcroft_karp import hopcroft_karp
+from repro.graphs.matching import Matching
+from repro.graphs.request_graph import RequestGraph
+from repro.types import ScheduleResult
+
+__all__ = ["matching_from_result", "optimal_cardinality", "assert_maximum_schedule"]
+
+
+def matching_from_result(rg: RequestGraph, result: ScheduleResult) -> Matching:
+    """Lift a wavelength-level schedule to an explicit request-graph matching.
+
+    Grants on wavelength ``w`` are assigned to the lowest-indexed unmatched
+    left vertices of that wavelength (same-wavelength requests are
+    interchangeable, so any assignment has the same cardinality).
+    """
+    # First left vertex index of each wavelength.
+    first_index: dict[int, int] = {}
+    cursor = 0
+    for w, count in enumerate(rg.request_vector):
+        first_index[w] = cursor
+        cursor += count
+    used: dict[int, int] = {}  # wavelength -> how many grants consumed
+    pairs: list[tuple[int, int]] = []
+    for g in sorted(result.grants, key=lambda g: (g.wavelength, g.channel)):
+        offset = used.get(g.wavelength, 0)
+        if offset >= rg.request_vector[g.wavelength]:
+            raise ScheduleError(
+                f"more grants than requests on λ{g.wavelength}"
+            )
+        pairs.append((first_index[g.wavelength] + offset, g.channel))
+        used[g.wavelength] = offset + 1
+    matching = Matching(pairs)
+    matching.validate_against(rg.graph)
+    return matching
+
+
+def optimal_cardinality(rg: RequestGraph) -> int:
+    """Maximum matching cardinality of the request graph (Hopcroft–Karp)."""
+    return len(hopcroft_karp(rg.graph))
+
+
+def assert_maximum_schedule(rg: RequestGraph, result: ScheduleResult) -> None:
+    """Raise :class:`ScheduleError` unless ``result`` is a *maximum*
+    schedule, certified by the absence of an augmenting path."""
+    matching = matching_from_result(rg, result)
+    path = matching.find_augmenting_path(rg.graph)
+    if path is not None:
+        raise ScheduleError(
+            f"schedule of size {len(matching)} is not maximum: augmenting "
+            f"path {path} exists"
+        )

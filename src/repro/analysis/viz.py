@@ -1,0 +1,72 @@
+"""ASCII rendering of request graphs and matchings.
+
+The paper communicates its structures through bipartite-graph figures;
+these helpers draw the same structures as text so examples, docstrings and
+experiment reports can show *which* edges a schedule picked (Fig. 3/4 style)
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.matching import Matching
+from repro.graphs.request_graph import RequestGraph
+from repro.types import ScheduleResult
+
+__all__ = ["render_request_graph", "render_schedule"]
+
+
+def render_request_graph(
+    rg: RequestGraph, matching: Matching | None = None
+) -> str:
+    """Draw the request graph as an adjacency table.
+
+    One row per connection request ``a_i``: its wavelength, its adjacency
+    set ``B(a_i)`` (occupied channels omitted, as in Section V), and — when
+    ``matching`` is given — the channel matched to it (``·`` if unmatched).
+    """
+    if matching is not None:
+        matching.validate_against(rg.graph)
+    lines = [
+        f"request graph: k={rg.k}, scheme={rg.scheme!r}",
+        f"request vector {list(rg.request_vector)}"
+        + (
+            ""
+            if all(rg.available)
+            else f", occupied channels {[b for b in range(rg.k) if not rg.available[b]]}"
+        ),
+    ]
+    for a in range(rg.n_requests):
+        adjacency = ", ".join(f"b{b}" for b in rg.adjacency_of_request(a))
+        row = f"  a{a} (λ{rg.wavelength_of(a)}) -> {{{adjacency}}}"
+        if matching is not None:
+            b = matching.right_of(a)
+            row += f"   matched: {'b' + str(b) if b is not None else '·'}"
+        lines.append(row)
+    if matching is not None:
+        lines.append(f"  |M| = {len(matching)}")
+    return "\n".join(lines)
+
+
+def render_schedule(rg: RequestGraph, result: ScheduleResult) -> str:
+    """Draw a schedule as a per-channel table (Fig. 4 style).
+
+    One row per output channel: occupied / granted-from-wavelength / idle.
+    """
+    assignment = result.channel_assignment
+    lines = [f"schedule: {result.n_granted}/{result.n_requested} granted"]
+    for b in range(rg.k):
+        if not rg.available[b]:
+            state = "occupied (ongoing connection)"
+        elif b in assignment:
+            state = f"<- λ{assignment[b]}"
+        else:
+            state = "idle"
+        lines.append(f"  b{b}: {state}")
+    rejected = [
+        f"λ{w}×{count}"
+        for w, count in enumerate(result.rejected_vector)
+        if count
+    ]
+    if rejected:
+        lines.append(f"  dropped: {', '.join(rejected)}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Vectorized batch First Available across many output fibers.
+
+The distributed schedulers are embarrassingly parallel across the ``N``
+output fibers.  On real hardware each output has its own scheduler; in a
+software simulation the same parallelism is best exploited by *vectorizing*
+over outputs with NumPy — one ``(M, k)`` request matrix, all ``M`` outputs
+advanced channel-by-channel in lock step, with the per-row wavelength
+pointers updated by boolean masks instead of Python loops.
+
+The result is bit-identical to running :func:`~repro.core.first_available.
+first_available_fast` per row (tested), with one NumPy pass over ``k``
+channels instead of ``M`` Python passes; the ``BATCH`` benchmark measures
+the speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["batch_first_available"]
+
+
+def batch_first_available(
+    request_matrix: np.ndarray,
+    available: np.ndarray | None,
+    e: int,
+    f: int,
+) -> np.ndarray:
+    """First Available over ``M`` output fibers at once (non-circular).
+
+    Parameters
+    ----------
+    request_matrix:
+        ``(M, k)`` integer array; entry ``(m, w)`` counts requests on
+        ``λ_w`` destined to output ``m``.
+    available:
+        Optional ``(M, k)`` boolean array of free channels (default: all).
+    e, f:
+        Conversion reach (clipped non-circular windows, as in
+        :func:`first_available_fast`).
+
+    Returns
+    -------
+    ``(M, k)`` integer array ``assign`` where ``assign[m, b]`` is the input
+    wavelength granted output channel ``b`` of output ``m``, or ``-1`` if
+    the channel is unused.
+    """
+    req = np.asarray(request_matrix)
+    if req.ndim != 2:
+        raise InvalidParameterError(
+            f"request matrix must be 2-D (M, k), got shape {req.shape}"
+        )
+    if np.any(req < 0):
+        raise InvalidParameterError("request counts must be nonnegative")
+    m_rows, k = req.shape
+    if available is None:
+        avail = np.ones((m_rows, k), dtype=bool)
+    else:
+        avail = np.asarray(available, dtype=bool)
+        if avail.shape != (m_rows, k):
+            raise InvalidParameterError(
+                f"availability shape {avail.shape} != request shape {(m_rows, k)}"
+            )
+    if e < 0 or f < 0:
+        raise InvalidParameterError("conversion reaches must be nonnegative")
+    if e + f + 1 > k:
+        raise InvalidParameterError(
+            f"conversion degree {e + f + 1} exceeds k={k}"
+        )
+
+    remaining = req.astype(np.int64).copy()
+    assign = np.full((m_rows, k), -1, dtype=np.int64)
+    # Per-row wavelength pointer: smallest wavelength that may still serve a
+    # future channel.  Identical role to the scalar pointer in
+    # first_available_fast; each row's pointer only ever advances, so total
+    # advancement work is O(M k) in vectorized chunks.
+    p = np.zeros(m_rows, dtype=np.int64)
+    rows = np.arange(m_rows)
+    for b in range(k):
+        lo = max(0, b - f)
+        hi = min(k - 1, b + e)
+        np.maximum(p, lo, out=p)
+        # Advance pointers over exhausted wavelengths inside the window.
+        while True:
+            inside = p <= hi
+            need = inside & (remaining[rows, np.minimum(p, k - 1)] == 0)
+            if not need.any():
+                break
+            p[need] += 1
+        grant = avail[:, b] & (p <= hi) & (remaining[rows, np.minimum(p, k - 1)] > 0)
+        if grant.any():
+            g_rows = rows[grant]
+            g_wl = p[grant]
+            remaining[g_rows, g_wl] -= 1
+            assign[g_rows, b] = g_wl
+    return assign

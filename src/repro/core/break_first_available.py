@@ -1,0 +1,320 @@
+"""Break and First Available Algorithm (paper Table 3, Theorem 2) — ``O(dk)``.
+
+Circular symmetrical conversion makes the request graph non-convex (edges
+wrap around the wavelength band).  The paper's remedy: pick one pivot request
+``a_i``, and for each of the ``d`` channels ``b_u`` adjacent to it, *break*
+the graph at ``a_i b_u`` — remove both vertices, incident edges and all
+crossing edges (Definition 1/2) — which leaves a convex reduced graph in a
+shifted vertex ordering (Lemma 2).  First Available solves each reduced graph
+in ``O(k)``; the best of the ``d`` breaks plus the breaking edge is a maximum
+matching of the original graph (Lemmas 3–4, Theorem 2), for ``O(dk)`` total.
+
+The fast implementation here never materializes a graph.  Choosing the pivot
+as the *first* request (the lowest wavelength ``W`` carrying a request) makes
+the shifted left ordering coincide with ascending wavelength order, and the
+reduced adjacency of a wavelength ``w = W + s`` (``s`` the canonical signed
+offset of ``w`` from ``W``, ``u = W + t`` the breaking channel) collapses to
+three interval forms in shifted channel positions ``0..k-2``:
+
+* ``s ∈ [t-f, -1]`` or (``s = 0``, pivot's siblings when the paper's Case 2.1
+  applies): adjacency ``[w - e, u - 1]`` — a suffix of the position range;
+* ``s ∈ [1, t+e]`` or (``s = 0``, Case 2.2 frame): adjacency ``[u + 1, w + f]``
+  — a prefix;
+* otherwise: the untouched window ``[w - e, w + f]`` — ``d`` consecutive
+  positions in the middle.
+
+(The boundary offsets ``s = t - f`` and ``s = t + e``, whose requests are
+adjacent to ``b_u`` but have no crossing edges, reduce to the same interval
+forms because only the edge into the removed ``b_u`` disappears.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.base import Scheduler, make_result
+from repro.errors import InvalidParameterError, ScheduleError
+from repro.graphs.breaking import break_graph
+from repro.graphs.conversion import CircularConversion
+from repro.graphs.request_graph import RequestGraph
+from repro.types import Grant, ScheduleResult
+
+__all__ = [
+    "bfa_fast",
+    "solve_reduced_fast",
+    "BreakFirstAvailableScheduler",
+    "BreakFirstAvailableReferenceScheduler",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class _Group:
+    """One wavelength's requests in a reduced instance: ``count`` requests
+    whose shifted-position adjacency is ``[lo, hi]`` (empty if ``hi < lo``)."""
+
+    wavelength: int
+    count: int
+    lo: int
+    hi: int
+
+
+def _reduced_groups(
+    remaining: Sequence[int],
+    k: int,
+    e: int,
+    f: int,
+    pivot_w: int,
+    t: int,
+) -> list[_Group]:
+    """Interval form of the reduced graph after breaking at ``(pivot, W+t)``.
+
+    ``remaining`` are request counts with the pivot's own request already
+    removed.  Positions index the shifted channel order ``u+1, ..., u-1``
+    where ``u = (pivot_w + t) mod k``.  Groups are returned in ascending
+    offset order (``s = 0, 1, 2, ...``), which Lemma 2 guarantees is monotone
+    in both interval endpoints.
+    """
+    d = e + f + 1
+    u = (pivot_w + t) % k
+    groups: list[_Group] = []
+    for s in range(k):  # offset of wavelength w = pivot_w + s
+        w = (pivot_w + s) % k
+        count = remaining[w]
+        if count == 0:
+            continue
+        if s == 0:
+            # Pivot's same-wavelength siblings (all later in left order):
+            # adjacency [u+1, w+f] → prefix ending at unwrapped offset f-t-1.
+            lo, hi = 0, f - t - 1
+        else:
+            s_minus = s - k  # negative representative
+            if 1 <= s <= t + e:
+                # Plus side of the pivot: prefix [u+1, w+f].
+                lo, hi = 0, s + f - t - 1
+            elif t - f <= s_minus <= -1:
+                # Minus side (circularly just below u): suffix [w-e, u-1].
+                length = t - s_minus + e
+                lo, hi = (k - 1) - length, k - 2
+            else:
+                # Untouched middle window [w-e, w+f].
+                lo = (w - e - (u + 1)) % k
+                hi = lo + d - 1
+                if hi > k - 2:
+                    raise ScheduleError(
+                        f"internal error: middle window of λ{w} wraps past the "
+                        f"reduced range (lo={lo}, d={d}, k={k})"
+                    )
+        groups.append(_Group(wavelength=w, count=count, lo=lo, hi=hi))
+    return groups
+
+
+def solve_reduced_fast(
+    groups: Sequence[_Group],
+    available_positions: Sequence[tuple[int, int]],
+) -> list[tuple[int, int]]:
+    """First Available on a reduced instance in grouped interval form.
+
+    ``available_positions`` lists ``(position, channel)`` pairs in ascending
+    position order (occupied channels omitted).  Returns ``(wavelength,
+    channel)`` grants.  ``O(k)`` by the same advancing-pointer argument as
+    :func:`repro.core.first_available.first_available_fast`; the monotone
+    endpoint property (Lemma 2) is asserted defensively.
+    """
+    last_lo = last_hi = -1
+    for g in groups:
+        if g.hi < g.lo:
+            continue
+        if g.lo < last_lo or g.hi < last_hi:
+            raise ScheduleError(
+                f"internal error: Lemma-2 monotonicity violated at λ{g.wavelength}: "
+                f"({g.lo}, {g.hi}) after ({last_lo}, {last_hi})"
+            )
+        last_lo, last_hi = g.lo, g.hi
+
+    counts = [g.count for g in groups]
+    grants: list[tuple[int, int]] = []
+    gi = 0
+    n = len(groups)
+    for p, channel in available_positions:
+        while gi < n:
+            g = groups[gi]
+            if counts[gi] == 0 or g.hi < g.lo or g.hi < p:
+                gi += 1
+                continue
+            break
+        if gi < n and groups[gi].lo <= p:
+            counts[gi] -= 1
+            grants.append((groups[gi].wavelength, channel))
+    return grants
+
+
+def bfa_fast(
+    request_vector: Sequence[int],
+    available: Sequence[bool],
+    e: int,
+    f: int,
+) -> tuple[list[Grant], dict[str, int]]:
+    """The ``O(dk)`` Break-and-First-Available pass on a request vector.
+
+    Adjacency is the circular window ``[w - e, w + f] mod k``.  Returns the
+    grants plus counters (number of reduced graphs tried, pivots skipped).
+    """
+    k = len(request_vector)
+    if len(available) != k:
+        raise InvalidParameterError(
+            f"availability mask length {len(available)} != k={k}"
+        )
+    if e + f + 1 > k:
+        raise InvalidParameterError(
+            f"conversion degree e+f+1={e + f + 1} exceeds k={k}"
+        )
+    remaining = list(request_vector)
+    stats = {"reduced_graphs": 0, "pivots_skipped": 0}
+
+    # Pivot: the first request overall — the lowest wavelength carrying one.
+    # A wavelength whose whole adjacency window is occupied can never be
+    # granted; dropping it leaves the maximum matching unchanged, so we skip
+    # to the next candidate (needed for the Section-V occupied-channel case).
+    pivot_w = -1
+    pivot_breaks: list[tuple[int, int]] = []  # (t, u) per available break edge
+    for w in range(k):
+        if remaining[w] == 0:
+            continue
+        breaks = [
+            (t, (w + t) % k)
+            for t in range(-e, f + 1)
+            if available[(w + t) % k]
+        ]
+        if breaks:
+            pivot_w = w
+            pivot_breaks = breaks
+            break
+        remaining[w] = 0  # unmatchable: every adjacent channel occupied
+        stats["pivots_skipped"] += 1
+    if pivot_w < 0:
+        return [], stats
+
+    remaining[pivot_w] -= 1
+
+    # Precompute the reduced instance's left side once: wavelengths with
+    # remaining requests, in ascending offset order from the pivot (the
+    # Lemma-2 shifted ordering).  Only the intervals depend on the break.
+    entry_s: list[int] = []
+    entry_w: list[int] = []
+    base_counts: list[int] = []
+    for s in range(k):
+        w = (pivot_w + s) % k
+        if remaining[w] > 0:
+            entry_s.append(s)
+            entry_w.append(w)
+            base_counts.append(remaining[w])
+    n_groups = len(entry_s)
+    n_available = sum(1 for b in range(k) if available[b])
+    perfect = min(sum(base_counts) + 1, n_available)  # +1: the pivot grant
+    d = e + f + 1
+    all_free = n_available == k
+
+    best_pairs: list[tuple[int, int]] | None = None
+    for t, u in pivot_breaks:
+        # Interval decode per group (see module docstring for the cases).
+        lows = [0] * n_groups
+        highs = [0] * n_groups
+        wrap = k + t - f  # smallest positive s on the circular minus side
+        for gi in range(n_groups):
+            s = entry_s[gi]
+            if s == 0:
+                lows[gi], highs[gi] = 0, f - t - 1
+            elif 1 <= s <= t + e:
+                lows[gi], highs[gi] = 0, s + f - t - 1
+            elif s >= wrap:
+                length = t - (s - k) + e
+                lows[gi], highs[gi] = (k - 1) - length, k - 2
+            else:
+                lo = (entry_w[gi] - e - u - 1) % k
+                lows[gi], highs[gi] = lo, lo + d - 1
+        counts = base_counts.copy()
+        pairs: list[tuple[int, int]] = [(pivot_w, u)]
+        gi = 0
+        stats["reduced_graphs"] += 1
+        for p in range(k - 1):
+            channel = u + 1 + p
+            if channel >= k:
+                channel -= k
+            if not all_free and not available[channel]:
+                continue
+            while gi < n_groups and (
+                counts[gi] == 0 or highs[gi] < lows[gi] or highs[gi] < p
+            ):
+                gi += 1
+            if gi < n_groups and lows[gi] <= p:
+                counts[gi] -= 1
+                pairs.append((entry_w[gi], channel))
+        if best_pairs is None or len(pairs) > len(best_pairs):
+            best_pairs = pairs
+            if len(best_pairs) >= perfect:
+                break  # cannot do better than granting everything grantable
+    assert best_pairs is not None
+    return [Grant(wavelength=w, channel=b) for w, b in best_pairs], stats
+
+
+class BreakFirstAvailableScheduler(Scheduler):
+    """Fast ``O(dk)`` Break-and-First-Available scheduler (paper Table 3).
+
+    Requires circular symmetrical conversion (full range included, though the
+    trivial :class:`~repro.core.full_range.FullRangeScheduler` is cheaper
+    there).
+    """
+
+    name = "break-first-available"
+
+    def _check_scheme(self, rg: RequestGraph) -> None:
+        if not isinstance(rg.scheme, CircularConversion):
+            raise InvalidParameterError(
+                "BreakFirstAvailableScheduler requires circular symmetrical "
+                f"conversion, got {rg.scheme!r}; use FirstAvailableScheduler "
+                "for non-circular schemes"
+            )
+
+    def schedule(self, rg: RequestGraph) -> ScheduleResult:
+        self._check_scheme(rg)
+        grants, stats = bfa_fast(
+            rg.request_vector, rg.available, rg.scheme.e, rg.scheme.f
+        )
+        return make_result(rg, grants, stats=stats)
+
+
+class BreakFirstAvailableReferenceScheduler(Scheduler):
+    """Table-3 verbatim on explicit graphs (reference oracle).
+
+    Breaks the explicit request graph at each of the pivot's edges via
+    :func:`repro.graphs.breaking.break_graph` and keeps the best matching.
+    Exponentially slower than the fast version on large instances but
+    structurally identical to the paper's pseudocode.
+    """
+
+    name = "break-first-available-ref"
+
+    def _check_scheme(self, rg: RequestGraph) -> None:
+        BreakFirstAvailableScheduler()._check_scheme(rg)
+
+    def schedule(self, rg: RequestGraph) -> ScheduleResult:
+        self._check_scheme(rg)
+        graph = rg.graph
+        pivot = next(
+            (a for a in range(graph.n_left) if graph.degree_left(a) > 0), None
+        )
+        if pivot is None:
+            return make_result(rg, [], stats={"reduced_graphs": 0})
+        best = None
+        tried = 0
+        for u in graph.neighbors_of_left(pivot):
+            matching = break_graph(rg, pivot, u).solve()
+            tried += 1
+            if best is None or len(matching) > len(best):
+                best = matching
+        assert best is not None
+        grants = [
+            Grant(wavelength=rg.wavelength_of(a), channel=b) for a, b in best
+        ]
+        return make_result(rg, grants, stats={"reduced_graphs": tried})

@@ -1,0 +1,47 @@
+"""Trivial scheduler for full range wavelength conversion (paper Section I).
+
+With full range converters all requests are indistinguishable in the
+wavelength domain: "if no more than k connection requests arrived at this
+output fiber, grant all; if more than k arrived, arbitrarily pick k out of
+them".  With ``c`` available channels the same holds with ``c`` in place of
+``k``.  Requests are picked in ascending wavelength order and assigned to
+ascending available channels — any bijection works.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Scheduler, make_result
+from repro.errors import InvalidParameterError
+from repro.graphs.request_graph import RequestGraph
+from repro.types import Grant, ScheduleResult
+
+__all__ = ["FullRangeScheduler"]
+
+
+class FullRangeScheduler(Scheduler):
+    """O(k) trivial scheduler, valid only under full range conversion."""
+
+    name = "full-range"
+
+    def _check_scheme(self, rg: RequestGraph) -> None:
+        if not rg.scheme.is_full_range:
+            raise InvalidParameterError(
+                "FullRangeScheduler requires full range conversion "
+                f"(degree == k); got {rg.scheme!r} with degree "
+                f"{rg.scheme.degree} and k={rg.scheme.k}"
+            )
+
+    def schedule(self, rg: RequestGraph) -> ScheduleResult:
+        self._check_scheme(rg)
+        channels = [b for b in range(rg.k) if rg.available[b]]
+        grants: list[Grant] = []
+        ci = 0
+        for w, count in enumerate(rg.request_vector):
+            for _ in range(count):
+                if ci >= len(channels):
+                    break
+                grants.append(Grant(wavelength=w, channel=channels[ci]))
+                ci += 1
+            if ci >= len(channels):
+                break
+        return make_result(rg, grants)

@@ -1,0 +1,90 @@
+"""Minimum-converter-stress optimal scheduler.
+
+All of the paper's schedulers return *a* maximum matching; the ``ABLATE``
+experiment shows they differ in how far they retune signals (the conversion
+offset ``channel − wavelength``).  Wider retuning costs optical
+signal-to-noise margin, so among maximum matchings the one with the least
+total retuning is preferable when the slot budget allows a heavier
+algorithm.
+
+:class:`MinStressScheduler` finds it exactly: a minimum-cost maximum
+matching on the request graph, solved as a rectangular assignment problem
+(:func:`scipy.optimize.linear_sum_assignment`) where a conversion edge costs
+its squared offset and a non-edge costs a prohibitive constant ``M``.  With
+``M`` larger than any achievable total edge cost, minimizing total cost
+first maximizes cardinality and then minimizes retuning — so the result is
+*always* a maximum matching (validated against Hopcroft–Karp in the tests),
+at ``O(n³)`` per output fiber instead of ``O(dk)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.base import Scheduler, make_result
+from repro.graphs.request_graph import RequestGraph
+from repro.types import Grant, ScheduleResult
+from repro.util.intervals import canonical_signed_residue
+
+__all__ = ["MinStressScheduler", "total_stress"]
+
+
+def total_stress(rg: RequestGraph, result: ScheduleResult) -> int:
+    """Sum of squared conversion offsets over a schedule's grants."""
+    scheme = rg.scheme
+    stress = 0
+    for g in result.grants:
+        t = canonical_signed_residue(
+            g.channel - g.wavelength, scheme.k, -scheme.e, scheme.f
+        )
+        if t is None:  # full-range grants may sit outside the (e, f) window
+            t = min(
+                (g.channel - g.wavelength) % scheme.k,
+                (g.wavelength - g.channel) % scheme.k,
+            )
+        stress += t * t
+    return stress
+
+
+class MinStressScheduler(Scheduler):
+    """Optimal scheduler minimizing total squared conversion offset.
+
+    Works for any conversion scheme.  Cardinality always equals the maximum
+    matching; among maximum matchings, total squared retuning is minimal.
+    """
+
+    name = "min-stress"
+
+    def schedule(self, rg: RequestGraph) -> ScheduleResult:
+        n = rg.n_requests
+        k = rg.k
+        if n == 0:
+            return make_result(rg, [])
+        scheme = rg.scheme
+        # Prohibitive cost: larger than any total of real edge costs, so the
+        # assignment never trades a real edge for two cheap non-edges.
+        reach = max(scheme.e, scheme.f, k)
+        big_m = (reach * reach) * (min(n, k) + 1) + 1
+        cost = np.full((n, k), float(big_m))
+        for a in range(n):
+            w = rg.wavelength_of(a)
+            for b in rg.adjacency_of_request(a):
+                t = canonical_signed_residue(b - w, k, -scheme.e, scheme.f)
+                offset = (
+                    t
+                    if t is not None
+                    else min((b - w) % k, (w - b) % k)
+                )
+                cost[a, b] = float(offset * offset)
+        rows, cols = linear_sum_assignment(cost)
+        grants = [
+            Grant(wavelength=rg.wavelength_of(a), channel=int(b))
+            for a, b in zip(rows, cols)
+            if cost[a, b] < big_m
+        ]
+        return make_result(
+            rg,
+            grants,
+            stats={"assignment_size": int(len(rows))},
+        )

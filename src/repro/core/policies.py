@@ -1,0 +1,128 @@
+"""Grant policies: which of several same-wavelength requests wins.
+
+The schedulers decide *how many* requests on each wavelength are granted
+(same-wavelength requests are interchangeable for matching size, paper
+Section III).  When several input fibers offered requests on that wavelength,
+a policy picks the winners.  The paper recommends random selection or
+round-robin for fairness, citing the electronic-switch schedulers of
+McKeown et al. [7][8].
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.util.rng import make_rng
+
+__all__ = [
+    "GrantPolicy",
+    "FixedPriorityPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+]
+
+
+class GrantPolicy(ABC):
+    """Selects ``n`` winners among the requesters of one wavelength on one
+    output fiber.  Implementations may keep per-(output, wavelength) state
+    across slots (round-robin) but must not share state across output fibers,
+    so the per-output schedulers stay independent ("distributed")."""
+
+    @abstractmethod
+    def select(
+        self,
+        output_fiber: int,
+        wavelength: int,
+        requesters: Sequence[Hashable],
+        n: int,
+    ) -> list[Hashable]:
+        """Return ``min(n, len(requesters))`` distinct winners."""
+
+    def _check(self, requesters: Sequence[Hashable], n: int) -> int:
+        if n < 0:
+            raise InvalidParameterError(f"grant count must be >= 0, got {n}")
+        if len(set(requesters)) != len(requesters):
+            raise InvalidParameterError("duplicate requesters in one selection")
+        return min(n, len(requesters))
+
+
+class FixedPriorityPolicy(GrantPolicy):
+    """Deterministic: lowest requester identifiers win.
+
+    Simple and stateless, but starves high-index input fibers under
+    persistent contention — the unfairness the paper's random/round-robin
+    recommendation avoids (demonstrated by the ``FAIR`` experiment).
+    """
+
+    def select(
+        self,
+        output_fiber: int,
+        wavelength: int,
+        requesters: Sequence[Hashable],
+        n: int,
+    ) -> list[Hashable]:
+        n = self._check(requesters, n)
+        return sorted(requesters)[:n]
+
+
+class RandomPolicy(GrantPolicy):
+    """Uniform random winners (the paper's "random selecting")."""
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        self._rng = make_rng(seed)
+
+    def select(
+        self,
+        output_fiber: int,
+        wavelength: int,
+        requesters: Sequence[Hashable],
+        n: int,
+    ) -> list[Hashable]:
+        n = self._check(requesters, n)
+        if n == len(requesters):
+            return list(requesters)
+        idx = self._rng.choice(len(requesters), size=n, replace=False)
+        return [requesters[i] for i in sorted(idx)]
+
+
+class RoundRobinPolicy(GrantPolicy):
+    """Rotating-priority winners (the paper's "round-robin scheduling").
+
+    Keeps one rotation pointer per ``(output fiber, wavelength)`` pair,
+    mirroring iSLIP's per-output grant pointers [8]: selection starts at the
+    first requester *after* the previous slot's last winner (in identifier
+    order, wrapping), so persistent contenders take turns.  Requester
+    identifiers must be mutually comparable (e.g. input-fiber indices).
+    """
+
+    def __init__(self) -> None:
+        self._pointers: dict[tuple[int, int], Hashable] = {}
+
+    def select(
+        self,
+        output_fiber: int,
+        wavelength: int,
+        requesters: Sequence[Hashable],
+        n: int,
+    ) -> list[Hashable]:
+        n = self._check(requesters, n)
+        if n == 0:
+            return []
+        key = (output_fiber, wavelength)
+        ordered = sorted(requesters)
+        m = len(ordered)
+        last = self._pointers.get(key)
+        start = 0
+        if last is not None:
+            start = next((i for i, rid in enumerate(ordered) if rid > last), 0)
+        winners = [ordered[(start + i) % m] for i in range(n)]
+        self._pointers[key] = winners[-1]
+        return winners
+
+    def reset(self) -> None:
+        """Forget all rotation pointers (start of a fresh simulation)."""
+        self._pointers.clear()

@@ -1,0 +1,106 @@
+"""Priority (QoS) scheduling — the paper's stated future work.
+
+The conclusion of the paper names "incorporating different QoS requirements,
+such as different priorities among connection requests" as future work.  This
+module implements the natural strict-priority layering on top of any of the
+optimal schedulers:
+
+* requests are partitioned into priority classes (class 0 highest);
+* class 0 is scheduled alone on the full availability mask — it gets a
+  *maximum* matching as if lower classes did not exist;
+* each lower class is then scheduled on the channels its superiors left
+  free (exactly the Section-V occupied-channel machinery).
+
+Strict layering maximizes high-priority throughput first; total throughput
+across classes may be below the unprioritized maximum (the usual price of
+strict priority), which the ``QOS`` experiment quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.base import Scheduler
+from repro.errors import InvalidParameterError
+from repro.graphs.conversion import ConversionScheme
+from repro.graphs.request_graph import RequestGraph
+from repro.types import ScheduleResult
+
+__all__ = ["PrioritySchedule", "PriorityScheduler"]
+
+
+@dataclass(frozen=True)
+class PrioritySchedule:
+    """Per-class results of one prioritized scheduling pass."""
+
+    per_class: tuple[ScheduleResult, ...]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of priority classes scheduled."""
+        return len(self.per_class)
+
+    @property
+    def n_granted(self) -> int:
+        """Total grants across classes."""
+        return sum(r.n_granted for r in self.per_class)
+
+    @property
+    def n_requested(self) -> int:
+        """Total requests across classes."""
+        return sum(r.n_requested for r in self.per_class)
+
+    def granted_of(self, priority: int) -> int:
+        """Grants of one class (0 = highest)."""
+        return self.per_class[priority].n_granted
+
+    def used_channels(self) -> frozenset[int]:
+        """Channels consumed by any class."""
+        return frozenset(
+            g.channel for r in self.per_class for g in r.grants
+        )
+
+
+class PriorityScheduler:
+    """Strict-priority layering over a per-output scheduler.
+
+    Parameters
+    ----------
+    scheduler:
+        The contention-resolution algorithm used for each class.  Must be
+        optimal (FA/BFA/Hopcroft–Karp) for the per-class maximality
+        guarantee to hold; the single-break approximation is accepted but
+        the guarantee weakens to its Theorem-3 bound per class.
+    """
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self.scheduler = scheduler
+
+    def schedule(
+        self,
+        scheme: ConversionScheme,
+        class_vectors: Sequence[Sequence[int]],
+        available: Sequence[bool] | None = None,
+    ) -> PrioritySchedule:
+        """Schedule the priority classes of one output fiber for one slot.
+
+        ``class_vectors[c]`` is the request vector of priority class ``c``
+        (0 = highest).  Returns one :class:`ScheduleResult` per class; lower
+        classes see the channels left over by higher ones.
+        """
+        if not class_vectors:
+            raise InvalidParameterError("at least one priority class required")
+        mask = list(available) if available is not None else [True] * scheme.k
+        if len(mask) != scheme.k:
+            raise InvalidParameterError(
+                f"availability mask length {len(mask)} != k={scheme.k}"
+            )
+        results: list[ScheduleResult] = []
+        for vector in class_vectors:
+            rg = RequestGraph(scheme, vector, mask)
+            result = self.scheduler.schedule(rg)
+            results.append(result)
+            for g in result.grants:
+                mask[g.channel] = False
+        return PrioritySchedule(per_class=tuple(results))

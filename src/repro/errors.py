@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from :class:`ReproError`
+so that callers can catch library failures without masking programming errors
+(``TypeError``/``ValueError`` raised by NumPy, etc. still propagate).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "InvalidGraphError",
+    "InvalidMatchingError",
+    "NotConvexError",
+    "ScheduleError",
+    "HardwareModelError",
+    "SimulationError",
+    "UncrossingDidNotConvergeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A constructor or function argument is outside its documented domain."""
+
+
+class InvalidGraphError(ReproError, ValueError):
+    """A graph object violates a structural requirement (e.g. vertex range)."""
+
+
+class InvalidMatchingError(ReproError, ValueError):
+    """An edge set claimed to be a matching is not vertex-disjoint or uses
+    edges absent from the underlying graph."""
+
+
+class NotConvexError(ReproError, ValueError):
+    """An algorithm requiring a convex bipartite graph received a graph whose
+    adjacency sets are not intervals in the given right-vertex ordering."""
+
+
+class ScheduleError(ReproError, RuntimeError):
+    """A scheduler produced (or was asked to validate) an inconsistent
+    schedule, e.g. a grant to an occupied or non-adjacent channel."""
+
+
+class HardwareModelError(ReproError, RuntimeError):
+    """The register-level hardware model detected a physically impossible
+    state, e.g. two simultaneously active inputs at one optical combiner."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The slotted simulator detected an inconsistent state, e.g. a grant for
+    a packet that never arrived."""
+
+
+class UncrossingDidNotConvergeError(ReproError, RuntimeError):
+    """The Lemma-1 uncrossing procedure exceeded its iteration guard.
+
+    This indicates a bug (the paper proves the procedure terminates); the
+    guard exists so that a defect surfaces as a diagnosable error instead of
+    an infinite loop.
+    """

@@ -1,0 +1,36 @@
+"""Experiment harness: one entry per paper figure, table and quantitative
+claim (see DESIGN.md for the index).  Run everything with
+``python -m repro.experiments`` or a single experiment with
+``python -m repro.experiments FIG3 APPROX``."""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+# Importing the modules registers their experiments.
+from repro.experiments import (  # noqa: F401  (import for side effect)
+    ablations,
+    approx_gap,
+    asynchronous,
+    example_intro,
+    extensions,
+    fairness,
+    figures,
+    hardware,
+    multislot,
+    scaling,
+    size_sweep,
+    tables_algos,
+    throughput,
+    traffic_studies,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,55 @@
+"""CLI for the reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments              # run everything
+    python -m repro.experiments FIG3 APPROX  # run selected experiments
+    python -m repro.experiments --list       # list experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import all_experiments
+from repro.experiments.report import render_report, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the figures, tables and claims of Zhang & Yang "
+        "(IPDPS 2003).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the report to FILE (e.g. for EXPERIMENTS.md records)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for eid, title in all_experiments():
+            print(f"{eid:10s} {title}")
+        return 0
+
+    results = run_all(args.experiments or None)
+    ok = render_report(results, sys.stdout)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            render_report(results, fh)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

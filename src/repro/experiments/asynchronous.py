@@ -1,0 +1,110 @@
+"""Asynchronous wavelength-routing experiment (``ASYNC``).
+
+Reproduces the operating regime the paper contrasts itself against
+(Section I, refs [11][13][14]): FCFS admission under Poisson arrivals with
+exponential holding times.  Checks:
+
+* at full range conversion the measured blocking equals the Erlang-B
+  formula (the output fiber is an M/M/k/k queue) — an exact end-to-end
+  validation of the event-driven engine;
+* blocking falls monotonically with the conversion degree, with small ``d``
+  close to full range — the same story as the synchronous ``PERF-D``;
+* first-fit assignment does not trail random assignment (wavelength-routing
+  folklore, measured here).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.analytical import erlang_b
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.graphs.conversion import CircularConversion, FullRangeConversion
+from repro.sim.asynchronous import AsyncWavelengthRouter
+from repro.util.tables import format_table
+
+__all__ = ["async_wavelength_routing"]
+
+
+@experiment("ASYNC", "Asynchronous FCFS wavelength routing (Sec. I contrast)")
+def async_wavelength_routing(
+    n_fibers: int = 4,
+    k: int = 12,
+    erlangs: float = 9.0,
+    sim_time: float = 4000.0,
+    seed: int = 4444,
+) -> ExperimentResult:
+    """Blocking probability vs conversion degree under FCFS admission."""
+    arrival_rate = erlangs  # holding time 1.0 → offered erlangs per fiber
+    rows = []
+    blocking: dict[object, float] = {}
+    for d in (1, 3, 5, k):
+        scheme = (
+            FullRangeConversion(k)
+            if d >= k
+            else CircularConversion(k, (d - 1) // 2, d // 2)
+        )
+        router = AsyncWavelengthRouter(
+            n_fibers, scheme, arrival_rate, policy="first-fit", seed=seed
+        )
+        res = router.run(sim_time, warmup=sim_time / 10)
+        blocking[d] = res.blocking_probability
+        rows.append(
+            (
+                f"d=k={k} (full)" if d >= k else f"d={d}",
+                res.blocking_probability,
+                res.utilization,
+                res.carried_erlangs_per_fiber,
+            )
+        )
+    analytic = erlang_b(erlangs, k)
+
+    # Assignment-policy comparison at d=3.
+    policy_rows = []
+    policy_blocking = {}
+    for policy in ("first-fit", "last-fit", "random"):
+        router = AsyncWavelengthRouter(
+            n_fibers,
+            CircularConversion(k, 1, 1),
+            arrival_rate,
+            policy=policy,
+            seed=seed,
+        )
+        res = router.run(sim_time, warmup=sim_time / 10)
+        policy_blocking[policy] = res.blocking_probability
+        policy_rows.append((policy, res.blocking_probability, res.utilization))
+
+    table1 = format_table(
+        ["degree", "blocking prob", "utilization", "carried erlangs/fiber"],
+        rows,
+        title=(
+            f"Asynchronous FCFS, N={n_fibers}, k={k}, offered {erlangs} "
+            f"erlangs/fiber (Erlang-B at full range: {analytic:.4f})"
+        ),
+        float_fmt=".4f",
+    )
+    table2 = format_table(
+        ["assignment policy", "blocking prob", "utilization"],
+        policy_rows,
+        title="Channel-assignment policies at d=3",
+        float_fmt=".4f",
+    )
+    checks = {
+        "full-range blocking matches Erlang B": abs(blocking[k] - analytic)
+        < 0.01,
+        "blocking decreases with conversion degree": blocking[1]
+        > blocking[3] >= blocking[k],
+        "d=5 recovers most of the no-conversion gap (> 60%)": (
+            blocking[5] - blocking[k]
+        )
+        < 0.4 * (blocking[1] - blocking[k]),
+        "first-fit no worse than random (within noise)": policy_blocking[
+            "first-fit"
+        ]
+        <= policy_blocking["random"] + 0.01,
+    }
+    notes = (
+        "Paper Sec. I: asynchronous arrivals need no scheduling algorithm — "
+        "FCFS admission suffices; this is the regime of refs [11][13][14].",
+    )
+    return ExperimentResult(
+        "ASYNC", "Asynchronous wavelength routing", (table1, table2), checks, notes
+    )

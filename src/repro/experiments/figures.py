@@ -1,0 +1,201 @@
+"""Regeneration of paper Figures 2–5 (structures, checked edge-for-edge)."""
+
+from __future__ import annotations
+
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.graphs.breaking import break_graph
+from repro.graphs.conversion import CircularConversion, NonCircularConversion
+from repro.graphs.request_graph import RequestGraph
+from repro.util.tables import format_table
+
+__all__ = ["fig2", "fig3", "fig4", "fig5"]
+
+#: The running example of the paper: k = 6 wavelengths, degree d = 3
+#: (e = f = 1), request vector [2, 1, 0, 1, 1, 2].
+K, E, F = 6, 1, 1
+REQUEST_VECTOR = (2, 1, 0, 1, 1, 2)
+
+
+def _expected_circular_edges() -> set[tuple[int, int]]:
+    """Fig. 2(a): λ_i → {(i-1) mod 6, i, (i+1) mod 6}."""
+    return {
+        (i, j) for i in range(K) for j in ((i - 1) % K, i, (i + 1) % K)
+    }
+
+
+def _expected_noncircular_edges() -> set[tuple[int, int]]:
+    """Fig. 2(b): λ_i → [max(0, i-1), min(5, i+1)]."""
+    return {
+        (i, j)
+        for i in range(K)
+        for j in range(max(0, i - 1), min(K - 1, i + 1) + 1)
+    }
+
+
+@experiment("FIG2", "Conversion graphs, k=6, d=3 (paper Fig. 2)")
+def fig2() -> ExperimentResult:
+    """Regenerate both conversion graphs and compare edge sets with the
+    figure's wiring."""
+    circ = CircularConversion(K, E, F).conversion_graph()
+    nonc = NonCircularConversion(K, E, F).conversion_graph()
+    checks = {
+        "circular edge set matches Fig. 2(a)": circ.edges()
+        == frozenset(_expected_circular_edges()),
+        "non-circular edge set matches Fig. 2(b)": nonc.edges()
+        == frozenset(_expected_noncircular_edges()),
+        "circular degree is d=3 everywhere": all(
+            circ.degree_left(w) == 3 for w in range(K)
+        ),
+        "non-circular band edges have degree 2": nonc.degree_left(0) == 2
+        and nonc.degree_left(K - 1) == 2,
+    }
+    rows = [
+        (f"λ{w}",
+         "{" + ", ".join(f"λ{b}" for b in CircularConversion(K, E, F).adjacency(w)) + "}",
+         "{" + ", ".join(f"λ{b}" for b in NonCircularConversion(K, E, F).adjacency(w)) + "}")
+        for w in range(K)
+    ]
+    table = format_table(
+        ["input", "circular adjacency (2a)", "non-circular adjacency (2b)"],
+        rows,
+        title="Conversion graphs, k=6, e=f=1",
+    )
+    return ExperimentResult("FIG2", "Conversion graphs (Fig. 2)", (table,), checks)
+
+
+@experiment("FIG3", "Request graphs for vector [2,1,0,1,1,2] (paper Fig. 3)")
+def fig3() -> ExperimentResult:
+    """Regenerate both request graphs for the running example."""
+    rg_c = RequestGraph(CircularConversion(K, E, F), REQUEST_VECTOR)
+    rg_n = RequestGraph(NonCircularConversion(K, E, F), REQUEST_VECTOR)
+
+    # Left vertices: a0,a1 on λ0; a2 on λ1; a3 on λ3; a4 on λ4; a5,a6 on λ5.
+    expected_wavelengths = (0, 0, 1, 3, 4, 5, 5)
+    expected_c = {
+        (a, b)
+        for a, w in enumerate(expected_wavelengths)
+        for b in ((w - 1) % K, w, (w + 1) % K)
+    }
+    expected_n = {
+        (a, b)
+        for a, w in enumerate(expected_wavelengths)
+        for b in range(max(0, w - 1), min(K - 1, w + 1) + 1)
+    }
+    checks = {
+        "W(i) ordering matches the figure": rg_c.left_wavelengths
+        == expected_wavelengths,
+        "W(0)=W(1)=0 and W(2)=1 (paper's example)": rg_c.wavelength_of(0) == 0
+        and rg_c.wavelength_of(1) == 0
+        and rg_c.wavelength_of(2) == 1,
+        "circular request-graph edges match Fig. 3(a)": rg_c.graph.edges()
+        == frozenset(expected_c),
+        "non-circular request-graph edges match Fig. 3(b)": rg_n.graph.edges()
+        == frozenset(expected_n),
+        "7 requests vs 6 channels (contention)": rg_c.n_requests == 7,
+    }
+    rows = [
+        (
+            f"a{a}",
+            f"λ{rg_c.wavelength_of(a)}",
+            "{" + ", ".join(f"b{b}" for b in rg_c.graph.neighbors_of_left(a)) + "}",
+            "{" + ", ".join(f"b{b}" for b in rg_n.graph.neighbors_of_left(a)) + "}",
+        )
+        for a in range(rg_c.n_requests)
+    ]
+    table = format_table(
+        ["request", "wavelength", "B(a) circular (3a)", "B(a) non-circular (3b)"],
+        rows,
+        title="Request graphs for request vector [2,1,0,1,1,2]",
+    )
+    return ExperimentResult("FIG3", "Request graphs (Fig. 3)", (table,), checks)
+
+
+@experiment("FIG4", "Maximum matchings of the Fig. 3 request graphs (paper Fig. 4)")
+def fig4() -> ExperimentResult:
+    """Find the maximum matchings; the paper shows both have cardinality 6
+    (one of the seven requests is dropped)."""
+    from repro.analysis.verify import assert_maximum_schedule
+    from repro.core.break_first_available import BreakFirstAvailableScheduler
+    from repro.core.first_available import FirstAvailableScheduler
+
+    rg_c = RequestGraph(CircularConversion(K, E, F), REQUEST_VECTOR)
+    rg_n = RequestGraph(NonCircularConversion(K, E, F), REQUEST_VECTOR)
+    res_c = BreakFirstAvailableScheduler().schedule(rg_c)
+    res_n = FirstAvailableScheduler().schedule(rg_n)
+    hk = HopcroftKarpScheduler()
+    checks = {
+        "circular maximum matching has 6 edges": res_c.n_granted == 6,
+        "non-circular maximum matching has 6 edges": res_n.n_granted == 6,
+        "BFA matches Hopcroft-Karp": res_c.n_granted
+        == hk.schedule(rg_c).n_granted,
+        "FA matches Hopcroft-Karp": res_n.n_granted
+        == hk.schedule(rg_n).n_granted,
+        "exactly one request dropped": res_c.n_rejected == 1
+        and res_n.n_rejected == 1,
+    }
+    # Certify maximality via augmenting-path absence too.
+    assert_maximum_schedule(rg_c, res_c)
+    assert_maximum_schedule(rg_n, res_n)
+    checks["augmenting-path certificates hold"] = True
+
+    rows = []
+    for name, res in (("circular (4a)", res_c), ("non-circular (4b)", res_n)):
+        assignment = ", ".join(
+            f"λ{g.wavelength}→b{g.channel}" for g in sorted(
+                res.grants, key=lambda g: g.channel
+            )
+        )
+        rows.append((name, res.n_granted, res.n_rejected, assignment))
+    table = format_table(
+        ["conversion", "granted", "dropped", "assignment"],
+        rows,
+        title="Maximum matchings for request vector [2,1,0,1,1,2]",
+    )
+    return ExperimentResult("FIG4", "Maximum matchings (Fig. 4)", (table,), checks)
+
+
+@experiment("FIG5", "Breaking the Fig. 3(a) graph at edge a2-b1 (paper Fig. 5)")
+def fig5() -> ExperimentResult:
+    """Break the circular request graph at a2 b1 and check the reduced
+    graph's reordering and convexity against the figure."""
+    rg = RequestGraph(CircularConversion(K, E, F), REQUEST_VECTOR)
+    broken = break_graph(rg, 2, 1)
+    intervals = broken.intervals()
+    checks = {
+        "left order starts at a3 (a3,a4,a5,a6,a0,a1)": broken.left_order
+        == (3, 4, 5, 6, 0, 1),
+        "right order starts at b2 (b2,b3,b4,b5,b0)": broken.right_order
+        == (2, 3, 4, 5, 0),
+        "reduced graph is convex (Lemma 2)": broken.is_convex,
+        "BEGIN/END monotone (Lemma 2)": all(
+            intervals[a][0] <= intervals[a + 1][0]
+            and intervals[a][1] <= intervals[a + 1][1]
+            for a in range(len(intervals) - 1)
+            if intervals[a][1] >= intervals[a][0]
+            and intervals[a + 1][1] >= intervals[a + 1][0]
+        ),
+        "break solves to a maximum matching of G": len(broken.solve())
+        == HopcroftKarpScheduler().schedule(rg).n_granted,
+    }
+    rows = [
+        (
+            f"a{orig}",
+            f"λ{rg.wavelength_of(orig)}",
+            "∅"
+            if intervals[new][1] < intervals[new][0]
+            else "{"
+            + ", ".join(
+                f"b{broken.right_order[p]}"
+                for p in range(intervals[new][0], intervals[new][1] + 1)
+            )
+            + "}",
+        )
+        for new, orig in enumerate(broken.left_order)
+    ]
+    table = format_table(
+        ["request (shifted order)", "wavelength", "adjacency in G'"],
+        rows,
+        title="Reduced graph G' = break(G, a2 b1), shifted ordering (Fig. 5(b))",
+    )
+    return ExperimentResult("FIG5", "Breaking the request graph (Fig. 5)", (table,), checks)

@@ -1,0 +1,94 @@
+"""Hardware-implementation experiment (paper Sections III/IV hardware remarks).
+
+Reproduced claims:
+
+* a First Available unit schedules one output fiber in exactly ``k`` clock
+  cycles, independent of ``N`` and ``d``;
+* a serial BFA unit takes ``1 + d(k-1) + ceil(log2 d)`` cycles (``O(dk)``);
+* ``d`` parallel units reduce that to ``1 + (k-1) + ceil(log2 d)`` (``O(k)``);
+* hardware grants are identical to the software schedulers';
+* at a period-appropriate clock the decision fits a μs-scale slot.
+"""
+
+from __future__ import annotations
+
+from repro.core.break_first_available import bfa_fast
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.hardware.bfa_unit import BreakFirstAvailableUnit, ParallelBFAUnit
+from repro.hardware.fa_unit import FirstAvailableUnit
+from repro.hardware.registers import RequestRegister
+from repro.hardware.timing import CycleReport
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+
+__all__ = ["hardware_cycles"]
+
+
+@experiment("HW", "Hardware cycle counts and software equivalence")
+def hardware_cycles(seed: int = 1010, slot_us: float = 1.0) -> ExperimentResult:
+    """Cycle counts across (N, k, d); equivalence with software BFA."""
+    rng = make_rng(seed)
+    rows = []
+    equal = True
+    fa_cycles_ok = True
+    fits = []
+    for n_fibers, k, d in (
+        (16, 8, 3),
+        (64, 16, 3),
+        (256, 16, 3),  # N sweep: cycles must not move
+        (64, 32, 5),
+        (64, 64, 5),
+    ):
+        e = (d - 1) // 2
+        f = d - 1 - e
+        requests = [
+            (i, w)
+            for i in range(n_fibers)
+            for w in range(k)
+            if rng.random() < 0.5 / n_fibers * 8
+        ]
+        vec = [0] * k
+        for _i, w in requests:
+            vec[w] += 1
+
+        reg = RequestRegister.from_requests(n_fibers, k, requests)
+        fa_grants, fa_cycles = FirstAvailableUnit(k, e, f).run(reg)
+        fa_cycles_ok &= fa_cycles == k
+
+        reg_s = RequestRegister.from_requests(n_fibers, k, requests)
+        serial_grants, serial_cycles = BreakFirstAvailableUnit(k, e, f).run(reg_s)
+        reg_p = RequestRegister.from_requests(n_fibers, k, requests)
+        par_grants, par_cycles = ParallelBFAUnit(k, e, f).run(reg_p)
+
+        sw_grants, _ = bfa_fast(vec, [True] * k, e, f)
+        sw_pairs = sorted((g.wavelength, g.channel) for g in sw_grants)
+        equal &= sorted((g.wavelength, g.channel) for g in serial_grants) == sw_pairs
+        equal &= sorted((g.wavelength, g.channel) for g in par_grants) == sw_pairs
+
+        report = CycleReport("parallel-BFA", k, d, par_cycles, hardware_units=d)
+        fits.append(report.fits_slot(slot_us))
+        rows.append(
+            (n_fibers, k, d, len(requests), fa_cycles, serial_cycles, par_cycles,
+             report.time_us)
+        )
+    table = format_table(
+        ["N", "k", "d", "requests", "FA cycles", "BFA serial", "BFA parallel",
+         "parallel time (µs)"],
+        rows,
+        title="Hardware scheduler cycle counts (200 MHz clock)",
+    )
+    n_sweep = [r for r in rows if r[1] == 16 and r[2] == 3]
+    checks = {
+        "FA completes in exactly k cycles": fa_cycles_ok,
+        "cycle counts independent of N": len(
+            {(r[4], r[5], r[6]) for r in n_sweep}
+        ) == 1,
+        "hardware grants == software grants": equal,
+        "serial BFA is O(dk), parallel is O(k)": all(
+            r[6] < r[5] or r[2] == 1 for r in rows
+        ),
+        f"parallel BFA fits a {slot_us} µs slot at k<=64": all(fits),
+    }
+    return ExperimentResult(
+        "HW", "Hardware cycle counts", (table,), checks
+    )

@@ -1,0 +1,93 @@
+"""Experiment registry.
+
+Every reproduction experiment is a named callable returning an
+:class:`ExperimentResult`: rendered tables (the rows/series the paper artifact
+reports), a set of named pass/fail checks, and free-form notes recording
+paper-vs-measured.  The registry powers the CLI and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "ExperimentResult",
+    "experiment",
+    "all_experiments",
+    "get_experiment",
+    "run_experiment",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one reproduction experiment."""
+
+    experiment_id: str
+    title: str
+    tables: tuple[str, ...]
+    checks: Mapping[str, bool] = field(default_factory=dict)
+    notes: tuple[str, ...] = ()
+
+    @property
+    def passed(self) -> bool:
+        """Whether every named check held."""
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        """Human-readable report block."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for table in self.tables:
+            lines.append(table)
+            lines.append("")
+        if self.checks:
+            lines.append("checks:")
+            for name, ok in self.checks.items():
+                lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+ExperimentFn = Callable[..., ExperimentResult]
+
+_REGISTRY: dict[str, tuple[str, ExperimentFn]] = {}
+
+
+def experiment(experiment_id: str, title: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Register ``fn`` as the reproduction of paper artifact ``experiment_id``."""
+
+    def decorator(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in _REGISTRY:
+            raise InvalidParameterError(
+                f"experiment {experiment_id!r} registered twice"
+            )
+        _REGISTRY[experiment_id] = (title, fn)
+        return fn
+
+    return decorator
+
+
+def all_experiments() -> Iterator[tuple[str, str]]:
+    """Yield ``(experiment_id, title)`` pairs in registration order."""
+    for experiment_id, (title, _fn) in _REGISTRY.items():
+        yield experiment_id, title
+
+
+def get_experiment(experiment_id: str) -> ExperimentFn:
+    """The callable registered under ``experiment_id``."""
+    try:
+        return _REGISTRY[experiment_id][1]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise InvalidParameterError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs: object) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(**kwargs)

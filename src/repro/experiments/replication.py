@@ -1,0 +1,79 @@
+"""Multi-seed replication of simulation experiments.
+
+Single simulation runs carry Monte-Carlo noise; the replication harness
+re-runs a configuration over independent seeds and reports the mean and a
+Student-t confidence interval for each summary metric, so EXPERIMENTS.md can
+state paper-vs-measured with error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.sim.results import SimulationResult, mean_confidence_interval
+from repro.util.validation import check_positive_int
+
+__all__ = ["ReplicatedMetric", "ReplicationReport", "replicate"]
+
+
+@dataclass(frozen=True)
+class ReplicatedMetric:
+    """Mean and confidence interval of one metric across seeds."""
+
+    name: str
+    mean: float
+    lo: float
+    hi: float
+    n_seeds: int
+
+    @property
+    def half_width(self) -> float:
+        """Half-width of the confidence interval."""
+        return (self.hi - self.lo) / 2.0
+
+
+@dataclass(frozen=True)
+class ReplicationReport:
+    """All replicated metrics of one configuration."""
+
+    metrics: Mapping[str, ReplicatedMetric]
+    results: tuple[SimulationResult, ...]
+
+    def __getitem__(self, name: str) -> ReplicatedMetric:
+        return self.metrics[name]
+
+    def rows(self, names: Sequence[str]) -> list[tuple[str, float, float, float]]:
+        """Table rows ``(name, mean, lo, hi)`` for the given metrics."""
+        return [
+            (n, self.metrics[n].mean, self.metrics[n].lo, self.metrics[n].hi)
+            for n in names
+        ]
+
+
+def replicate(
+    run: Callable[[int], SimulationResult],
+    seeds: Sequence[int] | int = 5,
+    confidence: float = 0.95,
+) -> ReplicationReport:
+    """Run ``run(seed)`` per seed and aggregate the summary metrics.
+
+    ``seeds`` may be an explicit sequence or a count (seeds ``0..n-1``).
+    """
+    if isinstance(seeds, int):
+        check_positive_int(seeds, "seeds")
+        seeds = list(range(seeds))
+    results = [run(int(seed)) for seed in seeds]
+    if not results:
+        raise ValueError("at least one seed required")
+    names = results[0].summary().keys()
+    metrics: dict[str, ReplicatedMetric] = {}
+    for name in names:
+        samples = np.array([r.summary()[name] for r in results], dtype=float)
+        mean, lo, hi = mean_confidence_interval(samples, confidence)
+        metrics[name] = ReplicatedMetric(
+            name=name, mean=mean, lo=lo, hi=hi, n_seeds=len(results)
+        )
+    return ReplicationReport(metrics=metrics, results=tuple(results))

@@ -1,0 +1,38 @@
+"""Run experiments and render a combined report."""
+
+from __future__ import annotations
+
+from typing import Iterable, TextIO
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiments,
+    run_experiment,
+)
+
+__all__ = ["run_all", "render_report"]
+
+
+def run_all(
+    experiment_ids: Iterable[str] | None = None,
+) -> list[ExperimentResult]:
+    """Run the given experiments (default: every registered one), in order."""
+    ids = list(experiment_ids) if experiment_ids else [
+        eid for eid, _title in all_experiments()
+    ]
+    return [run_experiment(eid) for eid in ids]
+
+
+def render_report(results: Iterable[ExperimentResult], out: TextIO) -> bool:
+    """Write each experiment's report block; returns overall pass/fail."""
+    results = list(results)
+    all_ok = True
+    for res in results:
+        out.write(res.render())
+        out.write("\n\n")
+        all_ok &= res.passed
+    passed = sum(1 for r in results if r.passed)
+    out.write(
+        f"{passed}/{len(results)} experiments passed all checks\n"
+    )
+    return all_ok

@@ -1,0 +1,180 @@
+"""Complexity-claim experiments (paper Sections III–IV conclusions).
+
+Three claims are measured with wall-clock timings on identical instances:
+
+* ``CPLX-K`` — fast FA grows linearly in ``k``; fast BFA linearly in ``d·k``.
+* ``CPLX-N`` — per-output scheduling cost is flat in the interconnect size
+  ``N`` (only the request counts, not the graph, depend on ``N``), while the
+  global Hopcroft–Karp baseline on the whole-interconnect request graph
+  grows superlinearly.
+* ``CPLX-HK`` — on one output's request graph, FA/BFA vs Hopcroft–Karp.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.instances import (
+    random_circular_instance,
+    random_noncircular_instance,
+    random_request_vector,
+)
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.core.break_first_available import bfa_fast
+from repro.core.first_available import first_available_fast
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.graphs.conversion import CircularConversion
+from repro.graphs.request_graph import RequestGraph
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+
+__all__ = ["scaling_k", "scaling_n"]
+
+
+def _time_call(fn, *args, repeats: int = 5) -> float:
+    """Best-of-``repeats`` wall time in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@experiment("CPLX-K", "Runtime scaling in k and d (O(k) FA, O(dk) BFA)")
+def scaling_k(seed: int = 404, repeats: int = 5) -> ExperimentResult:
+    """Time fast FA over k and fast BFA over (k, d); check near-linear
+    growth (doubling k should well under-quadruple the time)."""
+    rng = make_rng(seed)
+    rows = []
+    fa_times = {}
+    for k in (256, 512, 1024, 2048, 4096):
+        vec = random_request_vector(k, 16, 0.9, rng)
+        avail = [True] * k
+        t = _time_call(first_available_fast, vec, avail, 2, 2, repeats=repeats)
+        fa_times[k] = t
+        rows.append(("FA", k, 5, t * 1e6))
+    bfa_times = {}
+    for k, d in ((256, 3), (512, 3), (1024, 3), (1024, 5), (1024, 9), (1024, 17)):
+        e = (d - 1) // 2
+        f = d - 1 - e
+        vec = random_request_vector(k, 16, 0.9, rng)
+        avail = [True] * k
+        t = _time_call(bfa_fast, vec, avail, e, f, repeats=repeats)
+        bfa_times[(k, d)] = t
+        rows.append(("BFA", k, d, t * 1e6))
+    table = format_table(
+        ["algorithm", "k", "d", "time (µs)"],
+        rows,
+        title="Fast scheduler runtime vs k and d",
+    )
+    # Linearity checks with generous slack (Python constant factors wobble).
+    checks = {
+        "FA: 8x k costs < 24x time": fa_times[2048] < 24 * fa_times[256],
+        "BFA: 4x k costs < 12x time (d=3)": bfa_times[(1024, 3)]
+        < 12 * bfa_times[(256, 3)],
+        "BFA: ~5.7x d costs < 17x time (k=1024)": bfa_times[(1024, 17)]
+        < 17 * bfa_times[(1024, 3)],
+    }
+    return ExperimentResult(
+        "CPLX-K", "Runtime scaling in k and d", (table,), checks
+    )
+
+
+@experiment("CPLX-N", "Independence of interconnect size N (distributed claim)")
+def scaling_n(seed: int = 505, repeats: int = 3) -> ExperimentResult:
+    """Per-output BFA time stays flat as N grows (request vectors saturate),
+    while global Hopcroft–Karp over all N·k requests grows superlinearly."""
+    rng = make_rng(seed)
+    k, e, f = 32, 1, 1
+    scheme = CircularConversion(k, e, f)
+    hk = HopcroftKarpScheduler()
+    rows = []
+    per_output_times = {}
+    global_times = {}
+    for n_fibers in (4, 16, 64, 256):
+        # One output fiber's view: request counts grow with N only until
+        # they saturate around `load`, so per-output work is flat.
+        vec = random_request_vector(k, n_fibers, 0.9, rng)
+        avail = [True] * k
+        t = _time_call(bfa_fast, vec, avail, e, f, repeats=repeats)
+        per_output_times[n_fibers] = t
+        # The centralized baseline must expand all requests of all outputs.
+        total_requests = 0
+        t_global = 0.0
+        for _o in range(n_fibers):
+            vec_o = random_request_vector(k, n_fibers, 0.9, rng)
+            rg = RequestGraph(scheme, vec_o)
+            total_requests += rg.n_requests
+            t0 = time.perf_counter()
+            hk.schedule(rg)
+            t_global += time.perf_counter() - t0
+        global_times[n_fibers] = t_global
+        rows.append(
+            (n_fibers, total_requests, t * 1e6, t_global * 1e3)
+        )
+    table = format_table(
+        ["N", "total requests", "per-output BFA (µs)", "global HK, all outputs (ms)"],
+        rows,
+        title="Distributed O(dk) per output vs centralized baseline, k=32, d=3",
+    )
+    checks = {
+        "per-output time flat in N (64x N costs < 4x time)": per_output_times[256]
+        < 4 * per_output_times[4],
+        "global baseline grows with N (64x N costs > 16x time)": global_times[256]
+        > 16 * global_times[4],
+    }
+    notes = (
+        "The paper's point: scheduling is per-output and O(dk) regardless of N; "
+        "a global matching pass costs at least linear in N·k.",
+    )
+    return ExperimentResult(
+        "CPLX-N", "Independence of N", (table,), checks, notes
+    )
+
+
+@experiment("CPLX-HK", "FA/BFA vs the Hopcroft-Karp baseline [1]")
+def versus_hopcroft(seed: int = 606, repeats: int = 3) -> ExperimentResult:
+    """Wall-clock of the O(k)/O(dk) algorithms vs Hopcroft–Karp on identical
+    request graphs (per output fiber)."""
+    rng = make_rng(seed)
+    hk = HopcroftKarpScheduler()
+    rows = []
+    speedups = []
+    for k, e, f, n_fibers in ((16, 1, 1, 16), (64, 1, 1, 32), (256, 2, 2, 32)):
+        rg_c = random_circular_instance(k, e, f, n_fibers=n_fibers, load=1.0, rng=rng)
+        rg_n = random_noncircular_instance(k, e, f, n_fibers=n_fibers, load=1.0, rng=rng)
+        t_fa = _time_call(
+            first_available_fast, rg_n.request_vector, rg_n.available, e, f,
+            repeats=repeats,
+        )
+        t_bfa = _time_call(
+            bfa_fast, rg_c.request_vector, rg_c.available, e, f, repeats=repeats
+        )
+        t_hk_c = _time_call(hk.schedule, rg_c, repeats=repeats)
+        t_hk_n = _time_call(hk.schedule, rg_n, repeats=repeats)
+        speedups.append(t_hk_c / t_bfa)
+        rows.append(
+            (
+                k,
+                e + f + 1,
+                rg_c.n_requests,
+                t_fa * 1e6,
+                t_bfa * 1e6,
+                t_hk_n * 1e6,
+                t_hk_c * 1e6,
+                t_hk_c / t_bfa,
+            )
+        )
+    table = format_table(
+        ["k", "d", "requests", "FA (µs)", "BFA (µs)", "HK non-circ (µs)",
+         "HK circ (µs)", "BFA speedup"],
+        rows,
+        title="Distributed algorithms vs general maximum matching (load 1.0)",
+    )
+    checks = {
+        "BFA beats Hopcroft-Karp on every size": all(s > 1.0 for s in speedups),
+    }
+    return ExperimentResult(
+        "CPLX-HK", "Versus the Hopcroft-Karp baseline", (table,), checks
+    )

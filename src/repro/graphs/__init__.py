@@ -1,0 +1,48 @@
+"""Graph substrate: bipartite graphs, matchings, conversion graphs, request
+graphs, convex-bipartite machinery (Glover's algorithm), crossing edges and
+graph breaking, and a from-scratch Hopcroft--Karp baseline."""
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.breaking import BrokenGraph, break_graph
+from repro.graphs.conversion import (
+    CircularConversion,
+    ConversionScheme,
+    FullRangeConversion,
+    NonCircularConversion,
+)
+from repro.graphs.convex import (
+    ConvexInstance,
+    first_available_convex,
+    glover_maximum_matching,
+    is_convex_in_order,
+)
+from repro.graphs.crossing import (
+    crosses,
+    crossing_pairs,
+    has_crossing_edges,
+    uncross_matching,
+)
+from repro.graphs.hopcroft_karp import hopcroft_karp
+from repro.graphs.matching import Matching
+from repro.graphs.request_graph import RequestGraph
+
+__all__ = [
+    "BipartiteGraph",
+    "Matching",
+    "hopcroft_karp",
+    "ConversionScheme",
+    "CircularConversion",
+    "NonCircularConversion",
+    "FullRangeConversion",
+    "RequestGraph",
+    "ConvexInstance",
+    "is_convex_in_order",
+    "glover_maximum_matching",
+    "first_available_convex",
+    "crosses",
+    "crossing_pairs",
+    "has_crossing_edges",
+    "uncross_matching",
+    "break_graph",
+    "BrokenGraph",
+]

@@ -1,0 +1,192 @@
+"""Explicit bipartite graphs.
+
+The *reference* implementations of every algorithm in this library operate on
+:class:`BipartiteGraph`; the *fast* request-vector implementations in
+:mod:`repro.core` are cross-validated against them.  Left vertices are the
+integers ``0..n_left-1`` and right vertices ``0..n_right-1``; an edge is the
+pair ``(a, b)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidGraphError
+from repro.util.validation import check_nonnegative_int
+
+__all__ = ["BipartiteGraph"]
+
+
+class BipartiteGraph:
+    """A bipartite graph with integer-indexed sides.
+
+    Adjacency is stored per side as sorted tuples so iteration order is
+    deterministic (left neighbours of a right vertex ascend, matching the
+    paper's "first vertex in A adjacent to b" selection).
+
+    Parameters
+    ----------
+    n_left, n_right:
+        Number of vertices on each side.
+    edges:
+        Iterable of ``(a, b)`` pairs with ``0 <= a < n_left`` and
+        ``0 <= b < n_right``.  Duplicate edges are rejected.
+    """
+
+    __slots__ = ("_n_left", "_n_right", "_adj_left", "_adj_right", "_edges")
+
+    def __init__(
+        self, n_left: int, n_right: int, edges: Iterable[tuple[int, int]] = ()
+    ) -> None:
+        self._n_left = check_nonnegative_int(n_left, "n_left")
+        self._n_right = check_nonnegative_int(n_right, "n_right")
+        adj_left: list[list[int]] = [[] for _ in range(self._n_left)]
+        adj_right: list[list[int]] = [[] for _ in range(self._n_right)]
+        edge_set: set[tuple[int, int]] = set()
+        for a, b in edges:
+            if not 0 <= a < self._n_left:
+                raise InvalidGraphError(
+                    f"left endpoint {a} outside [0, {self._n_left})"
+                )
+            if not 0 <= b < self._n_right:
+                raise InvalidGraphError(
+                    f"right endpoint {b} outside [0, {self._n_right})"
+                )
+            if (a, b) in edge_set:
+                raise InvalidGraphError(f"duplicate edge ({a}, {b})")
+            edge_set.add((a, b))
+            adj_left[a].append(b)
+            adj_right[b].append(a)
+        self._adj_left = tuple(tuple(sorted(nbrs)) for nbrs in adj_left)
+        self._adj_right = tuple(tuple(sorted(nbrs)) for nbrs in adj_right)
+        self._edges = frozenset(edge_set)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def n_left(self) -> int:
+        """Number of left-side vertices (connection requests)."""
+        return self._n_left
+
+    @property
+    def n_right(self) -> int:
+        """Number of right-side vertices (output wavelength channels)."""
+        return self._n_right
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def edges(self) -> frozenset[tuple[int, int]]:
+        """The edge set as a frozenset of ``(left, right)`` pairs."""
+        return self._edges
+
+    def iter_edges_sorted(self) -> Iterator[tuple[int, int]]:
+        """Edges in lexicographic ``(left, right)`` order."""
+        return iter(sorted(self._edges))
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Whether edge ``(a, b)`` exists."""
+        return (a, b) in self._edges
+
+    def neighbors_of_left(self, a: int) -> tuple[int, ...]:
+        """Sorted right neighbours of left vertex ``a`` (the paper's B(a))."""
+        return self._adj_left[a]
+
+    def neighbors_of_right(self, b: int) -> tuple[int, ...]:
+        """Sorted left neighbours of right vertex ``b``."""
+        return self._adj_right[b]
+
+    def degree_left(self, a: int) -> int:
+        """Degree of left vertex ``a``."""
+        return len(self._adj_left[a])
+
+    def degree_right(self, b: int) -> int:
+        """Degree of right vertex ``b``."""
+        return len(self._adj_right[b])
+
+    # -- derived graphs ----------------------------------------------------
+
+    def induced_subgraph(
+        self, keep_left: Iterable[int], keep_right: Iterable[int]
+    ) -> tuple["BipartiteGraph", list[int], list[int]]:
+        """Subgraph induced by the given vertex subsets.
+
+        Vertices are renumbered consecutively in ascending original order.
+        Returns ``(subgraph, left_map, right_map)`` where ``left_map[i]`` is
+        the original index of new left vertex ``i`` (likewise for right).
+        """
+        left_map = sorted(set(keep_left))
+        right_map = sorted(set(keep_right))
+        for a in left_map:
+            if not 0 <= a < self._n_left:
+                raise InvalidGraphError(f"left vertex {a} outside graph")
+        for b in right_map:
+            if not 0 <= b < self._n_right:
+                raise InvalidGraphError(f"right vertex {b} outside graph")
+        left_inv = {orig: new for new, orig in enumerate(left_map)}
+        right_inv = {orig: new for new, orig in enumerate(right_map)}
+        sub_edges = [
+            (left_inv[a], right_inv[b])
+            for (a, b) in self._edges
+            if a in left_inv and b in right_inv
+        ]
+        return (
+            BipartiteGraph(len(left_map), len(right_map), sub_edges),
+            left_map,
+            right_map,
+        )
+
+    def without_edges(self, remove: Iterable[tuple[int, int]]) -> "BipartiteGraph":
+        """Copy of this graph with the given edges removed.
+
+        Raises :class:`InvalidGraphError` if an edge to remove is absent.
+        """
+        remove_set = set(remove)
+        missing = remove_set - self._edges
+        if missing:
+            raise InvalidGraphError(f"edges not in graph: {sorted(missing)}")
+        return BipartiteGraph(
+            self._n_left, self._n_right, self._edges - remove_set
+        )
+
+    def reorder(
+        self, left_order: list[int], right_order: list[int]
+    ) -> "BipartiteGraph":
+        """Relabel vertices: new vertex ``i`` is old ``left_order[i]`` etc.
+
+        Both orders must be permutations of their side's vertex range.  Used
+        by the breaking procedure's left-shift reordering (paper Fig. 5(b)).
+        """
+        if sorted(left_order) != list(range(self._n_left)):
+            raise InvalidGraphError("left_order is not a permutation")
+        if sorted(right_order) != list(range(self._n_right)):
+            raise InvalidGraphError("right_order is not a permutation")
+        left_inv = {orig: new for new, orig in enumerate(left_order)}
+        right_inv = {orig: new for new, orig in enumerate(right_order)}
+        return BipartiteGraph(
+            self._n_left,
+            self._n_right,
+            [(left_inv[a], right_inv[b]) for (a, b) in self._edges],
+        )
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BipartiteGraph):
+            return NotImplemented
+        return (
+            self._n_left == other._n_left
+            and self._n_right == other._n_right
+            and self._edges == other._edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n_left, self._n_right, self._edges))
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(n_left={self._n_left}, n_right={self._n_right}, "
+            f"n_edges={len(self._edges)})"
+        )

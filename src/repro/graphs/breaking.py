@@ -1,0 +1,141 @@
+"""Breaking a request graph at an edge (paper Definition 2, Lemma 2, Fig. 5).
+
+Breaking request graph ``G`` at edge ``a_i b_u`` removes ``a_i``, ``b_u``,
+their incident edges, and every edge that crosses ``a_i b_u``; the remaining
+vertices are then left-shifted so ``a_{i+1}`` and ``b_{u+1}`` come first.  In
+that ordering the reduced graph is convex with ``BEGIN``/``END`` monotone in
+left index (Lemma 2), so the First Available Algorithm applies.
+
+This module is the *reference* implementation operating on explicit graphs;
+the ``O(dk)`` request-vector version lives in
+:mod:`repro.core.break_first_available` and is cross-validated against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import InvalidParameterError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.convex import first_available_convex, is_convex_in_order
+from repro.graphs.crossing import crosses
+from repro.graphs.matching import Matching
+from repro.graphs.request_graph import RequestGraph
+
+__all__ = ["BrokenGraph", "break_graph"]
+
+
+@dataclass(frozen=True)
+class BrokenGraph:
+    """The reduced graph ``G'`` from breaking ``G`` at ``a_i b_u``.
+
+    Attributes
+    ----------
+    request_graph:
+        The original request graph ``G``.
+    breaking_edge:
+        The pair ``(i, u)`` in original indices.
+    left_order, right_order:
+        Original indices of the reduced graph's vertices in the Lemma-2
+        shifted order (``a_{i+1} ..`` then wrap; likewise channels).
+    reduced:
+        The reduced graph with vertices renumbered to shifted positions.
+    """
+
+    request_graph: RequestGraph
+    breaking_edge: tuple[int, int]
+    left_order: tuple[int, ...]
+    right_order: tuple[int, ...]
+    reduced: BipartiteGraph
+
+    @cached_property
+    def available_positions(self) -> tuple[int, ...]:
+        """Shifted positions of *available* channels, ascending.
+
+        Occupied channels (paper Section V) are removed as vertices in the
+        paper's construction; here they stay as isolated vertices, so
+        convexity and First Available are evaluated over this order.
+        """
+        available = self.request_graph.available
+        return tuple(
+            pos
+            for pos, orig in enumerate(self.right_order)
+            if available[orig]
+        )
+
+    @cached_property
+    def is_convex(self) -> bool:
+        """Lemma-2 check: the reduced graph is convex in the shifted order
+        of available channels."""
+        return is_convex_in_order(self.reduced, self.available_positions)
+
+    def intervals(self) -> list[tuple[int, int]]:
+        """Per-left ``(BEGIN, END)`` shifted positions; ``(1, 0)`` if isolated."""
+        out: list[tuple[int, int]] = []
+        for a in range(self.reduced.n_left):
+            nbrs = self.reduced.neighbors_of_left(a)
+            out.append((nbrs[0], nbrs[-1]) if nbrs else (1, 0))
+        return out
+
+    def solve(self) -> Matching:
+        """Maximum matching of the *original* graph through this break:
+        First Available on the reduced graph plus the breaking edge.
+
+        Optimal for the original graph whenever the breaking edge lies in
+        some no-crossing-edge maximum matching (Lemma 3); the Break-and-
+        First-Available scheduler guarantees this by trying all ``d`` breaks
+        of one pivot vertex (Lemma 4).
+        """
+        sub_matching = first_available_convex(
+            self.reduced, self.available_positions
+        )
+        pairs = [
+            (self.left_order[a], self.right_order[b]) for a, b in sub_matching
+        ]
+        pairs.append(self.breaking_edge)
+        return Matching(pairs)
+
+
+def break_graph(rg: RequestGraph, i: int, u: int) -> BrokenGraph:
+    """Break ``rg`` at edge ``a_i b_u`` (paper Definition 2).
+
+    ``(i, u)`` must be an edge of the request graph (conversion-adjacent and
+    ``b_u`` available).  Returns the reduced graph in the Lemma-2 shifted
+    ordering.
+    """
+    graph = rg.graph
+    if not 0 <= i < graph.n_left:
+        raise InvalidParameterError(f"left vertex {i} outside request graph")
+    if not 0 <= u < graph.n_right:
+        raise InvalidParameterError(f"channel {u} outside request graph")
+    if not graph.has_edge(i, u):
+        raise InvalidParameterError(
+            f"({i}, {u}) is not an edge of the request graph "
+            "(not conversion-adjacent, or channel occupied)"
+        )
+
+    n_left, k = graph.n_left, graph.n_right
+    removed = {
+        (j, v)
+        for (j, v) in graph.edges()
+        if j == i or v == u or crosses(rg, (j, v), (i, u))
+    }
+    kept = graph.edges() - removed
+
+    left_order = tuple(range(i + 1, n_left)) + tuple(range(i))
+    right_order = tuple(range(u + 1, k)) + tuple(range(u))
+    left_pos = {orig: new for new, orig in enumerate(left_order)}
+    right_pos = {orig: new for new, orig in enumerate(right_order)}
+    reduced = BipartiteGraph(
+        n_left - 1,
+        k - 1,
+        [(left_pos[a], right_pos[b]) for (a, b) in kept],
+    )
+    return BrokenGraph(
+        request_graph=rg,
+        breaking_edge=(i, u),
+        left_order=left_order,
+        right_order=right_order,
+        reduced=reduced,
+    )

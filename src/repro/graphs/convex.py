@@ -1,0 +1,247 @@
+"""Convex bipartite graphs and Glover's algorithm (paper Section III, Table 1).
+
+A bipartite graph is *convex* if there is an ordering of the right side such
+that every left vertex's adjacency set ``B(a)`` is an interval
+``[BEGIN(a), END(a)]`` of that ordering.  Request graphs under non-circular
+symmetrical conversion are convex (paper Section III), as are the reduced
+graphs produced by breaking a circular request graph (paper Lemma 2).
+
+Three solvers are provided:
+
+* :func:`glover_maximum_matching` — Table 1 verbatim on an explicit graph:
+  each right vertex is matched to the adjacent unmatched left vertex with the
+  smallest ``END`` value.
+* :func:`first_available_convex` — Table 2 verbatim on an explicit graph:
+  each right vertex is matched to the *first* adjacent unmatched left vertex.
+  Maximum when ``BEGIN``/``END`` are monotone in left index (Theorem 1).
+* :func:`ConvexInstance.solve` — interval-form Glover with a heap,
+  ``O((n + k) log n)``, used by fast schedulers and property tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import InvalidParameterError, NotConvexError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.matching import Matching
+
+__all__ = [
+    "is_convex_in_order",
+    "glover_maximum_matching",
+    "first_available_convex",
+    "ConvexInstance",
+]
+
+
+def _resolve_right_order(
+    graph: BipartiteGraph, right_order: Sequence[int] | None
+) -> list[int]:
+    if right_order is None:
+        return list(range(graph.n_right))
+    order = [int(b) for b in right_order]
+    if sorted(set(order)) != sorted(order):
+        raise InvalidParameterError("right_order contains duplicates")
+    for b in order:
+        if not 0 <= b < graph.n_right:
+            raise InvalidParameterError(f"right vertex {b} outside graph")
+    return order
+
+
+def _interval_form(
+    graph: BipartiteGraph, order: list[int]
+) -> list[tuple[int, int]]:
+    """Per-left (BEGIN, END) positions in ``order``; (1, 0) marks empty.
+
+    Raises :class:`NotConvexError` if some adjacency set is not an interval
+    of ``order`` (including the case of edges to vertices outside ``order``).
+    """
+    pos = {b: p for p, b in enumerate(order)}
+    intervals: list[tuple[int, int]] = []
+    for a in range(graph.n_left):
+        nbrs = graph.neighbors_of_left(a)
+        if not nbrs:
+            intervals.append((1, 0))
+            continue
+        try:
+            positions = sorted(pos[b] for b in nbrs)
+        except KeyError as exc:
+            raise NotConvexError(
+                f"left vertex {a} adjacent to right vertex {exc.args[0]} "
+                "outside the given ordering"
+            ) from None
+        lo, hi = positions[0], positions[-1]
+        if hi - lo + 1 != len(positions):
+            raise NotConvexError(
+                f"adjacency of left vertex {a} is not an interval: "
+                f"positions {positions}"
+            )
+        intervals.append((lo, hi))
+    return intervals
+
+
+def is_convex_in_order(
+    graph: BipartiteGraph, right_order: Sequence[int] | None = None
+) -> bool:
+    """Whether every left adjacency set is an interval of ``right_order``.
+
+    ``right_order`` defaults to the natural order ``0..n_right-1``.  When a
+    subset order is given, any edge to a right vertex outside it makes the
+    answer ``False``.
+    """
+    order = _resolve_right_order(graph, right_order)
+    try:
+        _interval_form(graph, order)
+    except NotConvexError:
+        return False
+    return True
+
+
+def glover_maximum_matching(
+    graph: BipartiteGraph, right_order: Sequence[int] | None = None
+) -> Matching:
+    """Glover's algorithm (paper Table 1), verbatim on an explicit graph.
+
+    For each right vertex in ``right_order``, among adjacent unmatched left
+    vertices pick the one whose interval ``END``s earliest (ties broken by
+    left index).  Returns a maximum matching when the graph is convex in
+    ``right_order`` (checked; raises :class:`NotConvexError` otherwise).
+    """
+    order = _resolve_right_order(graph, right_order)
+    intervals = _interval_form(graph, order)
+    matched: set[int] = set()
+    pairs: list[tuple[int, int]] = []
+    for b in order:
+        candidates = [a for a in graph.neighbors_of_right(b) if a not in matched]
+        if not candidates:
+            continue  # the paper's MATCH[i] := ∅
+        j = min(candidates, key=lambda a: (intervals[a][1], a))
+        matched.add(j)  # "delete j from A"
+        pairs.append((j, b))
+    return Matching(pairs)
+
+
+def first_available_convex(
+    graph: BipartiteGraph, right_order: Sequence[int] | None = None
+) -> Matching:
+    """First Available Algorithm (paper Table 2), verbatim on an explicit
+    graph: each right vertex matches the lowest-index adjacent unmatched left
+    vertex.
+
+    This is maximum for request graphs of non-circular symmetrical conversion
+    (paper Theorem 1) and for reduced graphs in their shifted ordering (paper
+    Lemma 2); for an arbitrary convex graph it may be suboptimal.
+    """
+    order = _resolve_right_order(graph, right_order)
+    matched: set[int] = set()
+    pairs: list[tuple[int, int]] = []
+    for b in order:
+        for a in graph.neighbors_of_right(b):  # ascending left index
+            if a not in matched:
+                matched.add(a)
+                pairs.append((a, b))
+                break
+    return Matching(pairs)
+
+
+@dataclass(frozen=True)
+class ConvexInstance:
+    """A convex bipartite instance in interval form.
+
+    ``intervals[a] = (begin, end)`` gives left vertex ``a``'s adjacency as
+    positions in ``0..n_right-1``; ``end < begin`` marks an isolated left
+    vertex.  This is the representation the fast schedulers and the hardware
+    model reason about.
+    """
+
+    intervals: tuple[tuple[int, int], ...]
+    n_right: int
+
+    def __post_init__(self) -> None:
+        if self.n_right < 0:
+            raise InvalidParameterError(f"n_right must be >= 0, got {self.n_right}")
+        for a, (lo, hi) in enumerate(self.intervals):
+            if hi >= lo and not (0 <= lo and hi < self.n_right):
+                raise InvalidParameterError(
+                    f"interval {a} = [{lo}, {hi}] outside [0, {self.n_right})"
+                )
+
+    @property
+    def n_left(self) -> int:
+        """Number of left vertices."""
+        return len(self.intervals)
+
+    def to_graph(self) -> BipartiteGraph:
+        """Expand to an explicit :class:`BipartiteGraph`."""
+        edges = [
+            (a, b)
+            for a, (lo, hi) in enumerate(self.intervals)
+            for b in range(lo, hi + 1)
+        ]
+        return BipartiteGraph(self.n_left, self.n_right, edges)
+
+    def solve(self) -> Matching:
+        """Maximum matching via heap-based Glover, ``O((n + k) log n)``.
+
+        Left vertices are bucketed by ``BEGIN``; sweeping right positions in
+        ascending order, the active vertex with the smallest ``END`` is
+        matched (exactly Table 1's min-END rule).
+        """
+        by_begin: list[list[int]] = [[] for _ in range(self.n_right + 1)]
+        for a, (lo, hi) in enumerate(self.intervals):
+            if hi >= lo:
+                by_begin[lo].append(a)
+        heap: list[tuple[int, int]] = []  # (END, left index)
+        pairs: list[tuple[int, int]] = []
+        for b in range(self.n_right):
+            for a in by_begin[b]:
+                heapq.heappush(heap, (self.intervals[a][1], a))
+            # Drop vertices whose window has already closed.
+            while heap and heap[0][0] < b:
+                heapq.heappop(heap)
+            if heap:
+                _, a = heapq.heappop(heap)
+                pairs.append((a, b))
+        return Matching(pairs)
+
+    def solve_first_available(self) -> Matching:
+        """Maximum matching via the First Available rule on interval form.
+
+        Requires ``BEGIN`` and ``END`` to be monotone non-decreasing in left
+        index (the property Theorem 1 / Lemma 2 guarantee for request
+        graphs); raises :class:`NotConvexError` otherwise, because the rule
+        is only proven optimal under that property.
+
+        Runs in ``O(n + k)`` with a single advancing pointer.
+        """
+        last_lo, last_hi = None, None
+        for a, (lo, hi) in enumerate(self.intervals):
+            if hi < lo:
+                continue
+            if last_lo is not None and (lo < last_lo or hi < last_hi):
+                raise NotConvexError(
+                    f"BEGIN/END not monotone at left vertex {a}: "
+                    f"({lo}, {hi}) after ({last_lo}, {last_hi})"
+                )
+            last_lo, last_hi = lo, hi
+
+        # Under monotone BEGIN/END the first adjacent unmatched left vertex is
+        # always the vertex at a single advancing pointer: everything before
+        # it is matched, empty, or permanently expired (END < current b), and
+        # if the pointer vertex BEGINs after b then so does every later one.
+        pairs: list[tuple[int, int]] = []
+        ptr = 0
+        n = self.n_left
+        for b in range(self.n_right):
+            while ptr < n:
+                lo, hi = self.intervals[ptr]
+                if hi < lo or hi < b:  # isolated or expired: skip forever
+                    ptr += 1
+                    continue
+                break
+            if ptr < n and self.intervals[ptr][0] <= b:
+                pairs.append((ptr, b))
+                ptr += 1
+        return Matching(pairs)

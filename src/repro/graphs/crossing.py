@@ -1,0 +1,166 @@
+"""Crossing edges (paper Definition 1) and the Lemma-1 uncrossing procedure.
+
+Two request-graph edges "cross" when they connect in the pattern that the
+breaking procedure of Section IV must eliminate.  With the reference edge
+``a_i b_u`` written as ``u = W(i) + t`` (``t ∈ [-e, f]``) and the other edge
+``a_j b_v`` as ``W(j) = W(i) + s``, ``v = W(i) + p`` (all mod ``k``),
+Definition 1 reads:
+
+* Case 1.1 (``s ∈ [t-f+1, -1]``): crosses iff ``p ∈ [t+1, s+f]``.
+* Case 1.2 (``s ∈ [1, t-1+e]``):  crosses iff ``p ∈ [s-e, t-1]``.
+* Case 2.1 (``s = 0``, ``j < i``): crosses iff ``p ∈ [t+1, f]``.
+* Case 2.2 (``s = 0``, ``j > i``): crosses iff ``p ∈ [-e, t-1]``.
+
+The windows are narrower than ``k`` (they span at most ``d-1 < k`` integers),
+so the signed representatives ``s``, ``t``, ``p`` are unique; this module
+computes them with :func:`repro.util.intervals.canonical_signed_residue`,
+which is exactly the paper's "all numbers inside this interval are mod k"
+convention made explicit.
+
+Lemma 1 shows any crossing pair inside a matching can be swapped
+(``{a_i b_u, a_j b_v} → {a_i b_v, a_j b_u}``) without losing cardinality;
+:func:`uncross_matching` applies this to a fixpoint.  Termination (which the
+paper leaves implicit) follows from a potential argument: writing each
+matched edge's conversion offset ``p = channel - W(request) (mod k,
+canonical)``, a Case-1 swap strictly decreases ``Σ p²`` (the offset change is
+``2 s (p - t) < 0`` in both sub-cases), while a Case-2 swap permutes offsets
+within one wavelength group and strictly decreases the group's inversion
+count.  The lexicographic pair ``(Σ p², inversions)`` therefore strictly
+decreases each step.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.errors import (
+    InvalidParameterError,
+    UncrossingDidNotConvergeError,
+)
+from repro.graphs.matching import Matching
+from repro.graphs.request_graph import RequestGraph
+from repro.util.intervals import canonical_signed_residue
+
+__all__ = ["crosses", "crossing_pairs", "has_crossing_edges", "uncross_matching"]
+
+
+def _edge_offset(rg: RequestGraph, a: int, b: int) -> int:
+    """Canonical conversion offset ``t ∈ [-e, f]`` of edge ``(a, b)``.
+
+    Raises :class:`InvalidParameterError` if ``(a, b)`` is not a conversion
+    edge (``b`` outside the adjacency window of ``W(a)``).
+    """
+    scheme = rg.scheme
+    w = rg.wavelength_of(a)
+    t = canonical_signed_residue(b - w, scheme.k, -scheme.e, scheme.f)
+    if t is None:
+        raise InvalidParameterError(
+            f"({a}, {b}) is not a conversion edge: channel {b} outside "
+            f"[{w - scheme.e}, {w + scheme.f}] mod {scheme.k}"
+        )
+    return t
+
+
+def crosses(
+    rg: RequestGraph, other: tuple[int, int], reference: tuple[int, int]
+) -> bool:
+    """Whether edge ``other = a_j b_v`` crosses ``reference = a_i b_u``
+    (paper Definition 1).
+
+    Both must be conversion edges of ``rg``'s scheme.  The relation is used
+    directionally by the breaking procedure ("all edges that cross the
+    breaking edge"); for matched pairs it is symmetric.
+    """
+    j, v = other
+    i, u = reference
+    scheme = rg.scheme
+    k, e, f = scheme.k, scheme.e, scheme.f
+    w_i = rg.wavelength_of(i)
+    w_j = rg.wavelength_of(j)
+    t = _edge_offset(rg, i, u)
+    _edge_offset(rg, j, v)  # validate `other` too
+    if (j, v) == (i, u):
+        return False
+
+    if w_j != w_i:
+        # Case 1.1: W(j) in [u-f+1, W(i)-1] i.e. s in [t-f+1, -1].
+        s = canonical_signed_residue(w_j - w_i, k, t - f + 1, -1)
+        if s is not None:
+            # v in [u+1, W(j)+f] i.e. p in [t+1, s+f].
+            return canonical_signed_residue(v - w_i, k, t + 1, s + f) is not None
+        # Case 1.2: W(j) in [W(i)+1, u-1+e] i.e. s in [1, t-1+e].
+        s = canonical_signed_residue(w_j - w_i, k, 1, t - 1 + e)
+        if s is not None:
+            # v in [W(j)-e, u-1] i.e. p in [s-e, t-1].
+            return canonical_signed_residue(v - w_i, k, s - e, t - 1) is not None
+        return False
+
+    # Case 2: same wavelength.
+    if j < i:
+        # v in [u+1, W(j)+f] i.e. p in [t+1, f].
+        return canonical_signed_residue(v - w_i, k, t + 1, f) is not None
+    if j > i:
+        # v in [W(j)-e, u-1] i.e. p in [-e, t-1].
+        return canonical_signed_residue(v - w_i, k, -e, t - 1) is not None
+    return False  # same left vertex, different channel: not crossing
+
+
+def crossing_pairs(
+    rg: RequestGraph, matching: Matching
+) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+    """All ordered pairs ``(other, reference)`` of matched edges where
+    ``other`` crosses ``reference``."""
+    edges = sorted(matching.pairs)
+    return [
+        (x, y) for x, y in permutations(edges, 2) if crosses(rg, x, y)
+    ]
+
+
+def has_crossing_edges(rg: RequestGraph, matching: Matching) -> bool:
+    """Whether any matched edge crosses another (the paper's
+    "no-crossing-edge matching" test, negated)."""
+    edges = sorted(matching.pairs)
+    return any(
+        crosses(rg, x, y) for x, y in permutations(edges, 2)
+    )
+
+
+def uncross_matching(
+    rg: RequestGraph, matching: Matching, max_iter: int | None = None
+) -> Matching:
+    """Apply Lemma 1 until the matching has no crossing edges.
+
+    Each step finds a matched pair where one edge crosses the other and swaps
+    their channels.  The result has the same cardinality and no crossing
+    edges; every intermediate matching is validated against the request
+    graph.
+
+    ``max_iter`` guards against a defect in the crossing predicate (the
+    procedure itself provably terminates — see module docstring); the default
+    bound is derived from the potential function.
+    """
+    matching.validate_against(rg.graph)
+    m = len(matching)
+    if max_iter is None:
+        span = max(rg.scheme.e, rg.scheme.f) + 1
+        max_iter = (m * span * span + 1) * (m * m + 1) + 8
+
+    current = matching
+    for _ in range(max_iter):
+        pair = next(
+            (
+                (x, y)
+                for x, y in permutations(sorted(current.pairs), 2)
+                if crosses(rg, x, y)
+            ),
+            None,
+        )
+        if pair is None:
+            return current
+        (j, v), (i, u) = pair
+        new_pairs = set(current.pairs) - {(j, v), (i, u)} | {(i, v), (j, u)}
+        current = Matching(new_pairs)
+        current.validate_against(rg.graph)  # Lemma 1: swapped edges exist
+    raise UncrossingDidNotConvergeError(
+        f"uncrossing did not converge within {max_iter} iterations"
+    )

@@ -1,0 +1,94 @@
+"""Hopcroft–Karp maximum bipartite matching, implemented from scratch.
+
+This is the paper's baseline [1] ("An n^{5/2} algorithm for maximum matchings
+in bipartite graphs", Hopcroft & Karp 1973), with time complexity
+``O(sqrt(n) * (m + n))``.  Applied directly to a request graph with ``Nk``
+left vertices it costs ``O(N^{3/2} k^{3/2} d)`` — the figure the paper's
+``O(k)``/``O(dk)`` distributed algorithms are compared against.
+
+The implementation is iterative (no recursion-depth limits) and deterministic:
+free vertices and adjacency are scanned in ascending index order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.matching import Matching
+
+__all__ = ["hopcroft_karp"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(graph: BipartiteGraph) -> Matching:
+    """Compute a maximum matching of ``graph``.
+
+    Returns a :class:`Matching`; its cardinality is the maximum over all
+    matchings of ``graph``.
+    """
+    n_left = graph.n_left
+    match_left: list[int] = [-1] * n_left  # left -> right or -1
+    match_right: list[int] = [-1] * graph.n_right  # right -> left or -1
+    dist: list[float] = [0.0] * n_left
+
+    def bfs() -> bool:
+        """Layer free left vertices; True iff an augmenting path exists."""
+        queue: deque[int] = deque()
+        for a in range(n_left):
+            if match_left[a] == -1:
+                dist[a] = 0.0
+                queue.append(a)
+            else:
+                dist[a] = _INF
+        found = False
+        while queue:
+            a = queue.popleft()
+            for b in graph.neighbors_of_left(a):
+                partner = match_right[b]
+                if partner == -1:
+                    found = True
+                elif dist[partner] == _INF:
+                    dist[partner] = dist[a] + 1.0
+                    queue.append(partner)
+        return found
+
+    def dfs(root: int) -> bool:
+        """Iterative DFS along the BFS layering, augmenting if possible."""
+        # Stack entries: (left vertex, index into its adjacency tuple).
+        stack: list[tuple[int, int]] = [(root, 0)]
+        path: list[tuple[int, int]] = []  # (left, right) edges along the path
+        while stack:
+            a, idx = stack[-1]
+            nbrs = graph.neighbors_of_left(a)
+            if idx >= len(nbrs):
+                # Exhausted: mark dead and backtrack.
+                dist[a] = _INF
+                stack.pop()
+                if path:
+                    path.pop()
+                continue
+            stack[-1] = (a, idx + 1)
+            b = nbrs[idx]
+            partner = match_right[b]
+            if partner == -1:
+                # Augment along the recorded path plus this final edge.
+                path.append((a, b))
+                for pa, pb in path:
+                    match_left[pa] = pb
+                    match_right[pb] = pa
+                return True
+            if dist[partner] == dist[a] + 1.0:
+                path.append((a, b))
+                stack.append((partner, 0))
+        return False
+
+    while bfs():
+        for a in range(n_left):
+            if match_left[a] == -1:
+                dfs(a)
+
+    return Matching(
+        (a, match_left[a]) for a in range(n_left) if match_left[a] != -1
+    )

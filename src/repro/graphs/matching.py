@@ -1,0 +1,163 @@
+"""Matchings in bipartite graphs.
+
+A wavelength assignment on one output fiber is exactly a matching in the
+request graph (paper Section II-B): edges must be vertex-disjoint because a
+request gets at most one channel and a channel serves at most one request.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidMatchingError
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["Matching"]
+
+
+class Matching:
+    """An immutable matching: a set of vertex-disjoint ``(left, right)`` edges.
+
+    Construction validates vertex-disjointness; :meth:`validate_against`
+    additionally checks every edge exists in a given graph, and
+    :meth:`is_maximum_in` produces an optimality certificate by searching for
+    an augmenting path.
+    """
+
+    __slots__ = ("_pairs", "_left_to_right", "_right_to_left")
+
+    def __init__(self, pairs: Iterable[tuple[int, int]]) -> None:
+        left_to_right: dict[int, int] = {}
+        right_to_left: dict[int, int] = {}
+        for a, b in pairs:
+            if a in left_to_right:
+                raise InvalidMatchingError(
+                    f"left vertex {a} matched twice ({left_to_right[a]} and {b})"
+                )
+            if b in right_to_left:
+                raise InvalidMatchingError(
+                    f"right vertex {b} matched twice ({right_to_left[b]} and {a})"
+                )
+            left_to_right[a] = b
+            right_to_left[b] = a
+        self._pairs = frozenset(left_to_right.items())
+        self._left_to_right = left_to_right
+        self._right_to_left = right_to_left
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def pairs(self) -> frozenset[tuple[int, int]]:
+        """The matched edges as a frozenset of ``(left, right)`` pairs."""
+        return self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(sorted(self._pairs))
+
+    def __contains__(self, edge: object) -> bool:
+        return edge in self._pairs
+
+    def right_of(self, a: int) -> int | None:
+        """Right partner of left vertex ``a`` or ``None`` if unmatched."""
+        return self._left_to_right.get(a)
+
+    def left_of(self, b: int) -> int | None:
+        """Left partner of right vertex ``b`` or ``None`` if unmatched."""
+        return self._right_to_left.get(b)
+
+    def matched_left(self) -> frozenset[int]:
+        """The saturated left vertices."""
+        return frozenset(self._left_to_right)
+
+    def matched_right(self) -> frozenset[int]:
+        """The saturated right vertices."""
+        return frozenset(self._right_to_left)
+
+    def match_array(self, n_right: int) -> list[int | None]:
+        """The paper's ``MATCH[]`` output array.
+
+        ``MATCH[i]`` is the left vertex matched to right vertex ``i`` or
+        ``None`` (the paper's ``∅``) when unmatched.
+        """
+        return [self._right_to_left.get(b) for b in range(n_right)]
+
+    # -- certificates --------------------------------------------------------
+
+    def validate_against(self, graph: BipartiteGraph) -> None:
+        """Raise :class:`InvalidMatchingError` unless every matched edge is an
+        edge of ``graph`` (vertex-disjointness already held at construction)."""
+        for a, b in self._pairs:
+            if not (0 <= a < graph.n_left and 0 <= b < graph.n_right):
+                raise InvalidMatchingError(
+                    f"matched edge ({a}, {b}) has a vertex outside the graph"
+                )
+            if not graph.has_edge(a, b):
+                raise InvalidMatchingError(
+                    f"matched edge ({a}, {b}) is not an edge of the graph"
+                )
+
+    def find_augmenting_path(self, graph: BipartiteGraph) -> list[int] | None:
+        """Find an augmenting path w.r.t. this matching, if one exists.
+
+        Returns an alternating vertex path ``[a0, b0, a1, b1, ..., bm]``
+        (left/right alternating, both endpoints unmatched), or ``None``.
+        By Berge's theorem the matching is maximum iff ``None`` is returned.
+        """
+        self.validate_against(graph)
+        for start in range(graph.n_left):
+            if start in self._left_to_right:
+                continue
+            # BFS over alternating paths from the free left vertex `start`.
+            parent_right: dict[int, int] = {}  # right vertex -> left predecessor
+            parent_left: dict[int, int] = {start: -1}  # left vertex -> right predecessor
+            queue: deque[int] = deque([start])
+            target: int | None = None
+            while queue and target is None:
+                a = queue.popleft()
+                for b in graph.neighbors_of_left(a):
+                    if b in parent_right:
+                        continue
+                    parent_right[b] = a
+                    partner = self._right_to_left.get(b)
+                    if partner is None:
+                        target = b
+                        break
+                    if partner not in parent_left:
+                        parent_left[partner] = b
+                        queue.append(partner)
+            if target is None:
+                continue
+            # Reconstruct the alternating path back to `start`.
+            path: list[int] = [target]
+            b = target
+            while True:
+                a = parent_right[b]
+                path.append(a)
+                if a == start:
+                    break
+                b = parent_left[a]
+                path.append(b)
+            path.reverse()
+            return path
+        return None
+
+    def is_maximum_in(self, graph: BipartiteGraph) -> bool:
+        """Whether this matching is maximum in ``graph`` (Berge certificate)."""
+        return self.find_augmenting_path(graph) is None
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matching):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __repr__(self) -> str:
+        return f"Matching({sorted(self._pairs)})"

@@ -1,0 +1,200 @@
+"""Request graphs (paper Section II-B).
+
+The requests destined to one output fiber in a slot form the *request graph*:
+left vertices are connection requests (ordered by their input wavelength
+index; same-wavelength requests in arbitrary but fixed order), right vertices
+are the output wavelength channels ``b_0 .. b_{k-1}``, and request ``a`` is
+adjacent to channel ``b`` iff the request's wavelength can be converted to
+``b``.  A *request vector* is the ``1 × k`` row vector whose ``i``-th entry
+counts the requests that arrived on ``λ_i``.
+
+The Section-V extension (some output channels occupied by ongoing multi-slot
+connections) is modelled by an availability mask: occupied right vertices and
+their incident edges are removed.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.conversion import ConversionScheme
+
+__all__ = ["RequestGraph"]
+
+
+def _normalize_request_vector(request_vector: Sequence[int], k: int) -> tuple[int, ...]:
+    vec = list(request_vector)
+    if len(vec) != k:
+        raise InvalidParameterError(
+            f"request vector has length {len(vec)}, expected k={k}"
+        )
+    out = []
+    for w, count in enumerate(vec):
+        if isinstance(count, bool) or int(count) != count or int(count) < 0:
+            raise InvalidParameterError(
+                f"request vector entry {w} must be a nonnegative integer, got {count!r}"
+            )
+        out.append(int(count))
+    return tuple(out)
+
+
+def _normalize_available(
+    available: Sequence[bool] | None, k: int
+) -> tuple[bool, ...]:
+    if available is None:
+        return (True,) * k
+    mask = [bool(x) for x in available]
+    if len(mask) != k:
+        raise InvalidParameterError(
+            f"availability mask has length {len(mask)}, expected k={k}"
+        )
+    return tuple(mask)
+
+
+class RequestGraph:
+    """The bipartite request graph of one output fiber.
+
+    Parameters
+    ----------
+    scheme:
+        Wavelength-conversion scheme of the interconnect.
+    request_vector:
+        Length-``k`` sequence; entry ``w`` counts requests arrived on ``λ_w``.
+    available:
+        Optional length-``k`` boolean mask; ``False`` marks output channels
+        occupied by ongoing connections (paper Section V).  Defaults to all
+        available.
+    """
+
+    def __init__(
+        self,
+        scheme: ConversionScheme,
+        request_vector: Sequence[int],
+        available: Sequence[bool] | None = None,
+    ) -> None:
+        self._scheme = scheme
+        self._request_vector = _normalize_request_vector(request_vector, scheme.k)
+        self._available = _normalize_available(available, scheme.k)
+
+    @classmethod
+    def from_wavelengths(
+        cls,
+        scheme: ConversionScheme,
+        wavelengths: Iterable[int],
+        available: Sequence[bool] | None = None,
+    ) -> "RequestGraph":
+        """Build from an iterable of per-request wavelength indexes."""
+        vec = [0] * scheme.k
+        for w in wavelengths:
+            if not 0 <= int(w) < scheme.k:
+                raise InvalidParameterError(
+                    f"request wavelength {w} outside [0, {scheme.k})"
+                )
+            vec[int(w)] += 1
+        return cls(scheme, vec, available)
+
+    # -- parameters -----------------------------------------------------------
+
+    @property
+    def scheme(self) -> ConversionScheme:
+        """The conversion scheme."""
+        return self._scheme
+
+    @property
+    def k(self) -> int:
+        """Number of output wavelength channels (right vertices incl. occupied)."""
+        return self._scheme.k
+
+    @property
+    def request_vector(self) -> tuple[int, ...]:
+        """The request vector (counts per input wavelength)."""
+        return self._request_vector
+
+    @property
+    def available(self) -> tuple[bool, ...]:
+        """Availability mask over output channels."""
+        return self._available
+
+    @property
+    def n_requests(self) -> int:
+        """Total number of connection requests (left vertices)."""
+        return sum(self._request_vector)
+
+    @property
+    def n_available(self) -> int:
+        """Number of available output channels."""
+        return sum(self._available)
+
+    # -- left-vertex view ------------------------------------------------------
+
+    @cached_property
+    def left_wavelengths(self) -> tuple[int, ...]:
+        """The paper's ``W(i)``: wavelength of each left vertex ``a_i``.
+
+        Left vertices are ordered by ascending wavelength index, matching the
+        paper's request-graph vertex ordering.
+        """
+        out: list[int] = []
+        for w, count in enumerate(self._request_vector):
+            out.extend([w] * count)
+        return tuple(out)
+
+    def wavelength_of(self, i: int) -> int:
+        """``W(i)`` — the wavelength index of left vertex ``a_i``."""
+        return self.left_wavelengths[i]
+
+    def adjacency_of_request(self, i: int) -> tuple[int, ...]:
+        """Sorted available output channels adjacent to left vertex ``a_i``."""
+        w = self.left_wavelengths[i]
+        return tuple(b for b in self._scheme.adjacency(w) if self._available[b])
+
+    # -- graph view --------------------------------------------------------------
+
+    @cached_property
+    def graph(self) -> BipartiteGraph:
+        """The explicit bipartite request graph.
+
+        Right vertices are always ``0..k-1``; occupied channels simply have
+        no incident edges (equivalent to the paper's removal of the vertex,
+        and keeps channel indexes stable).
+        """
+        edges: list[tuple[int, int]] = []
+        for i, w in enumerate(self.left_wavelengths):
+            for b in self._scheme.adjacency(w):
+                if self._available[b]:
+                    edges.append((i, b))
+        return BipartiteGraph(self.n_requests, self.k, edges)
+
+    def request_vector_array(self) -> np.ndarray:
+        """The request vector as an ``int64`` NumPy array (copy)."""
+        return np.asarray(self._request_vector, dtype=np.int64)
+
+    def available_array(self) -> np.ndarray:
+        """The availability mask as a boolean NumPy array (copy)."""
+        return np.asarray(self._available, dtype=bool)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RequestGraph):
+            return NotImplemented
+        return (
+            self._scheme == other._scheme
+            and self._request_vector == other._request_vector
+            and self._available == other._available
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._scheme, self._request_vector, self._available))
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestGraph(scheme={self._scheme!r}, "
+            f"request_vector={list(self._request_vector)}, "
+            f"n_available={self.n_available})"
+        )

@@ -1,0 +1,23 @@
+"""Register-transfer-level models of the paper's hardware schedulers.
+
+The paper argues its algorithms suit hardware: the request graph lives in an
+``Nk``-bit register, each First Available step is one constant-time clock
+cycle (priority encoders over ``k``-bit masks), and Break-and-First-Available
+runs either serially (``O(dk)`` cycles) or on ``d`` parallel units (``O(k)``
+cycles).  These models make the cycle counts explicit and are cross-validated
+bit-for-bit against the software schedulers."""
+
+from repro.hardware.bfa_unit import BreakFirstAvailableUnit, ParallelBFAUnit
+from repro.hardware.fa_unit import FirstAvailableUnit
+from repro.hardware.registers import BitVector, RequestRegister
+from repro.hardware.timing import CycleReport, estimate_time_us
+
+__all__ = [
+    "BitVector",
+    "RequestRegister",
+    "FirstAvailableUnit",
+    "BreakFirstAvailableUnit",
+    "ParallelBFAUnit",
+    "CycleReport",
+    "estimate_time_us",
+]

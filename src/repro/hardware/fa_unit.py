@@ -1,0 +1,141 @@
+"""First Available hardware unit: one output channel per clock cycle.
+
+Models the paper's Section-III hardware sketch: "we need only to find the
+first input wavelength that has at least one packet and can be converted to
+the current output wavelength … all this can be implemented in hardware and
+the execution time of each step would be a constant."  Each :meth:`step` is
+one clock cycle: a window mask, an AND plane, a priority encoder over the
+``k``-bit wavelength summary, a fiber-select encoder (fixed-priority or the
+round-robin pointer the paper recommends for fairness), and one register-bit
+clear.  A full schedule takes exactly ``k`` cycles — independent of both the
+interconnect size ``N`` and the conversion degree ``d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from repro.errors import HardwareModelError, InvalidParameterError
+from repro.hardware.registers import RequestRegister
+from repro.util.validation import check_nonnegative_int
+
+__all__ = ["HardwareGrant", "FirstAvailableUnit"]
+
+FiberSelect = Literal["fixed", "round-robin"]
+
+
+@dataclass(frozen=True, slots=True)
+class HardwareGrant:
+    """A grant issued by a hardware unit: which input channel got which
+    output channel, and on which clock cycle."""
+
+    input_fiber: int
+    wavelength: int
+    channel: int
+    cycle: int
+
+
+@dataclass
+class _UnitState:
+    cycle: int = 0
+    grants: list[HardwareGrant] = field(default_factory=list)
+
+
+class FirstAvailableUnit:
+    """``O(k)``-cycle First Available scheduler unit (non-circular windows).
+
+    Parameters
+    ----------
+    k, e, f:
+        Band size and conversion reach (non-circular clipped windows).
+    fiber_select:
+        How simultaneous same-wavelength requesters are arbitrated:
+        ``"fixed"`` (lowest fiber index) or ``"round-robin"`` (per-wavelength
+        rotating pointer, the paper's fairness recommendation).
+    """
+
+    def __init__(
+        self, k: int, e: int, f: int, fiber_select: FiberSelect = "fixed"
+    ) -> None:
+        self.k = k
+        self.e = check_nonnegative_int(e, "e")
+        self.f = check_nonnegative_int(f, "f")
+        if e + f + 1 > k:
+            raise InvalidParameterError(
+                f"conversion degree {e + f + 1} exceeds k={k}"
+            )
+        if fiber_select not in ("fixed", "round-robin"):
+            raise InvalidParameterError(
+                f"fiber_select must be 'fixed' or 'round-robin', got {fiber_select!r}"
+            )
+        self.fiber_select = fiber_select
+        self._rr_pointers: dict[int, int] = {}
+
+    def _select_fiber(self, register: RequestRegister, w: int) -> int:
+        if self.fiber_select == "fixed":
+            fiber = register.first_fiber_on_wavelength(w, 0)
+        else:
+            start = self._rr_pointers.get(w, 0) % register.n_fibers
+            fiber = register.first_fiber_on_wavelength(w, start)
+        if fiber is None:
+            raise HardwareModelError(
+                f"wavelength summary said λ{w} pending but no fiber bit set"
+            )
+        if self.fiber_select == "round-robin":
+            self._rr_pointers[w] = (fiber + 1) % register.n_fibers
+        return fiber
+
+    def run(
+        self,
+        register: RequestRegister,
+        available: Sequence[bool] | None = None,
+    ) -> tuple[list[HardwareGrant], int]:
+        """Run the full ``k``-cycle schedule for one output fiber.
+
+        ``register`` holds the slot's requests (bits are cleared as grants
+        are issued, as in the real datapath).  Returns the grants and the
+        cycle count, which is always exactly ``k``.
+        """
+        if register.k != self.k:
+            raise InvalidParameterError(
+                f"register is {register.k}-wavelength, unit is {self.k}"
+            )
+        if available is None:
+            available = [True] * self.k
+        if len(available) != self.k:
+            raise InvalidParameterError(
+                f"availability mask length {len(available)} != k={self.k}"
+            )
+        state = _UnitState()
+        for b in range(self.k):
+            self.step(register, b, bool(available[b]), state)
+        return state.grants, state.cycle
+
+    def step(
+        self,
+        register: RequestRegister,
+        channel: int,
+        channel_available: bool,
+        state: _UnitState,
+    ) -> HardwareGrant | None:
+        """One clock cycle: try to match output ``channel``.
+
+        Combinational path: wavelength summary → window mask
+        ``[channel - f, channel + e]`` → priority encoder → fiber select →
+        register clear.
+        """
+        state.cycle += 1
+        if not channel_available:
+            return None
+        summary = register.wavelength_summary()
+        w = summary.first_set(channel - self.f, channel + self.e)
+        if w is None:
+            return None
+        fiber = self._select_fiber(register, w)
+        register.clear(fiber, w)
+        grant = HardwareGrant(
+            input_fiber=fiber, wavelength=w, channel=channel, cycle=state.cycle
+        )
+        state.grants.append(grant)
+        return grant

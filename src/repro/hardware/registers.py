@@ -1,0 +1,227 @@
+"""Bit-level registers of the hardware scheduler (paper Section II-B).
+
+"The left side vertices of the request graph can be implemented by an
+``Nk × 1`` binary vector (an ``Nk``-bit register), with element
+``(i-1)k + j`` being 1 meaning ``λ_j`` on the i-th input fiber is destined
+for this output fiber" — :class:`RequestRegister` is that register, with the
+per-wavelength OR-reduction and priority encoding the First Available step
+needs, each modeled as a single-cycle combinational primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import HardwareModelError, InvalidParameterError
+from repro.util.validation import check_index, check_positive_int
+
+__all__ = ["BitVector", "RequestRegister"]
+
+
+class BitVector:
+    """A fixed-width bit register backed by a Python int.
+
+    Mutators return ``None``; combinational queries (:meth:`first_set`,
+    :meth:`popcount`, masking) model single-cycle datapath primitives
+    (priority encoders, adders, AND planes).
+    """
+
+    __slots__ = ("_width", "_bits")
+
+    def __init__(self, width: int, bits: int = 0) -> None:
+        self._width = check_positive_int(width, "width")
+        if bits < 0 or bits >> self._width:
+            raise InvalidParameterError(
+                f"bits value {bits:#x} does not fit in {self._width} bits"
+            )
+        self._bits = bits
+
+    @classmethod
+    def from_bools(cls, flags: Iterable[bool]) -> "BitVector":
+        """Build from an iterable of booleans (index 0 = LSB)."""
+        flags = list(flags)
+        bits = 0
+        for i, flag in enumerate(flags):
+            if flag:
+                bits |= 1 << i
+        return cls(max(1, len(flags)), bits)
+
+    @property
+    def width(self) -> int:
+        """Register width in bits."""
+        return self._width
+
+    @property
+    def bits(self) -> int:
+        """Raw register value."""
+        return self._bits
+
+    def get(self, i: int) -> bool:
+        """Read bit ``i``."""
+        check_index(i, self._width, "i")
+        return bool((self._bits >> i) & 1)
+
+    def set(self, i: int, value: bool = True) -> None:
+        """Write bit ``i``."""
+        check_index(i, self._width, "i")
+        if value:
+            self._bits |= 1 << i
+        else:
+            self._bits &= ~(1 << i)
+
+    def clear(self, i: int) -> None:
+        """Clear bit ``i``."""
+        self.set(i, False)
+
+    def popcount(self) -> int:
+        """Number of set bits (combinational adder tree)."""
+        return self._bits.bit_count()
+
+    def first_set(self, lo: int = 0, hi: int | None = None) -> int | None:
+        """Lowest set bit index in ``[lo, hi]`` (priority encoder), if any."""
+        hi = self._width - 1 if hi is None else hi
+        if lo < 0:
+            lo = 0
+        if hi >= self._width:
+            hi = self._width - 1
+        if hi < lo:
+            return None
+        span = hi - lo + 1
+        window = (self._bits >> lo) & ((1 << span) - 1)
+        if window == 0:
+            return None
+        return lo + (window & -window).bit_length() - 1
+
+    def masked(self, mask: int) -> "BitVector":
+        """AND with a raw mask (combinational)."""
+        return BitVector(self._width, self._bits & mask & ((1 << self._width) - 1))
+
+    def any(self) -> bool:
+        """Whether any bit is set."""
+        return self._bits != 0
+
+    def __iter__(self) -> Iterator[bool]:
+        for i in range(self._width):
+            yield bool((self._bits >> i) & 1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._width == other._width and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self._width, self._bits))
+
+    def __repr__(self) -> str:
+        return f"BitVector({self._width}, {self._bits:#x})"
+
+
+class RequestRegister:
+    """The ``Nk``-bit per-output request register (paper Section II-B).
+
+    Bit ``i * k + j`` set means "λ_j on input fiber ``i`` requests this
+    output fiber".  The register is loaded at the start of each slot and
+    bits are cleared as grants are issued.
+    """
+
+    def __init__(self, n_fibers: int, k: int) -> None:
+        self.n_fibers = check_positive_int(n_fibers, "n_fibers")
+        self.k = check_positive_int(k, "k")
+        self._reg = BitVector(self.n_fibers * self.k)
+
+    @classmethod
+    def from_requests(
+        cls, n_fibers: int, k: int, requests: Iterable[tuple[int, int]]
+    ) -> "RequestRegister":
+        """Load from ``(input_fiber, wavelength)`` pairs."""
+        reg = cls(n_fibers, k)
+        for fiber, w in requests:
+            reg.load(fiber, w)
+        return reg
+
+    def _bit(self, fiber: int, w: int) -> int:
+        check_index(fiber, self.n_fibers, "fiber")
+        check_index(w, self.k, "w")
+        return fiber * self.k + w
+
+    def load(self, fiber: int, w: int) -> None:
+        """Set the request bit for input channel ``(fiber, λ_w)``."""
+        bit = self._bit(fiber, w)
+        if self._reg.get(bit):
+            raise HardwareModelError(
+                f"input channel (fiber {fiber}, λ{w}) requested twice in one slot"
+            )
+        self._reg.set(bit)
+
+    def clear(self, fiber: int, w: int) -> None:
+        """Clear the request bit (the request was granted)."""
+        bit = self._bit(fiber, w)
+        if not self._reg.get(bit):
+            raise HardwareModelError(
+                f"granting input channel (fiber {fiber}, λ{w}) with no request"
+            )
+        self._reg.clear(bit)
+
+    def has_request(self, fiber: int, w: int) -> bool:
+        """Whether input channel ``(fiber, λ_w)`` holds a pending request."""
+        return self._reg.get(self._bit(fiber, w))
+
+    def any_on_wavelength(self, w: int) -> bool:
+        """OR-reduction across fibers for ``λ_w`` (combinational)."""
+        check_index(w, self.k, "w")
+        return any(
+            self._reg.get(fiber * self.k + w) for fiber in range(self.n_fibers)
+        )
+
+    def wavelength_summary(self) -> BitVector:
+        """``k``-bit vector: bit ``w`` set iff some fiber requests ``λ_w``.
+
+        In hardware this is ``N``-way OR per wavelength, evaluated
+        continuously; here it is recomputed on demand.
+        """
+        return BitVector.from_bools(
+            [self.any_on_wavelength(w) for w in range(self.k)]
+        )
+
+    def count_on_wavelength(self, w: int) -> int:
+        """Pending requests on ``λ_w`` across all fibers."""
+        check_index(w, self.k, "w")
+        return sum(
+            self._reg.get(fiber * self.k + w) for fiber in range(self.n_fibers)
+        )
+
+    def fibers_on_wavelength(self, w: int) -> list[int]:
+        """Fibers with a pending request on ``λ_w``, ascending."""
+        check_index(w, self.k, "w")
+        return [
+            fiber
+            for fiber in range(self.n_fibers)
+            if self._reg.get(fiber * self.k + w)
+        ]
+
+    def first_fiber_on_wavelength(
+        self, w: int, start: int = 0
+    ) -> int | None:
+        """Priority-encoded requesting fiber for ``λ_w``, searching
+        circularly from ``start`` (round-robin support)."""
+        check_index(w, self.k, "w")
+        check_index(start, self.n_fibers, "start")
+        for off in range(self.n_fibers):
+            fiber = (start + off) % self.n_fibers
+            if self._reg.get(fiber * self.k + w):
+                return fiber
+        return None
+
+    def pending(self) -> int:
+        """Total pending requests."""
+        return self._reg.popcount()
+
+    def snapshot(self) -> BitVector:
+        """Copy of the raw register."""
+        return BitVector(self._reg.width, self._reg.bits)
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestRegister(n_fibers={self.n_fibers}, k={self.k}, "
+            f"pending={self.pending()})"
+        )

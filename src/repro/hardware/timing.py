@@ -1,0 +1,50 @@
+"""Cycle accounting and real-time estimates for the hardware schedulers.
+
+The paper motivates its complexity bounds with slot timing: "the decision has
+to be made in real-time within a time slot, which is in the order of μs".
+:func:`estimate_time_us` converts a cycle count into microseconds at a given
+clock rate so the experiments can check which configurations fit a slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["CycleReport", "estimate_time_us"]
+
+#: A conservative early-2000s ASIC clock (the paper's era), in MHz.
+DEFAULT_CLOCK_MHZ = 200.0
+
+
+def estimate_time_us(cycles: int, clock_mhz: float = DEFAULT_CLOCK_MHZ) -> float:
+    """Wall-clock time of ``cycles`` at ``clock_mhz``, in microseconds."""
+    if cycles < 0:
+        raise InvalidParameterError(f"cycles must be >= 0, got {cycles}")
+    if clock_mhz <= 0:
+        raise InvalidParameterError(f"clock_mhz must be > 0, got {clock_mhz}")
+    return cycles / clock_mhz
+
+
+@dataclass(frozen=True, slots=True)
+class CycleReport:
+    """Cycle-count summary of one hardware scheduling run."""
+
+    algorithm: str
+    k: int
+    d: int
+    cycles: int
+    hardware_units: int = 1
+    clock_mhz: float = DEFAULT_CLOCK_MHZ
+
+    @property
+    def time_us(self) -> float:
+        """Scheduling latency in microseconds."""
+        return estimate_time_us(self.cycles, self.clock_mhz)
+
+    def fits_slot(self, slot_us: float) -> bool:
+        """Whether the decision completes within a ``slot_us``-long slot."""
+        if slot_us <= 0:
+            raise InvalidParameterError(f"slot_us must be > 0, got {slot_us}")
+        return self.time_us <= slot_us

@@ -1,0 +1,25 @@
+"""Datapath model of the paper's Fig. 1 interconnect: demultiplexers, a
+switching fabric, per-channel optical combiners, wavelength converters and
+multiplexers, with physical-feasibility checking of configured schedules."""
+
+from repro.interconnect.components import (
+    Combiner,
+    Demultiplexer,
+    Multiplexer,
+    OpticalSignal,
+    WavelengthConverter,
+)
+from repro.interconnect.fabric import CrosspointState, SwitchingFabric
+from repro.interconnect.interconnect import RoutedSignal, WDMInterconnect
+
+__all__ = [
+    "OpticalSignal",
+    "Demultiplexer",
+    "Combiner",
+    "WavelengthConverter",
+    "Multiplexer",
+    "SwitchingFabric",
+    "CrosspointState",
+    "WDMInterconnect",
+    "RoutedSignal",
+]

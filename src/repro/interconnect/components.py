@@ -1,0 +1,179 @@
+"""Optical components of the Fig. 1 datapath.
+
+Each component models the physical constraint the paper's architecture
+relies on:
+
+* a :class:`Demultiplexer` separates the ``k`` wavelength channels of an
+  input fiber — a fiber carries at most one signal per wavelength;
+* a :class:`Combiner` merges the ``N·d`` fabric outputs that can reach one
+  output channel — but "only one of them may carry signal at a time";
+* a :class:`WavelengthConverter` retunes the combined signal to the channel's
+  wavelength — only within its limited conversion range;
+* a :class:`Multiplexer` merges the ``k`` converted channels onto the output
+  fiber — again at most one signal per wavelength.
+
+Violating any of these raises :class:`~repro.errors.HardwareModelError`; the
+:class:`~repro.interconnect.interconnect.WDMInterconnect` uses them to prove
+that a schedule is physically realizable, independent of the scheduler's own
+validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import HardwareModelError
+from repro.graphs.conversion import ConversionScheme
+from repro.util.validation import check_index, check_positive_int
+
+__all__ = [
+    "OpticalSignal",
+    "Demultiplexer",
+    "Combiner",
+    "WavelengthConverter",
+    "Multiplexer",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class OpticalSignal:
+    """An information-bearing optical signal inside the interconnect.
+
+    ``wavelength`` is the signal's *current* wavelength (it changes when a
+    converter retunes it); ``source`` identifies the originating input
+    channel ``(input_fiber, input_wavelength)`` so invariants can be traced
+    back to requests; ``payload`` is an opaque tag (e.g. a packet id).
+    """
+
+    wavelength: int
+    source: tuple[int, int]
+    payload: object = None
+
+    def retuned(self, wavelength: int) -> "OpticalSignal":
+        """The same signal on a different wavelength."""
+        return OpticalSignal(wavelength, self.source, self.payload)
+
+
+class Demultiplexer:
+    """Separates an input fiber's WDM signal into ``k`` channels."""
+
+    def __init__(self, k: int) -> None:
+        self.k = check_positive_int(k, "k")
+
+    def demultiplex(
+        self, signals: Iterable[OpticalSignal]
+    ) -> list[OpticalSignal | None]:
+        """Split ``signals`` by wavelength into a length-``k`` channel list.
+
+        Raises :class:`HardwareModelError` if two signals share a wavelength
+        (a fiber cannot carry two signals on one channel) or a signal's
+        wavelength is out of band.
+        """
+        channels: list[OpticalSignal | None] = [None] * self.k
+        for s in signals:
+            if not 0 <= s.wavelength < self.k:
+                raise HardwareModelError(
+                    f"signal from {s.source} on out-of-band wavelength "
+                    f"{s.wavelength} (k={self.k})"
+                )
+            if channels[s.wavelength] is not None:
+                raise HardwareModelError(
+                    f"two signals on λ{s.wavelength} of one input fiber: "
+                    f"{channels[s.wavelength].source} and {s.source}"
+                )
+            channels[s.wavelength] = s
+        return channels
+
+
+class Combiner:
+    """The ``Nd``-input optical combiner in front of one output channel.
+
+    "There are Nd inputs to a combiner, but only one of them may carry
+    signal at a time" — two active inputs would interfere destructively.
+    """
+
+    def __init__(self, n_inputs: int) -> None:
+        self.n_inputs = check_positive_int(n_inputs, "n_inputs")
+
+    def combine(
+        self, inputs: Sequence[OpticalSignal | None]
+    ) -> OpticalSignal | None:
+        """Pass through the single active input (or nothing).
+
+        Raises :class:`HardwareModelError` on more than one active input or
+        on a port-count mismatch.
+        """
+        if len(inputs) != self.n_inputs:
+            raise HardwareModelError(
+                f"combiner has {self.n_inputs} ports, got {len(inputs)} inputs"
+            )
+        active = [s for s in inputs if s is not None]
+        if len(active) > 1:
+            sources = [s.source for s in active]
+            raise HardwareModelError(
+                f"optical interference: {len(active)} simultaneous signals at "
+                f"one combiner (sources {sources})"
+            )
+        return active[0] if active else None
+
+
+class WavelengthConverter:
+    """A limited range wavelength converter fixed at one output channel.
+
+    The converter at output channel ``target`` accepts any signal whose
+    current wavelength can be converted to ``target`` under the scheme, and
+    emits it on ``target``.
+    """
+
+    def __init__(self, scheme: ConversionScheme, target: int) -> None:
+        self.scheme = scheme
+        self.target = check_index(target, scheme.k, "target")
+
+    def convert(self, signal: OpticalSignal | None) -> OpticalSignal | None:
+        """Retune ``signal`` to the target wavelength.
+
+        Raises :class:`HardwareModelError` if the signal's wavelength is
+        outside the converter's conversion range.
+        """
+        if signal is None:
+            return None
+        if not self.scheme.can_convert(signal.wavelength, self.target):
+            raise HardwareModelError(
+                f"converter at λ{self.target} cannot accept λ{signal.wavelength} "
+                f"(conversion range of λ{signal.wavelength} is "
+                f"{self.scheme.adjacency(signal.wavelength)})"
+            )
+        return signal.retuned(self.target)
+
+
+class Multiplexer:
+    """Merges ``k`` converted channels onto one output fiber."""
+
+    def __init__(self, k: int) -> None:
+        self.k = check_positive_int(k, "k")
+
+    def multiplex(
+        self, channels: Sequence[OpticalSignal | None]
+    ) -> list[OpticalSignal]:
+        """Combine per-channel signals into the fiber's signal list.
+
+        Each channel's signal must sit on that channel's wavelength (the
+        converters guarantee this when the datapath is wired correctly).
+        """
+        if len(channels) != self.k:
+            raise HardwareModelError(
+                f"multiplexer has {self.k} ports, got {len(channels)} channels"
+            )
+        out: list[OpticalSignal] = []
+        for b, s in enumerate(channels):
+            if s is None:
+                continue
+            if s.wavelength != b:
+                raise HardwareModelError(
+                    f"channel {b} carries a signal on λ{s.wavelength}; "
+                    "converter misconfigured"
+                )
+            out.append(s)
+        return out
+

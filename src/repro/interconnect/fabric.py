@@ -1,0 +1,143 @@
+"""The switching fabric of the Fig. 1 interconnect.
+
+The fabric connects the ``Nk`` demultiplexed input channels to the output
+combiners.  Physically, input channel ``(i, w)`` has a crosspoint only to the
+combiners of channels in ``λ_w``'s conversion range on each output fiber —
+``N·d`` crosspoints per input channel.  The fabric state is the set of closed
+crosspoints; closing one outside the wired range, or closing two crosspoints
+into one combiner port pattern that would interfere, is a hardware error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import HardwareModelError
+from repro.graphs.conversion import ConversionScheme
+from repro.util.validation import check_index, check_positive_int
+
+__all__ = ["CrosspointState", "SwitchingFabric"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class CrosspointState:
+    """A closed crosspoint: input channel → output channel.
+
+    ``input_fiber``/``input_wavelength`` name the fabric input;
+    ``output_fiber``/``output_channel`` name the combiner it feeds.
+    """
+
+    input_fiber: int
+    input_wavelength: int
+    output_fiber: int
+    output_channel: int
+
+
+class SwitchingFabric:
+    """Crosspoint state of an ``N × N`` interconnect's fabric.
+
+    Invariants enforced on :meth:`connect`:
+
+    * the crosspoint must exist (conversion-range wiring);
+    * an input channel drives at most one output channel (a demultiplexed
+      signal cannot be split);
+    * an output channel is driven by at most one input channel (one active
+      combiner input — the paper's interference constraint).
+    """
+
+    def __init__(self, n_fibers: int, scheme: ConversionScheme) -> None:
+        self.n_fibers = check_positive_int(n_fibers, "n_fibers")
+        self.scheme = scheme
+        self._by_input: dict[tuple[int, int], CrosspointState] = {}
+        self._by_output: dict[tuple[int, int], CrosspointState] = {}
+
+    @property
+    def k(self) -> int:
+        """Wavelengths per fiber."""
+        return self.scheme.k
+
+    @property
+    def n_closed(self) -> int:
+        """Number of closed crosspoints."""
+        return len(self._by_input)
+
+    def crosspoints_per_input(self) -> int:
+        """Wired crosspoints per input channel: ``N · d`` (paper Fig. 1)."""
+        return self.n_fibers * self.scheme.degree
+
+    def connect(
+        self,
+        input_fiber: int,
+        input_wavelength: int,
+        output_fiber: int,
+        output_channel: int,
+    ) -> CrosspointState:
+        """Close the crosspoint; returns its state record."""
+        check_index(input_fiber, self.n_fibers, "input_fiber")
+        check_index(output_fiber, self.n_fibers, "output_fiber")
+        check_index(input_wavelength, self.k, "input_wavelength")
+        check_index(output_channel, self.k, "output_channel")
+        if not self.scheme.can_convert(input_wavelength, output_channel):
+            raise HardwareModelError(
+                f"no crosspoint wired from λ{input_wavelength} to output "
+                f"channel {output_channel}: outside conversion range "
+                f"{self.scheme.adjacency(input_wavelength)}"
+            )
+        in_key = (input_fiber, input_wavelength)
+        out_key = (output_fiber, output_channel)
+        if in_key in self._by_input:
+            raise HardwareModelError(
+                f"input channel {in_key} already drives "
+                f"{self._by_input[in_key]}"
+            )
+        if out_key in self._by_output:
+            raise HardwareModelError(
+                f"output channel {out_key} already driven by "
+                f"{self._by_output[out_key]}"
+            )
+        state = CrosspointState(
+            input_fiber, input_wavelength, output_fiber, output_channel
+        )
+        self._by_input[in_key] = state
+        self._by_output[out_key] = state
+        return state
+
+    def disconnect_input(self, input_fiber: int, input_wavelength: int) -> None:
+        """Open the crosspoint driven by the given input channel (no-op if
+        none is closed)."""
+        state = self._by_input.pop((input_fiber, input_wavelength), None)
+        if state is not None:
+            del self._by_output[(state.output_fiber, state.output_channel)]
+
+    def output_of(
+        self, input_fiber: int, input_wavelength: int
+    ) -> tuple[int, int] | None:
+        """The ``(output_fiber, output_channel)`` an input channel drives."""
+        state = self._by_input.get((input_fiber, input_wavelength))
+        if state is None:
+            return None
+        return (state.output_fiber, state.output_channel)
+
+    def input_of(
+        self, output_fiber: int, output_channel: int
+    ) -> tuple[int, int] | None:
+        """The ``(input_fiber, input_wavelength)`` driving an output channel."""
+        state = self._by_output.get((output_fiber, output_channel))
+        if state is None:
+            return None
+        return (state.input_fiber, state.input_wavelength)
+
+    def clear(self) -> None:
+        """Open every crosspoint (start of a new slot)."""
+        self._by_input.clear()
+        self._by_output.clear()
+
+    def __iter__(self) -> Iterator[CrosspointState]:
+        return iter(sorted(self._by_input.values()))
+
+    def __repr__(self) -> str:
+        return (
+            f"SwitchingFabric(n_fibers={self.n_fibers}, scheme={self.scheme!r}, "
+            f"n_closed={self.n_closed})"
+        )

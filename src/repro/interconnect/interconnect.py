@@ -1,0 +1,201 @@
+"""The full ``N × N`` WDM interconnect datapath (paper Fig. 1).
+
+:class:`WDMInterconnect` composes the component models: per-input-fiber
+demultiplexers, the switching fabric, per-output-channel combiners and
+wavelength converters, and per-output-fiber multiplexers.  Configuring it
+from a :class:`~repro.core.distributed.SlotSchedule` and pushing the slot's
+signals through proves *physically* — combiner by combiner — that the
+schedule the algorithms produced is realizable: no interference, every
+conversion within range, every output channel used at most once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.distributed import GrantedRequest, SlotSchedule
+from repro.errors import HardwareModelError
+from repro.graphs.conversion import ConversionScheme
+from repro.interconnect.components import (
+    Combiner,
+    Demultiplexer,
+    Multiplexer,
+    OpticalSignal,
+    WavelengthConverter,
+)
+from repro.interconnect.fabric import SwitchingFabric
+from repro.util.validation import check_positive_int
+
+__all__ = ["WDMInterconnect", "RoutedSignal"]
+
+
+@dataclass(frozen=True, slots=True)
+class RoutedSignal:
+    """A signal that traversed the interconnect in one slot."""
+
+    input_fiber: int
+    input_wavelength: int
+    output_fiber: int
+    output_channel: int
+    payload: object = None
+
+
+class WDMInterconnect:
+    """Datapath model of an ``N × N`` interconnect with ``k`` wavelengths.
+
+    Parameters
+    ----------
+    n_fibers:
+        Interconnect size ``N``.
+    scheme:
+        Wavelength-conversion scheme of the output-side converters.
+    """
+
+    def __init__(self, n_fibers: int, scheme: ConversionScheme) -> None:
+        self.n_fibers = check_positive_int(n_fibers, "n_fibers")
+        self.scheme = scheme
+        k = scheme.k
+        self.demultiplexers = [Demultiplexer(k) for _ in range(self.n_fibers)]
+        self.fabric = SwitchingFabric(self.n_fibers, scheme)
+        # One combiner + converter per output channel.  Each combiner has
+        # N·d wired inputs (paper Fig. 1); the model presents them as one
+        # port per (input fiber, conversion-range offset).
+        n_combiner_ports = self.n_fibers * scheme.degree
+        self.combiners = [
+            [Combiner(n_combiner_ports) for _ in range(k)]
+            for _ in range(self.n_fibers)
+        ]
+        self.converters = [
+            [WavelengthConverter(scheme, b) for b in range(k)]
+            for _ in range(self.n_fibers)
+        ]
+        self.multiplexers = [Multiplexer(k) for _ in range(self.n_fibers)]
+
+    @property
+    def k(self) -> int:
+        """Wavelengths per fiber."""
+        return self.scheme.k
+
+    @property
+    def n_input_channels(self) -> int:
+        """Total input wavelength channels, ``N · k``."""
+        return self.n_fibers * self.k
+
+    # -- configuration -----------------------------------------------------
+
+    def configure(self, granted: Sequence[GrantedRequest]) -> None:
+        """Close the fabric crosspoints for the slot's granted requests.
+
+        Any conflict (double-driven channel, out-of-range conversion) raises
+        :class:`HardwareModelError` and leaves previously-closed crosspoints
+        in place for inspection.
+        """
+        self.fabric.clear()
+        for g in granted:
+            self.fabric.connect(
+                g.request.input_fiber,
+                g.request.wavelength,
+                g.request.output_fiber,
+                g.channel,
+            )
+
+    def configure_schedule(self, schedule: SlotSchedule) -> None:
+        """Configure from a :class:`SlotSchedule` (convenience)."""
+        self.configure(schedule.granted)
+
+    # -- signal propagation --------------------------------------------------
+
+    def propagate(
+        self, input_signals: Sequence[Sequence[OpticalSignal]]
+    ) -> list[RoutedSignal]:
+        """Push one slot's signals through the configured datapath.
+
+        ``input_signals[i]`` lists the signals entering input fiber ``i``.
+        Every stage's physical constraint is checked; signals whose input
+        channel has no closed crosspoint are dropped (their request was
+        rejected — no buffers exist).  Returns the signals that reached an
+        output fiber.
+        """
+        if len(input_signals) != self.n_fibers:
+            raise HardwareModelError(
+                f"expected signals for {self.n_fibers} input fibers, got "
+                f"{len(input_signals)}"
+            )
+        # Stage 1: demultiplex each input fiber.
+        channelized: list[list[OpticalSignal | None]] = [
+            self.demultiplexers[i].demultiplex(signals)
+            for i, signals in enumerate(input_signals)
+        ]
+        # Stage 2+3: fabric routes each input channel to its combiner; build
+        # the per-combiner input port lists.
+        d = self.scheme.degree
+        ports: dict[tuple[int, int], list[OpticalSignal | None]] = {
+            (o, b): [None] * (self.n_fibers * d)
+            for o in range(self.n_fibers)
+            for b in range(self.k)
+        }
+        for i in range(self.n_fibers):
+            for w in range(self.k):
+                signal = channelized[i][w]
+                if signal is None:
+                    continue
+                route = self.fabric.output_of(i, w)
+                if route is None:
+                    continue  # rejected request: signal dropped (no buffers)
+                o, b = route
+                # The combiner port index encodes (input fiber, offset of b
+                # within λw's conversion range).
+                adjacency = self.scheme.adjacency(w)
+                offset = adjacency.index(b)
+                port = i * d + offset
+                if ports[(o, b)][port] is not None:
+                    raise HardwareModelError(
+                        f"fabric drove combiner port {(o, b, port)} twice"
+                    )
+                ports[(o, b)][port] = signal
+        # Stage 4: combine + convert per output channel.
+        routed: list[RoutedSignal] = []
+        for o in range(self.n_fibers):
+            converted: list[OpticalSignal | None] = []
+            for b in range(self.k):
+                combined = self.combiners[o][b].combine(ports[(o, b)])
+                converted.append(self.converters[o][b].convert(combined))
+            # Stage 5: multiplex onto the output fiber.
+            for s in self.multiplexers[o].multiplex(converted):
+                routed.append(
+                    RoutedSignal(
+                        input_fiber=s.source[0],
+                        input_wavelength=s.source[1],
+                        output_fiber=o,
+                        output_channel=s.wavelength,
+                        payload=s.payload,
+                    )
+                )
+        return routed
+
+    def route_schedule(self, schedule: SlotSchedule) -> list[RoutedSignal]:
+        """Configure from ``schedule`` and propagate the granted requests'
+        signals end to end; returns the routed signals.
+
+        This is the physical-feasibility check used by the test suite and
+        the ``HW`` experiment: it raises :class:`HardwareModelError` if the
+        schedule could not actually be realized by the Fig. 1 datapath.
+        """
+        self.configure_schedule(schedule)
+        per_fiber: list[list[OpticalSignal]] = [[] for _ in range(self.n_fibers)]
+        for g in schedule.granted:
+            per_fiber[g.request.input_fiber].append(
+                OpticalSignal(
+                    wavelength=g.request.wavelength,
+                    source=(g.request.input_fiber, g.request.wavelength),
+                    payload=g,
+                )
+            )
+        routed = self.propagate(per_fiber)
+        if len(routed) != len(schedule.granted):
+            raise HardwareModelError(
+                f"{len(schedule.granted)} grants but {len(routed)} signals "
+                "reached the outputs"
+            )
+        return routed

@@ -1,0 +1,49 @@
+"""Synchronous time-slotted simulator for WDM optical interconnects.
+
+Models the paper's operating scenario: an optical packet/burst switching
+network where requests arrive at slot boundaries, there are no buffers
+(losers are dropped), and connections may hold their channel for multiple
+slots (paper Section V)."""
+
+from repro.sim.asynchronous import AssignmentPolicy, AsyncResult, AsyncWavelengthRouter
+from repro.sim.duration import (
+    DeterministicDuration,
+    DurationModel,
+    GeometricDuration,
+    UniformDuration,
+)
+from repro.sim.engine import SlottedSimulator
+from repro.sim.fast import FastPacketSimulator
+from repro.sim.metrics import MetricsCollector, jain_fairness_index
+from repro.sim.packet import Packet
+from repro.sim.results import SimulationResult
+from repro.sim.traffic import (
+    BernoulliTraffic,
+    DestinationModel,
+    HotspotDestinations,
+    OnOffBurstyTraffic,
+    TrafficModel,
+    UniformDestinations,
+)
+
+__all__ = [
+    "Packet",
+    "AsyncWavelengthRouter",
+    "AsyncResult",
+    "AssignmentPolicy",
+    "DurationModel",
+    "DeterministicDuration",
+    "GeometricDuration",
+    "UniformDuration",
+    "TrafficModel",
+    "BernoulliTraffic",
+    "OnOffBurstyTraffic",
+    "DestinationModel",
+    "UniformDestinations",
+    "HotspotDestinations",
+    "SlottedSimulator",
+    "FastPacketSimulator",
+    "SimulationResult",
+    "MetricsCollector",
+    "jain_fairness_index",
+]

@@ -1,0 +1,202 @@
+"""Asynchronous (wavelength-routing) operation — the paper's contrast case.
+
+Section I: in asynchronous WDM wavelength-routing networks "the packet
+arrivals at the optical interconnect were assumed to be asynchronous, thus
+eliminates the need for a scheduling algorithm since the requests have a
+natural order and are assumed to be served according to the 'first come
+first served' rule" (refs [11], [13], [14]).  This module implements that
+regime as an event-driven simulation so the synchronous schedulers can be
+put in context:
+
+* connection requests arrive to each output fiber as a Poisson process and
+  hold an exponentially-distributed time (the classic teletraffic model of
+  the cited analyses; sources are infinite, i.e. arrivals are not throttled
+  by input-channel occupancy);
+* an arriving request on wavelength ``w`` is admitted iff some channel in
+  ``w``'s conversion range is free on its destination fiber, chosen by a
+  configurable assignment policy (first-fit / last-fit / random); otherwise
+  it is blocked and lost (no queueing — a loss system).
+
+With full range conversion each output fiber is exactly an ``M/M/k/k``
+queue, so the measured blocking probability must match the Erlang-B
+formula — an end-to-end validation (the ``ASYNC`` experiment checks it).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, SimulationError
+from repro.graphs.conversion import ConversionScheme
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive_int
+
+__all__ = ["AsyncResult", "AsyncWavelengthRouter", "AssignmentPolicy"]
+
+AssignmentPolicy = Literal["first-fit", "last-fit", "random"]
+
+_POLICIES: tuple[str, ...] = ("first-fit", "last-fit", "random")
+
+
+@dataclass(frozen=True)
+class AsyncResult:
+    """Outcome of an asynchronous simulation run."""
+
+    offered: int
+    blocked: int
+    carried_time: float      # Σ holding times of admitted connections
+    sim_time: float
+    n_fibers: int
+    k: int
+
+    @property
+    def blocking_probability(self) -> float:
+        """Fraction of requests blocked (per-request loss)."""
+        return self.blocked / self.offered if self.offered else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of output channels busy over the run."""
+        capacity = self.n_fibers * self.k * self.sim_time
+        return self.carried_time / capacity if capacity else 0.0
+
+    @property
+    def carried_erlangs_per_fiber(self) -> float:
+        """Mean simultaneously-held channels per output fiber."""
+        if self.sim_time == 0:
+            return 0.0
+        return self.carried_time / self.sim_time / self.n_fibers
+
+
+class AsyncWavelengthRouter:
+    """Event-driven FCFS admission for an ``N × N`` interconnect.
+
+    Parameters
+    ----------
+    n_fibers, scheme:
+        Interconnect dimensions and conversion capability.
+    arrival_rate:
+        Poisson arrival rate of requests *per output fiber* (requests per
+        unit time); each request's wavelength is uniform over the band.
+    holding_time:
+        Mean of the exponential connection-holding time.
+    policy:
+        Which free in-range channel an admitted request takes.
+    seed:
+        RNG seed (arrivals, wavelengths, holding times, random fit).
+    """
+
+    def __init__(
+        self,
+        n_fibers: int,
+        scheme: ConversionScheme,
+        arrival_rate: float,
+        holding_time: float = 1.0,
+        policy: AssignmentPolicy = "first-fit",
+        seed: int | None = None,
+    ) -> None:
+        self.n_fibers = check_positive_int(n_fibers, "n_fibers")
+        self.scheme = scheme
+        if arrival_rate <= 0:
+            raise InvalidParameterError(
+                f"arrival_rate must be > 0, got {arrival_rate}"
+            )
+        if holding_time <= 0:
+            raise InvalidParameterError(
+                f"holding_time must be > 0, got {holding_time}"
+            )
+        if policy not in _POLICIES:
+            raise InvalidParameterError(
+                f"unknown assignment policy {policy!r}; choose from {_POLICIES}"
+            )
+        self.arrival_rate = float(arrival_rate)
+        self.holding_time = float(holding_time)
+        self.policy = policy
+        self._rng = make_rng(seed)
+
+    @property
+    def offered_erlangs_per_fiber(self) -> float:
+        """Offered traffic per output fiber in Erlangs."""
+        return self.arrival_rate * self.holding_time
+
+    def _choose_channel(self, free_in_range: list[int]) -> int:
+        if self.policy == "first-fit":
+            return free_in_range[0]
+        if self.policy == "last-fit":
+            return free_in_range[-1]
+        return int(self._rng.choice(np.asarray(free_in_range)))
+
+    def run(self, sim_time: float, warmup: float = 0.0) -> AsyncResult:
+        """Simulate for ``warmup + sim_time`` time units; statistics cover
+        the final ``sim_time``."""
+        if sim_time <= 0:
+            raise InvalidParameterError(f"sim_time must be > 0, got {sim_time}")
+        if warmup < 0:
+            raise InvalidParameterError(f"warmup must be >= 0, got {warmup}")
+        rng = self._rng
+        k = self.scheme.k
+        end = warmup + sim_time
+        busy = np.zeros((self.n_fibers, k), dtype=bool)
+        # Event heap: (time, tiebreak, kind, fiber, channel).
+        counter = itertools.count()
+        events: list[tuple[float, int, str, int, int]] = []
+        # Superpose the N per-fiber Poisson streams into one of rate N·λ.
+        total_rate = self.arrival_rate * self.n_fibers
+        t = float(rng.exponential(1.0 / total_rate))
+        heapq.heappush(events, (t, next(counter), "arrival", -1, -1))
+
+        offered = blocked = 0
+        carried_time = 0.0
+        while events:
+            t, _, kind, fiber, channel = heapq.heappop(events)
+            if t >= end:
+                break
+            if kind == "departure":
+                if not busy[fiber, channel]:
+                    raise SimulationError(
+                        f"departure from idle channel ({fiber}, {channel})"
+                    )
+                busy[fiber, channel] = False
+                continue
+            # Arrival: draw its attributes, then schedule the next arrival.
+            heapq.heappush(
+                events,
+                (
+                    t + float(rng.exponential(1.0 / total_rate)),
+                    next(counter),
+                    "arrival",
+                    -1,
+                    -1,
+                ),
+            )
+            out = int(rng.integers(self.n_fibers))
+            w = int(rng.integers(k))
+            hold = float(rng.exponential(self.holding_time))
+            if t >= warmup:
+                offered += 1
+            free = [b for b in self.scheme.adjacency(w) if not busy[out, b]]
+            if not free:
+                if t >= warmup:
+                    blocked += 1
+                continue
+            b = self._choose_channel(free)
+            busy[out, b] = True
+            if t >= warmup:
+                # Count only holding time inside the measurement window.
+                carried_time += min(t + hold, end) - t
+            heapq.heappush(
+                events, (t + hold, next(counter), "departure", out, b)
+            )
+        return AsyncResult(
+            offered=offered,
+            blocked=blocked,
+            carried_time=carried_time,
+            sim_time=sim_time,
+            n_fibers=self.n_fibers,
+            k=k,
+        )

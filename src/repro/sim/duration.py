@@ -1,0 +1,93 @@
+"""Connection-duration models (paper Section V: "connections hold for
+different number of time slots")."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "DurationModel",
+    "DeterministicDuration",
+    "GeometricDuration",
+    "UniformDuration",
+]
+
+
+class DurationModel(ABC):
+    """Samples a connection duration in slots (always >= 1)."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one duration."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected duration in slots (used to normalize offered load)."""
+
+
+class DeterministicDuration(DurationModel):
+    """Every connection holds exactly ``slots`` slots (slots=1 is the
+    standard one-packet-per-slot assumption)."""
+
+    def __init__(self, slots: int = 1) -> None:
+        self.slots = check_positive_int(slots, "slots")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.slots
+
+    @property
+    def mean(self) -> float:
+        return float(self.slots)
+
+    def __repr__(self) -> str:
+        return f"DeterministicDuration({self.slots})"
+
+
+class GeometricDuration(DurationModel):
+    """Geometric durations with the given mean (memoryless bursts).
+
+    ``P(duration = n) = (1 - 1/mean)^(n-1) / mean`` for ``n >= 1``.
+    """
+
+    def __init__(self, mean: float) -> None:
+        if mean < 1.0:
+            raise InvalidParameterError(f"mean duration must be >= 1, got {mean}")
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self._mean == 1.0:
+            return 1
+        return int(rng.geometric(1.0 / self._mean))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"GeometricDuration(mean={self._mean})"
+
+
+class UniformDuration(DurationModel):
+    """Durations uniform on the integers ``[lo, hi]``."""
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = check_positive_int(lo, "lo")
+        self.hi = check_positive_int(hi, "hi")
+        if hi < lo:
+            raise InvalidParameterError(f"hi={hi} must be >= lo={lo}")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.lo, self.hi + 1))
+
+    @property
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformDuration({self.lo}, {self.hi})"

@@ -1,0 +1,39 @@
+"""Optical packets / bursts flowing through the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Packet"]
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """One optical packet (or burst) offered to the interconnect.
+
+    Attributes
+    ----------
+    packet_id:
+        Unique id within a simulation run.
+    slot:
+        Arrival slot.
+    input_fiber, wavelength:
+        The input channel the packet arrives on.
+    output_fiber:
+        Unicast destination fiber (the destination *channel* is the
+        scheduler's choice).
+    duration:
+        Number of slots the connection holds if granted (1 = optical
+        packet; >1 = burst / multi-slot connection, paper Section V).
+    priority:
+        QoS class, 0 = highest (strict-priority scheduling, the paper's
+        stated future work).
+    """
+
+    packet_id: int
+    slot: int
+    input_fiber: int
+    wavelength: int
+    output_fiber: int
+    duration: int = 1
+    priority: int = 0

@@ -1,0 +1,252 @@
+"""Synthetic traffic models.
+
+The paper assumes slotted arrivals but reports no trace; these generators
+implement the standard models of its references — i.i.d. Bernoulli arrivals
+per input channel with uniform or hotspot destinations ([7][8]) and bursty
+on–off sources ([11]'s bursty regime) — which exercise the same contention
+phenomenon the schedulers resolve (see DESIGN.md, Substitutions).
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sim.duration import DeterministicDuration, DurationModel
+from repro.sim.packet import Packet
+from repro.util.validation import (
+    check_index,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "DestinationModel",
+    "UniformDestinations",
+    "HotspotDestinations",
+    "TrafficModel",
+    "BernoulliTraffic",
+    "OnOffBurstyTraffic",
+]
+
+
+# ---------------------------------------------------------------------------
+# Destination models
+# ---------------------------------------------------------------------------
+
+class DestinationModel(ABC):
+    """Chooses the unicast destination fiber of a new packet."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, input_fiber: int) -> int:
+        """Draw a destination fiber for a packet from ``input_fiber``."""
+
+
+class UniformDestinations(DestinationModel):
+    """Destinations uniform over all ``N`` output fibers."""
+
+    def __init__(self, n_fibers: int) -> None:
+        self.n_fibers = check_positive_int(n_fibers, "n_fibers")
+
+    def sample(self, rng: np.random.Generator, input_fiber: int) -> int:
+        return int(rng.integers(self.n_fibers))
+
+
+class HotspotDestinations(DestinationModel):
+    """A fraction of traffic targets one hot output fiber.
+
+    With probability ``hot_fraction`` the destination is ``hot_fiber``;
+    otherwise uniform over all fibers.  Models the server/gateway hotspot
+    pattern that maximizes output contention.
+    """
+
+    def __init__(self, n_fibers: int, hot_fiber: int, hot_fraction: float) -> None:
+        self.n_fibers = check_positive_int(n_fibers, "n_fibers")
+        self.hot_fiber = check_index(hot_fiber, self.n_fibers, "hot_fiber")
+        self.hot_fraction = check_probability(hot_fraction, "hot_fraction")
+
+    def sample(self, rng: np.random.Generator, input_fiber: int) -> int:
+        if rng.random() < self.hot_fraction:
+            return self.hot_fiber
+        return int(rng.integers(self.n_fibers))
+
+
+# ---------------------------------------------------------------------------
+# Traffic models
+# ---------------------------------------------------------------------------
+
+class TrafficModel(ABC):
+    """Generates the packets arriving in each slot.
+
+    A traffic model owns no RNG: the engine passes its generator in, so a
+    single simulation seed reproduces the whole run.
+    """
+
+    n_fibers: int
+    k: int
+
+    @abstractmethod
+    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+        """Packets arriving at slot ``slot``, at most one per input channel."""
+
+    @property
+    @abstractmethod
+    def offered_load(self) -> float:
+        """Long-run offered load per input channel in Erlangs
+        (arrival probability × mean duration)."""
+
+
+class BernoulliTraffic(TrafficModel):
+    """I.i.d. Bernoulli arrivals per input channel.
+
+    Every slot, each of the ``N·k`` input channels independently carries a
+    new packet with probability ``load``; destination and duration come from
+    the supplied models.  This is the canonical uniform traffic of the
+    input-queued-switch literature the paper cites.
+    """
+
+    def __init__(
+        self,
+        n_fibers: int,
+        k: int,
+        load: float,
+        destinations: DestinationModel | None = None,
+        durations: DurationModel | None = None,
+        priority_weights: Sequence[float] | None = None,
+    ) -> None:
+        self.n_fibers = check_positive_int(n_fibers, "n_fibers")
+        self.k = check_positive_int(k, "k")
+        self.load = check_probability(load, "load")
+        self.destinations = destinations or UniformDestinations(self.n_fibers)
+        self.durations = durations or DeterministicDuration(1)
+        if priority_weights is None:
+            self._priority_p: np.ndarray | None = None
+        else:
+            weights = np.asarray(list(priority_weights), dtype=float)
+            if weights.ndim != 1 or weights.size == 0 or np.any(weights < 0):
+                raise InvalidParameterError(
+                    "priority_weights must be a nonempty sequence of "
+                    f"nonnegative weights, got {priority_weights!r}"
+                )
+            total = weights.sum()
+            if total <= 0:
+                raise InvalidParameterError("priority_weights sum to zero")
+            self._priority_p = weights / total
+        self._ids = itertools.count()
+
+    def _sample_priority(self, rng: np.random.Generator) -> int:
+        if self._priority_p is None:
+            return 0
+        return int(rng.choice(self._priority_p.size, p=self._priority_p))
+
+    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+        # One vectorized Bernoulli draw for all N·k channels per slot.
+        hits = rng.random((self.n_fibers, self.k)) < self.load
+        packets: list[Packet] = []
+        for i, w in zip(*np.nonzero(hits)):
+            packets.append(
+                Packet(
+                    packet_id=next(self._ids),
+                    slot=slot,
+                    input_fiber=int(i),
+                    wavelength=int(w),
+                    output_fiber=self.destinations.sample(rng, int(i)),
+                    duration=self.durations.sample(rng),
+                    priority=self._sample_priority(rng),
+                )
+            )
+        return packets
+
+    @property
+    def offered_load(self) -> float:
+        return self.load * self.durations.mean
+
+
+class OnOffBurstyTraffic(TrafficModel):
+    """Two-state (on/off) Markov-modulated arrivals per input channel.
+
+    While *on*, a channel emits one packet per slot, all to the same
+    destination fiber (a burst); while *off* it is silent.  Mean burst
+    length is ``burst_length`` slots and the long-run on-probability equals
+    ``load``, so throughput curves are comparable with
+    :class:`BernoulliTraffic` at the same load.
+    """
+
+    def __init__(
+        self,
+        n_fibers: int,
+        k: int,
+        load: float,
+        burst_length: float,
+        destinations: DestinationModel | None = None,
+        durations: DurationModel | None = None,
+    ) -> None:
+        self.n_fibers = check_positive_int(n_fibers, "n_fibers")
+        self.k = check_positive_int(k, "k")
+        self.load = check_probability(load, "load")
+        if burst_length < 1.0:
+            raise InvalidParameterError(
+                f"burst_length must be >= 1 slot, got {burst_length}"
+            )
+        self.burst_length = float(burst_length)
+        self.destinations = destinations or UniformDestinations(self.n_fibers)
+        self.durations = durations or DeterministicDuration(1)
+        self._ids = itertools.count()
+        # p(on -> off) fixes the mean burst length; p(off -> on) then fixes
+        # the stationary on-probability at `load`.  Load 1.0 degenerates to
+        # "always on" (bursts never end), keeping the stationary load exact.
+        if self.load >= 1.0:
+            self._p_end = 0.0
+            self._p_start = 1.0
+        else:
+            self._p_end = 1.0 / self.burst_length
+            self._p_start = min(
+                1.0, self._p_end * self.load / (1.0 - self.load)
+            )
+        self._state: np.ndarray | None = None  # True = on
+        self._dest: np.ndarray | None = None
+
+    def _ensure_state(self, rng: np.random.Generator) -> None:
+        if self._state is None:
+            self._state = rng.random((self.n_fibers, self.k)) < self.load
+            self._dest = rng.integers(
+                self.n_fibers, size=(self.n_fibers, self.k)
+            )
+
+    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+        self._ensure_state(rng)
+        assert self._state is not None and self._dest is not None
+        # State transitions happen at slot boundaries.
+        u = rng.random((self.n_fibers, self.k))
+        starting = ~self._state & (u < self._p_start)
+        ending = self._state & (u < self._p_end)
+        # New bursts pick a fresh destination.
+        for i, w in zip(*np.nonzero(starting)):
+            self._dest[i, w] = self.destinations.sample(rng, int(i))
+        self._state = (self._state & ~ending) | starting
+        packets: list[Packet] = []
+        for i, w in zip(*np.nonzero(self._state)):
+            packets.append(
+                Packet(
+                    packet_id=next(self._ids),
+                    slot=slot,
+                    input_fiber=int(i),
+                    wavelength=int(w),
+                    output_fiber=int(self._dest[i, w]),
+                    duration=self.durations.sample(rng),
+                )
+            )
+        return packets
+
+    @property
+    def offered_load(self) -> float:
+        return self.load * self.durations.mean
+
+    def reset(self) -> None:
+        """Forget the on/off state (start of a fresh run)."""
+        self._state = None
+        self._dest = None

@@ -1,0 +1,86 @@
+"""Shared value types used across the library's public API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["Grant", "ScheduleResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class Grant:
+    """One granted connection request on an output fiber.
+
+    Attributes
+    ----------
+    wavelength:
+        Input wavelength index of the granted request.
+    channel:
+        Output wavelength channel assigned to it.
+    """
+
+    wavelength: int
+    channel: int
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one output fiber for one time slot.
+
+    Attributes
+    ----------
+    grants:
+        The granted ``(wavelength → channel)`` assignments, one per granted
+        request, channel-disjoint and conversion-feasible.
+    request_vector:
+        The request vector that was scheduled.
+    available:
+        The availability mask that was in force.
+    rejected_vector:
+        Per-wavelength counts of rejected requests
+        (``request_vector[w] - granted_vector[w]``).
+    stats:
+        Optional scheduler-specific counters (e.g. reduced graphs tried).
+    """
+
+    grants: tuple[Grant, ...]
+    request_vector: tuple[int, ...]
+    available: tuple[bool, ...]
+    stats: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def n_granted(self) -> int:
+        """Number of granted requests (the matching cardinality)."""
+        return len(self.grants)
+
+    @property
+    def n_requested(self) -> int:
+        """Total number of requests offered."""
+        return sum(self.request_vector)
+
+    @property
+    def n_rejected(self) -> int:
+        """Number of rejected requests (output contention losses)."""
+        return self.n_requested - self.n_granted
+
+    @property
+    def granted_vector(self) -> tuple[int, ...]:
+        """Per-wavelength counts of granted requests."""
+        counts = [0] * len(self.request_vector)
+        for g in self.grants:
+            counts[g.wavelength] += 1
+        return tuple(counts)
+
+    @property
+    def rejected_vector(self) -> tuple[int, ...]:
+        """Per-wavelength counts of rejected requests."""
+        granted = self.granted_vector
+        return tuple(
+            r - g for r, g in zip(self.request_vector, granted)
+        )
+
+    @property
+    def channel_assignment(self) -> dict[int, int]:
+        """Mapping ``channel → wavelength`` over granted channels."""
+        return {g.channel: g.wavelength for g in self.grants}

@@ -1,0 +1,31 @@
+"""Shared low-level utilities: circular-interval arithmetic, argument
+validation, seeded RNG helpers and plain-text table rendering."""
+
+from repro.util.intervals import (
+    CircularInterval,
+    canonical_signed_residue,
+    circular_distance,
+    mod_range,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import format_table
+from repro.util.validation import (
+    check_index,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "CircularInterval",
+    "canonical_signed_residue",
+    "circular_distance",
+    "mod_range",
+    "make_rng",
+    "spawn_rngs",
+    "format_table",
+    "check_index",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,130 @@
+"""Circular ("mod-k") interval arithmetic.
+
+The paper represents adjacency sets of wavelengths as intervals of integers
+``[x, y]`` whose members are taken modulo ``k``::
+
+    interval [x, y] represents numbers {x mod k, (x+1) mod k, ..., y mod k}
+
+The endpoints ``x <= y`` live on the *unwrapped* integer line; only the
+members wrap.  An interval with ``y < x`` is empty.  This module implements
+that notation exactly, plus the canonical signed-residue helper used by the
+crossing-edge tests of Definition 1, where differences of wavelength indexes
+must be interpreted as small signed offsets rather than raw ``mod k``
+residues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "CircularInterval",
+    "mod_range",
+    "canonical_signed_residue",
+    "circular_distance",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CircularInterval:
+    """The paper's ``[start, end]`` interval of integers taken mod ``k``.
+
+    ``start`` and ``end`` are unwrapped integers with the convention that the
+    interval is empty when ``end < start``.  The interval length is capped at
+    ``k``: an interval spanning ``k`` or more unwrapped integers contains
+    every residue exactly once.
+
+    Examples
+    --------
+    >>> iv = CircularInterval(-1, 1, k=6)
+    >>> list(iv)
+    [5, 0, 1]
+    >>> 5 in iv and 0 in iv and 2 not in iv
+    True
+    """
+
+    start: int
+    end: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise InvalidParameterError(f"modulus k must be positive, got {self.k}")
+
+    @property
+    def empty(self) -> bool:
+        """Whether the interval contains no residues."""
+        return self.end < self.start
+
+    def __len__(self) -> int:
+        if self.empty:
+            return 0
+        return min(self.end - self.start + 1, self.k)
+
+    def __iter__(self) -> Iterator[int]:
+        for offset in range(len(self)):
+            yield (self.start + offset) % self.k
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, int):
+            return False
+        if self.empty:
+            return False
+        if len(self) == self.k:
+            return 0 <= value % self.k < self.k
+        return (value - self.start) % self.k <= (self.end - self.start)
+
+    def members(self) -> tuple[int, ...]:
+        """All residues in the interval, in interval order."""
+        return tuple(self)
+
+    def intersects(self, other: "CircularInterval") -> bool:
+        """Whether the two intervals share at least one residue."""
+        if self.k != other.k:
+            raise InvalidParameterError(
+                f"cannot intersect intervals with different moduli {self.k} != {other.k}"
+            )
+        mine = set(self)
+        return any(x in mine for x in other)
+
+
+def mod_range(start: int, end: int, k: int) -> tuple[int, ...]:
+    """Members of the paper-notation interval ``[start, end]`` mod ``k``.
+
+    Convenience wrapper equal to ``CircularInterval(start, end, k).members()``.
+    """
+    return CircularInterval(start, end, k).members()
+
+
+def canonical_signed_residue(delta: int, k: int, lo: int, hi: int) -> int | None:
+    """Map ``delta`` to its unique representative mod ``k`` inside ``[lo, hi]``.
+
+    Definition 1 of the paper tests wavelength differences for membership in
+    small signed windows such as ``[t - f, -1]`` or ``[1, t + e]``.  Because
+    wavelength indexes live mod ``k``, the raw difference must first be
+    brought into the window's frame.  Returns the representative, or ``None``
+    if no representative of ``delta`` lies in ``[lo, hi]``.
+
+    Raises :class:`InvalidParameterError` if the window is wider than ``k``
+    (the representative would not be unique).
+    """
+    if hi - lo + 1 > k:
+        raise InvalidParameterError(
+            f"window [{lo}, {hi}] spans more than k={k} integers; residue not unique"
+        )
+    if hi < lo:
+        return None
+    # Smallest representative >= lo:
+    candidate = lo + (delta - lo) % k
+    return candidate if candidate <= hi else None
+
+
+def circular_distance(a: int, b: int, k: int) -> int:
+    """Shortest circular distance between residues ``a`` and ``b`` mod ``k``."""
+    if k <= 0:
+        raise InvalidParameterError(f"modulus k must be positive, got {k}")
+    d = (a - b) % k
+    return min(d, k - d)

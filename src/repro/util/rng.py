@@ -1,0 +1,40 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component of the library (traffic models, random grant
+policies, randomized experiment sweeps) takes a :class:`numpy.random.Generator`
+so that simulations are exactly reproducible from a single integer seed.
+The helpers here centralize construction and independent-stream spawning
+(via :class:`numpy.random.SeedSequence`), mirroring the per-output-fiber
+decomposition of the distributed schedulers: each output fiber's scheduler
+can own an independent stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    ``seed`` may be an integer seed, an existing generator (returned as-is so
+    call sites can be composed without reseeding), or ``None`` for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` statistically independent generators from one seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so streams do not
+    overlap and the whole family is reproducible from ``seed``.
+    """
+    check_positive_int(n, "n")
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(n)]

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for the experiment harness.
+
+The reproduction harness prints its results as aligned monospace tables (the
+same rows/series a paper table or figure would report).  No third-party
+formatting dependency is used.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Floats are formatted with ``float_fmt``; booleans render as ``yes``/``no``.
+    Returns the table as a single string (no trailing newline).
+    """
+    header_cells = [str(h) for h in headers]
+    body = [[_render_cell(c, float_fmt) for c in row] for row in rows]
+    for r, row in enumerate(body):
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row {r} has {len(row)} cells, expected {len(header_cells)}"
+            )
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(header_cells))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in body)
+    return "\n".join(lines)

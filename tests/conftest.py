@@ -1,0 +1,120 @@
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+Hypothesis profiles: the default is CI-friendly; run
+``pytest --hypothesis-profile=thorough`` for a deeper randomized sweep
+(10× the examples on every property).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+
+settings.register_profile("default", deadline=None)
+settings.register_profile("thorough", deadline=None, max_examples=1000)
+settings.load_profile("default")
+
+from repro.graphs.conversion import (
+    CircularConversion,
+    FullRangeConversion,
+    NonCircularConversion,
+)
+from repro.graphs.request_graph import RequestGraph
+
+# The paper's running example: k=6, e=f=1, request vector [2,1,0,1,1,2].
+PAPER_K = 6
+PAPER_VECTOR = (2, 1, 0, 1, 1, 2)
+
+
+@pytest.fixture
+def paper_circular_scheme() -> CircularConversion:
+    return CircularConversion(PAPER_K, 1, 1)
+
+
+@pytest.fixture
+def paper_noncircular_scheme() -> NonCircularConversion:
+    return NonCircularConversion(PAPER_K, 1, 1)
+
+
+@pytest.fixture
+def paper_circular_rg(paper_circular_scheme) -> RequestGraph:
+    return RequestGraph(paper_circular_scheme, PAPER_VECTOR)
+
+
+@pytest.fixture
+def paper_noncircular_rg(paper_noncircular_scheme) -> RequestGraph:
+    return RequestGraph(paper_noncircular_scheme, PAPER_VECTOR)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def conversion_params(draw, max_k: int = 12, max_reach: int = 4):
+    """(k, e, f) with e + f + 1 <= k."""
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    e = draw(st.integers(min_value=0, max_value=min(max_reach, k - 1)))
+    f = draw(st.integers(min_value=0, max_value=min(max_reach, k - 1 - e)))
+    return k, e, f
+
+
+@st.composite
+def circular_instances(draw, max_k: int = 12, max_count: int = 3):
+    """A random circular-conversion RequestGraph (with availability mask)."""
+    k, e, f = draw(conversion_params(max_k=max_k))
+    vec = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_count),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    available = draw(
+        st.one_of(
+            st.none(),
+            st.lists(st.booleans(), min_size=k, max_size=k),
+        )
+    )
+    return RequestGraph(CircularConversion(k, e, f), vec, available)
+
+
+@st.composite
+def noncircular_instances(draw, max_k: int = 12, max_count: int = 3):
+    """A random non-circular-conversion RequestGraph."""
+    k, e, f = draw(conversion_params(max_k=max_k))
+    vec = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_count),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    available = draw(
+        st.one_of(
+            st.none(),
+            st.lists(st.booleans(), min_size=k, max_size=k),
+        )
+    )
+    return RequestGraph(NonCircularConversion(k, e, f), vec, available)
+
+
+@st.composite
+def fullrange_instances(draw, max_k: int = 10, max_count: int = 3):
+    """A random full-range RequestGraph."""
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    vec = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_count),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return RequestGraph(FullRangeConversion(k), vec)

@@ -1,0 +1,120 @@
+"""Tests for the analysis utilities (bounds, certificates, generators)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import approximation_gap, corollary1_bound
+from repro.analysis.instances import (
+    random_circular_instance,
+    random_noncircular_instance,
+    random_request_vector,
+)
+from repro.analysis.verify import (
+    assert_maximum_schedule,
+    matching_from_result,
+    optimal_cardinality,
+)
+from repro.core.base import make_result
+from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.errors import InvalidParameterError, ScheduleError
+from repro.graphs.conversion import CircularConversion, NonCircularConversion
+from repro.graphs.request_graph import RequestGraph
+from repro.types import Grant
+
+
+class TestVerify:
+    def test_matching_from_result_valid(self, paper_circular_rg):
+        res = BreakFirstAvailableScheduler().schedule(paper_circular_rg)
+        m = matching_from_result(paper_circular_rg, res)
+        assert len(m) == res.n_granted
+
+    def test_matching_from_result_infeasible_grant(self, paper_circular_rg):
+        # Hand-built result bypassing make_result's validation is caught.
+        from repro.types import ScheduleResult
+
+        bogus = ScheduleResult(
+            grants=(Grant(2, 2),),  # λ2 has zero requests
+            request_vector=paper_circular_rg.request_vector,
+            available=paper_circular_rg.available,
+        )
+        with pytest.raises(ScheduleError):
+            matching_from_result(paper_circular_rg, bogus)
+
+    def test_optimal_cardinality(self, paper_circular_rg):
+        assert optimal_cardinality(paper_circular_rg) == 6
+
+    def test_assert_maximum_accepts_optimal(self, paper_circular_rg):
+        res = BreakFirstAvailableScheduler().schedule(paper_circular_rg)
+        assert_maximum_schedule(paper_circular_rg, res)
+
+    def test_assert_maximum_rejects_submaximal(self, paper_circular_rg):
+        res = make_result(paper_circular_rg, [Grant(0, 0)])
+        with pytest.raises(ScheduleError, match="augmenting"):
+            assert_maximum_schedule(paper_circular_rg, res)
+
+
+class TestBounds:
+    def test_corollary1_rejects_bad_degree(self):
+        with pytest.raises(InvalidParameterError):
+            corollary1_bound(0)
+
+    def test_approximation_gap_nonnegative(self, paper_circular_rg):
+        from repro.core.approx import SingleBreakScheduler
+
+        opt, got, gap = approximation_gap(
+            paper_circular_rg, SingleBreakScheduler("plus-end")
+        )
+        assert gap == opt - got
+        assert gap >= 0
+
+
+class TestInstanceGenerators:
+    def test_request_vector_shape(self):
+        vec = random_request_vector(8, 16, 0.9, rng=3)
+        assert len(vec) == 8
+        assert all(isinstance(x, int) and 0 <= x <= 16 for x in vec)
+
+    def test_request_vector_load_scaling(self):
+        rng = np.random.default_rng(0)
+        light = np.mean(
+            [sum(random_request_vector(16, 8, 0.1, rng)) for _ in range(200)]
+        )
+        heavy = np.mean(
+            [sum(random_request_vector(16, 8, 0.9, rng)) for _ in range(200)]
+        )
+        # Expected totals: k * load.
+        assert abs(light - 1.6) < 0.5
+        assert abs(heavy - 14.4) < 1.5
+
+    def test_request_vector_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_request_vector(0, 8, 0.5)
+        with pytest.raises(InvalidParameterError):
+            random_request_vector(8, 8, 1.5)
+
+    def test_circular_instance_types(self):
+        rg = random_circular_instance(8, 1, 1, rng=1)
+        assert isinstance(rg, RequestGraph)
+        assert isinstance(rg.scheme, CircularConversion)
+        assert all(rg.available)  # default: no occupied channels
+
+    def test_noncircular_instance_types(self):
+        rg = random_noncircular_instance(8, 1, 2, rng=1)
+        assert isinstance(rg.scheme, NonCircularConversion)
+
+    def test_occupied_fraction(self):
+        rng = np.random.default_rng(2)
+        occupied = 0
+        total = 0
+        for _ in range(100):
+            rg = random_circular_instance(
+                10, 1, 1, occupied_fraction=0.4, rng=rng
+            )
+            occupied += 10 - rg.n_available
+            total += 10
+        assert 0.3 < occupied / total < 0.5
+
+    def test_reproducible_with_int_seed(self):
+        a = random_circular_instance(8, 1, 1, rng=42)
+        b = random_circular_instance(8, 1, 1, rng=42)
+        assert a == b

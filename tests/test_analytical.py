@@ -1,0 +1,100 @@
+"""Tests for the analytical loss models (exact closed forms vs brute force
+enumeration and vs the simulator)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.analytical import (
+    full_range_loss_probability,
+    full_range_throughput,
+    loss_bounds,
+    no_conversion_loss_probability,
+)
+from repro.errors import InvalidParameterError
+
+
+def _brute_force_full_range(n_fibers: int, k: int, load: float) -> float:
+    """E[(X-k)^+]/E[X] by direct pmf enumeration (independent code path)."""
+    n = n_fibers * k
+    p = load / n_fibers
+    mean = n * p
+    lost = 0.0
+    for x in range(n + 1):
+        pmf = math.comb(n, x) * p**x * (1 - p) ** (n - x)
+        lost += max(0, x - k) * pmf
+    return lost / mean
+
+
+class TestFullRange:
+    def test_matches_brute_force(self):
+        for n_fibers, k, load in ((2, 3, 0.8), (4, 4, 0.5), (8, 6, 1.0)):
+            assert full_range_loss_probability(
+                n_fibers, k, load
+            ) == pytest.approx(_brute_force_full_range(n_fibers, k, load))
+
+    def test_zero_load(self):
+        assert full_range_loss_probability(4, 8, 0.0) == 0.0
+
+    def test_monotone_in_load(self):
+        losses = [
+            full_range_loss_probability(4, 8, load)
+            for load in (0.2, 0.5, 0.8, 1.0)
+        ]
+        assert losses == sorted(losses)
+
+    def test_single_fiber_no_contention(self):
+        # N=1: X ~ Binomial(k, load) <= k always; nothing is ever lost.
+        assert full_range_loss_probability(1, 8, 0.9) == pytest.approx(0.0)
+
+    def test_throughput_complement(self):
+        n_fibers, k, load = 4, 8, 0.9
+        loss = full_range_loss_probability(n_fibers, k, load)
+        thru = full_range_throughput(n_fibers, k, load)
+        # carried = offered * (1 - loss); offered per channel-slot = load.
+        assert thru == pytest.approx(load * (1 - loss))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            full_range_loss_probability(0, 8, 0.5)
+        with pytest.raises(InvalidParameterError):
+            full_range_loss_probability(4, 8, 1.5)
+
+
+class TestNoConversion:
+    def test_closed_form_small_case(self):
+        # N=2, load p per channel to a uniform destination: each wavelength
+        # gets X ~ Binomial(2, p/2); loss = 1 - P(X>=1)/E[X].
+        n, load = 2, 0.8
+        q = load / n
+        expected = 1 - (1 - (1 - q) ** n) / (n * q)
+        assert no_conversion_loss_probability(n, load) == pytest.approx(expected)
+
+    def test_zero_load(self):
+        assert no_conversion_loss_probability(4, 0.0) == 0.0
+
+    def test_worse_than_full_range(self):
+        for load in (0.3, 0.7, 1.0):
+            assert no_conversion_loss_probability(
+                8, load
+            ) > full_range_loss_probability(8, 16, load)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(5)
+        n_fibers, load, k = 4, 0.9, 1
+        trials = 200_000
+        x = rng.binomial(n_fibers, load / n_fibers, size=trials)
+        mc = 1 - np.minimum(x, k).mean() / x.mean()
+        assert no_conversion_loss_probability(n_fibers, load) == pytest.approx(
+            mc, abs=5e-3
+        )
+
+
+class TestBounds:
+    def test_bracket_ordering(self):
+        lo, hi = loss_bounds(8, 16, 0.9)
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_bracket_collapses_at_zero_load(self):
+        assert loss_bounds(8, 16, 0.0) == (0.0, 0.0)

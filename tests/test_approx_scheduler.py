@@ -1,0 +1,175 @@
+"""Tests for the single-break approximation (Section IV-C, Thm 3, Cor 1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.bounds import approximation_gap, corollary1_bound, theorem3_bound
+from repro.core.approx import SingleBreakScheduler, deficit_bound
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.errors import InvalidParameterError
+from repro.graphs.conversion import CircularConversion
+from repro.graphs.request_graph import RequestGraph
+from tests.conftest import circular_instances
+
+
+class TestDeficitBound:
+    def test_theorem3_values(self):
+        assert deficit_bound(1, 3) == 2
+        assert deficit_bound(2, 3) == 1  # shortest edge for d=3
+        assert deficit_bound(3, 3) == 2
+
+    def test_corollary1_odd_d(self):
+        # (d-1)/2 for odd d: d=3 -> 1, d=5 -> 2, d=7 -> 3.
+        assert corollary1_bound(3) == 1
+        assert corollary1_bound(5) == 2
+        assert corollary1_bound(7) == 3
+
+    def test_corollary1_even_d(self):
+        assert corollary1_bound(2) == 1
+        assert corollary1_bound(4) == 2
+
+    def test_corollary1_degree_one(self):
+        assert corollary1_bound(1) == 0  # single edge: exact
+
+    def test_delta_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            deficit_bound(0, 3)
+        with pytest.raises(InvalidParameterError):
+            deficit_bound(4, 3)
+
+    def test_theorem3_alias(self):
+        assert theorem3_bound(2, 5) == deficit_bound(2, 5)
+
+
+class TestScheduler:
+    def test_unknown_policy(self):
+        with pytest.raises(InvalidParameterError):
+            SingleBreakScheduler("middle-out")
+
+    def test_scheme_gate(self, paper_noncircular_rg):
+        with pytest.raises(InvalidParameterError):
+            SingleBreakScheduler().schedule(paper_noncircular_rg)
+
+    def test_name_embeds_policy(self):
+        assert "shortest" in SingleBreakScheduler("shortest").name
+
+    def test_stats_expose_delta_and_bound(self, paper_circular_rg):
+        res = SingleBreakScheduler("shortest").schedule(paper_circular_rg)
+        assert res.stats["delta"] == 2  # middle of a 3-wide window
+        assert res.stats["deficit_bound"] == 1
+
+    def test_no_requests(self, paper_circular_scheme):
+        rg = RequestGraph(paper_circular_scheme, [0] * 6)
+        res = SingleBreakScheduler().schedule(rg)
+        assert res.n_granted == 0
+
+    def test_all_occupied(self, paper_circular_scheme):
+        rg = RequestGraph(paper_circular_scheme, (2, 1, 0, 1, 1, 2), [False] * 6)
+        res = SingleBreakScheduler().schedule(rg)
+        assert res.n_granted == 0
+
+    def test_shortest_policy_picks_middle(self):
+        scheme = CircularConversion(10, 2, 2)
+        rg = RequestGraph(scheme, [1] + [0] * 9)
+        res = SingleBreakScheduler("shortest").schedule(rg)
+        # With everything free, the pivot λ0 must be matched to channel 0.
+        assert res.grants[0].channel == 0
+
+    def test_minus_end_policy(self):
+        scheme = CircularConversion(10, 2, 2)
+        rg = RequestGraph(scheme, [1] + [0] * 9)
+        res = SingleBreakScheduler("minus-end").schedule(rg)
+        assert res.grants[0].channel == 8  # (0 - 2) mod 10
+
+    def test_plus_end_policy(self):
+        scheme = CircularConversion(10, 2, 2)
+        rg = RequestGraph(scheme, [1] + [0] * 9)
+        res = SingleBreakScheduler("plus-end").schedule(rg)
+        assert res.grants[0].channel == 2
+
+    def test_random_policy_reproducible(self, paper_circular_rg):
+        a = SingleBreakScheduler("random", seed=5).schedule(paper_circular_rg)
+        b = SingleBreakScheduler("random", seed=5).schedule(paper_circular_rg)
+        assert sorted(a.grants, key=lambda g: g.channel) == sorted(
+            b.grants, key=lambda g: g.channel
+        )
+
+    def test_occupied_fallback_choice(self):
+        # Shortest edge (channel 0) occupied: must fall back to an available
+        # adjacent channel, not fail.
+        scheme = CircularConversion(6, 1, 1)
+        rg = RequestGraph(scheme, [1, 0, 0, 0, 0, 0], [False, True] + [True] * 4)
+        res = SingleBreakScheduler("shortest").schedule(rg)
+        assert res.n_granted == 1
+        assert res.grants[0].channel in (1, 5)
+
+
+class TestTheorem3Property:
+    @settings(max_examples=100, deadline=None)
+    @given(circular_instances(max_k=10))
+    def test_gap_within_bound_every_policy(self, rg):
+        for policy in ("shortest", "minus-end", "plus-end"):
+            sched = SingleBreakScheduler(policy)
+            res = sched.schedule(rg)
+            opt = HopcroftKarpScheduler().schedule(rg).n_granted
+            gap = opt - res.n_granted
+            assert gap >= 0
+            if res.n_granted > 0:
+                assert gap <= res.stats["deficit_bound"], (
+                    policy,
+                    rg.request_vector,
+                    rg.available,
+                )
+
+    @settings(max_examples=80, deadline=None)
+    @given(circular_instances(max_k=10))
+    def test_shortest_within_corollary1(self, rg):
+        res = SingleBreakScheduler("shortest").schedule(rg)
+        opt = HopcroftKarpScheduler().schedule(rg).n_granted
+        if res.n_granted > 0:
+            assert opt - res.n_granted <= corollary1_bound(rg.scheme.degree)
+
+
+class TestTightness:
+    """The adversarial family meets Corollary 1's bound exactly."""
+
+    @pytest.mark.parametrize("a", [1, 2, 3, 4])
+    def test_deficit_equals_corollary1_bound(self, a):
+        from repro.analysis.adversarial import tight_single_break_instance
+
+        rg = tight_single_break_instance(a)
+        d = rg.scheme.degree
+        assert d == 2 * a + 1
+        opt = HopcroftKarpScheduler().schedule(rg).n_granted
+        got = SingleBreakScheduler("shortest").schedule(rg).n_granted
+        assert opt == 2 * (a + 1)
+        assert got == a + 2
+        assert opt - got == corollary1_bound(d)
+
+    @pytest.mark.parametrize("a", [1, 2, 3])
+    def test_full_bfa_still_exact_on_adversarial(self, a):
+        from repro.analysis.adversarial import tight_single_break_instance
+        from repro.core.break_first_available import (
+            BreakFirstAvailableScheduler,
+        )
+
+        rg = tight_single_break_instance(a)
+        assert (
+            BreakFirstAvailableScheduler().schedule(rg).n_granted
+            == HopcroftKarpScheduler().schedule(rg).n_granted
+        )
+
+    def test_reach_validated(self):
+        from repro.analysis.adversarial import tight_single_break_instance
+
+        with pytest.raises(InvalidParameterError):
+            tight_single_break_instance(0)
+
+
+class TestApproximationGapHelper:
+    def test_returns_triple(self, paper_circular_rg):
+        opt, got, gap = approximation_gap(
+            paper_circular_rg, SingleBreakScheduler("shortest")
+        )
+        assert opt == 6
+        assert gap == opt - got >= 0

@@ -1,0 +1,138 @@
+"""Tests for the asynchronous FCFS wavelength-routing simulator and the
+Erlang-B closed form."""
+
+import math
+
+import pytest
+
+from repro.analysis.analytical import erlang_b
+from repro.errors import InvalidParameterError
+from repro.graphs.conversion import CircularConversion, FullRangeConversion
+from repro.sim.asynchronous import AsyncWavelengthRouter
+
+
+def _erlang_b_direct(a: float, c: int) -> float:
+    """Direct-sum Erlang B (independent reference implementation)."""
+    num = a**c / math.factorial(c)
+    den = sum(a**j / math.factorial(j) for j in range(c + 1))
+    return num / den
+
+
+class TestErlangB:
+    @pytest.mark.parametrize("a,c", [(1.0, 1), (5.0, 8), (9.0, 12), (20.0, 16)])
+    def test_matches_direct_sum(self, a, c):
+        assert erlang_b(a, c) == pytest.approx(_erlang_b_direct(a, c))
+
+    def test_zero_traffic(self):
+        assert erlang_b(0.0, 4) == 0.0
+
+    def test_monotone_in_traffic(self):
+        vals = [erlang_b(a, 8) for a in (1.0, 4.0, 8.0, 16.0)]
+        assert vals == sorted(vals)
+
+    def test_monotone_in_servers(self):
+        vals = [erlang_b(8.0, c) for c in (2, 4, 8, 16)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            erlang_b(-1.0, 4)
+        with pytest.raises(InvalidParameterError):
+            erlang_b(1.0, 0)
+
+
+class TestRouterValidation:
+    def test_bad_params(self):
+        scheme = CircularConversion(4, 1, 1)
+        with pytest.raises(InvalidParameterError):
+            AsyncWavelengthRouter(2, scheme, arrival_rate=0.0)
+        with pytest.raises(InvalidParameterError):
+            AsyncWavelengthRouter(2, scheme, 1.0, holding_time=0.0)
+        with pytest.raises(InvalidParameterError):
+            AsyncWavelengthRouter(2, scheme, 1.0, policy="best-fit")
+
+    def test_bad_run_args(self):
+        router = AsyncWavelengthRouter(2, CircularConversion(4, 1, 1), 1.0)
+        with pytest.raises(InvalidParameterError):
+            router.run(0.0)
+        with pytest.raises(InvalidParameterError):
+            router.run(10.0, warmup=-1.0)
+
+    def test_offered_erlangs(self):
+        router = AsyncWavelengthRouter(
+            2, CircularConversion(4, 1, 1), 3.0, holding_time=2.0
+        )
+        assert router.offered_erlangs_per_fiber == 6.0
+
+
+class TestRouterBehaviour:
+    def test_counters_consistent(self):
+        router = AsyncWavelengthRouter(
+            3, CircularConversion(8, 1, 1), arrival_rate=6.0, seed=1
+        )
+        res = router.run(300.0, warmup=30.0)
+        assert 0 <= res.blocked <= res.offered
+        assert 0.0 <= res.blocking_probability <= 1.0
+        assert 0.0 <= res.utilization <= 1.0
+
+    def test_reproducible(self):
+        def run(seed):
+            return AsyncWavelengthRouter(
+                2, CircularConversion(6, 1, 1), 4.0, seed=seed
+            ).run(200.0)
+
+        a, b = run(9), run(9)
+        assert (a.offered, a.blocked, a.carried_time) == (
+            b.offered,
+            b.blocked,
+            b.carried_time,
+        )
+        c = run(10)
+        assert (a.offered, a.blocked) != (c.offered, c.blocked)
+
+    def test_light_load_no_blocking(self):
+        router = AsyncWavelengthRouter(
+            2, FullRangeConversion(16), arrival_rate=0.5, seed=2
+        )
+        res = router.run(300.0)
+        assert res.blocking_probability < 0.001
+
+    def test_erlang_b_agreement_full_range(self):
+        k, erlangs = 8, 6.0
+        router = AsyncWavelengthRouter(
+            2, FullRangeConversion(k), arrival_rate=erlangs, seed=3
+        )
+        res = router.run(6000.0, warmup=300.0)
+        assert res.blocking_probability == pytest.approx(
+            erlang_b(erlangs, k), abs=0.015
+        )
+
+    def test_degree_one_blocks_most(self):
+        def blocking(scheme):
+            return AsyncWavelengthRouter(
+                2, scheme, arrival_rate=6.0, seed=4
+            ).run(800.0, warmup=80.0).blocking_probability
+
+        b1 = blocking(CircularConversion(8, 0, 0))
+        b3 = blocking(CircularConversion(8, 1, 1))
+        bf = blocking(FullRangeConversion(8))
+        assert b1 > b3 > bf
+
+    @pytest.mark.parametrize("policy", ["first-fit", "last-fit", "random"])
+    def test_policies_all_valid(self, policy):
+        router = AsyncWavelengthRouter(
+            2,
+            CircularConversion(6, 1, 1),
+            arrival_rate=5.0,
+            policy=policy,
+            seed=5,
+        )
+        res = router.run(200.0)
+        assert res.offered > 0
+
+    def test_carried_erlangs_bounded_by_k(self):
+        router = AsyncWavelengthRouter(
+            2, FullRangeConversion(4), arrival_rate=50.0, seed=6
+        )
+        res = router.run(200.0, warmup=20.0)
+        assert res.carried_erlangs_per_fiber <= 4.0 + 1e-9

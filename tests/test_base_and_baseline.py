@@ -1,0 +1,123 @@
+"""Tests for schedule validation, ScheduleResult, and baseline schedulers."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.base import make_result, validate_schedule
+from repro.core.baseline import GloverScheduler, HopcroftKarpScheduler
+from repro.core.full_range import FullRangeScheduler
+from repro.errors import InvalidParameterError, ScheduleError
+from repro.graphs.conversion import CircularConversion, FullRangeConversion
+from repro.graphs.request_graph import RequestGraph
+from repro.types import Grant
+from tests.conftest import fullrange_instances, noncircular_instances
+
+
+@pytest.fixture
+def rg6():
+    return RequestGraph(CircularConversion(6, 1, 1), [2, 1, 0, 1, 1, 2])
+
+
+class TestValidateSchedule:
+    def test_valid(self, rg6):
+        validate_schedule(rg6, [Grant(0, 0), Grant(0, 1)])
+
+    def test_channel_reuse(self, rg6):
+        with pytest.raises(ScheduleError, match="assigned twice"):
+            validate_schedule(rg6, [Grant(0, 0), Grant(1, 0)])
+
+    def test_occupied_channel(self):
+        rg = RequestGraph(
+            CircularConversion(6, 1, 1), [1] * 6, [False] + [True] * 5
+        )
+        with pytest.raises(ScheduleError, match="occupied"):
+            validate_schedule(rg, [Grant(0, 0)])
+
+    def test_conversion_infeasible(self, rg6):
+        with pytest.raises(ScheduleError, match="converted"):
+            validate_schedule(rg6, [Grant(0, 3)])
+
+    def test_overgranted_wavelength(self, rg6):
+        with pytest.raises(ScheduleError, match="only"):
+            validate_schedule(rg6, [Grant(1, 0), Grant(1, 1), Grant(1, 2)])
+
+    def test_out_of_range_wavelength(self, rg6):
+        with pytest.raises(ScheduleError):
+            validate_schedule(rg6, [Grant(9, 0)])
+
+    def test_out_of_range_channel(self, rg6):
+        with pytest.raises(ScheduleError):
+            validate_schedule(rg6, [Grant(0, 9)])
+
+
+class TestScheduleResult:
+    def test_vectors(self, rg6):
+        res = make_result(rg6, [Grant(0, 0), Grant(5, 5)], stats={"x": 1})
+        assert res.n_granted == 2
+        assert res.n_requested == 7
+        assert res.n_rejected == 5
+        assert res.granted_vector == (1, 0, 0, 0, 0, 1)
+        assert res.rejected_vector == (1, 1, 0, 1, 1, 1)
+        assert res.channel_assignment == {0: 0, 5: 5}
+        assert res.stats == {"x": 1}
+
+    def test_make_result_validates(self, rg6):
+        with pytest.raises(ScheduleError):
+            make_result(rg6, [Grant(0, 3)])
+
+
+class TestHopcroftKarpScheduler:
+    def test_works_on_any_scheme(self, rg6, paper_noncircular_rg):
+        assert HopcroftKarpScheduler().schedule(rg6).n_granted == 6
+        assert HopcroftKarpScheduler().schedule(paper_noncircular_rg).n_granted == 6
+
+    def test_stats(self, rg6):
+        res = HopcroftKarpScheduler().schedule(rg6)
+        assert res.stats["n_left"] == 7
+        assert res.stats["n_edges"] == 21
+
+    def test_empty(self):
+        rg = RequestGraph(CircularConversion(4, 1, 1), [0, 0, 0, 0])
+        assert HopcroftKarpScheduler().schedule(rg).n_granted == 0
+
+
+class TestGloverScheduler:
+    def test_scheme_gate(self, rg6):
+        with pytest.raises(InvalidParameterError):
+            GloverScheduler().schedule(rg6)
+
+    @settings(max_examples=80, deadline=None)
+    @given(noncircular_instances())
+    def test_optimal(self, rg):
+        assert (
+            GloverScheduler().schedule(rg).n_granted
+            == HopcroftKarpScheduler().schedule(rg).n_granted
+        )
+
+
+class TestFullRangeScheduler:
+    def test_scheme_gate(self, rg6):
+        with pytest.raises(InvalidParameterError, match="full range"):
+            FullRangeScheduler().schedule(rg6)
+
+    def test_grant_all_when_under_capacity(self):
+        rg = RequestGraph(FullRangeConversion(6), [0, 2, 3, 0, 1, 0])
+        assert FullRangeScheduler().schedule(rg).n_granted == 6
+
+    def test_cap_at_k(self):
+        rg = RequestGraph(FullRangeConversion(3), [2, 2, 2])
+        assert FullRangeScheduler().schedule(rg).n_granted == 3
+
+    def test_cap_at_available(self):
+        rg = RequestGraph(
+            FullRangeConversion(4), [2, 2, 0, 0], [True, False, False, True]
+        )
+        res = FullRangeScheduler().schedule(rg)
+        assert res.n_granted == 2
+        assert {g.channel for g in res.grants} == {0, 3}
+
+    @settings(max_examples=60, deadline=None)
+    @given(fullrange_instances())
+    def test_always_min_of_requests_and_capacity(self, rg):
+        res = FullRangeScheduler().schedule(rg)
+        assert res.n_granted == min(rg.n_requests, rg.n_available)

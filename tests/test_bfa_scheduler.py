@@ -1,0 +1,148 @@
+"""Tests for Break-and-First-Available (paper Table 3, Theorem 2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.verify import assert_maximum_schedule
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.core.break_first_available import (
+    BreakFirstAvailableReferenceScheduler,
+    BreakFirstAvailableScheduler,
+    bfa_fast,
+)
+from repro.errors import InvalidParameterError
+from repro.graphs.conversion import CircularConversion, FullRangeConversion
+from repro.graphs.request_graph import RequestGraph
+from tests.conftest import PAPER_VECTOR, circular_instances
+
+
+class TestFastFunction:
+    def test_empty(self):
+        grants, stats = bfa_fast([0, 0, 0], [True] * 3, 1, 1)
+        assert grants == []
+        assert stats["reduced_graphs"] == 0
+
+    def test_paper_example(self):
+        grants, _ = bfa_fast(list(PAPER_VECTOR), [True] * 6, 1, 1)
+        assert len(grants) == 6
+
+    def test_intro_example(self):
+        # 2 on λ1, 3 on λ2, 1 on λ4: 5 of 6 granted (Section I).
+        grants, _ = bfa_fast([0, 2, 3, 0, 1, 0], [True] * 6, 1, 1)
+        assert len(grants) == 5
+
+    def test_k_one(self):
+        grants, _ = bfa_fast([2], [True], 0, 0)
+        assert len(grants) == 1
+
+    def test_all_channels_occupied(self):
+        grants, stats = bfa_fast([1, 1], [False, False], 1, 0)
+        assert grants == []
+        assert stats["pivots_skipped"] >= 1
+
+    def test_unmatchable_pivot_skipped(self):
+        # λ0's whole window {4, 0, 1} occupied; λ2's window {1, 2, 3} still
+        # has channel 3 free.
+        grants, stats = bfa_fast(
+            [1, 0, 1, 0, 0], [False, False, False, True, False], 1, 1
+        )
+        assert stats["pivots_skipped"] == 1
+        assert len(grants) == 1
+        assert grants[0].wavelength == 2 and grants[0].channel == 3
+
+    def test_degree_exceeds_k_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            bfa_fast([1, 1], [True, True], 1, 1)
+
+    def test_mask_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            bfa_fast([1, 1], [True], 0, 0)
+
+    def test_full_range_degree(self):
+        # e + f + 1 == k: circular full range, still exact.
+        grants, _ = bfa_fast([2, 2, 2], [True] * 3, 1, 1)
+        assert len(grants) == 3
+
+    def test_grants_feasible(self):
+        grants, _ = bfa_fast([1, 2, 0, 1, 1], [True, True, False, True, True], 1, 1)
+        channels = [g.channel for g in grants]
+        assert len(set(channels)) == len(channels)
+        assert 2 not in channels
+        scheme = CircularConversion(5, 1, 1)
+        for g in grants:
+            assert scheme.can_convert(g.wavelength, g.channel)
+
+
+class TestScheduler:
+    def test_scheme_gate(self, paper_noncircular_rg):
+        with pytest.raises(InvalidParameterError, match="circular"):
+            BreakFirstAvailableScheduler().schedule(paper_noncircular_rg)
+
+    def test_accepts_full_range_circular(self):
+        rg = RequestGraph(FullRangeConversion(4), [1, 1, 1, 1])
+        assert BreakFirstAvailableScheduler().schedule(rg).n_granted == 4
+
+    def test_paper_figure4(self, paper_circular_rg):
+        res = BreakFirstAvailableScheduler().schedule(paper_circular_rg)
+        assert res.n_granted == 6
+        assert res.n_rejected == 1
+
+    def test_stats_counts_reduced_graphs(self, paper_circular_rg):
+        res = BreakFirstAvailableScheduler().schedule(paper_circular_rg)
+        assert 1 <= res.stats["reduced_graphs"] <= 3  # early exit allowed
+
+    @settings(max_examples=150, deadline=None)
+    @given(circular_instances())
+    def test_theorem2_optimality(self, rg):
+        """BFA cardinality == Hopcroft–Karp on every circular instance —
+        including availability masks and d == k."""
+        res = BreakFirstAvailableScheduler().schedule(rg)
+        opt = HopcroftKarpScheduler().schedule(rg)
+        assert res.n_granted == opt.n_granted
+        assert_maximum_schedule(rg, res)
+
+    @settings(max_examples=100, deadline=None)
+    @given(circular_instances(max_k=9))
+    def test_fast_equals_reference_cardinality(self, rg):
+        fast = BreakFirstAvailableScheduler().schedule(rg)
+        ref = BreakFirstAvailableReferenceScheduler().schedule(rg)
+        assert fast.n_granted == ref.n_granted
+
+    @settings(max_examples=80, deadline=None)
+    @given(circular_instances())
+    def test_schedule_always_feasible(self, rg):
+        res = BreakFirstAvailableScheduler().schedule(rg)
+        channels = [g.channel for g in res.grants]
+        assert len(set(channels)) == len(channels)
+        for g in res.grants:
+            assert rg.available[g.channel]
+            assert rg.scheme.can_convert(g.wavelength, g.channel)
+
+
+class TestReferenceScheduler:
+    def test_paper_figure4(self, paper_circular_rg):
+        res = BreakFirstAvailableReferenceScheduler().schedule(paper_circular_rg)
+        assert res.n_granted == 6
+
+    def test_no_requests(self, paper_circular_scheme):
+        rg = RequestGraph(paper_circular_scheme, [0] * 6)
+        res = BreakFirstAvailableReferenceScheduler().schedule(rg)
+        assert res.n_granted == 0
+        assert res.stats["reduced_graphs"] == 0
+
+    def test_scheme_gate(self, paper_noncircular_rg):
+        with pytest.raises(InvalidParameterError):
+            BreakFirstAvailableReferenceScheduler().schedule(paper_noncircular_rg)
+
+
+class TestAsymmetricReach:
+    @pytest.mark.parametrize("e,f", [(0, 2), (2, 0), (3, 1), (0, 0)])
+    def test_optimal(self, e, f, rng):
+        hk = HopcroftKarpScheduler()
+        bfa = BreakFirstAvailableScheduler()
+        for _ in range(40):
+            k = int(rng.integers(max(2, e + f + 1), 12))
+            vec = rng.integers(0, 3, size=k).tolist()
+            avail = (rng.random(k) > 0.25).tolist()
+            rg = RequestGraph(CircularConversion(k, e, f), vec, avail)
+            assert bfa.schedule(rg).n_granted == hk.schedule(rg).n_granted

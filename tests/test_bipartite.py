@@ -1,0 +1,109 @@
+"""Tests for the explicit bipartite-graph substrate."""
+
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.graphs.bipartite import BipartiteGraph
+
+
+@pytest.fixture
+def small() -> BipartiteGraph:
+    return BipartiteGraph(3, 4, [(0, 0), (0, 1), (1, 1), (2, 3)])
+
+
+class TestConstruction:
+    def test_counts(self, small):
+        assert small.n_left == 3
+        assert small.n_right == 4
+        assert small.n_edges == 4
+
+    def test_empty_graph(self):
+        g = BipartiteGraph(0, 0)
+        assert g.n_edges == 0
+
+    def test_rejects_out_of_range_left(self):
+        with pytest.raises(InvalidGraphError):
+            BipartiteGraph(2, 2, [(2, 0)])
+
+    def test_rejects_out_of_range_right(self):
+        with pytest.raises(InvalidGraphError):
+            BipartiteGraph(2, 2, [(0, 2)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(InvalidGraphError):
+            BipartiteGraph(2, 2, [(0, 0), (0, 0)])
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(Exception):
+            BipartiteGraph(-1, 2)
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = BipartiteGraph(1, 5, [(0, 4), (0, 1), (0, 3)])
+        assert g.neighbors_of_left(0) == (1, 3, 4)
+
+    def test_neighbors_of_right(self, small):
+        assert small.neighbors_of_right(1) == (0, 1)
+        assert small.neighbors_of_right(2) == ()
+
+    def test_degrees(self, small):
+        assert small.degree_left(0) == 2
+        assert small.degree_right(3) == 1
+
+    def test_has_edge(self, small):
+        assert small.has_edge(0, 0)
+        assert not small.has_edge(0, 3)
+
+    def test_iter_edges_sorted(self, small):
+        assert list(small.iter_edges_sorted()) == [(0, 0), (0, 1), (1, 1), (2, 3)]
+
+    def test_equality_and_hash(self):
+        g1 = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        g2 = BipartiteGraph(2, 2, [(1, 1), (0, 0)])
+        g3 = BipartiteGraph(2, 2, [(0, 1)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != g3
+        assert g1 != "not a graph"
+
+    def test_repr(self, small):
+        assert "BipartiteGraph" in repr(small)
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self, small):
+        sub, left_map, right_map = small.induced_subgraph([0, 2], [1, 3])
+        assert left_map == [0, 2]
+        assert right_map == [1, 3]
+        assert sub.n_left == 2 and sub.n_right == 2
+        assert sub.edges() == frozenset({(0, 0), (1, 1)})  # a0-b1, a2-b3
+
+    def test_induced_subgraph_rejects_foreign_vertex(self, small):
+        with pytest.raises(InvalidGraphError):
+            small.induced_subgraph([5], [0])
+        with pytest.raises(InvalidGraphError):
+            small.induced_subgraph([0], [9])
+
+    def test_without_edges(self, small):
+        g = small.without_edges([(0, 0)])
+        assert not g.has_edge(0, 0)
+        assert g.n_edges == 3
+
+    def test_without_edges_missing(self, small):
+        with pytest.raises(InvalidGraphError):
+            small.without_edges([(2, 0)])
+
+    def test_reorder_roundtrip(self, small):
+        left_order = [2, 0, 1]
+        right_order = [3, 2, 1, 0]
+        g = small.reorder(left_order, right_order)
+        # edge (2,3) becomes (0,0)
+        assert g.has_edge(0, 0)
+        assert g.n_edges == small.n_edges
+
+    def test_reorder_rejects_non_permutation(self, small):
+        with pytest.raises(InvalidGraphError):
+            small.reorder([0, 0, 1], [0, 1, 2, 3])
+        with pytest.raises(InvalidGraphError):
+            small.reorder([0, 1, 2], [0, 1, 2, 2])

@@ -1,0 +1,141 @@
+"""Tests for graph breaking (Definition 2, Lemmas 2–4, Fig. 5)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidParameterError
+from repro.graphs.breaking import break_graph
+from repro.graphs.crossing import crosses
+from repro.graphs.hopcroft_karp import hopcroft_karp
+from tests.conftest import circular_instances
+
+
+class TestPaperFig5:
+    """Breaking the Fig. 3(a) graph at edge a2 b1."""
+
+    @pytest.fixture
+    def broken(self, paper_circular_rg):
+        return break_graph(paper_circular_rg, 2, 1)
+
+    def test_orders(self, broken):
+        assert broken.left_order == (3, 4, 5, 6, 0, 1)
+        assert broken.right_order == (2, 3, 4, 5, 0)
+
+    def test_sizes(self, broken):
+        assert broken.reduced.n_left == 6
+        assert broken.reduced.n_right == 5
+
+    def test_convex_and_monotone(self, broken):
+        assert broken.is_convex
+        intervals = [iv for iv in broken.intervals() if iv[1] >= iv[0]]
+        assert intervals == sorted(intervals)
+        ends = [hi for _lo, hi in intervals]
+        assert ends == sorted(ends)
+
+    def test_a0_a1_adjacency_reduced(self, broken, paper_circular_rg):
+        """λ0 requests lose their b1 link and keep {b5, b0} (case analysis
+        for W(j) in [u-f+1, W(i)-1])."""
+        rg = paper_circular_rg
+        for new_idx, orig in enumerate(broken.left_order):
+            if orig in (0, 1):  # the λ0 requests
+                nbrs = {
+                    broken.right_order[b]
+                    for b in broken.reduced.neighbors_of_left(new_idx)
+                }
+                assert nbrs == {5, 0}
+        assert rg.wavelength_of(0) == 0
+
+    def test_solve_is_maximum(self, broken, paper_circular_rg):
+        m = broken.solve()
+        m.validate_against(paper_circular_rg.graph)
+        assert len(m) == len(hopcroft_karp(paper_circular_rg.graph))
+        assert (2, 1) in m  # the breaking edge is part of the matching
+
+
+class TestBreakGraphValidation:
+    def test_non_edge_rejected(self, paper_circular_rg):
+        with pytest.raises(InvalidParameterError):
+            break_graph(paper_circular_rg, 0, 3)  # λ0 cannot reach b3
+
+    def test_out_of_range(self, paper_circular_rg):
+        with pytest.raises(InvalidParameterError):
+            break_graph(paper_circular_rg, 99, 0)
+        with pytest.raises(InvalidParameterError):
+            break_graph(paper_circular_rg, 0, 99)
+
+    def test_occupied_channel_rejected(self, paper_circular_scheme):
+        from repro.graphs.request_graph import RequestGraph
+
+        rg = RequestGraph(
+            paper_circular_scheme, (2, 1, 0, 1, 1, 2),
+            [True, False, True, True, True, True],
+        )
+        with pytest.raises(InvalidParameterError):
+            break_graph(rg, 2, 1)
+
+
+class TestBreakingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(circular_instances(max_k=8))
+    def test_reduced_graph_always_convex(self, rg):
+        """Lemma 2 over random instances and every possible breaking edge of
+        the first three left vertices."""
+        g = rg.graph
+        for i in range(min(3, g.n_left)):
+            for u in g.neighbors_of_left(i):
+                broken = break_graph(rg, i, u)
+                assert broken.is_convex
+                intervals = [
+                    iv for iv in broken.intervals() if iv[1] >= iv[0]
+                ]
+                assert intervals == sorted(intervals)
+                assert [hi for _, hi in intervals] == sorted(
+                    hi for _, hi in intervals
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(circular_instances(max_k=8))
+    def test_removed_edges_are_exactly_definition2(self, rg):
+        g = rg.graph
+        if g.n_left == 0 or g.n_edges == 0:
+            return
+        i = next(a for a in range(g.n_left) if g.degree_left(a) > 0)
+        u = g.neighbors_of_left(i)[0]
+        broken = break_graph(rg, i, u)
+        kept = {
+            (broken.left_order[a], broken.right_order[b])
+            for a, b in broken.reduced.edges()
+        }
+        for (j, v) in g.edges():
+            should_remove = (
+                j == i or v == u or crosses(rg, (j, v), (i, u))
+            )
+            assert ((j, v) not in kept) == should_remove
+
+    @settings(max_examples=50, deadline=None)
+    @given(circular_instances(max_k=8))
+    def test_lemma3_lemma4_best_break_is_maximum(self, rg):
+        """Trying all d breaks of the first pivot yields the optimum —
+        the Theorem-2 core."""
+        g = rg.graph
+        opt = len(hopcroft_karp(g))
+        pivot = next(
+            (a for a in range(g.n_left) if g.degree_left(a) > 0), None
+        )
+        if pivot is None:
+            assert opt == 0
+            return
+        best = max(
+            len(break_graph(rg, pivot, u).solve())
+            for u in g.neighbors_of_left(pivot)
+        )
+        assert best == opt
+
+    @settings(max_examples=40, deadline=None)
+    @given(circular_instances(max_k=8))
+    def test_every_break_yields_valid_matching(self, rg):
+        g = rg.graph
+        for i in range(min(2, g.n_left)):
+            for u in g.neighbors_of_left(i):
+                m = break_graph(rg, i, u).solve()
+                m.validate_against(g)

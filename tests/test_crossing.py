@@ -1,0 +1,131 @@
+"""Tests for crossing edges (Definition 1) and uncrossing (Lemma 1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidParameterError
+from repro.graphs.crossing import (
+    crosses,
+    crossing_pairs,
+    has_crossing_edges,
+    uncross_matching,
+)
+from repro.graphs.hopcroft_karp import hopcroft_karp
+from repro.graphs.matching import Matching
+from tests.conftest import circular_instances
+
+
+class TestPaperExamples:
+    """The worked examples following Definition 1."""
+
+    def test_a0b1_crosses_a1b0(self, paper_circular_rg):
+        assert crosses(paper_circular_rg, (0, 1), (1, 0))
+        assert crosses(paper_circular_rg, (1, 0), (0, 1))
+
+    def test_a3b4_crosses_a4b3(self, paper_circular_rg):
+        assert crosses(paper_circular_rg, (3, 4), (4, 3))
+        assert crosses(paper_circular_rg, (4, 3), (3, 4))
+
+    def test_a0b5_a4b4_do_not_cross(self, paper_circular_rg):
+        # "though intersecting with each other in the figure, are not a
+        # pair of crossing edges"
+        assert not crosses(paper_circular_rg, (0, 5), (4, 4))
+        assert not crosses(paper_circular_rg, (4, 4), (0, 5))
+
+    def test_edge_does_not_cross_itself(self, paper_circular_rg):
+        assert not crosses(paper_circular_rg, (0, 1), (0, 1))
+
+    def test_same_left_vertex_edges_do_not_cross(self, paper_circular_rg):
+        assert not crosses(paper_circular_rg, (0, 0), (0, 1))
+
+    def test_non_edge_rejected(self, paper_circular_rg):
+        with pytest.raises(InvalidParameterError):
+            crosses(paper_circular_rg, (0, 3), (1, 0))
+        with pytest.raises(InvalidParameterError):
+            crosses(paper_circular_rg, (0, 1), (1, 3))
+
+
+class TestCrossingStructure:
+    @settings(max_examples=60, deadline=None)
+    @given(circular_instances(max_k=8))
+    def test_symmetric_on_matchable_pairs(self, rg):
+        """For vertex-disjoint edge pairs, crossing is symmetric."""
+        edges = sorted(rg.graph.edges())[:12]
+        for x in edges:
+            for y in edges:
+                if x[0] == y[0] or x[1] == y[1]:
+                    continue
+                assert crosses(rg, x, y) == crosses(rg, y, x), (x, y)
+
+    def test_crossing_pairs_lists_both_directions(self, paper_circular_rg):
+        m = Matching([(0, 1), (1, 0)])
+        pairs = crossing_pairs(paper_circular_rg, m)
+        assert ((0, 1), (1, 0)) in pairs
+        assert ((1, 0), (0, 1)) in pairs
+
+    def test_has_crossing_edges(self, paper_circular_rg):
+        assert has_crossing_edges(paper_circular_rg, Matching([(0, 1), (1, 0)]))
+        assert not has_crossing_edges(paper_circular_rg, Matching([(0, 0), (1, 1)]))
+
+
+class TestUncrossing:
+    def test_paper_swap(self, paper_circular_rg):
+        # a0b1 × a1b0  ->  a0b0, a1b1
+        m = uncross_matching(paper_circular_rg, Matching([(0, 1), (1, 0)]))
+        assert m.pairs == frozenset({(0, 0), (1, 1)})
+
+    def test_second_paper_swap(self, paper_circular_rg):
+        # a3b4 × a4b3  ->  a3b3, a4b4
+        m = uncross_matching(paper_circular_rg, Matching([(3, 4), (4, 3)]))
+        assert m.pairs == frozenset({(3, 3), (4, 4)})
+
+    def test_already_uncrossed_is_identity(self, paper_circular_rg):
+        m0 = Matching([(0, 0), (2, 1), (3, 3)])
+        assert uncross_matching(paper_circular_rg, m0) == m0
+
+    def test_preserves_cardinality_and_validity(self, paper_circular_rg):
+        m0 = Matching([(0, 1), (1, 0), (3, 4), (4, 3), (5, 5)])
+        m1 = uncross_matching(paper_circular_rg, m0)
+        assert len(m1) == len(m0)
+        m1.validate_against(paper_circular_rg.graph)
+        assert not has_crossing_edges(paper_circular_rg, m1)
+
+    def test_invalid_matching_rejected(self, paper_circular_rg):
+        with pytest.raises(Exception):
+            uncross_matching(paper_circular_rg, Matching([(0, 3)]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(circular_instances(max_k=8))
+    def test_lemma1_on_maximum_matchings(self, rg):
+        """Any maximum matching can be uncrossed without losing edges —
+        exactly Lemma 1's statement."""
+        m = hopcroft_karp(rg.graph)
+        un = uncross_matching(rg, m)
+        assert len(un) == len(m)
+        un.validate_against(rg.graph)
+        assert not has_crossing_edges(rg, un)
+
+    @settings(max_examples=40, deadline=None)
+    @given(circular_instances(max_k=7))
+    def test_lemma4_every_pivot_has_saturating_uncrossed_maximum(self, rg):
+        """Lemma 4: for any left vertex with nonempty adjacency there is a
+        no-crossing-edge maximum matching using one of its edges."""
+        g = rg.graph
+        opt = len(hopcroft_karp(g))
+        for pivot in range(min(g.n_left, 3)):
+            if g.degree_left(pivot) == 0:
+                continue
+            # Saturate the pivot per the Lemma-4 construction, then uncross.
+            m = hopcroft_karp(g)
+            if m.right_of(pivot) is None:
+                u = g.neighbors_of_left(pivot)[0]
+                displaced = m.left_of(u)
+                pairs = set(m.pairs)
+                if displaced is not None:
+                    pairs.discard((displaced, u))
+                pairs.add((pivot, u))
+                m = Matching(pairs)
+            assert len(m) == opt
+            un = uncross_matching(rg, m)
+            assert len(un) == opt
+            assert un.right_of(pivot) is not None

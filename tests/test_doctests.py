@@ -1,0 +1,20 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.graphs.conversion
+import repro.util.intervals
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.util.intervals, repro.graphs.conversion],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0

@@ -1,0 +1,150 @@
+"""Tests for the experiment registry and every registered experiment.
+
+Each paper artifact's reproduction must run and pass its own checks — this
+is the executable form of EXPERIMENTS.md.  Heavier experiments run with
+reduced trial counts where they accept parameters.
+"""
+
+import io
+
+import pytest
+
+import repro.experiments  # noqa: F401  (registers everything)
+from repro.errors import InvalidParameterError
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.report import render_report, run_all
+
+
+EXPECTED_IDS = {
+    "FIG2", "FIG3", "FIG4", "FIG5",
+    "TAB1", "TAB2", "TAB3",
+    "INTRO", "APPROX",
+    "CPLX-K", "CPLX-N", "CPLX-HK",
+    "PERF-D", "MULTI", "FAIR", "HW",
+    "QOS", "ANALYT", "BATCH", "ASYNC", "ABLATE",
+    "PERF-TYPE", "PERF-BURST", "PERF-K",
+}
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        ids = {eid for eid, _ in all_experiments()}
+        assert ids == EXPECTED_IDS
+
+    def test_unknown_experiment(self):
+        with pytest.raises(InvalidParameterError, match="unknown experiment"):
+            get_experiment("FIG99")
+
+    def test_result_render_contains_checks(self):
+        res = ExperimentResult(
+            "X", "title", ("table",), {"ok": True, "bad": False}, ("n",)
+        )
+        out = res.render()
+        assert "[PASS] ok" in out
+        assert "[FAIL] bad" in out
+        assert "note: n" in out
+        assert not res.passed
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.registry import experiment
+
+        with pytest.raises(InvalidParameterError, match="twice"):
+            experiment("FIG2", "dup")(lambda: None)
+
+
+class TestFigureExperiments:
+    @pytest.mark.parametrize("eid", ["FIG2", "FIG3", "FIG4", "FIG5", "INTRO"])
+    def test_figure_reproductions_pass(self, eid):
+        res = run_experiment(eid)
+        assert res.passed, res.render()
+        assert res.tables
+
+
+class TestAlgorithmExperiments:
+    def test_tab1(self):
+        res = run_experiment("TAB1", trials=10)
+        assert res.passed, res.render()
+
+    def test_tab2(self):
+        res = run_experiment("TAB2", trials=8)
+        assert res.passed, res.render()
+
+    def test_tab3(self):
+        res = run_experiment("TAB3", trials=8)
+        assert res.passed, res.render()
+
+    def test_approx(self):
+        res = run_experiment("APPROX", trials=30)
+        assert res.passed, res.render()
+
+
+class TestSimulationExperiments:
+    def test_perf_d_small(self):
+        res = run_experiment("PERF-D", n_fibers=4, k=8, slots=120)
+        assert res.passed, res.render()
+
+    def test_multi_small(self):
+        res = run_experiment("MULTI", trials=25, slots=120)
+        assert res.passed, res.render()
+
+    def test_fair_small(self):
+        res = run_experiment("FAIR", n_fibers=4, k=6, slots=200)
+        assert res.passed, res.render()
+
+    def test_hw(self):
+        res = run_experiment("HW")
+        assert res.passed, res.render()
+
+
+class TestExtensionExperiments:
+    def test_qos_small(self):
+        res = run_experiment("QOS", trials=40)
+        assert res.passed, res.render()
+
+    def test_analyt_small(self):
+        res = run_experiment("ANALYT", n_fibers=4, k=8, slots=250)
+        assert res.passed, res.render()
+
+    def test_batch_small(self):
+        # Default sizes: the speedup checks are calibrated to M=256/k=64
+        # (FA) and M=1024 (BFA); smaller batches sit near the crossover.
+        res = run_experiment("BATCH")
+        assert res.passed, res.render()
+
+    def test_async_small(self):
+        res = run_experiment(
+            "ASYNC", n_fibers=2, k=8, erlangs=6.0, sim_time=1500.0
+        )
+        assert res.passed, res.render()
+
+    def test_ablate_small(self):
+        res = run_experiment("ABLATE", trials=40)
+        assert res.passed, res.render()
+
+    def test_perf_type_small(self):
+        res = run_experiment("PERF-TYPE", n_fibers=4, k=8, slots=150)
+        assert res.passed, res.render()
+
+    def test_perf_burst_small(self):
+        res = run_experiment("PERF-BURST", n_fibers=4, k=8, slots=200)
+        assert res.passed, res.render()
+
+    def test_perf_k_small(self):
+        res = run_experiment("PERF-K", n_fibers=4, slots=250)
+        assert res.passed, res.render()
+
+
+class TestReport:
+    def test_run_all_subset_and_render(self):
+        results = run_all(["FIG2", "INTRO"])
+        buf = io.StringIO()
+        ok = render_report(results, buf)
+        text = buf.getvalue()
+        assert ok
+        assert "FIG2" in text and "INTRO" in text
+        assert "2/2 experiments passed" in text

@@ -1,0 +1,128 @@
+"""Failure-injection tests: defective schedulers must be caught, not
+propagated into wrong simulation results."""
+
+import pytest
+
+from repro.core.base import Scheduler, validate_schedule
+from repro.core.distributed import DistributedScheduler, SlotRequest
+from repro.errors import ScheduleError, SimulationError
+from repro.graphs.conversion import CircularConversion
+from repro.graphs.request_graph import RequestGraph
+from repro.sim.engine import SlottedSimulator
+from repro.sim.traffic import BernoulliTraffic
+from repro.types import Grant, ScheduleResult
+
+
+class _EvilScheduler(Scheduler):
+    """Produces a hand-crafted (possibly infeasible) result, bypassing
+    make_result's validation — simulating an implementation defect."""
+
+    name = "evil"
+
+    def __init__(self, grants_fn):
+        self._grants_fn = grants_fn
+
+    def schedule(self, rg: RequestGraph) -> ScheduleResult:
+        return ScheduleResult(
+            grants=tuple(self._grants_fn(rg)),
+            request_vector=rg.request_vector,
+            available=rg.available,
+        )
+
+
+@pytest.fixture
+def scheme():
+    return CircularConversion(6, 1, 1)
+
+
+@pytest.fixture
+def rg(scheme):
+    return RequestGraph(scheme, [2, 1, 0, 1, 1, 2])
+
+
+class TestValidateCatchesEachDefect:
+    def test_duplicate_channel(self, rg):
+        with pytest.raises(ScheduleError, match="twice"):
+            validate_schedule(rg, [Grant(0, 0), Grant(1, 0)])
+
+    def test_out_of_window_conversion(self, rg):
+        with pytest.raises(ScheduleError, match="converted"):
+            validate_schedule(rg, [Grant(0, 2)])
+
+    def test_phantom_request(self, rg):
+        with pytest.raises(ScheduleError, match="arrived"):
+            validate_schedule(rg, [Grant(2, 2)])  # λ2 has no requests
+
+    def test_occupied_channel(self, scheme):
+        rg = RequestGraph(scheme, [1] * 6, [False] * 6)
+        with pytest.raises(ScheduleError, match="occupied"):
+            validate_schedule(rg, [Grant(0, 0)])
+
+
+class TestEngineRejectsEvilSchedulers:
+    def _sim(self, scheme, grants_fn, seed=0):
+        return SlottedSimulator(
+            2,
+            scheme,
+            _EvilScheduler(grants_fn),
+            BernoulliTraffic(2, scheme.k, 1.0),
+            seed=seed,
+        )
+
+    def test_double_assignment_detected_by_datapath_checks(self, scheme):
+        # Grants the same channel to two wavelengths.
+        def grants_fn(rg):
+            out = []
+            wavelengths = [
+                w for w, c in enumerate(rg.request_vector) if c > 0
+            ]
+            for w in wavelengths[:2]:
+                out.append(Grant(w, rg.scheme.adjacency(w)[0]))
+            return out
+
+        sim = self._sim(scheme, grants_fn)
+        # λ0's and λ1's first adjacent channels may coincide (λ5/λ0 windows);
+        # whichever way the draw goes, the engine either runs or raises —
+        # but it must never silently mis-count.  Force the collision:
+        def colliding(rg):
+            ws = [w for w, c in enumerate(rg.request_vector) if c > 0]
+            if len(ws) < 2:
+                return []
+            b = rg.scheme.adjacency(ws[0])[-1]
+            return [Grant(ws[0], b), Grant(ws[1], b)]
+
+        sim = self._sim(scheme, colliding, seed=1)
+        with pytest.raises((SimulationError, ScheduleError, Exception)):
+            for _ in range(5):
+                sim.step()
+
+    def test_grant_without_request_detected(self, scheme):
+        def grants_fn(rg):
+            empty = [w for w, c in enumerate(rg.request_vector) if c == 0]
+            if not empty:
+                return []
+            w = empty[0]
+            return [Grant(w, rg.scheme.adjacency(w)[0])]
+
+        sim = self._sim(scheme, grants_fn, seed=2)
+        with pytest.raises(Exception):
+            for _ in range(20):
+                sim.step()
+
+
+class TestDistributedRejectsEvilSchedulers:
+    def test_overgrant_detected(self, scheme):
+        # Grants the same wavelength more times than requested.
+        def grants_fn(rg):
+            ws = [w for w, c in enumerate(rg.request_vector) if c > 0]
+            if not ws:
+                return []
+            w = ws[0]
+            adj = rg.scheme.adjacency(w)
+            return [
+                Grant(w, b) for b in adj[: rg.request_vector[w] + 1]
+            ]
+
+        ds = DistributedScheduler(2, scheme, _EvilScheduler(grants_fn))
+        with pytest.raises(Exception):
+            ds.schedule_slot([SlotRequest(0, 0, 0)])

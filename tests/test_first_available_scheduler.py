@@ -1,0 +1,136 @@
+"""Tests for the First Available schedulers (paper Table 2, Theorem 1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.verify import assert_maximum_schedule
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.core.first_available import (
+    FirstAvailableReferenceScheduler,
+    FirstAvailableScheduler,
+    first_available_fast,
+)
+from repro.errors import InvalidParameterError
+from repro.graphs.conversion import FullRangeConversion, NonCircularConversion
+from repro.graphs.request_graph import RequestGraph
+from tests.conftest import (
+    PAPER_VECTOR,
+    fullrange_instances,
+    noncircular_instances,
+)
+
+
+class TestFastFunction:
+    def test_empty(self):
+        assert first_available_fast([0, 0, 0], [True] * 3, 1, 1) == []
+
+    def test_grants_in_channel_order(self):
+        grants = first_available_fast([1, 1, 1], [True] * 3, 1, 1)
+        assert [g.channel for g in grants] == [0, 1, 2]
+
+    def test_first_vertex_rule(self):
+        # Channel 0 window is [0-f, 0+e] = wavelengths {0, 1} (e=f=1):
+        # wavelength 0 must win even though 1 also fits.
+        grants = first_available_fast([1, 1, 0], [True] * 3, 1, 1)
+        assert grants[0].wavelength == 0 and grants[0].channel == 0
+
+    def test_respects_window(self):
+        # e = f = 0: identity conversion only.
+        grants = first_available_fast([0, 2, 0], [True] * 3, 0, 0)
+        assert len(grants) == 1
+        assert grants[0] == grants[0].__class__(wavelength=1, channel=1)
+
+    def test_availability_mask(self):
+        grants = first_available_fast([1, 1, 1], [False, True, False], 1, 1)
+        assert len(grants) == 1
+        assert grants[0].channel == 1
+
+    def test_mask_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            first_available_fast([1], [True, True], 0, 0)
+
+    def test_paper_example(self):
+        # Fig. 3(b)/4(b): vector [2,1,0,1,1,2], k=6, e=f=1 -> 6 granted.
+        grants = first_available_fast(list(PAPER_VECTOR), [True] * 6, 1, 1)
+        assert len(grants) == 6
+
+    def test_k_one(self):
+        assert len(first_available_fast([3], [True], 0, 0)) == 1
+
+
+class TestScheduler:
+    def test_scheme_gate(self, paper_circular_rg):
+        with pytest.raises(InvalidParameterError, match="non-circular"):
+            FirstAvailableScheduler().schedule(paper_circular_rg)
+
+    def test_supports(self, paper_circular_rg, paper_noncircular_rg):
+        s = FirstAvailableScheduler()
+        assert not s.supports(paper_circular_rg)
+        assert s.supports(paper_noncircular_rg)
+
+    def test_accepts_full_range(self):
+        rg = RequestGraph(FullRangeConversion(4), [2, 0, 1, 0])
+        res = FirstAvailableScheduler().schedule(rg)
+        assert res.n_granted == 3
+
+    def test_result_consistency(self, paper_noncircular_rg):
+        res = FirstAvailableScheduler().schedule(paper_noncircular_rg)
+        assert res.n_requested == 7
+        assert res.n_granted == 6
+        assert res.n_rejected == 1
+        assert sum(res.granted_vector) == 6
+        assert sum(res.rejected_vector) == 1
+        assert res.request_vector == PAPER_VECTOR
+
+    def test_stats_present(self, paper_noncircular_rg):
+        res = FirstAvailableScheduler().schedule(paper_noncircular_rg)
+        assert res.stats["channels_scanned"] == 6
+
+    @settings(max_examples=120, deadline=None)
+    @given(noncircular_instances())
+    def test_theorem1_optimality(self, rg):
+        """FA cardinality == Hopcroft–Karp on every non-circular instance."""
+        res = FirstAvailableScheduler().schedule(rg)
+        opt = HopcroftKarpScheduler().schedule(rg)
+        assert res.n_granted == opt.n_granted
+        assert_maximum_schedule(rg, res)
+
+    @settings(max_examples=120, deadline=None)
+    @given(noncircular_instances())
+    def test_fast_equals_reference(self, rg):
+        fast = FirstAvailableScheduler().schedule(rg)
+        ref = FirstAvailableReferenceScheduler().schedule(rg)
+        # Identical grants, not just identical cardinality.
+        assert sorted((g.wavelength, g.channel) for g in fast.grants) == sorted(
+            (g.wavelength, g.channel) for g in ref.grants
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(fullrange_instances())
+    def test_full_range_optimality(self, rg):
+        res = FirstAvailableScheduler().schedule(rg)
+        assert res.n_granted == min(rg.n_requests, rg.n_available)
+
+
+class TestReferenceScheduler:
+    def test_matches_paper_figure4(self, paper_noncircular_rg):
+        res = FirstAvailableReferenceScheduler().schedule(paper_noncircular_rg)
+        assert res.n_granted == 6
+
+    def test_scheme_gate(self, paper_circular_rg):
+        with pytest.raises(InvalidParameterError):
+            FirstAvailableReferenceScheduler().schedule(paper_circular_rg)
+
+
+class TestEdgeConversionShapes:
+    @pytest.mark.parametrize("e,f", [(0, 0), (0, 2), (2, 0), (3, 1)])
+    def test_asymmetric_reaches_optimal(self, e, f, rng):
+        hk = HopcroftKarpScheduler()
+        for _ in range(30):
+            k = int(rng.integers(max(1, e + f + 1), 10))
+            vec = rng.integers(0, 3, size=k).tolist()
+            rg = RequestGraph(NonCircularConversion(k, e, f), vec)
+            assert (
+                FirstAvailableScheduler().schedule(rg).n_granted
+                == hk.schedule(rg).n_granted
+            )

@@ -1,0 +1,124 @@
+"""Tests for the bit-level register models (paper Section II-B)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HardwareModelError, InvalidParameterError
+from repro.hardware.registers import BitVector, RequestRegister
+
+
+class TestBitVector:
+    def test_init_and_bits(self):
+        bv = BitVector(8, 0b1010)
+        assert bv.width == 8
+        assert bv.bits == 0b1010
+
+    def test_rejects_overflow(self):
+        with pytest.raises(InvalidParameterError):
+            BitVector(3, 0b1000)
+        with pytest.raises(InvalidParameterError):
+            BitVector(3, -1)
+
+    def test_from_bools(self):
+        bv = BitVector.from_bools([True, False, True])
+        assert bv.bits == 0b101
+        assert bv.width == 3
+
+    def test_get_set_clear(self):
+        bv = BitVector(4)
+        bv.set(2)
+        assert bv.get(2)
+        bv.clear(2)
+        assert not bv.get(2)
+        bv.set(1, True)
+        bv.set(1, False)
+        assert not bv.get(1)
+
+    def test_index_bounds(self):
+        bv = BitVector(4)
+        with pytest.raises(InvalidParameterError):
+            bv.get(4)
+        with pytest.raises(InvalidParameterError):
+            bv.set(-1)
+
+    def test_popcount(self):
+        assert BitVector(8, 0b1011).popcount() == 3
+
+    def test_first_set_window(self):
+        bv = BitVector(8, 0b0110100)
+        assert bv.first_set() == 2
+        assert bv.first_set(3) == 4
+        assert bv.first_set(3, 3) is None
+        assert bv.first_set(5, 7) == 5
+
+    def test_first_set_clipped_window(self):
+        bv = BitVector(4, 0b1000)
+        assert bv.first_set(-5, 100) == 3
+        assert bv.first_set(2, 1) is None
+
+    def test_masked_and_any(self):
+        bv = BitVector(4, 0b1100)
+        assert bv.masked(0b0100).bits == 0b0100
+        assert bv.any()
+        assert not BitVector(4).any()
+
+    def test_iter_and_eq(self):
+        bv = BitVector(3, 0b101)
+        assert list(bv) == [True, False, True]
+        assert bv == BitVector(3, 0b101)
+        assert bv != BitVector(4, 0b101)
+        assert bv != 5
+
+    @given(st.integers(1, 32), st.integers(0, 2**20))
+    def test_first_set_matches_reference(self, width, bits):
+        bits &= (1 << width) - 1
+        bv = BitVector(width, bits)
+        expected = next((i for i in range(width) if (bits >> i) & 1), None)
+        assert bv.first_set() == expected
+
+
+class TestRequestRegister:
+    def test_layout_matches_paper(self):
+        # Bit (i * k + j) = λj on fiber i.
+        reg = RequestRegister(2, 4)
+        reg.load(1, 2)
+        assert reg.snapshot().get(1 * 4 + 2)
+
+    def test_double_request_rejected(self):
+        reg = RequestRegister(2, 4)
+        reg.load(0, 0)
+        with pytest.raises(HardwareModelError, match="twice"):
+            reg.load(0, 0)
+
+    def test_clear_requires_request(self):
+        reg = RequestRegister(2, 4)
+        with pytest.raises(HardwareModelError, match="no request"):
+            reg.clear(0, 0)
+
+    def test_wavelength_summary(self):
+        reg = RequestRegister.from_requests(3, 4, [(0, 1), (2, 1), (1, 3)])
+        summary = reg.wavelength_summary()
+        assert list(summary) == [False, True, False, True]
+
+    def test_counts_and_fibers(self):
+        reg = RequestRegister.from_requests(3, 4, [(0, 1), (2, 1)])
+        assert reg.count_on_wavelength(1) == 2
+        assert reg.fibers_on_wavelength(1) == [0, 2]
+        assert reg.count_on_wavelength(0) == 0
+        assert reg.pending() == 2
+
+    def test_first_fiber_round_robin_start(self):
+        reg = RequestRegister.from_requests(4, 2, [(0, 0), (2, 0)])
+        assert reg.first_fiber_on_wavelength(0, start=0) == 0
+        assert reg.first_fiber_on_wavelength(0, start=1) == 2
+        assert reg.first_fiber_on_wavelength(0, start=3) == 0  # wraps
+        assert reg.first_fiber_on_wavelength(1, start=0) is None
+
+    def test_has_request_and_clear_cycle(self):
+        reg = RequestRegister(2, 2)
+        reg.load(1, 1)
+        assert reg.has_request(1, 1)
+        reg.clear(1, 1)
+        assert not reg.has_request(1, 1)
+        assert reg.pending() == 0

@@ -1,0 +1,155 @@
+"""Tests for the FA / BFA hardware units: cycle counts and bit-for-bit
+equivalence with the software schedulers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.break_first_available import bfa_fast
+from repro.core.first_available import first_available_fast
+from repro.errors import InvalidParameterError
+from repro.hardware.bfa_unit import BreakFirstAvailableUnit, ParallelBFAUnit
+from repro.hardware.fa_unit import FirstAvailableUnit
+from repro.hardware.registers import RequestRegister
+from repro.hardware.timing import CycleReport, estimate_time_us
+
+
+@st.composite
+def hw_instances(draw):
+    n = draw(st.integers(1, 5))
+    k = draw(st.integers(1, 8))
+    e = draw(st.integers(0, min(2, k - 1)))
+    f = draw(st.integers(0, min(2, k - 1 - e)))
+    requests = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, k - 1)),
+            unique=True,
+            max_size=n * k,
+        )
+    )
+    available = draw(
+        st.one_of(st.none(), st.lists(st.booleans(), min_size=k, max_size=k))
+    )
+    return n, k, e, f, requests, available
+
+
+def _vec(k, requests):
+    vec = [0] * k
+    for _i, w in requests:
+        vec[w] += 1
+    return vec
+
+
+class TestFAUnit:
+    def test_cycles_always_k(self):
+        for k in (1, 4, 9):
+            reg = RequestRegister(2, k)
+            _grants, cycles = FirstAvailableUnit(k, 0, 0).run(reg)
+            assert cycles == k
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            FirstAvailableUnit(2, 1, 1)  # degree 3 > k
+        with pytest.raises(InvalidParameterError):
+            FirstAvailableUnit(4, 1, 1, fiber_select="lifo")
+
+    def test_register_size_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            FirstAvailableUnit(4, 1, 1).run(RequestRegister(2, 5))
+
+    def test_mask_length(self):
+        with pytest.raises(InvalidParameterError):
+            FirstAvailableUnit(4, 1, 1).run(RequestRegister(2, 4), [True])
+
+    def test_grant_cycles_recorded(self):
+        reg = RequestRegister.from_requests(1, 4, [(0, 0), (0, 1)])
+        grants, _ = FirstAvailableUnit(4, 1, 1).run(reg)
+        assert [g.cycle for g in grants] == sorted(g.cycle for g in grants)
+
+    def test_round_robin_fiber_rotation(self):
+        unit = FirstAvailableUnit(2, 0, 0, fiber_select="round-robin")
+        winners = []
+        for _ in range(4):
+            reg = RequestRegister.from_requests(2, 2, [(0, 0), (1, 0)])
+            grants, _ = unit.run(reg)
+            winners.append(grants[0].input_fiber)
+        assert winners == [0, 1, 0, 1]
+
+    @settings(max_examples=100, deadline=None)
+    @given(hw_instances())
+    def test_equivalent_to_software(self, inst):
+        n, k, e, f, requests, available = inst
+        reg = RequestRegister.from_requests(n, k, requests)
+        grants, cycles = FirstAvailableUnit(k, e, f).run(reg, available)
+        sw = first_available_fast(
+            _vec(k, requests), available if available else [True] * k, e, f
+        )
+        assert cycles == k
+        assert sorted((g.wavelength, g.channel) for g in grants) == sorted(
+            (g.wavelength, g.channel) for g in sw
+        )
+        # Register bits were consumed for exactly the granted requests.
+        assert reg.pending() == len(requests) - len(grants)
+
+
+class TestBFAUnits:
+    @settings(max_examples=100, deadline=None)
+    @given(hw_instances())
+    def test_serial_and_parallel_equal_software(self, inst):
+        n, k, e, f, requests, available = inst
+        vec = _vec(k, requests)
+        mask = available if available else [True] * k
+        sw, _ = bfa_fast(vec, mask, e, f)
+        sw_pairs = sorted((g.wavelength, g.channel) for g in sw)
+        for unit_cls in (BreakFirstAvailableUnit, ParallelBFAUnit):
+            reg = RequestRegister.from_requests(n, k, requests)
+            grants, _cycles = unit_cls(k, e, f).run(reg, available)
+            assert sorted(
+                (g.wavelength, g.channel) for g in grants
+            ) == sw_pairs
+
+    def test_cycle_formulas(self):
+        k, e, f = 8, 1, 1
+        d = e + f + 1
+        reg = RequestRegister.from_requests(2, k, [(0, 0), (1, 3)])
+        _g, serial = BreakFirstAvailableUnit(k, e, f).run(reg)
+        reg2 = RequestRegister.from_requests(2, k, [(0, 0), (1, 3)])
+        _g, par = ParallelBFAUnit(k, e, f).run(reg2)
+        assert serial == 1 + d * (k - 1) + math.ceil(math.log2(d))
+        assert par == 1 + (k - 1) + math.ceil(math.log2(d))
+
+    def test_empty_register_one_setup_cycle(self):
+        reg = RequestRegister(2, 4)
+        grants, cycles = BreakFirstAvailableUnit(4, 1, 1).run(reg)
+        assert grants == []
+        assert cycles == 1
+
+    def test_parallel_unit_count(self):
+        assert ParallelBFAUnit(8, 2, 1).n_units == 4
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            BreakFirstAvailableUnit(2, 1, 1)
+        with pytest.raises(InvalidParameterError):
+            ParallelBFAUnit(4, 1, 1, fiber_select="bogus")
+
+
+class TestTiming:
+    def test_estimate(self):
+        assert estimate_time_us(200, 200.0) == 1.0
+
+    def test_bad_args(self):
+        with pytest.raises(InvalidParameterError):
+            estimate_time_us(-1)
+        with pytest.raises(InvalidParameterError):
+            estimate_time_us(1, 0)
+
+    def test_cycle_report(self):
+        rep = CycleReport("fa", k=16, d=3, cycles=16, clock_mhz=100.0)
+        assert rep.time_us == pytest.approx(0.16)
+        assert rep.fits_slot(1.0)
+        assert not rep.fits_slot(0.1)
+        with pytest.raises(InvalidParameterError):
+            rep.fits_slot(0)

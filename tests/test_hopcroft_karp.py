@@ -1,0 +1,108 @@
+"""Tests for the from-scratch Hopcroft–Karp implementation (baseline [1])."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.hopcroft_karp import hopcroft_karp
+
+
+def _nx_maximum(graph: BipartiteGraph) -> int:
+    g = nx.Graph()
+    left = [("L", a) for a in range(graph.n_left)]
+    g.add_nodes_from(left, bipartite=0)
+    g.add_nodes_from((("R", b) for b in range(graph.n_right)), bipartite=1)
+    for a, b in graph.edges():
+        g.add_edge(("L", a), ("R", b))
+    if graph.n_left == 0 or graph.n_edges == 0:
+        return 0
+    matching = nx.bipartite.maximum_matching(g, top_nodes=left)
+    return len(matching) // 2
+
+
+class TestSmallCases:
+    def test_empty(self):
+        assert len(hopcroft_karp(BipartiteGraph(0, 0))) == 0
+
+    def test_no_edges(self):
+        assert len(hopcroft_karp(BipartiteGraph(3, 3))) == 0
+
+    def test_single_edge(self):
+        m = hopcroft_karp(BipartiteGraph(1, 1, [(0, 0)]))
+        assert m.pairs == frozenset({(0, 0)})
+
+    def test_perfect_matching(self):
+        g = BipartiteGraph(3, 3, [(i, j) for i in range(3) for j in range(3)])
+        assert len(hopcroft_karp(g)) == 3
+
+    def test_requires_augmenting_chain(self):
+        # Greedy lowest-first would match a0-b0 and leave a1 unmatched;
+        # HK must find the size-2 matching.
+        g = BipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        assert len(hopcroft_karp(g)) == 2
+
+    def test_star_graph(self):
+        g = BipartiteGraph(5, 1, [(i, 0) for i in range(5)])
+        assert len(hopcroft_karp(g)) == 1
+
+    def test_konig_worst_case(self):
+        # Two disjoint long alternating chains.
+        edges = []
+        for i in range(4):
+            edges.append((i, i))
+            if i + 1 < 4:
+                edges.append((i + 1, i))
+        g = BipartiteGraph(4, 4, edges)
+        assert len(hopcroft_karp(g)) == 4
+
+    def test_matching_is_valid(self):
+        g = BipartiteGraph(4, 4, [(0, 1), (1, 1), (1, 2), (2, 0), (3, 2)])
+        m = hopcroft_karp(g)
+        m.validate_against(g)
+        assert m.is_maximum_in(g)
+
+    def test_deterministic(self):
+        g = BipartiteGraph(4, 4, [(0, 1), (1, 1), (1, 2), (2, 0), (3, 2)])
+        assert hopcroft_karp(g) == hopcroft_karp(g)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("n,m,density", [(5, 5, 0.3), (8, 6, 0.5), (10, 10, 0.2), (12, 7, 0.7)])
+    def test_random_graphs(self, n, m, density, rng):
+        for _ in range(20):
+            edges = [
+                (a, b)
+                for a in range(n)
+                for b in range(m)
+                if rng.random() < density
+            ]
+            g = BipartiteGraph(n, m, edges)
+            assert len(hopcroft_karp(g)) == _nx_maximum(g)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)),
+            max_size=30,
+            unique=True,
+        )
+    )
+    def test_property_cardinality_matches_networkx(self, edges):
+        g = BipartiteGraph(8, 8, edges)
+        m = hopcroft_karp(g)
+        m.validate_against(g)
+        assert len(m) == _nx_maximum(g)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)),
+            max_size=30,
+            unique=True,
+        )
+    )
+    def test_property_berge_certificate(self, edges):
+        g = BipartiteGraph(8, 8, edges)
+        assert hopcroft_karp(g).is_maximum_in(g)

@@ -1,0 +1,134 @@
+"""Tests for the switching fabric and the end-to-end Fig. 1 datapath."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.core.distributed import DistributedScheduler, SlotRequest
+from repro.errors import HardwareModelError
+from repro.graphs.conversion import CircularConversion
+from repro.interconnect.fabric import SwitchingFabric
+from repro.interconnect.interconnect import WDMInterconnect
+
+
+@pytest.fixture
+def scheme():
+    return CircularConversion(6, 1, 1)
+
+
+@pytest.fixture
+def fabric(scheme):
+    return SwitchingFabric(4, scheme)
+
+
+class TestFabric:
+    def test_connect_and_lookup(self, fabric):
+        fabric.connect(0, 1, 2, 2)
+        assert fabric.output_of(0, 1) == (2, 2)
+        assert fabric.input_of(2, 2) == (0, 1)
+        assert fabric.n_closed == 1
+
+    def test_conversion_range_wiring(self, fabric):
+        with pytest.raises(HardwareModelError, match="no crosspoint"):
+            fabric.connect(0, 0, 1, 3)  # λ0 cannot reach channel 3
+
+    def test_input_drives_once(self, fabric):
+        fabric.connect(0, 1, 2, 2)
+        with pytest.raises(HardwareModelError, match="already drives"):
+            fabric.connect(0, 1, 3, 1)
+
+    def test_output_driven_once(self, fabric):
+        fabric.connect(0, 1, 2, 2)
+        with pytest.raises(HardwareModelError, match="already driven"):
+            fabric.connect(1, 1, 2, 2)
+
+    def test_disconnect(self, fabric):
+        fabric.connect(0, 1, 2, 2)
+        fabric.disconnect_input(0, 1)
+        assert fabric.output_of(0, 1) is None
+        assert fabric.input_of(2, 2) is None
+        fabric.disconnect_input(0, 1)  # no-op
+
+    def test_clear(self, fabric):
+        fabric.connect(0, 1, 2, 2)
+        fabric.clear()
+        assert fabric.n_closed == 0
+
+    def test_crosspoints_per_input(self, fabric):
+        assert fabric.crosspoints_per_input() == 4 * 3  # N*d
+
+    def test_iteration_sorted(self, fabric):
+        fabric.connect(1, 0, 0, 0)
+        fabric.connect(0, 0, 1, 1)
+        states = list(fabric)
+        assert states[0].input_fiber == 0
+
+
+class TestWDMInterconnect:
+    def test_route_simple_slot(self, scheme):
+        ds = DistributedScheduler(4, scheme, BreakFirstAvailableScheduler())
+        reqs = [SlotRequest(0, 0, 1), SlotRequest(1, 0, 1), SlotRequest(2, 3, 2)]
+        schedule = ds.schedule_slot(reqs)
+        ic = WDMInterconnect(4, scheme)
+        routed = ic.route_schedule(schedule)
+        assert len(routed) == schedule.n_granted
+        # Unicast: each signal reached its requested output fiber.
+        for r in routed:
+            match = [
+                g for g in schedule.granted
+                if (g.request.input_fiber, g.request.wavelength)
+                == (r.input_fiber, r.input_wavelength)
+            ]
+            assert len(match) == 1
+            assert match[0].request.output_fiber == r.output_fiber
+            assert match[0].channel == r.output_channel
+
+    def test_configure_rejects_conflicts(self, scheme):
+        from repro.core.distributed import GrantedRequest
+
+        ic = WDMInterconnect(2, scheme)
+        g1 = GrantedRequest(SlotRequest(0, 0, 0), channel=1)
+        g2 = GrantedRequest(SlotRequest(1, 1, 0), channel=1)
+        with pytest.raises(HardwareModelError):
+            ic.configure([g1, g2])
+
+    def test_propagate_checks_fiber_count(self, scheme):
+        ic = WDMInterconnect(2, scheme)
+        with pytest.raises(HardwareModelError, match="input fibers"):
+            ic.propagate([[]])
+
+    def test_rejected_signals_dropped(self, scheme):
+        from repro.interconnect.components import OpticalSignal
+
+        ic = WDMInterconnect(2, scheme)
+        ic.fabric.clear()
+        # No crosspoints configured: the signal vanishes (no buffers).
+        routed = ic.propagate(
+            [[OpticalSignal(0, source=(0, 0))], []]
+        )
+        assert routed == []
+
+    def test_dimensions(self, scheme):
+        ic = WDMInterconnect(3, scheme)
+        assert ic.k == 6
+        assert ic.n_input_channels == 18
+
+    @settings(max_examples=30, deadline=None)
+    @given(mask=st.integers(0, 2 ** 18 - 1))
+    def test_any_schedule_is_physically_realizable(self, mask):
+        """Fuzz: whatever the distributed scheduler outputs can be routed by
+        the physical datapath without interference."""
+        n = 3
+        scheme = CircularConversion(6, 1, 1)
+        reqs = [
+            SlotRequest(i, w, (i * 5 + w) % n)
+            for i in range(n)
+            for w in range(scheme.k)
+            if (mask >> (i * scheme.k + w)) & 1
+        ]
+        ds = DistributedScheduler(n, scheme, BreakFirstAvailableScheduler())
+        schedule = ds.schedule_slot(reqs)
+        ic = WDMInterconnect(n, scheme)
+        routed = ic.route_schedule(schedule)
+        assert len(routed) == schedule.n_granted

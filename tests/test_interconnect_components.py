@@ -1,0 +1,93 @@
+"""Tests for the optical component models (Fig. 1 datapath pieces)."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.graphs.conversion import CircularConversion
+from repro.interconnect.components import (
+    Combiner,
+    Demultiplexer,
+    Multiplexer,
+    OpticalSignal,
+    WavelengthConverter,
+)
+
+
+def sig(w: int, src=(0, 0), payload=None) -> OpticalSignal:
+    return OpticalSignal(wavelength=w, source=src, payload=payload)
+
+
+class TestOpticalSignal:
+    def test_retuned_preserves_identity(self):
+        s = sig(2, src=(1, 2), payload="pkt")
+        r = s.retuned(4)
+        assert r.wavelength == 4
+        assert r.source == (1, 2)
+        assert r.payload == "pkt"
+
+
+class TestDemultiplexer:
+    def test_separates_by_wavelength(self):
+        d = Demultiplexer(4)
+        out = d.demultiplex([sig(0), sig(2, src=(0, 2))])
+        assert out[0].wavelength == 0
+        assert out[1] is None
+        assert out[2].wavelength == 2
+
+    def test_rejects_wavelength_collision(self):
+        d = Demultiplexer(4)
+        with pytest.raises(HardwareModelError, match="two signals"):
+            d.demultiplex([sig(1), sig(1, src=(0, 9))])
+
+    def test_rejects_out_of_band(self):
+        with pytest.raises(HardwareModelError, match="out-of-band"):
+            Demultiplexer(4).demultiplex([sig(4)])
+
+
+class TestCombiner:
+    def test_single_active_input(self):
+        c = Combiner(3)
+        assert c.combine([None, sig(1), None]).wavelength == 1
+
+    def test_no_active_input(self):
+        assert Combiner(2).combine([None, None]) is None
+
+    def test_interference_detected(self):
+        c = Combiner(3)
+        with pytest.raises(HardwareModelError, match="interference"):
+            c.combine([sig(0), sig(1, src=(1, 1)), None])
+
+    def test_port_count_enforced(self):
+        with pytest.raises(HardwareModelError, match="ports"):
+            Combiner(3).combine([None, None])
+
+
+class TestWavelengthConverter:
+    def test_converts_within_range(self):
+        conv = WavelengthConverter(CircularConversion(6, 1, 1), target=1)
+        out = conv.convert(sig(0))
+        assert out.wavelength == 1
+
+    def test_rejects_out_of_range(self):
+        conv = WavelengthConverter(CircularConversion(6, 1, 1), target=3)
+        with pytest.raises(HardwareModelError, match="cannot accept"):
+            conv.convert(sig(0))
+
+    def test_passes_none(self):
+        conv = WavelengthConverter(CircularConversion(6, 1, 1), target=0)
+        assert conv.convert(None) is None
+
+
+class TestMultiplexer:
+    def test_merges(self):
+        m = Multiplexer(3)
+        out = m.multiplex([sig(0), None, sig(2)])
+        assert [s.wavelength for s in out] == [0, 2]
+
+    def test_rejects_misplaced_signal(self):
+        with pytest.raises(HardwareModelError, match="misconfigured"):
+            Multiplexer(3).multiplex([sig(1), None, None])
+
+    def test_port_count(self):
+        with pytest.raises(HardwareModelError, match="ports"):
+            Multiplexer(3).multiplex([None])

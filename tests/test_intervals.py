@@ -1,0 +1,154 @@
+"""Tests for circular-interval arithmetic (the paper's [x, y] mod k notation)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.util.intervals import (
+    CircularInterval,
+    canonical_signed_residue,
+    circular_distance,
+    mod_range,
+)
+
+
+class TestCircularInterval:
+    def test_paper_example_wraparound(self):
+        # The paper: "the adjacency set of λ0 is {λ5, λ0, λ1} ... we can
+        # represent it as [-1, 1]".
+        assert set(CircularInterval(-1, 1, 6)) == {5, 0, 1}
+
+    def test_members_in_interval_order(self):
+        assert CircularInterval(4, 7, 6).members() == (4, 5, 0, 1)
+
+    def test_simple_interval(self):
+        assert list(CircularInterval(1, 3, 10)) == [1, 2, 3]
+
+    def test_empty_when_end_below_start(self):
+        iv = CircularInterval(3, 2, 6)
+        assert iv.empty
+        assert len(iv) == 0
+        assert list(iv) == []
+
+    def test_singleton(self):
+        assert list(CircularInterval(5, 5, 6)) == [5]
+
+    def test_full_circle(self):
+        assert set(CircularInterval(0, 5, 6)) == set(range(6))
+
+    def test_longer_than_k_caps_at_k(self):
+        assert len(CircularInterval(0, 100, 6)) == 6
+        assert set(CircularInterval(0, 100, 6)) == set(range(6))
+
+    def test_contains_wrapped(self):
+        iv = CircularInterval(-1, 1, 6)
+        assert 5 in iv and 0 in iv and 1 in iv
+        assert 2 not in iv and 3 not in iv and 4 not in iv
+
+    def test_contains_respects_mod(self):
+        iv = CircularInterval(1, 2, 6)
+        assert 7 in iv  # 7 mod 6 = 1
+        assert 13 in iv
+
+    def test_contains_non_int(self):
+        assert "x" not in CircularInterval(0, 3, 6)
+        assert 1.0 not in CircularInterval(0, 3, 6)
+
+    def test_empty_contains_nothing(self):
+        assert 0 not in CircularInterval(5, 4, 6)
+
+    def test_invalid_modulus(self):
+        with pytest.raises(InvalidParameterError):
+            CircularInterval(0, 1, 0)
+        with pytest.raises(InvalidParameterError):
+            CircularInterval(0, 1, -3)
+
+    def test_intersects(self):
+        assert CircularInterval(4, 6, 6).intersects(CircularInterval(0, 1, 6))
+        assert not CircularInterval(1, 2, 6).intersects(CircularInterval(4, 5, 6))
+
+    def test_intersects_modulus_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            CircularInterval(0, 1, 6).intersects(CircularInterval(0, 1, 7))
+
+    @given(
+        st.integers(-20, 20), st.integers(-20, 20), st.integers(1, 12)
+    )
+    def test_membership_matches_enumeration(self, start, end, k):
+        iv = CircularInterval(start, end, k)
+        members = set(iv)
+        for x in range(k):
+            assert (x in iv) == (x in members)
+
+    @given(st.integers(-20, 20), st.integers(0, 30), st.integers(1, 12))
+    def test_length_formula(self, start, span, k):
+        iv = CircularInterval(start, start + span, k)
+        assert len(iv) == min(span + 1, k)
+        assert len(list(iv)) == len(iv)
+
+
+class TestModRange:
+    def test_basic(self):
+        assert mod_range(-1, 1, 6) == (5, 0, 1)
+
+    def test_empty(self):
+        assert mod_range(2, 1, 6) == ()
+
+
+class TestCanonicalSignedResidue:
+    def test_in_window(self):
+        assert canonical_signed_residue(5, 6, -2, 2) == -1
+
+    def test_positive(self):
+        assert canonical_signed_residue(1, 6, -2, 2) == 1
+
+    def test_zero(self):
+        assert canonical_signed_residue(0, 6, -2, 2) == 0
+
+    def test_not_representable(self):
+        assert canonical_signed_residue(3, 6, -2, 2) is None
+
+    def test_empty_window(self):
+        assert canonical_signed_residue(0, 6, 1, 0) is None
+
+    def test_window_wider_than_k_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            canonical_signed_residue(0, 4, -2, 2)
+
+    def test_window_of_exactly_k(self):
+        # width exactly k: unique representative exists for every delta
+        for delta in range(-10, 10):
+            r = canonical_signed_residue(delta, 5, -2, 2)
+            assert r is not None
+            assert (r - delta) % 5 == 0
+
+    @given(st.integers(-50, 50), st.integers(1, 12), st.integers(-12, 12), st.integers(0, 11))
+    def test_residue_is_congruent_and_unique(self, delta, k, lo, width):
+        hi = lo + min(width, k - 1)
+        r = canonical_signed_residue(delta, k, lo, hi)
+        in_window = [x for x in range(lo, hi + 1) if (x - delta) % k == 0]
+        if r is None:
+            assert in_window == []
+        else:
+            assert in_window == [r]
+
+
+class TestCircularDistance:
+    def test_adjacent(self):
+        assert circular_distance(0, 5, 6) == 1
+
+    def test_same(self):
+        assert circular_distance(3, 3, 6) == 0
+
+    def test_opposite(self):
+        assert circular_distance(0, 3, 6) == 3
+
+    def test_symmetry(self):
+        for a in range(8):
+            for b in range(8):
+                assert circular_distance(a, b, 8) == circular_distance(b, a, 8)
+
+    def test_invalid_modulus(self):
+        with pytest.raises(InvalidParameterError):
+            circular_distance(0, 1, 0)

@@ -1,0 +1,86 @@
+"""Executable versions of the paper's supporting lemmas (5 and 6).
+
+Lemmas 1–4 are covered by the crossing/breaking test modules; this module
+adds the two counting lemmas behind Theorem 3.
+"""
+
+from hypothesis import given, settings
+
+from repro.graphs.crossing import crosses, has_crossing_edges, uncross_matching
+from repro.graphs.hopcroft_karp import hopcroft_karp
+from repro.util.intervals import canonical_signed_residue
+from tests.conftest import circular_instances
+
+
+def _edge_offset(rg, a, b):
+    scheme = rg.scheme
+    return canonical_signed_residue(
+        b - rg.wavelength_of(a), scheme.k, -scheme.e, scheme.f
+    )
+
+
+class TestLemma5:
+    """Edges crossing ``a_i b_u`` from opposite wavelength sides cross each
+    other (which is why a no-crossing matching contains only one side)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(circular_instances(max_k=8))
+    def test_opposite_side_crossers_cross_each_other(self, rg):
+        g = rg.graph
+        scheme = rg.scheme
+        k, e, f = scheme.k, scheme.e, scheme.f
+        edges = sorted(g.edges())
+        for (i, u) in edges[:6]:
+            w_i = rg.wavelength_of(i)
+            t = _edge_offset(rg, i, u)
+            plus_side = []   # W(j) in [W(i)+1, u-1+e]   (Definition 1 case 1.2)
+            minus_side = []  # W(l) in [u-f+1, W(i)-1]   (Definition 1 case 1.1)
+            for (j, v) in edges:
+                if (j, v) == (i, u) or not crosses(rg, (j, v), (i, u)):
+                    continue
+                w_j = rg.wavelength_of(j)
+                if w_j == w_i:
+                    continue  # same-wavelength crossers: not covered by L5
+                if canonical_signed_residue(w_j - w_i, k, 1, t - 1 + e) is not None:
+                    plus_side.append((j, v))
+                elif (
+                    canonical_signed_residue(w_j - w_i, k, t - f + 1, -1)
+                    is not None
+                ):
+                    minus_side.append((j, v))
+            for pe in plus_side:
+                for me in minus_side:
+                    if pe[0] == me[0] or pe[1] == me[1]:
+                        continue  # shared vertex: can't coexist in a matching
+                    assert crosses(rg, pe, me) or crosses(rg, me, pe), (
+                        (i, u),
+                        pe,
+                        me,
+                    )
+
+
+class TestLemma6:
+    """In a no-crossing-edge maximum matching, at most
+    ``max(δ(u)-1, d-δ(u))`` matched edges cross any edge ``a_i b_u``."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(circular_instances(max_k=8))
+    def test_crossing_count_bound(self, rg):
+        g = rg.graph
+        if g.n_edges == 0:
+            return
+        scheme = rg.scheme
+        d = scheme.degree
+        matching = uncross_matching(rg, hopcroft_karp(g))
+        assert not has_crossing_edges(rg, matching)
+        matched = sorted(matching.pairs)
+        for (i, u) in sorted(g.edges())[:10]:
+            t = _edge_offset(rg, i, u)
+            delta = t + scheme.e + 1  # δ(u): 1-based from the minus end
+            bound = max(delta - 1, d - delta)
+            n_crossing = sum(
+                1
+                for (j, v) in matched
+                if (j, v) != (i, u) and crosses(rg, (j, v), (i, u))
+            )
+            assert n_crossing <= bound, ((i, u), delta, d, n_crossing, matched)

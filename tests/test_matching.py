@@ -1,0 +1,122 @@
+"""Tests for matchings and their validity/maximality certificates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidMatchingError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.hopcroft_karp import hopcroft_karp
+from repro.graphs.matching import Matching
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = Matching([(0, 1), (1, 0)])
+        assert len(m) == 2
+        assert (0, 1) in m
+
+    def test_empty(self):
+        assert len(Matching([])) == 0
+
+    def test_rejects_left_reuse(self):
+        with pytest.raises(InvalidMatchingError):
+            Matching([(0, 0), (0, 1)])
+
+    def test_rejects_right_reuse(self):
+        with pytest.raises(InvalidMatchingError):
+            Matching([(0, 0), (1, 0)])
+
+    def test_partner_lookup(self):
+        m = Matching([(0, 2)])
+        assert m.right_of(0) == 2
+        assert m.left_of(2) == 0
+        assert m.right_of(9) is None
+        assert m.left_of(9) is None
+
+    def test_matched_sets(self):
+        m = Matching([(0, 2), (3, 1)])
+        assert m.matched_left() == {0, 3}
+        assert m.matched_right() == {1, 2}
+
+    def test_match_array(self):
+        m = Matching([(0, 2), (3, 1)])
+        assert m.match_array(4) == [None, 3, 0, None]
+
+    def test_iteration_sorted(self):
+        m = Matching([(3, 1), (0, 2)])
+        assert list(m) == [(0, 2), (3, 1)]
+
+    def test_equality(self):
+        assert Matching([(0, 1)]) == Matching([(0, 1)])
+        assert Matching([(0, 1)]) != Matching([(0, 2)])
+        assert Matching([(0, 1)]) != 42
+        assert hash(Matching([(0, 1)])) == hash(Matching([(0, 1)]))
+
+
+class TestValidation:
+    def test_validate_against_ok(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        Matching([(0, 0)]).validate_against(g)
+
+    def test_validate_missing_edge(self):
+        g = BipartiteGraph(2, 2, [(0, 0)])
+        with pytest.raises(InvalidMatchingError):
+            Matching([(0, 1)]).validate_against(g)
+
+    def test_validate_out_of_range(self):
+        g = BipartiteGraph(1, 1, [(0, 0)])
+        with pytest.raises(InvalidMatchingError):
+            Matching([(3, 0)]).validate_against(g)
+
+
+class TestAugmentingPaths:
+    def test_none_when_maximum(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        m = Matching([(0, 0), (1, 1)])
+        assert m.find_augmenting_path(g) is None
+        assert m.is_maximum_in(g)
+
+    def test_trivial_augmenting_path(self):
+        g = BipartiteGraph(1, 1, [(0, 0)])
+        m = Matching([])
+        assert m.find_augmenting_path(g) == [0, 0]
+        assert not m.is_maximum_in(g)
+
+    def test_length_three_path(self):
+        # a0-b0 matched; a1 only reaches b0; a0 also reaches b1:
+        # augmenting path a1 -> b0 -> a0 -> b1.
+        g = BipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0)])
+        m = Matching([(0, 0)])
+        path = m.find_augmenting_path(g)
+        assert path == [1, 0, 0, 1]
+
+    def test_path_alternates_and_is_valid(self):
+        g = BipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (2, 1), (2, 2)])
+        m = Matching([(0, 0), (2, 1)])
+        path = m.find_augmenting_path(g)
+        assert path is not None
+        # Odd length (vertices), starts/ends unmatched.
+        assert len(path) % 2 == 0
+        assert path[0] not in m.matched_left()
+        assert path[-1] not in m.matched_right()
+        # Edges alternate unmatched/matched.
+        for i in range(0, len(path) - 1, 2):
+            assert g.has_edge(path[i], path[i + 1])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            max_size=15,
+            unique=True,
+        )
+    )
+    def test_berge_certificate_matches_hopcroft_karp(self, edges):
+        g = BipartiteGraph(6, 6, edges)
+        opt = hopcroft_karp(g)
+        # HK's matching is certified maximum.
+        assert opt.is_maximum_in(g)
+        # Removing one edge from it makes it non-maximum iff graph allows.
+        if len(opt) > 0:
+            smaller = Matching(list(sorted(opt.pairs))[:-1])
+            assert smaller.find_augmenting_path(g) is not None

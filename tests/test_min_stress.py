@@ -1,0 +1,101 @@
+"""Tests for the minimum-converter-stress optimal scheduler."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.core.first_available import FirstAvailableScheduler
+from repro.core.min_stress import MinStressScheduler, total_stress
+from repro.graphs.conversion import FullRangeConversion
+from repro.graphs.request_graph import RequestGraph
+from tests.conftest import circular_instances, noncircular_instances
+
+
+class TestBasics:
+    def test_empty(self, paper_circular_scheme):
+        rg = RequestGraph(paper_circular_scheme, [0] * 6)
+        assert MinStressScheduler().schedule(rg).n_granted == 0
+
+    def test_identity_preferred(self, paper_circular_scheme):
+        # A single request on λ2 with all channels free: the zero-offset
+        # grant (channel 2) must be picked.
+        rg = RequestGraph(paper_circular_scheme, [0, 0, 1, 0, 0, 0])
+        res = MinStressScheduler().schedule(rg)
+        assert res.grants[0].channel == 2
+
+    def test_paper_example_cardinality(self, paper_circular_rg):
+        res = MinStressScheduler().schedule(paper_circular_rg)
+        assert res.n_granted == 6
+
+    def test_occupied_channel_forces_offset(self, paper_circular_scheme):
+        rg = RequestGraph(
+            paper_circular_scheme,
+            [0, 0, 1, 0, 0, 0],
+            [True, True, False, True, True, True],
+        )
+        res = MinStressScheduler().schedule(rg)
+        assert res.n_granted == 1
+        assert res.grants[0].channel in (1, 3)  # |offset| == 1 either way
+
+    def test_full_range_supported(self):
+        rg = RequestGraph(FullRangeConversion(4), [2, 2, 0, 0])
+        res = MinStressScheduler().schedule(rg)
+        assert res.n_granted == 4
+
+    def test_total_stress_helper(self, paper_circular_rg):
+        res = MinStressScheduler().schedule(paper_circular_rg)
+        assert total_stress(paper_circular_rg, res) >= 0
+
+
+class TestOptimality:
+    @settings(max_examples=80, deadline=None)
+    @given(circular_instances(max_k=9))
+    def test_always_maximum_circular(self, rg):
+        ms = MinStressScheduler().schedule(rg)
+        assert ms.n_granted == HopcroftKarpScheduler().schedule(rg).n_granted
+
+    @settings(max_examples=60, deadline=None)
+    @given(noncircular_instances(max_k=9))
+    def test_always_maximum_noncircular(self, rg):
+        ms = MinStressScheduler().schedule(rg)
+        assert ms.n_granted == HopcroftKarpScheduler().schedule(rg).n_granted
+
+    @settings(max_examples=80, deadline=None)
+    @given(circular_instances(max_k=9))
+    def test_stress_never_exceeds_other_optimal_solvers(self, rg):
+        ms = MinStressScheduler().schedule(rg)
+        s_ms = total_stress(rg, ms)
+        for other in (HopcroftKarpScheduler(), BreakFirstAvailableScheduler()):
+            s_other = total_stress(rg, other.schedule(rg))
+            assert s_ms <= s_other
+
+    @settings(max_examples=40, deadline=None)
+    @given(noncircular_instances(max_k=9))
+    def test_stress_never_exceeds_fa(self, rg):
+        ms = MinStressScheduler().schedule(rg)
+        fa = FirstAvailableScheduler().schedule(rg)
+        assert ms.n_granted == fa.n_granted
+        assert total_stress(rg, ms) <= total_stress(rg, fa)
+
+
+class TestStrictImprovementExists:
+    def test_bfa_can_be_strictly_worse(self):
+        """A case where BFA's maximum matching retunes more than needed:
+        at the paper's running example the min-stress solution exists with
+        less total offset than at least one optimal solver's choice."""
+        found = False
+        from repro.analysis.instances import random_circular_instance
+        from repro.util.rng import make_rng
+
+        rng = make_rng(9)
+        ms = MinStressScheduler()
+        bfa = BreakFirstAvailableScheduler()
+        for _ in range(60):
+            rg = random_circular_instance(10, 2, 2, load=0.8, rng=rng)
+            if total_stress(rg, ms.schedule(rg)) < total_stress(
+                rg, bfa.schedule(rg)
+            ):
+                found = True
+                break
+        assert found

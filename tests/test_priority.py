@@ -1,0 +1,105 @@
+"""Tests for strict-priority (QoS) scheduling — the paper's future work."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.core.priority import PriorityScheduler
+from repro.errors import InvalidParameterError
+from repro.graphs.conversion import CircularConversion
+from repro.graphs.request_graph import RequestGraph
+
+
+@pytest.fixture
+def scheme():
+    return CircularConversion(6, 1, 1)
+
+
+@pytest.fixture
+def prio():
+    return PriorityScheduler(BreakFirstAvailableScheduler())
+
+
+class TestBasics:
+    def test_single_class_equals_plain_scheduling(self, scheme, prio):
+        vec = [2, 1, 0, 1, 1, 2]
+        sched = prio.schedule(scheme, [vec])
+        plain = BreakFirstAvailableScheduler().schedule(RequestGraph(scheme, vec))
+        assert sched.n_granted == plain.n_granted
+        assert sched.n_classes == 1
+
+    def test_requires_a_class(self, scheme, prio):
+        with pytest.raises(InvalidParameterError):
+            prio.schedule(scheme, [])
+
+    def test_mask_length_checked(self, scheme, prio):
+        with pytest.raises(InvalidParameterError):
+            prio.schedule(scheme, [[0] * 6], available=[True])
+
+    def test_high_class_sees_full_band(self, scheme, prio):
+        high = [1, 1, 1, 1, 1, 1]
+        low = [1, 1, 1, 1, 1, 1]
+        sched = prio.schedule(scheme, [high, low])
+        assert sched.granted_of(0) == 6  # all channels to the high class
+        assert sched.granted_of(1) == 0
+
+    def test_low_class_gets_leftovers(self, scheme, prio):
+        high = [1, 0, 0, 0, 0, 0]  # one request
+        low = [1, 1, 1, 1, 1, 1]
+        sched = prio.schedule(scheme, [high, low])
+        assert sched.granted_of(0) == 1
+        assert sched.granted_of(1) == 5
+        assert len(sched.used_channels()) == 6
+
+    def test_channels_disjoint_across_classes(self, scheme, prio):
+        sched = prio.schedule(scheme, [[1] * 6, [1] * 6, [1] * 6])
+        all_channels = [
+            g.channel for r in sched.per_class for g in r.grants
+        ]
+        assert len(all_channels) == len(set(all_channels))
+
+    def test_respects_initial_availability(self, scheme, prio):
+        sched = prio.schedule(
+            scheme, [[1] * 6], available=[False, True, False, True, False, True]
+        )
+        assert sched.granted_of(0) == 3
+        assert sched.used_channels() <= {1, 3, 5}
+
+    def test_three_classes_totals(self, scheme, prio):
+        sched = prio.schedule(scheme, [[1, 0, 0, 0, 0, 0]] * 3)
+        assert sched.n_requested == 3
+        assert sched.n_granted == 3  # λ0's window has 3 channels
+
+
+class TestOptimalityPerClass:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2), min_size=6, max_size=6),
+        st.lists(st.integers(0, 2), min_size=6, max_size=6),
+    )
+    def test_high_class_is_maximum(self, high, low):
+        scheme = CircularConversion(6, 1, 1)
+        prio = PriorityScheduler(BreakFirstAvailableScheduler())
+        sched = prio.schedule(scheme, [high, low])
+        opt = HopcroftKarpScheduler().schedule(RequestGraph(scheme, high))
+        assert sched.granted_of(0) == opt.n_granted
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2), min_size=6, max_size=6),
+        st.lists(st.integers(0, 2), min_size=6, max_size=6),
+    )
+    def test_low_class_maximum_given_leftovers(self, high, low):
+        scheme = CircularConversion(6, 1, 1)
+        prio = PriorityScheduler(BreakFirstAvailableScheduler())
+        sched = prio.schedule(scheme, [high, low])
+        leftovers = [
+            b not in {g.channel for g in sched.per_class[0].grants}
+            for b in range(6)
+        ]
+        opt = HopcroftKarpScheduler().schedule(
+            RequestGraph(scheme, low, leftovers)
+        )
+        assert sched.granted_of(1) == opt.n_granted

@@ -1,0 +1,150 @@
+"""Tests for full-stack priority scheduling: SlotRequest classes through the
+distributed layer, traffic models, engine and per-class metrics."""
+
+import pytest
+
+from repro.core.baseline import HopcroftKarpScheduler
+from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.core.distributed import DistributedScheduler, SlotRequest
+from repro.errors import InvalidParameterError
+from repro.graphs.conversion import CircularConversion
+from repro.graphs.request_graph import RequestGraph
+from repro.sim.engine import SlottedSimulator
+from repro.sim.traffic import BernoulliTraffic
+
+
+@pytest.fixture
+def scheme():
+    return CircularConversion(6, 1, 1)
+
+
+@pytest.fixture
+def ds(scheme):
+    return DistributedScheduler(4, scheme, BreakFirstAvailableScheduler())
+
+
+class TestDistributedPriorities:
+    def test_negative_priority_rejected(self, ds):
+        with pytest.raises(InvalidParameterError):
+            ds.schedule_slot([SlotRequest(0, 0, 0, priority=-1)])
+
+    def test_single_class_unchanged(self, ds):
+        reqs = [SlotRequest(i, 2, 0, priority=1) for i in range(4)]
+        schedule = ds.schedule_slot(reqs)
+        assert schedule.n_granted == 3  # λ2's window is 3 channels
+
+    def test_high_class_preempts_channels(self, ds):
+        # Three high-class λ2 requests saturate λ2's window {1,2,3}; one
+        # low-class λ2 request must lose.
+        reqs = [SlotRequest(i, 2, 0, priority=0) for i in range(3)]
+        reqs.append(SlotRequest(3, 2, 0, priority=1))
+        schedule = ds.schedule_slot(reqs)
+        assert schedule.n_granted == 3
+        assert all(g.request.priority == 0 for g in schedule.granted)
+        assert schedule.rejected[0].priority == 1
+
+    def test_low_class_gets_leftovers(self, ds):
+        reqs = [
+            SlotRequest(0, 2, 0, priority=0),
+            SlotRequest(1, 2, 0, priority=1),
+        ]
+        schedule = ds.schedule_slot(reqs)
+        assert schedule.n_granted == 2
+        channels = {g.request.priority: g.channel for g in schedule.granted}
+        assert channels[0] != channels[1]
+
+    def test_per_class_maximality(self, ds, scheme):
+        """Class 0 gets a maximum matching as if class 1 did not exist."""
+        reqs = [SlotRequest(i, w, 0, priority=0) for i, w in ((0, 0), (1, 0), (2, 1))]
+        reqs += [SlotRequest(i, w, 0, priority=1) for i, w in ((3, 0), (0, 1), (1, 5))]
+        schedule = ds.schedule_slot(reqs)
+        high_vec = [0] * 6
+        for r in reqs:
+            if r.priority == 0:
+                high_vec[r.wavelength] += 1
+        opt_high = HopcroftKarpScheduler().schedule(
+            RequestGraph(scheme, high_vec)
+        )
+        granted_high = sum(
+            1 for g in schedule.granted if g.request.priority == 0
+        )
+        assert granted_high == opt_high.n_granted
+
+    def test_combined_result_reported(self, ds):
+        reqs = [
+            SlotRequest(0, 2, 0, priority=0),
+            SlotRequest(1, 2, 0, priority=1),
+        ]
+        schedule = ds.schedule_slot(reqs)
+        result = schedule.per_output[0]
+        assert result.stats.get("priority_classes") == 2
+        assert result.n_granted == 2
+
+    def test_availability_respected_across_classes(self, ds):
+        mask = [False, True, False, True, False, False]
+        reqs = [
+            SlotRequest(0, 2, 0, priority=0),
+            SlotRequest(1, 2, 0, priority=1),
+        ]
+        schedule = ds.schedule_slot(reqs, availability={0: mask})
+        assert schedule.n_granted == 2
+        assert {g.channel for g in schedule.granted} == {1, 3}
+
+    def test_three_classes_disjoint_channels(self, ds):
+        reqs = [
+            SlotRequest(i, w, 0, priority=p)
+            for p in range(3)
+            for i, w in [(p, 1), ((p + 1) % 4, 2)]
+        ]
+        schedule = ds.schedule_slot(reqs)
+        channels = [g.channel for g in schedule.granted]
+        assert len(channels) == len(set(channels))
+
+
+class TestTrafficPriorities:
+    def test_weights_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BernoulliTraffic(2, 4, 0.5, priority_weights=[])
+        with pytest.raises(InvalidParameterError):
+            BernoulliTraffic(2, 4, 0.5, priority_weights=[-1.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            BernoulliTraffic(2, 4, 0.5, priority_weights=[0.0, 0.0])
+
+    def test_default_single_class(self, rng):
+        tr = BernoulliTraffic(2, 4, 1.0)
+        assert all(p.priority == 0 for p in tr.arrivals(0, rng))
+
+    def test_class_mix_statistics(self, rng):
+        tr = BernoulliTraffic(2, 8, 1.0, priority_weights=[1, 3])
+        counts = {0: 0, 1: 0}
+        for s in range(100):
+            for p in tr.arrivals(s, rng):
+                counts[p.priority] += 1
+        frac = counts[1] / (counts[0] + counts[1])
+        assert 0.70 < frac < 0.80
+
+
+class TestEnginePriorities:
+    def test_per_class_loss_ordering(self):
+        scheme = CircularConversion(8, 1, 1)
+        tr = BernoulliTraffic(4, 8, load=0.95, priority_weights=[0.3, 0.7])
+        sim = SlottedSimulator(
+            4, scheme, BreakFirstAvailableScheduler(), tr, seed=3
+        )
+        res = sim.run(200, warmup=20)
+        loss = res.metrics.loss_by_class()
+        assert set(loss) == {0, 1}
+        assert loss[0] < loss[1]
+        assert loss[0] < 0.02  # near-lossless high class at this load
+
+    def test_single_class_traffic_has_one_entry(self):
+        scheme = CircularConversion(6, 1, 1)
+        sim = SlottedSimulator(
+            2,
+            scheme,
+            BreakFirstAvailableScheduler(),
+            BernoulliTraffic(2, 6, 0.8),
+            seed=1,
+        )
+        res = sim.run(30)
+        assert set(res.metrics.loss_by_class()) <= {0}

@@ -1,0 +1,147 @@
+"""Tests for request graphs (paper Section II-B, Fig. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import InvalidParameterError
+from repro.graphs.conversion import CircularConversion, NonCircularConversion
+from repro.graphs.request_graph import RequestGraph
+from tests.conftest import PAPER_VECTOR, circular_instances
+
+
+class TestConstruction:
+    def test_basic(self, paper_circular_rg):
+        assert paper_circular_rg.n_requests == 7
+        assert paper_circular_rg.k == 6
+        assert paper_circular_rg.request_vector == PAPER_VECTOR
+
+    def test_wrong_vector_length(self, paper_circular_scheme):
+        with pytest.raises(InvalidParameterError):
+            RequestGraph(paper_circular_scheme, [1, 2, 3])
+
+    def test_negative_count(self, paper_circular_scheme):
+        with pytest.raises(InvalidParameterError):
+            RequestGraph(paper_circular_scheme, [1, -1, 0, 0, 0, 0])
+
+    def test_non_integer_count(self, paper_circular_scheme):
+        with pytest.raises(InvalidParameterError):
+            RequestGraph(paper_circular_scheme, [1.5, 0, 0, 0, 0, 0])
+
+    def test_numpy_counts_accepted(self, paper_circular_scheme):
+        rg = RequestGraph(paper_circular_scheme, np.array([1, 0, 0, 0, 0, 2]))
+        assert rg.n_requests == 3
+
+    def test_wrong_mask_length(self, paper_circular_scheme):
+        with pytest.raises(InvalidParameterError):
+            RequestGraph(paper_circular_scheme, PAPER_VECTOR, [True])
+
+    def test_from_wavelengths(self, paper_circular_scheme):
+        rg = RequestGraph.from_wavelengths(paper_circular_scheme, [0, 0, 5, 1])
+        assert rg.request_vector == (2, 1, 0, 0, 0, 1)
+
+    def test_from_wavelengths_out_of_range(self, paper_circular_scheme):
+        with pytest.raises(InvalidParameterError):
+            RequestGraph.from_wavelengths(paper_circular_scheme, [6])
+
+
+class TestLeftVertexView:
+    def test_paper_w_function(self, paper_circular_rg):
+        # "W(0) = W(1) = 0, and W(2) = 1"
+        assert paper_circular_rg.wavelength_of(0) == 0
+        assert paper_circular_rg.wavelength_of(1) == 0
+        assert paper_circular_rg.wavelength_of(2) == 1
+        assert paper_circular_rg.left_wavelengths == (0, 0, 1, 3, 4, 5, 5)
+
+    def test_left_wavelengths_sorted(self):
+        scheme = CircularConversion(4, 1, 1)
+        rg = RequestGraph(scheme, [2, 0, 3, 1])
+        assert rg.left_wavelengths == (0, 0, 2, 2, 2, 3)
+        assert list(rg.left_wavelengths) == sorted(rg.left_wavelengths)
+
+    def test_adjacency_of_request(self, paper_circular_rg):
+        assert paper_circular_rg.adjacency_of_request(0) == (0, 1, 5)
+
+    def test_adjacency_of_request_respects_mask(self, paper_circular_scheme):
+        rg = RequestGraph(
+            paper_circular_scheme, PAPER_VECTOR,
+            [False, True, True, True, True, True],
+        )
+        assert rg.adjacency_of_request(0) == (1, 5)
+
+
+class TestGraphView:
+    def test_paper_fig3a_edges(self, paper_circular_rg):
+        g = paper_circular_rg.graph
+        assert g.n_left == 7 and g.n_right == 6
+        assert g.neighbors_of_left(0) == (0, 1, 5)  # a0 on λ0
+        assert g.neighbors_of_left(3) == (2, 3, 4)  # a3 on λ3
+
+    def test_paper_fig3b_edges(self, paper_noncircular_rg):
+        g = paper_noncircular_rg.graph
+        assert g.neighbors_of_left(0) == (0, 1)  # a0 on λ0: clipped
+        assert g.neighbors_of_left(6) == (4, 5)  # a6 on λ5: clipped
+
+    def test_occupied_channels_have_no_edges(self, paper_circular_scheme):
+        rg = RequestGraph(
+            paper_circular_scheme, PAPER_VECTOR,
+            [True, False, True, True, True, True],
+        )
+        assert rg.graph.neighbors_of_right(1) == ()
+        assert rg.n_available == 5
+
+    def test_empty_vector(self, paper_circular_scheme):
+        rg = RequestGraph(paper_circular_scheme, [0] * 6)
+        assert rg.n_requests == 0
+        assert rg.graph.n_edges == 0
+
+    def test_arrays_are_copies(self, paper_circular_rg):
+        arr = paper_circular_rg.request_vector_array()
+        arr[0] = 99
+        assert paper_circular_rg.request_vector[0] == 2
+        mask = paper_circular_rg.available_array()
+        mask[0] = False
+        assert paper_circular_rg.available[0] is True
+
+    @given(circular_instances())
+    def test_edge_count_formula(self, rg):
+        # Every request contributes one edge per available adjacent channel.
+        expected = sum(
+            len(rg.adjacency_of_request(i)) for i in range(rg.n_requests)
+        )
+        assert rg.graph.n_edges == expected
+
+    @given(circular_instances())
+    def test_edges_respect_conversion_and_mask(self, rg):
+        for a, b in rg.graph.edges():
+            assert rg.scheme.can_convert(rg.wavelength_of(a), b)
+            assert rg.available[b]
+
+
+class TestEquality:
+    def test_equal(self, paper_circular_scheme):
+        assert RequestGraph(paper_circular_scheme, PAPER_VECTOR) == RequestGraph(
+            CircularConversion(6, 1, 1), PAPER_VECTOR
+        )
+
+    def test_differs_by_scheme(self, paper_circular_scheme):
+        assert RequestGraph(paper_circular_scheme, PAPER_VECTOR) != RequestGraph(
+            NonCircularConversion(6, 1, 1), PAPER_VECTOR
+        )
+
+    def test_differs_by_mask(self, paper_circular_scheme):
+        a = RequestGraph(paper_circular_scheme, PAPER_VECTOR)
+        b = RequestGraph(
+            paper_circular_scheme, PAPER_VECTOR, [False] + [True] * 5
+        )
+        assert a != b
+
+    def test_hashable(self, paper_circular_scheme):
+        s = {
+            RequestGraph(paper_circular_scheme, PAPER_VECTOR),
+            RequestGraph(paper_circular_scheme, PAPER_VECTOR),
+        }
+        assert len(s) == 1
+
+    def test_repr(self, paper_circular_rg):
+        assert "RequestGraph" in repr(paper_circular_rg)

@@ -1,0 +1,159 @@
+"""Tests for traffic models, destination models and duration models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sim.duration import (
+    DeterministicDuration,
+    GeometricDuration,
+    UniformDuration,
+)
+from repro.sim.traffic import (
+    BernoulliTraffic,
+    HotspotDestinations,
+    OnOffBurstyTraffic,
+    UniformDestinations,
+)
+
+
+@pytest.fixture
+def gen():
+    return np.random.default_rng(77)
+
+
+class TestDurations:
+    def test_deterministic(self, gen):
+        d = DeterministicDuration(3)
+        assert d.sample(gen) == 3
+        assert d.mean == 3.0
+
+    def test_deterministic_default_one(self, gen):
+        assert DeterministicDuration().sample(gen) == 1
+
+    def test_geometric_mean(self, gen):
+        d = GeometricDuration(4.0)
+        samples = [d.sample(gen) for _ in range(4000)]
+        assert min(samples) >= 1
+        assert abs(np.mean(samples) - 4.0) < 0.3
+        assert d.mean == 4.0
+
+    def test_geometric_mean_one_is_constant(self, gen):
+        d = GeometricDuration(1.0)
+        assert all(d.sample(gen) == 1 for _ in range(50))
+
+    def test_geometric_rejects_sub_one(self):
+        with pytest.raises(InvalidParameterError):
+            GeometricDuration(0.5)
+
+    def test_uniform(self, gen):
+        d = UniformDuration(2, 5)
+        samples = {d.sample(gen) for _ in range(300)}
+        assert samples == {2, 3, 4, 5}
+        assert d.mean == 3.5
+
+    def test_uniform_rejects_inverted(self):
+        with pytest.raises(InvalidParameterError):
+            UniformDuration(5, 2)
+
+
+class TestDestinations:
+    def test_uniform_covers_all(self, gen):
+        d = UniformDestinations(4)
+        seen = {d.sample(gen, 0) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_hotspot_bias(self, gen):
+        d = HotspotDestinations(8, hot_fiber=2, hot_fraction=0.8)
+        hits = sum(d.sample(gen, 0) == 2 for _ in range(2000))
+        assert hits > 1500  # expectation: 0.8 + 0.2/8 = 0.825
+
+    def test_hotspot_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HotspotDestinations(4, hot_fiber=4, hot_fraction=0.5)
+        with pytest.raises(InvalidParameterError):
+            HotspotDestinations(4, hot_fiber=0, hot_fraction=1.5)
+
+
+class TestBernoulliTraffic:
+    def test_one_packet_per_channel(self, gen):
+        tr = BernoulliTraffic(3, 4, load=1.0)
+        packets = tr.arrivals(0, gen)
+        assert len(packets) == 12
+        channels = {(p.input_fiber, p.wavelength) for p in packets}
+        assert len(channels) == 12
+
+    def test_zero_load(self, gen):
+        assert BernoulliTraffic(3, 4, load=0.0).arrivals(0, gen) == []
+
+    def test_load_statistics(self, gen):
+        tr = BernoulliTraffic(4, 8, load=0.3)
+        total = sum(len(tr.arrivals(s, gen)) for s in range(200))
+        expected = 200 * 32 * 0.3
+        assert abs(total - expected) / expected < 0.1
+
+    def test_offered_load_includes_duration(self):
+        tr = BernoulliTraffic(2, 2, 0.5, durations=DeterministicDuration(4))
+        assert tr.offered_load == 2.0
+
+    def test_packet_ids_unique(self, gen):
+        tr = BernoulliTraffic(2, 4, load=0.8)
+        ids = [
+            p.packet_id for s in range(20) for p in tr.arrivals(s, gen)
+        ]
+        assert len(ids) == len(set(ids))
+
+    def test_fields_in_range(self, gen):
+        tr = BernoulliTraffic(3, 5, load=0.7)
+        for p in tr.arrivals(0, gen):
+            assert 0 <= p.input_fiber < 3
+            assert 0 <= p.wavelength < 5
+            assert 0 <= p.output_fiber < 3
+            assert p.duration == 1
+            assert p.slot == 0
+
+
+class TestOnOffBurstyTraffic:
+    def test_one_packet_per_channel(self, gen):
+        tr = OnOffBurstyTraffic(3, 4, load=0.8, burst_length=4.0)
+        for s in range(10):
+            packets = tr.arrivals(s, gen)
+            channels = {(p.input_fiber, p.wavelength) for p in packets}
+            assert len(channels) == len(packets)
+
+    def test_long_run_load(self, gen):
+        tr = OnOffBurstyTraffic(4, 8, load=0.4, burst_length=5.0)
+        total = sum(len(tr.arrivals(s, gen)) for s in range(800))
+        expected = 800 * 32 * 0.4
+        assert abs(total - expected) / expected < 0.15
+
+    def test_bursts_share_destination(self, gen):
+        tr = OnOffBurstyTraffic(2, 2, load=0.5, burst_length=10.0)
+        dest_by_channel: dict[tuple, list[int]] = {}
+        prev_on: set[tuple] = set()
+        for s in range(60):
+            now_on = set()
+            for p in tr.arrivals(s, gen):
+                key = (p.input_fiber, p.wavelength)
+                now_on.add(key)
+                if key in prev_on:
+                    # Continuing burst: same destination as before.
+                    assert dest_by_channel[key][-1] == p.output_fiber
+                dest_by_channel.setdefault(key, []).append(p.output_fiber)
+            prev_on = now_on
+
+    def test_burst_length_validation(self):
+        with pytest.raises(InvalidParameterError):
+            OnOffBurstyTraffic(2, 2, load=0.5, burst_length=0.5)
+
+    def test_reset(self, gen):
+        tr = OnOffBurstyTraffic(2, 2, load=0.5, burst_length=3.0)
+        tr.arrivals(0, gen)
+        tr.reset()
+        assert tr._state is None
+
+    def test_full_load(self, gen):
+        tr = OnOffBurstyTraffic(2, 2, load=1.0, burst_length=3.0)
+        # Everything permanently on.
+        for s in range(5):
+            assert len(tr.arrivals(s, gen)) == 4

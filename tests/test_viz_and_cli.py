@@ -1,0 +1,151 @@
+"""Tests for ASCII rendering, the simulation CLI, the experiments CLI and
+the replication harness."""
+
+import pytest
+
+from repro.analysis.viz import render_request_graph, render_schedule
+from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.replication import replicate
+from repro.graphs.hopcroft_karp import hopcroft_karp
+from repro.graphs.request_graph import RequestGraph
+from repro.sim.__main__ import main as sim_main
+
+
+class TestRenderRequestGraph:
+    def test_paper_example(self, paper_circular_rg):
+        out = render_request_graph(paper_circular_rg)
+        assert "a0 (λ0)" in out
+        assert "{b5, b0, b1}" in out or "{b0, b1, b5}" in out
+
+    def test_with_matching(self, paper_circular_rg):
+        m = hopcroft_karp(paper_circular_rg.graph)
+        out = render_request_graph(paper_circular_rg, m)
+        assert "|M| = 6" in out
+        assert "matched" in out
+
+    def test_occupied_channels_listed(self, paper_circular_scheme):
+        rg = RequestGraph(
+            paper_circular_scheme, (2, 1, 0, 1, 1, 2),
+            [True, False, True, True, True, True],
+        )
+        out = render_request_graph(rg)
+        assert "occupied channels [1]" in out
+
+    def test_invalid_matching_rejected(self, paper_circular_rg):
+        from repro.graphs.matching import Matching
+
+        with pytest.raises(Exception):
+            render_request_graph(paper_circular_rg, Matching([(0, 3)]))
+
+
+class TestRenderSchedule:
+    def test_states(self, paper_circular_scheme):
+        rg = RequestGraph(
+            paper_circular_scheme, (2, 1, 0, 1, 1, 2),
+            [True, False, True, True, True, True],
+        )
+        res = BreakFirstAvailableScheduler().schedule(rg)
+        out = render_schedule(rg, res)
+        assert "b1: occupied" in out
+        assert "<- λ" in out
+        assert "dropped:" in out
+
+
+class TestSimCli:
+    def test_single_seed(self, capsys):
+        assert sim_main(
+            ["--fibers", "2", "--wavelengths", "4", "--slots", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "loss_probability" in out
+
+    def test_full_range_and_bursty(self, capsys):
+        assert sim_main(
+            [
+                "--fibers", "2", "--wavelengths", "4", "--slots", "30",
+                "--degree", "full", "--traffic", "bursty",
+            ]
+        ) == 0
+        assert "utilization" in capsys.readouterr().out
+
+    def test_fast_flag(self, capsys):
+        assert sim_main(
+            ["--fibers", "4", "--wavelengths", "8", "--slots", "60", "--fast"]
+        ) == 0
+        assert "loss_probability" in capsys.readouterr().out
+
+    def test_fast_flag_rejects_multislot(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            sim_main(
+                ["--slots", "10", "--fast", "--mean-duration", "3"]
+            )
+
+    def test_replicated(self, capsys):
+        assert sim_main(
+            [
+                "--fibers", "2", "--wavelengths", "4", "--slots", "30",
+                "--seeds", "3", "--mean-duration", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ci lo" in out
+
+
+class TestExperimentsCli:
+    def test_list(self, capsys):
+        assert experiments_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG2" in out and "TAB3" in out
+
+    def test_run_selected(self, capsys):
+        assert experiments_main(["FIG2", "INTRO"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 experiments passed" in out
+
+    def test_output_file(self, capsys, tmp_path):
+        target = tmp_path / "report.txt"
+        assert experiments_main(["FIG2", "--output", str(target)]) == 0
+        capsys.readouterr()
+        text = target.read_text()
+        assert "FIG2" in text and "1/1 experiments passed" in text
+
+
+class TestReplication:
+    def _run(self, seed: int):
+        from repro.graphs.conversion import CircularConversion
+        from repro.sim.engine import SlottedSimulator
+        from repro.sim.traffic import BernoulliTraffic
+
+        sim = SlottedSimulator(
+            2,
+            CircularConversion(4, 1, 1),
+            BreakFirstAvailableScheduler(),
+            BernoulliTraffic(2, 4, 0.8),
+            seed=seed,
+        )
+        return sim.run(40)
+
+    def test_replicate_count(self):
+        report = replicate(self._run, seeds=3)
+        assert report["loss_probability"].n_seeds == 3
+        assert len(report.results) == 3
+
+    def test_interval_brackets_mean(self):
+        report = replicate(self._run, seeds=4)
+        m = report["acceptance_ratio"]
+        assert m.lo <= m.mean <= m.hi
+        assert m.half_width >= 0
+
+    def test_explicit_seeds(self):
+        a = replicate(self._run, seeds=[7, 8])
+        b = replicate(self._run, seeds=[7, 8])
+        assert a["loss_probability"].mean == b["loss_probability"].mean
+
+    def test_rows(self):
+        report = replicate(self._run, seeds=2)
+        rows = report.rows(["loss_probability", "utilization"])
+        assert len(rows) == 2
+        assert rows[0][0] == "loss_probability"
