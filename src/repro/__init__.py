@@ -31,6 +31,10 @@ Package map
     Theorem-3 bounds, matching certificates, instance generators.
 ``repro.experiments``
     One entry per paper figure/table/claim; ``python -m repro.experiments``.
+``repro.service``
+    Online scheduling service: sharded asyncio server (one shard per output
+    fiber), bounded queues with backpressure, clients/load generators, and
+    built-in telemetry.
 """
 
 from repro.core import (

@@ -27,7 +27,15 @@ from repro.util.validation import (
     check_positive_int,
 )
 
-__all__ = ["SlotRequest", "GrantedRequest", "SlotSchedule", "DistributedScheduler"]
+__all__ = [
+    "SlotRequest",
+    "GrantedRequest",
+    "SlotSchedule",
+    "DistributedScheduler",
+    "validate_slot_request",
+    "distribute_grants",
+    "schedule_output_fiber",
+]
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -76,6 +84,117 @@ class SlotSchedule:
         return len(self.rejected)
 
 
+def validate_slot_request(
+    request: SlotRequest, n_fibers: int, k: int
+) -> SlotRequest:
+    """Raise :class:`InvalidParameterError` unless ``request`` fits an
+    ``n_fibers``-fiber interconnect with ``k`` wavelengths; returns it."""
+    check_index(request.input_fiber, n_fibers, "input_fiber")
+    check_index(request.output_fiber, n_fibers, "output_fiber")
+    check_index(request.wavelength, k, "wavelength")
+    check_positive_int(request.duration, "duration")
+    check_nonnegative_int(request.priority, "priority")
+    return request
+
+
+def distribute_grants(
+    policy: GrantPolicy,
+    output_fiber: int,
+    requests: Sequence[SlotRequest],
+    grants: Sequence,
+) -> tuple[list[GrantedRequest], list[SlotRequest]]:
+    """Hand a scheduler's wavelength-level grants to specific requesters.
+
+    Group granted channels by wavelength, then let the policy pick the
+    winners of each wavelength's channels.  This is the single code path
+    shared by the batch :class:`DistributedScheduler` and the online
+    :mod:`repro.service` shards, so both make identical decisions.
+    """
+    channels_by_wavelength: dict[int, list[int]] = {}
+    for g in grants:
+        channels_by_wavelength.setdefault(g.wavelength, []).append(g.channel)
+    requests_by_wavelength: dict[int, list[SlotRequest]] = {}
+    for r in requests:
+        requests_by_wavelength.setdefault(r.wavelength, []).append(r)
+
+    granted: list[GrantedRequest] = []
+    rejected: list[SlotRequest] = []
+    for w, contenders in sorted(requests_by_wavelength.items()):
+        channels = sorted(channels_by_wavelength.get(w, []))
+        by_fiber = {r.input_fiber: r for r in contenders}
+        winners = policy.select(output_fiber, w, sorted(by_fiber), len(channels))
+        winner_set = set(winners)
+        for fiber, channel in zip(sorted(winner_set), channels):
+            granted.append(GrantedRequest(by_fiber[fiber], channel))
+        rejected.extend(r for r in contenders if r.input_fiber not in winner_set)
+    return granted, rejected
+
+
+def schedule_output_fiber(
+    scheme: ConversionScheme,
+    scheduler: Scheduler,
+    policy: GrantPolicy,
+    output_fiber: int,
+    requests: Sequence[SlotRequest],
+    available: Sequence[bool] | None,
+) -> tuple[ScheduleResult, list[GrantedRequest], list[SlotRequest]]:
+    """Resolve one output fiber's contention for one slot.
+
+    Runs the per-output scheduler on the requests' wavelength vector (with
+    strict-priority layering when several QoS classes are present) and
+    distributes the granted channels to individual requesters via the
+    policy.  Pure function of its inputs plus any policy state — the shared
+    kernel of :class:`DistributedScheduler` and the service shards.
+    """
+    requests = list(requests)
+    classes = sorted({r.priority for r in requests})
+    if len(classes) <= 1:
+        rg = RequestGraph.from_wavelengths(
+            scheme, (r.wavelength for r in requests), available
+        )
+        result = scheduler.schedule(rg)
+        # Trust boundary: the per-output result may come from a third-party
+        # Scheduler — revalidate before handing out channels, so a defective
+        # scheduler fails loudly instead of silently wasting channels or
+        # granting phantom requests.
+        validate_schedule(rg, result.grants)
+        granted, rejected = distribute_grants(
+            policy, output_fiber, requests, result.grants
+        )
+        return result, granted, rejected
+
+    # Strict-priority layering (paper future work): schedule class 0 on
+    # the full mask, each lower class on the channels left over.
+    mask = list(available) if available is not None else [True] * scheme.k
+    granted: list[GrantedRequest] = []
+    rejected: list[SlotRequest] = []
+    all_grants = []
+    for priority in classes:
+        class_requests = [r for r in requests if r.priority == priority]
+        rg = RequestGraph.from_wavelengths(
+            scheme, (r.wavelength for r in class_requests), mask
+        )
+        result = scheduler.schedule(rg)
+        validate_schedule(rg, result.grants)
+        g, rej = distribute_grants(
+            policy, output_fiber, class_requests, result.grants
+        )
+        granted.extend(g)
+        rejected.extend(rej)
+        all_grants.extend(result.grants)
+        for grant in result.grants:
+            mask[grant.channel] = False
+    # Combined per-output result for reporting (validated against the
+    # union request graph with the original availability).
+    rg_all = RequestGraph.from_wavelengths(
+        scheme, (r.wavelength for r in requests), available
+    )
+    combined = make_result(
+        rg_all, all_grants, stats={"priority_classes": len(classes)}
+    )
+    return combined, granted, rejected
+
+
 class DistributedScheduler:
     """Per-output-fiber distributed scheduling for an ``N × N`` interconnect.
 
@@ -96,6 +215,12 @@ class DistributedScheduler:
         schedules itself.
     max_workers:
         Thread-pool width when ``parallel`` (default: executor's choice).
+
+    The thread pool is created lazily on the first parallel slot and reused
+    for every subsequent slot (constructing a pool per slot costs more than
+    the per-slot scheduling work itself).  Call :meth:`close` — or use the
+    instance as a context manager — to release the worker threads early;
+    otherwise they are reclaimed at interpreter exit.
     """
 
     def __init__(
@@ -113,15 +238,33 @@ class DistributedScheduler:
         self.policy = policy if policy is not None else FixedPriorityPolicy()
         self.parallel = bool(parallel)
         self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-distributed",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the reusable thread pool (idempotent; a later parallel
+        slot transparently recreates it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "DistributedScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _validate_requests(self, requests: Sequence[SlotRequest]) -> None:
         seen_channels: set[tuple[int, int]] = set()
         for r in requests:
-            check_index(r.input_fiber, self.n_fibers, "input_fiber")
-            check_index(r.output_fiber, self.n_fibers, "output_fiber")
-            check_index(r.wavelength, self.scheme.k, "wavelength")
-            check_positive_int(r.duration, "duration")
-            check_nonnegative_int(r.priority, "priority")
+            validate_slot_request(r, self.n_fibers, self.scheme.k)
             channel = (r.input_fiber, r.wavelength)
             if channel in seen_channels:
                 raise InvalidParameterError(
@@ -130,90 +273,17 @@ class DistributedScheduler:
                 )
             seen_channels.add(channel)
 
-    def _distribute(
-        self,
-        output_fiber: int,
-        requests: list[SlotRequest],
-        grants: Sequence,
-    ) -> tuple[list[GrantedRequest], list[SlotRequest]]:
-        """Hand the scheduler's wavelength-level grants to specific
-        requesters: group channels by wavelength, let the policy pick the
-        winners of each wavelength's channels."""
-        channels_by_wavelength: dict[int, list[int]] = {}
-        for g in grants:
-            channels_by_wavelength.setdefault(g.wavelength, []).append(g.channel)
-        requests_by_wavelength: dict[int, list[SlotRequest]] = {}
-        for r in requests:
-            requests_by_wavelength.setdefault(r.wavelength, []).append(r)
-
-        granted: list[GrantedRequest] = []
-        rejected: list[SlotRequest] = []
-        for w, contenders in sorted(requests_by_wavelength.items()):
-            channels = sorted(channels_by_wavelength.get(w, []))
-            by_fiber = {r.input_fiber: r for r in contenders}
-            winners = self.policy.select(
-                output_fiber, w, sorted(by_fiber), len(channels)
-            )
-            winner_set = set(winners)
-            for fiber, channel in zip(sorted(winner_set), channels):
-                granted.append(GrantedRequest(by_fiber[fiber], channel))
-            rejected.extend(
-                r for r in contenders if r.input_fiber not in winner_set
-            )
-        return granted, rejected
-
     def _schedule_output(
         self,
         output_fiber: int,
         requests: list[SlotRequest],
         available: Sequence[bool] | None,
     ) -> tuple[int, ScheduleResult, list[GrantedRequest], list[SlotRequest]]:
-        classes = sorted({r.priority for r in requests})
-        if len(classes) <= 1:
-            rg = RequestGraph.from_wavelengths(
-                self.scheme, (r.wavelength for r in requests), available
-            )
-            result = self.scheduler.schedule(rg)
-            # Trust boundary: the per-output result may come from a
-            # third-party Scheduler — revalidate before handing out
-            # channels, so a defective scheduler fails loudly instead of
-            # silently wasting channels or granting phantom requests.
-            validate_schedule(rg, result.grants)
-            granted, rejected = self._distribute(
-                output_fiber, requests, result.grants
-            )
-            return output_fiber, result, granted, rejected
-
-        # Strict-priority layering (paper future work): schedule class 0 on
-        # the full mask, each lower class on the channels left over.
-        mask = (
-            list(available) if available is not None else [True] * self.scheme.k
+        result, granted, rejected = schedule_output_fiber(
+            self.scheme, self.scheduler, self.policy, output_fiber, requests,
+            available,
         )
-        granted: list[GrantedRequest] = []
-        rejected: list[SlotRequest] = []
-        all_grants = []
-        for priority in classes:
-            class_requests = [r for r in requests if r.priority == priority]
-            rg = RequestGraph.from_wavelengths(
-                self.scheme, (r.wavelength for r in class_requests), mask
-            )
-            result = self.scheduler.schedule(rg)
-            validate_schedule(rg, result.grants)
-            g, rej = self._distribute(output_fiber, class_requests, result.grants)
-            granted.extend(g)
-            rejected.extend(rej)
-            all_grants.extend(result.grants)
-            for grant in result.grants:
-                mask[grant.channel] = False
-        # Combined per-output result for reporting (validated against the
-        # union request graph with the original availability).
-        rg_all = RequestGraph.from_wavelengths(
-            self.scheme, (r.wavelength for r in requests), available
-        )
-        combined = make_result(
-            rg_all, all_grants, stats={"priority_classes": len(classes)}
-        )
-        return output_fiber, combined, granted, rejected
+        return output_fiber, result, granted, rejected
 
     def schedule_slot(
         self,
@@ -235,8 +305,8 @@ class DistributedScheduler:
             (o, reqs, availability.get(o)) for o, reqs in sorted(by_output.items())
         ]
         if self.parallel and len(jobs) > 1:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                outcomes = list(pool.map(lambda j: self._schedule_output(*j), jobs))
+            pool = self._ensure_pool()
+            outcomes = list(pool.map(lambda j: self._schedule_output(*j), jobs))
         else:
             outcomes = [self._schedule_output(*j) for j in jobs]
 

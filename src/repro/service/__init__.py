@@ -1,0 +1,69 @@
+"""repro.service — the online scheduling service.
+
+The paper proves the per-slot scheduling problem decomposes into ``N``
+independent per-output sub-problems, each solvable in ``O(k)`` / ``O(dk)``.
+This package serves that shape: one shard worker per output fiber
+(:mod:`~repro.service.shard`), bounded per-shard request queues with
+explicit backpressure (:mod:`~repro.service.queue`), an asyncio tick loop
+that batches submissions into slots and fans them out
+(:mod:`~repro.service.server`), a client/load-generator API
+(:mod:`~repro.service.client`), and built-in telemetry
+(:mod:`~repro.service.telemetry`).
+
+Quickstart
+----------
+>>> import asyncio
+>>> from repro import BreakFirstAvailableScheduler, CircularConversion
+>>> from repro.core.distributed import SlotRequest
+>>> from repro.service import SchedulingService
+>>> async def demo():
+...     service = SchedulingService(
+...         4, CircularConversion(6, 1, 1), BreakFirstAvailableScheduler()
+...     )
+...     future = service.submit_nowait(SlotRequest(0, 2, 3))
+...     await service.tick()
+...     return await future
+>>> asyncio.run(demo()).channel
+2
+
+See ``docs/SERVICE.md`` for the architecture and
+``benchmarks/bench_service.py`` for throughput/latency numbers.
+"""
+
+from repro.service.client import LoadGenerator, LoadReport, SchedulingClient
+from repro.service.queue import BoundedQueue, Offer, OverflowPolicy
+from repro.service.server import (
+    ExecutionMode,
+    Rejected,
+    RejectReason,
+    SchedulingService,
+    ServiceGrant,
+)
+from repro.service.shard import ShardWorker
+from repro.service.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+    exponential_buckets,
+)
+
+__all__ = [
+    "BoundedQueue",
+    "Counter",
+    "ExecutionMode",
+    "Gauge",
+    "Histogram",
+    "LoadGenerator",
+    "LoadReport",
+    "Offer",
+    "OverflowPolicy",
+    "Rejected",
+    "RejectReason",
+    "SchedulingClient",
+    "SchedulingService",
+    "ServiceGrant",
+    "ShardWorker",
+    "Telemetry",
+    "exponential_buckets",
+]

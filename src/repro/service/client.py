@@ -1,0 +1,183 @@
+"""In-process client API and a traffic-model load generator.
+
+:class:`SchedulingClient` is the thin call-site facade
+(``submit(request) -> ServiceGrant | Rejected``); :class:`LoadGenerator`
+drives a service with the simulator's own traffic models
+(:mod:`repro.sim.traffic`), one model slot per service tick, and reports
+sustained request rate, grant rate, and exact grant-latency percentiles —
+the numbers ``benchmarks/bench_service.py`` sweeps over shard counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.distributed import SlotRequest
+from repro.service.server import (
+    Rejected,
+    RejectReason,
+    SchedulingService,
+    ServiceGrant,
+)
+from repro.sim.traffic import TrafficModel
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive_int
+
+__all__ = ["SchedulingClient", "LoadReport", "LoadGenerator"]
+
+
+class SchedulingClient:
+    """Submit requests to a running :class:`SchedulingService`."""
+
+    def __init__(self, service: SchedulingService) -> None:
+        self.service = service
+
+    async def submit(
+        self, request: SlotRequest, timeout: float | None = None
+    ) -> ServiceGrant | Rejected:
+        """Submit one request and await its outcome."""
+        return await self.service.submit(request, timeout)
+
+    async def submit_many(
+        self, requests: Sequence[SlotRequest], timeout: float | None = None
+    ) -> list[ServiceGrant | Rejected]:
+        """Submit a batch concurrently; outcomes in submission order."""
+        futures = [
+            self.service.submit_nowait(r, timeout) for r in requests
+        ]
+        return list(await asyncio.gather(*futures))
+
+
+@dataclass
+class LoadReport:
+    """What a :class:`LoadGenerator` run delivered."""
+
+    offered: int
+    granted: int
+    rejected_contention: int
+    rejected_source: int
+    rejected_queue: int
+    dropped: int
+    timed_out: int
+    slots: int
+    wall_seconds: float
+    #: Exact per-request submit→grant latencies, seconds, sorted ascending.
+    grant_latencies: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def requests_per_sec(self) -> float:
+        """Sustained offered-request throughput over the run."""
+        return self.offered / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def grant_rate(self) -> float:
+        return self.granted / self.offered if self.offered else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        """Exact ``q``-quantile of the grant latencies (0.0 when none)."""
+        lat = self.grant_latencies
+        if not lat:
+            return 0.0
+        idx = min(len(lat) - 1, max(0, round(q * (len(lat) - 1))))
+        return lat[idx]
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_quantile(0.50)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_quantile(0.99)
+
+
+class LoadGenerator:
+    """Drive a service with a :mod:`repro.sim.traffic` arrival process.
+
+    Each traffic-model slot maps to one service tick: the generator submits
+    slot ``t``'s packets, runs one tick, and repeats — then keeps ticking
+    until every outstanding future has resolved.  With an unbounded queue,
+    no timeout, and one tick per slot this reproduces the
+    :class:`~repro.sim.engine.SlottedSimulator` workload exactly (the
+    equivalence test in ``tests/test_service_equivalence.py`` checks the
+    grants match decision-for-decision).
+    """
+
+    def __init__(
+        self,
+        service: SchedulingService,
+        traffic: TrafficModel,
+        seed: int | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        if traffic.n_fibers != service.n_fibers or traffic.k != service.scheme.k:
+            raise ValueError(
+                f"traffic model is {traffic.n_fibers}×{traffic.k}, "
+                f"service is {service.n_fibers}×{service.scheme.k}"
+            )
+        self.service = service
+        self.traffic = traffic
+        self.timeout = timeout
+        self._rng = make_rng(seed)
+
+    async def run(self, n_slots: int) -> LoadReport:
+        """Offer ``n_slots`` slots of traffic; returns the load report."""
+        check_positive_int(n_slots, "n_slots")
+        service = self.service
+        futures: list[asyncio.Future] = []
+        latencies: list[float] = []
+
+        def _stamp(submitted_at: float, fut: asyncio.Future) -> None:
+            # Runs on the loop pass right after the tick resolves the
+            # future, so the stamp tracks grant time, not gather time.
+            if isinstance(fut.result(), ServiceGrant):
+                latencies.append(time.perf_counter() - submitted_at)
+
+        t_start = time.perf_counter()
+        for slot in range(n_slots):
+            packets = self.traffic.arrivals(slot, self._rng)
+            for p in packets:
+                request = SlotRequest(
+                    p.input_fiber,
+                    p.wavelength,
+                    p.output_fiber,
+                    p.duration,
+                    p.priority,
+                )
+                future = service.submit_nowait(request, self.timeout)
+                future.add_done_callback(
+                    lambda fut, t=time.perf_counter(): _stamp(t, fut)
+                )
+                futures.append(future)
+            await service.tick()
+            # Yield one loop pass so done-callbacks stamp *this* tick's
+            # grants now, not in bulk when the run finishes (INLINE ticks
+            # never suspend, so the loop would otherwise starve).
+            await asyncio.sleep(0)
+        await service.drain()
+        await asyncio.sleep(0)
+        results = await asyncio.gather(*futures)
+        wall = time.perf_counter() - t_start
+
+        counts = {reason: 0 for reason in RejectReason}
+        granted = 0
+        for outcome in results:
+            if isinstance(outcome, ServiceGrant):
+                granted += 1
+            else:
+                counts[outcome.reason] += 1
+        latencies.sort()
+        return LoadReport(
+            offered=len(futures),
+            granted=granted,
+            rejected_contention=counts[RejectReason.CONTENTION],
+            rejected_source=counts[RejectReason.SOURCE_BLOCKED],
+            rejected_queue=counts[RejectReason.QUEUE_FULL],
+            dropped=counts[RejectReason.DROPPED],
+            timed_out=counts[RejectReason.TIMED_OUT],
+            slots=n_slots,
+            wall_seconds=wall,
+            grant_latencies=latencies,
+        )

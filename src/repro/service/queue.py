@@ -1,0 +1,118 @@
+"""Bounded per-shard request queues with explicit overflow policies.
+
+Every shard owns one :class:`BoundedQueue`.  Admission happens at enqueue
+time — a full queue must do *something*, and the three classic answers are
+all offered because they trade differently under the paper's traffic:
+
+* ``REJECT`` — fail fast with an error the caller sees immediately
+  (backpressure propagates to the client; best for interactive load).
+* ``DROP_TAIL`` — silently drop the newcomer (classic router behaviour;
+  oldest requests keep their place, favouring FIFO latency).
+* ``DROP_OLDEST`` — evict the head to admit the newcomer (freshest-first;
+  best when stale requests are worthless, e.g. single-slot optical packets
+  that missed their slot anyway).
+
+The queue is a plain single-threaded structure: the asyncio server is the
+only writer/reader, so no locking is needed — the event loop serializes
+access.  Telemetry is attached by the owner, not baked in here.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Generic, Iterator, TypeVar
+
+from repro.errors import InvalidParameterError
+from repro.util.validation import check_positive_int
+
+__all__ = ["OverflowPolicy", "Offer", "BoundedQueue"]
+
+T = TypeVar("T")
+
+
+class OverflowPolicy(enum.Enum):
+    """What a full queue does with the next arrival."""
+
+    REJECT = "reject"
+    DROP_TAIL = "drop_tail"
+    DROP_OLDEST = "drop_oldest"
+
+
+class Offer(Generic[T]):
+    """Outcome of one enqueue attempt.
+
+    ``accepted`` — the new item entered the queue.
+    ``evicted`` — the item pushed out to make room (``DROP_OLDEST`` only);
+    the caller must resolve it (e.g. fail its future) so nothing is lost
+    silently.
+    """
+
+    __slots__ = ("accepted", "evicted")
+
+    def __init__(self, accepted: bool, evicted: T | None = None) -> None:
+        self.accepted = accepted
+        self.evicted = evicted
+
+    def __repr__(self) -> str:
+        return f"Offer(accepted={self.accepted}, evicted={self.evicted!r})"
+
+
+class BoundedQueue(Generic[T]):
+    """FIFO queue with a capacity and an :class:`OverflowPolicy`.
+
+    ``capacity=None`` means unbounded (the equivalence tests and the
+    simulator-parity mode use this: no admission losses).
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        policy: OverflowPolicy = OverflowPolicy.REJECT,
+    ) -> None:
+        if capacity is not None:
+            check_positive_int(capacity, "capacity")
+        if not isinstance(policy, OverflowPolicy):
+            raise InvalidParameterError(
+                f"policy must be an OverflowPolicy, got {policy!r}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self._items: Deque[T] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def offer(self, item: T) -> Offer[T]:
+        """Try to enqueue ``item``; the policy decides on overflow."""
+        if not self.full:
+            self._items.append(item)
+            return Offer(True)
+        if self.policy is OverflowPolicy.DROP_OLDEST:
+            evicted = self._items.popleft()
+            self._items.append(item)
+            return Offer(True, evicted)
+        # REJECT and DROP_TAIL both refuse the newcomer; the caller maps
+        # the refusal to an error (REJECT) or a silent-drop count (DROP_TAIL).
+        return Offer(False)
+
+    def drain(self, limit: int | None = None) -> list[T]:
+        """Dequeue up to ``limit`` items (all, when ``None``) in FIFO order."""
+        if limit is None or limit >= len(self._items):
+            items = list(self._items)
+            self._items.clear()
+            return items
+        if limit < 0:
+            raise InvalidParameterError(f"drain limit must be >= 0, got {limit}")
+        return [self._items.popleft() for _ in range(limit)]

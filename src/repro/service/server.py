@@ -1,0 +1,540 @@
+"""The asyncio scheduling server: slot ticks, shard fan-out, timeouts.
+
+:class:`SchedulingService` turns the paper's per-slot batch schedulers into
+a long-running online service.  Callers submit
+:class:`~repro.core.distributed.SlotRequest`\\ s at any time; the server
+batches everything enqueued since the last tick into one *slot tick* —
+the service-side analogue of the simulator's synchronous time slot — and
+resolves each request's future with a :class:`ServiceGrant` or
+:class:`Rejected`.
+
+One tick does, in order (mirroring ``SlottedSimulator.step`` exactly, which
+is what the equivalence test relies on):
+
+1. **Drain** each shard's bounded queue (FIFO, optionally capped per tick).
+2. **Admission**: expire requests past their deadline (``TIMED_OUT``) and
+   requests whose input channel is still held by an earlier multi-slot
+   grant or by an earlier request in this same tick (``SOURCE_BLOCKED`` —
+   the input laser cannot transmit two signals).
+3. **Fan-out**: run each shard's per-output scheduler on the survivors —
+   inline on the event loop, on a thread pool (one task per shard), or via
+   the NumPy vectorized batch kernels on a worker thread
+   (:class:`ExecutionMode`).
+4. **Commit**: hold granted output/input channels for the connection's
+   duration, resolve futures, record telemetry (grant latency, tick
+   duration, occupancy, queue depths).
+5. **Advance** every shard's channel clock and the input-side busy state.
+
+Drive ticks yourself (:meth:`SchedulingService.tick`,
+:meth:`~SchedulingService.run_ticks` — deterministic, used by tests) or let
+:meth:`~SchedulingService.start` run them on a wall-clock interval.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Sequence
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.core.batch import batch_first_available
+from repro.core.batch_bfa import batch_break_first_available
+from repro.core.distributed import (
+    GrantedRequest,
+    SlotRequest,
+    distribute_grants,
+    validate_slot_request,
+)
+from repro.core.policies import FixedPriorityPolicy, GrantPolicy
+from repro.errors import InvalidParameterError, SimulationError
+from repro.graphs.conversion import (
+    CircularConversion,
+    ConversionScheme,
+    NonCircularConversion,
+)
+from repro.service.queue import BoundedQueue, OverflowPolicy
+from repro.service.shard import ShardWorker
+from repro.service.telemetry import Telemetry, exponential_buckets
+from repro.types import Grant
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "ExecutionMode",
+    "RejectReason",
+    "ServiceGrant",
+    "Rejected",
+    "SchedulingService",
+]
+
+
+class ExecutionMode(enum.Enum):
+    """How one tick's shard fan-out executes.
+
+    ``INLINE`` — sequentially on the event loop, shards in ascending
+    output-fiber order.  Deterministic for every policy; the mode the
+    simulator-equivalence guarantee covers.
+
+    ``THREADS`` — one executor task per shard.  Scheduling is a pure read
+    of shard state, so this is safe; determinism additionally requires a
+    stateless (or per-shard) grant policy because shards may interleave
+    policy calls.
+
+    ``VECTORIZED`` — all shards' request vectors stacked into one
+    ``(M, k)`` NumPy batch solved by the
+    :func:`~repro.core.batch.batch_first_available` /
+    :func:`~repro.core.batch_bfa.batch_break_first_available` kernels on a
+    worker thread (keeping the event loop responsive).  Requires a
+    non-circular or circular (non-full-range) scheme and single-priority
+    traffic.
+    """
+
+    INLINE = "inline"
+    THREADS = "threads"
+    VECTORIZED = "vectorized"
+
+
+class RejectReason(enum.Enum):
+    """Why a submitted request did not get a channel."""
+
+    #: Lost the output contention this tick (no free compatible channel).
+    CONTENTION = "contention"
+    #: Input channel still busy with an earlier grant (or an earlier
+    #: request in the same tick) — blocked at source.
+    SOURCE_BLOCKED = "source_blocked"
+    #: Bounded shard queue was full under the ``REJECT`` policy.
+    QUEUE_FULL = "queue_full"
+    #: Dropped by a ``DROP_TAIL``/``DROP_OLDEST`` queue overflow.
+    DROPPED = "dropped"
+    #: Deadline passed before a tick could schedule it.
+    TIMED_OUT = "timed_out"
+    #: Service stopped with the request still queued.
+    SHUTDOWN = "shutdown"
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceGrant:
+    """A granted request: the assigned output channel and the grant slot."""
+
+    request: SlotRequest
+    channel: int
+    slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class Rejected:
+    """A request that resolved without a channel, and why."""
+
+    request: SlotRequest
+    reason: RejectReason
+    slot: int | None = None
+
+
+class _Pending:
+    """Internal envelope: request + future + deadline + submit timestamp."""
+
+    __slots__ = ("request", "future", "deadline", "submitted_at")
+
+    def __init__(
+        self,
+        request: SlotRequest,
+        future: "asyncio.Future[ServiceGrant | Rejected]",
+        deadline: float | None,
+        submitted_at: float,
+    ) -> None:
+        self.request = request
+        self.future = future
+        self.deadline = deadline
+        self.submitted_at = submitted_at
+
+
+#: Tick-duration buckets: 10 µs … ~40 s.
+_TICK_BUCKETS = exponential_buckets(10e-6, 2.0, 22)
+#: Occupancy buckets: 1 … 2^19 busy channels.
+_OCCUPANCY_BUCKETS = exponential_buckets(1.0, 2.0, 20)
+
+
+class SchedulingService:
+    """Sharded online scheduling service for an ``N × N`` interconnect.
+
+    Parameters
+    ----------
+    n_fibers, scheme:
+        Interconnect dimensions (``N`` shards, ``k`` wavelengths each).
+    scheduler:
+        Per-output contention-resolution algorithm, shared by all shards
+        (every in-tree scheduler is stateless).  Pass ``scheduler_factory``
+        instead to give each shard its own instance (required for stateful
+        third-party schedulers under ``THREADS`` mode).
+    policy:
+        Grant policy among same-wavelength contenders (default:
+        deterministic :class:`FixedPriorityPolicy`).
+    queue_capacity, overflow:
+        Per-shard bounded-queue settings (``None`` = unbounded).
+    tick_interval:
+        Sleep between ticks in :meth:`start`'s timer loop, seconds.
+    max_batch_per_tick:
+        Cap on requests drained per shard per tick (``None`` = all).
+    mode, max_workers:
+        Fan-out execution (see :class:`ExecutionMode`) and thread-pool
+        width for the non-inline modes.
+    telemetry:
+        Optional shared :class:`Telemetry` registry (default: private).
+    """
+
+    def __init__(
+        self,
+        n_fibers: int,
+        scheme: ConversionScheme,
+        scheduler: Scheduler | None = None,
+        *,
+        scheduler_factory: Callable[[], Scheduler] | None = None,
+        policy: GrantPolicy | None = None,
+        queue_capacity: int | None = None,
+        overflow: OverflowPolicy = OverflowPolicy.REJECT,
+        tick_interval: float = 0.001,
+        max_batch_per_tick: int | None = None,
+        mode: ExecutionMode = ExecutionMode.INLINE,
+        max_workers: int | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.n_fibers = check_positive_int(n_fibers, "n_fibers")
+        self.scheme = scheme
+        if (scheduler is None) == (scheduler_factory is None):
+            raise InvalidParameterError(
+                "pass exactly one of scheduler= or scheduler_factory="
+            )
+        self.policy = policy if policy is not None else FixedPriorityPolicy()
+        if tick_interval < 0:
+            raise InvalidParameterError(
+                f"tick_interval must be >= 0, got {tick_interval}"
+            )
+        if max_batch_per_tick is not None:
+            check_positive_int(max_batch_per_tick, "max_batch_per_tick")
+        self.tick_interval = float(tick_interval)
+        self.max_batch_per_tick = max_batch_per_tick
+        self.mode = mode
+        self.max_workers = max_workers
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+        if mode is ExecutionMode.VECTORIZED:
+            self._batch_kernel = self._select_batch_kernel(scheme)
+
+        self.shards: list[ShardWorker] = []
+        for o in range(self.n_fibers):
+            shard_scheduler = (
+                scheduler_factory() if scheduler_factory is not None else scheduler
+            )
+            assert shard_scheduler is not None
+            self.shards.append(
+                ShardWorker(
+                    o,
+                    scheme,
+                    shard_scheduler,
+                    self.policy,
+                    BoundedQueue(queue_capacity, overflow),
+                    self.telemetry,
+                )
+            )
+        # Input-side busy state (blocked-at-source admission): remaining
+        # slots each input channel is held by a granted connection.
+        self._in_busy = [[0] * scheme.k for _ in range(self.n_fibers)]
+        self._slot = 0
+        self._pool: ThreadPoolExecutor | None = None
+        self._timer_task: asyncio.Task[None] | None = None
+        self._closed = False
+
+        t = self.telemetry
+        self._c_submitted = t.counter("server.submitted")
+        self._c_granted = t.counter("server.granted")
+        self._c_contention = t.counter("server.rejected.contention")
+        self._c_source = t.counter("server.rejected.source_blocked")
+        self._c_queue_full = t.counter("server.rejected.queue_full")
+        self._c_dropped = t.counter("server.dropped")
+        self._c_timed_out = t.counter("server.timed_out")
+        self._c_shutdown = t.counter("server.shutdown")
+        self._c_ticks = t.counter("server.ticks")
+        self._h_latency = t.histogram("server.grant_latency_seconds")
+        self._h_tick = t.histogram("server.tick_seconds", _TICK_BUCKETS)
+        self._h_occupancy = t.histogram("server.occupancy_channels", _OCCUPANCY_BUCKETS)
+        self._g_slot = t.gauge("server.slot")
+        self._g_depth = t.gauge("server.queue_depth_total")
+
+    @staticmethod
+    def _select_batch_kernel(scheme: ConversionScheme):
+        if isinstance(scheme, NonCircularConversion):
+            return batch_first_available
+        if isinstance(scheme, CircularConversion) and not scheme.is_full_range:
+            return batch_break_first_available
+        raise InvalidParameterError(
+            "VECTORIZED mode needs a non-circular (batch FA) or "
+            f"non-full-range circular (batch BFA) scheme, got {scheme!r}"
+        )
+
+    # -- submission ---------------------------------------------------------
+
+    @property
+    def slot(self) -> int:
+        """Index of the next slot tick."""
+        return self._slot
+
+    @property
+    def queue_depth_total(self) -> int:
+        return sum(s.queue.depth for s in self.shards)
+
+    def submit_nowait(
+        self, request: SlotRequest, timeout: float | None = None
+    ) -> "asyncio.Future[ServiceGrant | Rejected]":
+        """Enqueue ``request`` and return the future of its outcome.
+
+        Must be called from the event loop.  ``timeout`` (seconds) is a
+        deadline checked at tick time — a request that no tick has drained
+        before the deadline resolves as ``TIMED_OUT``.  Malformed requests
+        raise :class:`InvalidParameterError` immediately; overflow of a
+        bounded queue resolves the future per the shard's overflow policy.
+        """
+        if self._closed:
+            raise SimulationError("service is stopped")
+        validate_slot_request(request, self.n_fibers, self.scheme.k)
+        if timeout is not None and timeout < 0:
+            raise InvalidParameterError(f"timeout must be >= 0, got {timeout}")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[ServiceGrant | Rejected] = loop.create_future()
+        deadline = None if timeout is None else loop.time() + timeout
+        pending = _Pending(request, future, deadline, time.perf_counter())
+        self._c_submitted.inc()
+        shard = self.shards[request.output_fiber]
+        shard.offered.inc()
+        offer = shard.queue.offer(pending)
+        if offer.evicted is not None:
+            # DROP_OLDEST: the head made room and is lost.
+            self._resolve_rejected(offer.evicted, RejectReason.DROPPED)
+        if not offer.accepted:
+            reason = (
+                RejectReason.QUEUE_FULL
+                if shard.queue.policy is OverflowPolicy.REJECT
+                else RejectReason.DROPPED
+            )
+            self._resolve_rejected(pending, reason)
+        shard.update_depth_gauge()
+        return future
+
+    async def submit(
+        self, request: SlotRequest, timeout: float | None = None
+    ) -> ServiceGrant | Rejected:
+        """Enqueue ``request`` and await its grant/rejection."""
+        return await self.submit_nowait(request, timeout)
+
+    # -- resolution helpers -------------------------------------------------
+
+    def _resolve(self, pending: _Pending, outcome: ServiceGrant | Rejected) -> None:
+        if not pending.future.done():
+            pending.future.set_result(outcome)
+
+    def _resolve_rejected(
+        self, pending: _Pending, reason: RejectReason, slot: int | None = None
+    ) -> None:
+        counter = {
+            RejectReason.CONTENTION: self._c_contention,
+            RejectReason.SOURCE_BLOCKED: self._c_source,
+            RejectReason.QUEUE_FULL: self._c_queue_full,
+            RejectReason.DROPPED: self._c_dropped,
+            RejectReason.TIMED_OUT: self._c_timed_out,
+            RejectReason.SHUTDOWN: self._c_shutdown,
+        }[reason]
+        counter.inc()
+        self._resolve(pending, Rejected(pending.request, reason, slot))
+
+    # -- one slot tick ------------------------------------------------------
+
+    async def tick(self) -> int:
+        """Run one slot tick; returns the number of grants issued."""
+        if self._closed:
+            raise SimulationError("service is stopped")
+        t0 = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        slot = self._slot
+
+        # 1 + 2: drain queues and run admission, shards in fiber order.
+        work: list[tuple[ShardWorker, list[_Pending]]] = []
+        seen_inputs: set[tuple[int, int]] = set()
+        for shard in self.shards:
+            drained = shard.queue.drain(self.max_batch_per_tick)
+            shard.update_depth_gauge()
+            survivors: list[_Pending] = []
+            for p in drained:
+                r = p.request
+                if p.deadline is not None and now >= p.deadline:
+                    self._resolve_rejected(p, RejectReason.TIMED_OUT, slot)
+                elif (
+                    self._in_busy[r.input_fiber][r.wavelength] > 0
+                    or (r.input_fiber, r.wavelength) in seen_inputs
+                ):
+                    self._resolve_rejected(p, RejectReason.SOURCE_BLOCKED, slot)
+                else:
+                    seen_inputs.add((r.input_fiber, r.wavelength))
+                    survivors.append(p)
+            if survivors:
+                work.append((shard, survivors))
+
+        # 3: fan out the per-shard scheduling.
+        if not work:
+            outcomes: list[tuple[list[GrantedRequest], list[SlotRequest]]] = []
+        elif self.mode is ExecutionMode.INLINE or len(work) == 1:
+            outcomes = [
+                shard.schedule([p.request for p in pendings])[1:]
+                for shard, pendings in work
+            ]
+        elif self.mode is ExecutionMode.THREADS:
+            pool = self._ensure_pool()
+            tasks: list[Awaitable] = [
+                loop.run_in_executor(
+                    pool, shard.schedule, [p.request for p in pendings]
+                )
+                for shard, pendings in work
+            ]
+            outcomes = [res[1:] for res in await asyncio.gather(*tasks)]
+        else:  # VECTORIZED
+            pool = self._ensure_pool()
+            outcomes = await loop.run_in_executor(
+                pool, self._schedule_vectorized, work
+            )
+
+        # 4: commit grants, resolve futures.
+        n_granted = 0
+        for (shard, pendings), (granted, rejected) in zip(work, outcomes):
+            shard.commit(granted)
+            shard.record_rejected(len(rejected))
+            by_input = {
+                (p.request.input_fiber, p.request.wavelength): p for p in pendings
+            }
+            for g in granted:
+                r = g.request
+                self._in_busy[r.input_fiber][r.wavelength] = r.duration
+                p = by_input[(r.input_fiber, r.wavelength)]
+                self._c_granted.inc()
+                self._h_latency.observe(time.perf_counter() - p.submitted_at)
+                self._resolve(p, ServiceGrant(r, g.channel, slot))
+                n_granted += 1
+            for r in rejected:
+                self._resolve_rejected(
+                    by_input[(r.input_fiber, r.wavelength)],
+                    RejectReason.CONTENTION,
+                    slot,
+                )
+
+        # 5: advance clocks and record tick telemetry.
+        self._h_occupancy.observe(sum(s.occupancy for s in self.shards))
+        for shard in self.shards:
+            shard.advance()
+        for row in self._in_busy:
+            for w, left in enumerate(row):
+                if left > 0:
+                    row[w] = left - 1
+        self._slot += 1
+        self._c_ticks.inc()
+        self._g_slot.set(self._slot)
+        self._g_depth.set(self.queue_depth_total)
+        self._h_tick.observe(time.perf_counter() - t0)
+        return n_granted
+
+    def _schedule_vectorized(
+        self, work: Sequence[tuple[ShardWorker, Sequence[_Pending]]]
+    ) -> list[tuple[list[GrantedRequest], list[SlotRequest]]]:
+        """Solve all shards' sub-problems as one NumPy batch (worker thread)."""
+        k = self.scheme.k
+        rows = len(work)
+        req = np.zeros((rows, k), dtype=np.int64)
+        avail = np.zeros((rows, k), dtype=bool)
+        requests_per_row: list[list[SlotRequest]] = []
+        for i, (shard, pendings) in enumerate(work):
+            requests = [p.request for p in pendings]
+            if any(r.priority != 0 for r in requests):
+                raise SimulationError(
+                    "VECTORIZED mode does not support priority classes; "
+                    "use INLINE or THREADS"
+                )
+            requests_per_row.append(requests)
+            req[i] = shard.request_vector(requests)
+            avail[i] = shard.availability()
+        assign = self._batch_kernel(req, avail, self.scheme.e, self.scheme.f)
+        outcomes: list[tuple[list[GrantedRequest], list[SlotRequest]]] = []
+        for i, (shard, _pendings) in enumerate(work):
+            grants = [
+                Grant(wavelength=int(assign[i, b]), channel=b)
+                for b in range(k)
+                if assign[i, b] >= 0
+            ]
+            outcomes.append(
+                distribute_grants(
+                    self.policy, shard.output_fiber, requests_per_row[i], grants
+                )
+            )
+        return outcomes
+
+    # -- run modes ----------------------------------------------------------
+
+    async def run_ticks(self, n: int) -> int:
+        """Run ``n`` back-to-back ticks (no sleeping); returns total grants."""
+        check_positive_int(n, "n")
+        return sum([await self.tick() for _ in range(n)])
+
+    async def drain(self, max_ticks: int = 10_000) -> None:
+        """Tick until every shard queue is empty (all futures resolved)."""
+        ticks = 0
+        while self.queue_depth_total > 0:
+            if ticks >= max_ticks:
+                raise SimulationError(
+                    f"queues not drained after {max_ticks} ticks"
+                )
+            await self.tick()
+            ticks += 1
+
+    def start(self) -> None:
+        """Run ticks on a background task every ``tick_interval`` seconds."""
+        if self._timer_task is not None:
+            raise SimulationError("service already started")
+        if self._closed:
+            raise SimulationError("service is stopped")
+        self._timer_task = asyncio.get_running_loop().create_task(
+            self._timer_loop(), name="repro-service-ticks"
+        )
+
+    async def _timer_loop(self) -> None:
+        while True:
+            await self.tick()
+            await asyncio.sleep(self.tick_interval)
+
+    async def stop(self) -> None:
+        """Stop ticking, flush queued requests as ``SHUTDOWN``, free threads.
+
+        Idempotent; after ``stop()`` the service refuses new submissions.
+        """
+        if self._timer_task is not None:
+            self._timer_task.cancel()
+            try:
+                await self._timer_task
+            except asyncio.CancelledError:
+                pass
+            self._timer_task = None
+        if not self._closed:
+            self._closed = True
+            for shard in self.shards:
+                for p in shard.queue.drain():
+                    self._resolve_rejected(p, RejectReason.SHUTDOWN)
+                shard.update_depth_gauge()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-service"
+            )
+        return self._pool

@@ -1,0 +1,134 @@
+"""Shard workers: one per output fiber, owning scheduler and channel state.
+
+The paper's structural result — requests partition by destination fiber and
+the per-output decisions are independent — makes the output fiber the
+natural service shard.  Each :class:`ShardWorker` owns
+
+* its per-output scheduler instance (``first_available`` /
+  ``break_first_available`` / any :class:`~repro.core.base.Scheduler`),
+* its bounded request queue (see :mod:`repro.service.queue`),
+* its channel-availability state across slot ticks: ``busy[b]`` counts the
+  remaining slots output channel ``b`` is held by a granted multi-slot
+  connection (paper Section V non-disturb mode — exactly the
+  :class:`~repro.sim.engine.SlottedSimulator` bookkeeping, per shard).
+
+Scheduling a tick is a *read* of shard state (so it may run on an executor
+thread); committing grants and advancing the clock are loop-thread writes.
+The scheduling decision itself goes through
+:func:`repro.core.distributed.schedule_output_fiber` — the same code path
+as the batch simulator, which is what makes service-vs-simulator grant
+equivalence testable instead of aspirational.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.base import Scheduler
+from repro.core.distributed import (
+    GrantedRequest,
+    SlotRequest,
+    schedule_output_fiber,
+)
+from repro.core.policies import GrantPolicy
+from repro.errors import SimulationError
+from repro.graphs.conversion import ConversionScheme
+from repro.types import ScheduleResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.queue import BoundedQueue
+    from repro.service.telemetry import Telemetry
+
+__all__ = ["ShardWorker"]
+
+
+class ShardWorker:
+    """Per-output-fiber worker: scheduler + queue + channel occupancy."""
+
+    def __init__(
+        self,
+        output_fiber: int,
+        scheme: ConversionScheme,
+        scheduler: Scheduler,
+        policy: GrantPolicy,
+        queue: "BoundedQueue",
+        telemetry: "Telemetry",
+    ) -> None:
+        self.output_fiber = output_fiber
+        self.scheme = scheme
+        self.scheduler = scheduler
+        self.policy = policy
+        self.queue = queue
+        self._busy = [0] * scheme.k
+        prefix = f"shard.{output_fiber}"
+        self.offered = telemetry.counter(f"{prefix}.offered")
+        self._granted = telemetry.counter(f"{prefix}.granted")
+        self._rejected = telemetry.counter(f"{prefix}.rejected")
+        self._depth_gauge = telemetry.gauge(f"{prefix}.queue_depth")
+        self._occupancy_gauge = telemetry.gauge(f"{prefix}.occupancy")
+
+    # -- state views --------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        return self.scheme.k
+
+    @property
+    def occupancy(self) -> int:
+        """Output channels currently held by ongoing connections."""
+        return sum(1 for b in self._busy if b > 0)
+
+    def availability(self) -> list[bool]:
+        """Free-channel mask for the current slot tick."""
+        return [b == 0 for b in self._busy]
+
+    def request_vector(
+        self, requests: Sequence[SlotRequest]
+    ) -> list[int]:
+        """Wavelength-count vector of ``requests`` (vectorized batch path)."""
+        vec = [0] * self.k
+        for r in requests:
+            vec[r.wavelength] += 1
+        return vec
+
+    # -- one slot tick ------------------------------------------------------
+
+    def schedule(
+        self, requests: Sequence[SlotRequest]
+    ) -> tuple[ScheduleResult | None, list[GrantedRequest], list[SlotRequest]]:
+        """Resolve this tick's contention; does NOT commit (pure read)."""
+        if not requests:
+            return None, [], []
+        result, granted, rejected = schedule_output_fiber(
+            self.scheme,
+            self.scheduler,
+            self.policy,
+            self.output_fiber,
+            requests,
+            self.availability(),
+        )
+        return result, granted, rejected
+
+    def commit(self, granted: Sequence[GrantedRequest]) -> None:
+        """Hold each granted channel for the connection's duration."""
+        for g in granted:
+            if self._busy[g.channel] > 0:
+                raise SimulationError(
+                    f"shard {self.output_fiber}: channel {g.channel} granted "
+                    "while occupied"
+                )
+            self._busy[g.channel] = g.request.duration
+        self._granted.inc(len(granted))
+        self._occupancy_gauge.set(self.occupancy)
+
+    def record_rejected(self, n: int) -> None:
+        self._rejected.inc(n)
+
+    def advance(self) -> None:
+        """End of slot tick: ongoing connections age by one slot."""
+        self._busy = [b - 1 if b > 0 else 0 for b in self._busy]
+        self._occupancy_gauge.set(self.occupancy)
+        self._depth_gauge.set(self.queue.depth)
+
+    def update_depth_gauge(self) -> None:
+        self._depth_gauge.set(self.queue.depth)

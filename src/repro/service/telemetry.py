@@ -1,0 +1,274 @@
+"""Built-in service telemetry: counters, gauges, and histograms.
+
+The scheduling service instruments every layer — queues, shards, the tick
+loop — through one :class:`Telemetry` registry, so a single
+:meth:`~Telemetry.snapshot` answers the operational questions: offered load,
+grant rate, queue depths, channel occupancy, grant latency, and slot-tick
+duration.  The primitives are deliberately tiny and dependency-free
+(Prometheus-style naming, fixed-bucket histograms) and thread-safe, because
+shards may run on executor threads while the event loop reads gauges.
+
+Conservation invariant (tested): every submitted request resolves exactly
+once, so the outcome counters partition the offered load::
+
+    submitted == granted + rejected_contention + rejected_source
+               + rejected_queue_full + dropped + timed_out + shutdown
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "exponential_buckets",
+]
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` exponentially spaced upper bounds starting at ``start``.
+
+    The standard latency-histogram layout: ``start, start*factor, ...``;
+    an implicit ``+inf`` bucket always follows the last bound.
+    """
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise InvalidParameterError(
+            f"need start > 0, factor > 1, count >= 1; "
+            f"got {start}, {factor}, {count}"
+        )
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default grant-latency buckets: 50 µs … ~26 s in ×2 steps.
+LATENCY_BUCKETS = exponential_buckets(50e-6, 2.0, 20)
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise InvalidParameterError(f"counter increment must be >= 0, got {n}")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (queue depth, occupancy)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimation.
+
+    ``buckets`` are ascending upper bounds; an implicit overflow bucket
+    catches everything above the last bound.  Quantiles are estimated by
+    linear interpolation inside the winning bucket (clamped to the observed
+    min/max), which is plenty for p50/p99 reporting and keeps ``observe``
+    O(log B) with no per-sample storage.
+    """
+
+    __slots__ = ("_lock", "bounds", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, buckets: Sequence[float] = LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise InvalidParameterError(
+                f"histogram buckets must be non-empty and ascending, got {buckets!r}"
+            )
+        self._lock = threading.Lock()
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # bisect over the bounds; len(bounds) is the overflow bucket.
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        with self._lock:
+            self._counts[lo] += 1
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            seen = 0.0
+            for i, c in enumerate(self._counts):
+                if c == 0:
+                    continue
+                if seen + c >= rank:
+                    lo = self.bounds[i - 1] if i > 0 else self._min
+                    hi = self.bounds[i] if i < len(self.bounds) else self._max
+                    lo = max(lo, self._min)
+                    hi = min(hi, self._max)
+                    if hi <= lo or c == 0:
+                        return lo
+                    frac = (rank - seen) / c
+                    return lo + frac * (hi - lo)
+                seen += c
+            return self._max
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            count, total = self._count, self._sum
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "max": self._max if count else 0.0,
+        }
+
+
+class Telemetry:
+    """Get-or-create registry for the service's metrics.
+
+    Names are dot-separated (``server.granted``, ``shard.3.queue_depth``).
+    Registering the same name twice returns the same instrument; registering
+    it as a different *kind* is an error (it would silently split a metric).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if other_kind != kind and name in table:
+                raise InvalidParameterError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            self._check_free(name, "counter")
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            self._check_free(name, "gauge")
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] | None = None
+    ) -> Histogram:
+        with self._lock:
+            self._check_free(name, "histogram")
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(buckets or LATENCY_BUCKETS)
+            return self._histograms[name]
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """Current counter values, optionally filtered by name prefix."""
+        return {
+            name: c.value
+            for name, c in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict[str, object]:
+        """One plain-data view of every instrument (safe to serialize)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable export (the demo and benchmark print this)."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        counters: Mapping[str, int] = snap["counters"]  # type: ignore[assignment]
+        gauges: Mapping[str, float] = snap["gauges"]  # type: ignore[assignment]
+        hists: Mapping[str, Mapping[str, float]] = snap["histograms"]  # type: ignore[assignment]
+        if counters:
+            lines.append("counters:")
+            lines.extend(f"  {n:<40} {v}" for n, v in counters.items())
+        if gauges:
+            lines.append("gauges:")
+            lines.extend(f"  {n:<40} {v:g}" for n, v in gauges.items())
+        if hists:
+            lines.append("histograms:")
+            for n, h in hists.items():
+                lines.append(
+                    f"  {n:<40} count={h['count']:.0f} mean={h['mean']:.6f} "
+                    f"p50={h['p50']:.6f} p99={h['p99']:.6f} max={h['max']:.6f}"
+                )
+        return "\n".join(lines)
+
+
+def merge_counters(snapshots: Iterable[Mapping[str, int]]) -> dict[str, int]:
+    """Sum counter maps across services (multi-instance aggregation)."""
+    out: dict[str, int] = {}
+    for snap in snapshots:
+        for name, value in snap.items():
+            out[name] = out.get(name, 0) + value
+    return out

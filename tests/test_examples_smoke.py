@@ -39,6 +39,12 @@ class TestExamples:
         assert "Erlang-B" in out
         assert "Corollary-1 bound" in out
 
+    def test_service_demo(self, capsys):
+        out = _run("service_demo.py", capsys)
+        assert "interactive request" in out
+        assert "grant latency" in out
+        assert "conservation check" in out
+
     def test_all_examples_importable(self):
         """Every example parses (catches syntax rot in the slow ones too)."""
         for script in sorted(EXAMPLES.glob("*.py")):

@@ -1,0 +1,83 @@
+"""Tests for the bounded per-shard queues and their overflow policies."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service.queue import BoundedQueue, OverflowPolicy
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        q = BoundedQueue()
+        for i in range(5):
+            assert q.offer(i).accepted
+        assert q.drain() == [0, 1, 2, 3, 4]
+        assert q.depth == 0
+
+    def test_unbounded_never_full(self):
+        q = BoundedQueue(capacity=None)
+        for i in range(10_000):
+            assert q.offer(i).accepted
+        assert not q.full
+        assert q.depth == 10_000
+
+    def test_drain_limit(self):
+        q = BoundedQueue()
+        for i in range(5):
+            q.offer(i)
+        assert q.drain(2) == [0, 1]
+        assert q.depth == 3
+        assert q.drain(99) == [2, 3, 4]
+
+    def test_drain_negative_limit(self):
+        with pytest.raises(InvalidParameterError):
+            BoundedQueue().drain(-1)
+
+    def test_iteration_and_len(self):
+        q = BoundedQueue()
+        q.offer("a")
+        q.offer("b")
+        assert list(q) == ["a", "b"]
+        assert len(q) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            BoundedQueue(capacity=0)
+
+    def test_invalid_policy(self):
+        with pytest.raises(InvalidParameterError):
+            BoundedQueue(policy="reject")
+
+
+class TestOverflowPolicies:
+    def _full_queue(self, policy):
+        q = BoundedQueue(capacity=2, policy=policy)
+        assert q.offer("old").accepted
+        assert q.offer("mid").accepted
+        assert q.full
+        return q
+
+    def test_reject_refuses_newcomer(self):
+        q = self._full_queue(OverflowPolicy.REJECT)
+        offer = q.offer("new")
+        assert not offer.accepted and offer.evicted is None
+        assert q.drain() == ["old", "mid"]
+
+    def test_drop_tail_refuses_newcomer(self):
+        q = self._full_queue(OverflowPolicy.DROP_TAIL)
+        offer = q.offer("new")
+        assert not offer.accepted and offer.evicted is None
+        assert q.drain() == ["old", "mid"]
+
+    def test_drop_oldest_evicts_head(self):
+        q = self._full_queue(OverflowPolicy.DROP_OLDEST)
+        offer = q.offer("new")
+        assert offer.accepted
+        assert offer.evicted == "old"
+        assert q.drain() == ["mid", "new"]
+
+    def test_room_after_drain(self):
+        q = self._full_queue(OverflowPolicy.REJECT)
+        q.drain(1)
+        assert q.offer("new").accepted
+        assert q.drain() == ["mid", "new"]

@@ -1,0 +1,140 @@
+"""Tests for the service telemetry primitives and registry."""
+
+import threading
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+    exponential_buckets,
+)
+
+
+class TestCounterGauge:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(InvalidParameterError):
+            c.inc(-1)
+
+    def test_counter_thread_safety(self):
+        c = Counter()
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(10_000)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        h = Histogram([1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 3.0, 8.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(13.0)
+        assert h.mean == pytest.approx(13.0 / 4)
+
+    def test_quantiles_bracket_samples(self):
+        h = Histogram(exponential_buckets(0.001, 2.0, 16))
+        samples = [0.001 * 1.05**i for i in range(200)]
+        for v in samples:
+            h.observe(v)
+        lo, hi = min(samples), max(samples)
+        assert lo <= h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0) <= hi
+        # p50 lands within a bucket of the true median.
+        true_median = sorted(samples)[100]
+        assert h.quantile(0.5) == pytest.approx(true_median, rel=1.0)
+
+    def test_empty_histogram(self):
+        h = Histogram([1.0])
+        assert h.quantile(0.5) == 0.0
+        assert h.snapshot()["count"] == 0
+
+    def test_overflow_bucket(self):
+        h = Histogram([1.0])
+        h.observe(100.0)
+        assert h.count == 1
+        assert h.quantile(1.0) == pytest.approx(100.0)
+
+    def test_invalid_buckets(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram([])
+        with pytest.raises(InvalidParameterError):
+            Histogram([2.0, 1.0])
+
+    def test_invalid_quantile(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram([1.0]).quantile(1.5)
+
+
+class TestExponentialBuckets:
+    def test_layout(self):
+        b = exponential_buckets(1.0, 2.0, 4)
+        assert b == (1.0, 2.0, 4.0, 8.0)
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            exponential_buckets(0.0, 2.0, 4)
+        with pytest.raises(InvalidParameterError):
+            exponential_buckets(1.0, 1.0, 4)
+        with pytest.raises(InvalidParameterError):
+            exponential_buckets(1.0, 2.0, 0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        t = Telemetry()
+        assert t.counter("a") is t.counter("a")
+        assert t.gauge("g") is t.gauge("g")
+        assert t.histogram("h") is t.histogram("h")
+
+    def test_kind_conflict_rejected(self):
+        t = Telemetry()
+        t.counter("x")
+        with pytest.raises(InvalidParameterError):
+            t.gauge("x")
+        with pytest.raises(InvalidParameterError):
+            t.histogram("x")
+
+    def test_counters_prefix_filter(self):
+        t = Telemetry()
+        t.counter("server.granted").inc(2)
+        t.counter("shard.0.granted").inc(1)
+        assert t.counters("server.") == {"server.granted": 2}
+
+    def test_snapshot_plain_data(self):
+        t = Telemetry()
+        t.counter("c").inc(3)
+        t.gauge("g").set(7)
+        t.histogram("h").observe(0.5)
+        snap = t.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_render_mentions_every_metric(self):
+        t = Telemetry()
+        t.counter("server.granted").inc()
+        t.gauge("server.slot").set(9)
+        t.histogram("server.lat").observe(0.01)
+        text = t.render()
+        assert "server.granted" in text
+        assert "server.slot" in text
+        assert "server.lat" in text and "p99" in text
