@@ -1,0 +1,270 @@
+"""Deterministic perf-regression harness (``BENCH_PR3.json``).
+
+Runs a small, fixed-seed benchmark suite over the two layers this repo's
+performance story rests on and writes one JSON document per run:
+
+* ``kernel`` group — the NumPy batch kernels and the memoized schedulers.
+  These are pure CPU micro-benchmarks, stable enough to gate in CI: a run
+  whose ``ops_per_s`` drops more than ``--threshold`` (default 30%) below
+  the committed baseline fails the comparison.
+* ``sim`` group — end-to-end slot throughput of the fast engine vs the full
+  engine on the same seeded multi-slot traffic.  Not gated on absolute
+  speed (CI machines vary) but on the *ratio*: the fast engine must stay at
+  least ``--min-speedup`` (default 5×) ahead of the full engine.
+
+Usage::
+
+    python benchmarks/harness.py --quick --out BENCH_PR3.json
+    python benchmarks/harness.py --quick --compare BENCH_PR3.json
+
+The JSON layout::
+
+    {"meta": {...}, "benchmarks": {name: {group, calls, ops_per_s,
+     p50_s, p99_s}}, "derived": {"multislot_speedup": ...}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.batch import batch_first_available
+from repro.core.batch_bfa import batch_break_first_available
+from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.core.memo import ScheduleCache
+from repro.graphs.conversion import CircularConversion
+from repro.graphs.request_graph import RequestGraph
+from repro.sim.duration import GeometricDuration
+from repro.sim.engine import SlottedSimulator
+from repro.sim.fast import FastPacketSimulator
+from repro.sim.traffic import BernoulliTraffic
+
+KERNEL = "kernel"
+SIM = "sim"
+REGRESSION_THRESHOLD = 0.30
+MIN_MULTISLOT_SPEEDUP = 5.0
+
+
+def _time_calls(fn, calls: int) -> dict[str, float]:
+    """Run ``fn`` ``calls`` times; summarize per-call wall times."""
+    samples = np.empty(calls, dtype=float)
+    for i in range(calls):
+        t0 = time.perf_counter()
+        fn()
+        samples[i] = time.perf_counter() - t0
+    return {
+        "calls": calls,
+        "ops_per_s": calls / float(samples.sum()),
+        "p50_s": float(np.percentile(samples, 50)),
+        "p99_s": float(np.percentile(samples, 99)),
+    }
+
+
+def _kernel_inputs(rows: int, k: int, seed: int):
+    rng = np.random.default_rng(seed)
+    req = rng.poisson(1.0, size=(rows, k)).astype(np.int64)
+    avail = rng.random((rows, k)) < 0.8
+    return req, avail
+
+
+def bench_kernels(quick: bool) -> dict[str, dict]:
+    rows, k = (64, 16)
+    calls = 60 if quick else 400
+    req, avail = _kernel_inputs(rows, k, seed=42)
+    out = {}
+    out["batch_fa_kernel"] = {
+        "group": KERNEL,
+        **_time_calls(
+            lambda: batch_first_available(req, avail, 1, 1, check=False), calls
+        ),
+    }
+    out["batch_bfa_kernel"] = {
+        "group": KERNEL,
+        **_time_calls(
+            lambda: batch_break_first_available(req, avail, 1, 1, check=False),
+            calls,
+        ),
+    }
+    return out
+
+
+def bench_scheduler_cache(quick: bool) -> dict[str, dict]:
+    """Memoized vs memo-free scheduler over a recurring working set."""
+    scheme = CircularConversion(16, 1, 1)
+    rng = np.random.default_rng(7)
+    graphs = []
+    for _ in range(32):
+        wavelengths = rng.integers(scheme.k, size=int(rng.integers(0, 20)))
+        graphs.append(
+            RequestGraph.from_wavelengths(
+                scheme, (int(w) for w in wavelengths), None
+            )
+        )
+    calls = 30 if quick else 200
+
+    def sweep(scheduler):
+        def run():
+            for rg in graphs:
+                scheduler.schedule(rg)
+
+        return run
+
+    out = {}
+    out["scheduler_uncached"] = {
+        "group": KERNEL,
+        **_time_calls(sweep(BreakFirstAvailableScheduler(cache=None)), calls),
+    }
+    cached = BreakFirstAvailableScheduler(cache=ScheduleCache(maxsize=4096))
+    sweep(cached)()  # warm the cache so the timed region measures hits
+    out["scheduler_cached"] = {
+        "group": KERNEL,
+        **_time_calls(sweep(cached), calls),
+    }
+    return out
+
+
+def bench_sims(quick: bool) -> dict[str, dict]:
+    n_fibers, k = 16, 16
+    scheme = CircularConversion(k, 1, 1)
+    slots = 100 if quick else 400
+    calls_fast = 10 if quick else 30
+    calls_full = 3 if quick else 5
+
+    def traffic():
+        return BernoulliTraffic(
+            n_fibers, k, 0.9, durations=GeometricDuration(3.0)
+        )
+
+    def run_fast():
+        FastPacketSimulator(n_fibers, scheme, traffic(), seed=13).run(slots)
+
+    def run_full():
+        SlottedSimulator(
+            n_fibers,
+            scheme,
+            BreakFirstAvailableScheduler(),
+            traffic(),
+            seed=13,
+        ).run(slots)
+
+    def run_fast_single():
+        FastPacketSimulator(
+            n_fibers, scheme, BernoulliTraffic(n_fibers, k, 0.9), seed=13
+        ).run(slots)
+
+    return {
+        "fast_sim_multislot": {
+            "group": SIM,
+            "slots": slots,
+            **_time_calls(run_fast, calls_fast),
+        },
+        "full_sim_multislot": {
+            "group": SIM,
+            "slots": slots,
+            **_time_calls(run_full, calls_full),
+        },
+        "fast_sim_singleslot": {
+            "group": SIM,
+            "slots": slots,
+            **_time_calls(run_fast_single, calls_fast),
+        },
+    }
+
+
+def run_suite(quick: bool) -> dict:
+    benchmarks: dict[str, dict] = {}
+    benchmarks.update(bench_kernels(quick))
+    benchmarks.update(bench_scheduler_cache(quick))
+    benchmarks.update(bench_sims(quick))
+    # Steady-state ratio: p50 excludes the fast engine's single cold-cache
+    # call (its p99), which would otherwise drag a mean-based comparison.
+    speedup = (
+        benchmarks["full_sim_multislot"]["p50_s"]
+        / benchmarks["fast_sim_multislot"]["p50_s"]
+    )
+    return {
+        "meta": {
+            "version": 1,
+            "quick": quick,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "benchmarks": benchmarks,
+        "derived": {"multislot_speedup": speedup},
+    }
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Regression messages for gated (kernel-group) benchmarks; empty = pass."""
+    failures = []
+    for name, base in baseline["benchmarks"].items():
+        if base.get("group") != KERNEL:
+            continue
+        now = current["benchmarks"].get(name)
+        if now is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = base["ops_per_s"] * (1.0 - threshold)
+        if now["ops_per_s"] < floor:
+            failures.append(
+                f"{name}: {now['ops_per_s']:.1f} ops/s < "
+                f"{floor:.1f} ({base['ops_per_s']:.1f} - {threshold:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the run's JSON document here")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced repeat counts (CI mode)")
+    parser.add_argument("--compare", type=Path, default=None,
+                        help="baseline JSON; exit 1 on kernel regression")
+    parser.add_argument("--threshold", type=float,
+                        default=REGRESSION_THRESHOLD,
+                        help="allowed fractional ops/s drop (default 0.30)")
+    parser.add_argument("--min-speedup", type=float,
+                        default=MIN_MULTISLOT_SPEEDUP,
+                        help="required fast/full multi-slot ratio (default 5)")
+    args = parser.parse_args(argv)
+
+    result = run_suite(args.quick)
+    for name, b in sorted(result["benchmarks"].items()):
+        print(
+            f"{name:24s} [{b['group']:6s}] {b['ops_per_s']:12.1f} ops/s  "
+            f"p50 {b['p50_s'] * 1e3:8.3f} ms  p99 {b['p99_s'] * 1e3:8.3f} ms"
+        )
+    speedup = result["derived"]["multislot_speedup"]
+    print(f"multislot speedup (fast vs full engine): {speedup:.1f}x")
+
+    if args.out:
+        args.out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+
+    status = 0
+    if speedup < args.min_speedup:
+        print(f"FAIL: multislot speedup {speedup:.1f}x < {args.min_speedup}x")
+        status = 1
+    if args.compare:
+        baseline = json.loads(args.compare.read_text())
+        failures = compare(result, baseline, args.threshold)
+        for f in failures:
+            print(f"REGRESSION: {f}")
+        if failures:
+            status = 1
+        else:
+            print(f"no kernel regressions vs {args.compare}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

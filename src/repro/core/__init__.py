@@ -23,6 +23,12 @@ from repro.core.first_available import (
     first_available_fast,
 )
 from repro.core.full_range import FullRangeScheduler
+from repro.core.memo import (
+    ScheduleCache,
+    configure_default_cache,
+    get_default_cache,
+    schedule_cache_key,
+)
 from repro.core.min_stress import MinStressScheduler, total_stress
 from repro.core.priority import PrioritySchedule, PriorityScheduler
 from repro.core.policies import (
@@ -47,6 +53,10 @@ __all__ = [
     "deficit_bound",
     "batch_first_available",
     "batch_break_first_available",
+    "ScheduleCache",
+    "schedule_cache_key",
+    "get_default_cache",
+    "configure_default_cache",
     "PriorityScheduler",
     "PrioritySchedule",
     "FullRangeScheduler",

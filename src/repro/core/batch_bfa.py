@@ -29,6 +29,48 @@ from repro.errors import InvalidParameterError
 
 __all__ = ["batch_break_first_available"]
 
+# Same small-matrix cutover as repro.core.batch: under this many rows the
+# sweep runs as plain Python (bit-identical greedy, no NumPy dispatch cost).
+_SCALAR_ROWS = 128
+
+
+def _candidate_sweep_scalar(
+    counts_shifted: np.ndarray,
+    avail_pos: np.ndarray,
+    active: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    record: np.ndarray | None,
+) -> np.ndarray:
+    """Row-at-a-time variant of :func:`_candidate_sweep` (same greedy)."""
+    m_rows, k = counts_shifted.shape
+    granted = np.zeros(m_rows, dtype=np.int64)
+    lo_l = lo.tolist()
+    hi_l = hi.tolist()
+    counts_l = counts_shifted.tolist()
+    avail_l = avail_pos.tolist()
+    rec_l = None if record is None else record.tolist()
+    for m in range(m_rows):
+        if not active[m]:
+            continue
+        c = counts_l[m]
+        a = avail_l[m]
+        rec_row = None if rec_l is None else rec_l[m]
+        ptr = 0
+        g = 0
+        for p in range(k - 1):
+            while ptr < k and (c[ptr] == 0 or hi_l[ptr] < p):
+                ptr += 1
+            if a[p] and ptr < k and lo_l[ptr] <= p:
+                c[ptr] -= 1
+                g += 1
+                if rec_row is not None:
+                    rec_row[p] = ptr
+        granted[m] = g
+    if rec_l is not None:
+        record[...] = rec_l
+    return granted
+
 
 def _shift_gather(matrix: np.ndarray, start: np.ndarray) -> np.ndarray:
     """Row-wise circular gather: ``out[m, j] = matrix[m, (start[m]+j) % k]``."""
@@ -47,11 +89,16 @@ def _candidate_sweep(
 ) -> np.ndarray:
     """One break offset's First Available sweep over all rows at once.
 
-    ``counts_shifted`` is consumed in place; returns per-row grant counts.
-    When ``record`` is given (``(M, k-1)`` int array), the granted offset
-    ``s`` is stored per position for assignment reconstruction.
+    ``counts_shifted`` is logically consumed (its post-state is
+    unspecified); returns per-row grant counts.  When ``record`` is given
+    (``(M, k-1)`` int array), the granted offset ``s`` is stored per
+    position for assignment reconstruction.
     """
     m_rows, k = counts_shifted.shape
+    if m_rows <= _SCALAR_ROWS:
+        return _candidate_sweep_scalar(
+            counts_shifted, avail_pos, active, lo, hi, record
+        )
     rows = np.arange(m_rows)
     ptr = np.where(active, 0, k)  # inactive rows: pointer parked at the end
     granted = np.zeros(m_rows, dtype=np.int64)
@@ -88,35 +135,40 @@ def batch_break_first_available(
     available: np.ndarray | None,
     e: int,
     f: int,
+    *,
+    check: bool = True,
 ) -> np.ndarray:
     """Break-and-First-Available over ``M`` output fibers at once (circular).
 
     Parameters and return value mirror
     :func:`~repro.core.batch.batch_first_available`:
     ``assign[m, b]`` is the wavelength granted channel ``b`` of output ``m``
-    or ``-1``.  ``O(d k)`` NumPy passes of width ``M``.
+    or ``-1``.  ``O(d k)`` NumPy passes of width ``M``.  ``check=False``
+    skips input validation for pre-validated inner-loop callers.
     """
     req = np.asarray(request_matrix)
-    if req.ndim != 2:
-        raise InvalidParameterError(
-            f"request matrix must be 2-D (M, k), got shape {req.shape}"
-        )
-    if np.any(req < 0):
-        raise InvalidParameterError("request counts must be nonnegative")
+    if check:
+        if req.ndim != 2:
+            raise InvalidParameterError(
+                f"request matrix must be 2-D (M, k), got shape {req.shape}"
+            )
+        if np.any(req < 0):
+            raise InvalidParameterError("request counts must be nonnegative")
     m_rows, k = req.shape
     if available is None:
         avail = np.ones((m_rows, k), dtype=bool)
     else:
         avail = np.asarray(available, dtype=bool)
-        if avail.shape != (m_rows, k):
+        if check and avail.shape != (m_rows, k):
             raise InvalidParameterError(
                 f"availability shape {avail.shape} != request shape {(m_rows, k)}"
             )
-    if e < 0 or f < 0:
-        raise InvalidParameterError("conversion reaches must be nonnegative")
     d = e + f + 1
-    if d > k:
-        raise InvalidParameterError(f"conversion degree {d} exceeds k={k}")
+    if check:
+        if e < 0 or f < 0:
+            raise InvalidParameterError("conversion reaches must be nonnegative")
+        if d > k:
+            raise InvalidParameterError(f"conversion degree {d} exceeds k={k}")
 
     remaining = req.astype(np.int64).copy()
     assign = np.full((m_rows, k), -1, dtype=np.int64)

@@ -34,6 +34,11 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.base import Scheduler, make_result
+from repro.core.memo import (
+    ScheduleCache,
+    schedule_cache_key,
+    resolve_cache as _resolve_cache,
+)
 from repro.errors import InvalidParameterError, ScheduleError
 from repro.graphs.breaking import break_graph
 from repro.graphs.conversion import CircularConversion
@@ -263,10 +268,14 @@ class BreakFirstAvailableScheduler(Scheduler):
 
     Requires circular symmetrical conversion (full range included, though the
     trivial :class:`~repro.core.full_range.FullRangeScheduler` is cheaper
-    there).
+    there).  ``cache`` memoizes the per-output sub-problem as in
+    :class:`~repro.core.first_available.FirstAvailableScheduler`.
     """
 
     name = "break-first-available"
+
+    def __init__(self, cache: "ScheduleCache | bool | None" = True) -> None:
+        self._cache = _resolve_cache(cache)
 
     def _check_scheme(self, rg: RequestGraph) -> None:
         if not isinstance(rg.scheme, CircularConversion):
@@ -278,10 +287,20 @@ class BreakFirstAvailableScheduler(Scheduler):
 
     def schedule(self, rg: RequestGraph) -> ScheduleResult:
         self._check_scheme(rg)
+        if self._cache is not None:
+            key = schedule_cache_key(
+                self.name, rg.scheme, rg.request_vector, rg.available
+            )
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
         grants, stats = bfa_fast(
             rg.request_vector, rg.available, rg.scheme.e, rg.scheme.f
         )
-        return make_result(rg, grants, stats=stats)
+        result = make_result(rg, grants, stats=stats)
+        if self._cache is not None:
+            self._cache.put(key, result)
+        return result
 
 
 class BreakFirstAvailableReferenceScheduler(Scheduler):

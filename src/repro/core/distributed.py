@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.base import Scheduler, make_result, validate_schedule
 from repro.core.policies import FixedPriorityPolicy, GrantPolicy
@@ -288,22 +290,38 @@ class DistributedScheduler:
     def schedule_slot(
         self,
         requests: Sequence[SlotRequest],
-        availability: dict[int, Sequence[bool]] | None = None,
+        availability: "Mapping[int, Sequence[bool]] | np.ndarray | None" = None,
     ) -> SlotSchedule:
         """Schedule one slot.
 
-        ``availability`` optionally maps output fibers to channel masks
-        (Section-V occupied channels); missing fibers default to all-free.
+        ``availability`` marks each output fiber's free channels (Section-V
+        occupied channels): either a mapping from output fiber to a length-k
+        mask (missing fibers default to all-free) or an ``(N, k)`` boolean
+        array — the form the simulation engines maintain natively, row
+        ``o`` being output ``o``'s mask.
         """
         self._validate_requests(requests)
         by_output: dict[int, list[SlotRequest]] = {}
         for r in requests:
             by_output.setdefault(r.output_fiber, []).append(r)
-        availability = availability or {}
 
-        jobs = [
-            (o, reqs, availability.get(o)) for o, reqs in sorted(by_output.items())
-        ]
+        if availability is None:
+            jobs = [(o, reqs, None) for o, reqs in sorted(by_output.items())]
+        elif isinstance(availability, np.ndarray):
+            if availability.shape != (self.n_fibers, self.scheme.k):
+                raise InvalidParameterError(
+                    f"availability array shape {availability.shape} != "
+                    f"{(self.n_fibers, self.scheme.k)}"
+                )
+            jobs = [
+                (o, reqs, availability[o])
+                for o, reqs in sorted(by_output.items())
+            ]
+        else:
+            jobs = [
+                (o, reqs, availability.get(o))
+                for o, reqs in sorted(by_output.items())
+            ]
         if self.parallel and len(jobs) > 1:
             pool = self._ensure_pool()
             outcomes = list(pool.map(lambda j: self._schedule_output(*j), jobs))

@@ -32,6 +32,11 @@ from repro.graphs.conversion import (
 from repro.graphs.convex import first_available_convex
 from repro.graphs.request_graph import RequestGraph
 from repro.core.base import Scheduler, make_result
+from repro.core.memo import (
+    ScheduleCache,
+    schedule_cache_key,
+    resolve_cache as _resolve_cache,
+)
 from repro.types import Grant, ScheduleResult
 
 __all__ = [
@@ -46,16 +51,19 @@ def first_available_fast(
     available: Sequence[bool],
     e: int,
     f: int,
+    *,
+    check: bool = True,
 ) -> list[Grant]:
     """The ``O(k)`` First Available pass on a request vector.
 
     ``request_vector[w]`` counts requests on ``λ_w``; ``available[b]`` marks
     free output channels.  Adjacency is the non-circular clipped window:
     channel ``b`` serves wavelengths ``[b - f, b + e] ∩ [0, k)``.  Returns
-    the grants in ascending channel order.
+    the grants in ascending channel order.  ``check=False`` skips input
+    validation for pre-validated inner-loop callers.
     """
     k = len(request_vector)
-    if len(available) != k:
+    if check and len(available) != k:
         raise InvalidParameterError(
             f"availability mask length {len(available)} != k={k}"
         )
@@ -90,9 +98,17 @@ class FirstAvailableScheduler(Scheduler):
     (where the window covers every channel and the graph is trivially convex
     and monotone).  For circular symmetrical conversion use
     :class:`~repro.core.break_first_available.BreakFirstAvailableScheduler`.
+
+    ``cache`` memoizes the per-output sub-problem (see
+    :mod:`repro.core.memo`): ``True`` (default) shares the process-wide LRU,
+    ``None``/``False`` disables, or pass a dedicated
+    :class:`~repro.core.memo.ScheduleCache`.
     """
 
     name = "first-available"
+
+    def __init__(self, cache: "ScheduleCache | bool | None" = True) -> None:
+        self._cache = _resolve_cache(cache)
 
     def _check_scheme(self, rg: RequestGraph) -> None:
         scheme: ConversionScheme = rg.scheme
@@ -105,6 +121,13 @@ class FirstAvailableScheduler(Scheduler):
 
     def schedule(self, rg: RequestGraph) -> ScheduleResult:
         self._check_scheme(rg)
+        if self._cache is not None:
+            key = schedule_cache_key(
+                self.name, rg.scheme, rg.request_vector, rg.available
+            )
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
         # Full range conversion reaches every channel from every wavelength;
         # the clipped window that realizes that for *every* channel is
         # e = f = k - 1 (FullRangeConversion's own (e, f) split the reach
@@ -113,8 +136,13 @@ class FirstAvailableScheduler(Scheduler):
             e = f = rg.k - 1
         else:
             e, f = rg.scheme.e, rg.scheme.f
-        grants = first_available_fast(rg.request_vector, rg.available, e, f)
-        return make_result(rg, grants, stats={"channels_scanned": rg.k})
+        grants = first_available_fast(
+            rg.request_vector, rg.available, e, f, check=False
+        )
+        result = make_result(rg, grants, stats={"channels_scanned": rg.k})
+        if self._cache is not None:
+            self._cache.put(key, result)
+        return result
 
 
 class FirstAvailableReferenceScheduler(Scheduler):

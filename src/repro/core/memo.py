@@ -1,0 +1,185 @@
+"""Bounded LRU memoization of the per-output scheduling sub-problem.
+
+The paper's decomposition makes every slot a batch of ``N`` independent
+sub-problems, each fully determined by ``(request vector, availability mask,
+conversion scheme)``.  Under Bernoulli traffic at realistic loads and small
+``k``, the same ``(requests, availability)`` states recur constantly — the
+request vector is a sparse multiset over ``k`` wavelengths and the
+availability mask is usually all-free — so the FA/BFA answer can be reused
+instead of recomputed.  The schedulers are deterministic pure functions of
+that key, which makes the cached :class:`~repro.types.ScheduleResult`
+bit-identical to a fresh computation (tested).
+
+:class:`ScheduleCache` is a thread-safe bounded LRU shared by every caller
+that goes through the scheduler wrappers: :class:`~repro.core.distributed.
+DistributedScheduler` (and hence :class:`~repro.sim.engine.SlottedSimulator`)
+and the :mod:`repro.service` shards.  Grant *policies* stay outside the cache
+on purpose: which requester wins a wavelength's channels is stateful
+(random / round-robin), while the wavelength→channel matching being cached is
+not.
+
+Disable memoization per scheduler with ``FirstAvailableScheduler(cache=None)``
+/ ``BreakFirstAvailableScheduler(cache=None)``, or globally with
+``configure_default_cache(maxsize=0)``.  See ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.errors import InvalidParameterError
+from repro.graphs.conversion import ConversionScheme
+from repro.types import ScheduleResult
+
+__all__ = [
+    "ScheduleCache",
+    "schedule_cache_key",
+    "get_default_cache",
+    "configure_default_cache",
+    "resolve_cache",
+]
+
+#: Default capacity of the process-wide shared cache.  At k=16 a key is a
+#: few hundred bytes; 4096 entries keep the cache well under a few MB while
+#: covering far more states than Bernoulli traffic visits at small k.
+DEFAULT_MAXSIZE = 4096
+
+
+def schedule_cache_key(
+    algorithm: str,
+    scheme: ConversionScheme,
+    request_vector: tuple[int, ...],
+    available: tuple[bool, ...],
+) -> Hashable:
+    """The memo key of one per-output sub-problem.
+
+    Keyed by the algorithm name plus the scheme's *behaviour* — class, ``k``
+    and conversion reaches — plus the request-count tuple and availability
+    mask, so two scheme objects with identical parameters share entries.  The
+    algorithm name matters because two schedulers can return different (both
+    maximum) matchings for the same instance, e.g. FA vs BFA on a full-range
+    scheme.
+    """
+    return (
+        algorithm,
+        type(scheme).__name__,
+        scheme.k,
+        scheme.e,
+        scheme.f,
+        request_vector,
+        available,
+    )
+
+
+class ScheduleCache:
+    """Thread-safe bounded LRU cache of :class:`ScheduleResult` values.
+
+    ``maxsize=0`` disables storage (every lookup misses), which keeps the
+    call sites branch-free.  Eviction is strict LRU: a hit refreshes the
+    entry, an insert past capacity evicts the least recently used one.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 0:
+            raise InvalidParameterError(
+                f"cache maxsize must be >= 0, got {maxsize}"
+            )
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict[Hashable, ScheduleResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> ScheduleResult | None:
+        """The cached result for ``key``, refreshing its recency; or None."""
+        with self._lock:
+            result = self._data.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: Hashable, result: ScheduleResult) -> None:
+        """Insert ``result`` under ``key``, evicting LRU entries past capacity."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._data[key] = result
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss/eviction counters."""
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of ``{size, maxsize, hits, misses, evictions}``."""
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"ScheduleCache(size={s['size']}/{s['maxsize']}, "
+            f"hits={s['hits']}, misses={s['misses']})"
+        )
+
+
+_default_cache = ScheduleCache()
+
+
+def get_default_cache() -> ScheduleCache:
+    """The process-wide cache shared by schedulers constructed with
+    ``cache=True`` (their default)."""
+    return _default_cache
+
+
+def resolve_cache(
+    cache: "ScheduleCache | bool | None",
+) -> ScheduleCache | None:
+    """Normalize a scheduler's ``cache`` argument.
+
+    ``True`` → the shared default cache, ``False``/``None`` → memoization
+    off, a :class:`ScheduleCache` → itself.
+    """
+    if cache is True:
+        return get_default_cache()
+    if cache is False or cache is None:
+        return None
+    if not isinstance(cache, ScheduleCache):
+        raise InvalidParameterError(
+            f"cache must be a ScheduleCache, bool or None, got {cache!r}"
+        )
+    return cache
+
+
+def configure_default_cache(maxsize: int = DEFAULT_MAXSIZE) -> ScheduleCache:
+    """Replace the shared default cache with a fresh one of ``maxsize``.
+
+    ``maxsize=0`` globally disables memoization for schedulers built after
+    the call (existing scheduler instances keep the cache object they
+    resolved at construction).  Returns the new cache.
+    """
+    global _default_cache
+    _default_cache = ScheduleCache(maxsize)
+    return _default_cache

@@ -85,8 +85,13 @@ class RandomPolicy(GrantPolicy):
         n = self._check(requesters, n)
         if n == len(requesters):
             return list(requesters)
-        idx = self._rng.choice(len(requesters), size=n, replace=False)
-        return [requesters[i] for i in sorted(idx)]
+        if n == 1:
+            # The common contention case; integers() costs a fraction of a
+            # without-replacement choice() on these tiny pools.
+            return [requesters[self._rng.integers(len(requesters))]]
+        idx = self._rng.permutation(len(requesters))[:n]
+        idx.sort()
+        return [requesters[i] for i in idx]
 
 
 class RoundRobinPolicy(GrantPolicy):

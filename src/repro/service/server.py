@@ -462,7 +462,10 @@ class SchedulingService:
             requests_per_row.append(requests)
             req[i] = shard.request_vector(requests)
             avail[i] = shard.availability()
-        assign = self._batch_kernel(req, avail, self.scheme.e, self.scheme.f)
+        # Inputs are built here from shard state, so skip kernel revalidation.
+        assign = self._batch_kernel(
+            req, avail, self.scheme.e, self.scheme.f, check=False
+        )
         outcomes: list[tuple[list[GrantedRequest], list[SlotRequest]]] = []
         for i, (shard, _pendings) in enumerate(work):
             grants = [

@@ -25,6 +25,21 @@ class DurationModel(ABC):
     def sample(self, rng: np.random.Generator) -> int:
         """Draw one duration."""
 
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` durations as an ``int64`` array (vectorized batch draw).
+
+        The default falls back to ``n`` scalar :meth:`sample` calls;
+        subclasses override with one vectorized draw.  Both the scalar and
+        the vectorized form draw from the same stream, but a model's two
+        forms need not consume the generator identically — callers pick one
+        form and stick to it (:meth:`TrafficModel.arrivals` and the fast
+        engine both consume the batch form, which is what keeps the engines
+        on identical streams).
+        """
+        return np.fromiter(
+            (self.sample(rng) for _ in range(n)), dtype=np.int64, count=n
+        )
+
     @property
     @abstractmethod
     def mean(self) -> float:
@@ -40,6 +55,9 @@ class DeterministicDuration(DurationModel):
 
     def sample(self, rng: np.random.Generator) -> int:
         return self.slots
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.slots, dtype=np.int64)
 
     @property
     def mean(self) -> float:
@@ -65,6 +83,11 @@ class GeometricDuration(DurationModel):
             return 1
         return int(rng.geometric(1.0 / self._mean))
 
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self._mean == 1.0:
+            return np.ones(n, dtype=np.int64)
+        return rng.geometric(1.0 / self._mean, size=n).astype(np.int64)
+
     @property
     def mean(self) -> float:
         return self._mean
@@ -84,6 +107,9 @@ class UniformDuration(DurationModel):
 
     def sample(self, rng: np.random.Generator) -> int:
         return int(rng.integers(self.lo, self.hi + 1))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.integers(self.lo, self.hi + 1, size=n, dtype=np.int64)
 
     @property
     def mean(self) -> float:

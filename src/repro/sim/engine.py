@@ -106,13 +106,16 @@ class SlottedSimulator:
 
     # -- one slot -----------------------------------------------------------
 
-    def _availability(self) -> dict[int, list[bool]]:
-        return {
-            o: [self._out_busy[o, b] == 0 for b in range(self.k)]
-            for o in range(self.n_fibers)
-        }
+    def _availability(self) -> np.ndarray:
+        """Free-channel mask, one ``(N, k)`` boolean array for the slot.
 
-    def _reschedule_ongoing(self) -> dict[int, list[bool]]:
+        Shared form with the fast path: row ``o`` is output ``o``'s mask,
+        handed to :meth:`DistributedScheduler.schedule_slot` without any
+        per-output Python list rebuild.
+        """
+        return self._out_busy == 0
+
+    def _reschedule_ongoing(self) -> np.ndarray:
         """Disturb mode: re-place every ongoing connection on a clean band;
         returns the availability left for new requests."""
         requests = [

@@ -1,18 +1,37 @@
-"""Vectorized fast-path simulator for single-slot packet studies.
+"""Vectorized fast-path simulator for packet *and* multi-slot burst studies.
 
-Parameter sweeps like ``PERF-D`` only need wavelength-level loss statistics,
-and for single-slot packets those are *policy-independent*: which input
-fiber wins a wavelength's channel does not change how many requests are
-granted.  That makes the whole slot reducible to one batch scheduling call:
-build the ``(N, k)`` request matrix of all output fibers and run
-:func:`~repro.core.batch_bfa.batch_break_first_available` (or the FA batch
-kernel for non-circular schemes) once per slot.
+Parameter sweeps like ``PERF-D`` and the Section-V burst sweeps don't need
+per-packet Python objects: the paper's structural insight — per-slot
+scheduling decomposes into ``N`` independent per-output sub-problems — makes
+the whole slot one batch kernel call
+(:func:`~repro.core.batch.batch_first_available` /
+:func:`~repro.core.batch_bfa.batch_break_first_available`) over the ``(N,
+k)`` request matrix.
 
-The fast path consumes the *same* traffic stream as
-:class:`~repro.sim.engine.SlottedSimulator`, so for duration-1 traffic its
-per-slot grant counts are exactly equal to the full engine's (tested), at a
-fraction of the cost.  Multi-slot durations, disturb mode, per-fiber
-fairness and per-class QoS need the full engine.
+Two regimes share that kernel:
+
+* **Single-slot traffic** (all durations 1): wavelength-level grant counts
+  are *policy-independent*, so the slot reduces to one kernel call with an
+  all-free mask and no grant distribution at all.  Per-slot grant counts are
+  exactly equal to the full engine's (tested); per-input attribution is
+  skipped (fairness reads as neutral).
+* **Multi-slot traffic** (paper Section V, non-disturb): the simulator
+  carries ``(N, k)`` residual-occupancy matrices across slots — output
+  channels and input channels held by ongoing connections — decrements them
+  vectorized, and feeds the free-channel mask into the kernels as
+  ``available``.  Which requester wins a wavelength's channels now matters
+  (the winner's duration drives future occupancy), so grants are distributed
+  through the same policy protocol as
+  :func:`~repro.core.distributed.distribute_grants`, consuming the policy
+  RNG identically.  The result is *bit-identical* to
+  :class:`~repro.sim.engine.SlottedSimulator` with the scheme's optimal
+  scheduler on the same seed — full metric equality, attribution included
+  (tested slot by slot).
+
+Both regimes consume :meth:`~repro.sim.traffic.TrafficModel.arrivals_batch`
+— the same draws the full engine materializes into packets — so the two
+engines see identical traffic from one seed.  Disturb mode and QoS priority
+classes still need the full engine.
 """
 
 from __future__ import annotations
@@ -21,15 +40,18 @@ import numpy as np
 
 from repro.core.batch import batch_first_available
 from repro.core.batch_bfa import batch_break_first_available
+from repro.core.memo import ScheduleCache, resolve_cache
+from repro.core.policies import GrantPolicy, RandomPolicy
 from repro.errors import SimulationError
 from repro.graphs.conversion import (
     CircularConversion,
     ConversionScheme,
     NonCircularConversion,
 )
+from repro.sim.duration import DeterministicDuration
 from repro.sim.metrics import MetricsCollector
 from repro.sim.results import SimulationResult
-from repro.sim.traffic import TrafficModel
+from repro.sim.traffic import ArrivalBatch, TrafficModel
 from repro.util.rng import spawn_rngs
 from repro.util.validation import check_nonnegative_int, check_positive_int
 
@@ -37,11 +59,23 @@ __all__ = ["FastPacketSimulator"]
 
 
 class FastPacketSimulator:
-    """Batch-vectorized slotted simulation (single-slot packets only).
+    """Batch-vectorized slotted simulation (single- and multi-slot traffic).
 
     Parameters mirror :class:`~repro.sim.engine.SlottedSimulator` minus the
-    scheduler (the optimal batch kernel for the scheme is implied) and the
-    policy (irrelevant to wavelength-level statistics).
+    scheduler (the optimal batch kernel for the scheme is implied) and minus
+    disturb mode.  ``policy`` is only consulted for multi-slot traffic,
+    where it defaults to the same seeded :class:`~repro.core.policies.
+    RandomPolicy` the full engine would use — which is what makes the two
+    engines bit-identical on one seed.
+
+    ``vectorized_arrivals`` is a legacy flag: both modes now consume the
+    traffic model's array-form draw, so it only retains its strictness —
+    requiring plain uniform duration-1 Bernoulli traffic.
+
+    ``cache`` memoizes per-output assignment rows (``True`` = the shared
+    default :class:`~repro.core.memo.ScheduleCache`, ``None``/``False`` =
+    off, or a private instance).  Purely a speed knob: results are
+    bit-identical either way.
     """
 
     def __init__(
@@ -51,6 +85,8 @@ class FastPacketSimulator:
         traffic: TrafficModel,
         seed: int | None = None,
         vectorized_arrivals: bool = False,
+        policy: GrantPolicy | None = None,
+        cache: ScheduleCache | bool | None = True,
     ) -> None:
         self.n_fibers = check_positive_int(n_fibers, "n_fibers")
         if not isinstance(scheme, (CircularConversion, NonCircularConversion)):
@@ -66,10 +102,6 @@ class FastPacketSimulator:
         self.traffic = traffic
         self.vectorized_arrivals = bool(vectorized_arrivals)
         if self.vectorized_arrivals:
-            # The vectorized generator reimplements plain uniform Bernoulli
-            # traffic without per-packet objects; anything fancier must go
-            # through the traffic model's own arrivals().
-            from repro.sim.duration import DeterministicDuration
             from repro.sim.traffic import BernoulliTraffic, UniformDestinations
 
             if not (
@@ -83,12 +115,38 @@ class FastPacketSimulator:
                     "vectorized_arrivals requires plain BernoulliTraffic "
                     "(uniform destinations, duration 1, single class)"
                 )
-        # Mirror SlottedSimulator's stream layout (traffic first) so both
-        # engines see identical arrivals from the same seed (in the
-        # non-vectorized mode; the vectorized generator draws the same
-        # distribution from a different stream order).
-        traffic_rng, _policy_rng = spawn_rngs(seed, 2)
+        # Mirror SlottedSimulator's stream layout (traffic, then policy) so
+        # both engines see identical arrivals AND identical policy draws
+        # from the same seed.
+        traffic_rng, policy_rng = spawn_rngs(seed, 2)
         self._traffic_rng = traffic_rng
+        self.policy: GrantPolicy = (
+            policy if policy is not None else RandomPolicy(policy_rng)
+        )
+        # Residual occupancy carried across slots (multi-slot regime):
+        # remaining busy slots per output channel / input channel.
+        self._out_busy = np.zeros((self.n_fibers, scheme.k), dtype=np.int64)
+        self._in_busy = np.zeros((self.n_fibers, scheme.k), dtype=np.int64)
+        # Single-slot regime iff the duration model provably always draws 1;
+        # traffic models without a known duration model get the (equally
+        # correct, slightly slower) stateful path.
+        durations = getattr(traffic, "durations", None)
+        self._single_slot = (
+            isinstance(durations, DeterministicDuration) and durations.slots == 1
+        )
+        # Per-output sub-problem memoization: an output row's assignment is a
+        # pure function of (scheme, request row, availability row), and slot
+        # traffic revisits a small working set of such rows.  ``True`` shares
+        # the process-wide default cache with the schedulers; the tag keeps
+        # kernel rows and ScheduleResult entries from ever colliding.
+        self._row_cache = resolve_cache(cache)
+        self._cache_tag = (
+            "batch-fa" if isinstance(scheme, NonCircularConversion)
+            else "batch-bfa",
+            scheme.k,
+            scheme.e,
+            scheme.f,
+        )
         self._slot = 0
 
     @property
@@ -96,55 +154,204 @@ class FastPacketSimulator:
         """Wavelengths per fiber."""
         return self.scheme.k
 
-    def _schedule_matrix(self, req: np.ndarray) -> np.ndarray:
+    def _schedule_matrix(
+        self, req: np.ndarray, avail: np.ndarray | None
+    ) -> np.ndarray:
         if isinstance(self.scheme, NonCircularConversion):
             return batch_first_available(
-                req, None, self.scheme.e, self.scheme.f
+                req, avail, self.scheme.e, self.scheme.f, check=False
             )
         return batch_break_first_available(
-            req, None, self.scheme.e, self.scheme.f
+            req, avail, self.scheme.e, self.scheme.f, check=False
         )
 
-    def _request_matrix(self) -> tuple[np.ndarray, int]:
-        """One slot's ``(N, k)`` per-output request counts and arrival total."""
-        req = np.zeros((self.n_fibers, self.k), dtype=np.int64)
-        if self.vectorized_arrivals:
-            rng = self._traffic_rng
-            hits = rng.random((self.n_fibers, self.k)) < self.traffic.load  # type: ignore[attr-defined]
-            _fibers, wavelengths = np.nonzero(hits)
-            n = wavelengths.size
-            if n:
-                dests = rng.integers(self.n_fibers, size=n)
-                np.add.at(req, (dests, wavelengths), 1)
-            return req, n
-        arrivals = self.traffic.arrivals(self._slot, self._traffic_rng)
-        for p in arrivals:
-            if p.duration != 1:
-                raise SimulationError(
-                    "FastPacketSimulator supports duration-1 packets only; "
-                    "use SlottedSimulator for multi-slot connections"
-                )
-            req[p.output_fiber, p.wavelength] += 1
-        return req, len(arrivals)
+    @staticmethod
+    def _parse_row(row: np.ndarray) -> tuple[dict[int, list[int]], int]:
+        """``(granted channels keyed by wavelength, grant count)`` of a
+        kernel assignment row — the only two things consumers ever read."""
+        channels_by_w: dict[int, list[int]] = {}
+        count = 0
+        for b, w in enumerate(row.tolist()):
+            if w >= 0:
+                channels_by_w.setdefault(w, []).append(b)
+                count += 1
+        return channels_by_w, count
 
-    def step(self) -> dict[str, object]:
-        """One slot: arrivals → request matrix → one batch schedule."""
-        req, n_arrivals = self._request_matrix()
-        self._slot += 1
-        assign = self._schedule_matrix(req)
-        granted = int((assign >= 0).sum())
+    def _assign_rows(
+        self, req: np.ndarray, avail: np.ndarray | None
+    ) -> dict[int, tuple[dict[int, list[int]], int]]:
+        """Parsed assignment per output that has requests, memoized per row.
+
+        Outputs without requests grant nothing and are omitted.  Cached
+        values are read-only by convention — every consumer only reads them.
+        """
+        active = np.nonzero(req.any(axis=1))[0]
+        if self._row_cache is None:
+            sub = self._schedule_matrix(
+                req[active], None if avail is None else avail[active]
+            )
+            return {
+                int(o): self._parse_row(sub[j]) for j, o in enumerate(active)
+            }
+
+        rows_out: dict[int, tuple[dict[int, list[int]], int]] = {}
+        misses: list[tuple[int, tuple]] = []
+        for o in active:
+            o = int(o)
+            key = (
+                self._cache_tag,
+                req[o].tobytes(),
+                b"" if avail is None else avail[o].tobytes(),
+            )
+            value = self._row_cache.get(key)
+            if value is None:
+                misses.append((o, key))
+            else:
+                rows_out[o] = value
+        if misses:
+            idx = np.fromiter((o for o, _ in misses), dtype=np.int64)
+            sub = self._schedule_matrix(
+                req[idx], None if avail is None else avail[idx]
+            )
+            for (o, key), row in zip(misses, sub):
+                value = self._parse_row(row)
+                self._row_cache.put(key, value)
+                rows_out[o] = value
+        return rows_out
+
+    # -- single-slot regime (stateless slots) -------------------------------
+
+    def _step_single_slot(self, batch: ArrivalBatch) -> dict[str, object]:
+        req = np.zeros((self.n_fibers, self.k), dtype=np.int64)
+        if batch.n:
+            np.add.at(req, (batch.output_fiber, batch.wavelength), 1)
+        rows = self._assign_rows(req, None)
+        granted = sum(count for _, count in rows.values())
         return {
-            "offered": n_arrivals,
-            "submitted": n_arrivals,
+            "offered": batch.n,
+            "blocked_source": 0,
+            "submitted": batch.n,
             "granted": granted,
             "busy_channels": granted,
+            # Attribution is policy-dependent and skipped in this regime.
+            "granted_inputs": None,
+            "granted_durations": None,
+            "submitted_inputs": None,
         }
+
+    # -- multi-slot regime (residual occupancy carried across slots) --------
+
+    def _step_multislot(self, batch: ArrivalBatch) -> dict[str, object]:
+        n = batch.n
+        in_f, wl = batch.input_fiber, batch.wavelength
+        if n:
+            if batch.priority.any():
+                raise SimulationError(
+                    "the fast path schedules a single QoS class; use "
+                    "SlottedSimulator for strict-priority traffic"
+                )
+            if np.unique(in_f * self.k + wl).size != n:
+                raise SimulationError(
+                    "traffic model emitted two packets on one input channel "
+                    f"in slot {self._slot}"
+                )
+
+        # Arrivals whose input channel is mid-connection are lost at source.
+        free_in = self._in_busy[in_f, wl] == 0
+        blocked = int(n - np.count_nonzero(free_in))
+        if blocked:
+            in_s = in_f[free_in]
+            wl_s = wl[free_in]
+            out_s = batch.output_fiber[free_in]
+            dur_s = batch.duration[free_in]
+        else:
+            in_s, wl_s = in_f, wl
+            out_s, dur_s = batch.output_fiber, batch.duration
+
+        req = np.zeros((self.n_fibers, self.k), dtype=np.int64)
+        if in_s.size:
+            np.add.at(req, (out_s, wl_s), 1)
+        assign_rows = self._assign_rows(req, self._out_busy == 0)
+
+        # Group the submitted requests by (output, wavelength) — plain-Python
+        # lists, cheap next to the per-output scheduling they replace.  The
+        # protocol below consumes the grant policy exactly like
+        # distribute_grants, so the two engines' policy streams stay aligned.
+        in_l = in_s.tolist()
+        wl_l = wl_s.tolist()
+        out_l = out_s.tolist()
+        dur_l = dur_s.tolist()
+        by_output: dict[int, dict[int, dict[int, int]]] = {}
+        for i, o in enumerate(out_l):
+            by_output.setdefault(o, {}).setdefault(wl_l[i], {})[
+                in_l[i]
+            ] = dur_l[i]
+
+        # RandomPolicy provably consumes no RNG (and keeps no state) when
+        # every contender wins, so those select() calls can be elided without
+        # perturbing the shared policy stream.  Only for the exact class —
+        # subclasses and other policies get the full protocol.
+        uncontended_skip = type(self.policy) is RandomPolicy
+        granted_inputs: list[int] = []
+        granted_durations: list[int] = []
+        g_out: list[int] = []
+        g_ch: list[int] = []
+        g_wl: list[int] = []
+        for o in sorted(by_output):
+            channels_by_w = assign_rows[o][0]
+            for w in sorted(by_output[o]):
+                by_fiber = by_output[o][w]
+                channels = channels_by_w.get(w, ())
+                fibers = sorted(by_fiber)
+                if uncontended_skip and len(channels) >= len(fibers):
+                    pairs = zip(fibers, channels)
+                else:
+                    winners = self.policy.select(o, w, fibers, len(channels))
+                    pairs = zip(sorted(set(winners)), channels)
+                for fiber, channel in pairs:
+                    g_out.append(o)
+                    g_ch.append(channel)
+                    g_wl.append(w)
+                    granted_inputs.append(fiber)
+                    granted_durations.append(by_fiber[fiber])
+
+        # Commit all grants at once; nothing reads occupancy mid-loop.
+        if granted_inputs:
+            self._out_busy[g_out, g_ch] = granted_durations
+            self._in_busy[granted_inputs, g_wl] = granted_durations
+        busy = int(np.count_nonzero(self._out_busy))
+        # End of slot: connections age by one.
+        np.maximum(self._out_busy - 1, 0, out=self._out_busy)
+        np.maximum(self._in_busy - 1, 0, out=self._in_busy)
+        return {
+            "offered": n,
+            "blocked_source": blocked,
+            "submitted": len(in_l),
+            "granted": len(granted_inputs),
+            "busy_channels": busy,
+            "granted_inputs": granted_inputs,
+            "granted_durations": granted_durations,
+            "submitted_inputs": in_l,
+        }
+
+    # -- one slot ------------------------------------------------------------
+
+    def step(self) -> dict[str, object]:
+        """One slot: array arrivals → request matrix → one batch schedule."""
+        batch = self.traffic.arrivals_batch(self._slot, self._traffic_rng)
+        self._slot += 1
+        if self._single_slot:
+            return self._step_single_slot(batch)
+        return self._step_multislot(batch)
+
+    # -- full runs -----------------------------------------------------------
 
     def run(self, n_slots: int, warmup: int = 0) -> SimulationResult:
         """Run ``warmup + n_slots`` slots; metrics cover the last ``n_slots``.
 
-        Per-input-fiber grant attribution is policy-dependent and therefore
-        not tracked here; fairness metrics read as neutral.
+        In the single-slot regime, per-input-fiber grant attribution is
+        policy-dependent and not tracked (fairness reads as neutral 1.0); in
+        the multi-slot regime attribution is exact.
         """
         check_positive_int(n_slots, "n_slots")
         check_nonnegative_int(warmup, "warmup")
@@ -153,17 +360,31 @@ class FastPacketSimulator:
             self.step()
         for _ in range(n_slots):
             c = self.step()
-            # Input-fiber attribution is policy-dependent; leave the
-            # fairness accounting empty (reads as neutral 1.0).
-            metrics.record_slot(
-                offered=c["offered"],
-                blocked_source=0,
-                submitted=c["submitted"],
-                granted_inputs=[0] * c["granted"],
-                granted_durations=[1] * c["granted"],
-                submitted_inputs=[],
-                busy_channels=c["busy_channels"],
-            )
+            if c["granted_inputs"] is None:
+                granted = int(c["granted"])  # type: ignore[arg-type]
+                metrics.record_slot(
+                    offered=c["offered"],
+                    blocked_source=0,
+                    submitted=c["submitted"],
+                    granted_inputs=[0] * granted,
+                    granted_durations=[1] * granted,
+                    submitted_inputs=[],
+                    busy_channels=c["busy_channels"],
+                )
+            else:
+                # Single class by construction (nonzero priorities raise),
+                # so class-0 accounting matches the full engine exactly.
+                metrics.record_slot(
+                    offered=c["offered"],
+                    blocked_source=c["blocked_source"],
+                    submitted=c["submitted"],
+                    granted_inputs=c["granted_inputs"],
+                    granted_durations=c["granted_durations"],
+                    submitted_inputs=c["submitted_inputs"],
+                    busy_channels=c["busy_channels"],
+                    granted_priorities=[0] * len(c["granted_inputs"]),
+                    submitted_priorities=[0] * len(c["submitted_inputs"]),
+                )
         config = {
             "n_fibers": self.n_fibers,
             "k": self.k,

@@ -69,6 +69,7 @@ class SimulationResult:
             "utilization": m.utilization,
             "normalized_throughput": m.normalized_throughput,
             "input_fairness": m.input_fairness,
+            "mean_granted_duration": m.mean_granted_duration,
         }
 
     def acceptance_interval(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import itertools
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -28,6 +29,7 @@ __all__ = [
     "DestinationModel",
     "UniformDestinations",
     "HotspotDestinations",
+    "ArrivalBatch",
     "TrafficModel",
     "BernoulliTraffic",
     "OnOffBurstyTraffic",
@@ -45,6 +47,23 @@ class DestinationModel(ABC):
     def sample(self, rng: np.random.Generator, input_fiber: int) -> int:
         """Draw a destination fiber for a packet from ``input_fiber``."""
 
+    def sample_many(
+        self, rng: np.random.Generator, input_fibers: np.ndarray
+    ) -> np.ndarray:
+        """Draw one destination per entry of ``input_fibers`` (vectorized).
+
+        The default falls back to scalar :meth:`sample` calls; subclasses
+        override with batch draws.  As with
+        :meth:`~repro.sim.duration.DurationModel.sample_many`, callers pick
+        one form and stick to it — the built-in traffic models consume only
+        this batch form.
+        """
+        return np.fromiter(
+            (self.sample(rng, int(i)) for i in input_fibers),
+            dtype=np.int64,
+            count=input_fibers.size,
+        )
+
 
 class UniformDestinations(DestinationModel):
     """Destinations uniform over all ``N`` output fibers."""
@@ -54,6 +73,13 @@ class UniformDestinations(DestinationModel):
 
     def sample(self, rng: np.random.Generator, input_fiber: int) -> int:
         return int(rng.integers(self.n_fibers))
+
+    def sample_many(
+        self, rng: np.random.Generator, input_fibers: np.ndarray
+    ) -> np.ndarray:
+        return rng.integers(
+            self.n_fibers, size=input_fibers.size, dtype=np.int64
+        )
 
 
 class HotspotDestinations(DestinationModel):
@@ -74,16 +100,79 @@ class HotspotDestinations(DestinationModel):
             return self.hot_fiber
         return int(rng.integers(self.n_fibers))
 
+    def sample_many(
+        self, rng: np.random.Generator, input_fibers: np.ndarray
+    ) -> np.ndarray:
+        n = input_fibers.size
+        hot = rng.random(n) < self.hot_fraction
+        dests = rng.integers(self.n_fibers, size=n, dtype=np.int64)
+        dests[hot] = self.hot_fiber
+        return dests
+
 
 # ---------------------------------------------------------------------------
 # Traffic models
 # ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ArrivalBatch:
+    """One slot's arrivals in parallel-array (structure-of-arrays) form.
+
+    The array form is what the vectorized fast engine consumes directly —
+    no per-packet Python objects.  :meth:`TrafficModel.arrivals` materializes
+    :class:`~repro.sim.packet.Packet` objects from the *same* batch, so both
+    forms see identical draws from the same seed (tested).
+    """
+
+    slot: int
+    input_fiber: np.ndarray   #: ``(n,)`` int64 input fiber per arrival
+    wavelength: np.ndarray    #: ``(n,)`` int64 input wavelength per arrival
+    output_fiber: np.ndarray  #: ``(n,)`` int64 destination fiber per arrival
+    duration: np.ndarray      #: ``(n,)`` int64 connection duration in slots
+    priority: np.ndarray      #: ``(n,)`` int64 QoS class (0 = highest)
+
+    @property
+    def n(self) -> int:
+        """Number of arrivals in the batch."""
+        return self.input_fiber.size
+
+    @classmethod
+    def from_packets(cls, slot: int, packets: Sequence[Packet]) -> "ArrivalBatch":
+        """Array form of an existing packet list (adapter for traffic models
+        that only implement the Packet-list draw)."""
+        return cls(
+            slot=slot,
+            input_fiber=np.fromiter(
+                (p.input_fiber for p in packets), dtype=np.int64, count=len(packets)
+            ),
+            wavelength=np.fromiter(
+                (p.wavelength for p in packets), dtype=np.int64, count=len(packets)
+            ),
+            output_fiber=np.fromiter(
+                (p.output_fiber for p in packets), dtype=np.int64, count=len(packets)
+            ),
+            duration=np.fromiter(
+                (p.duration for p in packets), dtype=np.int64, count=len(packets)
+            ),
+            priority=np.fromiter(
+                (p.priority for p in packets), dtype=np.int64, count=len(packets)
+            ),
+        )
+
 
 class TrafficModel(ABC):
     """Generates the packets arriving in each slot.
 
     A traffic model owns no RNG: the engine passes its generator in, so a
     single simulation seed reproduces the whole run.
+
+    Models expose two equivalent draw forms: :meth:`arrivals` (Packet list,
+    consumed by the full :class:`~repro.sim.engine.SlottedSimulator`) and
+    :meth:`arrivals_batch` (parallel arrays, consumed by the vectorized
+    :class:`~repro.sim.fast.FastPacketSimulator`).  The built-in models draw
+    the batch form first and derive the Packet list from it, so the two
+    forms consume the generator identically — which is what makes the two
+    engines bit-comparable on one seed.
     """
 
     n_fibers: int
@@ -92,6 +181,41 @@ class TrafficModel(ABC):
     @abstractmethod
     def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
         """Packets arriving at slot ``slot``, at most one per input channel."""
+
+    def arrivals_batch(
+        self, slot: int, rng: np.random.Generator
+    ) -> ArrivalBatch:
+        """The slot's arrivals in array form (see :class:`ArrivalBatch`).
+
+        Default adapter: draw :meth:`arrivals` and convert — correct for any
+        model, with per-packet materialization cost.  The built-in models
+        override this with a pure array draw and derive :meth:`arrivals`
+        from it instead.
+        """
+        return ArrivalBatch.from_packets(slot, self.arrivals(slot, rng))
+
+    def _materialize(
+        self, batch: ArrivalBatch, ids: "itertools.count"
+    ) -> list[Packet]:
+        """Packet-list form of ``batch`` (shared by the built-in models)."""
+        return [
+            Packet(
+                packet_id=next(ids),
+                slot=batch.slot,
+                input_fiber=int(i),
+                wavelength=int(w),
+                output_fiber=int(o),
+                duration=int(d),
+                priority=int(c),
+            )
+            for i, w, o, d, c in zip(
+                batch.input_fiber,
+                batch.wavelength,
+                batch.output_fiber,
+                batch.duration,
+                batch.priority,
+            )
+        ]
 
     @property
     @abstractmethod
@@ -138,28 +262,36 @@ class BernoulliTraffic(TrafficModel):
             self._priority_p = weights / total
         self._ids = itertools.count()
 
-    def _sample_priority(self, rng: np.random.Generator) -> int:
+    def _sample_priorities(
+        self, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
         if self._priority_p is None:
-            return 0
-        return int(rng.choice(self._priority_p.size, p=self._priority_p))
+            return np.zeros(n, dtype=np.int64)
+        return rng.choice(
+            self._priority_p.size, size=n, p=self._priority_p
+        ).astype(np.int64)
+
+    def arrivals_batch(
+        self, slot: int, rng: np.random.Generator
+    ) -> ArrivalBatch:
+        # One vectorized Bernoulli draw for all N·k channels, then one batch
+        # draw per per-packet attribute — no per-packet Python loop.
+        hits = rng.random((self.n_fibers, self.k)) < self.load
+        input_fibers, wavelengths = np.nonzero(hits)
+        input_fibers = input_fibers.astype(np.int64, copy=False)
+        wavelengths = wavelengths.astype(np.int64, copy=False)
+        n = input_fibers.size
+        return ArrivalBatch(
+            slot=slot,
+            input_fiber=input_fibers,
+            wavelength=wavelengths,
+            output_fiber=self.destinations.sample_many(rng, input_fibers),
+            duration=self.durations.sample_many(rng, n),
+            priority=self._sample_priorities(rng, n),
+        )
 
     def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
-        # One vectorized Bernoulli draw for all N·k channels per slot.
-        hits = rng.random((self.n_fibers, self.k)) < self.load
-        packets: list[Packet] = []
-        for i, w in zip(*np.nonzero(hits)):
-            packets.append(
-                Packet(
-                    packet_id=next(self._ids),
-                    slot=slot,
-                    input_fiber=int(i),
-                    wavelength=int(w),
-                    output_fiber=self.destinations.sample(rng, int(i)),
-                    duration=self.durations.sample(rng),
-                    priority=self._sample_priority(rng),
-                )
-            )
-        return packets
+        return self._materialize(self.arrivals_batch(slot, rng), self._ids)
 
     @property
     def offered_load(self) -> float:
@@ -217,30 +349,39 @@ class OnOffBurstyTraffic(TrafficModel):
                 self.n_fibers, size=(self.n_fibers, self.k)
             )
 
-    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+    def arrivals_batch(
+        self, slot: int, rng: np.random.Generator
+    ) -> ArrivalBatch:
         self._ensure_state(rng)
         assert self._state is not None and self._dest is not None
         # State transitions happen at slot boundaries.
         u = rng.random((self.n_fibers, self.k))
         starting = ~self._state & (u < self._p_start)
         ending = self._state & (u < self._p_end)
-        # New bursts pick a fresh destination.
-        for i, w in zip(*np.nonzero(starting)):
-            self._dest[i, w] = self.destinations.sample(rng, int(i))
-        self._state = (self._state & ~ending) | starting
-        packets: list[Packet] = []
-        for i, w in zip(*np.nonzero(self._state)):
-            packets.append(
-                Packet(
-                    packet_id=next(self._ids),
-                    slot=slot,
-                    input_fiber=int(i),
-                    wavelength=int(w),
-                    output_fiber=int(self._dest[i, w]),
-                    duration=self.durations.sample(rng),
-                )
+        # New bursts pick a fresh destination (one batch draw).
+        s_fibers, s_wavelengths = np.nonzero(starting)
+        if s_fibers.size:
+            self._dest[s_fibers, s_wavelengths] = self.destinations.sample_many(
+                rng, s_fibers.astype(np.int64, copy=False)
             )
-        return packets
+        self._state = (self._state & ~ending) | starting
+        input_fibers, wavelengths = np.nonzero(self._state)
+        input_fibers = input_fibers.astype(np.int64, copy=False)
+        wavelengths = wavelengths.astype(np.int64, copy=False)
+        n = input_fibers.size
+        return ArrivalBatch(
+            slot=slot,
+            input_fiber=input_fibers,
+            wavelength=wavelengths,
+            output_fiber=self._dest[input_fibers, wavelengths].astype(
+                np.int64, copy=False
+            ),
+            duration=self.durations.sample_many(rng, n),
+            priority=np.zeros(n, dtype=np.int64),
+        )
+
+    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+        return self._materialize(self.arrivals_batch(slot, rng), self._ids)
 
     @property
     def offered_load(self) -> float:

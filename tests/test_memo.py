@@ -1,0 +1,174 @@
+"""Tests for the schedule memo cache and its scheduler wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.core.first_available import FirstAvailableScheduler
+from repro.core.memo import (
+    DEFAULT_MAXSIZE,
+    ScheduleCache,
+    configure_default_cache,
+    get_default_cache,
+    resolve_cache,
+    schedule_cache_key,
+)
+from repro.errors import InvalidParameterError
+from repro.graphs.conversion import (
+    CircularConversion,
+    FullRangeConversion,
+    NonCircularConversion,
+)
+from repro.graphs.request_graph import RequestGraph
+
+
+def _graphs(scheme, rng, n=60):
+    for _ in range(n):
+        wavelengths = rng.integers(scheme.k, size=rng.integers(0, scheme.k + 1))
+        available = rng.random(scheme.k) < 0.8
+        yield RequestGraph.from_wavelengths(
+            scheme, (int(w) for w in wavelengths), [bool(a) for a in available]
+        )
+
+
+class TestScheduleCache:
+    def test_get_put_roundtrip(self):
+        cache = ScheduleCache(maxsize=4)
+        assert cache.get("k1") is None
+        cache.put("k1", "v1")
+        assert cache.get("k1") == "v1"
+        assert cache.stats() == {
+            "size": 1, "maxsize": 4, "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_lru_eviction_bounds_memory(self):
+        cache = ScheduleCache(maxsize=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.stats()["evictions"] == 7
+        # Only the three most recent keys survive.
+        assert cache.get(9) == 9 and cache.get(0) is None
+
+    def test_get_refreshes_recency(self):
+        cache = ScheduleCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")           # 'a' is now most recent
+        cache.put("c", 3)        # evicts 'b', not 'a'
+        assert cache.get("a") == 1 and cache.get("b") is None
+
+    def test_zero_maxsize_disables_storage(self):
+        cache = ScheduleCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None and len(cache) == 0
+
+    def test_clear(self):
+        cache = ScheduleCache(maxsize=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.get("a") is None
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ScheduleCache(maxsize=-1)
+
+    def test_resolve_cache_forms(self):
+        own = ScheduleCache(maxsize=2)
+        assert resolve_cache(own) is own
+        assert resolve_cache(True) is get_default_cache()
+        assert resolve_cache(False) is None
+        assert resolve_cache(None) is None
+        with pytest.raises(InvalidParameterError):
+            resolve_cache(42)
+
+    def test_configure_default_cache(self):
+        old = get_default_cache()
+        try:
+            fresh = configure_default_cache(maxsize=7)
+            assert get_default_cache() is fresh
+            assert fresh.stats()["maxsize"] == 7
+        finally:
+            configure_default_cache(maxsize=old.stats()["maxsize"])
+
+    def test_default_maxsize(self):
+        assert ScheduleCache().stats()["maxsize"] == DEFAULT_MAXSIZE
+
+
+class TestCacheKey:
+    def test_key_separates_algorithms(self):
+        """FA and BFA can return different (both maximum) matchings for the
+        same full-range sub-problem — their cache entries must not collide."""
+        scheme = FullRangeConversion(4)
+        k_fa = schedule_cache_key("first-available", scheme, (1, 0, 1, 0), None)
+        k_bfa = schedule_cache_key(
+            "break-first-available", scheme, (1, 0, 1, 0), None
+        )
+        assert k_fa != k_bfa
+
+    def test_key_separates_scheme_shape_and_mask(self):
+        base = schedule_cache_key(
+            "fa", CircularConversion(4, 1, 1), (1, 1, 0, 0), (True,) * 4
+        )
+        assert base != schedule_cache_key(
+            "fa", CircularConversion(4, 1, 2), (1, 1, 0, 0), (True,) * 4
+        )
+        assert base != schedule_cache_key(
+            "fa", CircularConversion(4, 1, 1), (1, 1, 0, 0),
+            (True, True, True, False),
+        )
+        assert base != schedule_cache_key(
+            "fa", NonCircularConversion(4, 1, 1), (1, 1, 0, 0), (True,) * 4
+        )
+
+
+class TestSchedulerWiring:
+    @pytest.mark.parametrize(
+        "scheduler_cls,scheme",
+        [
+            (FirstAvailableScheduler, NonCircularConversion(6, 1, 1)),
+            (BreakFirstAvailableScheduler, CircularConversion(6, 1, 1)),
+            (FirstAvailableScheduler, FullRangeConversion(5)),
+            (BreakFirstAvailableScheduler, FullRangeConversion(5)),
+        ],
+    )
+    def test_cached_equals_uncached(self, scheduler_cls, scheme):
+        cache = ScheduleCache(maxsize=256)
+        cached = scheduler_cls(cache=cache)
+        plain = scheduler_cls(cache=None)
+        rng = np.random.default_rng(5)
+        graphs = list(_graphs(scheme, rng))
+        # Two passes so the second pass is served from the cache.
+        for rg in graphs + graphs:
+            assert cached.schedule(rg).grants == plain.schedule(rg).grants
+        stats = cache.stats()
+        assert stats["hits"] >= len(graphs)
+
+    def test_cache_shared_between_scheduler_instances(self):
+        cache = ScheduleCache(maxsize=64)
+        scheme = CircularConversion(5, 1, 1)
+        rg = RequestGraph.from_wavelengths(scheme, [0, 0, 2], None)
+        BreakFirstAvailableScheduler(cache=cache).schedule(rg)
+        BreakFirstAvailableScheduler(cache=cache).schedule(rg)
+        assert cache.stats()["hits"] == 1
+
+    def test_default_cache_used_when_enabled(self):
+        scheme = CircularConversion(5, 1, 1)
+        rg = RequestGraph.from_wavelengths(scheme, [1, 1], None)
+        default = get_default_cache()
+        default.clear()
+        before = default.stats()["misses"]
+        BreakFirstAvailableScheduler().schedule(rg)
+        assert default.stats()["misses"] == before + 1
+
+    def test_eviction_does_not_change_results(self):
+        """A deliberately tiny cache thrashes but never corrupts output."""
+        cache = ScheduleCache(maxsize=2)
+        scheme = NonCircularConversion(6, 1, 1)
+        cached = FirstAvailableScheduler(cache=cache)
+        plain = FirstAvailableScheduler(cache=None)
+        rng = np.random.default_rng(9)
+        for rg in _graphs(scheme, rng, n=100):
+            assert cached.schedule(rg).grants == plain.schedule(rg).grants
+        assert len(cache) <= 2
+        assert cache.stats()["evictions"] > 0

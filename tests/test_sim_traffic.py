@@ -157,3 +157,67 @@ class TestOnOffBurstyTraffic:
         # Everything permanently on.
         for s in range(5):
             assert len(tr.arrivals(s, gen)) == 4
+
+
+class TestSampleMany:
+    def test_deterministic_batch(self, gen):
+        out = DeterministicDuration(3).sample_many(gen, 5)
+        assert out.dtype == np.int64 and list(out) == [3] * 5
+
+    def test_geometric_batch_statistics(self, gen):
+        out = GeometricDuration(4.0).sample_many(gen, 4000)
+        assert out.min() >= 1
+        assert abs(out.mean() - 4.0) < 0.3
+
+    def test_geometric_mean_one_batch(self, gen):
+        assert list(GeometricDuration(1.0).sample_many(gen, 20)) == [1] * 20
+
+    def test_uniform_batch_covers_range(self, gen):
+        out = UniformDuration(2, 5).sample_many(gen, 300)
+        assert set(out) == {2, 3, 4, 5}
+
+    def test_uniform_destinations_batch(self, gen):
+        d = UniformDestinations(4)
+        out = d.sample_many(gen, np.zeros(400, dtype=np.int64))
+        assert set(out) == {0, 1, 2, 3}
+
+    def test_hotspot_destinations_batch_bias(self, gen):
+        d = HotspotDestinations(8, hot_fiber=2, hot_fraction=0.8)
+        out = d.sample_many(gen, np.zeros(2000, dtype=np.int64))
+        assert (out == 2).sum() > 1500
+
+
+class TestArrivalBatchEquality:
+    """The Packet-list form must be the materialization of the array form:
+    both engines consume one generator identically from one seed."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: BernoulliTraffic(3, 5, 0.8),
+            lambda: BernoulliTraffic(
+                3,
+                5,
+                0.8,
+                destinations=HotspotDestinations(3, 1, 0.5),
+                durations=UniformDuration(1, 4),
+                priority_weights=[2, 1],
+            ),
+            lambda: OnOffBurstyTraffic(3, 5, load=0.6, burst_length=4.0),
+        ],
+        ids=["bernoulli-plain", "bernoulli-everything", "onoff"],
+    )
+    def test_forms_identical_on_same_seed(self, make):
+        packets_form, batch_form = make(), make()
+        rng_a, rng_b = np.random.default_rng(21), np.random.default_rng(21)
+        for slot in range(40):
+            packets = packets_form.arrivals(slot, rng_a)
+            batch = batch_form.arrivals_batch(slot, rng_b)
+            assert batch.slot == slot and batch.n == len(packets)
+            assert list(batch.input_fiber) == [p.input_fiber for p in packets]
+            assert list(batch.wavelength) == [p.wavelength for p in packets]
+            assert list(batch.output_fiber) == [
+                p.output_fiber for p in packets
+            ]
+            assert list(batch.duration) == [p.duration for p in packets]
+            assert list(batch.priority) == [p.priority for p in packets]
