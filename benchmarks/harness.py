@@ -1,4 +1,4 @@
-"""Deterministic perf-regression harness (``BENCH_PR3.json``).
+"""Deterministic perf-regression harness (``BENCH_PR4.json``).
 
 Runs a small, fixed-seed benchmark suite over the two layers this repo's
 performance story rests on and writes one JSON document per run:
@@ -14,8 +14,8 @@ performance story rests on and writes one JSON document per run:
 
 Usage::
 
-    python benchmarks/harness.py --quick --out BENCH_PR3.json
-    python benchmarks/harness.py --quick --compare BENCH_PR3.json
+    python benchmarks/harness.py --quick --out BENCH_PR4.json
+    python benchmarks/harness.py --quick --compare BENCH_PR4.json
 
 The JSON layout::
 
@@ -40,6 +40,7 @@ from repro.core.batch import batch_first_available
 from repro.core.batch_bfa import batch_break_first_available
 from repro.core.break_first_available import BreakFirstAvailableScheduler
 from repro.core.memo import ScheduleCache
+from repro.faults import FaultPlan
 from repro.graphs.conversion import CircularConversion
 from repro.graphs.request_graph import RequestGraph
 from repro.sim.duration import GeometricDuration
@@ -179,11 +180,74 @@ def bench_sims(quick: bool) -> dict[str, dict]:
     }
 
 
+def bench_faults(quick: bool) -> dict[str, dict]:
+    """Degraded-mode overhead: the same seeded run with an active fault
+    plan (outages + a converter degradation) vs the fault-free path.
+
+    Not gated on absolute speed; the point is that the per-slot fault
+    queries and the narrowed-scheme scheduling stay in the same order of
+    magnitude as the nominal run (the JSON diff makes drift visible).
+    """
+    n_fibers, k = 16, 16
+    scheme = CircularConversion(k, 1, 1)
+    slots = 100 if quick else 400
+    calls_full = 3 if quick else 5
+    calls_fast = 10 if quick else 30
+    plan = FaultPlan.random(
+        99,
+        n_fibers,
+        k,
+        slots,
+        n_outages=8,
+        n_degradations=2,
+        n_crashes=0,
+        max_outage_slots=slots // 2,
+        max_degradation_slots=slots // 2,
+    )
+    outage_only = FaultPlan(outages=plan.outages)
+
+    def traffic():
+        return BernoulliTraffic(
+            n_fibers, k, 0.9, durations=GeometricDuration(3.0)
+        )
+
+    def run_full_faulted():
+        SlottedSimulator(
+            n_fibers,
+            scheme,
+            BreakFirstAvailableScheduler(),
+            traffic(),
+            seed=13,
+            faults=plan,
+        ).run(slots)
+
+    def run_fast_faulted():
+        # The fast engine takes outage-only plans (degradation needs the
+        # per-input narrowing only the full engine implements).
+        FastPacketSimulator(
+            n_fibers, scheme, traffic(), seed=13, faults=outage_only
+        ).run(slots)
+
+    return {
+        "full_sim_faulted": {
+            "group": SIM,
+            "slots": slots,
+            **_time_calls(run_full_faulted, calls_full),
+        },
+        "fast_sim_faulted": {
+            "group": SIM,
+            "slots": slots,
+            **_time_calls(run_fast_faulted, calls_fast),
+        },
+    }
+
+
 def run_suite(quick: bool) -> dict:
     benchmarks: dict[str, dict] = {}
     benchmarks.update(bench_kernels(quick))
     benchmarks.update(bench_scheduler_cache(quick))
     benchmarks.update(bench_sims(quick))
+    benchmarks.update(bench_faults(quick))
     # Steady-state ratio: p50 excludes the fast engine's single cold-cache
     # call (its p99), which would otherwise drag a mean-based comparison.
     speedup = (

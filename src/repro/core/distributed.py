@@ -18,9 +18,15 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.base import Scheduler, make_result, validate_schedule
+from repro.core.break_first_available import bfa_fast
+from repro.core.first_available import first_available_fast
 from repro.core.policies import FixedPriorityPolicy, GrantPolicy
 from repro.errors import InvalidParameterError
-from repro.graphs.conversion import ConversionScheme
+from repro.graphs.conversion import (
+    CircularConversion,
+    ConversionScheme,
+    NonCircularConversion,
+)
 from repro.graphs.request_graph import RequestGraph
 from repro.types import ScheduleResult
 from repro.util.validation import (
@@ -132,6 +138,88 @@ def distribute_grants(
     return granted, rejected
 
 
+def _wraparound_usable(
+    k: int,
+    e: int,
+    f: int,
+    request_vector: Sequence[int],
+    available: Sequence[bool],
+) -> bool:
+    """Whether any requested wavelength's circular window has a *usable*
+    wraparound edge — i.e. a wrapped channel that is currently available.
+
+    When this is ``False`` the circular request graph, restricted to the
+    available channels, is identical to the non-circular (clipped) one:
+    every edge crossing the band boundary lands on an unavailable channel,
+    so the graph is convex and the First Available pass is exact.
+    """
+    for w in range(k):
+        if not request_vector[w]:
+            continue
+        lo = w - e
+        hi = w + f
+        if lo < 0 and any(available[b] for b in range(k + lo, k)):
+            return True
+        if hi >= k and any(available[b] for b in range(hi - k + 1)):
+            return True
+    return False
+
+
+def _schedule_narrowed(
+    scheme: ConversionScheme,
+    requests: Sequence[SlotRequest],
+    available: Sequence[bool],
+) -> list:
+    """Schedule one degraded-reach group directly on the fast kernels.
+
+    Non-circular narrowed schemes go straight to the ``O(k)`` First
+    Available pass.  Circular ones use the ``O(dk)`` BFA pass — except when
+    every wraparound edge of the requested wavelengths is faulted/occupied,
+    in which case the graph is convex and FA suffices (the BFA → FA
+    fallback of the fault model; see ``docs/ROBUSTNESS.md``).
+    """
+    vec = [0] * scheme.k
+    for r in requests:
+        vec[r.wavelength] += 1
+    e, f = scheme.e, scheme.f
+    if isinstance(scheme, CircularConversion) and _wraparound_usable(
+        scheme.k, e, f, vec, available
+    ):
+        grants, _stats = bfa_fast(vec, available, e, f)
+        return grants
+    return first_available_fast(vec, available, e, f, check=False)
+
+
+def _degradation_groups(
+    scheme: ConversionScheme,
+    narrowed: Mapping[int, ConversionScheme],
+    requests: Sequence[SlotRequest],
+) -> list[tuple[ConversionScheme, list[SlotRequest]]]:
+    """Partition ``requests`` by effective converter reach.
+
+    Degraded groups come first, most constrained first (ascending effective
+    degree), so the narrowest converters get first pick of the channels and
+    are not starved by healthy inputs; the nominal-reach group runs last
+    under the caller's configured scheduler.
+    """
+    by_reach: dict[tuple[int, int], tuple[ConversionScheme, list[SlotRequest]]] = {}
+    nominal: list[SlotRequest] = []
+    for r in requests:
+        eff = narrowed.get(r.input_fiber)
+        if eff is None:
+            nominal.append(r)
+        else:
+            entry = by_reach.setdefault((eff.e, eff.f), (eff, []))
+            entry[1].append(r)
+    groups = [
+        by_reach[key]
+        for key in sorted(by_reach, key=lambda ef: (ef[0] + ef[1], ef))
+    ]
+    if nominal:
+        groups.append((scheme, nominal))
+    return groups
+
+
 def schedule_output_fiber(
     scheme: ConversionScheme,
     scheduler: Scheduler,
@@ -139,6 +227,7 @@ def schedule_output_fiber(
     output_fiber: int,
     requests: Sequence[SlotRequest],
     available: Sequence[bool] | None,
+    degradations: "Mapping[int, tuple[int, int]] | None" = None,
 ) -> tuple[ScheduleResult, list[GrantedRequest], list[SlotRequest]]:
     """Resolve one output fiber's contention for one slot.
 
@@ -147,8 +236,28 @@ def schedule_output_fiber(
     distributes the granted channels to individual requesters via the
     policy.  Pure function of its inputs plus any policy state — the shared
     kernel of :class:`DistributedScheduler` and the service shards.
+
+    ``degradations`` maps input fibers to a degraded converter reach
+    ``(e', f')`` (see :mod:`repro.faults`).  Affected requests are scheduled
+    on the narrowed scheme ``scheme.degraded(e', f')``, layered most
+    constrained first on the running availability mask; unaffected requests
+    keep the configured scheduler.  Without degradations the fast paths
+    below are byte-for-byte the pre-fault behaviour.
     """
     requests = list(requests)
+    narrowed: dict[int, ConversionScheme] = {}
+    if degradations:
+        for fiber, (e2, f2) in degradations.items():
+            eff = scheme.degraded(e2, f2)
+            if eff is not scheme:
+                narrowed[fiber] = eff
+        if narrowed and not any(r.input_fiber in narrowed for r in requests):
+            narrowed = {}
+    if narrowed:
+        return _schedule_output_fiber_degraded(
+            scheme, scheduler, policy, output_fiber, requests, available,
+            narrowed,
+        )
     classes = sorted({r.priority for r in requests})
     if len(classes) <= 1:
         rg = RequestGraph.from_wavelengths(
@@ -193,6 +302,66 @@ def schedule_output_fiber(
     )
     combined = make_result(
         rg_all, all_grants, stats={"priority_classes": len(classes)}
+    )
+    return combined, granted, rejected
+
+
+def _schedule_output_fiber_degraded(
+    scheme: ConversionScheme,
+    scheduler: Scheduler,
+    policy: GrantPolicy,
+    output_fiber: int,
+    requests: list[SlotRequest],
+    available: Sequence[bool] | None,
+    narrowed: Mapping[int, ConversionScheme],
+) -> tuple[ScheduleResult, list[GrantedRequest], list[SlotRequest]]:
+    """Degraded-mode layering: priority classes outer, converter reach inner.
+
+    Each layer is scheduled on the channels its predecessors left over, and
+    its grants are revalidated against the layer's own (narrowed) request
+    graph, so a degraded converter can never be granted a channel outside
+    its remaining reach.
+    """
+    classes = sorted({r.priority for r in requests})
+    mask = list(available) if available is not None else [True] * scheme.k
+    granted: list[GrantedRequest] = []
+    rejected: list[SlotRequest] = []
+    all_grants = []
+    for priority in classes:
+        class_requests = [r for r in requests if r.priority == priority]
+        for scheme_g, group in _degradation_groups(
+            scheme, narrowed, class_requests
+        ):
+            if scheme_g is scheme:
+                rg = RequestGraph.from_wavelengths(
+                    scheme, (r.wavelength for r in group), mask
+                )
+                result = scheduler.schedule(rg)
+                grants = result.grants
+            else:
+                grants = _schedule_narrowed(scheme_g, group, mask)
+                rg = RequestGraph.from_wavelengths(
+                    scheme_g, (r.wavelength for r in group), mask
+                )
+            validate_schedule(rg, grants)
+            g, rej = distribute_grants(policy, output_fiber, group, grants)
+            granted.extend(g)
+            rejected.extend(rej)
+            all_grants.extend(grants)
+            for grant in grants:
+                mask[grant.channel] = False
+    # Narrowed adjacency is a subset of the nominal adjacency and the layer
+    # masks are disjoint, so the union validates against the nominal graph.
+    rg_all = RequestGraph.from_wavelengths(
+        scheme, (r.wavelength for r in requests), available
+    )
+    combined = make_result(
+        rg_all,
+        all_grants,
+        stats={
+            "priority_classes": len(classes),
+            "degraded_inputs": len(narrowed),
+        },
     )
     return combined, granted, rejected
 
@@ -280,10 +449,11 @@ class DistributedScheduler:
         output_fiber: int,
         requests: list[SlotRequest],
         available: Sequence[bool] | None,
+        degradations: "Mapping[int, tuple[int, int]] | None" = None,
     ) -> tuple[int, ScheduleResult, list[GrantedRequest], list[SlotRequest]]:
         result, granted, rejected = schedule_output_fiber(
             self.scheme, self.scheduler, self.policy, output_fiber, requests,
-            available,
+            available, degradations,
         )
         return output_fiber, result, granted, rejected
 
@@ -291,6 +461,7 @@ class DistributedScheduler:
         self,
         requests: Sequence[SlotRequest],
         availability: "Mapping[int, Sequence[bool]] | np.ndarray | None" = None,
+        degradations: "Mapping[int, tuple[int, int]] | None" = None,
     ) -> SlotSchedule:
         """Schedule one slot.
 
@@ -299,6 +470,11 @@ class DistributedScheduler:
         mask (missing fibers default to all-free) or an ``(N, k)`` boolean
         array — the form the simulation engines maintain natively, row
         ``o`` being output ``o``'s mask.
+
+        ``degradations`` maps input fibers to a degraded converter reach
+        ``(e', f')``; it applies to that input's requests on every output
+        fiber (the converter sits at the input).  See
+        :func:`schedule_output_fiber`.
         """
         self._validate_requests(requests)
         by_output: dict[int, list[SlotRequest]] = {}
@@ -306,7 +482,10 @@ class DistributedScheduler:
             by_output.setdefault(r.output_fiber, []).append(r)
 
         if availability is None:
-            jobs = [(o, reqs, None) for o, reqs in sorted(by_output.items())]
+            jobs = [
+                (o, reqs, None, degradations)
+                for o, reqs in sorted(by_output.items())
+            ]
         elif isinstance(availability, np.ndarray):
             if availability.shape != (self.n_fibers, self.scheme.k):
                 raise InvalidParameterError(
@@ -314,12 +493,12 @@ class DistributedScheduler:
                     f"{(self.n_fibers, self.scheme.k)}"
                 )
             jobs = [
-                (o, reqs, availability[o])
+                (o, reqs, availability[o], degradations)
                 for o, reqs in sorted(by_output.items())
             ]
         else:
             jobs = [
-                (o, reqs, availability.get(o))
+                (o, reqs, availability.get(o), degradations)
                 for o, reqs in sorted(by_output.items())
             ]
         if self.parallel and len(jobs) > 1:

@@ -17,6 +17,10 @@ __all__ = [
     "HardwareModelError",
     "SimulationError",
     "UncrossingDidNotConvergeError",
+    "FaultError",
+    "ShardDownError",
+    "CircuitOpenError",
+    "RetryExhaustedError",
 ]
 
 
@@ -55,6 +59,32 @@ class HardwareModelError(ReproError, RuntimeError):
 class SimulationError(ReproError, RuntimeError):
     """The slotted simulator detected an inconsistent state, e.g. a grant for
     a packet that never arrived."""
+
+
+class FaultError(ReproError, RuntimeError):
+    """Base class of the fault/degradation hierarchy: an error caused by an
+    injected or detected component failure rather than by bad inputs.
+
+    Catch this to handle *operational* failures (dark channels, degraded
+    converters, dead shard workers) separately from programming errors."""
+
+
+class ShardDownError(FaultError):
+    """A service shard worker is down: it crashed (injected or organic) and
+    has not been restarted, so its queue cannot serve requests.  Raised
+    ``from`` the causing exception when the crash was organic, so the
+    original defect stays on the chain."""
+
+
+class CircuitOpenError(FaultError):
+    """A per-shard circuit breaker is open: the shard failed repeatedly and
+    submissions are being short-circuited until the half-open probe
+    succeeds."""
+
+
+class RetryExhaustedError(FaultError):
+    """A retrying client gave up: the attempt limit or the shared retry
+    budget was exhausted before any attempt succeeded."""
 
 
 class UncrossingDidNotConvergeError(ReproError, RuntimeError):

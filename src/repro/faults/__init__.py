@@ -1,0 +1,33 @@
+"""repro.faults — deterministic fault injection and graceful degradation.
+
+The paper's per-output-fiber independence makes the interconnect naturally
+fault-isolable; this package supplies the fault *model* that the rest of the
+repo degrades against:
+
+* :mod:`~repro.faults.plan` — :class:`FaultPlan` and its timed events
+  (:class:`ChannelOutage`, :class:`ConverterDegradation`,
+  :class:`ShardCrash`), including a seeded randomized generator.
+* :mod:`~repro.faults.injector` — :class:`FaultInjector`, the per-slot
+  query object consumed by both simulation engines (``faults=`` parameter)
+  and the scheduling service.
+
+See ``docs/ROBUSTNESS.md`` for the full fault model and the chaos-harness
+usage, and ``tests/test_chaos.py`` for the seeded end-to-end drill.
+"""
+
+from repro.faults.injector import FaultInjector, as_injector
+from repro.faults.plan import (
+    ChannelOutage,
+    ConverterDegradation,
+    FaultPlan,
+    ShardCrash,
+)
+
+__all__ = [
+    "ChannelOutage",
+    "ConverterDegradation",
+    "FaultInjector",
+    "FaultPlan",
+    "ShardCrash",
+    "as_injector",
+]

@@ -1,0 +1,157 @@
+"""Per-slot fault-state queries over a :class:`~repro.faults.plan.FaultPlan`.
+
+The :class:`FaultInjector` is the runtime face of a plan: engines and the
+service ask it, once per slot,
+
+* which output channels are dark (:meth:`dark_mask` — an ``(N, k)`` boolean
+  array that ANDs straight into the availability mask both engines and the
+  service shards already maintain),
+* which input fibers are degraded and to what reach
+  (:meth:`degradations_at` — fed into the request-graph narrowing in
+  :func:`repro.core.distributed.schedule_output_fiber`),
+* which shards crash this slot (:meth:`crashes_at` — service layer only),
+* which events *begin* this slot (:meth:`starting_at` — telemetry).
+
+Queries are pure functions of ``slot`` (no internal clock), so the slotted
+simulator, the fast engine, and the service — each with its own slot counter
+— can share one injector and see identical fault state.  The per-slot cost
+is ``O(events)``, negligible next to the scheduling work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.faults.plan import (
+    ChannelOutage,
+    ConverterDegradation,
+    FaultPlan,
+    ShardCrash,
+)
+
+__all__ = ["FaultInjector", "as_injector"]
+
+
+class FaultInjector:
+    """Answers per-slot fault queries for an ``n_fibers × k`` interconnect."""
+
+    def __init__(self, plan: FaultPlan, n_fibers: int, k: int) -> None:
+        self.plan = plan.validate(n_fibers, k)
+        self.n_fibers = n_fibers
+        self.k = k
+        # The mask for a slot is asked for by every layer (engine commit
+        # checks, shard rows, telemetry); memoize the last slot computed.
+        self._mask_slot: int | None = None
+        self._mask: np.ndarray | None = None
+
+    # -- channel outages ----------------------------------------------------
+
+    @property
+    def has_outages(self) -> bool:
+        return bool(self.plan.outages)
+
+    @property
+    def has_degradations(self) -> bool:
+        return self.plan.has_degradations
+
+    @property
+    def has_crashes(self) -> bool:
+        return self.plan.has_crashes
+
+    def dark_mask(self, slot: int) -> np.ndarray:
+        """``(N, k)`` boolean array; ``True`` marks a dark output channel.
+
+        The returned array is cached per slot and must be treated as
+        read-only by callers.
+        """
+        if slot == self._mask_slot:
+            assert self._mask is not None
+            return self._mask
+        mask = np.zeros((self.n_fibers, self.k), dtype=bool)
+        for ev in self.plan.outages:
+            if ev.active_at(slot):
+                mask[ev.fiber, ev.wavelength] = True
+        self._mask_slot = slot
+        self._mask = mask
+        return mask
+
+    def n_dark(self, slot: int) -> int:
+        """Number of dark output channels at ``slot``."""
+        return int(self.dark_mask(slot).sum())
+
+    # -- converter degradation ----------------------------------------------
+
+    def degradations_at(self, slot: int) -> dict[int, tuple[int, int]]:
+        """``{input_fiber: (e', f')}`` for fibers degraded at ``slot``.
+
+        Overlapping degradations of one fiber compose by intersection
+        (element-wise ``min`` of the reaches) — a doubly-degraded converter
+        is no better than its worst fault.
+        """
+        out: dict[int, tuple[int, int]] = {}
+        for ev in self.plan.degradations:
+            if ev.active_at(slot):
+                prev = out.get(ev.input_fiber)
+                if prev is None:
+                    out[ev.input_fiber] = (ev.e, ev.f)
+                else:
+                    out[ev.input_fiber] = (
+                        min(prev[0], ev.e),
+                        min(prev[1], ev.f),
+                    )
+        return out
+
+    # -- shard crashes ------------------------------------------------------
+
+    def crashes_at(self, slot: int) -> tuple[ShardCrash, ...]:
+        """The crash events scheduled for exactly ``slot``."""
+        return tuple(ev for ev in self.plan.crashes if ev.slot == slot)
+
+    # -- telemetry ----------------------------------------------------------
+
+    def starting_at(
+        self, slot: int
+    ) -> tuple[ChannelOutage | ConverterDegradation | ShardCrash, ...]:
+        """Events whose effect begins at exactly ``slot`` (event counters)."""
+        started: list = [
+            ev for ev in self.plan.outages if ev.start == slot
+        ]
+        started.extend(
+            ev for ev in self.plan.degradations if ev.start == slot
+        )
+        started.extend(ev for ev in self.plan.crashes if ev.slot == slot)
+        return tuple(started)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(n_fibers={self.n_fibers}, k={self.k}, "
+            f"outages={len(self.plan.outages)}, "
+            f"degradations={len(self.plan.degradations)}, "
+            f"crashes={len(self.plan.crashes)})"
+        )
+
+
+def as_injector(
+    faults: "FaultInjector | FaultPlan | None", n_fibers: int, k: int
+) -> FaultInjector | None:
+    """Coerce a constructor's ``faults=`` argument to an injector.
+
+    Accepts ``None`` (no faults), a plan (wrapped), or a ready injector
+    (checked against the interconnect shape so one injector can be shared by
+    an engine and a service only when they agree on dimensions).
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return FaultInjector(faults, n_fibers, k)
+    if isinstance(faults, FaultInjector):
+        if faults.n_fibers != n_fibers or faults.k != k:
+            raise InvalidParameterError(
+                f"fault injector is {faults.n_fibers}×{faults.k}, "
+                f"interconnect is {n_fibers}×{k}"
+            )
+        return faults
+    raise InvalidParameterError(
+        f"faults must be a FaultPlan or FaultInjector, got {faults!r}"
+    )

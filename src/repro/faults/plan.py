@@ -1,0 +1,250 @@
+"""Deterministic, seeded fault plans for the interconnect.
+
+The paper's structural result — per-output-fiber independence of the
+scheduling sub-problems — is exactly what makes the system *fault-isolable*:
+a failed component should degrade one fiber's throughput, never the whole
+interconnect.  A :class:`FaultPlan` is the declarative description of which
+components fail and when, in slot time, so that a faulted run is exactly
+reproducible from one seed:
+
+* :class:`ChannelOutage` — output channel ``(fiber, wavelength)`` goes dark
+  for ``[start, start + duration)`` slots.  Dark channels flow into the
+  ``(N, k)`` availability mask, so schedulers route around them exactly like
+  Section-V occupied channels; connections already holding the channel are
+  not preempted (non-disturb darkness).
+* :class:`ConverterDegradation` — the wavelength converters of one *input*
+  fiber lose reach: conversion degree ``d = e + f + 1`` collapses to
+  ``d' = e' + f' + 1``, down to fixed-wavelength operation (``e' = f' = 0``,
+  ``d' = 1``).  Requests from that input see correspondingly narrowed
+  request-graph intervals.
+* :class:`ShardCrash` — the service worker owning one output fiber dies at
+  ``slot``.  Only the :mod:`repro.service` layer interprets crashes (the
+  simulation engines model the optical datapath, which has no workers);
+  see :mod:`repro.service.supervisor` for restart/checkpoint semantics.
+
+Plans are immutable; :meth:`FaultPlan.random` draws a reproducible plan from
+one seed, which is what the chaos harness (``tests/test_chaos.py``) runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.util.validation import (
+    check_index,
+    check_nonnegative_int,
+    check_positive_int,
+)
+
+__all__ = [
+    "ChannelOutage",
+    "ConverterDegradation",
+    "ShardCrash",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ChannelOutage:
+    """Output channel ``(fiber, wavelength)`` is dark for ``duration`` slots
+    starting at ``start`` (half-open interval ``[start, start + duration)``)."""
+
+    fiber: int
+    wavelength: int
+    start: int
+    duration: int
+
+    def active_at(self, slot: int) -> bool:
+        return self.start <= slot < self.start + self.duration
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ConverterDegradation:
+    """Input fiber ``input_fiber``'s converters lose reach for ``duration``
+    slots from ``start``: effective reach becomes ``(min(e, scheme.e),
+    min(f, scheme.f))``.  ``e = f = 0`` is fixed-wavelength operation."""
+
+    input_fiber: int
+    start: int
+    duration: int
+    e: int = 0
+    f: int = 0
+
+    def active_at(self, slot: int) -> bool:
+        return self.start <= slot < self.start + self.duration
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ShardCrash:
+    """The service shard owning output fiber ``fiber`` crashes at ``slot``,
+    losing its in-memory channel state (a supervisor may restore it from a
+    checkpoint; see :mod:`repro.service.supervisor`)."""
+
+    fiber: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, validated collection of timed fault events.
+
+    Build one explicitly from events, or draw a reproducible randomized plan
+    with :meth:`random`.  The plan itself is pure data; a
+    :class:`~repro.faults.injector.FaultInjector` answers the per-slot
+    queries the engines and the service need.
+    """
+
+    outages: tuple[ChannelOutage, ...] = ()
+    degradations: tuple[ConverterDegradation, ...] = ()
+    crashes: tuple[ShardCrash, ...] = ()
+    #: Free-form provenance (seed, generator parameters) for reports.
+    meta: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.outages) + len(self.degradations) + len(self.crashes)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.n_events == 0
+
+    @property
+    def has_degradations(self) -> bool:
+        return bool(self.degradations)
+
+    @property
+    def has_crashes(self) -> bool:
+        return bool(self.crashes)
+
+    def validate(self, n_fibers: int, k: int) -> "FaultPlan":
+        """Raise :class:`InvalidParameterError` unless every event fits an
+        ``n_fibers × k`` interconnect; returns the plan for chaining."""
+        check_positive_int(n_fibers, "n_fibers")
+        check_positive_int(k, "k")
+        for ev in self.outages:
+            check_index(ev.fiber, n_fibers, "outage fiber")
+            check_index(ev.wavelength, k, "outage wavelength")
+            check_nonnegative_int(ev.start, "outage start")
+            check_positive_int(ev.duration, "outage duration")
+        for ev in self.degradations:
+            check_index(ev.input_fiber, n_fibers, "degradation input_fiber")
+            check_nonnegative_int(ev.start, "degradation start")
+            check_positive_int(ev.duration, "degradation duration")
+            check_nonnegative_int(ev.e, "degradation e")
+            check_nonnegative_int(ev.f, "degradation f")
+        for ev in self.crashes:
+            check_index(ev.fiber, n_fibers, "crash fiber")
+            check_nonnegative_int(ev.slot, "crash slot")
+        return self
+
+    def horizon(self) -> int:
+        """One past the last slot any event is active (0 for an empty plan)."""
+        ends: list[int] = []
+        ends.extend(ev.start + ev.duration for ev in self.outages)
+        ends.extend(ev.start + ev.duration for ev in self.degradations)
+        ends.extend(ev.slot + 1 for ev in self.crashes)
+        return max(ends, default=0)
+
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """Union of two plans (events concatenated, sorted)."""
+        return FaultPlan(
+            outages=tuple(sorted(self.outages + other.outages)),
+            degradations=tuple(sorted(self.degradations + other.degradations)),
+            crashes=tuple(sorted(self.crashes + other.crashes)),
+            meta={**self.meta, **other.meta},
+        )
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Iterable[ChannelOutage | ConverterDegradation | ShardCrash],
+    ) -> "FaultPlan":
+        """Sort a mixed event iterable into a plan."""
+        outages: list[ChannelOutage] = []
+        degradations: list[ConverterDegradation] = []
+        crashes: list[ShardCrash] = []
+        for ev in events:
+            if isinstance(ev, ChannelOutage):
+                outages.append(ev)
+            elif isinstance(ev, ConverterDegradation):
+                degradations.append(ev)
+            elif isinstance(ev, ShardCrash):
+                crashes.append(ev)
+            else:
+                raise InvalidParameterError(f"unknown fault event {ev!r}")
+        return cls(
+            outages=tuple(sorted(outages)),
+            degradations=tuple(sorted(degradations)),
+            crashes=tuple(sorted(crashes)),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_fibers: int,
+        k: int,
+        horizon: int,
+        *,
+        n_outages: int = 4,
+        n_degradations: int = 1,
+        n_crashes: int = 1,
+        max_outage_slots: int = 20,
+        max_degradation_slots: int = 30,
+    ) -> "FaultPlan":
+        """Draw a randomized-but-reproducible plan from one seed.
+
+        Every event starts in ``[0, horizon)``; outage/degradation lengths
+        are uniform in ``[1, max_*_slots]``.  Degraded reach ``(e', f')`` is
+        uniform over the sub-degrees down to fixed-wavelength ``d' = 1``.
+        The draw order is fixed, so one ``(seed, shape)`` pair always yields
+        the same plan — the chaos harness depends on this.
+        """
+        check_positive_int(n_fibers, "n_fibers")
+        check_positive_int(k, "k")
+        check_positive_int(horizon, "horizon")
+        rng = np.random.default_rng(seed)
+        outages = tuple(
+            sorted(
+                ChannelOutage(
+                    fiber=int(rng.integers(n_fibers)),
+                    wavelength=int(rng.integers(k)),
+                    start=int(rng.integers(horizon)),
+                    duration=int(rng.integers(1, max_outage_slots + 1)),
+                )
+                for _ in range(check_nonnegative_int(n_outages, "n_outages"))
+            )
+        )
+        degradations = tuple(
+            sorted(
+                ConverterDegradation(
+                    input_fiber=int(rng.integers(n_fibers)),
+                    start=int(rng.integers(horizon)),
+                    duration=int(rng.integers(1, max_degradation_slots + 1)),
+                    e=int(rng.integers(0, 2)),
+                    f=int(rng.integers(0, 2)),
+                )
+                for _ in range(
+                    check_nonnegative_int(n_degradations, "n_degradations")
+                )
+            )
+        )
+        crashes = tuple(
+            sorted(
+                ShardCrash(
+                    fiber=int(rng.integers(n_fibers)),
+                    slot=int(rng.integers(horizon)),
+                )
+                for _ in range(check_nonnegative_int(n_crashes, "n_crashes"))
+            )
+        )
+        return cls(
+            outages=outages,
+            degradations=degradations,
+            crashes=crashes,
+            meta={"seed": seed, "horizon": horizon},
+        )

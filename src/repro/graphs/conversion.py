@@ -77,6 +77,26 @@ class ConversionScheme(ABC):
         """Whether every wavelength can convert to every wavelength."""
         return self.degree == self._k and isinstance(self, CircularConversion)
 
+    # -- degradation ----------------------------------------------------------
+
+    def degraded(self, e: int, f: int) -> "ConversionScheme":
+        """This scheme with converter reach capped at ``(e, f)``.
+
+        Models a partially failed limited-range converter (see
+        :mod:`repro.faults`): the effective reach is ``(min(self.e, e),
+        min(self.f, f))``, down to fixed-wavelength conversion ``d' = 1`` at
+        ``e = f = 0``.  Returns ``self`` when the cap does not bind, and
+        always a scheme of the same circular/non-circular family (a degraded
+        full-range converter becomes a plain circular limited-range one).
+        """
+        e2 = min(self._e, check_nonnegative_int(e, "e"))
+        f2 = min(self._f, check_nonnegative_int(f, "f"))
+        if e2 == self._e and f2 == self._f:
+            return self
+        if isinstance(self, CircularConversion):
+            return CircularConversion(self._k, e2, f2)
+        return NonCircularConversion(self._k, e2, f2)
+
     # -- adjacency ------------------------------------------------------------
 
     @abstractmethod

@@ -30,7 +30,14 @@ See ``docs/SERVICE.md`` for the architecture and
 ``benchmarks/bench_service.py`` for throughput/latency numbers.
 """
 
-from repro.service.client import LoadGenerator, LoadReport, SchedulingClient
+from repro.service.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.service.client import (
+    LoadGenerator,
+    LoadReport,
+    RetryBudget,
+    RetryPolicy,
+    SchedulingClient,
+)
 from repro.service.queue import BoundedQueue, Offer, OverflowPolicy
 from repro.service.server import (
     ExecutionMode,
@@ -40,6 +47,7 @@ from repro.service.server import (
     ServiceGrant,
 )
 from repro.service.shard import ShardWorker
+from repro.service.supervisor import ShardSupervisor, SupervisorConfig
 from repro.service.telemetry import (
     Counter,
     Gauge,
@@ -50,6 +58,9 @@ from repro.service.telemetry import (
 
 __all__ = [
     "BoundedQueue",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
     "Counter",
     "ExecutionMode",
     "Gauge",
@@ -60,10 +71,14 @@ __all__ = [
     "OverflowPolicy",
     "Rejected",
     "RejectReason",
+    "RetryBudget",
+    "RetryPolicy",
     "SchedulingClient",
     "SchedulingService",
     "ServiceGrant",
+    "ShardSupervisor",
     "ShardWorker",
+    "SupervisorConfig",
     "Telemetry",
     "exponential_buckets",
 ]

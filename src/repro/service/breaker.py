@@ -1,0 +1,176 @@
+"""Per-shard circuit breakers for the scheduling service.
+
+A crashed or repeatedly timing-out shard should not keep absorbing requests
+that are doomed to fail — the breaker converts a failing shard's latency
+into an immediate, cheap refusal (``CIRCUIT_OPEN``) that retrying clients
+can back off from.  The classic three-state machine, driven by the server's
+deterministic slot-tick clock (no wall-clock reads, so chaos runs are
+exactly reproducible):
+
+* ``CLOSED`` — healthy.  Every failure increments a consecutive-failure
+  count; ``failure_threshold`` of them in a row opens the breaker.  Any
+  success resets the count.
+* ``OPEN`` — submissions are short-circuited without touching the shard.
+  After ``reset_ticks`` slot ticks the next submission is admitted as a
+  probe (the breaker moves to ``HALF_OPEN``).
+* ``HALF_OPEN`` — up to ``probe_limit`` requests pass through.
+  ``probe_successes`` granted/settled probes close the breaker; a single
+  failed probe reopens it and restarts the timer.
+
+State transitions are counted on the shared telemetry
+(``breaker.transitions.{opened,half_open,closed}``) and the current state
+is exported per shard (``shard.N.breaker_state``: 0 = closed,
+1 = half-open, 2 = open), so a dashboard shows flapping at a glance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.util.validation import check_nonnegative_int, check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.telemetry import Telemetry
+
+__all__ = ["BreakerState", "BreakerConfig", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """The three classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: Gauge encoding of the state (stable across releases; dashboards rely on it).
+_STATE_GAUGE = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Breaker tuning, in slot ticks (the service's deterministic clock).
+
+    ``failure_threshold`` consecutive failures open the breaker;
+    ``reset_ticks`` later the next submission probes (``HALF_OPEN``);
+    ``probe_successes`` successful probes (of at most ``probe_limit``
+    admitted concurrently) close it again.
+    """
+
+    failure_threshold: int = 3
+    reset_ticks: int = 5
+    probe_limit: int = 1
+    probe_successes: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.failure_threshold, "failure_threshold")
+        check_positive_int(self.reset_ticks, "reset_ticks")
+        check_positive_int(self.probe_limit, "probe_limit")
+        check_positive_int(self.probe_successes, "probe_successes")
+
+
+class CircuitBreaker:
+    """One breaker guarding one shard; driven entirely by tick time."""
+
+    def __init__(
+        self,
+        config: BreakerConfig,
+        telemetry: "Telemetry | None" = None,
+        shard: int | None = None,
+    ) -> None:
+        self.config = config
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at_tick = 0
+        self._probes_admitted = 0
+        self._probe_successes = 0
+        if telemetry is not None:
+            self._opened = telemetry.counter("breaker.transitions.opened")
+            self._half = telemetry.counter("breaker.transitions.half_open")
+            self._closed = telemetry.counter("breaker.transitions.closed")
+            self._state_gauge = (
+                telemetry.gauge(f"shard.{shard}.breaker_state")
+                if shard is not None
+                else None
+            )
+        else:
+            self._opened = self._half = self._closed = None
+            self._state_gauge = None
+
+    # -- state transitions ---------------------------------------------------
+
+    def _enter(self, state: BreakerState, tick: int) -> None:
+        self.state = state
+        if state is BreakerState.OPEN:
+            self._opened_at_tick = tick
+            self._consecutive_failures = 0
+            if self._opened is not None:
+                self._opened.inc()
+        elif state is BreakerState.HALF_OPEN:
+            self._probes_admitted = 0
+            self._probe_successes = 0
+            if self._half is not None:
+                self._half.inc()
+        else:
+            self._consecutive_failures = 0
+            if self._closed is not None:
+                self._closed.inc()
+        if self._state_gauge is not None:
+            self._state_gauge.set(_STATE_GAUGE[state])
+
+    # -- protocol ------------------------------------------------------------
+
+    def allow(self, tick: int) -> bool:
+        """Whether a submission may proceed at ``tick``.
+
+        Refusals are free of side effects: an open breaker's rejections do
+        not count as failures (they never reached the shard).
+        """
+        check_nonnegative_int(tick, "tick")
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if tick - self._opened_at_tick < self.config.reset_ticks:
+                return False
+            self._enter(BreakerState.HALF_OPEN, tick)
+        # HALF_OPEN: admit a bounded number of probes.
+        if self._probes_admitted < self.config.probe_limit:
+            self._probes_admitted += 1
+            return True
+        return False
+
+    def record_success(self, tick: int) -> None:
+        """A request that passed :meth:`allow` settled successfully."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.probe_successes:
+                self._enter(BreakerState.CLOSED, tick)
+        elif self.state is BreakerState.CLOSED:
+            self._consecutive_failures = 0
+
+    def record_failure(self, tick: int) -> None:
+        """A request that passed :meth:`allow` failed (timeout, crash, ...)."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._enter(BreakerState.OPEN, tick)
+        elif self.state is BreakerState.CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.config.failure_threshold:
+                self._enter(BreakerState.OPEN, tick)
+        # OPEN: stragglers from before the trip carry no new information.
+
+    def force_open(self, tick: int) -> None:
+        """Trip immediately (the supervisor does this on a shard crash)."""
+        if self.state is not BreakerState.OPEN:
+            self._enter(BreakerState.OPEN, tick)
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state.value}, "
+            f"failures={self._consecutive_failures})"
+        )

@@ -1,4 +1,4 @@
-"""In-process client API and a traffic-model load generator.
+"""In-process client API, retrying submission, and a load generator.
 
 :class:`SchedulingClient` is the thin call-site facade
 (``submit(request) -> ServiceGrant | Rejected``); :class:`LoadGenerator`
@@ -6,6 +6,15 @@ drives a service with the simulator's own traffic models
 (:mod:`repro.sim.traffic`), one model slot per service tick, and reports
 sustained request rate, grant rate, and exact grant-latency percentiles —
 the numbers ``benchmarks/bench_service.py`` sweeps over shard counts.
+
+:meth:`SchedulingClient.submit_with_retry` adds the client half of the
+fault story (``docs/ROBUSTNESS.md``): transient refusals — full queues,
+drops, timeouts, down shards, open breakers — are retried with exponential
+backoff and *full jitter* (``delay ~ U(0, min(max_delay, base·2^attempt))``,
+the AWS-style scheme that de-correlates synchronized retry storms), under a
+shared :class:`RetryBudget` so a mass outage cannot amplify itself through
+retries.  Contention and source-blocked rejections are **not** retried by
+default: they are the scheduler's verdict for this slot, not a fault.
 """
 
 from __future__ import annotations
@@ -16,24 +25,126 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.distributed import SlotRequest
+from repro.errors import InvalidParameterError
 from repro.service.server import (
     Rejected,
     RejectReason,
     SchedulingService,
     ServiceGrant,
 )
+from repro.service.telemetry import exponential_buckets
 from repro.sim.traffic import TrafficModel
 from repro.util.rng import make_rng
 from repro.util.validation import check_positive_int
 
-__all__ = ["SchedulingClient", "LoadReport", "LoadGenerator"]
+__all__ = [
+    "RetryPolicy",
+    "RetryBudget",
+    "SchedulingClient",
+    "LoadReport",
+    "LoadGenerator",
+]
+
+#: Rejection reasons that are transient faults, worth retrying.
+RETRYABLE_REASONS = frozenset(
+    {
+        RejectReason.QUEUE_FULL,
+        RejectReason.DROPPED,
+        RejectReason.TIMED_OUT,
+        RejectReason.SHARD_DOWN,
+        RejectReason.CIRCUIT_OPEN,
+    }
+)
+
+#: Attempt-count histogram buckets (1 … 32 attempts).
+_ATTEMPT_BUCKETS = exponential_buckets(1.0, 2.0, 6)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter.
+
+    ``max_attempts`` bounds total tries (first attempt included); the sleep
+    before retry ``i`` (0-based) is drawn uniformly from
+    ``[0, min(max_delay, base_delay * 2**i)]``.  ``retryable`` defaults to
+    the transient-fault reasons (:data:`RETRYABLE_REASONS`).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.001
+    max_delay: float = 0.05
+    retryable: frozenset[RejectReason] = RETRYABLE_REASONS
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_attempts, "max_attempts")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise InvalidParameterError(
+                f"delays must be >= 0, got base={self.base_delay}, "
+                f"max={self.max_delay}"
+            )
+
+    def delay(self, attempt: int, rng) -> float:
+        """Jittered sleep before retry number ``attempt`` (0-based)."""
+        cap = min(self.max_delay, self.base_delay * (2.0**attempt))
+        return float(rng.uniform(0.0, cap)) if cap > 0 else 0.0
+
+
+class RetryBudget:
+    """A shared token bucket that caps total retry amplification.
+
+    Every retry spends one token; every successful first-try-or-retried
+    grant refills ``refill_per_success`` tokens (capped at the initial
+    ``tokens``).  When the bucket is empty, clients stop retrying and
+    surface the rejection — the standard guard against retry storms making
+    an outage worse.  One budget is typically shared by every client of a
+    service.
+    """
+
+    def __init__(
+        self, tokens: float = 100.0, refill_per_success: float = 0.1
+    ) -> None:
+        if tokens <= 0:
+            raise InvalidParameterError(f"tokens must be > 0, got {tokens}")
+        if refill_per_success < 0:
+            raise InvalidParameterError(
+                f"refill_per_success must be >= 0, got {refill_per_success}"
+            )
+        self.capacity = float(tokens)
+        self.tokens = float(tokens)
+        self.refill_per_success = float(refill_per_success)
+
+    def try_spend(self) -> bool:
+        """Take one token if available; False means stop retrying."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def refill(self) -> None:
+        self.tokens = min(self.capacity, self.tokens + self.refill_per_success)
+
+    def __repr__(self) -> str:
+        return f"RetryBudget(tokens={self.tokens:.1f}/{self.capacity:.0f})"
 
 
 class SchedulingClient:
-    """Submit requests to a running :class:`SchedulingService`."""
+    """Submit requests to a running :class:`SchedulingService`.
 
-    def __init__(self, service: SchedulingService) -> None:
+    ``seed`` feeds the retry jitter (deterministic chaos runs); telemetry
+    for retries lands on the *service's* registry (``client.retries``,
+    ``client.retry_exhausted``, ``client.attempts``) so one snapshot shows
+    both sides of the conversation.
+    """
+
+    def __init__(
+        self, service: SchedulingService, seed: int | None = None
+    ) -> None:
         self.service = service
+        self._rng = make_rng(seed)
+        t = service.telemetry
+        self._c_retries = t.counter("client.retries")
+        self._c_retry_exhausted = t.counter("client.retry_exhausted")
+        self._h_attempts = t.histogram("client.attempts", _ATTEMPT_BUCKETS)
 
     async def submit(
         self, request: SlotRequest, timeout: float | None = None
@@ -50,6 +161,49 @@ class SchedulingClient:
         ]
         return list(await asyncio.gather(*futures))
 
+    async def submit_with_retry(
+        self,
+        request: SlotRequest,
+        timeout: float | None = None,
+        policy: RetryPolicy | None = None,
+        budget: RetryBudget | None = None,
+    ) -> ServiceGrant | Rejected:
+        """Submit with backoff+jitter retries on transient-fault rejections.
+
+        Returns the grant, the first non-retryable rejection, or — when
+        attempts or the shared budget run out — the *last* rejection seen,
+        so the caller always learns the terminal reason.  Each submission
+        is a fresh request as far as the service is concerned; deadlines
+        (``timeout``) apply per attempt.
+        """
+        policy = policy if policy is not None else RetryPolicy()
+        attempts = 0
+        while True:
+            outcome = await self.service.submit(request, timeout)
+            attempts += 1
+            if isinstance(outcome, ServiceGrant):
+                if budget is not None:
+                    budget.refill()
+                break
+            if outcome.reason not in policy.retryable:
+                break
+            if attempts >= policy.max_attempts:
+                self._c_retry_exhausted.inc()
+                break
+            if budget is not None and not budget.try_spend():
+                self._c_retry_exhausted.inc()
+                break
+            self._c_retries.inc()
+            delay = policy.delay(attempts - 1, self._rng)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            else:
+                # Zero-delay retries still yield, so manually driven ticks
+                # (tests, chaos drills) can interleave with the retry loop.
+                await asyncio.sleep(0)
+        self._h_attempts.observe(attempts)
+        return outcome
+
 
 @dataclass
 class LoadReport:
@@ -64,6 +218,9 @@ class LoadReport:
     timed_out: int
     slots: int
     wall_seconds: float
+    #: Fault-path rejections (zero in a fault-free run).
+    shard_down: int = 0
+    circuit_open: int = 0
     #: Exact per-request submit→grant latencies, seconds, sorted ascending.
     grant_latencies: list[float] = field(repr=False, default_factory=list)
 
@@ -179,5 +336,7 @@ class LoadGenerator:
             timed_out=counts[RejectReason.TIMED_OUT],
             slots=n_slots,
             wall_seconds=wall,
+            shard_down=counts[RejectReason.SHARD_DOWN],
+            circuit_open=counts[RejectReason.CIRCUIT_OPEN],
             grant_latencies=latencies,
         )

@@ -24,7 +24,7 @@ from collections import deque
 from typing import Deque, Generic, Iterator, TypeVar
 
 from repro.errors import InvalidParameterError
-from repro.util.validation import check_positive_int
+from repro.util.validation import check_nonnegative_int
 
 __all__ = ["OverflowPolicy", "Offer", "BoundedQueue"]
 
@@ -62,7 +62,10 @@ class BoundedQueue(Generic[T]):
     """FIFO queue with a capacity and an :class:`OverflowPolicy`.
 
     ``capacity=None`` means unbounded (the equivalence tests and the
-    simulator-parity mode use this: no admission losses).
+    simulator-parity mode use this: no admission losses).  ``capacity=0``
+    is a legal degenerate queue that admits nothing — useful for fencing a
+    shard off entirely; under ``DROP_OLDEST`` there is no head to evict, so
+    the newcomer is refused instead.
     """
 
     def __init__(
@@ -71,7 +74,7 @@ class BoundedQueue(Generic[T]):
         policy: OverflowPolicy = OverflowPolicy.REJECT,
     ) -> None:
         if capacity is not None:
-            check_positive_int(capacity, "capacity")
+            check_nonnegative_int(capacity, "capacity")
         if not isinstance(policy, OverflowPolicy):
             raise InvalidParameterError(
                 f"policy must be an OverflowPolicy, got {policy!r}"
@@ -99,7 +102,7 @@ class BoundedQueue(Generic[T]):
         if not self.full:
             self._items.append(item)
             return Offer(True)
-        if self.policy is OverflowPolicy.DROP_OLDEST:
+        if self.policy is OverflowPolicy.DROP_OLDEST and self._items:
             evicted = self._items.popleft()
             self._items.append(item)
             return Offer(True, evicted)

@@ -51,14 +51,23 @@ from repro.core.distributed import (
     validate_slot_request,
 )
 from repro.core.policies import FixedPriorityPolicy, GrantPolicy
-from repro.errors import InvalidParameterError, SimulationError
+from repro.errors import InvalidParameterError, ShardDownError, SimulationError
+from repro.faults import (
+    ChannelOutage,
+    ConverterDegradation,
+    FaultInjector,
+    FaultPlan,
+    as_injector,
+)
 from repro.graphs.conversion import (
     CircularConversion,
     ConversionScheme,
     NonCircularConversion,
 )
+from repro.service.breaker import BreakerConfig, CircuitBreaker
 from repro.service.queue import BoundedQueue, OverflowPolicy
 from repro.service.shard import ShardWorker
+from repro.service.supervisor import ShardSupervisor, SupervisorConfig
 from repro.service.telemetry import Telemetry, exponential_buckets
 from repro.types import Grant
 from repro.util.validation import check_positive_int
@@ -114,6 +123,10 @@ class RejectReason(enum.Enum):
     TIMED_OUT = "timed_out"
     #: Service stopped with the request still queued.
     SHUTDOWN = "shutdown"
+    #: The owning shard worker is down (crashed, not yet restarted).
+    SHARD_DOWN = "shard_down"
+    #: Short-circuited by the shard's open circuit breaker.
+    CIRCUIT_OPEN = "circuit_open"
 
 
 @dataclass(frozen=True, slots=True)
@@ -184,6 +197,21 @@ class SchedulingService:
         width for the non-inline modes.
     telemetry:
         Optional shared :class:`Telemetry` registry (default: private).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` / shared injector.
+        Channel outages darken shard channels, converter degradations
+        narrow the affected inputs' schemes, and shard crashes kill the
+        owning worker at the scheduled tick (the supervisor restarts it;
+        see ``docs/ROBUSTNESS.md``).  ``VECTORIZED`` mode rejects plans
+        with degradations (one batch kernel, one scheme).
+    breaker:
+        Optional :class:`~repro.service.breaker.BreakerConfig`; when given,
+        every shard gets a circuit breaker and submissions to a tripped
+        shard fast-fail as ``CIRCUIT_OPEN``.
+    supervisor:
+        :class:`~repro.service.supervisor.SupervisorConfig` tuning for
+        crash detection/restart (a supervisor always runs; this only
+        changes its timing).
     """
 
     def __init__(
@@ -201,6 +229,9 @@ class SchedulingService:
         mode: ExecutionMode = ExecutionMode.INLINE,
         max_workers: int | None = None,
         telemetry: Telemetry | None = None,
+        faults: "FaultInjector | FaultPlan | None" = None,
+        breaker: BreakerConfig | None = None,
+        supervisor: SupervisorConfig | None = None,
     ) -> None:
         self.n_fibers = check_positive_int(n_fibers, "n_fibers")
         self.scheme = scheme
@@ -220,10 +251,26 @@ class SchedulingService:
         self.mode = mode
         self.max_workers = max_workers
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._faults = as_injector(faults, self.n_fibers, scheme.k)
+        if (
+            mode is ExecutionMode.VECTORIZED
+            and self._faults is not None
+            and self._faults.has_degradations
+        ):
+            raise InvalidParameterError(
+                "VECTORIZED mode runs one batch kernel with one scheme and "
+                "cannot express per-input converter degradation; use INLINE "
+                "or THREADS for plans with ConverterDegradation events"
+            )
 
         if mode is ExecutionMode.VECTORIZED:
             self._batch_kernel = self._select_batch_kernel(scheme)
 
+        # Kept for shard restarts: a replacement worker gets a fresh
+        # scheduler from the factory (or the shared stateless one).
+        self._scheduler = scheduler
+        self._scheduler_factory = scheduler_factory
+        self.supervisor = ShardSupervisor(supervisor, self.telemetry)
         self.shards: list[ShardWorker] = []
         for o in range(self.n_fibers):
             shard_scheduler = (
@@ -240,6 +287,14 @@ class SchedulingService:
                     self.telemetry,
                 )
             )
+        self.breakers: list[CircuitBreaker] | None = (
+            [
+                CircuitBreaker(breaker, self.telemetry, shard=o)
+                for o in range(self.n_fibers)
+            ]
+            if breaker is not None
+            else None
+        )
         # Input-side busy state (blocked-at-source admission): remaining
         # slots each input channel is held by a granted connection.
         self._in_busy = [[0] * scheme.k for _ in range(self.n_fibers)]
@@ -257,6 +312,13 @@ class SchedulingService:
         self._c_dropped = t.counter("server.dropped")
         self._c_timed_out = t.counter("server.timed_out")
         self._c_shutdown = t.counter("server.shutdown")
+        self._c_shard_down = t.counter("server.rejected.shard_down")
+        self._c_circuit_open = t.counter("server.rejected.circuit_open")
+        self._c_shard_crashes = t.counter("server.shard_crashes")
+        self._c_fault_outages = t.counter("faults.outages")
+        self._c_fault_degradations = t.counter("faults.degradations")
+        self._c_fault_crashes = t.counter("faults.crashes")
+        self._g_dark = t.gauge("faults.dark_channels")
         self._c_ticks = t.counter("server.ticks")
         self._h_latency = t.histogram("server.grant_latency_seconds")
         self._h_tick = t.histogram("server.tick_seconds", _TICK_BUCKETS)
@@ -308,6 +370,23 @@ class SchedulingService:
         pending = _Pending(request, future, deadline, time.perf_counter())
         self._c_submitted.inc()
         shard = self.shards[request.output_fiber]
+        breaker = (
+            self.breakers[request.output_fiber]
+            if self.breakers is not None
+            else None
+        )
+        # Fault fast-paths, checked before the request touches the shard:
+        # an open breaker short-circuits for free (not a shard failure —
+        # the shard never saw the request); a down shard is a failure the
+        # breaker counts, which is what eventually trips it.
+        if breaker is not None and not breaker.allow(self._slot):
+            self._resolve_rejected(pending, RejectReason.CIRCUIT_OPEN)
+            return future
+        if shard.down:
+            if breaker is not None:
+                breaker.record_failure(self._slot)
+            self._resolve_rejected(pending, RejectReason.SHARD_DOWN)
+            return future
         shard.offered.inc()
         offer = shard.queue.offer(pending)
         if offer.evicted is not None:
@@ -345,9 +424,77 @@ class SchedulingService:
             RejectReason.DROPPED: self._c_dropped,
             RejectReason.TIMED_OUT: self._c_timed_out,
             RejectReason.SHUTDOWN: self._c_shutdown,
+            RejectReason.SHARD_DOWN: self._c_shard_down,
+            RejectReason.CIRCUIT_OPEN: self._c_circuit_open,
         }[reason]
         counter.inc()
         self._resolve(pending, Rejected(pending.request, reason, slot))
+
+    # -- crash / restart ----------------------------------------------------
+
+    def _crash_shard(
+        self, shard: ShardWorker, slot: int, cause: BaseException | None
+    ) -> None:
+        """A shard died (injected or organic): record it, trip its breaker,
+        fail its queued requests fast with ``SHARD_DOWN``."""
+        if not shard.down:
+            shard.crash(cause)
+        o = shard.output_fiber
+        self.supervisor.record_crash(o, slot)
+        self._c_shard_crashes.inc()
+        if self.breakers is not None:
+            self.breakers[o].force_open(slot)
+        for p in shard.queue.drain():
+            self._resolve_rejected(p, RejectReason.SHARD_DOWN, slot)
+        shard.update_depth_gauge()
+
+    def _restart_shard(self, output_fiber: int, slot: int) -> None:
+        """Spawn a replacement worker seeded with the supervisor's aged
+        checkpoint (the queue object survives the worker — it lives in the
+        server, like a socket outliving the process behind it)."""
+        old = self.shards[output_fiber]
+        shard_scheduler = (
+            self._scheduler_factory()
+            if self._scheduler_factory is not None
+            else self._scheduler
+        )
+        assert shard_scheduler is not None
+        worker = ShardWorker(
+            output_fiber,
+            self.scheme,
+            shard_scheduler,
+            self.policy,
+            old.queue,
+            self.telemetry,
+        )
+        worker.restore(
+            self.supervisor.restore_busy(output_fiber, slot, self.scheme.k)
+        )
+        self.shards[output_fiber] = worker
+        self.supervisor.mark_restarted(output_fiber)
+
+    def _apply_faults(self, slot: int) -> "dict[int, tuple[int, int]] | None":
+        """Step 0 of a tick: heal due restarts, then apply this slot's
+        injected faults.  Returns the active converter degradations."""
+        for o in self.supervisor.due_for_restart(slot):
+            self._restart_shard(o, slot)
+        if self._faults is None:
+            return None
+        for ev in self._faults.starting_at(slot):
+            if isinstance(ev, ChannelOutage):
+                self._c_fault_outages.inc()
+            elif isinstance(ev, ConverterDegradation):
+                self._c_fault_degradations.inc()
+            else:
+                self._c_fault_crashes.inc()
+        for ev in self._faults.crashes_at(slot):
+            self._crash_shard(self.shards[ev.fiber], slot, None)
+        mask = self._faults.dark_mask(slot)
+        any_dark = bool(mask.any())
+        self._g_dark.set(int(mask.sum()))
+        for shard in self.shards:
+            shard.set_dark(mask[shard.output_fiber] if any_dark else None)
+        return self._faults.degradations_at(slot) or None
 
     # -- one slot tick ------------------------------------------------------
 
@@ -360,6 +507,9 @@ class SchedulingService:
         now = loop.time()
         slot = self._slot
 
+        # 0: supervision heal + injected faults for this slot.
+        degradations = self._apply_faults(slot)
+
         # 1 + 2: drain queues and run admission, shards in fiber order.
         work: list[tuple[ShardWorker, list[_Pending]]] = []
         seen_inputs: set[tuple[int, int]] = set()
@@ -371,6 +521,10 @@ class SchedulingService:
                 r = p.request
                 if p.deadline is not None and now >= p.deadline:
                     self._resolve_rejected(p, RejectReason.TIMED_OUT, slot)
+                    if self.breakers is not None:
+                        # A timed-out request is a shard that was too slow —
+                        # the breaker counts it against the shard's health.
+                        self.breakers[shard.output_fiber].record_failure(slot)
                 elif (
                     self._in_busy[r.input_fiber][r.wavelength] > 0
                     or (r.input_fiber, r.wavelength) in seen_inputs
@@ -382,23 +536,48 @@ class SchedulingService:
             if survivors:
                 work.append((shard, survivors))
 
-        # 3: fan out the per-shard scheduling.
+        # 3: fan out the per-shard scheduling.  A shard whose scheduler
+        # raises is a crashed shard (ShardDownError, original defect on the
+        # chain) — it is isolated to a None outcome so the other shards'
+        # grants still commit this tick.
+        outcomes: list[
+            tuple[list[GrantedRequest], list[SlotRequest]] | None
+        ]
         if not work:
-            outcomes: list[tuple[list[GrantedRequest], list[SlotRequest]]] = []
+            outcomes = []
         elif self.mode is ExecutionMode.INLINE or len(work) == 1:
-            outcomes = [
-                shard.schedule([p.request for p in pendings])[1:]
-                for shard, pendings in work
-            ]
+            outcomes = []
+            for shard, pendings in work:
+                try:
+                    outcomes.append(
+                        shard.schedule(
+                            [p.request for p in pendings], degradations
+                        )[1:]
+                    )
+                except ShardDownError as exc:
+                    self._crash_shard(shard, slot, exc)
+                    outcomes.append(None)
         elif self.mode is ExecutionMode.THREADS:
             pool = self._ensure_pool()
             tasks: list[Awaitable] = [
                 loop.run_in_executor(
-                    pool, shard.schedule, [p.request for p in pendings]
+                    pool,
+                    shard.schedule,
+                    [p.request for p in pendings],
+                    degradations,
                 )
                 for shard, pendings in work
             ]
-            outcomes = [res[1:] for res in await asyncio.gather(*tasks)]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            outcomes = []
+            for (shard, pendings), res in zip(work, results):
+                if isinstance(res, ShardDownError):
+                    self._crash_shard(shard, slot, res)
+                    outcomes.append(None)
+                elif isinstance(res, BaseException):
+                    raise res
+                else:
+                    outcomes.append(res[1:])
         else:  # VECTORIZED
             pool = self._ensure_pool()
             outcomes = await loop.run_in_executor(
@@ -407,12 +586,25 @@ class SchedulingService:
 
         # 4: commit grants, resolve futures.
         n_granted = 0
-        for (shard, pendings), (granted, rejected) in zip(work, outcomes):
+        for (shard, pendings), outcome in zip(work, outcomes):
+            if outcome is None:
+                # The shard died mid-tick; its drained survivors fail fast.
+                for p in pendings:
+                    self._resolve_rejected(p, RejectReason.SHARD_DOWN, slot)
+                    if self.breakers is not None:
+                        self.breakers[shard.output_fiber].record_failure(slot)
+                continue
+            granted, rejected = outcome
             shard.commit(granted)
             shard.record_rejected(len(rejected))
             by_input = {
                 (p.request.input_fiber, p.request.wavelength): p for p in pendings
             }
+            breaker = (
+                self.breakers[shard.output_fiber]
+                if self.breakers is not None
+                else None
+            )
             for g in granted:
                 r = g.request
                 self._in_busy[r.input_fiber][r.wavelength] = r.duration
@@ -420,6 +612,8 @@ class SchedulingService:
                 self._c_granted.inc()
                 self._h_latency.observe(time.perf_counter() - p.submitted_at)
                 self._resolve(p, ServiceGrant(r, g.channel, slot))
+                if breaker is not None:
+                    breaker.record_success(slot)
                 n_granted += 1
             for r in rejected:
                 self._resolve_rejected(
@@ -427,11 +621,19 @@ class SchedulingService:
                     RejectReason.CONTENTION,
                     slot,
                 )
+                if breaker is not None:
+                    # Losing contention is a *healthy* outcome — the shard
+                    # answered; it counts toward closing, not opening.
+                    breaker.record_success(slot)
 
         # 5: advance clocks and record tick telemetry.
         self._h_occupancy.observe(sum(s.occupancy for s in self.shards))
         for shard in self.shards:
-            shard.advance()
+            if not shard.down:
+                shard.advance()
+                self.supervisor.note_checkpoint(
+                    shard.output_fiber, slot + 1, shard.busy_snapshot()
+                )
         for row in self._in_busy:
             for w, left in enumerate(row):
                 if left > 0:

@@ -13,6 +13,12 @@ once, so the outcome counters partition the offered load::
 
     submitted == granted + rejected_contention + rejected_source
                + rejected_queue_full + dropped + timed_out + shutdown
+               + shard_down + circuit_open
+
+The last two terms are fault-path outcomes (see :mod:`repro.faults` and
+``docs/ROBUSTNESS.md``): requests refused because the owning shard was down,
+or short-circuited by that shard's open circuit breaker.  Both are zero in a
+fault-free run, reducing the invariant to its original form.
 """
 
 from __future__ import annotations

@@ -27,7 +27,8 @@ import numpy as np
 from repro.core.base import Scheduler
 from repro.core.distributed import DistributedScheduler, SlotRequest
 from repro.core.policies import GrantPolicy, RandomPolicy
-from repro.errors import SimulationError
+from repro.errors import InvalidParameterError, SimulationError
+from repro.faults import FaultInjector, FaultPlan, as_injector
 from repro.graphs.conversion import ConversionScheme
 from repro.sim.metrics import MetricsCollector
 from repro.sim.packet import Packet
@@ -61,6 +62,15 @@ class SlottedSimulator:
         requires an optimal scheduler), then new requests fill the rest.
     seed:
         Master seed; spawns independent traffic and policy streams.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or a shared
+        :class:`~repro.faults.FaultInjector`).  Channel outages darken
+        output channels — new grants route around them exactly like
+        Section-V occupied channels, while in-flight connections complete.
+        Converter degradations narrow the affected inputs' request-graph
+        windows.  Shard-crash events are a service-layer concept and are
+        ignored by the engines.  Incompatible with ``disturb=True`` (the
+        rescheduling invariant assumes a stable band).
     """
 
     def __init__(
@@ -73,6 +83,7 @@ class SlottedSimulator:
         disturb: bool = False,
         seed: int | None = None,
         parallel: bool = False,
+        faults: "FaultInjector | FaultPlan | None" = None,
     ) -> None:
         self.n_fibers = check_positive_int(n_fibers, "n_fibers")
         self.scheme = scheme
@@ -83,6 +94,13 @@ class SlottedSimulator:
             )
         self.traffic = traffic
         self.disturb = bool(disturb)
+        self._faults = as_injector(faults, self.n_fibers, scheme.k)
+        if self.disturb and self._faults is not None:
+            raise InvalidParameterError(
+                "disturb=True cannot be combined with fault injection: "
+                "rescheduling ongoing connections assumes every channel may "
+                "be reused, which dark channels violate"
+            )
         traffic_rng, policy_rng = spawn_rngs(seed, 2)
         self._traffic_rng = traffic_rng
         if policy is None:
@@ -166,6 +184,16 @@ class SlottedSimulator:
             availability = self._reschedule_ongoing()
         else:
             availability = self._availability()
+        dark = None
+        degradations = None
+        if self._faults is not None:
+            dark = self._faults.dark_mask(slot)
+            if dark.any():
+                # A dark channel is indistinguishable from an occupied one to
+                # the schedulers — grants route around it (graceful
+                # degradation); connections already on it complete.
+                availability = availability & ~dark
+            degradations = self._faults.degradations_at(slot) or None
 
         requests = [
             SlotRequest(
@@ -180,7 +208,14 @@ class SlottedSimulator:
         by_key = {
             (p.input_fiber, p.wavelength): p for p in submitted_packets
         }
-        schedule = self.distributed.schedule_slot(requests, availability)
+        if degradations:
+            schedule = self.distributed.schedule_slot(
+                requests, availability, degradations=degradations
+            )
+        else:
+            # Keep the historical two-argument call shape so wrappers that
+            # instrument schedule_slot (equivalence tests) keep working.
+            schedule = self.distributed.schedule_slot(requests, availability)
 
         granted_inputs: list[int] = []
         granted_durations: list[int] = []
@@ -190,6 +225,11 @@ class SlottedSimulator:
             if self._out_busy[r.output_fiber, g.channel] > 0:
                 raise SimulationError(
                     f"scheduler assigned occupied channel ({r.output_fiber}, "
+                    f"{g.channel}) in slot {slot}"
+                )
+            if dark is not None and dark[r.output_fiber, g.channel]:
+                raise SimulationError(
+                    f"scheduler assigned dark channel ({r.output_fiber}, "
                     f"{g.channel}) in slot {slot}"
                 )
             self._out_busy[r.output_fiber, g.channel] = r.duration
@@ -210,6 +250,7 @@ class SlottedSimulator:
             "submitted": len(submitted_packets),
             "granted": len(granted_inputs),
             "busy_channels": int(np.count_nonzero(self._out_busy)),
+            "dark_channels": int(dark.sum()) if dark is not None else 0,
             "granted_inputs": granted_inputs,
             "granted_priorities": granted_priorities,
             "granted_durations": granted_durations,
@@ -259,5 +300,8 @@ class SlottedSimulator:
             "traffic": type(self.traffic).__name__,
             "offered_load": self.traffic.offered_load,
             "disturb": self.disturb,
+            "fault_events": (
+                self._faults.plan.n_events if self._faults is not None else 0
+            ),
         }
         return SimulationResult(config=config, metrics=metrics, warmup_slots=warmup)

@@ -43,6 +43,7 @@ from repro.core.batch_bfa import batch_break_first_available
 from repro.core.memo import ScheduleCache, resolve_cache
 from repro.core.policies import GrantPolicy, RandomPolicy
 from repro.errors import SimulationError
+from repro.faults import FaultInjector, FaultPlan, as_injector
 from repro.graphs.conversion import (
     CircularConversion,
     ConversionScheme,
@@ -76,6 +77,14 @@ class FastPacketSimulator:
     default :class:`~repro.core.memo.ScheduleCache`, ``None``/``False`` =
     off, or a private instance).  Purely a speed knob: results are
     bit-identical either way.
+
+    ``faults`` accepts a :class:`~repro.faults.FaultPlan` (or shared
+    injector) of *channel outages only*: dark channels enter the kernels'
+    availability mask, so a pure-outage plan keeps the fast engine
+    bit-identical to the full engine.  Converter degradation is per-input
+    and cannot be expressed in the one-scheme batch kernels — plans carrying
+    it are rejected here (use :class:`~repro.sim.engine.SlottedSimulator`);
+    shard-crash events are service-layer-only and ignored.
     """
 
     def __init__(
@@ -87,6 +96,7 @@ class FastPacketSimulator:
         vectorized_arrivals: bool = False,
         policy: GrantPolicy | None = None,
         cache: ScheduleCache | bool | None = True,
+        faults: "FaultInjector | FaultPlan | None" = None,
     ) -> None:
         self.n_fibers = check_positive_int(n_fibers, "n_fibers")
         if not isinstance(scheme, (CircularConversion, NonCircularConversion)):
@@ -100,6 +110,14 @@ class FastPacketSimulator:
                 f"interconnect is {self.n_fibers}×{scheme.k}"
             )
         self.traffic = traffic
+        self._faults = as_injector(faults, self.n_fibers, scheme.k)
+        if self._faults is not None and self._faults.has_degradations:
+            raise SimulationError(
+                "the fast path's batch kernels schedule one conversion "
+                "scheme for all inputs and cannot express per-input "
+                "converter degradation; use SlottedSimulator for plans "
+                "with ConverterDegradation events"
+            )
         self.vectorized_arrivals = bool(vectorized_arrivals)
         if self.vectorized_arrivals:
             from repro.sim.traffic import BernoulliTraffic, UniformDestinations
@@ -165,6 +183,49 @@ class FastPacketSimulator:
             req, avail, self.scheme.e, self.scheme.f, check=False
         )
 
+    def _validate_row(
+        self,
+        row: np.ndarray,
+        req_row: np.ndarray,
+        avail_row: np.ndarray | None,
+    ) -> None:
+        """Trust boundary for the batch kernels (mirrors
+        :func:`~repro.core.base.validate_schedule` on the row encoding).
+
+        Rejects grants to unavailable channels, grants outside the scheme's
+        conversion window, and per-wavelength overgrants.  Runs once per
+        cache miss, so the steady-state cost is near zero.
+        """
+        k = self.k
+        e, f = self.scheme.e, self.scheme.f
+        circular = isinstance(self.scheme, CircularConversion)
+        counts: dict[int, int] = {}
+        for b, w in enumerate(row.tolist()):
+            if w < 0:
+                continue
+            if avail_row is not None and not avail_row[b]:
+                raise SimulationError(
+                    f"batch kernel granted unavailable channel {b} "
+                    f"(wavelength {w})"
+                )
+            if circular:
+                off = (b - w) % k
+                adjacent = off <= f or off >= k - e
+            else:
+                adjacent = -e <= b - w <= f
+            if not adjacent:
+                raise SimulationError(
+                    f"batch kernel granted channel {b} outside wavelength "
+                    f"{w}'s conversion window"
+                )
+            counts[w] = counts.get(w, 0) + 1
+        for w, c in counts.items():
+            if c > int(req_row[w]):
+                raise SimulationError(
+                    f"batch kernel granted {c} channels for wavelength {w} "
+                    f"with only {int(req_row[w])} requests"
+                )
+
     @staticmethod
     def _parse_row(row: np.ndarray) -> tuple[dict[int, list[int]], int]:
         """``(granted channels keyed by wavelength, grant count)`` of a
@@ -190,9 +251,14 @@ class FastPacketSimulator:
             sub = self._schedule_matrix(
                 req[active], None if avail is None else avail[active]
             )
-            return {
-                int(o): self._parse_row(sub[j]) for j, o in enumerate(active)
-            }
+            out: dict[int, tuple[dict[int, list[int]], int]] = {}
+            for j, o in enumerate(active):
+                o = int(o)
+                self._validate_row(
+                    sub[j], req[o], None if avail is None else avail[o]
+                )
+                out[o] = self._parse_row(sub[j])
+            return out
 
         rows_out: dict[int, tuple[dict[int, list[int]], int]] = {}
         misses: list[tuple[int, tuple]] = []
@@ -214,6 +280,9 @@ class FastPacketSimulator:
                 req[idx], None if avail is None else avail[idx]
             )
             for (o, key), row in zip(misses, sub):
+                self._validate_row(
+                    row, req[o], None if avail is None else avail[o]
+                )
                 value = self._parse_row(row)
                 self._row_cache.put(key, value)
                 rows_out[o] = value
@@ -221,11 +290,13 @@ class FastPacketSimulator:
 
     # -- single-slot regime (stateless slots) -------------------------------
 
-    def _step_single_slot(self, batch: ArrivalBatch) -> dict[str, object]:
+    def _step_single_slot(
+        self, batch: ArrivalBatch, dark: np.ndarray | None
+    ) -> dict[str, object]:
         req = np.zeros((self.n_fibers, self.k), dtype=np.int64)
         if batch.n:
             np.add.at(req, (batch.output_fiber, batch.wavelength), 1)
-        rows = self._assign_rows(req, None)
+        rows = self._assign_rows(req, None if dark is None else ~dark)
         granted = sum(count for _, count in rows.values())
         return {
             "offered": batch.n,
@@ -241,7 +312,9 @@ class FastPacketSimulator:
 
     # -- multi-slot regime (residual occupancy carried across slots) --------
 
-    def _step_multislot(self, batch: ArrivalBatch) -> dict[str, object]:
+    def _step_multislot(
+        self, batch: ArrivalBatch, dark: np.ndarray | None
+    ) -> dict[str, object]:
         n = batch.n
         in_f, wl = batch.input_fiber, batch.wavelength
         if n:
@@ -271,7 +344,14 @@ class FastPacketSimulator:
         req = np.zeros((self.n_fibers, self.k), dtype=np.int64)
         if in_s.size:
             np.add.at(req, (out_s, wl_s), 1)
-        assign_rows = self._assign_rows(req, self._out_busy == 0)
+        avail = self._out_busy == 0
+        if dark is not None:
+            # Dark channels behave exactly like Section-V occupied channels:
+            # the kernels route new grants around them, in-flight
+            # connections complete — same rule as the full engine, which is
+            # what keeps pure-outage plans bit-identical across engines.
+            avail &= ~dark
+        assign_rows = self._assign_rows(req, avail)
 
         # Group the submitted requests by (output, wavelength) — plain-Python
         # lists, cheap next to the per-output scheduling they replace.  The
@@ -315,8 +395,28 @@ class FastPacketSimulator:
                     granted_inputs.append(fiber)
                     granted_durations.append(by_fiber[fiber])
 
-        # Commit all grants at once; nothing reads occupancy mid-loop.
+        # Commit all grants at once; nothing reads occupancy mid-loop.  The
+        # duplicate/occupied checks are the same last-line defense the full
+        # engine applies before mutating its busy matrices.
         if granted_inputs:
+            committed: set[tuple[int, int]] = set()
+            for o, ch in zip(g_out, g_ch):
+                if (o, ch) in committed:
+                    raise SimulationError(
+                        f"two grants committed to output channel ({o}, {ch}) "
+                        f"in slot {self._slot - 1}"
+                    )
+                committed.add((o, ch))
+                if self._out_busy[o, ch] > 0:
+                    raise SimulationError(
+                        f"grant committed to occupied channel ({o}, {ch}) "
+                        f"in slot {self._slot - 1}"
+                    )
+                if dark is not None and dark[o, ch]:
+                    raise SimulationError(
+                        f"grant committed to dark channel ({o}, {ch}) "
+                        f"in slot {self._slot - 1}"
+                    )
             self._out_busy[g_out, g_ch] = granted_durations
             self._in_busy[granted_inputs, g_wl] = granted_durations
         busy = int(np.count_nonzero(self._out_busy))
@@ -338,11 +438,17 @@ class FastPacketSimulator:
 
     def step(self) -> dict[str, object]:
         """One slot: array arrivals → request matrix → one batch schedule."""
-        batch = self.traffic.arrivals_batch(self._slot, self._traffic_rng)
+        slot = self._slot
+        batch = self.traffic.arrivals_batch(slot, self._traffic_rng)
         self._slot += 1
+        dark = None
+        if self._faults is not None:
+            mask = self._faults.dark_mask(slot)
+            if mask.any():
+                dark = mask
         if self._single_slot:
-            return self._step_single_slot(batch)
-        return self._step_multislot(batch)
+            return self._step_single_slot(batch, dark)
+        return self._step_multislot(batch, dark)
 
     # -- full runs -----------------------------------------------------------
 
@@ -393,5 +499,8 @@ class FastPacketSimulator:
             "traffic": type(self.traffic).__name__,
             "offered_load": self.traffic.offered_load,
             "disturb": False,
+            "fault_events": (
+                self._faults.plan.n_events if self._faults is not None else 0
+            ),
         }
         return SimulationResult(config=config, metrics=metrics, warmup_slots=warmup)

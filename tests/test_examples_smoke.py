@@ -45,6 +45,12 @@ class TestExamples:
         assert "grant latency" in out
         assert "conservation check" in out
 
+    def test_chaos_demo(self, capsys):
+        out = _run("chaos_demo.py", capsys)
+        assert "restarted 1x" in out
+        assert "retries through the outage" in out
+        assert "conservation check under chaos" in out
+
     def test_all_examples_importable(self):
         """Every example parses (catches syntax rot in the slow ones too)."""
         for script in sorted(EXAMPLES.glob("*.py")):

@@ -1,14 +1,17 @@
 """Failure-injection tests: defective schedulers must be caught, not
 propagated into wrong simulation results."""
 
+import numpy as np
 import pytest
 
 from repro.core.base import Scheduler, validate_schedule
 from repro.core.distributed import DistributedScheduler, SlotRequest
 from repro.errors import ScheduleError, SimulationError
+from repro.faults import ChannelOutage, FaultPlan
 from repro.graphs.conversion import CircularConversion
 from repro.graphs.request_graph import RequestGraph
 from repro.sim.engine import SlottedSimulator
+from repro.sim.fast import FastPacketSimulator
 from repro.sim.traffic import BernoulliTraffic
 from repro.types import Grant, ScheduleResult
 
@@ -126,3 +129,98 @@ class TestDistributedRejectsEvilSchedulers:
         ds = DistributedScheduler(2, scheme, _EvilScheduler(grants_fn))
         with pytest.raises(Exception):
             ds.schedule_slot([SlotRequest(0, 0, 0)])
+
+
+class _EvilFastSimulator(FastPacketSimulator):
+    """A fast engine whose batch kernel has an injected defect.
+
+    The kernel's row encoding (``row[b] = wavelength or -1``) cannot even
+    express the duplicate-channel defect, so the fast-engine parity of the
+    _EvilScheduler tests covers the remaining defect classes: grants on
+    masked/dark (unavailable) channels, grants outside the conversion
+    window, and per-wavelength overgrants — each must die in
+    ``_validate_row``, never flow into the metrics.
+    """
+
+    def __init__(self, *args, defect, **kwargs):
+        # cache off: validation runs on every row, and the defective rows
+        # must never be published to the shared process-wide cache.
+        kwargs.setdefault("cache", False)
+        super().__init__(*args, **kwargs)
+        self._defect = defect
+
+    def _schedule_matrix(self, req, avail):
+        assign = super()._schedule_matrix(req, avail)
+        return self._defect(assign, req, avail)
+
+
+class TestFastEngineRejectsEvilKernels:
+    def _sim(self, defect, faults=None):
+        scheme = CircularConversion(6, 1, 1)
+        return _EvilFastSimulator(
+            2,
+            scheme,
+            BernoulliTraffic(2, scheme.k, 1.0),
+            seed=3,
+            defect=defect,
+            faults=faults,
+        )
+
+    def _run_expect_raise(self, sim, match):
+        with pytest.raises(SimulationError, match=match):
+            for _ in range(10):
+                sim.step()
+
+    def test_unavailable_channel_grant_detected(self):
+        # Force a grant onto a channel the availability mask forbids —
+        # with an injected outage, "unavailable" includes dark channels.
+        def defect(assign, req, avail):
+            if avail is not None:
+                rows, cols = np.nonzero(~avail)
+                if rows.size:
+                    assign = assign.copy()
+                    r, b = int(rows[0]), int(cols[0])
+                    w = b  # same-wavelength grant: inside the window
+                    if req[r, w] > 0:
+                        assign[r, b] = w
+            return assign
+
+        plan = FaultPlan(
+            outages=tuple(
+                ChannelOutage(fib, w, start=0, duration=10)
+                for fib in range(2)
+                for w in range(3)
+            )
+        )
+        sim = self._sim(defect, faults=plan)
+        self._run_expect_raise(sim, "unavailable")
+
+    def test_out_of_window_grant_detected(self):
+        def defect(assign, req, avail):
+            assign = assign.copy()
+            for i in range(assign.shape[0]):
+                ws = np.nonzero(req[i])[0]
+                if ws.size:
+                    w = int(ws[0])
+                    # e = f = 1: channel w+3 (mod k) is out of reach.
+                    assign[i, (w + 3) % req.shape[1]] = w
+            return assign
+
+        self._run_expect_raise(self._sim(defect), "window")
+
+    def test_overgrant_detected(self):
+        def defect(assign, req, avail):
+            assign = assign.copy()
+            for i in range(assign.shape[0]):
+                ws = np.nonzero(req[i])[0]
+                if ws.size:
+                    w = int(ws[0])
+                    k = req.shape[1]
+                    # Grant w's whole window: one more than requested at
+                    # full load is an overgrant.
+                    for b in ((w - 1) % k, w, (w + 1) % k):
+                        if avail is None or avail[i, b]:
+                            assign[i, b] = w
+            return assign
+
+        self._run_expect_raise(self._sim(defect), "only")

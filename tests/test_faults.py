@@ -1,0 +1,288 @@
+"""Unit tests for the fault model: plans, injectors, degraded schemes,
+and degraded-mode scheduling in the core distributed path."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedScheduler, SlotRequest
+from repro import BreakFirstAvailableScheduler
+from repro.errors import InvalidParameterError, SimulationError
+from repro.faults import (
+    ChannelOutage,
+    ConverterDegradation,
+    FaultInjector,
+    FaultPlan,
+    ShardCrash,
+    as_injector,
+)
+from repro.graphs.conversion import (
+    CircularConversion,
+    FullRangeConversion,
+    NonCircularConversion,
+)
+from repro.sim.engine import SlottedSimulator
+from repro.sim.fast import FastPacketSimulator
+from repro.sim.duration import GeometricDuration
+from repro.sim.traffic import BernoulliTraffic
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert plan.n_events == 0
+        assert plan.horizon() == 0
+        assert not plan.has_degradations and not plan.has_crashes
+
+    def test_event_windows_half_open(self):
+        ev = ChannelOutage(fiber=0, wavelength=3, start=5, duration=2)
+        assert not ev.active_at(4)
+        assert ev.active_at(5) and ev.active_at(6)
+        assert not ev.active_at(7)
+
+    def test_validate_rejects_out_of_range_events(self):
+        bad = [
+            FaultPlan(outages=(ChannelOutage(9, 0, 0, 1),)),
+            FaultPlan(outages=(ChannelOutage(0, 9, 0, 1),)),
+            FaultPlan(outages=(ChannelOutage(0, 0, 0, 0),)),
+            FaultPlan(degradations=(ConverterDegradation(9, 0, 1),)),
+            FaultPlan(crashes=(ShardCrash(9, 0),)),
+        ]
+        for plan in bad:
+            with pytest.raises(InvalidParameterError):
+                plan.validate(4, 6)
+
+    def test_horizon_is_one_past_last_activity(self):
+        plan = FaultPlan(
+            outages=(ChannelOutage(0, 0, 10, 5),),
+            crashes=(ShardCrash(1, 20),),
+        )
+        assert plan.horizon() == 21
+
+    def test_merge_and_from_events(self):
+        a = FaultPlan.from_events([ChannelOutage(0, 0, 0, 1)])
+        b = FaultPlan.from_events(
+            [ConverterDegradation(1, 2, 3), ShardCrash(0, 4)]
+        )
+        merged = a.merge(b)
+        assert merged.n_events == 3
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.from_events(["not-an-event"])
+
+    def test_random_is_reproducible(self):
+        kwargs = dict(n_fibers=4, k=8, horizon=50)
+        assert FaultPlan.random(7, **kwargs) == FaultPlan.random(7, **kwargs)
+        assert FaultPlan.random(7, **kwargs) != FaultPlan.random(8, **kwargs)
+
+    def test_random_respects_counts(self):
+        plan = FaultPlan.random(
+            3, 4, 8, 40, n_outages=5, n_degradations=2, n_crashes=3
+        )
+        assert len(plan.outages) == 5
+        assert len(plan.degradations) == 2
+        assert len(plan.crashes) == 3
+        plan.validate(4, 8)
+
+
+class TestFaultInjector:
+    def _injector(self):
+        plan = FaultPlan(
+            outages=(
+                ChannelOutage(0, 2, start=3, duration=4),
+                ChannelOutage(1, 5, start=0, duration=2),
+            ),
+            degradations=(
+                ConverterDegradation(2, start=1, duration=10, e=1, f=0),
+                ConverterDegradation(2, start=5, duration=2, e=0, f=1),
+            ),
+            crashes=(ShardCrash(1, 6),),
+        )
+        return FaultInjector(plan, n_fibers=4, k=8)
+
+    def test_dark_mask_tracks_active_windows(self):
+        inj = self._injector()
+        m0 = inj.dark_mask(0)
+        assert m0[1, 5] and not m0[0, 2]
+        m3 = inj.dark_mask(3)
+        assert m3[0, 2] and not m3[1, 5]
+        assert inj.n_dark(3) == 1
+        assert inj.n_dark(100) == 0
+
+    def test_dark_mask_memoized_per_slot(self):
+        inj = self._injector()
+        assert inj.dark_mask(3) is inj.dark_mask(3)
+
+    def test_degradations_compose_by_min(self):
+        inj = self._injector()
+        assert inj.degradations_at(0) == {}
+        assert inj.degradations_at(2) == {2: (1, 0)}
+        # Overlap of (1,0) and (0,1) -> element-wise min (0,0).
+        assert inj.degradations_at(5) == {2: (0, 0)}
+
+    def test_crashes_and_starting_at(self):
+        inj = self._injector()
+        assert [c.fiber for c in inj.crashes_at(6)] == [1]
+        assert inj.crashes_at(5) == ()
+        assert len(inj.starting_at(0)) == 1  # the slot-0 outage
+        assert len(inj.starting_at(6)) == 1  # the crash
+
+    def test_as_injector_coercion(self):
+        plan = FaultPlan(outages=(ChannelOutage(0, 0, 0, 1),))
+        assert as_injector(None, 4, 8) is None
+        inj = as_injector(plan, 4, 8)
+        assert isinstance(inj, FaultInjector)
+        assert as_injector(inj, 4, 8) is inj
+        with pytest.raises(InvalidParameterError):
+            as_injector(inj, 4, 9)
+        with pytest.raises(InvalidParameterError):
+            as_injector("nope", 4, 8)
+
+
+class TestDegradedScheme:
+    def test_non_binding_cap_returns_self(self):
+        scheme = CircularConversion(8, 1, 1)
+        assert scheme.degraded(1, 1) is scheme
+        assert scheme.degraded(5, 5) is scheme
+
+    def test_binding_cap_narrows_reach(self):
+        eff = CircularConversion(8, 2, 2).degraded(1, 0)
+        assert isinstance(eff, CircularConversion)
+        assert (eff.e, eff.f) == (1, 0)
+
+    def test_fixed_wavelength_floor(self):
+        eff = NonCircularConversion(8, 1, 1).degraded(0, 0)
+        assert isinstance(eff, NonCircularConversion)
+        assert (eff.e, eff.f) == (0, 0)
+        assert eff.adjacency(3) == (3,)
+
+    def test_degraded_full_range_is_plain_circular(self):
+        eff = FullRangeConversion(8).degraded(1, 1)
+        assert isinstance(eff, CircularConversion)
+        assert (eff.e, eff.f) == (1, 1)
+
+
+class TestDegradedScheduling:
+    """Degraded converters narrow the request graph, never widen it."""
+
+    def _slot(self, degradations, seed_requests):
+        scheme = CircularConversion(8, 1, 1)
+        ds = DistributedScheduler(4, scheme, BreakFirstAvailableScheduler())
+        return ds.schedule_slot(seed_requests, degradations=degradations)
+
+    def test_grants_respect_narrowed_window(self):
+        # Input 0 degraded to fixed-wavelength: its request at λ3 may only
+        # take output channel 3.
+        requests = [SlotRequest(0, 3, 0), SlotRequest(1, 3, 0)]
+        schedule = self._slot({0: (0, 0)}, requests)
+        for g in schedule.granted:
+            if g.request.input_fiber == 0:
+                assert g.channel == 3
+
+    def test_no_degradation_means_identical_schedule(self):
+        scheme = CircularConversion(8, 1, 1)
+        requests = [
+            SlotRequest(i, w, i % 4)
+            for i in range(4)
+            for w in range(0, 8, 3)
+        ]
+        ds = DistributedScheduler(4, scheme, BreakFirstAvailableScheduler())
+        base = ds.schedule_slot(requests)
+        # A non-binding degradation map must not perturb the schedule.
+        same = ds.schedule_slot(requests, degradations={0: (1, 1)})
+        assert sorted(
+            (g.request, g.channel) for g in base.granted
+        ) == sorted((g.request, g.channel) for g in same.granted)
+
+    def test_degradation_never_grants_outside_nominal_window(self):
+        scheme = CircularConversion(8, 1, 1)
+        ds = DistributedScheduler(4, scheme, BreakFirstAvailableScheduler())
+        requests = [SlotRequest(i, w, 0) for i in range(4) for w in (1, 4, 7)]
+        schedule = ds.schedule_slot(
+            requests, degradations={1: (0, 1), 2: (0, 0)}
+        )
+        for g in schedule.granted:
+            assert scheme.can_convert(g.request.wavelength, g.channel)
+
+
+class TestEngineFaultWiring:
+    def test_dark_channels_reduce_grants(self):
+        scheme = CircularConversion(6, 1, 1)
+
+        def run(faults):
+            return SlottedSimulator(
+                3,
+                scheme,
+                BreakFirstAvailableScheduler(),
+                BernoulliTraffic(3, 6, 1.0),
+                seed=11,
+                faults=faults,
+            ).run(30)
+
+        dark_all = FaultPlan(
+            outages=tuple(
+                ChannelOutage(fib, w, start=0, duration=30)
+                for fib in range(3)
+                for w in range(5)
+            )
+        )
+        base = run(None)
+        faulted = run(dark_all)
+        assert (
+            faulted.metrics.granted_series().sum()
+            < base.metrics.granted_series().sum()
+        )
+
+    def test_engines_bit_identical_under_pure_outage_plan(self):
+        scheme = CircularConversion(8, 1, 1)
+        plan = FaultPlan.random(
+            5, 4, 8, 40, n_outages=6, n_degradations=0, n_crashes=0
+        )
+
+        def traffic():
+            # Multi-slot connections so outages interact with held channels
+            # (and the fast engine's full per-input attribution path runs).
+            return BernoulliTraffic(
+                4, 8, 0.8, durations=GeometricDuration(2.5)
+            )
+
+        full = SlottedSimulator(
+            4,
+            scheme,
+            BreakFirstAvailableScheduler(),
+            traffic(),
+            seed=17,
+            faults=plan,
+        ).run(60)
+        fast = FastPacketSimulator(
+            4, scheme, traffic(), seed=17, faults=plan
+        ).run(60)
+        assert np.array_equal(
+            full.metrics.granted_series(), fast.metrics.granted_series()
+        )
+        assert full.summary() == fast.summary()
+
+    def test_fast_engine_rejects_degradation_plans(self):
+        plan = FaultPlan(
+            degradations=(ConverterDegradation(0, 0, 10, e=0, f=0),)
+        )
+        with pytest.raises(SimulationError):
+            FastPacketSimulator(
+                4,
+                CircularConversion(8, 1, 1),
+                BernoulliTraffic(4, 8, 0.5),
+                seed=0,
+                faults=plan,
+            )
+
+    def test_engine_rejects_disturb_with_faults(self):
+        plan = FaultPlan(outages=(ChannelOutage(0, 0, 0, 5),))
+        with pytest.raises(InvalidParameterError):
+            SlottedSimulator(
+                4,
+                CircularConversion(8, 1, 1),
+                BreakFirstAvailableScheduler(),
+                BernoulliTraffic(4, 8, 0.5),
+                seed=0,
+                disturb=True,
+                faults=plan,
+            )

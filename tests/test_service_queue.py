@@ -42,7 +42,7 @@ class TestBasics:
 
     def test_invalid_capacity(self):
         with pytest.raises(InvalidParameterError):
-            BoundedQueue(capacity=0)
+            BoundedQueue(capacity=-1)
 
     def test_invalid_policy(self):
         with pytest.raises(InvalidParameterError):
@@ -81,3 +81,34 @@ class TestOverflowPolicies:
         q.drain(1)
         assert q.offer("new").accepted
         assert q.drain() == ["mid", "new"]
+
+
+class TestDegenerateCapacities:
+    """Capacity 0 and 1 — the edge cases fault drills lean on (a service
+    under backpressure can legitimately be configured to buffer nothing)."""
+
+    @pytest.mark.parametrize("policy", list(OverflowPolicy))
+    def test_capacity_zero_accepts_nothing(self, policy):
+        q = BoundedQueue(capacity=0, policy=policy)
+        assert q.full and q.depth == 0
+        offer = q.offer("x")
+        assert not offer.accepted
+        # DROP_OLDEST has no head to evict — it must refuse the newcomer,
+        # not crash or evict a phantom.
+        assert offer.evicted is None
+        assert q.drain() == []
+
+    def test_capacity_one_reject(self):
+        q = BoundedQueue(capacity=1, policy=OverflowPolicy.REJECT)
+        assert q.offer("a").accepted
+        assert not q.offer("b").accepted
+        assert q.drain() == ["a"]
+
+    def test_capacity_one_drop_oldest_churns(self):
+        q = BoundedQueue(capacity=1, policy=OverflowPolicy.DROP_OLDEST)
+        assert q.offer("a").accepted
+        offer = q.offer("b")
+        assert offer.accepted and offer.evicted == "a"
+        offer = q.offer("c")
+        assert offer.accepted and offer.evicted == "b"
+        assert q.drain() == ["c"]

@@ -1,10 +1,13 @@
-"""Tests for the service telemetry primitives and registry."""
+"""Tests for the service telemetry primitives and registry, and for the
+fault-path instrumentation (breaker transitions, supervisor restarts)."""
 
 import threading
 
 import pytest
 
 from repro.errors import InvalidParameterError
+from repro.service.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.service.supervisor import ShardSupervisor, SupervisorConfig
 from repro.service.telemetry import (
     Counter,
     Gauge,
@@ -138,3 +141,100 @@ class TestRegistry:
         assert "server.granted" in text
         assert "server.slot" in text
         assert "server.lat" in text and "p99" in text
+
+
+class TestBreakerTelemetry:
+    def _breaker(self, **cfg):
+        t = Telemetry()
+        cfg.setdefault("failure_threshold", 2)
+        cfg.setdefault("reset_ticks", 3)
+        return t, CircuitBreaker(BreakerConfig(**cfg), t, shard=0)
+
+    def test_full_cycle_counts_every_transition(self):
+        t, b = self._breaker()
+        assert b.state is BreakerState.CLOSED
+        assert t.gauge("shard.0.breaker_state").value == 0
+        b.record_failure(0)
+        b.record_failure(0)  # threshold 2 -> OPEN
+        assert b.state is BreakerState.OPEN
+        assert t.gauge("shard.0.breaker_state").value == 2
+        assert not b.allow(1)  # still inside reset_ticks
+        assert b.allow(3)  # probe admitted -> HALF_OPEN
+        assert t.gauge("shard.0.breaker_state").value == 1
+        b.record_success(3)  # probe succeeded -> CLOSED
+        assert b.state is BreakerState.CLOSED
+        counters = t.snapshot()["counters"]
+        assert counters["breaker.transitions.opened"] == 1
+        assert counters["breaker.transitions.half_open"] == 1
+        assert counters["breaker.transitions.closed"] == 1
+
+    def test_failed_probe_reopens(self):
+        t, b = self._breaker()
+        b.force_open(0)
+        assert b.allow(3)
+        b.record_failure(3)
+        assert b.state is BreakerState.OPEN
+        assert t.snapshot()["counters"]["breaker.transitions.opened"] == 2
+        # The reset timer restarted at the failed probe's tick.
+        assert not b.allow(4)
+        assert b.allow(6)
+
+    def test_probe_limit_bounds_half_open_admissions(self):
+        _, b = self._breaker(probe_limit=2, probe_successes=2)
+        b.force_open(0)
+        assert b.allow(3) and b.allow(3)
+        assert not b.allow(3)  # third concurrent probe refused
+        b.record_success(3)
+        assert b.state is BreakerState.HALF_OPEN  # needs 2 successes
+        b.record_success(3)
+        assert b.state is BreakerState.CLOSED
+
+    def test_success_resets_consecutive_failures(self):
+        _, b = self._breaker(failure_threshold=2)
+        b.record_failure(0)
+        b.record_success(0)
+        b.record_failure(1)
+        assert b.state is BreakerState.CLOSED
+
+    def test_open_refusals_are_side_effect_free(self):
+        t, b = self._breaker()
+        b.force_open(0)
+        for _ in range(10):
+            assert not b.allow(1)
+        assert t.snapshot()["counters"]["breaker.transitions.opened"] == 1
+
+
+class TestSupervisorTelemetry:
+    def test_restart_counter_and_aged_restore(self):
+        t = Telemetry()
+        sup = ShardSupervisor(SupervisorConfig(restart_delay_ticks=2), t)
+        sup.note_checkpoint(0, tick=5, busy=[3, 0, 1])
+        sup.record_crash(0, tick=6)
+        assert sup.is_down(0) and sup.down_shards == (0,)
+        assert sup.due_for_restart(7) == ()
+        assert sup.due_for_restart(8) == (0,)
+        # Aged by the 3 ticks since the checkpoint, floored at zero.
+        assert sup.restore_busy(0, tick=8, k=3) == [0, 0, 0]
+        assert sup.restore_busy(0, tick=6, k=3) == [2, 0, 0]
+        sup.mark_restarted(0)
+        assert not sup.is_down(0)
+        assert t.snapshot()["counters"]["server.shard_restarts"] == 1
+
+    def test_down_shard_not_checkpointed(self):
+        sup = ShardSupervisor()
+        sup.note_checkpoint(1, tick=4, busy=[2])
+        sup.record_crash(1, tick=4)
+        sup.note_checkpoint(1, tick=5, busy=[9])  # ignored: shard is down
+        assert sup.checkpoint_of(1) == (4, [2])
+
+    def test_no_checkpoint_restores_all_free(self):
+        sup = ShardSupervisor()
+        sup.record_crash(2, tick=0)
+        assert sup.restore_busy(2, tick=1, k=4) == [0, 0, 0, 0]
+
+    def test_checkpoint_interval_skips_off_ticks(self):
+        sup = ShardSupervisor(SupervisorConfig(checkpoint_interval=3))
+        sup.note_checkpoint(0, tick=2, busy=[1])
+        assert sup.checkpoint_of(0) is None
+        sup.note_checkpoint(0, tick=3, busy=[2])
+        assert sup.checkpoint_of(0) == (3, [2])
