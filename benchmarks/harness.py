@@ -1,6 +1,6 @@
-"""Deterministic perf-regression harness (``BENCH_PR4.json``).
+"""Deterministic perf-regression harness (``BENCH_PR5.json``).
 
-Runs a small, fixed-seed benchmark suite over the two layers this repo's
+Runs a small, fixed-seed benchmark suite over the layers this repo's
 performance story rests on and writes one JSON document per run:
 
 * ``kernel`` group — the NumPy batch kernels and the memoized schedulers.
@@ -11,11 +11,15 @@ performance story rests on and writes one JSON document per run:
   engine on the same seeded multi-slot traffic.  Not gated on absolute
   speed (CI machines vary) but on the *ratio*: the fast engine must stay at
   least ``--min-speedup`` (default 5×) ahead of the full engine.
+* ``service`` group — per-tick latency of the scheduling service with
+  durability off vs the in-memory write-ahead journal vs the file
+  backend.  Gated on the *ratio*: the in-memory journal must cost less
+  than ``--max-journal-overhead`` (default 10%) over durability off.
 
 Usage::
 
-    python benchmarks/harness.py --quick --out BENCH_PR4.json
-    python benchmarks/harness.py --quick --compare BENCH_PR4.json
+    python benchmarks/harness.py --quick --out BENCH_PR5.json
+    python benchmarks/harness.py --quick --compare BENCH_PR5.json
 
 The JSON layout::
 
@@ -26,9 +30,11 @@ The JSON layout::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -39,19 +45,24 @@ import numpy as np
 from repro.core.batch import batch_first_available
 from repro.core.batch_bfa import batch_break_first_available
 from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.core.distributed import SlotRequest
 from repro.core.memo import ScheduleCache
 from repro.faults import FaultPlan
 from repro.graphs.conversion import CircularConversion
 from repro.graphs.request_graph import RequestGraph
+from repro.service import DurabilityConfig, SchedulingService
 from repro.sim.duration import GeometricDuration
 from repro.sim.engine import SlottedSimulator
 from repro.sim.fast import FastPacketSimulator
 from repro.sim.traffic import BernoulliTraffic
+from repro.util.rng import make_rng
 
 KERNEL = "kernel"
 SIM = "sim"
+SERVICE = "service"
 REGRESSION_THRESHOLD = 0.30
 MIN_MULTISLOT_SPEEDUP = 5.0
+MAX_JOURNAL_OVERHEAD = 0.10
 
 
 def _time_calls(fn, calls: int) -> dict[str, float]:
@@ -242,18 +253,117 @@ def bench_faults(quick: bool) -> dict[str, dict]:
     }
 
 
+def bench_journal(quick: bool) -> dict[str, dict]:
+    """Durability overhead on the service tick path.
+
+    Runs the same seeded request schedule through three otherwise
+    identical services — durability off, in-memory write-ahead journal
+    (the default), and the file backend — ticking all three *inside the
+    same loop iteration* so machine-wide speed drift hits every variant
+    equally.  The gated number is the derived ``journal_mem_overhead``:
+    the median of the per-tick latency ratios (in-memory journal vs
+    durability off), which pairs each tick with its contemporaneous
+    baseline and so survives the run-to-run noise that sinks a
+    sequential A/B comparison.  It must stay within
+    ``--max-journal-overhead`` (default 10%).  The file backend is
+    reported for visibility only (disk speed varies wildly across CI
+    machines).
+    """
+    n_fibers, k = 8, 16
+    ticks = 200 if quick else 600
+    rng = make_rng(21)
+    schedule = []
+    for _tick in range(ticks):
+        slot_requests = []
+        for i in range(n_fibers):
+            for w in range(k):
+                if rng.random() < 0.5:
+                    slot_requests.append(
+                        SlotRequest(
+                            i,
+                            w,
+                            int(rng.integers(n_fibers)),
+                            duration=int(rng.integers(1, 4)),
+                        )
+                    )
+        schedule.append(slot_requests)
+    scheme = CircularConversion(k, 1, 1)
+
+    def run_paired(tmp) -> dict[str, np.ndarray]:
+        variants = {
+            "service_tick_nodur": False,
+            "service_tick_journal_mem": DurabilityConfig(snapshot_interval=16),
+            "service_tick_journal_file": DurabilityConfig(
+                snapshot_interval=16, backend="file", directory=tmp
+            ),
+        }
+
+        async def go():
+            services = {
+                name: SchedulingService(
+                    n_fibers, scheme, BreakFirstAvailableScheduler(),
+                    durability=durability,
+                )
+                for name, durability in variants.items()
+            }
+            samples = {
+                name: np.empty(ticks, dtype=float) for name in services
+            }
+            futures = []
+            for i, slot_requests in enumerate(schedule):
+                for name, service in services.items():
+                    for r in slot_requests:
+                        futures.append(service.submit_nowait(r))
+                    t0 = time.perf_counter()
+                    await service.tick()
+                    samples[name][i] = time.perf_counter() - t0
+            for service in services.values():
+                await service.drain()
+            await asyncio.gather(*futures)
+            for service in services.values():
+                await service.stop()
+            return samples
+
+        return asyncio.run(go())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        run_paired(tmp + "/warmup")  # imports, allocator, bytecode caches
+        samples = run_paired(tmp + "/run")
+    out = {}
+    for name, s in samples.items():
+        out[name] = {
+            "group": SERVICE,
+            "calls": ticks,
+            "ops_per_s": ticks / float(s.sum()),
+            "p50_s": float(np.percentile(s, 50)),
+            "p99_s": float(np.percentile(s, 99)),
+        }
+    out["service_tick_journal_mem"]["overhead_vs_nodur"] = float(
+        np.median(
+            samples["service_tick_journal_mem"]
+            / samples["service_tick_nodur"]
+        )
+        - 1.0
+    )
+    return out
+
+
 def run_suite(quick: bool) -> dict:
     benchmarks: dict[str, dict] = {}
     benchmarks.update(bench_kernels(quick))
     benchmarks.update(bench_scheduler_cache(quick))
     benchmarks.update(bench_sims(quick))
     benchmarks.update(bench_faults(quick))
+    benchmarks.update(bench_journal(quick))
     # Steady-state ratio: p50 excludes the fast engine's single cold-cache
     # call (its p99), which would otherwise drag a mean-based comparison.
     speedup = (
         benchmarks["full_sim_multislot"]["p50_s"]
         / benchmarks["fast_sim_multislot"]["p50_s"]
     )
+    journal_overhead = benchmarks["service_tick_journal_mem"][
+        "overhead_vs_nodur"
+    ]
     return {
         "meta": {
             "version": 1,
@@ -262,7 +372,10 @@ def run_suite(quick: bool) -> dict:
             "numpy": np.__version__,
         },
         "benchmarks": benchmarks,
-        "derived": {"multislot_speedup": speedup},
+        "derived": {
+            "multislot_speedup": speedup,
+            "journal_mem_overhead": journal_overhead,
+        },
     }
 
 
@@ -299,6 +412,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float,
                         default=MIN_MULTISLOT_SPEEDUP,
                         help="required fast/full multi-slot ratio (default 5)")
+    parser.add_argument("--max-journal-overhead", type=float,
+                        default=MAX_JOURNAL_OVERHEAD,
+                        help="allowed in-memory journal p50 tick-latency "
+                             "overhead vs durability off (default 0.10)")
     args = parser.parse_args(argv)
 
     result = run_suite(args.quick)
@@ -309,6 +426,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     speedup = result["derived"]["multislot_speedup"]
     print(f"multislot speedup (fast vs full engine): {speedup:.1f}x")
+    journal_overhead = result["derived"]["journal_mem_overhead"]
+    print(
+        f"in-memory journal tick-latency overhead: {journal_overhead:+.1%}"
+    )
 
     if args.out:
         args.out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
@@ -317,6 +438,12 @@ def main(argv: list[str] | None = None) -> int:
     status = 0
     if speedup < args.min_speedup:
         print(f"FAIL: multislot speedup {speedup:.1f}x < {args.min_speedup}x")
+        status = 1
+    if journal_overhead > args.max_journal_overhead:
+        print(
+            f"FAIL: journal overhead {journal_overhead:.1%} > "
+            f"{args.max_journal_overhead:.0%}"
+        )
         status = 1
     if args.compare:
         baseline = json.loads(args.compare.read_text())

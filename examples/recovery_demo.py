@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Recovery demo: crash-consistent durability in the scheduling service.
+
+Three short acts, all seeded and exactly reproducible:
+
+1. **Kill and replay.**  Run a seeded workload twice — once untouched,
+   once killing *every* shard mid-run and rebuilding each from its
+   write-ahead journal anchored on the latest snapshot.  The recovered
+   run must be bit-identical: same outcome for every request, same
+   ``busy[]`` residuals, same grant-path counters.
+2. **Second life.**  The file backend survives process death: a
+   brand-new service pointed at the same directory rebuilds the exact
+   pre-death state of every shard from the ``.snap`` + ``.wal`` files.
+3. **Exactly once.**  Idempotent request ids: a duplicate of an
+   in-flight request is refused as ``DUPLICATE``, and a resubmission
+   after the grant replays the original grant instead of booking a
+   second channel.
+
+Run:  PYTHONPATH=src python examples/recovery_demo.py
+"""
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+from repro import BreakFirstAvailableScheduler, CircularConversion
+from repro.core.distributed import SlotRequest
+from repro.core.policies import RandomPolicy
+from repro.service import (
+    DurabilityConfig,
+    Rejected,
+    RejectReason,
+    SchedulingService,
+    ServiceGrant,
+)
+from repro.util.rng import make_rng
+
+N, K, SLOTS = 3, 8, 24
+CRASH_AT = 10
+SNAPSHOT_INTERVAL = 6
+
+#: Counters that must survive a crash bit-identically.
+EQUIV_COUNTERS = (
+    "server.submitted",
+    "server.granted",
+    "server.rejected.contention",
+    "server.rejected.source_blocked",
+    "server.dropped",
+)
+
+
+def build_schedule(seed=11, load=0.75, max_duration=3):
+    """Deterministic traffic, computed once — the baseline and the crash
+    run must submit byte-identical requests."""
+    rng = make_rng(seed)
+    schedule = []
+    for _slot in range(SLOTS):
+        slot_requests = []
+        for i in range(N):
+            for w in range(K):
+                if rng.random() < load:
+                    slot_requests.append(
+                        SlotRequest(
+                            i,
+                            w,
+                            int(rng.integers(N)),
+                            duration=int(rng.integers(1, max_duration + 1)),
+                        )
+                    )
+        schedule.append(slot_requests)
+    return schedule
+
+
+def make_service(**kwargs):
+    kwargs.setdefault(
+        "durability", DurabilityConfig(snapshot_interval=SNAPSHOT_INTERVAL)
+    )
+    return SchedulingService(
+        N,
+        CircularConversion(k=K, e=1, f=1),
+        BreakFirstAvailableScheduler(),
+        policy=RandomPolicy(seed=7),
+        max_batch_per_tick=3,
+        **kwargs,
+    )
+
+
+async def drive(service, schedule, crash_at=None):
+    """Run the schedule; optionally kill + recover every shard at one
+    tick boundary.  Returns (outcomes, recovery states)."""
+    futures, states = [], []
+    for slot, slot_requests in enumerate(schedule):
+        if slot == crash_at:
+            for o in range(N):
+                service.shards[o].crash()
+            for o in range(N):
+                states.append(service.recover_shard(o))
+        for r in slot_requests:
+            futures.append(service.submit_nowait(r))
+        await service.tick()
+    await service.drain()
+    return list(await asyncio.gather(*futures)), states
+
+
+def counters_of(service):
+    counters = service.telemetry.snapshot()["counters"]
+    return {name: counters.get(name, 0) for name in EQUIV_COUNTERS}
+
+
+async def act_one() -> None:
+    print("-- act 1: kill every shard mid-run, replay the journal --")
+    schedule = build_schedule()
+    n_requests = sum(len(s) for s in schedule)
+
+    baseline = make_service()
+    base_outcomes, _ = await drive(baseline, schedule)
+    base_busy = [s.busy_snapshot() for s in baseline.shards]
+    await baseline.stop()
+
+    crashed = make_service()
+    outcomes, states = await drive(crashed, schedule, crash_at=CRASH_AT)
+    busy = [s.busy_snapshot() for s in crashed.shards]
+
+    for state in states:
+        print(
+            f"shard {state.shard}: recovered from {state.source} "
+            f"(snapshot tick {state.snapshot_tick}, "
+            f"replayed {state.replayed_records} journal records "
+            f"-> tick {state.tick}, queue depth {len(state.queue)})"
+        )
+    same_outcomes = outcomes == base_outcomes
+    same_busy = busy == base_busy
+    same_counters = counters_of(crashed) == counters_of(baseline)
+    assert same_outcomes and same_busy and same_counters
+    print(
+        f"crash at tick {CRASH_AT} of {SLOTS}: all {n_requests} request "
+        f"outcomes bit-identical to the uninterrupted baseline ✓"
+    )
+    print(
+        "busy[] residuals and grant-path counters bit-identical too "
+        f"({sum(1 for o in outcomes if isinstance(o, ServiceGrant))} grants)"
+    )
+
+    counters = crashed.telemetry.snapshot()["counters"]
+    print(
+        f"durability: {counters['durability.snapshots']} snapshots, "
+        f"{counters['durability.recoveries']} recoveries, "
+        f"{counters['durability.journal.records']} journal records "
+        f"({counters['durability.journal.bytes']} bytes)"
+    )
+    await crashed.stop()
+
+
+async def act_two(directory: Path) -> None:
+    print("\n-- act 2: second life over the file backend --")
+    schedule = build_schedule(seed=3)[:8]
+    config = DurabilityConfig(
+        snapshot_interval=SNAPSHOT_INTERVAL, backend="file", directory=directory
+    )
+
+    first = make_service(durability=config)
+    await drive(first, schedule)
+    busy_at_death = [s.busy_snapshot() for s in first.shards]
+    slot_at_death = first.slot
+    # Process dies: no stop(), just the file handles closing.
+    first.durability.close()
+
+    files = sorted(p.name for p in directory.iterdir())
+    print(f"first process died at tick {slot_at_death}, leaving: {files}")
+
+    second = make_service(durability=config)
+    states = [second.recover_shard(o) for o in range(N)]
+    busy = [s.busy_snapshot() for s in second.shards]
+    assert busy == busy_at_death
+    assert all(s.tick == slot_at_death for s in states)
+    print(
+        f"fresh process recovered all {N} shards from "
+        f"{states[0].source}: busy[] matches the pre-death state exactly ✓"
+    )
+    await second.stop()
+
+
+async def act_three() -> None:
+    print("\n-- act 3: exactly-once grants via idempotent request ids --")
+    service = make_service()
+    r = SlotRequest(0, 2, 1, duration=2)
+
+    first = service.submit_nowait(r, request_id="conn-42")
+    dup = await service.submit_nowait(r, request_id="conn-42")
+    assert isinstance(dup, Rejected) and dup.reason is RejectReason.DUPLICATE
+    print("duplicate of an in-flight request: refused as DUPLICATE ✓")
+
+    await service.tick()
+    original = await first
+    replay = await service.submit_nowait(r, request_id="conn-42")
+    assert replay == original
+    print(
+        f"resubmission after the grant: replayed the original grant "
+        f"(channel {replay.channel}, slot {replay.slot}) — not re-booked ✓"
+    )
+
+    counters = service.telemetry.snapshot()["counters"]
+    resolved = counters["server.granted"] + counters["server.duplicate"]
+    assert counters["server.submitted"] == resolved == 3
+    print(
+        f"conservation with duplicates: {counters['server.submitted']} "
+        f"submitted == {counters['server.granted']} granted + "
+        f"{counters['server.duplicate']} duplicate ✓"
+    )
+    await service.stop()
+
+
+async def demo() -> None:
+    await act_one()
+    with tempfile.TemporaryDirectory() as tmp:
+        await act_two(Path(tmp))
+    await act_three()
+
+
+if __name__ == "__main__":
+    asyncio.run(demo())

@@ -94,7 +94,11 @@ class ScheduleCache:
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        # Taken under the lock: len(OrderedDict) is atomic in CPython, but
+        # the cache is shared across shard executor threads and the audit in
+        # tests/test_concurrency_audit.py holds every reader to the lock.
+        with self._lock:
+            return len(self._data)
 
     def get(self, key: Hashable) -> ScheduleResult | None:
         """The cached result for ``key``, refreshing its recency; or None."""

@@ -10,6 +10,7 @@ McKeown et al. [7][8].
 
 from __future__ import annotations
 
+import json
 from abc import ABC, abstractmethod
 from typing import Hashable, Sequence
 
@@ -41,6 +42,24 @@ class GrantPolicy(ABC):
         n: int,
     ) -> list[Hashable]:
         """Return ``min(n, len(requesters))`` distinct winners."""
+
+    def export_state(self) -> object | None:
+        """JSON-encodable snapshot of the policy's mutable state.
+
+        ``None`` for stateless policies (the default).  The durability
+        layer persists this in shard snapshots and the simulator in
+        :meth:`~repro.sim.engine.SlottedSimulator.export_state`, so a
+        recovered run replays the same winner sequence.
+        """
+        return None
+
+    def restore_state(self, state: object | None) -> None:
+        """Inverse of :meth:`export_state` (accepts its JSON round-trip)."""
+        if state is not None:
+            raise InvalidParameterError(
+                f"{type(self).__name__} is stateless; cannot restore "
+                f"{state!r}"
+            )
 
     def _check(self, requesters: Sequence[Hashable], n: int) -> int:
         if n < 0:
@@ -75,6 +94,19 @@ class RandomPolicy(GrantPolicy):
     def __init__(self, seed: int | np.random.Generator | None = None) -> None:
         self._rng = make_rng(seed)
 
+    def export_state(self) -> object:
+        # bit_generator.state is a plain dict of strings and (big) ints —
+        # JSON-encodable as required; deep-copy via the JSON round trip so
+        # the caller's snapshot cannot alias the live generator state.
+        return json.loads(json.dumps(self._rng.bit_generator.state))
+
+    def restore_state(self, state: object | None) -> None:
+        if not isinstance(state, dict):
+            raise InvalidParameterError(
+                f"RandomPolicy needs a bit-generator state dict, got {state!r}"
+            )
+        self._rng.bit_generator.state = state
+
     def select(
         self,
         output_fiber: int,
@@ -106,6 +138,22 @@ class RoundRobinPolicy(GrantPolicy):
 
     def __init__(self) -> None:
         self._pointers: dict[tuple[int, int], Hashable] = {}
+
+    def export_state(self) -> object:
+        return {
+            "pointers": [
+                [o, w, last] for (o, w), last in sorted(self._pointers.items())
+            ]
+        }
+
+    def restore_state(self, state: object | None) -> None:
+        if not isinstance(state, dict) or "pointers" not in state:
+            raise InvalidParameterError(
+                f"RoundRobinPolicy needs a pointers dict, got {state!r}"
+            )
+        self._pointers = {
+            (int(o), int(w)): last for o, w, last in state["pointers"]
+        }
 
     def select(
         self,

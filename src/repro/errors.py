@@ -21,6 +21,8 @@ __all__ = [
     "ShardDownError",
     "CircuitOpenError",
     "RetryExhaustedError",
+    "DurabilityError",
+    "JournalCrashError",
 ]
 
 
@@ -85,6 +87,18 @@ class CircuitOpenError(FaultError):
 class RetryExhaustedError(FaultError):
     """A retrying client gave up: the attempt limit or the shared retry
     budget was exhausted before any attempt succeeded."""
+
+
+class DurabilityError(ReproError, RuntimeError):
+    """The durability layer detected an inconsistency it cannot repair:
+    a corrupt snapshot with no valid predecessor, or a journal replay that
+    disagrees with live state it must match (e.g. the surviving queue)."""
+
+
+class JournalCrashError(FaultError):
+    """A simulated process death severed a journal write mid-record
+    (fault injection only — see :class:`repro.faults.TornWriter`).  Real
+    crashes do not raise; they just leave the same torn tail behind."""
 
 
 class UncrossingDidNotConvergeError(ReproError, RuntimeError):

@@ -15,6 +15,7 @@ See ``docs/ROBUSTNESS.md`` for the full fault model and the chaos-harness
 usage, and ``tests/test_chaos.py`` for the seeded end-to-end drill.
 """
 
+from repro.faults.crashpoints import TornWriter
 from repro.faults.injector import FaultInjector, as_injector
 from repro.faults.plan import (
     ChannelOutage,
@@ -29,5 +30,6 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "ShardCrash",
+    "TornWriter",
     "as_injector",
 ]

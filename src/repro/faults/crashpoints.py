@@ -1,0 +1,71 @@
+"""Crash points: sever a journal append mid-record.
+
+The durability layer's torn-write tolerance claim — a crash during a
+journal write costs at most the record being written — needs a way to
+*produce* torn writes deterministically.  :class:`TornWriter` wraps any
+journal backend (duck-typed: ``append``/``flush``/``load``/``rewrite``/
+``close``) and, on a configured append, writes only a prefix of the record
+before raising :class:`~repro.errors.JournalCrashError`, simulating the
+process dying with the write half-issued.
+
+The wrapper deliberately avoids importing :mod:`repro.service` (the
+service imports :mod:`repro.faults`, not the other way around), so it can
+live with the rest of the fault model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError, JournalCrashError
+from repro.util.validation import check_nonnegative_int
+
+__all__ = ["TornWriter"]
+
+
+class TornWriter:
+    """A journal backend that dies partway through one append.
+
+    ``crash_at_append`` — 0-based index of the append to sever.
+    ``keep_bytes`` — how many bytes of that record reach the backend
+    before the "power loss" (0 = nothing; clamped to the record length).
+    Appends after the crash raise again: a dead process stays dead until
+    the test builds a fresh backend over the surviving bytes.
+    """
+
+    def __init__(
+        self, inner, crash_at_append: int, keep_bytes: int = 0
+    ) -> None:
+        check_nonnegative_int(crash_at_append, "crash_at_append")
+        check_nonnegative_int(keep_bytes, "keep_bytes")
+        self.inner = inner
+        self.crash_at_append = crash_at_append
+        self.keep_bytes = keep_bytes
+        self._appends = 0
+        self.crashed = False
+
+    def append(self, data: bytes) -> None:
+        if self.crashed or self._appends >= self.crash_at_append:
+            self.crashed = True
+            torn = data[: min(self.keep_bytes, len(data))]
+            if torn:
+                self.inner.append(torn)
+                self.inner.flush()
+            raise JournalCrashError(
+                f"simulated power loss: {len(torn)} of {len(data)} bytes "
+                f"of append #{self._appends} reached the journal"
+            )
+        self._appends += 1
+        self.inner.append(data)
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def load(self) -> bytes:
+        return self.inner.load()
+
+    def rewrite(self, data: bytes) -> None:
+        if self.crashed:
+            raise JournalCrashError("backend crashed; cannot rewrite")
+        self.inner.rewrite(data)
+
+    def close(self) -> None:
+        self.inner.close()

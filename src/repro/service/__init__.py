@@ -38,6 +38,19 @@ from repro.service.client import (
     RetryPolicy,
     SchedulingClient,
 )
+from repro.service.durability import (
+    DurabilityConfig,
+    DurabilityManager,
+    RecoveredShardState,
+    replay_journal,
+)
+from repro.service.journal import (
+    FileJournal,
+    JournalRecord,
+    MemoryJournal,
+    RecordType,
+    ShardJournal,
+)
 from repro.service.queue import BoundedQueue, Offer, OverflowPolicy
 from repro.service.server import (
     ExecutionMode,
@@ -47,6 +60,11 @@ from repro.service.server import (
     ServiceGrant,
 )
 from repro.service.shard import ShardWorker
+from repro.service.snapshot import (
+    FileSnapshotStore,
+    MemorySnapshotStore,
+    ShardSnapshot,
+)
 from repro.service.supervisor import ShardSupervisor, SupervisorConfig
 from repro.service.telemetry import (
     Counter,
@@ -62,13 +80,22 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "Counter",
+    "DurabilityConfig",
+    "DurabilityManager",
     "ExecutionMode",
+    "FileJournal",
+    "FileSnapshotStore",
     "Gauge",
     "Histogram",
+    "JournalRecord",
     "LoadGenerator",
     "LoadReport",
+    "MemoryJournal",
+    "MemorySnapshotStore",
     "Offer",
     "OverflowPolicy",
+    "RecordType",
+    "RecoveredShardState",
     "Rejected",
     "RejectReason",
     "RetryBudget",
@@ -76,9 +103,12 @@ __all__ = [
     "SchedulingClient",
     "SchedulingService",
     "ServiceGrant",
+    "ShardJournal",
+    "ShardSnapshot",
     "ShardSupervisor",
     "ShardWorker",
     "SupervisorConfig",
     "Telemetry",
     "exponential_buckets",
+    "replay_journal",
 ]

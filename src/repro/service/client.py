@@ -20,6 +20,8 @@ default: they are the scheduler's verdict for this slot, not a fault.
 from __future__ import annotations
 
 import asyncio
+import itertools
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -46,6 +48,9 @@ __all__ = [
 ]
 
 #: Rejection reasons that are transient faults, worth retrying.
+#: ``DUPLICATE`` is here because it means "your original is still in
+#: flight" — the retry loop should back off and ask again, at which point
+#: the server replays the grant or the released id gets a fresh attempt.
 RETRYABLE_REASONS = frozenset(
     {
         RejectReason.QUEUE_FULL,
@@ -53,8 +58,13 @@ RETRYABLE_REASONS = frozenset(
         RejectReason.TIMED_OUT,
         RejectReason.SHARD_DOWN,
         RejectReason.CIRCUIT_OPEN,
+        RejectReason.DUPLICATE,
     }
 )
+
+#: Process-wide client numbering, so every client's request_ids are unique
+#: within (at least) one service's dedup table.
+_CLIENT_IDS = itertools.count()
 
 #: Attempt-count histogram buckets (1 … 32 attempts).
 _ATTEMPT_BUCKETS = exponential_buckets(1.0, 2.0, 6)
@@ -98,6 +108,12 @@ class RetryBudget:
     surface the rejection — the standard guard against retry storms making
     an outage worse.  One budget is typically shared by every client of a
     service.
+
+    Thread-safe: one budget may be shared by submitters on different
+    threads/event loops, so ``try_spend``/``refill`` are a lock-guarded
+    read-modify-write (the unlocked float arithmetic they replaced could
+    lose or double-count tokens under that sharing —
+    ``tests/test_concurrency_audit.py`` pins the exact accounting down).
     """
 
     def __init__(
@@ -110,18 +126,29 @@ class RetryBudget:
                 f"refill_per_success must be >= 0, got {refill_per_success}"
             )
         self.capacity = float(tokens)
-        self.tokens = float(tokens)
         self.refill_per_success = float(refill_per_success)
+        self._tokens = float(tokens)
+        self._lock = threading.Lock()
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available."""
+        with self._lock:
+            return self._tokens
 
     def try_spend(self) -> bool:
         """Take one token if available; False means stop retrying."""
-        if self.tokens >= 1.0:
-            self.tokens -= 1.0
-            return True
-        return False
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
 
     def refill(self) -> None:
-        self.tokens = min(self.capacity, self.tokens + self.refill_per_success)
+        with self._lock:
+            self._tokens = min(
+                self.capacity, self._tokens + self.refill_per_success
+            )
 
     def __repr__(self) -> str:
         return f"RetryBudget(tokens={self.tokens:.1f}/{self.capacity:.0f})"
@@ -141,10 +168,17 @@ class SchedulingClient:
     ) -> None:
         self.service = service
         self._rng = make_rng(seed)
+        self._client_id = next(_CLIENT_IDS)
+        self._request_seq = itertools.count()
         t = service.telemetry
         self._c_retries = t.counter("client.retries")
         self._c_retry_exhausted = t.counter("client.retry_exhausted")
+        self._c_wait_timeouts = t.counter("client.wait_timeouts")
         self._h_attempts = t.histogram("client.attempts", _ATTEMPT_BUCKETS)
+
+    def _next_request_id(self) -> str:
+        """A fresh idempotency key: unique per client and per request."""
+        return f"c{self._client_id}-{next(self._request_seq)}"
 
     async def submit(
         self, request: SlotRequest, timeout: float | None = None
@@ -167,25 +201,61 @@ class SchedulingClient:
         timeout: float | None = None,
         policy: RetryPolicy | None = None,
         budget: RetryBudget | None = None,
+        *,
+        attempt_timeout: float | None = None,
+        request_id: str | None = None,
     ) -> ServiceGrant | Rejected:
         """Submit with backoff+jitter retries on transient-fault rejections.
 
         Returns the grant, the first non-retryable rejection, or — when
         attempts or the shared budget run out — the *last* rejection seen,
-        so the caller always learns the terminal reason.  Each submission
-        is a fresh request as far as the service is concerned; deadlines
+        so the caller always learns the terminal reason.  Deadlines
         (``timeout``) apply per attempt.
+
+        Every attempt carries the same idempotency key (``request_id``,
+        auto-stamped when not given), so resubmitting after an
+        ``attempt_timeout`` — giving up *waiting* while the original may
+        still be queued — cannot double-schedule: the server's dedup table
+        replays the original grant or answers ``DUPLICATE``
+        (exactly-once; see ``docs/SERVICE.md``).  When every attempt times
+        out client-side, returns ``Rejected(TIMED_OUT, slot=None)`` —
+        ``slot=None`` marking it as a client-side verdict, not the
+        server's.
         """
         policy = policy if policy is not None else RetryPolicy()
+        if attempt_timeout is not None and attempt_timeout <= 0:
+            raise InvalidParameterError(
+                f"attempt_timeout must be > 0, got {attempt_timeout}"
+            )
+        if request_id is None:
+            request_id = self._next_request_id()
         attempts = 0
+        outcome: ServiceGrant | Rejected | None = None
         while True:
-            outcome = await self.service.submit(request, timeout)
+            future = self.service.submit_nowait(
+                request, timeout, request_id=request_id
+            )
             attempts += 1
+            if attempt_timeout is None:
+                outcome = await future
+            else:
+                try:
+                    # shield(): abandoning the wait must not cancel the
+                    # request already sitting in the shard queue — the
+                    # server still resolves it, and the dedup table turns
+                    # the resubmission below into a replayed grant or a
+                    # DUPLICATE instead of a double booking.
+                    outcome = await asyncio.wait_for(
+                        asyncio.shield(future), attempt_timeout
+                    )
+                except asyncio.TimeoutError:
+                    outcome = None
+                    self._c_wait_timeouts.inc()
             if isinstance(outcome, ServiceGrant):
                 if budget is not None:
                     budget.refill()
                 break
-            if outcome.reason not in policy.retryable:
+            if outcome is not None and outcome.reason not in policy.retryable:
                 break
             if attempts >= policy.max_attempts:
                 self._c_retry_exhausted.inc()
@@ -202,6 +272,8 @@ class SchedulingClient:
                 # (tests, chaos drills) can interleave with the retry loop.
                 await asyncio.sleep(0)
         self._h_attempts.observe(attempts)
+        if outcome is None:
+            return Rejected(request, RejectReason.TIMED_OUT, None)
         return outcome
 
 
@@ -221,6 +293,8 @@ class LoadReport:
     #: Fault-path rejections (zero in a fault-free run).
     shard_down: int = 0
     circuit_open: int = 0
+    #: Duplicate-id refusals (zero unless callers resubmit request_ids).
+    duplicate: int = 0
     #: Exact per-request submit→grant latencies, seconds, sorted ascending.
     grant_latencies: list[float] = field(repr=False, default_factory=list)
 
@@ -338,5 +412,6 @@ class LoadGenerator:
             wall_seconds=wall,
             shard_down=counts[RejectReason.SHARD_DOWN],
             circuit_open=counts[RejectReason.CIRCUIT_OPEN],
+            duplicate=counts[RejectReason.DUPLICATE],
             grant_latencies=latencies,
         )

@@ -97,6 +97,18 @@ class BoundedQueue(Generic[T]):
     def full(self) -> bool:
         return self.capacity is not None and len(self._items) >= self.capacity
 
+    def plan_offer(self) -> tuple[bool, bool]:
+        """Predict :meth:`offer`'s effect without mutating: returns
+        ``(will_accept, will_evict_head)``.  The write-ahead journal needs
+        the queue effect *before* it is applied, and this keeps the
+        prediction logic next to :meth:`offer` instead of duplicated in
+        the server."""
+        if not self.full:
+            return True, False
+        if self.policy is OverflowPolicy.DROP_OLDEST and self._items:
+            return True, True
+        return False, False
+
     def offer(self, item: T) -> Offer[T]:
         """Try to enqueue ``item``; the policy decides on overflow."""
         if not self.full:

@@ -35,6 +35,7 @@ from __future__ import annotations
 import asyncio
 import enum
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Sequence
@@ -51,7 +52,12 @@ from repro.core.distributed import (
     validate_slot_request,
 )
 from repro.core.policies import FixedPriorityPolicy, GrantPolicy
-from repro.errors import InvalidParameterError, ShardDownError, SimulationError
+from repro.errors import (
+    DurabilityError,
+    InvalidParameterError,
+    ShardDownError,
+    SimulationError,
+)
 from repro.faults import (
     ChannelOutage,
     ConverterDegradation,
@@ -65,6 +71,16 @@ from repro.graphs.conversion import (
     NonCircularConversion,
 )
 from repro.service.breaker import BreakerConfig, CircuitBreaker
+from repro.service.durability import (
+    DurabilityConfig,
+    DurabilityManager,
+    RecoveredShardState,
+)
+from repro.service.journal import (
+    FAULT_CRASH,
+    FAULT_OUTAGE,
+    request_tuple,
+)
 from repro.service.queue import BoundedQueue, OverflowPolicy
 from repro.service.shard import ShardWorker
 from repro.service.supervisor import ShardSupervisor, SupervisorConfig
@@ -127,6 +143,11 @@ class RejectReason(enum.Enum):
     SHARD_DOWN = "shard_down"
     #: Short-circuited by the shard's open circuit breaker.
     CIRCUIT_OPEN = "circuit_open"
+    #: A retry of a ``request_id`` whose original is still in flight —
+    #: refused so at most one copy is ever scheduled (exactly-once; a
+    #: retry of an already *granted* id replays the original grant
+    #: instead of getting this).
+    DUPLICATE = "duplicate"
 
 
 @dataclass(frozen=True, slots=True)
@@ -148,9 +169,10 @@ class Rejected:
 
 
 class _Pending:
-    """Internal envelope: request + future + deadline + submit timestamp."""
+    """Internal envelope: request + future + deadline + submit timestamp
+    (+ the caller's idempotency key when deduplication is on)."""
 
-    __slots__ = ("request", "future", "deadline", "submitted_at")
+    __slots__ = ("request", "future", "deadline", "submitted_at", "request_id")
 
     def __init__(
         self,
@@ -158,11 +180,24 @@ class _Pending:
         future: "asyncio.Future[ServiceGrant | Rejected]",
         deadline: float | None,
         submitted_at: float,
+        request_id: str | None = None,
     ) -> None:
         self.request = request
         self.future = future
         self.deadline = deadline
         self.submitted_at = submitted_at
+        self.request_id = request_id
+
+
+class _DedupEntry:
+    """Dedup-table slot: ``outcome`` is None while the original is in
+    flight, then the original :class:`ServiceGrant` (rejections release
+    the id instead of settling it)."""
+
+    __slots__ = ("outcome",)
+
+    def __init__(self) -> None:
+        self.outcome: ServiceGrant | None = None
 
 
 #: Tick-duration buckets: 10 µs … ~40 s.
@@ -212,6 +247,15 @@ class SchedulingService:
         :class:`~repro.service.supervisor.SupervisorConfig` tuning for
         crash detection/restart (a supervisor always runs; this only
         changes its timing).
+    durability:
+        ``True`` (default) — per-shard write-ahead journal + periodic
+        snapshots with the default in-memory backend, exact
+        snapshot+journal recovery on restart, and a bounded request-id
+        dedup table for exactly-once grants.  Pass a
+        :class:`~repro.service.durability.DurabilityConfig` to tune
+        (snapshot cadence, file backend, fsync, dedup capacity) or
+        ``False``/``None`` to disable, which falls back to the PR 4 aged
+        checkpoints.  See ``docs/ROBUSTNESS.md``, "Durability & recovery".
     """
 
     def __init__(
@@ -232,6 +276,7 @@ class SchedulingService:
         faults: "FaultInjector | FaultPlan | None" = None,
         breaker: BreakerConfig | None = None,
         supervisor: SupervisorConfig | None = None,
+        durability: "DurabilityConfig | bool | None" = True,
     ) -> None:
         self.n_fibers = check_positive_int(n_fibers, "n_fibers")
         self.scheme = scheme
@@ -303,6 +348,31 @@ class SchedulingService:
         self._timer_task: asyncio.Task[None] | None = None
         self._closed = False
 
+        if durability is True:
+            durability = DurabilityConfig()
+        elif durability is False:
+            durability = None
+        if durability is not None and not isinstance(durability, DurabilityConfig):
+            raise InvalidParameterError(
+                "durability must be a DurabilityConfig, True, False, or "
+                f"None, got {durability!r}"
+            )
+        self.durability: DurabilityManager | None = (
+            DurabilityManager(
+                durability, self.n_fibers, scheme.k, self.telemetry
+            )
+            if durability is not None
+            else None
+        )
+        self._dedup: "OrderedDict[str, _DedupEntry] | None" = (
+            OrderedDict()
+            if durability is not None and durability.dedup_capacity > 0
+            else None
+        )
+        self._dedup_capacity = (
+            durability.dedup_capacity if durability is not None else 0
+        )
+
         t = self.telemetry
         self._c_submitted = t.counter("server.submitted")
         self._c_granted = t.counter("server.granted")
@@ -314,6 +384,7 @@ class SchedulingService:
         self._c_shutdown = t.counter("server.shutdown")
         self._c_shard_down = t.counter("server.rejected.shard_down")
         self._c_circuit_open = t.counter("server.rejected.circuit_open")
+        self._c_duplicate = t.counter("server.duplicate")
         self._c_shard_crashes = t.counter("server.shard_crashes")
         self._c_fault_outages = t.counter("faults.outages")
         self._c_fault_degradations = t.counter("faults.degradations")
@@ -349,7 +420,11 @@ class SchedulingService:
         return sum(s.queue.depth for s in self.shards)
 
     def submit_nowait(
-        self, request: SlotRequest, timeout: float | None = None
+        self,
+        request: SlotRequest,
+        timeout: float | None = None,
+        *,
+        request_id: str | None = None,
     ) -> "asyncio.Future[ServiceGrant | Rejected]":
         """Enqueue ``request`` and return the future of its outcome.
 
@@ -358,6 +433,14 @@ class SchedulingService:
         before the deadline resolves as ``TIMED_OUT``.  Malformed requests
         raise :class:`InvalidParameterError` immediately; overflow of a
         bounded queue resolves the future per the shard's overflow policy.
+
+        ``request_id`` is the caller's idempotency key (ignored when the
+        dedup table is disabled).  Resubmitting an id whose original was
+        *granted* replays that grant; resubmitting while the original is
+        still in flight resolves ``DUPLICATE``.  A rejected original
+        releases its id, so the retry is a fresh attempt.  Either way at
+        most one copy of the request is ever scheduled — the exactly-once
+        half of the retry story (``docs/SERVICE.md``).
         """
         if self._closed:
             raise SimulationError("service is stopped")
@@ -367,7 +450,26 @@ class SchedulingService:
         loop = asyncio.get_running_loop()
         future: asyncio.Future[ServiceGrant | Rejected] = loop.create_future()
         deadline = None if timeout is None else loop.time() + timeout
-        pending = _Pending(request, future, deadline, time.perf_counter())
+        if self._dedup is None:
+            request_id = None
+        elif request_id is not None:
+            entry = self._dedup.get(request_id)
+            if entry is not None:
+                self._c_submitted.inc()
+                self._c_duplicate.inc()
+                if entry.outcome is not None:
+                    future.set_result(entry.outcome)
+                else:
+                    future.set_result(
+                        Rejected(request, RejectReason.DUPLICATE, self._slot)
+                    )
+                return future
+            self._dedup[request_id] = _DedupEntry()
+            while len(self._dedup) > self._dedup_capacity:
+                self._dedup.popitem(last=False)
+        pending = _Pending(
+            request, future, deadline, time.perf_counter(), request_id
+        )
         self._c_submitted.inc()
         shard = self.shards[request.output_fiber]
         breaker = (
@@ -388,6 +490,14 @@ class SchedulingService:
             self._resolve_rejected(pending, RejectReason.SHARD_DOWN)
             return future
         shard.offered.inc()
+        if self.durability is not None:
+            # Write-ahead: journal the queue effect before applying it.
+            will_accept, will_evict = shard.queue.plan_offer()
+            journal = self.durability.journal(request.output_fiber)
+            if will_evict:
+                journal.dequeue(self._slot, 1)
+            if will_accept:
+                journal.accept(self._slot, request)
         offer = shard.queue.offer(pending)
         if offer.evicted is not None:
             # DROP_OLDEST: the head made room and is lost.
@@ -411,8 +521,24 @@ class SchedulingService:
     # -- resolution helpers -------------------------------------------------
 
     def _resolve(self, pending: _Pending, outcome: ServiceGrant | Rejected) -> None:
+        self._settle_dedup(pending, outcome)
         if not pending.future.done():
             pending.future.set_result(outcome)
+
+    def _settle_dedup(
+        self, pending: _Pending, outcome: ServiceGrant | Rejected
+    ) -> None:
+        """Record a granted original for replay; release a rejected one
+        (its caller's retry must be a fresh attempt, not a DUPLICATE)."""
+        if pending.request_id is None or self._dedup is None:
+            return
+        entry = self._dedup.get(pending.request_id)
+        if entry is None:  # evicted by the capacity bound
+            return
+        if isinstance(outcome, ServiceGrant):
+            entry.outcome = outcome
+        else:
+            del self._dedup[pending.request_id]
 
     def _resolve_rejected(
         self, pending: _Pending, reason: RejectReason, slot: int | None = None
@@ -426,6 +552,7 @@ class SchedulingService:
             RejectReason.SHUTDOWN: self._c_shutdown,
             RejectReason.SHARD_DOWN: self._c_shard_down,
             RejectReason.CIRCUIT_OPEN: self._c_circuit_open,
+            RejectReason.DUPLICATE: self._c_duplicate,
         }[reason]
         counter.inc()
         self._resolve(pending, Rejected(pending.request, reason, slot))
@@ -444,34 +571,87 @@ class SchedulingService:
         self._c_shard_crashes.inc()
         if self.breakers is not None:
             self.breakers[o].force_open(slot)
+        if self.durability is not None:
+            journal = self.durability.journal(o)
+            journal.fault(slot, FAULT_CRASH)
+            if shard.queue.depth:
+                journal.dequeue(slot, shard.queue.depth)
         for p in shard.queue.drain():
             self._resolve_rejected(p, RejectReason.SHARD_DOWN, slot)
         shard.update_depth_gauge()
 
-    def _restart_shard(self, output_fiber: int, slot: int) -> None:
-        """Spawn a replacement worker seeded with the supervisor's aged
-        checkpoint (the queue object survives the worker — it lives in the
-        server, like a socket outliving the process behind it)."""
-        old = self.shards[output_fiber]
+    def _spawn_worker(self, output_fiber: int, queue: BoundedQueue) -> ShardWorker:
         shard_scheduler = (
             self._scheduler_factory()
             if self._scheduler_factory is not None
             else self._scheduler
         )
         assert shard_scheduler is not None
-        worker = ShardWorker(
+        return ShardWorker(
             output_fiber,
             self.scheme,
             shard_scheduler,
             self.policy,
-            old.queue,
+            queue,
             self.telemetry,
         )
-        worker.restore(
-            self.supervisor.restore_busy(output_fiber, slot, self.scheme.k)
-        )
+
+    def _restart_shard(self, output_fiber: int, slot: int) -> None:
+        """Spawn a replacement worker (the queue object survives the worker
+        — it lives in the server, like a socket outliving the process
+        behind it), restored from snapshot+journal replay when durability
+        is on, else from the supervisor's aged checkpoint."""
+        old = self.shards[output_fiber]
+        worker = self._spawn_worker(output_fiber, old.queue)
+        if self.durability is not None:
+            state = self._recovered_state(output_fiber, old)
+            worker.restore(list(state.busy))
+            source = state.source
+        else:
+            worker.restore(
+                self.supervisor.restore_busy(output_fiber, slot, self.scheme.k)
+            )
+            source = "checkpoint"
         self.shards[output_fiber] = worker
-        self.supervisor.mark_restarted(output_fiber)
+        self.supervisor.mark_restarted(output_fiber, source=source)
+
+    def _recovered_state(
+        self, output_fiber: int, old: ShardWorker
+    ) -> RecoveredShardState:
+        """Run durable recovery and cross-check it against the surviving
+        live queue — a disagreement is a crash-consistency defect, not a
+        degraded mode, so it raises."""
+        assert self.durability is not None
+        state = self.durability.recover(output_fiber)
+        live = tuple(request_tuple(p.request) for p in old.queue)
+        if live != state.queue:
+            raise DurabilityError(
+                f"shard {output_fiber}: journal-recovered queue "
+                f"{state.queue} disagrees with the live queue {live}"
+            )
+        return state
+
+    def recover_shard(self, output_fiber: int) -> RecoveredShardState:
+        """Immediately rebuild one shard from durable state.
+
+        Loads the latest valid snapshot, deterministically replays the
+        journal suffix, installs a fresh worker with the rebuilt ``busy[]``
+        over the surviving queue, and returns what was recovered.  This is
+        the recovery path the kill-at-every-tick equivalence test drives
+        directly (the supervisor's delayed ``_restart_shard`` uses the
+        same replay); call it at a tick boundary.
+        """
+        if self.durability is None:
+            raise InvalidParameterError(
+                "recover_shard needs the service built with durability on"
+            )
+        old = self.shards[output_fiber]
+        state = self._recovered_state(output_fiber, old)
+        worker = self._spawn_worker(output_fiber, old.queue)
+        worker.restore(list(state.busy))
+        self.shards[output_fiber] = worker
+        self.supervisor.mark_restarted(output_fiber, source=state.source)
+        return state
 
     def _apply_faults(self, slot: int) -> "dict[int, tuple[int, int]] | None":
         """Step 0 of a tick: heal due restarts, then apply this slot's
@@ -483,6 +663,13 @@ class SchedulingService:
         for ev in self._faults.starting_at(slot):
             if isinstance(ev, ChannelOutage):
                 self._c_fault_outages.inc()
+                if self.durability is not None:
+                    # Audit-only record (no replay effect): the fault plan
+                    # is re-derivable from its seed, but the journal should
+                    # tell the whole story of what hit this shard.
+                    self.durability.journal(ev.fiber).fault(
+                        slot, FAULT_OUTAGE, ev.wavelength, ev.duration
+                    )
             elif isinstance(ev, ConverterDegradation):
                 self._c_fault_degradations.inc()
             else:
@@ -514,6 +701,17 @@ class SchedulingService:
         work: list[tuple[ShardWorker, list[_Pending]]] = []
         seen_inputs: set[tuple[int, int]] = set()
         for shard in self.shards:
+            if self.durability is not None:
+                depth = shard.queue.depth
+                n_drain = (
+                    depth
+                    if self.max_batch_per_tick is None
+                    else min(depth, self.max_batch_per_tick)
+                )
+                if n_drain:
+                    self.durability.journal(shard.output_fiber).dequeue(
+                        slot, n_drain
+                    )
             drained = shard.queue.drain(self.max_batch_per_tick)
             shard.update_depth_gauge()
             survivors: list[_Pending] = []
@@ -595,6 +793,21 @@ class SchedulingService:
                         self.breakers[shard.output_fiber].record_failure(slot)
                 continue
             granted, rejected = outcome
+            if self.durability is not None and granted:
+                # Write-ahead: journal the tick's grants (one batched
+                # record) before committing any of them.
+                self.durability.journal(shard.output_fiber).grant_batch(
+                    slot,
+                    (
+                        (
+                            g.request.input_fiber,
+                            g.request.wavelength,
+                            g.channel,
+                            g.request.duration,
+                        )
+                        for g in granted
+                    ),
+                )
             shard.commit(granted)
             shard.record_rejected(len(rejected))
             by_input = {
@@ -629,10 +842,30 @@ class SchedulingService:
         # 5: advance clocks and record tick telemetry.
         self._h_occupancy.observe(sum(s.occupancy for s in self.shards))
         for shard in self.shards:
+            if self.durability is not None:
+                # The connections busy[] tracks live in the interconnect,
+                # so the physical clock advances for down shards too —
+                # this is what makes recovery pure replay with no aging.
+                self.durability.journal(shard.output_fiber).advance(slot)
             if not shard.down:
                 shard.advance()
-                self.supervisor.note_checkpoint(
-                    shard.output_fiber, slot + 1, shard.busy_snapshot()
+                if self.durability is None:
+                    self.supervisor.note_checkpoint(
+                        shard.output_fiber, slot + 1, shard.busy_snapshot()
+                    )
+        if self.durability is not None and self.durability.due_snapshot(
+            slot + 1
+        ):
+            policy_state = self.policy.export_state()
+            for shard in self.shards:
+                if shard.down:
+                    continue
+                self.durability.take_snapshot(
+                    shard.output_fiber,
+                    slot + 1,
+                    shard.busy_snapshot(),
+                    (request_tuple(p.request) for p in shard.queue),
+                    policy_state,
                 )
         for row in self._in_busy:
             for w, left in enumerate(row):
@@ -730,9 +963,15 @@ class SchedulingService:
         if not self._closed:
             self._closed = True
             for shard in self.shards:
+                if self.durability is not None and shard.queue.depth:
+                    self.durability.journal(shard.output_fiber).dequeue(
+                        self._slot, shard.queue.depth
+                    )
                 for p in shard.queue.drain():
                     self._resolve_rejected(p, RejectReason.SHUTDOWN)
                 shard.update_depth_gauge()
+            if self.durability is not None:
+                self.durability.close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

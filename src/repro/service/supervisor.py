@@ -20,6 +20,12 @@ Restarts are delayed by ``restart_delay_ticks`` (≥ 1), modelling the real
 cost of re-spawning a worker; during the gap the shard refuses requests
 (``SHARD_DOWN``) and its circuit breaker is forced open.  All timing is in
 slot ticks — deterministic, like everything else in the chaos harness.
+
+With the durability layer on (the default — see
+:mod:`repro.service.durability`), restarts are seeded by exact
+snapshot+journal replay instead of aged checkpoints; the supervisor then
+only tracks downtime and restart accounting (:meth:`restore_source`).
+The aged-checkpoint path remains the fallback when durability is disabled.
 """
 
 from __future__ import annotations
@@ -75,6 +81,11 @@ class ShardSupervisor:
         #: tick the state is valid *entering*.
         self._checkpoints: dict[int, tuple[int, list[int]]] = {}
         self._down_since: dict[int, int] = {}
+        #: shard -> how its last restart was seeded ("snapshot+journal",
+        #: "journal", "checkpoint", or "cold") — restart accounting for
+        #: the chaos drill's never-cold assertion.
+        self._restore_sources: dict[int, str] = {}
+        self._telemetry = telemetry
         self._restarts = (
             telemetry.counter("server.shard_restarts")
             if telemetry is not None
@@ -95,6 +106,13 @@ class ShardSupervisor:
         """Latest checkpoint ``(tick, busy[])`` for introspection/tests."""
         entry = self._checkpoints.get(shard)
         return (entry[0], list(entry[1])) if entry is not None else None
+
+    def restore_source(self, shard: int) -> str | None:
+        """How ``shard``'s most recent restore was seeded (None = never
+        restored): ``"snapshot+journal"`` / ``"journal"`` when durability
+        replayed it, ``"checkpoint"`` for the aged-checkpoint fallback,
+        ``"cold"`` when no durable state existed at all."""
+        return self._restore_sources.get(shard)
 
     # -- protocol ------------------------------------------------------------
 
@@ -143,8 +161,19 @@ class ShardSupervisor:
         age = max(0, tick - ckpt_tick)
         return [max(0, b - age) for b in busy]
 
-    def mark_restarted(self, shard: int) -> None:
-        """Clear the down mark after the server has spawned the new worker."""
+    def mark_restarted(self, shard: int, source: str = "checkpoint") -> None:
+        """Clear the down mark after the server has spawned the new worker.
+
+        ``source`` records how the replacement's state was seeded (see
+        :meth:`restore_source`); each restore also lands on a
+        ``server.restore.<source>`` counter so the chaos drill can assert
+        the cold path was never taken.
+        """
+        self._restore_sources[shard] = source
+        if self._telemetry is not None:
+            self._telemetry.counter(
+                f"server.restore.{source.replace('+', '_')}"
+            ).inc()
         if shard in self._down_since:
             del self._down_since[shard]
             if self._restarts is not None:

@@ -13,12 +13,16 @@ once, so the outcome counters partition the offered load::
 
     submitted == granted + rejected_contention + rejected_source
                + rejected_queue_full + dropped + timed_out + shutdown
-               + shard_down + circuit_open
+               + shard_down + circuit_open + duplicate
 
-The last two terms are fault-path outcomes (see :mod:`repro.faults` and
-``docs/ROBUSTNESS.md``): requests refused because the owning shard was down,
-or short-circuited by that shard's open circuit breaker.  Both are zero in a
-fault-free run, reducing the invariant to its original form.
+``shard_down``/``circuit_open`` are fault-path outcomes (see
+:mod:`repro.faults` and ``docs/ROBUSTNESS.md``): requests refused because
+the owning shard was down, or short-circuited by that shard's open circuit
+breaker.  ``duplicate`` counts submissions deduplicated by request id —
+each resolved immediately with the original's grant or a ``DUPLICATE``
+refusal, never scheduled again (exactly-once; ``docs/SERVICE.md``).  All
+three are zero in a fault-free, retry-free run, reducing the invariant to
+its original form.
 """
 
 from __future__ import annotations

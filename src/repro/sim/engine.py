@@ -20,6 +20,7 @@ All randomness flows from one seed through spawned, independent streams
 
 from __future__ import annotations
 
+import json
 from typing import Mapping
 
 import numpy as np
@@ -121,6 +122,52 @@ class SlottedSimulator:
     def k(self) -> int:
         """Wavelengths per fiber."""
         return self.scheme.k
+
+    # -- state export / import ----------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-encodable snapshot of the full simulator state.
+
+        Captures everything :meth:`step` reads or writes — the slot
+        counter, both busy matrices, the ongoing-connection table, the
+        traffic RNG, and the grant policy's state — so a simulator built
+        with the same constructor arguments and fed this via
+        :meth:`import_state` continues *bit-identically* (the simulator
+        half of the durability story; the service half lives in
+        :mod:`repro.service.durability`).
+        """
+        return {
+            "slot": self._slot,
+            "out_busy": self._out_busy.tolist(),
+            "in_busy": self._in_busy.tolist(),
+            "ongoing": [
+                [list(key), left] for key, left in sorted(self._ongoing.items())
+            ],
+            "traffic_rng": json.loads(
+                json.dumps(self._traffic_rng.bit_generator.state)
+            ),
+            "policy": self.distributed.policy.export_state(),
+        }
+
+    def import_state(self, state: Mapping) -> None:
+        """Install a state exported by a same-shaped simulator."""
+        out_busy = np.asarray(state["out_busy"], dtype=np.int64)
+        in_busy = np.asarray(state["in_busy"], dtype=np.int64)
+        shape = (self.n_fibers, self.k)
+        if out_busy.shape != shape or in_busy.shape != shape:
+            raise InvalidParameterError(
+                f"state busy matrices are {out_busy.shape}/{in_busy.shape}, "
+                f"this simulator is {shape}"
+            )
+        self._slot = int(state["slot"])
+        self._out_busy = out_busy
+        self._in_busy = in_busy
+        self._ongoing = {
+            (int(i), int(w), int(o)): int(left)
+            for (i, w, o), left in state["ongoing"]
+        }
+        self._traffic_rng.bit_generator.state = state["traffic_rng"]
+        self.distributed.policy.restore_state(state["policy"])
 
     # -- one slot -----------------------------------------------------------
 

@@ -35,6 +35,7 @@ from repro.graphs.conversion import CircularConversion
 from repro.service import (
     BreakerConfig,
     BreakerState,
+    DurabilityConfig,
     OverflowPolicy,
     Rejected,
     RejectReason,
@@ -74,6 +75,7 @@ def run(coro):
 def make_chaos_service(faults=DRILL_PLAN, **kwargs):
     kwargs.setdefault("breaker", BreakerConfig(failure_threshold=2, reset_ticks=4))
     kwargs.setdefault("supervisor", SupervisorConfig(restart_delay_ticks=3))
+    kwargs.setdefault("durability", DurabilityConfig(snapshot_interval=4))
     return SchedulingService(
         N_FIBERS,
         CircularConversion(K, 1, 1),
@@ -134,6 +136,7 @@ class TestChaosDrill:
                 "server.shutdown",
                 "server.rejected.shard_down",
                 "server.rejected.circuit_open",
+                "server.duplicate",
             )
         )
         assert counters["server.submitted"] == resolved == len(outcomes)
@@ -195,6 +198,13 @@ class TestChaosDrill:
         assert counters["server.shard_restarts"] == 1
         assert service.supervisor.down_shards == ()
         assert not service.shards[2].down
+        # The restart was seeded by exact snapshot+journal replay — the
+        # chaos drill must never take the cold path (losing busy[] state).
+        assert service.supervisor.restore_source(2) == "snapshot+journal"
+        assert counters["server.restore.snapshot_journal"] == 1
+        assert counters.get("server.restore.cold", 0) == 0
+        assert counters["durability.recoveries"] >= 1
+        assert counters["durability.snapshots"] >= 1
         # The breaker tripped during the drill and closed again afterwards.
         assert counters["breaker.transitions.opened"] >= 1
         assert service.breakers[2].state is BreakerState.CLOSED

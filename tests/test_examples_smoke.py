@@ -51,6 +51,14 @@ class TestExamples:
         assert "retries through the outage" in out
         assert "conservation check under chaos" in out
 
+    def test_recovery_demo(self, capsys):
+        out = _run("recovery_demo.py", capsys)
+        assert "recovered from snapshot+journal" in out
+        assert "bit-identical to the uninterrupted baseline" in out
+        assert "busy[] matches the pre-death state exactly" in out
+        assert "refused as DUPLICATE" in out
+        assert "replayed the original grant" in out
+
     def test_all_examples_importable(self):
         """Every example parses (catches syntax rot in the slow ones too)."""
         for script in sorted(EXAMPLES.glob("*.py")):

@@ -1,6 +1,14 @@
-"""Tests for the bounded per-shard queues and their overflow policies."""
+"""Tests for the bounded per-shard queues and their overflow policies.
+
+The hypothesis model-based suite at the bottom drives random
+offer/drain/plan sequences against a plain-list reference model for every
+policy and capacity (``None`` and 0–4 inclusive) — the queue invariants the
+write-ahead journal's ``plan_offer`` prediction depends on.
+"""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import InvalidParameterError
 from repro.service.queue import BoundedQueue, OverflowPolicy
@@ -112,3 +120,88 @@ class TestDegenerateCapacities:
         offer = q.offer("c")
         assert offer.accepted and offer.evicted == "b"
         assert q.drain() == ["c"]
+
+
+# ---------------------------------------------------------------------------
+# Model-based property tests
+# ---------------------------------------------------------------------------
+
+#: One scripted operation: ("offer",) or ("drain", limit|None).
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("offer")),
+        st.tuples(st.just("drain"), st.none() | st.integers(0, 5)),
+    ),
+    max_size=40,
+)
+_capacities = st.none() | st.integers(min_value=0, max_value=4)
+_policies = st.sampled_from(list(OverflowPolicy))
+
+
+class TestQueueModel:
+    """Random op sequences vs a plain-list reference model."""
+
+    @given(_capacities, _policies, _ops)
+    @settings(max_examples=300)
+    def test_matches_reference_model(self, capacity, policy, ops):
+        q = BoundedQueue(capacity, policy)
+        model: list[int] = []
+        counter = 0
+        for op in ops:
+            if op[0] == "offer":
+                counter += 1
+                # plan_offer must predict offer exactly, every time — this
+                # is what lets the server journal the effect write-ahead.
+                will_accept, will_evict = q.plan_offer()
+                offer = q.offer(counter)
+                assert offer.accepted == will_accept
+                assert (offer.evicted is not None) == will_evict
+                # Reference model semantics:
+                full = capacity is not None and len(model) >= capacity
+                if not full:
+                    model.append(counter)
+                    assert offer.accepted and offer.evicted is None
+                elif policy is OverflowPolicy.DROP_OLDEST and model:
+                    evicted = model.pop(0)
+                    model.append(counter)
+                    assert offer.accepted and offer.evicted == evicted
+                else:
+                    assert not offer.accepted and offer.evicted is None
+            else:
+                limit = op[1]
+                if limit is None:
+                    expect, model = model, []
+                else:
+                    expect, model = model[:limit], model[limit:]
+                assert q.drain(limit) == expect
+            # Invariants after every step.
+            assert list(q) == model
+            assert q.depth == len(q) == len(model)
+            if capacity is not None:
+                assert q.depth <= capacity
+                assert q.full == (q.depth >= capacity)
+            else:
+                assert not q.full
+
+    @given(_policies, st.integers(min_value=0, max_value=8))
+    def test_capacity_zero_is_inert_for_every_policy(self, policy, n_offers):
+        q = BoundedQueue(capacity=0, policy=policy)
+        for i in range(n_offers):
+            assert q.plan_offer() == (False, False)
+            offer = q.offer(i)
+            assert not offer.accepted and offer.evicted is None
+        assert q.depth == 0 and q.full and q.drain() == []
+
+    @given(_capacities, _policies, st.integers(min_value=0, max_value=12))
+    def test_fifo_order_is_total(self, capacity, policy, n):
+        """Whatever was admitted drains in exactly admission order."""
+        q = BoundedQueue(capacity, policy)
+        admitted: list[int] = []
+        for i in range(n):
+            offer = q.offer(i)
+            if offer.evicted is not None:
+                admitted.remove(offer.evicted)
+            if offer.accepted:
+                admitted.append(i)
+        assert q.drain() == admitted
+        assert sorted(admitted) == admitted  # FIFO never reorders
