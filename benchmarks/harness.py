@@ -1,4 +1,4 @@
-"""Deterministic perf-regression harness (``BENCH_PR5.json``).
+"""Deterministic perf-regression harness (``BENCH_PR6.json``).
 
 Runs a small, fixed-seed benchmark suite over the layers this repo's
 performance story rests on and writes one JSON document per run:
@@ -15,11 +15,17 @@ performance story rests on and writes one JSON document per run:
   durability off vs the in-memory write-ahead journal vs the file
   backend.  Gated on the *ratio*: the in-memory journal must cost less
   than ``--max-journal-overhead`` (default 10%) over durability off.
+* ``net`` group — ticks/s and request p50/p99 over TCP under external
+  multi-process load (``repro.net.loadgen``), single-process backend vs
+  multi-process shard placement.  The ≥2-worker backend must beat the
+  single-process ticks/s by ``--min-net-speedup`` — but only when the
+  machine has more than one CPU (``meta.cpus`` records the truth);
+  scheduling across processes cannot pay for its pickling on one core.
 
 Usage::
 
-    python benchmarks/harness.py --quick --out BENCH_PR5.json
-    python benchmarks/harness.py --quick --compare BENCH_PR5.json
+    python benchmarks/harness.py --quick --out BENCH_PR6.json
+    python benchmarks/harness.py --quick --compare BENCH_PR6.json
 
 The JSON layout::
 
@@ -32,6 +38,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import platform
 import sys
 import tempfile
@@ -60,9 +67,11 @@ from repro.util.rng import make_rng
 KERNEL = "kernel"
 SIM = "sim"
 SERVICE = "service"
+NET = "net"
 REGRESSION_THRESHOLD = 0.30
 MIN_MULTISLOT_SPEEDUP = 5.0
 MAX_JOURNAL_OVERHEAD = 0.10
+MIN_NET_SPEEDUP = 1.0
 
 
 def _time_calls(fn, calls: int) -> dict[str, float]:
@@ -348,6 +357,38 @@ def bench_journal(quick: bool) -> dict[str, dict]:
     return out
 
 
+def bench_net(quick: bool) -> dict[str, dict]:
+    """The TCP front door under external multi-process load: a
+    single-process backend vs ≥2-worker multi-process shard placement
+    (:mod:`benchmarks.bench_net`).  ``ops_per_s`` is ticks/s; p50/p99
+    are per-request wire latencies from the load processes."""
+    from bench_net import run_net_bench
+
+    requests = 120 if quick else 400
+    out = {}
+    for name, workers in (
+        ("net_tcp_single_process", 0),
+        ("net_tcp_two_workers", 2),
+    ):
+        r = run_net_bench(workers=workers, requests=requests)
+        if not r.conserved:
+            raise RuntimeError(
+                f"{name}: conservation violated "
+                f"({r.submitted} != {r.granted} + {r.rejected})"
+            )
+        out[name] = {
+            "group": NET,
+            "calls": r.ticks,
+            "ops_per_s": r.ticks_per_second,
+            "p50_s": r.p50_ms / 1e3,
+            "p99_s": r.p99_ms / 1e3,
+            "workers": workers,
+            "submitted": r.submitted,
+            "granted": r.granted,
+        }
+    return out
+
+
 def run_suite(quick: bool) -> dict:
     benchmarks: dict[str, dict] = {}
     benchmarks.update(bench_kernels(quick))
@@ -355,6 +396,7 @@ def run_suite(quick: bool) -> dict:
     benchmarks.update(bench_sims(quick))
     benchmarks.update(bench_faults(quick))
     benchmarks.update(bench_journal(quick))
+    benchmarks.update(bench_net(quick))
     # Steady-state ratio: p50 excludes the fast engine's single cold-cache
     # call (its p99), which would otherwise drag a mean-based comparison.
     speedup = (
@@ -364,17 +406,26 @@ def run_suite(quick: bool) -> dict:
     journal_overhead = benchmarks["service_tick_journal_mem"][
         "overhead_vs_nodur"
     ]
+    net_speedup = (
+        benchmarks["net_tcp_two_workers"]["ops_per_s"]
+        / benchmarks["net_tcp_single_process"]["ops_per_s"]
+    )
     return {
         "meta": {
-            "version": 1,
+            "version": 2,
             "quick": quick,
             "python": platform.python_version(),
             "numpy": np.__version__,
+            # The honest basis of the net gate: with one CPU the worker
+            # processes time-share a core and multi-process ticks/s
+            # legitimately trails single-process.
+            "cpus": os.cpu_count(),
         },
         "benchmarks": benchmarks,
         "derived": {
             "multislot_speedup": speedup,
             "journal_mem_overhead": journal_overhead,
+            "net_multiproc_speedup": net_speedup,
         },
     }
 
@@ -416,6 +467,11 @@ def main(argv: list[str] | None = None) -> int:
                         default=MAX_JOURNAL_OVERHEAD,
                         help="allowed in-memory journal p50 tick-latency "
                              "overhead vs durability off (default 0.10)")
+    parser.add_argument("--min-net-speedup", type=float,
+                        default=MIN_NET_SPEEDUP,
+                        help="required two-worker/single-process TCP "
+                             "ticks/s ratio; only enforced when "
+                             "os.cpu_count() > 1 (default 1.0)")
     args = parser.parse_args(argv)
 
     result = run_suite(args.quick)
@@ -429,6 +485,12 @@ def main(argv: list[str] | None = None) -> int:
     journal_overhead = result["derived"]["journal_mem_overhead"]
     print(
         f"in-memory journal tick-latency overhead: {journal_overhead:+.1%}"
+    )
+    net_speedup = result["derived"]["net_multiproc_speedup"]
+    cpus = result["meta"]["cpus"]
+    print(
+        f"TCP two-worker vs single-process ticks/s: {net_speedup:.2f}x "
+        f"({cpus} cpu{'s' if cpus != 1 else ''})"
     )
 
     if args.out:
@@ -445,6 +507,18 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.max_journal_overhead:.0%}"
         )
         status = 1
+    if cpus is not None and cpus > 1:
+        if net_speedup < args.min_net_speedup:
+            print(
+                f"FAIL: net multi-process speedup {net_speedup:.2f}x < "
+                f"{args.min_net_speedup}x"
+            )
+            status = 1
+    else:
+        print(
+            "net speedup gate skipped: single-CPU machine "
+            "(worker processes time-share one core)"
+        )
     if args.compare:
         baseline = json.loads(args.compare.read_text())
         failures = compare(result, baseline, args.threshold)

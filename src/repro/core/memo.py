@@ -93,6 +93,16 @@ class ScheduleCache:
         self.misses = 0
         self.evictions = 0
 
+    def __getstate__(self) -> dict:
+        # Picklable for multiprocessing spawn (schedulers travel to shard
+        # worker processes): the lock is process-local and the contents are
+        # a warm-start optimisation, so both stay behind — the worker gets
+        # a cold cache with the same capacity.
+        return {"maxsize": self.maxsize}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["maxsize"])
+
     def __len__(self) -> int:
         # Taken under the lock: len(OrderedDict) is atomic in CPython, but
         # the cache is shared across shard executor threads and the audit in

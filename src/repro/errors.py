@@ -23,6 +23,9 @@ __all__ = [
     "RetryExhaustedError",
     "DurabilityError",
     "JournalCrashError",
+    "ProtocolError",
+    "FramingError",
+    "WorkerProcessError",
 ]
 
 
@@ -99,6 +102,29 @@ class JournalCrashError(FaultError):
     """A simulated process death severed a journal write mid-record
     (fault injection only — see :class:`repro.faults.TornWriter`).  Real
     crashes do not raise; they just leave the same torn tail behind."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """The wire protocol (:mod:`repro.net`) received bytes it cannot act
+    on: an unknown message type, a malformed body, a handshake violation,
+    or no protocol version in common.  Always a *typed* failure — corrupt
+    or truncated network input must surface as this (or a subclass), never
+    as a bare ``struct.error`` or a reader that hangs."""
+
+
+class FramingError(ProtocolError):
+    """A framed byte *stream* is corrupt: CRC mismatch or an implausible
+    length header.  Fatal to the connection — after corruption there is no
+    way to resynchronize on the next frame boundary.  (Journal decoding
+    never raises this; torn journal tails are tolerated by construction —
+    see :func:`repro.util.framing.decode_frames`.)"""
+
+
+class WorkerProcessError(FaultError):
+    """A shard worker *process* failed in a way its parent cannot repair
+    by respawning: repeated crash loops, a sick reply, or a failure during
+    recovery itself.  Single crashes do not raise — the pool restarts the
+    process and replays the in-flight tick (see :mod:`repro.net.procpool`)."""
 
 
 class UncrossingDidNotConvergeError(ReproError, RuntimeError):

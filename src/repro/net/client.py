@@ -1,0 +1,299 @@
+"""The TCP client for the scheduling service's wire protocol.
+
+:class:`NetClient` speaks :mod:`repro.net.protocol` over the shared
+frame codec: HELLO/WELCOME handshake at connect, pipelined SUBMITs
+correlated by ``seq``, TICK_ADVANCE driving, BYE on close.
+
+Shutdown hygiene is a contract here, with a regression test
+(``tests/test_net_server.py``): closing the client — or cancelling an
+in-flight :meth:`submit` — must close transports cleanly and leave no
+pending tasks behind (no "Task was destroyed but it is pending"
+warnings, no leaked file descriptors under repeated connect/cancel
+cycles).  Concretely: ``close()`` cancels and *awaits* the reader task,
+cancelling a submit detaches its pending future before re-raising, and
+abandoned futures are cancelled (never left with an unretrieved
+exception).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.errors import FramingError, ProtocolError
+from repro.net import protocol as proto
+from repro.util.framing import FrameDecoder, encode_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.distributed import SlotRequest
+
+__all__ = ["NetClient"]
+
+_READ_CHUNK = 65536
+
+
+class NetClient:
+    """One connection to a :class:`~repro.net.server.NetServer`.
+
+    Build with :meth:`connect` (or ``async with NetClient.connect(...)``
+    via :meth:`connect` + context manager).  After the handshake,
+    :attr:`version`, :attr:`n_fibers` and :attr:`k` describe the server.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        welcome: proto.Welcome,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.version = welcome.version
+        self.n_fibers = welcome.n_fibers
+        self.k = welcome.k
+        self._seq = 0
+        self._pending: "dict[int, asyncio.Future[proto.Grant | proto.Reject]]" = {}
+        self._tick_waiters: "deque[asyncio.Future[proto.TickDone]]" = deque()
+        self._closing = False
+        self._conn_error: Exception | None = None
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="repro-netclient-reader"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        versions: tuple[int, ...] = proto.PROTOCOL_VERSIONS,
+        timeout: float = 10.0,
+    ) -> "NetClient":
+        """Open a connection and complete the version handshake."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        try:
+            writer.write(
+                encode_frame(proto.encode_message(proto.Hello(tuple(versions))))
+            )
+            await writer.drain()
+            decoder = FrameDecoder(max_payload=proto.MAX_MESSAGE)
+            payloads: list[bytes] = []
+            while not payloads:
+                data = await asyncio.wait_for(reader.read(_READ_CHUNK), timeout)
+                if not data:
+                    raise ProtocolError("server closed during handshake")
+                payloads = decoder.feed(data)
+            msg = proto.decode_message(payloads[0])
+            if isinstance(msg, proto.ErrorMsg):
+                raise ProtocolError(
+                    f"handshake refused (code {msg.code}): {msg.message}"
+                )
+            if not isinstance(msg, proto.Welcome):
+                raise ProtocolError(
+                    f"expected WELCOME, got {type(msg).__name__}"
+                )
+        except BaseException:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+            raise
+        client = cls(reader, writer, msg)
+        # Frames already buffered behind the WELCOME belong to the reader.
+        for extra in payloads[1:]:
+            client._dispatch(proto.decode_message(extra))
+        return client
+
+    async def __aenter__(self) -> "NetClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closing
+
+    async def close(self) -> None:
+        """Send BYE (best-effort), tear the connection down, reap the
+        reader task, and cancel anything still pending.  Idempotent."""
+        if self._closing:
+            return
+        self._closing = True
+        try:
+            self._writer.write(encode_frame(proto.encode_message(proto.Bye())))
+            await self._writer.drain()
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass
+        self._fail_pending(None)
+
+    def _fail_pending(self, error: Exception | None) -> None:
+        """Resolve every in-flight future: with ``error`` when the
+        connection died underneath us, by cancellation on clean close
+        (cancelled futures never warn about unretrieved exceptions)."""
+        pending = list(self._pending.values()) + list(self._tick_waiters)
+        self._pending.clear()
+        self._tick_waiters.clear()
+        for fut in pending:
+            if fut.done():
+                continue
+            if error is None:
+                fut.cancel()
+            else:
+                fut.set_exception(error)
+
+    # -- requests ------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _check_open(self) -> None:
+        if self._closing:
+            raise ProtocolError("client is closed")
+        if self._conn_error is not None:
+            raise self._conn_error
+
+    def _send(self, msg: "proto.Message") -> None:
+        self._writer.write(encode_frame(proto.encode_message(msg)))
+
+    def submit_nowait(
+        self,
+        request: "SlotRequest",
+        *,
+        timeout_ticks: int = -1,
+        request_id: str = "",
+    ) -> "asyncio.Future[proto.Grant | proto.Reject]":
+        """Send one SUBMIT; the future resolves with the server's
+        :class:`~repro.net.protocol.Grant` or
+        :class:`~repro.net.protocol.Reject` (or raises ProtocolError on a
+        server-side ERROR)."""
+        self._check_open()
+        seq = self._next_seq()
+        fut: "asyncio.Future[proto.Grant | proto.Reject]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[seq] = fut
+        self._send(
+            proto.Submit(
+                seq,
+                request.input_fiber,
+                request.wavelength,
+                request.output_fiber,
+                duration=request.duration,
+                priority=request.priority,
+                timeout_ticks=timeout_ticks,
+                request_id=request_id,
+            )
+        )
+        return fut
+
+    async def submit(
+        self,
+        request: "SlotRequest",
+        *,
+        timeout_ticks: int = -1,
+        request_id: str = "",
+    ) -> "proto.Grant | proto.Reject":
+        """Submit and await the outcome.  Cancelling this coroutine
+        detaches the in-flight future cleanly (hygiene contract)."""
+        fut = self.submit_nowait(
+            request, timeout_ticks=timeout_ticks, request_id=request_id
+        )
+        seq = self._seq
+        try:
+            await self._writer.drain()
+            return await fut
+        except asyncio.CancelledError:
+            self._pending.pop(seq, None)
+            fut.cancel()
+            raise
+
+    async def tick(self, count: int = 1) -> proto.TickDone:
+        """Ask the server to run ``count`` slot ticks; awaits TICK_DONE."""
+        self._check_open()
+        fut: "asyncio.Future[proto.TickDone]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._tick_waiters.append(fut)
+        self._send(proto.TickAdvance(count))
+        try:
+            await self._writer.drain()
+            return await fut
+        except asyncio.CancelledError:
+            try:
+                self._tick_waiters.remove(fut)
+            except ValueError:
+                pass
+            fut.cancel()
+            raise
+
+    # -- the reader task -----------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        decoder = FrameDecoder(max_payload=proto.MAX_MESSAGE)
+        error: Exception | None = None
+        try:
+            while True:
+                data = await self._reader.read(_READ_CHUNK)
+                if not data:
+                    if not decoder.at_boundary:
+                        error = ProtocolError("server closed mid-frame")
+                    elif not self._closing:
+                        error = ConnectionResetError("server closed")
+                    break
+                for payload in decoder.feed(data):
+                    msg = proto.decode_message(payload)
+                    if isinstance(msg, proto.Bye):
+                        return
+                    self._dispatch(msg)
+        except (FramingError, ProtocolError) as exc:
+            error = exc
+        except (ConnectionError, OSError) as exc:
+            if not self._closing:
+                error = ProtocolError(f"connection lost: {exc}")
+        finally:
+            if error is not None:
+                self._conn_error = error
+            self._fail_pending(error)
+
+    def _dispatch(self, msg: "proto.Message") -> None:
+        if isinstance(msg, (proto.Grant, proto.Reject)):
+            fut = self._pending.pop(msg.seq, None)
+            if fut is not None and not fut.done():
+                fut.set_result(msg)
+        elif isinstance(msg, proto.TickDone):
+            if self._tick_waiters:
+                fut = self._tick_waiters.popleft()
+                if not fut.done():
+                    fut.set_result(msg)
+        elif isinstance(msg, proto.ErrorMsg):
+            if msg.seq == 0:
+                raise ProtocolError(
+                    f"connection-level error {msg.code}: {msg.message}"
+                )
+            fut = self._pending.pop(msg.seq, None)
+            if fut is not None and not fut.done():
+                fut.set_exception(
+                    ProtocolError(f"error {msg.code}: {msg.message}")
+                )
+        else:
+            raise ProtocolError(
+                f"unexpected {type(msg).__name__} from server"
+            )

@@ -1,0 +1,306 @@
+"""Process-based load generation for the TCP front door.
+
+Drives a running :class:`~repro.net.server.NetServer` from **separate OS
+processes**: each load process opens its own :class:`NetClient`, submits
+seeded random requests in pipelined batches, and measures per-request
+latency; the caller's process drives slot ticks over its own connection
+until every load process reports back.  This is the external-driver
+shape the open-shop scheduling literature uses — the system under test
+never generates its own load.
+
+``python -m repro.net.loadgen`` is the self-contained integration
+entrypoint used by CI and ``benchmarks/bench_net.py``: it starts a
+multi-process :class:`~repro.net.procservice.ProcessShardedService`
+behind a :class:`NetServer`, fires the load processes at it, then
+asserts the conservation invariant (every submission resolved exactly
+once: ``submitted == granted + Σ rejected.*``) before exiting 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import multiprocessing as mp
+import random
+import statistics
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.core.distributed import SlotRequest
+from repro.errors import ProtocolError
+
+__all__ = ["NetLoadReport", "run_load", "main"]
+
+#: Per-child cap on latency samples shipped back over the queue.
+_MAX_SAMPLES = 10_000
+
+
+@dataclass(frozen=True, slots=True)
+class NetLoadReport:
+    """Aggregate of one :func:`run_load` run."""
+
+    processes: int
+    submitted: int
+    granted: int
+    rejected: int
+    errors: int
+    ticks: int
+    elapsed: float
+    p50_ms: float
+    p99_ms: float
+
+    @property
+    def conserved(self) -> bool:
+        """Every submission resolved exactly once."""
+        return self.submitted == self.granted + self.rejected + self.errors
+
+    @property
+    def ticks_per_second(self) -> float:
+        return self.ticks / self.elapsed if self.elapsed > 0 else 0.0
+
+
+async def _child_async(
+    host: str, port: int, seed: int, n_requests: int, batch: int
+) -> tuple[int, int, int, int, list[float]]:
+    from repro.net.client import NetClient
+    from repro.net import protocol as proto
+
+    rng = random.Random(seed)
+    client = await NetClient.connect(host, port)
+    submitted = granted = rejected = errors = 0
+    latencies: list[float] = []
+    try:
+        n_fibers, k = client.n_fibers, client.k
+        while submitted < n_requests:
+            n = min(batch, n_requests - submitted)
+            reqs = [
+                SlotRequest(
+                    rng.randrange(n_fibers),
+                    rng.randrange(k),
+                    rng.randrange(n_fibers),
+                )
+                for _ in range(n)
+            ]
+            t0 = time.perf_counter()
+            futures = [client.submit_nowait(r) for r in reqs]
+            submitted += n
+            outcomes = await asyncio.gather(*futures, return_exceptions=True)
+            dt = time.perf_counter() - t0
+            if len(latencies) < _MAX_SAMPLES:
+                latencies.extend([dt / n] * n)
+            for out in outcomes:
+                if isinstance(out, proto.Grant):
+                    granted += 1
+                elif isinstance(out, proto.Reject):
+                    rejected += 1
+                else:
+                    errors += 1
+    finally:
+        await client.close()
+    return submitted, granted, rejected, errors, latencies
+
+
+def _child_main(
+    host: str, port: int, seed: int, n_requests: int, batch: int, report_q
+) -> None:
+    """Entry point of one load process (module-level: spawn-picklable)."""
+    try:
+        report_q.put(
+            ("ok", asyncio.run(_child_async(host, port, seed, n_requests, batch)))
+        )
+    except BaseException as exc:  # report, don't hang the parent
+        report_q.put(("error", repr(exc)))
+
+
+async def _drive_and_collect(
+    host: str,
+    port: int,
+    processes: list,
+    report_q,
+    max_ticks: int,
+) -> tuple[list, int]:
+    """Tick the server from this process until every child reported."""
+    from repro.net.client import NetClient
+
+    reports: list = []
+    ticks = 0
+    driver = await NetClient.connect(host, port)
+    try:
+        while len(reports) < len(processes):
+            if ticks >= max_ticks:
+                raise ProtocolError(
+                    f"load did not complete within {max_ticks} ticks"
+                )
+            await driver.tick(1)
+            ticks += 1
+            while True:
+                try:
+                    reports.append(report_q.get_nowait())
+                except Exception:
+                    break
+            # Yield so resolution callbacks run between ticks.
+            await asyncio.sleep(0)
+    finally:
+        await driver.close()
+    return reports, ticks
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    processes: int = 2,
+    requests_per_process: int = 200,
+    batch: int = 8,
+    seed: int = 0,
+    max_ticks: int = 100_000,
+) -> NetLoadReport:
+    """Fire ``processes`` external load processes at a running server.
+
+    Blocking call (it runs its own event loop to drive ticks); call it
+    from a thread when the server shares this process's loop — or, as in
+    ``__main__`` below, run the server on a background thread.
+    """
+    ctx = mp.get_context("spawn")
+    report_q = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_child_main,
+            args=(host, port, seed + i, requests_per_process, batch, report_q),
+            name=f"repro-loadgen-{i}",
+            daemon=True,
+        )
+        for i in range(processes)
+    ]
+    t0 = time.perf_counter()
+    for p in procs:
+        p.start()
+    try:
+        reports, ticks = asyncio.run(
+            _drive_and_collect(host, port, procs, report_q, max_ticks)
+        )
+    finally:
+        for p in procs:
+            p.join(timeout=30.0)
+            if p.is_alive():
+                p.kill()
+                p.join(timeout=5.0)
+    elapsed = time.perf_counter() - t0
+
+    submitted = granted = rejected = errors = 0
+    latencies: list[float] = []
+    for tag, payload in reports:
+        if tag != "ok":
+            raise ProtocolError(f"load process failed: {payload}")
+        s, g, r, e, lat = payload
+        submitted += s
+        granted += g
+        rejected += r
+        errors += e
+        latencies.extend(lat)
+    latencies.sort()
+    if latencies:
+        p50 = statistics.median(latencies) * 1e3
+        p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))] * 1e3
+    else:
+        p50 = p99 = 0.0
+    return NetLoadReport(
+        processes=processes,
+        submitted=submitted,
+        granted=granted,
+        rejected=rejected,
+        errors=errors,
+        ticks=ticks,
+        elapsed=elapsed,
+        p50_ms=p50,
+        p99_ms=p99,
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CI integration entrypoint: multi-process server + external load +
+    conservation assertion.  Exits non-zero on any violation."""
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--n-fibers", type=int, default=8)
+    ap.add_argument("--k", type=int, default=4)
+    ap.add_argument("--workers", type=int, default=2, help="shard worker processes")
+    ap.add_argument("--processes", type=int, default=2, help="load processes")
+    ap.add_argument("--requests", type=int, default=200, help="per load process")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--journal-dir", default=None)
+    args = ap.parse_args(argv)
+
+    import threading
+
+    from repro.core.first_available import FirstAvailableScheduler
+    from repro.graphs.conversion import NonCircularConversion
+    from repro.net.procservice import ProcessShardedService
+    from repro.net.server import NetServer
+
+    loop = asyncio.new_event_loop()
+    service = server = None
+    ready = threading.Event()
+
+    async def _bring_up():
+        nonlocal service, server
+        service = ProcessShardedService(
+            args.n_fibers,
+            NonCircularConversion(args.k, 1, 1),
+            FirstAvailableScheduler(),
+            n_workers=args.workers,
+            journal_dir=args.journal_dir,
+        )
+        server = NetServer(service)
+        await server.start()
+        return server.port
+
+    def _loop_thread():
+        asyncio.set_event_loop(loop)
+        loop.call_soon(ready.set)
+        loop.run_forever()
+
+    t = threading.Thread(target=_loop_thread, name="repro-net-main", daemon=True)
+    t.start()
+    ready.wait()
+    port = asyncio.run_coroutine_threadsafe(_bring_up(), loop).result(60)
+    print(
+        f"server up on 127.0.0.1:{port} — {args.workers} worker processes, "
+        f"placement {service.placement}"
+    )
+    try:
+        report = run_load(
+            "127.0.0.1",
+            port,
+            processes=args.processes,
+            requests_per_process=args.requests,
+            seed=args.seed,
+        )
+    finally:
+        async def _bring_down():
+            await server.stop()
+            await service.stop()
+
+        asyncio.run_coroutine_threadsafe(_bring_down(), loop).result(60)
+        loop.call_soon_threadsafe(loop.stop)
+        t.join(timeout=10.0)
+
+    print(
+        f"load: {report.submitted} submitted, {report.granted} granted, "
+        f"{report.rejected} rejected, {report.errors} errors over "
+        f"{report.ticks} ticks in {report.elapsed:.2f}s "
+        f"({report.ticks_per_second:.0f} ticks/s, "
+        f"p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms)"
+    )
+    if not report.conserved:
+        print("CONSERVATION VIOLATED: submitted != granted + rejected + errors")
+        return 1
+    if report.errors:
+        print(f"{report.errors} submissions resolved with errors")
+        return 1
+    print("conservation holds: every submission resolved exactly once")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

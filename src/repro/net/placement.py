@@ -1,0 +1,114 @@
+"""Consistent-hash shard→worker placement.
+
+The multi-process service assigns each output-fiber shard to a worker
+process with a classic consistent-hash ring: every worker contributes
+``replicas`` virtual points on a circle keyed by a *stable* hash
+(``blake2b`` — never Python's randomized ``hash()``, which would place
+shards differently in every process), and a shard lands on the first
+point clockwise of its own key.
+
+Why a ring instead of ``shard % n_workers``: growing or shrinking the
+worker set moves only ~``1/n`` of the shards, so a future resize
+invalidates only the journals of the shards that actually moved, not
+everyone's.  The placement is a pure function of (worker ids, replicas),
+so parent and tests can both compute it without asking the pool.
+
+With only a handful of shards a bare ring is badly lumpy (16 shards on
+2 workers can split 13/3), which would starve the parallelism the whole
+subsystem exists for — so :meth:`HashRing.placement` uses the
+*bounded-load* variant: a shard whose preferred worker is already at
+capacity ``ceil(n_shards / n_workers)`` walks clockwise to the next
+worker with room.  Balance becomes exact (±1) while most shards still
+sit at their ring-preferred owner, preserving the resize-stability
+property for the ones that matter.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.util.validation import check_positive_int
+
+__all__ = ["HashRing"]
+
+
+def _point(key: str) -> int:
+    """Stable 64-bit ring coordinate for ``key``."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring over a fixed set of worker ids."""
+
+    def __init__(self, nodes: Iterable[int], *, replicas: int = 256) -> None:
+        self.nodes = tuple(nodes)
+        if not self.nodes:
+            raise InvalidParameterError("HashRing needs at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise InvalidParameterError(f"duplicate node ids: {self.nodes}")
+        self.replicas = check_positive_int(replicas, "replicas")
+        points: list[tuple[int, int]] = []
+        for node in self.nodes:
+            for r in range(self.replicas):
+                points.append((_point(f"worker-{node}#{r}"), node))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [n for _, n in points]
+
+    def node_for(self, key: str) -> int:
+        """The node preferring ``key`` (first ring point clockwise;
+        unbounded — :meth:`placement` adds the load bound)."""
+        i = bisect.bisect(self._hashes, _point(key))
+        return self._owners[i % len(self._owners)]
+
+    def placement(self, n_shards: int) -> dict[int, int]:
+        """Bounded-load shard → worker map for shards ``0..n_shards-1``.
+
+        Each shard starts at its ring-preferred worker and walks
+        clockwise past workers already holding
+        ``ceil(n_shards / n_workers)`` shards, so no worker ever exceeds
+        that capacity.  Deterministic: a pure function of the ring and
+        ``n_shards``.
+        """
+        capacity = -(-n_shards // len(self.nodes))
+        load: dict[int, int] = {n: 0 for n in self.nodes}
+        out: dict[int, int] = {}
+        n_points = len(self._owners)
+        for o in range(n_shards):
+            i = bisect.bisect(self._hashes, _point(f"shard-{o}"))
+            for step in range(n_points):
+                owner = self._owners[(i + step) % n_points]
+                if load[owner] < capacity:
+                    out[o] = owner
+                    load[owner] += 1
+                    break
+        # The capacity walk bounds the maximum but not the minimum: with
+        # few shards per worker (e.g. 4 shards on 3 workers) it can leave
+        # a worker empty while another sits at capacity — an idle process
+        # defeats the parallelism this placement exists for.  Fix-up pass:
+        # donate highest-numbered shards from the most-loaded workers
+        # until everyone holds at least ``floor(n_shards / n_workers)``.
+        # Deterministic (max-load donor, node id tie-break) so every
+        # process still computes the identical map.
+        floor = n_shards // len(self.nodes)
+        for needy in sorted(n for n in self.nodes if load[n] < floor):
+            while load[needy] < floor:
+                donor = max(
+                    (n for n in self.nodes if load[n] > floor),
+                    key=lambda n: (load[n], n),
+                )
+                shard = max(o for o, w in out.items() if w == donor)
+                out[shard] = needy
+                load[donor] -= 1
+                load[needy] += 1
+        return out
+
+    def shards_of(self, node: int, n_shards: int) -> list[int]:
+        """Ascending list of shards placed on ``node``."""
+        placement = self.placement(n_shards)
+        return [o for o in range(n_shards) if placement[o] == node]

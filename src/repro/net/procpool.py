@@ -1,0 +1,406 @@
+"""Shard workers in OS processes: spawn, RPC, crash recovery, respawn.
+
+Each worker process owns the shards the consistent-hash ring places on
+it (:mod:`repro.net.placement`): their ``busy[]`` channel clocks, their
+scheduler, and — when a journal directory is given — one write-ahead
+journal per shard in the worker's **own directory**
+(``<journal_dir>/worker-<i>/shard-<o>.wal``), so two processes never
+share a file.
+
+The parent drives workers over ``multiprocessing`` pipes with a tiny
+request/response protocol (tuples, one in flight per worker).  The
+correctness contract under crashes is the same write-ahead discipline as
+PR 5, extended across the process boundary:
+
+* a tick journals its GRANT batches **before** committing them, and an
+  ADVANCE record **after** every owned shard committed — so a journal's
+  tail after a kill is either complete ticks, or complete ticks plus
+  uncommitted GRANTs of the in-flight tick;
+* worker start-up **strips** any records after the last ADVANCE (the
+  write-ahead of a tick the parent never saw complete), rewrites the
+  journal, and replays the rest to rebuild ``busy[]`` exactly;
+* a tick the worker already completed (its slot is behind the recovered
+  clock) is answered **from the journal** — the replayed GRANT records —
+  never re-scheduled, so parent retries after a crash-between-commit-and
+  -reply return bit-identical grants.
+
+The parent's retry loop (:meth:`ProcessShardPool.call`) respawns a dead
+worker and re-sends the same payload; repeated failures of one call
+raise a typed :class:`~repro.errors.WorkerProcessError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.core.distributed import schedule_output_fiber
+from repro.errors import WorkerProcessError
+from repro.net.placement import HashRing
+from repro.service.durability import replay_journal
+from repro.service.journal import (
+    FileJournal,
+    MemoryJournal,
+    RecordType,
+    ShardJournal,
+)
+from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import asyncio
+
+    from repro.core.base import Scheduler
+    from repro.core.policies import GrantPolicy
+    from repro.graphs.conversion import ConversionScheme
+
+__all__ = ["ProcessShardPool", "worker_main"]
+
+#: Poison modes accepted by the test-only ``poison`` op.
+POISON_AFTER_GRANT = "after_grant"
+POISON_BEFORE_REPLY = "before_reply"
+
+
+# -- worker process ----------------------------------------------------------
+
+
+class _WorkerShard:
+    """One owned shard inside a worker process: clock + journal."""
+
+    __slots__ = ("output_fiber", "busy", "journal", "next_tick")
+
+    def __init__(self, output_fiber: int, k: int, journal: ShardJournal) -> None:
+        self.output_fiber = output_fiber
+        self.journal = journal
+        # Strip the write-ahead of an in-flight tick: everything after the
+        # last ADVANCE is GRANTs the parent never saw committed, and the
+        # parent will re-send that tick.  Keeping them would double-apply.
+        records, _torn = journal.reload()
+        last_advance = -1
+        for i, rec in enumerate(records):
+            if rec.type is RecordType.ADVANCE:
+                last_advance = i
+        kept = records[: last_advance + 1]
+        if len(kept) != len(records):
+            journal.rewrite_records(kept)
+        busy, _queue, tick, _n = replay_journal(kept, None, k)
+        self.busy = busy
+        self.next_tick = tick
+
+    def availability(self) -> list[bool]:
+        return [b == 0 for b in self.busy]
+
+    def advance(self, slot: int) -> None:
+        self.journal.advance(slot)
+        self.busy = [b - 1 if b > 0 else 0 for b in self.busy]
+        self.next_tick = slot + 1
+
+    def replayed_grants(self, slot: int) -> list[tuple[int, int, int, int]]:
+        """GRANT tuples this shard journaled for an already-run ``slot``."""
+        out: list[tuple[int, int, int, int]] = []
+        for rec in self.journal.records():
+            if rec.type is RecordType.GRANT and rec.tick == slot:
+                v = rec.values
+                out.extend(
+                    (v[i], v[i + 1], v[i + 2], v[i + 3])
+                    for i in range(0, len(v), 4)
+                )
+        return out
+
+
+def _open_journal(journal_dir: str | None, worker_id: int, o: int) -> ShardJournal:
+    if journal_dir is None:
+        return ShardJournal(MemoryJournal())
+    d = Path(journal_dir) / f"worker-{worker_id}"
+    d.mkdir(parents=True, exist_ok=True)
+    return ShardJournal(FileJournal(d / f"shard-{o}.wal"))
+
+
+def worker_main(
+    conn,
+    worker_id: int,
+    shard_ids: Sequence[int],
+    scheme: "ConversionScheme",
+    scheduler: "Scheduler",
+    policy: "GrantPolicy",
+    journal_dir: str | None,
+) -> None:
+    """Entry point of one shard worker process (module-level: spawn picks
+    it up by reference).  Serves ops off ``conn`` until ``stop`` or EOF."""
+    shards = {
+        o: _WorkerShard(o, scheme.k, _open_journal(journal_dir, worker_id, o))
+        for o in shard_ids
+    }
+    poison: str | None = None
+    conn.send(("ready", {o: s.next_tick for o, s in shards.items()}))
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = msg[0]
+        if op == "run_tick":
+            _slot, work = msg[1], msg[2]
+            result: list[tuple[int, list, list]] = []
+            granted_any = False
+            for o, req_tuples in work:
+                shard = shards[o]
+                requests = [_request_from_wire(t) for t in req_tuples]
+                if _slot < shard.next_tick:
+                    # Redelivery of a completed tick: answer from the
+                    # journal, never re-schedule (busy[] has moved on).
+                    winners = shard.replayed_grants(_slot)
+                    won = {(w[0], w[1]) for w in winners}
+                    rejected = [
+                        (r.input_fiber, r.wavelength)
+                        for r in requests
+                        if (r.input_fiber, r.wavelength) not in won
+                    ]
+                    result.append((o, winners, rejected))
+                    continue
+                _res, granted, rejected_reqs = schedule_output_fiber(
+                    scheme,
+                    scheduler,
+                    policy,
+                    o,
+                    requests,
+                    shard.availability(),
+                    None,
+                )
+                grant_tuples = [
+                    (
+                        g.request.input_fiber,
+                        g.request.wavelength,
+                        g.channel,
+                        g.request.duration,
+                    )
+                    for g in granted
+                ]
+                if grant_tuples:
+                    # Write-ahead: journal before committing.
+                    shard.journal.grant_batch(_slot, grant_tuples)
+                    granted_any = True
+                for _in, _wl, ch, dur in grant_tuples:
+                    shard.busy[ch] = dur
+                result.append(
+                    (
+                        o,
+                        grant_tuples,
+                        [
+                            (r.input_fiber, r.wavelength)
+                            for r in rejected_reqs
+                        ],
+                    )
+                )
+            if poison == POISON_AFTER_GRANT and granted_any:
+                os._exit(1)  # died between grant journaling and advance
+            for shard in shards.values():
+                if _slot >= shard.next_tick:
+                    shard.advance(_slot)
+            if poison == POISON_BEFORE_REPLY:
+                os._exit(1)  # died after completing, before replying
+            conn.send(("tick_done", result))
+        elif op == "busy":
+            conn.send(("busy", {o: list(s.busy) for o, s in shards.items()}))
+        elif op == "poison":
+            poison = msg[1]
+            conn.send(("ok",))
+        elif op == "stop":
+            for s in shards.values():
+                s.journal.close()
+            conn.send(("ok",))
+            break
+        else:
+            conn.send(("error", f"unknown op {op!r}"))
+
+
+def _request_from_wire(t: tuple) -> "Any":
+    from repro.core.distributed import SlotRequest
+
+    return SlotRequest(t[0], t[1], t[2], duration=t[3], priority=t[4])
+
+
+def request_wire_tuple(r) -> tuple[int, int, int, int, int]:
+    """The pipe-side encoding of a SlotRequest (plain ints pickle fast)."""
+    return (r.input_fiber, r.wavelength, r.output_fiber, r.duration, r.priority)
+
+
+# -- parent-side pool --------------------------------------------------------
+
+
+class _WorkerHandle:
+    __slots__ = ("worker_id", "process", "conn", "lock", "respawns")
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.process = None
+        self.conn = None
+        self.lock = threading.Lock()
+        self.respawns = 0
+
+
+class ProcessShardPool:
+    """Spawns, supervises, and talks to the shard worker processes.
+
+    ``call`` is the only RPC surface: it is thread-safe per worker, runs
+    on the pool's executor (so asyncio callers use
+    :meth:`call_async`), respawns dead workers (journal recovery happens
+    in the worker's ``__init__``) and retries the payload — safe because
+    ticks are idempotent on redelivery.
+    """
+
+    #: Respawn-and-retry attempts per call before giving up.
+    MAX_RETRIES = 3
+
+    def __init__(
+        self,
+        n_fibers: int,
+        scheme: "ConversionScheme",
+        scheduler: "Scheduler",
+        policy: "GrantPolicy",
+        *,
+        n_workers: int = 2,
+        journal_dir: str | os.PathLike | None = None,
+        ring_replicas: int = 256,
+    ) -> None:
+        self.n_fibers = check_positive_int(n_fibers, "n_fibers")
+        check_positive_int(n_workers, "n_workers")
+        self.scheme = scheme
+        self.scheduler = scheduler
+        self.policy = policy
+        self.journal_dir = None if journal_dir is None else str(journal_dir)
+        self.ring = HashRing(range(n_workers), replicas=ring_replicas)
+        self.placement = self.ring.placement(n_fibers)
+        self._ctx = mp.get_context("spawn")
+        self._workers = [_WorkerHandle(i) for i in range(n_workers)]
+        self._executor = ThreadPoolExecutor(
+            max_workers=n_workers, thread_name_prefix="repro-procpool"
+        )
+        self._closed = False
+        for h in self._workers:
+            self._spawn(h)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    def shards_of(self, worker_id: int) -> list[int]:
+        return self.ring.shards_of(worker_id, self.n_fibers)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _spawn(self, h: _WorkerHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        h.process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                child_conn,
+                h.worker_id,
+                self.shards_of(h.worker_id),
+                self.scheme,
+                self.scheduler,
+                self.policy,
+                self.journal_dir,
+            ),
+            name=f"repro-shard-worker-{h.worker_id}",
+            daemon=True,
+        )
+        h.process.start()
+        child_conn.close()
+        h.conn = parent_conn
+        tag, _payload = self._recv(h)
+        if tag != "ready":
+            raise WorkerProcessError(
+                f"worker {h.worker_id} failed to start: {tag!r}"
+            )
+
+    def _recv(self, h: _WorkerHandle, timeout: float = 30.0):
+        """Receive one reply, noticing a dead process promptly."""
+        waited = 0.0
+        step = 0.02
+        while not h.conn.poll(step):
+            waited += step
+            if not h.process.is_alive():
+                raise EOFError(f"worker {h.worker_id} died")
+            if waited >= timeout:
+                raise WorkerProcessError(
+                    f"worker {h.worker_id} unresponsive for {timeout}s"
+                )
+        return h.conn.recv()
+
+    def call(self, worker_id: int, op: str, *args) -> Any:
+        """Send one op and wait for its reply, respawning on crash."""
+        if self._closed:
+            raise WorkerProcessError("pool is stopped")
+        h = self._workers[worker_id]
+        with h.lock:
+            last: BaseException | None = None
+            for _attempt in range(self.MAX_RETRIES):
+                try:
+                    if h.conn is None or not h.process.is_alive():
+                        raise EOFError(f"worker {worker_id} is down")
+                    h.conn.send((op, *args))
+                    tag, *payload = self._recv(h)
+                    if tag == "error":
+                        raise WorkerProcessError(
+                            f"worker {worker_id}: {payload[0]}"
+                        )
+                    return payload[0] if payload else None
+                except (EOFError, OSError, BrokenPipeError) as exc:
+                    last = exc
+                    self._respawn_locked(h)
+            raise WorkerProcessError(
+                f"worker {worker_id} kept dying "
+                f"({self.MAX_RETRIES} respawns)"
+            ) from last
+
+    async def call_async(
+        self, loop: "asyncio.AbstractEventLoop", worker_id: int, op: str, *args
+    ) -> Any:
+        return await loop.run_in_executor(
+            self._executor, lambda: self.call(worker_id, op, *args)
+        )
+
+    def _respawn_locked(self, h: _WorkerHandle) -> None:
+        """Replace a dead worker (caller holds ``h.lock``)."""
+        if h.conn is not None:
+            h.conn.close()
+            h.conn = None
+        if h.process is not None:
+            h.process.join(timeout=5.0)
+        h.respawns += 1
+        self._spawn(h)
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Hard-kill a worker (tests/chaos): SIGKILL, no cleanup."""
+        h = self._workers[worker_id]
+        if h.process is not None and h.process.is_alive():
+            h.process.kill()
+            h.process.join(timeout=5.0)
+
+    def stop(self) -> None:
+        """Stop every worker cleanly; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for h in self._workers:
+            with h.lock:
+                try:
+                    if h.conn is not None and h.process.is_alive():
+                        h.conn.send(("stop",))
+                        self._recv(h, timeout=5.0)
+                except (EOFError, OSError, BrokenPipeError, WorkerProcessError):
+                    pass
+                finally:
+                    if h.conn is not None:
+                        h.conn.close()
+                        h.conn = None
+                    if h.process is not None:
+                        h.process.join(timeout=5.0)
+                        if h.process.is_alive():
+                            h.process.kill()
+                            h.process.join(timeout=5.0)
+        self._executor.shutdown(wait=True)

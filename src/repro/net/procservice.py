@@ -1,0 +1,323 @@
+"""The multi-process scheduling service: shards in worker processes.
+
+:class:`ProcessShardedService` keeps the *same* tick semantics as the
+in-process :class:`~repro.service.server.SchedulingService` — same
+bounded queues, same submission edge (dedup, counters), same input-side
+admission state machine (:mod:`repro.service.tickloop`), same FIFO /
+fiber-order discipline — but runs step 3 (per-output scheduling) and
+step 5 (channel-clock advance) inside OS worker processes chosen by
+consistent-hash placement (:mod:`repro.net.procpool`).
+
+Because the per-output decision is a pure function of (scheme,
+scheduler, stateless policy, requests, busy[]) — the paper's
+decomposition — moving it across a process boundary cannot change any
+grant: the slot-by-slot equivalence gate against
+:class:`~repro.sim.engine.SlottedSimulator` holds bit-identically, and
+``tests/test_net_equivalence.py`` enforces it, kills included.
+
+What the parent keeps in-process: queues (requests not yet drained),
+futures, dedup, admission.  What each worker owns: its shards'
+``busy[]`` clocks and their write-ahead journals (its own directory).
+A killed worker is respawned by the pool, rebuilds ``busy[]`` by journal
+replay, and the in-flight tick is re-delivered idempotently — grants a
+dead worker had already journaled are replayed from the journal, never
+re-scheduled.
+
+Statefulness rule: the grant policy must be **stateless**
+(``export_state() is None``, e.g. the default
+:class:`~repro.core.policies.FixedPriorityPolicy`) — the same caveat as
+the in-process THREADS mode, because shards on different workers cannot
+share one mutating policy object.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from typing import TYPE_CHECKING
+
+from repro.core.distributed import SlotRequest, validate_slot_request
+from repro.core.policies import FixedPriorityPolicy, GrantPolicy
+from repro.errors import InvalidParameterError, SimulationError
+from repro.net.procpool import ProcessShardPool, request_wire_tuple
+from repro.service.edge import PendingRequest, SubmissionEdge
+from repro.service.queue import BoundedQueue, OverflowPolicy
+from repro.service.server import Rejected, RejectReason, ServiceGrant
+from repro.service.telemetry import Telemetry
+from repro.service.tickloop import InputAdmission
+from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import Scheduler
+    from repro.graphs.conversion import ConversionScheme
+
+__all__ = ["ProcessShardedService"]
+
+
+class ProcessShardedService:
+    """Sharded scheduling service with multi-process shard placement.
+
+    The submission/tick surface mirrors
+    :class:`~repro.service.server.SchedulingService` (``submit_nowait`` /
+    ``submit`` / ``tick`` / ``run_ticks`` / ``drain`` / ``stop``), so the
+    TCP front door (:class:`repro.net.server.NetServer`) serves either
+    backend unchanged.
+    """
+
+    def __init__(
+        self,
+        n_fibers: int,
+        scheme: "ConversionScheme",
+        scheduler: "Scheduler",
+        *,
+        policy: GrantPolicy | None = None,
+        n_workers: int = 2,
+        journal_dir: str | os.PathLike | None = None,
+        queue_capacity: int | None = None,
+        overflow: OverflowPolicy = OverflowPolicy.REJECT,
+        max_batch_per_tick: int | None = None,
+        tick_interval: float = 0.001,
+        dedup_capacity: int = 0,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.n_fibers = check_positive_int(n_fibers, "n_fibers")
+        self.scheme = scheme
+        self.policy = policy if policy is not None else FixedPriorityPolicy()
+        if self.policy.export_state() is not None:
+            raise InvalidParameterError(
+                "multi-process placement needs a stateless grant policy "
+                "(export_state() is None) — shards on different workers "
+                "cannot share one mutating policy object; use "
+                "FixedPriorityPolicy or a per-call-deterministic policy"
+            )
+        if max_batch_per_tick is not None:
+            check_positive_int(max_batch_per_tick, "max_batch_per_tick")
+        if tick_interval < 0:
+            raise InvalidParameterError(
+                f"tick_interval must be >= 0, got {tick_interval}"
+            )
+        self.max_batch_per_tick = max_batch_per_tick
+        self.tick_interval = float(tick_interval)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.edge = SubmissionEdge(self.telemetry, dedup_capacity=dedup_capacity)
+        self._admission = InputAdmission(self.n_fibers, scheme.k)
+        self.queues = [
+            BoundedQueue(queue_capacity, overflow) for _ in range(self.n_fibers)
+        ]
+        self.pool = ProcessShardPool(
+            self.n_fibers,
+            scheme,
+            scheduler,
+            self.policy,
+            n_workers=n_workers,
+            journal_dir=journal_dir,
+        )
+        self._slot = 0
+        self._closed = False
+        self._timer_task: "asyncio.Task[None] | None" = None
+        self._c_ticks = self.telemetry.counter("server.ticks")
+        self._g_slot = self.telemetry.gauge("server.slot")
+        self._g_depth = self.telemetry.gauge("server.queue_depth_total")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def slot(self) -> int:
+        return self._slot
+
+    @property
+    def n_workers(self) -> int:
+        return self.pool.n_workers
+
+    @property
+    def placement(self) -> dict[int, int]:
+        """shard → worker-process map (consistent-hash, stable)."""
+        return dict(self.pool.placement)
+
+    @property
+    def queue_depth_total(self) -> int:
+        return sum(q.depth for q in self.queues)
+
+    def worker_busy(self, output_fiber: int) -> list[int]:
+        """The owning worker process's live ``busy[]`` for one shard
+        (crosses the process boundary; tests and debugging)."""
+        owner = self.pool.placement[output_fiber]
+        return self.pool.call(owner, "busy")[output_fiber]
+
+    # -- submission ----------------------------------------------------------
+
+    def submit_nowait(
+        self,
+        request: SlotRequest,
+        timeout: float | None = None,
+        *,
+        request_id: str | None = None,
+    ) -> "asyncio.Future[ServiceGrant | Rejected]":
+        """Enqueue ``request``; same contract as the in-process service
+        (validation, deadline, dedup, overflow policy)."""
+        if self._closed:
+            raise SimulationError("service is stopped")
+        validate_slot_request(request, self.n_fibers, self.scheme.k)
+        if timeout is not None and timeout < 0:
+            raise InvalidParameterError(f"timeout must be >= 0, got {timeout}")
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[ServiceGrant | Rejected]" = loop.create_future()
+        deadline = None if timeout is None else loop.time() + timeout
+        if request_id is not None:
+            request_id = self.edge.check_duplicate(
+                request, request_id, future, self._slot
+            )
+            if future.done():
+                return future
+        pending = PendingRequest(
+            request, future, deadline, time.perf_counter(), request_id
+        )
+        self.edge.c_submitted.inc()
+        queue = self.queues[request.output_fiber]
+        offer = queue.offer(pending)
+        if offer.evicted is not None:
+            self.edge.resolve_rejected(offer.evicted, RejectReason.DROPPED)
+        if not offer.accepted:
+            reason = (
+                RejectReason.QUEUE_FULL
+                if queue.policy is OverflowPolicy.REJECT
+                else RejectReason.DROPPED
+            )
+            self.edge.resolve_rejected(pending, reason)
+        return future
+
+    async def submit(
+        self, request: SlotRequest, timeout: float | None = None
+    ) -> "ServiceGrant | Rejected":
+        return await self.submit_nowait(request, timeout)
+
+    # -- one slot tick -------------------------------------------------------
+
+    async def tick(self) -> int:
+        """Run one slot tick across the worker processes; returns grants."""
+        if self._closed:
+            raise SimulationError("service is stopped")
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        slot = self._slot
+
+        # 1 + 2: drain + admission, shards in fiber order (identical code
+        # path to the in-process service: repro/service/tickloop.py).
+        work: dict[int, list[PendingRequest]] = {}
+        seen_inputs = self._admission.begin_tick()
+        for o in range(self.n_fibers):
+            drained = self.queues[o].drain(self.max_batch_per_tick)
+            survivors, expired, blocked = self._admission.admit(
+                drained, now, seen_inputs
+            )
+            for p in expired:
+                self.edge.resolve_rejected(p, RejectReason.TIMED_OUT, slot)
+            for p in blocked:
+                self.edge.resolve_rejected(p, RejectReason.SOURCE_BLOCKED, slot)
+            if survivors:
+                work[o] = survivors
+
+        # 3: fan out to the worker processes.  EVERY worker runs the tick
+        # (workers advance their owned shards' channel clocks even with no
+        # requests this slot — the physical clock never skips).
+        payloads: dict[int, list[tuple[int, list[tuple]]]] = {
+            w: [] for w in range(self.pool.n_workers)
+        }
+        for o, survivors in work.items():
+            payloads[self.pool.placement[o]].append(
+                (o, [request_wire_tuple(p.request) for p in survivors])
+            )
+        replies = await asyncio.gather(
+            *(
+                self.pool.call_async(loop, w, "run_tick", slot, payload)
+                for w, payload in payloads.items()
+            )
+        )
+
+        # 4: commit in fiber order (resolution order matches the
+        # in-process service, so counters and futures line up exactly).
+        by_shard: dict[int, tuple[list, list]] = {}
+        for reply in replies:
+            for o, grant_tuples, rejected_pairs in reply:
+                by_shard[o] = (grant_tuples, rejected_pairs)
+        n_granted = 0
+        for o in sorted(work):
+            survivors = work[o]
+            grant_tuples, rejected_pairs = by_shard[o]
+            by_input = {
+                (p.request.input_fiber, p.request.wavelength): p
+                for p in survivors
+            }
+            for in_f, wl, channel, _dur in grant_tuples:
+                p = by_input[(in_f, wl)]
+                self._admission.hold(p.request)
+                self.edge.c_granted.inc()
+                self.edge.resolve(p, ServiceGrant(p.request, channel, slot))
+                n_granted += 1
+            for in_f, wl in rejected_pairs:
+                self.edge.resolve_rejected(
+                    by_input[(in_f, wl)], RejectReason.CONTENTION, slot
+                )
+
+        # 5: advance the input-side clock (workers advanced theirs in 3).
+        self._admission.decay()
+        self._slot += 1
+        self._c_ticks.inc()
+        self._g_slot.set(self._slot)
+        self._g_depth.set(self.queue_depth_total)
+        return n_granted
+
+    # -- run modes -----------------------------------------------------------
+
+    async def run_ticks(self, n: int) -> int:
+        check_positive_int(n, "n")
+        return sum([await self.tick() for _ in range(n)])
+
+    async def drain(self, max_ticks: int = 10_000) -> None:
+        ticks = 0
+        while self.queue_depth_total > 0:
+            if ticks >= max_ticks:
+                raise SimulationError(
+                    f"queues not drained after {max_ticks} ticks"
+                )
+            await self.tick()
+            ticks += 1
+
+    def start(self) -> None:
+        """Run ticks on a background task every ``tick_interval`` seconds."""
+        if self._timer_task is not None:
+            raise SimulationError("service already started")
+        if self._closed:
+            raise SimulationError("service is stopped")
+        self._timer_task = asyncio.get_running_loop().create_task(
+            self._timer_loop(), name="repro-procservice-ticks"
+        )
+
+    async def _timer_loop(self) -> None:
+        while True:
+            await self.tick()
+            await asyncio.sleep(self.tick_interval)
+
+    # -- chaos (tests) -------------------------------------------------------
+
+    def kill_worker(self, worker_id: int) -> None:
+        """SIGKILL one worker process; the next tick respawns and recovers
+        it from its journals (needs ``journal_dir`` for kill durability)."""
+        self.pool.kill_worker(worker_id)
+
+    async def stop(self) -> None:
+        """Stop ticking, flush queued requests as SHUTDOWN, stop workers."""
+        if self._timer_task is not None:
+            self._timer_task.cancel()
+            try:
+                await self._timer_task
+            except asyncio.CancelledError:
+                pass
+            self._timer_task = None
+        if not self._closed:
+            self._closed = True
+            for queue in self.queues:
+                for p in queue.drain():
+                    self.edge.resolve_rejected(p, RejectReason.SHUTDOWN)
+            self.pool.stop()

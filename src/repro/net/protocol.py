@@ -1,0 +1,396 @@
+"""Typed binary messages for the scheduling service's TCP front door.
+
+Every message is one frame (:mod:`repro.util.framing`) whose payload is a
+one-byte type tag followed by a fixed big-endian body.  The codec is
+deliberately tiny: :func:`encode_message` produces the *payload* (the
+transport frames it), :func:`decode_message` parses one payload back and
+raises a typed :class:`~repro.errors.ProtocolError` on anything it cannot
+act on — an unknown tag, a short body, trailing garbage.  Arbitrary bytes
+must never surface as a bare ``struct.error`` or hang a reader.
+
+Connection lifecycle (version negotiation)::
+
+    client                                server
+      | -- HELLO [versions I speak] -------> |
+      | <-- WELCOME [chosen, n_fibers, k] -- |   (or ERROR + close)
+      | -- SUBMIT seq=1 ... ---------------> |
+      | -- TICK_ADVANCE -------------------> |
+      | <-- GRANT seq=1 ... ---------------- |   (resolutions, any order)
+      | <-- TICK_DONE slot ... ------------- |
+      | -- BYE ----------------------------> |   (clean shutdown)
+
+``seq`` is a per-connection client-chosen correlation id (> 0); the
+server echoes it on GRANT/REJECT/ERROR so responses can arrive out of
+order.  ``seq == 0`` on an ERROR means the error is connection-level
+(handshake violation, corrupt frame) and the server will close.
+
+Version negotiation: the client's HELLO lists every protocol version it
+speaks; the server picks the highest it also speaks
+(:func:`negotiate_version`) and echoes it in WELCOME, or answers ERROR
+``no common protocol version`` and closes.  The current (only) version
+is 1.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.core.distributed import SlotRequest
+from repro.errors import ProtocolError
+from repro.service.server import RejectReason
+
+__all__ = [
+    "PROTOCOL_VERSIONS",
+    "MAX_MESSAGE",
+    "MsgType",
+    "ErrorCode",
+    "Hello",
+    "Welcome",
+    "ErrorMsg",
+    "Bye",
+    "Submit",
+    "Grant",
+    "Reject",
+    "TickAdvance",
+    "TickDone",
+    "Message",
+    "encode_message",
+    "decode_message",
+    "negotiate_version",
+    "reject_reason_code",
+    "reject_reason_from_code",
+]
+
+#: Every protocol version this build speaks, ascending.
+PROTOCOL_VERSIONS: tuple[int, ...] = (1,)
+
+#: Upper bound on one message payload; a protocol frame beyond this is
+#: corruption, not a big message (the largest legal message is a few
+#: hundred bytes of ERROR text).
+MAX_MESSAGE = 4096
+
+
+class MsgType(enum.IntEnum):
+    """One-byte message tags (never renumber; append only)."""
+
+    HELLO = 0x01
+    WELCOME = 0x02
+    ERROR = 0x03
+    BYE = 0x04
+    SUBMIT = 0x05
+    GRANT = 0x06
+    REJECT = 0x07
+    TICK_ADVANCE = 0x08
+    TICK_DONE = 0x09
+
+
+class ErrorCode(enum.IntEnum):
+    """Stable codes carried by :class:`ErrorMsg` (append only)."""
+
+    #: HELLO listed no version the server speaks.
+    NO_COMMON_VERSION = 1
+    #: A message arrived before (or instead of) the HELLO handshake.
+    HANDSHAKE_REQUIRED = 2
+    #: The message body failed validation (bad fiber/wavelength/seq).
+    BAD_REQUEST = 3
+    #: The server is shutting down; in-flight work resolves SHUTDOWN.
+    SHUTTING_DOWN = 4
+    #: Anything else the server could not act on.
+    INTERNAL = 5
+
+
+# -- stable RejectReason <-> u8 codes ---------------------------------------
+
+#: Wire codes for :class:`~repro.service.server.RejectReason` (append only;
+#: the enum's *names* are the contract, not its definition order).
+_REASON_CODES: dict[RejectReason, int] = {
+    RejectReason.CONTENTION: 1,
+    RejectReason.SOURCE_BLOCKED: 2,
+    RejectReason.QUEUE_FULL: 3,
+    RejectReason.DROPPED: 4,
+    RejectReason.TIMED_OUT: 5,
+    RejectReason.SHUTDOWN: 6,
+    RejectReason.SHARD_DOWN: 7,
+    RejectReason.CIRCUIT_OPEN: 8,
+    RejectReason.DUPLICATE: 9,
+}
+_CODE_REASONS = {code: reason for reason, code in _REASON_CODES.items()}
+assert len(_REASON_CODES) == len(RejectReason), "unmapped RejectReason"
+
+
+def reject_reason_code(reason: RejectReason) -> int:
+    return _REASON_CODES[reason]
+
+
+def reject_reason_from_code(code: int) -> RejectReason:
+    try:
+        return _CODE_REASONS[code]
+    except KeyError:
+        raise ProtocolError(f"unknown reject-reason code {code}") from None
+
+
+# -- messages ----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Hello:
+    """Client's opener: every protocol version it speaks."""
+
+    versions: tuple[int, ...] = PROTOCOL_VERSIONS
+
+
+@dataclass(frozen=True, slots=True)
+class Welcome:
+    """Server's handshake reply: chosen version + interconnect shape."""
+
+    version: int
+    n_fibers: int
+    k: int
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorMsg:
+    """A typed failure.  ``seq == 0`` means connection-level (the server
+    closes after sending); otherwise it resolves that submission."""
+
+    seq: int
+    code: int
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
+class Bye:
+    """Clean shutdown: no more messages will follow from the sender."""
+
+
+@dataclass(frozen=True, slots=True)
+class Submit:
+    """One slot request.  ``seq`` (> 0) correlates the response;
+    ``timeout_ticks < 0`` means no deadline; ``request_id`` is the
+    optional idempotency key (empty = none)."""
+
+    seq: int
+    input_fiber: int
+    wavelength: int
+    output_fiber: int
+    duration: int = 1
+    priority: int = 0
+    timeout_ticks: int = -1
+    request_id: str = ""
+
+    def to_request(self) -> SlotRequest:
+        return SlotRequest(
+            self.input_fiber,
+            self.wavelength,
+            self.output_fiber,
+            duration=self.duration,
+            priority=self.priority,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Grant:
+    """The submission ``seq`` was granted ``channel`` at ``slot``."""
+
+    seq: int
+    channel: int
+    slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class Reject:
+    """The submission ``seq`` resolved without a channel.
+    ``slot == -1`` means the rejection predates any tick."""
+
+    seq: int
+    reason: RejectReason
+    slot: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class TickAdvance:
+    """Run ``count`` slot ticks, then answer one TICK_DONE."""
+
+    count: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class TickDone:
+    """Ticks completed; ``slot`` is the next slot index,
+    ``granted`` the number of grants those ticks issued."""
+
+    slot: int
+    granted: int
+
+
+Message = (
+    Hello | Welcome | ErrorMsg | Bye | Submit | Grant | Reject | TickAdvance | TickDone
+)
+
+
+# -- codec -------------------------------------------------------------------
+
+_WELCOME = struct.Struct("!HII")
+_ERROR_HEAD = struct.Struct("!QHH")
+_SUBMIT_HEAD = struct.Struct("!QIIIIiqH")
+_GRANT = struct.Struct("!QIq")
+_REJECT = struct.Struct("!QBq")
+_TICK_ADVANCE = struct.Struct("!I")
+_TICK_DONE = struct.Struct("!qI")
+
+_MAX_ERROR_TEXT = 1024
+_MAX_REQUEST_ID = 256
+_MAX_VERSIONS = 64
+
+
+def encode_message(msg: Message) -> bytes:
+    """Serialize ``msg`` to one frame payload (tag byte + body)."""
+    if isinstance(msg, Hello):
+        if not msg.versions or len(msg.versions) > _MAX_VERSIONS:
+            raise ProtocolError(
+                f"HELLO must list 1..{_MAX_VERSIONS} versions, "
+                f"got {len(msg.versions)}"
+            )
+        return (
+            bytes([MsgType.HELLO, len(msg.versions)])
+            + struct.pack(f"!{len(msg.versions)}H", *msg.versions)
+        )
+    if isinstance(msg, Welcome):
+        return bytes([MsgType.WELCOME]) + _WELCOME.pack(
+            msg.version, msg.n_fibers, msg.k
+        )
+    if isinstance(msg, ErrorMsg):
+        text = msg.message.encode("utf-8")[:_MAX_ERROR_TEXT]
+        return (
+            bytes([MsgType.ERROR])
+            + _ERROR_HEAD.pack(msg.seq, msg.code, len(text))
+            + text
+        )
+    if isinstance(msg, Bye):
+        return bytes([MsgType.BYE])
+    if isinstance(msg, Submit):
+        rid = msg.request_id.encode("utf-8")
+        if len(rid) > _MAX_REQUEST_ID:
+            raise ProtocolError(
+                f"request_id of {len(rid)} bytes exceeds {_MAX_REQUEST_ID}"
+            )
+        return (
+            bytes([MsgType.SUBMIT])
+            + _SUBMIT_HEAD.pack(
+                msg.seq,
+                msg.input_fiber,
+                msg.wavelength,
+                msg.output_fiber,
+                msg.duration,
+                msg.priority,
+                msg.timeout_ticks,
+                len(rid),
+            )
+            + rid
+        )
+    if isinstance(msg, Grant):
+        return bytes([MsgType.GRANT]) + _GRANT.pack(msg.seq, msg.channel, msg.slot)
+    if isinstance(msg, Reject):
+        return bytes([MsgType.REJECT]) + _REJECT.pack(
+            msg.seq, reject_reason_code(msg.reason), msg.slot
+        )
+    if isinstance(msg, TickAdvance):
+        return bytes([MsgType.TICK_ADVANCE]) + _TICK_ADVANCE.pack(msg.count)
+    if isinstance(msg, TickDone):
+        return bytes([MsgType.TICK_DONE]) + _TICK_DONE.pack(msg.slot, msg.granted)
+    raise ProtocolError(f"cannot encode {type(msg).__name__}")
+
+
+def _exact(payload: bytes, fmt: struct.Struct, name: str) -> tuple:
+    if len(payload) != 1 + fmt.size:
+        raise ProtocolError(
+            f"{name} body is {len(payload) - 1} bytes, expected {fmt.size}"
+        )
+    return fmt.unpack_from(payload, 1)
+
+
+def decode_message(payload: bytes) -> Message:
+    """Parse one frame payload back into a message.
+
+    Raises :class:`~repro.errors.ProtocolError` on an unknown tag, a
+    wrong-size body, or trailing garbage — never a bare ``struct.error``.
+    """
+    if not payload:
+        raise ProtocolError("empty message payload")
+    tag = payload[0]
+    try:
+        mtype = MsgType(tag)
+    except ValueError:
+        raise ProtocolError(f"unknown message tag 0x{tag:02x}") from None
+    try:
+        if mtype is MsgType.HELLO:
+            if len(payload) < 2:
+                raise ProtocolError("HELLO missing version count")
+            n = payload[1]
+            if n == 0 or n > _MAX_VERSIONS:
+                raise ProtocolError(f"HELLO version count {n} out of range")
+            if len(payload) != 2 + 2 * n:
+                raise ProtocolError("HELLO body length disagrees with count")
+            return Hello(struct.unpack_from(f"!{n}H", payload, 2))
+        if mtype is MsgType.WELCOME:
+            return Welcome(*_exact(payload, _WELCOME, "WELCOME"))
+        if mtype is MsgType.ERROR:
+            if len(payload) < 1 + _ERROR_HEAD.size:
+                raise ProtocolError("ERROR body too short")
+            seq, code, text_len = _ERROR_HEAD.unpack_from(payload, 1)
+            text = payload[1 + _ERROR_HEAD.size :]
+            if len(text) != text_len:
+                raise ProtocolError("ERROR text length disagrees with header")
+            return ErrorMsg(seq, code, text.decode("utf-8", "replace"))
+        if mtype is MsgType.BYE:
+            if len(payload) != 1:
+                raise ProtocolError("BYE carries no body")
+            return Bye()
+        if mtype is MsgType.SUBMIT:
+            if len(payload) < 1 + _SUBMIT_HEAD.size:
+                raise ProtocolError("SUBMIT body too short")
+            (seq, inf, wl, outf, dur, prio, timeout, rid_len) = (
+                _SUBMIT_HEAD.unpack_from(payload, 1)
+            )
+            rid = payload[1 + _SUBMIT_HEAD.size :]
+            if len(rid) != rid_len:
+                raise ProtocolError(
+                    "SUBMIT request_id length disagrees with header"
+                )
+            if seq == 0:
+                raise ProtocolError("SUBMIT seq must be > 0")
+            return Submit(
+                seq,
+                inf,
+                wl,
+                outf,
+                duration=dur,
+                priority=prio,
+                timeout_ticks=timeout,
+                request_id=rid.decode("utf-8", "replace"),
+            )
+        if mtype is MsgType.GRANT:
+            return Grant(*_exact(payload, _GRANT, "GRANT"))
+        if mtype is MsgType.REJECT:
+            seq, code, slot = _exact(payload, _REJECT, "REJECT")
+            return Reject(seq, reject_reason_from_code(code), slot)
+        if mtype is MsgType.TICK_ADVANCE:
+            (count,) = _exact(payload, _TICK_ADVANCE, "TICK_ADVANCE")
+            if count == 0:
+                raise ProtocolError("TICK_ADVANCE count must be > 0")
+            return TickAdvance(count)
+        # TICK_DONE
+        return TickDone(*_exact(payload, _TICK_DONE, "TICK_DONE"))
+    except struct.error as exc:  # defensive: any unpack slip is typed
+        raise ProtocolError(f"malformed {mtype.name} body: {exc}") from exc
+
+
+def negotiate_version(
+    client_versions: tuple[int, ...] | list[int],
+    server_versions: tuple[int, ...] = PROTOCOL_VERSIONS,
+) -> int | None:
+    """Highest protocol version both sides speak, or None."""
+    common = set(client_versions) & set(server_versions)
+    return max(common) if common else None

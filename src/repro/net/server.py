@@ -1,0 +1,287 @@
+"""The asyncio TCP front door for the scheduling service.
+
+One :class:`NetServer` wraps any backend with the service surface
+(``submit_nowait`` / ``tick`` / ``slot`` / ``n_fibers`` / ``scheme``) —
+the in-process :class:`~repro.service.server.SchedulingService` or the
+multi-process :class:`~repro.net.procservice.ProcessShardedService` —
+and serves the wire protocol (:mod:`repro.net.protocol`) over length+CRC
+frames (:mod:`repro.util.framing`).
+
+Per-connection discipline:
+
+* the first message must be HELLO; the server answers WELCOME with the
+  negotiated version and the interconnect shape, or ERROR
+  ``NO_COMMON_VERSION`` and closes;
+* SUBMIT resolves asynchronously — the response (GRANT / REJECT /
+  ERROR with the same ``seq``) is written when the service resolves the
+  future, so responses may interleave with later requests;
+* TICK_ADVANCE runs ticks under one server-wide lock (ticks are global,
+  connections must not interleave halves of them) and answers TICK_DONE;
+* corrupt frames or protocol violations get a best-effort ERROR with
+  ``seq == 0`` and the connection dies — a reader is never left hanging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING
+
+from repro.errors import (
+    FramingError,
+    InvalidParameterError,
+    ProtocolError,
+    SimulationError,
+)
+from repro.net import protocol as proto
+from repro.service.server import Rejected, ServiceGrant
+from repro.util.framing import FrameDecoder, encode_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.protocol import Message
+
+__all__ = ["NetServer"]
+
+_READ_CHUNK = 65536
+
+
+class _Conn:
+    """Per-connection state: writer + the futures watching it."""
+
+    __slots__ = ("writer", "watched", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.watched: "set[asyncio.Future]" = set()
+        self.closed = False
+
+    def send(self, msg: "Message") -> None:
+        if not self.closed:
+            self.writer.write(encode_frame(proto.encode_message(msg)))
+
+
+class NetServer:
+    """Serve a scheduling service over TCP (see module docstring).
+
+    The server owns only the network edge; the backend service's
+    lifecycle stays with the caller (``stop()`` closes sockets, not the
+    service).  ``port=0`` binds an ephemeral port, readable from
+    :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._conns: set[_Conn] = set()
+        self._handlers: "set[asyncio.Task]" = set()
+        self._tick_lock = asyncio.Lock()
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise SimulationError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise SimulationError("server already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        """Close the listener and every connection; idempotent."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._handlers.clear()
+
+    async def __aenter__(self) -> "NetServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        conn = _Conn(writer)
+        self._conns.add(conn)
+        try:
+            await self._serve_connection(conn, reader)
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            self._teardown(conn)
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, asyncio.CancelledError):
+                pass
+            if task is not None:
+                self._handlers.discard(task)
+
+    def _teardown(self, conn: _Conn) -> None:
+        """Detach watched futures (they may resolve after close — the
+        service still owns them; we just must not write) and close."""
+        if conn.closed:
+            return
+        conn.closed = True
+        self._conns.discard(conn)
+        conn.watched.clear()
+        if not conn.writer.is_closing():
+            conn.writer.close()
+
+    async def _serve_connection(
+        self, conn: _Conn, reader: asyncio.StreamReader
+    ) -> None:
+        decoder = FrameDecoder(max_payload=proto.MAX_MESSAGE)
+        greeted = False
+        while True:
+            data = await reader.read(_READ_CHUNK)
+            if not data:
+                return  # peer closed (mid-frame EOFs just die with it)
+            try:
+                payloads = decoder.feed(data)
+            except FramingError as exc:
+                conn.send(
+                    proto.ErrorMsg(0, proto.ErrorCode.BAD_REQUEST, str(exc))
+                )
+                break
+            for payload in payloads:
+                try:
+                    msg = proto.decode_message(payload)
+                except ProtocolError as exc:
+                    conn.send(
+                        proto.ErrorMsg(
+                            0, proto.ErrorCode.BAD_REQUEST, str(exc)
+                        )
+                    )
+                    await self._flush(conn)
+                    return
+                if isinstance(msg, proto.Bye):
+                    return
+                if not greeted:
+                    if not await self._handshake(conn, msg):
+                        return
+                    greeted = True
+                    continue
+                if not await self._dispatch(conn, msg):
+                    return
+            await self._flush(conn)
+
+    async def _flush(self, conn: _Conn) -> None:
+        if not conn.closed and not conn.writer.is_closing():
+            try:
+                await conn.writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                conn.closed = True
+
+    async def _handshake(self, conn: _Conn, msg: "Message") -> bool:
+        if not isinstance(msg, proto.Hello):
+            conn.send(
+                proto.ErrorMsg(
+                    0,
+                    proto.ErrorCode.HANDSHAKE_REQUIRED,
+                    f"expected HELLO first, got {type(msg).__name__}",
+                )
+            )
+            await self._flush(conn)
+            return False
+        version = proto.negotiate_version(msg.versions)
+        if version is None:
+            conn.send(
+                proto.ErrorMsg(
+                    0,
+                    proto.ErrorCode.NO_COMMON_VERSION,
+                    f"server speaks {list(proto.PROTOCOL_VERSIONS)}, "
+                    f"client offered {list(msg.versions)}",
+                )
+            )
+            await self._flush(conn)
+            return False
+        conn.send(
+            proto.Welcome(version, self.service.n_fibers, self.service.scheme.k)
+        )
+        await self._flush(conn)
+        return True
+
+    async def _dispatch(self, conn: _Conn, msg: "Message") -> bool:
+        """Handle one post-handshake message; False closes the connection."""
+        if isinstance(msg, proto.Submit):
+            self._handle_submit(conn, msg)
+            return True
+        if isinstance(msg, proto.TickAdvance):
+            async with self._tick_lock:
+                granted = 0
+                for _ in range(msg.count):
+                    granted += await self.service.tick()
+            conn.send(proto.TickDone(self.service.slot, granted))
+            return True
+        conn.send(
+            proto.ErrorMsg(
+                0,
+                proto.ErrorCode.BAD_REQUEST,
+                f"{type(msg).__name__} is not a client message",
+            )
+        )
+        await self._flush(conn)
+        return False
+
+    def _handle_submit(self, conn: _Conn, msg: proto.Submit) -> None:
+        timeout = (
+            None
+            if msg.timeout_ticks < 0
+            else msg.timeout_ticks * self.service.tick_interval
+        )
+        try:
+            future = self.service.submit_nowait(
+                msg.to_request(),
+                timeout,
+                request_id=msg.request_id or None,
+            )
+        except (InvalidParameterError, SimulationError) as exc:
+            conn.send(
+                proto.ErrorMsg(msg.seq, proto.ErrorCode.BAD_REQUEST, str(exc))
+            )
+            return
+        seq = msg.seq
+        conn.watched.add(future)
+
+        def _resolved(fut: "asyncio.Future") -> None:
+            conn.watched.discard(fut)
+            if conn.closed or fut.cancelled():
+                return
+            exc = fut.exception()
+            if exc is not None:
+                conn.send(
+                    proto.ErrorMsg(seq, proto.ErrorCode.INTERNAL, str(exc))
+                )
+                return
+            outcome = fut.result()
+            if isinstance(outcome, ServiceGrant):
+                conn.send(proto.Grant(seq, outcome.channel, outcome.slot))
+            else:
+                assert isinstance(outcome, Rejected)
+                conn.send(
+                    proto.Reject(
+                        seq,
+                        outcome.reason,
+                        -1 if outcome.slot is None else outcome.slot,
+                    )
+                )
+
+        future.add_done_callback(_resolved)

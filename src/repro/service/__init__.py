@@ -44,6 +44,7 @@ from repro.service.durability import (
     RecoveredShardState,
     replay_journal,
 )
+from repro.service.edge import PendingRequest, SubmissionEdge
 from repro.service.journal import (
     FileJournal,
     JournalRecord,
@@ -94,6 +95,7 @@ __all__ = [
     "MemorySnapshotStore",
     "Offer",
     "OverflowPolicy",
+    "PendingRequest",
     "RecordType",
     "RecoveredShardState",
     "Rejected",
@@ -107,6 +109,7 @@ __all__ = [
     "ShardSnapshot",
     "ShardSupervisor",
     "ShardWorker",
+    "SubmissionEdge",
     "SupervisorConfig",
     "Telemetry",
     "exponential_buckets",

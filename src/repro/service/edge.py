@@ -1,0 +1,183 @@
+"""The submission edge: futures, deduplication, rejection accounting.
+
+This is the transport-facing layer of the service, split out of
+``server.py`` so every front door — direct asyncio calls
+(:class:`~repro.service.server.SchedulingService`), the TCP server
+(:mod:`repro.net.server`), the multi-process parent
+(:mod:`repro.net.procservice`) — shares one implementation of the edge
+semantics:
+
+* a :class:`PendingRequest` envelope per in-flight submission,
+* the bounded request-id dedup table (exactly-once grants: a granted id
+  replays its grant, an in-flight id answers ``DUPLICATE``, a rejected id
+  is released),
+* resolution helpers that settle the dedup table and bump the per-reason
+  telemetry counters in one place.
+
+The edge never touches shard state; it only turns outcomes into resolved
+futures and counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.service.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.distributed import SlotRequest
+    from repro.service.server import Rejected, RejectReason, ServiceGrant
+
+__all__ = ["PendingRequest", "SubmissionEdge"]
+
+
+class PendingRequest:
+    """Envelope for one in-flight submission: request + future + deadline
+    + submit timestamp (+ the caller's idempotency key when dedup is on)."""
+
+    __slots__ = ("request", "future", "deadline", "submitted_at", "request_id")
+
+    def __init__(
+        self,
+        request: "SlotRequest",
+        future: "asyncio.Future[ServiceGrant | Rejected]",
+        deadline: float | None,
+        submitted_at: float,
+        request_id: str | None = None,
+    ) -> None:
+        self.request = request
+        self.future = future
+        self.deadline = deadline
+        self.submitted_at = submitted_at
+        self.request_id = request_id
+
+
+class _DedupEntry:
+    """Dedup-table slot: ``outcome`` is None while the original is in
+    flight, then the original :class:`ServiceGrant` (rejections release
+    the id instead of settling it)."""
+
+    __slots__ = ("outcome",)
+
+    def __init__(self) -> None:
+        self.outcome: "ServiceGrant | None" = None
+
+
+class SubmissionEdge:
+    """Shared submission-edge state machine (see module docstring).
+
+    The owning service calls :meth:`check_duplicate` before enqueueing,
+    :meth:`resolve` / :meth:`resolve_rejected` to settle outcomes.
+    Counter names are the stable ``server.*`` telemetry contract.
+    """
+
+    def __init__(self, telemetry: Telemetry, *, dedup_capacity: int = 0) -> None:
+        self.telemetry = telemetry
+        self._dedup: "OrderedDict[str, _DedupEntry] | None" = (
+            OrderedDict() if dedup_capacity > 0 else None
+        )
+        self._dedup_capacity = dedup_capacity
+
+        t = telemetry
+        self.c_submitted = t.counter("server.submitted")
+        self.c_granted = t.counter("server.granted")
+        self._c_duplicate = t.counter("server.duplicate")
+        # Deferred import to break the server<->edge cycle.
+        from repro.service.server import RejectReason
+
+        self._reason_counters = {
+            RejectReason.CONTENTION: t.counter("server.rejected.contention"),
+            RejectReason.SOURCE_BLOCKED: t.counter(
+                "server.rejected.source_blocked"
+            ),
+            RejectReason.QUEUE_FULL: t.counter("server.rejected.queue_full"),
+            RejectReason.DROPPED: t.counter("server.dropped"),
+            RejectReason.TIMED_OUT: t.counter("server.timed_out"),
+            RejectReason.SHUTDOWN: t.counter("server.shutdown"),
+            RejectReason.SHARD_DOWN: t.counter("server.rejected.shard_down"),
+            RejectReason.CIRCUIT_OPEN: t.counter(
+                "server.rejected.circuit_open"
+            ),
+            RejectReason.DUPLICATE: self._c_duplicate,
+        }
+
+    @property
+    def dedup_enabled(self) -> bool:
+        return self._dedup is not None
+
+    # -- deduplication ------------------------------------------------------
+
+    def check_duplicate(
+        self,
+        request: "SlotRequest",
+        request_id: str | None,
+        future: "asyncio.Future[ServiceGrant | Rejected]",
+        slot: int,
+    ) -> str | None:
+        """Apply the exactly-once admission rule for ``request_id``.
+
+        A known *granted* id resolves ``future`` with the original grant;
+        a known in-flight id resolves it ``DUPLICATE``; in both cases the
+        return is ``None`` (the caller must not enqueue).  A fresh id is
+        registered (evicting the oldest past capacity) and returned so the
+        caller threads it through the :class:`PendingRequest`.  When dedup
+        is off every id degrades to ``None`` (ignored).
+        """
+        if self._dedup is None or request_id is None:
+            return None
+        entry = self._dedup.get(request_id)
+        if entry is not None:
+            from repro.service.server import Rejected, RejectReason
+
+            self.c_submitted.inc()
+            self._c_duplicate.inc()
+            if entry.outcome is not None:
+                future.set_result(entry.outcome)
+            else:
+                future.set_result(
+                    Rejected(request, RejectReason.DUPLICATE, slot)
+                )
+            return None
+        self._dedup[request_id] = _DedupEntry()
+        while len(self._dedup) > self._dedup_capacity:
+            self._dedup.popitem(last=False)
+        return request_id
+
+    def _settle_dedup(
+        self, pending: PendingRequest, outcome: "ServiceGrant | Rejected"
+    ) -> None:
+        """Record a granted original for replay; release a rejected one
+        (its caller's retry must be a fresh attempt, not a DUPLICATE)."""
+        if pending.request_id is None or self._dedup is None:
+            return
+        entry = self._dedup.get(pending.request_id)
+        if entry is None:  # evicted by the capacity bound
+            return
+        from repro.service.server import ServiceGrant
+
+        if isinstance(outcome, ServiceGrant):
+            entry.outcome = outcome
+        else:
+            del self._dedup[pending.request_id]
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve(
+        self, pending: PendingRequest, outcome: "ServiceGrant | Rejected"
+    ) -> None:
+        self._settle_dedup(pending, outcome)
+        if not pending.future.done():
+            pending.future.set_result(outcome)
+
+    def resolve_rejected(
+        self,
+        pending: PendingRequest,
+        reason: "RejectReason",
+        slot: int | None = None,
+    ) -> None:
+        from repro.service.server import Rejected
+
+        self._reason_counters[reason].inc()
+        self.resolve(pending, Rejected(pending.request, reason, slot))

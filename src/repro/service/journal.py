@@ -16,7 +16,9 @@ One record is::
     +----------------+----------------+--------------------------------+
     body = type u8 | tick i64 | n_values u16 | values (n_values × i64)
 
-all big-endian (:data:`_HEADER` / :data:`_BODY_HEAD`).  Decoding walks the
+all big-endian.  The ``length + CRC32`` envelope is the shared frame codec
+:mod:`repro.util.framing` (also the wire protocol's envelope — one codec,
+one test suite); the body layout is :data:`_BODY_HEAD`.  Decoding walks the
 buffer record by record and **stops at the first short or CRC-failing
 record**: a torn tail (power loss mid-write) costs at most the record being
 written, never the prefix.  :func:`decode_records` reports the torn tail
@@ -58,6 +60,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.errors import InvalidParameterError
+from repro.util.framing import FRAME_HEADER, decode_frames
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.distributed import SlotRequest
@@ -96,7 +99,8 @@ FAULT_CRASH = 0
 FAULT_OUTAGE = 1
 FAULT_DEGRADATION = 2
 
-_HEADER = struct.Struct("!II")  # body length, CRC32(body)
+#: The record envelope is the shared frame codec (repro.util.framing).
+_HEADER = FRAME_HEADER
 _BODY_HEAD = struct.Struct("!BqH")  # record type, tick, n_values
 _MAX_VALUES = 0xFFFF
 
@@ -152,25 +156,22 @@ def decode_records(buf: bytes) -> tuple[list[JournalRecord], int, bool]:
     trailing bytes remain that do not form a complete, CRC-valid record —
     the signature of a write severed by a crash.  Decoding never raises on
     bad input; a corrupt record simply ends the valid prefix.
+
+    The frame walk is the shared tolerant decoder
+    (:func:`repro.util.framing.decode_frames`); this function adds only the
+    journal-body decode, treating an undecodable body exactly like a torn
+    frame (the walk stops, the prefix survives).
     """
+    bodies, consumed, torn = decode_frames(buf, min_payload=_BODY_HEAD.size)
     records: list[JournalRecord] = []
-    off, n = 0, len(buf)
-    while True:
-        if off == n:
-            return records, off, False
-        if n - off < _HEADER.size:
-            return records, off, True
-        length, crc = _HEADER.unpack_from(buf, off)
-        if length < _BODY_HEAD.size or length > n - off - _HEADER.size:
-            return records, off, True
-        body = bytes(buf[off + _HEADER.size : off + _HEADER.size + length])
-        if zlib.crc32(body) != crc:
-            return records, off, True
+    off = 0
+    for body in bodies:
         try:
             records.append(_decode_body(body))
         except (struct.error, ValueError):
             return records, off, True
-        off += _HEADER.size + length
+        off += _HEADER.size + len(body)
+    return records, consumed, torn
 
 
 def request_tuple(request: "SlotRequest") -> tuple[int, int, int, int, int]:
@@ -435,6 +436,17 @@ class ShardJournal:
             self._backend.rewrite(b"".join(data for _tick, data in kept))
             self._entries = kept
         return len(kept)
+
+    def rewrite_records(self, records: "Iterable[JournalRecord]") -> None:
+        """Atomically replace the whole journal with ``records``.
+
+        Recovery-time surgery: the multi-process shard workers use this to
+        strip the write-ahead of an in-flight tick (trailing GRANTs with
+        no ADVANCE) after a process kill, so replay and the parent's
+        redelivered tick cannot double-apply them."""
+        entries = [(r.tick, encode_record(r)) for r in records]
+        self._backend.rewrite(b"".join(data for _tick, data in entries))
+        self._entries = entries
 
     def close(self) -> None:
         self._flush_counters()

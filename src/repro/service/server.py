@@ -35,7 +35,6 @@ from __future__ import annotations
 import asyncio
 import enum
 import time
-from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Sequence
@@ -71,6 +70,7 @@ from repro.graphs.conversion import (
     NonCircularConversion,
 )
 from repro.service.breaker import BreakerConfig, CircuitBreaker
+from repro.service.edge import PendingRequest, SubmissionEdge
 from repro.service.durability import (
     DurabilityConfig,
     DurabilityManager,
@@ -85,6 +85,7 @@ from repro.service.queue import BoundedQueue, OverflowPolicy
 from repro.service.shard import ShardWorker
 from repro.service.supervisor import ShardSupervisor, SupervisorConfig
 from repro.service.telemetry import Telemetry, exponential_buckets
+from repro.service.tickloop import InputAdmission
 from repro.types import Grant
 from repro.util.validation import check_positive_int
 
@@ -168,36 +169,8 @@ class Rejected:
     slot: int | None = None
 
 
-class _Pending:
-    """Internal envelope: request + future + deadline + submit timestamp
-    (+ the caller's idempotency key when deduplication is on)."""
-
-    __slots__ = ("request", "future", "deadline", "submitted_at", "request_id")
-
-    def __init__(
-        self,
-        request: SlotRequest,
-        future: "asyncio.Future[ServiceGrant | Rejected]",
-        deadline: float | None,
-        submitted_at: float,
-        request_id: str | None = None,
-    ) -> None:
-        self.request = request
-        self.future = future
-        self.deadline = deadline
-        self.submitted_at = submitted_at
-        self.request_id = request_id
-
-
-class _DedupEntry:
-    """Dedup-table slot: ``outcome`` is None while the original is in
-    flight, then the original :class:`ServiceGrant` (rejections release
-    the id instead of settling it)."""
-
-    __slots__ = ("outcome",)
-
-    def __init__(self) -> None:
-        self.outcome: ServiceGrant | None = None
+#: Back-compat alias: the envelope moved to :mod:`repro.service.edge`.
+_Pending = PendingRequest
 
 
 #: Tick-duration buckets: 10 µs … ~40 s.
@@ -341,8 +314,11 @@ class SchedulingService:
             else None
         )
         # Input-side busy state (blocked-at-source admission): remaining
-        # slots each input channel is held by a granted connection.
-        self._in_busy = [[0] * scheme.k for _ in range(self.n_fibers)]
+        # slots each input channel is held by a granted connection.  The
+        # state machine is shared with the multi-process parent (see
+        # repro/service/tickloop.py).
+        self._admission = InputAdmission(self.n_fibers, scheme.k)
+        self._in_busy = self._admission.in_busy
         self._slot = 0
         self._pool: ThreadPoolExecutor | None = None
         self._timer_task: asyncio.Task[None] | None = None
@@ -364,27 +340,18 @@ class SchedulingService:
             if durability is not None
             else None
         )
-        self._dedup: "OrderedDict[str, _DedupEntry] | None" = (
-            OrderedDict()
-            if durability is not None and durability.dedup_capacity > 0
-            else None
-        )
-        self._dedup_capacity = (
-            durability.dedup_capacity if durability is not None else 0
+        # The transport edge: futures, dedup, per-reason counters (shared
+        # implementation with the TCP/multi-process front doors).
+        self.edge = SubmissionEdge(
+            self.telemetry,
+            dedup_capacity=(
+                durability.dedup_capacity if durability is not None else 0
+            ),
         )
 
         t = self.telemetry
-        self._c_submitted = t.counter("server.submitted")
-        self._c_granted = t.counter("server.granted")
-        self._c_contention = t.counter("server.rejected.contention")
-        self._c_source = t.counter("server.rejected.source_blocked")
-        self._c_queue_full = t.counter("server.rejected.queue_full")
-        self._c_dropped = t.counter("server.dropped")
-        self._c_timed_out = t.counter("server.timed_out")
-        self._c_shutdown = t.counter("server.shutdown")
-        self._c_shard_down = t.counter("server.rejected.shard_down")
-        self._c_circuit_open = t.counter("server.rejected.circuit_open")
-        self._c_duplicate = t.counter("server.duplicate")
+        self._c_submitted = self.edge.c_submitted
+        self._c_granted = self.edge.c_granted
         self._c_shard_crashes = t.counter("server.shard_crashes")
         self._c_fault_outages = t.counter("faults.outages")
         self._c_fault_degradations = t.counter("faults.degradations")
@@ -450,23 +417,12 @@ class SchedulingService:
         loop = asyncio.get_running_loop()
         future: asyncio.Future[ServiceGrant | Rejected] = loop.create_future()
         deadline = None if timeout is None else loop.time() + timeout
-        if self._dedup is None:
-            request_id = None
-        elif request_id is not None:
-            entry = self._dedup.get(request_id)
-            if entry is not None:
-                self._c_submitted.inc()
-                self._c_duplicate.inc()
-                if entry.outcome is not None:
-                    future.set_result(entry.outcome)
-                else:
-                    future.set_result(
-                        Rejected(request, RejectReason.DUPLICATE, self._slot)
-                    )
+        if request_id is not None:
+            request_id = self.edge.check_duplicate(
+                request, request_id, future, self._slot
+            )
+            if future.done():
                 return future
-            self._dedup[request_id] = _DedupEntry()
-            while len(self._dedup) > self._dedup_capacity:
-                self._dedup.popitem(last=False)
         pending = _Pending(
             request, future, deadline, time.perf_counter(), request_id
         )
@@ -518,44 +474,15 @@ class SchedulingService:
         """Enqueue ``request`` and await its grant/rejection."""
         return await self.submit_nowait(request, timeout)
 
-    # -- resolution helpers -------------------------------------------------
+    # -- resolution helpers (delegated to the shared edge) -------------------
 
     def _resolve(self, pending: _Pending, outcome: ServiceGrant | Rejected) -> None:
-        self._settle_dedup(pending, outcome)
-        if not pending.future.done():
-            pending.future.set_result(outcome)
-
-    def _settle_dedup(
-        self, pending: _Pending, outcome: ServiceGrant | Rejected
-    ) -> None:
-        """Record a granted original for replay; release a rejected one
-        (its caller's retry must be a fresh attempt, not a DUPLICATE)."""
-        if pending.request_id is None or self._dedup is None:
-            return
-        entry = self._dedup.get(pending.request_id)
-        if entry is None:  # evicted by the capacity bound
-            return
-        if isinstance(outcome, ServiceGrant):
-            entry.outcome = outcome
-        else:
-            del self._dedup[pending.request_id]
+        self.edge.resolve(pending, outcome)
 
     def _resolve_rejected(
         self, pending: _Pending, reason: RejectReason, slot: int | None = None
     ) -> None:
-        counter = {
-            RejectReason.CONTENTION: self._c_contention,
-            RejectReason.SOURCE_BLOCKED: self._c_source,
-            RejectReason.QUEUE_FULL: self._c_queue_full,
-            RejectReason.DROPPED: self._c_dropped,
-            RejectReason.TIMED_OUT: self._c_timed_out,
-            RejectReason.SHUTDOWN: self._c_shutdown,
-            RejectReason.SHARD_DOWN: self._c_shard_down,
-            RejectReason.CIRCUIT_OPEN: self._c_circuit_open,
-            RejectReason.DUPLICATE: self._c_duplicate,
-        }[reason]
-        counter.inc()
-        self._resolve(pending, Rejected(pending.request, reason, slot))
+        self.edge.resolve_rejected(pending, reason, slot)
 
     # -- crash / restart ----------------------------------------------------
 
@@ -697,9 +624,11 @@ class SchedulingService:
         # 0: supervision heal + injected faults for this slot.
         degradations = self._apply_faults(slot)
 
-        # 1 + 2: drain queues and run admission, shards in fiber order.
+        # 1 + 2: drain queues and run admission, shards in fiber order
+        # (the admission state machine is shared with the multi-process
+        # parent — see repro/service/tickloop.py).
         work: list[tuple[ShardWorker, list[_Pending]]] = []
-        seen_inputs: set[tuple[int, int]] = set()
+        seen_inputs = self._admission.begin_tick()
         for shard in self.shards:
             if self.durability is not None:
                 depth = shard.queue.depth
@@ -714,23 +643,17 @@ class SchedulingService:
                     )
             drained = shard.queue.drain(self.max_batch_per_tick)
             shard.update_depth_gauge()
-            survivors: list[_Pending] = []
-            for p in drained:
-                r = p.request
-                if p.deadline is not None and now >= p.deadline:
-                    self._resolve_rejected(p, RejectReason.TIMED_OUT, slot)
-                    if self.breakers is not None:
-                        # A timed-out request is a shard that was too slow —
-                        # the breaker counts it against the shard's health.
-                        self.breakers[shard.output_fiber].record_failure(slot)
-                elif (
-                    self._in_busy[r.input_fiber][r.wavelength] > 0
-                    or (r.input_fiber, r.wavelength) in seen_inputs
-                ):
-                    self._resolve_rejected(p, RejectReason.SOURCE_BLOCKED, slot)
-                else:
-                    seen_inputs.add((r.input_fiber, r.wavelength))
-                    survivors.append(p)
+            survivors, expired, blocked = self._admission.admit(
+                drained, now, seen_inputs
+            )
+            for p in expired:
+                self._resolve_rejected(p, RejectReason.TIMED_OUT, slot)
+                if self.breakers is not None:
+                    # A timed-out request is a shard that was too slow —
+                    # the breaker counts it against the shard's health.
+                    self.breakers[shard.output_fiber].record_failure(slot)
+            for p in blocked:
+                self._resolve_rejected(p, RejectReason.SOURCE_BLOCKED, slot)
             if survivors:
                 work.append((shard, survivors))
 
@@ -820,7 +743,7 @@ class SchedulingService:
             )
             for g in granted:
                 r = g.request
-                self._in_busy[r.input_fiber][r.wavelength] = r.duration
+                self._admission.hold(r)
                 p = by_input[(r.input_fiber, r.wavelength)]
                 self._c_granted.inc()
                 self._h_latency.observe(time.perf_counter() - p.submitted_at)
@@ -867,10 +790,7 @@ class SchedulingService:
                     (request_tuple(p.request) for p in shard.queue),
                     policy_state,
                 )
-        for row in self._in_busy:
-            for w, left in enumerate(row):
-                if left > 0:
-                    row[w] = left - 1
+        self._admission.decay()
         self._slot += 1
         self._c_ticks.inc()
         self._g_slot.set(self._slot)

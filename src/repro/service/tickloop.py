@@ -1,0 +1,92 @@
+"""The input-side admission state machine shared by every tick loop.
+
+Step 2 of a slot tick — expire deadlines, reject requests whose input
+channel is already transmitting (*blocked at source*: one laser, one
+signal) — is the part of the tick that lives **above** the shards: it
+needs the global input-side busy matrix, not any one output fiber's
+state.  It is split out of ``server.py`` so the in-process service
+(:class:`~repro.service.server.SchedulingService`) and the multi-process
+parent (:class:`~repro.net.procservice.ProcessShardedService`) run the
+*same* admission code — the slot-by-slot equivalence gate covers both
+through one implementation.
+
+The contract mirrors ``SlottedSimulator.step`` exactly: shards are
+visited in ascending output-fiber order, requests in FIFO order, and
+within one tick an earlier surviving request blocks a later one on the
+same ``(input_fiber, wavelength)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.distributed import SlotRequest
+    from repro.service.edge import PendingRequest
+
+__all__ = ["InputAdmission"]
+
+
+class InputAdmission:
+    """Blocked-at-source admission over the ``n_fibers × k`` input matrix.
+
+    ``in_busy[f][w]`` is the number of future slots input channel
+    ``(f, w)`` is still held by a granted connection.  One tick is::
+
+        seen = admission.begin_tick()
+        for shard in fiber order:
+            survivors, expired, blocked = admission.admit(drained, now, seen)
+            ...schedule survivors...
+        for each grant: admission.hold(request)
+        admission.decay()
+    """
+
+    __slots__ = ("in_busy",)
+
+    def __init__(self, n_fibers: int, k: int) -> None:
+        self.in_busy: list[list[int]] = [[0] * k for _ in range(n_fibers)]
+
+    def begin_tick(self) -> set[tuple[int, int]]:
+        """Fresh per-tick set of input channels claimed by survivors."""
+        return set()
+
+    def admit(
+        self,
+        drained: "list[PendingRequest]",
+        now: float,
+        seen_inputs: set[tuple[int, int]],
+    ) -> "tuple[list[PendingRequest], list[PendingRequest], list[PendingRequest]]":
+        """Partition ``drained`` into ``(survivors, expired, blocked)``.
+
+        Deadline expiry is checked first (a request that waited too long
+        is TIMED_OUT even if its input is also busy), then the busy
+        matrix and this tick's earlier survivors.  Survivors claim their
+        input in ``seen_inputs`` as a side effect.
+        """
+        survivors: "list[PendingRequest]" = []
+        expired: "list[PendingRequest]" = []
+        blocked: "list[PendingRequest]" = []
+        for p in drained:
+            r = p.request
+            if p.deadline is not None and now >= p.deadline:
+                expired.append(p)
+            elif (
+                self.in_busy[r.input_fiber][r.wavelength] > 0
+                or (r.input_fiber, r.wavelength) in seen_inputs
+            ):
+                blocked.append(p)
+            else:
+                seen_inputs.add((r.input_fiber, r.wavelength))
+                survivors.append(p)
+        return survivors, expired, blocked
+
+    def hold(self, request: "SlotRequest") -> None:
+        """A grant committed: hold the input for the connection's duration."""
+        self.in_busy[request.input_fiber][request.wavelength] = request.duration
+
+    def decay(self) -> None:
+        """End of tick: one slot elapses on every held input channel."""
+        for row in self.in_busy:
+            for w, left in enumerate(row):
+                if left > 0:
+                    row[w] = left - 1

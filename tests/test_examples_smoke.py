@@ -59,6 +59,13 @@ class TestExamples:
         assert "refused as DUPLICATE" in out
         assert "replayed the original grant" in out
 
+    def test_net_demo(self, capsys):
+        out = _run("net_demo.py", capsys)
+        assert "handshake: protocol v1" in out
+        assert "over TCP (conservation: True)" in out
+        assert "matches pre-kill state exactly: True" in out
+        assert "clean shutdown" in out
+
     def test_all_examples_importable(self):
         """Every example parses (catches syntax rot in the slow ones too)."""
         for script in sorted(EXAMPLES.glob("*.py")):

@@ -1,0 +1,337 @@
+"""The TCP front door: handshake, submissions, ticks, shutdown hygiene.
+
+The hygiene tests pin the satellite contract of PR 6: cancelled or
+abandoned submissions must close their sockets/transports cleanly — no
+"Task was destroyed but it is pending" warnings, no leaked file
+descriptors under repeated connect/cancel cycles.
+"""
+
+import asyncio
+import gc
+import os
+import warnings
+
+import pytest
+
+from repro.core.distributed import SlotRequest
+from repro.core.first_available import FirstAvailableScheduler
+from repro.errors import ProtocolError
+from repro.graphs.conversion import NonCircularConversion
+from repro.net import protocol as proto
+from repro.net.client import NetClient
+from repro.net.server import NetServer
+from repro.service import SchedulingService
+from repro.service.server import RejectReason
+from repro.util.framing import encode_frame
+
+N_FIBERS, K = 4, 3
+
+
+def _service() -> SchedulingService:
+    return SchedulingService(
+        N_FIBERS,
+        NonCircularConversion(K, 1, 1),
+        FirstAvailableScheduler(),
+        durability=False,
+    )
+
+
+async def _stack():
+    service = _service()
+    server = NetServer(service)
+    await server.start()
+    return service, server
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestHandshake:
+    def test_welcome_carries_shape(self):
+        async def go():
+            service, server = await _stack()
+            client = await NetClient.connect("127.0.0.1", server.port)
+            try:
+                assert client.version == 1
+                assert client.n_fibers == N_FIBERS
+                assert client.k == K
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_no_common_version_is_refused(self):
+        async def go():
+            service, server = await _stack()
+            try:
+                with pytest.raises(ProtocolError, match="handshake refused"):
+                    await NetClient.connect(
+                        "127.0.0.1", server.port, versions=(99,)
+                    )
+            finally:
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_message_before_hello_is_refused(self):
+        async def go():
+            service, server = await _stack()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    encode_frame(proto.encode_message(proto.TickAdvance(1)))
+                )
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(4096), 5)
+                msg = proto.decode_message(data[8:])  # one frame
+                assert isinstance(msg, proto.ErrorMsg)
+                assert msg.code == proto.ErrorCode.HANDSHAKE_REQUIRED
+                assert msg.seq == 0
+                # ...and the server closes.
+                assert await asyncio.wait_for(reader.read(4096), 5) == b""
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_corrupt_frame_kills_the_connection(self):
+        async def go():
+            service, server = await _stack()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                frame = bytearray(
+                    encode_frame(proto.encode_message(proto.Hello((1,))))
+                )
+                frame[-1] ^= 0xFF  # poison the payload: CRC now mismatches
+                writer.write(bytes(frame))
+                await writer.drain()
+                # Server answers (best-effort ERROR) and closes; the reader
+                # must see EOF, not hang.
+                await asyncio.wait_for(reader.read(65536), 5)
+                assert await asyncio.wait_for(reader.read(65536), 5) == b""
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+
+class TestRequests:
+    def test_submit_grant_reject_over_tcp(self):
+        async def go():
+            service, server = await _stack()
+            client = await NetClient.connect("127.0.0.1", server.port)
+            try:
+                # Two requests race for the same (output, wavelength):
+                # k=3 channels but only one converter-reachable channel
+                # per wavelength under (1,1) — contention is possible.
+                futs = [
+                    client.submit_nowait(SlotRequest(i, 0, 0))
+                    for i in range(3)
+                ]
+                done = await client.tick(1)
+                outcomes = await asyncio.gather(*futs)
+                assert done.slot == 1
+                grants = [o for o in outcomes if isinstance(o, proto.Grant)]
+                rejects = [o for o in outcomes if isinstance(o, proto.Reject)]
+                assert len(grants) + len(rejects) == 3
+                assert len(grants) == done.granted
+                assert all(r.reason is RejectReason.CONTENTION for r in rejects)
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_bad_submit_gets_typed_error_not_hang(self):
+        async def go():
+            service, server = await _stack()
+            client = await NetClient.connect("127.0.0.1", server.port)
+            try:
+                fut = client.submit_nowait(
+                    SlotRequest(0, K + 5, 0)  # wavelength out of range
+                )
+                with pytest.raises(ProtocolError, match="BAD_REQUEST|error 3"):
+                    await asyncio.wait_for(fut, 5)
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_tick_counts_multiple(self):
+        async def go():
+            service, server = await _stack()
+            client = await NetClient.connect("127.0.0.1", server.port)
+            try:
+                done = await client.tick(5)
+                assert done.slot == 5
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_two_clients_share_one_service(self):
+        async def go():
+            service, server = await _stack()
+            a = await NetClient.connect("127.0.0.1", server.port)
+            b = await NetClient.connect("127.0.0.1", server.port)
+            try:
+                fa = a.submit_nowait(SlotRequest(0, 0, 0))
+                fb = b.submit_nowait(SlotRequest(1, 1, 1))
+                # Cross-connection ordering is not guaranteed: b's submit
+                # may still be in flight when a's first tick runs, so tick
+                # until both resolve instead of assuming one is enough.
+                for _ in range(20):
+                    await a.tick(1)
+                    if fa.done() and fb.done():
+                        break
+                ra, rb = await asyncio.wait_for(
+                    asyncio.gather(fa, fb), 5
+                )
+                assert isinstance(ra, proto.Grant)
+                assert isinstance(rb, proto.Grant)
+            finally:
+                await a.close()
+                await b.close()
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+
+class TestShutdownHygiene:
+    def test_no_pending_task_warnings_on_close(self):
+        """Repeated connect/submit/abandon/close cycles leak nothing."""
+
+        async def one_cycle(port):
+            client = await NetClient.connect("127.0.0.1", port)
+            # Submit and abandon (never tick, never await the future).
+            client.submit_nowait(SlotRequest(0, 0, 0))
+            await client.close()
+
+        async def go():
+            service, server = await _stack()
+            try:
+                for _ in range(10):
+                    await one_cycle(server.port)
+            finally:
+                await server.stop()
+                await service.stop()
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run(go())
+            gc.collect()
+        destroyed = [
+            w for w in caught if "Task was destroyed" in str(w.message)
+        ]
+        assert destroyed == []
+
+    def test_cancelled_submit_detaches_cleanly(self):
+        async def go():
+            service, server = await _stack()
+            client = await NetClient.connect("127.0.0.1", server.port)
+            try:
+                task = asyncio.ensure_future(
+                    client.submit(SlotRequest(0, 0, 0))
+                )
+                await asyncio.sleep(0.01)
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                assert client._pending == {}
+                # The connection stays usable after a cancelled submit.
+                fut = client.submit_nowait(SlotRequest(1, 1, 1))
+                await client.tick(1)
+                assert isinstance(await fut, proto.Grant)
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_no_fd_leak_under_connect_cancel_cycles(self):
+        fd_dir = f"/proc/{os.getpid()}/fd"
+        if not os.path.isdir(fd_dir):  # pragma: no cover - non-Linux
+            pytest.skip("needs /proc fd accounting")
+
+        async def go():
+            service, server = await _stack()
+            try:
+                # Warm-up (loop machinery opens a few fds lazily).
+                for _ in range(3):
+                    c = await NetClient.connect("127.0.0.1", server.port)
+                    c.submit_nowait(SlotRequest(0, 0, 0))
+                    await c.close()
+                before = len(os.listdir(fd_dir))
+                for _ in range(20):
+                    c = await NetClient.connect("127.0.0.1", server.port)
+                    task = asyncio.ensure_future(
+                        c.submit(SlotRequest(0, 0, 0))
+                    )
+                    await asyncio.sleep(0)
+                    task.cancel()
+                    try:
+                        await task
+                    except asyncio.CancelledError:
+                        pass
+                    await c.close()
+                # Let the server reap its side of the connections.
+                await asyncio.sleep(0.05)
+                after = len(os.listdir(fd_dir))
+                assert after <= before + 2, (
+                    f"fd count grew {before} -> {after}"
+                )
+            finally:
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_double_close_is_idempotent(self):
+        async def go():
+            service, server = await _stack()
+            client = await NetClient.connect("127.0.0.1", server.port)
+            await client.close()
+            await client.close()
+            with pytest.raises(ProtocolError, match="closed"):
+                client.submit_nowait(SlotRequest(0, 0, 0))
+            await server.stop()
+            await service.stop()
+
+        run(go())
+
+    def test_server_stop_closes_live_connections(self):
+        async def go():
+            service, server = await _stack()
+            client = await NetClient.connect("127.0.0.1", server.port)
+            await server.stop()
+            # The client notices: new work fails fast (either at submit,
+            # once the reader has seen EOF, or via the future), close is
+            # clean either way.
+            with pytest.raises((ProtocolError, ConnectionError, OSError)):
+                fut = client.submit_nowait(SlotRequest(0, 0, 0))
+                await asyncio.wait_for(fut, 5)
+            await client.close()
+            await service.stop()
+
+        run(go())

@@ -1,0 +1,87 @@
+"""Consistent-hash shard placement: determinism, balance, stability."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.net.placement import HashRing
+
+
+class TestRingBasics:
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            HashRing([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidParameterError):
+            HashRing([0, 1, 0])
+
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(InvalidParameterError):
+            HashRing([0, 1], replicas=0)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing([7])
+        assert ring.placement(16) == {o: 7 for o in range(16)}
+
+
+class TestDeterminism:
+    def test_placement_is_a_pure_function(self):
+        """Two independently built rings agree — no randomized hashing.
+
+        This is the property that lets the parent process, the worker
+        processes and the tests all compute the same shard→worker map
+        without talking to each other.
+        """
+        a = HashRing([0, 1, 2]).placement(16)
+        b = HashRing([0, 1, 2]).placement(16)
+        assert a == b
+
+    def test_node_for_matches_fresh_ring(self):
+        ring = HashRing([0, 1, 2, 3])
+        again = HashRing([0, 1, 2, 3])
+        for key in ("shard-0", "shard-5", "anything"):
+            assert ring.node_for(key) == again.node_for(key)
+
+
+class TestBoundedLoad:
+    @pytest.mark.parametrize("n_workers", [2, 3, 4])
+    @pytest.mark.parametrize("n_shards", [4, 8, 16, 32])
+    def test_balance_within_one(self, n_workers, n_shards):
+        ring = HashRing(list(range(n_workers)))
+        placement = ring.placement(n_shards)
+        assert sorted(placement) == list(range(n_shards))
+        loads = [
+            sum(1 for w in placement.values() if w == n)
+            for n in range(n_workers)
+        ]
+        assert max(loads) - min(loads) <= 1, loads
+        # Nobody exceeds ceil(n_shards / n_workers).
+        assert max(loads) <= -(-n_shards // n_workers)
+
+    def test_every_worker_gets_work_when_shards_suffice(self):
+        ring = HashRing(list(range(4)))
+        placement = ring.placement(8)
+        assert set(placement.values()) == {0, 1, 2, 3}
+
+    def test_shards_of_partitions_the_space(self):
+        ring = HashRing([0, 1, 2])
+        n_shards = 10
+        seen: list[int] = []
+        for node in ring.nodes:
+            seen.extend(ring.shards_of(node, n_shards))
+        assert sorted(seen) == list(range(n_shards))
+
+
+class TestStability:
+    def test_most_shards_stay_put_when_workers_grow(self):
+        """Adding a worker moves ~1/n of the shards, not all of them —
+        the point of using a ring instead of ``shard % n_workers``."""
+        n_shards = 64
+        before = HashRing([0, 1, 2]).placement(n_shards)
+        after = HashRing([0, 1, 2, 3]).placement(n_shards)
+        moved = sum(1 for o in range(n_shards) if before[o] != after[o])
+        # Strictly fewer moves than a modulo re-shuffle would force
+        # (modulo moves ~3/4 of shards going 3→4 workers); the bounded
+        # walk adds a few moves over a bare ring, so allow headroom
+        # above the ideal 1/4 while still requiring real stability.
+        assert moved < n_shards // 2, f"{moved} of {n_shards} shards moved"

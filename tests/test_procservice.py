@@ -1,0 +1,288 @@
+"""The multi-process sharded service: semantics, crashes, recovery.
+
+Worker processes are spawned (not forked), so each service bring-up
+costs real time — the tests share stacks where the scenarios allow it.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.distributed import SlotRequest
+from repro.core.first_available import FirstAvailableScheduler
+from repro.core.policies import RandomPolicy
+from repro.errors import InvalidParameterError, WorkerProcessError
+from repro.graphs.conversion import NonCircularConversion
+from repro.net.procpool import (
+    POISON_AFTER_GRANT,
+    POISON_BEFORE_REPLY,
+    ProcessShardPool,
+)
+from repro.net.procservice import ProcessShardedService
+from repro.service.queue import OverflowPolicy
+from repro.service.server import Rejected, RejectReason, ServiceGrant
+
+N_FIBERS, K = 4, 3
+
+
+def _service(**kwargs) -> ProcessShardedService:
+    kwargs.setdefault("n_workers", 2)
+    return ProcessShardedService(
+        N_FIBERS,
+        NonCircularConversion(K, 1, 1),
+        FirstAvailableScheduler(),
+        **kwargs,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestConstruction:
+    def test_stateful_policy_is_refused(self):
+        with pytest.raises(InvalidParameterError, match="stateless"):
+            _service(policy=RandomPolicy(seed=1))
+
+    def test_placement_covers_every_shard(self):
+        async def go():
+            service = _service()
+            try:
+                placement = service.placement
+                assert sorted(placement) == list(range(N_FIBERS))
+                assert set(placement.values()) <= set(
+                    range(service.n_workers)
+                )
+                # Both workers own shards (bounded-load floor).
+                assert len(set(placement.values())) == 2
+            finally:
+                await service.stop()
+
+        run(go())
+
+
+class TestTickSemantics:
+    def test_grants_contention_and_busy_cross_process(self):
+        async def go():
+            service = _service()
+            try:
+                # Three inputs race for output 0 wavelength 0 (reachable
+                # channels {0, 1} under (1,1) conversion — some must lose);
+                # an independent request on another shard lands too.
+                futs = [
+                    service.submit_nowait(SlotRequest(i, 0, 0, duration=3))
+                    for i in range(3)
+                ]
+                futs.append(service.submit_nowait(SlotRequest(3, 1, 1)))
+                n = await service.tick()
+                outcomes = [await f for f in futs]
+                grants = [o for o in outcomes if isinstance(o, ServiceGrant)]
+                rejects = [o for o in outcomes if isinstance(o, Rejected)]
+                assert n == len(grants)
+                assert len(grants) + len(rejects) == 4
+                # wl 0 reaches 2 channels: the 3-way race grants exactly 2.
+                assert sum(
+                    1 for g in grants if g.request.output_fiber == 0
+                ) == 2
+                assert any(g.request.output_fiber == 1 for g in grants)
+                assert all(
+                    r.reason is RejectReason.CONTENTION for r in rejects
+                )
+                # The owning worker's busy[] reflects the duration-3 hold
+                # (one tick already elapsed at commit).
+                busy0 = service.worker_busy(0)
+                assert max(busy0) == 2
+                # Idle shards' clocks advanced too (no stuck channels).
+                assert all(b == 0 for b in service.worker_busy(2))
+            finally:
+                await service.stop()
+
+        run(go())
+
+    def test_conservation_over_random_load(self):
+        async def go():
+            import random
+
+            rng = random.Random(42)
+            service = _service()
+            try:
+                futures = []
+                for _ in range(60):
+                    futures.append(
+                        service.submit_nowait(
+                            SlotRequest(
+                                rng.randrange(N_FIBERS),
+                                rng.randrange(K),
+                                rng.randrange(N_FIBERS),
+                            )
+                        )
+                    )
+                    if rng.random() < 0.3:
+                        await service.tick()
+                await service.drain()
+                # A queue drained at the admission layer can still hold
+                # blocked requeues; a few extra ticks settle everything.
+                outcomes = await asyncio.wait_for(
+                    asyncio.gather(*futures), 30
+                )
+                granted = sum(
+                    1 for o in outcomes if isinstance(o, ServiceGrant)
+                )
+                rejected = sum(1 for o in outcomes if isinstance(o, Rejected))
+                assert granted + rejected == 60
+                assert granted > 0
+            finally:
+                await service.stop()
+
+        run(go())
+
+    def test_dedup_replays_grant_exactly_once(self):
+        async def go():
+            service = _service(dedup_capacity=16)
+            try:
+                f1 = service.submit_nowait(
+                    SlotRequest(0, 0, 0), request_id="req-1"
+                )
+                await service.tick()
+                out1 = await f1
+                assert isinstance(out1, ServiceGrant)
+                # Same id again: the original grant replays, nothing is
+                # scheduled twice.
+                f2 = service.submit_nowait(
+                    SlotRequest(0, 0, 0), request_id="req-1"
+                )
+                out2 = await f2
+                assert out2 is out1
+                assert service.queue_depth_total == 0
+            finally:
+                await service.stop()
+
+        run(go())
+
+    def test_queue_overflow_rejects(self):
+        async def go():
+            service = _service(queue_capacity=2)
+            try:
+                futs = [
+                    service.submit_nowait(SlotRequest(i % N_FIBERS, 0, 0))
+                    for i in range(3)
+                ]
+                out = await futs[2]
+                assert isinstance(out, Rejected)
+                assert out.reason is RejectReason.QUEUE_FULL
+            finally:
+                await service.stop()
+
+        run(go())
+
+    def test_stop_flushes_queued_as_shutdown(self):
+        async def go():
+            service = _service()
+            fut = service.submit_nowait(SlotRequest(0, 0, 0))
+            await service.stop()
+            out = await fut
+            assert isinstance(out, Rejected)
+            assert out.reason is RejectReason.SHUTDOWN
+
+        run(go())
+
+
+class TestCrashRecovery:
+    def test_kill_worker_respawns_with_busy_intact(self, tmp_path):
+        async def go():
+            service = _service(journal_dir=tmp_path)
+            try:
+                fut = service.submit_nowait(SlotRequest(0, 0, 0, duration=5))
+                await service.tick()
+                assert isinstance(await fut, ServiceGrant)
+                busy_before = service.worker_busy(0)
+                assert max(busy_before) == 4
+                victim = service.placement[0]
+                service.kill_worker(victim)
+                # The next access respawns the worker; journal replay
+                # rebuilds the channel clock exactly.
+                assert service.worker_busy(0) == busy_before
+                # And ticking still works (clock keeps decaying).
+                await service.tick()
+                assert max(service.worker_busy(0)) == 3
+            finally:
+                await service.stop()
+
+        run(go())
+
+    def test_poison_after_grant_redelivery_is_idempotent(self, tmp_path):
+        """Worker dies between journaling grants and advancing: the
+        parent's retry re-runs the tick on the respawned worker, which
+        strips the uncommitted write-ahead and re-schedules — the caller
+        sees exactly one grant."""
+
+        async def go():
+            service = _service(journal_dir=tmp_path)
+            try:
+                victim = service.placement[0]
+                service.pool.call(victim, "poison", POISON_AFTER_GRANT)
+                fut = service.submit_nowait(SlotRequest(0, 0, 0, duration=2))
+                n = await service.tick()
+                out = await fut
+                assert n == 1
+                assert isinstance(out, ServiceGrant)
+                assert max(service.worker_busy(0)) == 1
+                # Exactly one respawn happened.
+                assert service.pool._workers[victim].respawns == 1
+            finally:
+                await service.stop()
+
+        run(go())
+
+    def test_poison_before_reply_answers_from_journal(self, tmp_path):
+        """Worker dies after completing the tick but before replying: the
+        redelivered tick is behind the recovered clock, so the respawned
+        worker answers from the journal — same grants, not re-scheduled
+        against the already-advanced busy[]."""
+
+        async def go():
+            service = _service(journal_dir=tmp_path)
+            try:
+                victim = service.placement[0]
+                service.pool.call(victim, "poison", POISON_BEFORE_REPLY)
+                fut = service.submit_nowait(SlotRequest(0, 0, 0, duration=4))
+                n = await service.tick()
+                out = await fut
+                assert n == 1
+                assert isinstance(out, ServiceGrant)
+                # The completed tick advanced before the kill; the journal
+                # answer must not double-apply the hold or re-advance.
+                assert max(service.worker_busy(0)) == 3
+            finally:
+                await service.stop()
+
+        run(go())
+
+
+class TestPoolEdges:
+    def test_call_after_stop_raises_typed(self):
+        pool = ProcessShardPool(
+            N_FIBERS,
+            NonCircularConversion(K, 1, 1),
+            FirstAvailableScheduler(),
+            None,
+            n_workers=1,
+        )
+        pool.stop()
+        pool.stop()  # idempotent
+        with pytest.raises(WorkerProcessError, match="stopped"):
+            pool.call(0, "busy")
+
+    def test_unknown_op_is_a_typed_error(self):
+        pool = ProcessShardPool(
+            N_FIBERS,
+            NonCircularConversion(K, 1, 1),
+            FirstAvailableScheduler(),
+            None,
+            n_workers=1,
+        )
+        try:
+            with pytest.raises(WorkerProcessError, match="unknown op"):
+                pool.call(0, "no-such-op")
+        finally:
+            pool.stop()
