@@ -1,4 +1,4 @@
-"""Deterministic perf-regression harness (``BENCH_PR6.json``).
+"""Deterministic perf-regression harness (``BENCH_PR7.json``).
 
 Runs a small, fixed-seed benchmark suite over the layers this repo's
 performance story rests on and writes one JSON document per run:
@@ -15,6 +15,11 @@ performance story rests on and writes one JSON document per run:
   durability off vs the in-memory write-ahead journal vs the file
   backend.  Gated on the *ratio*: the in-memory journal must cost less
   than ``--max-journal-overhead`` (default 10%) over durability off.
+* ``qos`` group — per-tick latency of a multi-tenant service (weighted
+  fair grants, SHED admission, per-tenant accounting) vs an otherwise
+  identical single-tenant service, paired tick-by-tick like the service
+  group.  Gated on the derived ``qos_overhead`` median ratio
+  (``--max-qos-overhead``, default 10%).
 * ``net`` group — ticks/s and request p50/p99 over TCP under external
   multi-process load (``repro.net.loadgen``), single-process backend vs
   multi-process shard placement.  The ≥2-worker backend must beat the
@@ -24,8 +29,8 @@ performance story rests on and writes one JSON document per run:
 
 Usage::
 
-    python benchmarks/harness.py --quick --out BENCH_PR6.json
-    python benchmarks/harness.py --quick --compare BENCH_PR6.json
+    python benchmarks/harness.py --quick --out BENCH_PR7.json
+    python benchmarks/harness.py --quick --compare BENCH_PR7.json
 
 The JSON layout::
 
@@ -54,10 +59,12 @@ from repro.core.batch_bfa import batch_break_first_available
 from repro.core.break_first_available import BreakFirstAvailableScheduler
 from repro.core.distributed import SlotRequest
 from repro.core.memo import ScheduleCache
+from repro.core.policies import WeightedFairPolicy
 from repro.faults import FaultPlan
 from repro.graphs.conversion import CircularConversion
 from repro.graphs.request_graph import RequestGraph
 from repro.service import DurabilityConfig, SchedulingService
+from repro.service.queue import OverflowPolicy, TenantAdmission
 from repro.sim.duration import GeometricDuration
 from repro.sim.engine import SlottedSimulator
 from repro.sim.fast import FastPacketSimulator
@@ -67,10 +74,12 @@ from repro.util.rng import make_rng
 KERNEL = "kernel"
 SIM = "sim"
 SERVICE = "service"
+QOS = "qos"
 NET = "net"
 REGRESSION_THRESHOLD = 0.30
 MIN_MULTISLOT_SPEEDUP = 5.0
 MAX_JOURNAL_OVERHEAD = 0.10
+MAX_QOS_OVERHEAD = 0.10
 MIN_NET_SPEEDUP = 1.0
 
 
@@ -357,6 +366,114 @@ def bench_journal(quick: bool) -> dict[str, dict]:
     return out
 
 
+def bench_qos(quick: bool) -> dict[str, dict]:
+    """Multi-tenant accounting overhead on the service tick path.
+
+    Same paired discipline as :func:`bench_journal`: a single-tenant
+    service (fixed-priority policy, DROP_TAIL overflow, every request
+    tenant 0) and a QoS service (weighted fair policy, SHED admission
+    keyed by the same weights, requests spread across three tenants) are
+    ticked inside the same loop iteration on the same seeded request
+    schedule.  The gated number is the median of the per-tick latency
+    ratios — the cost of tenant bookkeeping, deficit-credit grant
+    selection, and per-tenant telemetry, isolated from machine drift.
+    Admission (which runs in ``submit_nowait``, off the tick path) is
+    exercised but deliberately outside the timed region: the acceptance
+    gate is about steady-state tick latency.
+    """
+    n_fibers, k = 8, 16
+    ticks = 200 if quick else 600
+    weights = {0: 4, 1: 2, 2: 1}
+    rng = make_rng(23)
+    schedule = []
+    for _tick in range(ticks):
+        slot_requests = []
+        for i in range(n_fibers):
+            for w in range(k):
+                if rng.random() < 0.5:
+                    slot_requests.append(
+                        SlotRequest(
+                            i,
+                            w,
+                            int(rng.integers(n_fibers)),
+                            duration=int(rng.integers(1, 4)),
+                            tenant=(i + w) % 3,
+                        )
+                    )
+        schedule.append(slot_requests)
+    scheme = CircularConversion(k, 1, 1)
+
+    def run_paired() -> dict[str, np.ndarray]:
+        async def go():
+            services = {
+                "service_tick_single_tenant": SchedulingService(
+                    n_fibers,
+                    scheme,
+                    BreakFirstAvailableScheduler(),
+                    queue_capacity=64,
+                    overflow=OverflowPolicy.DROP_TAIL,
+                    durability=False,
+                ),
+                "service_tick_qos": SchedulingService(
+                    n_fibers,
+                    scheme,
+                    BreakFirstAvailableScheduler(),
+                    policy=WeightedFairPolicy(weights),
+                    queue_capacity=64,
+                    overflow=OverflowPolicy.SHED,
+                    admission=TenantAdmission(weights),
+                    durability=False,
+                ),
+            }
+            samples = {
+                name: np.empty(ticks, dtype=float) for name in services
+            }
+            futures = []
+            for i, slot_requests in enumerate(schedule):
+                for name, service in services.items():
+                    single = name == "service_tick_single_tenant"
+                    for r in slot_requests:
+                        if single and r.tenant:
+                            r = SlotRequest(
+                                r.input_fiber,
+                                r.wavelength,
+                                r.output_fiber,
+                                duration=r.duration,
+                            )
+                        futures.append(service.submit_nowait(r))
+                    t0 = time.perf_counter()
+                    await service.tick()
+                    samples[name][i] = time.perf_counter() - t0
+            for service in services.values():
+                await service.drain()
+            await asyncio.gather(*futures, return_exceptions=True)
+            for service in services.values():
+                await service.stop()
+            return samples
+
+        return asyncio.run(go())
+
+    run_paired()  # warmup: imports, allocator, bytecode caches
+    samples = run_paired()
+    out = {}
+    for name, s in samples.items():
+        out[name] = {
+            "group": QOS,
+            "calls": ticks,
+            "ops_per_s": ticks / float(s.sum()),
+            "p50_s": float(np.percentile(s, 50)),
+            "p99_s": float(np.percentile(s, 99)),
+        }
+    out["service_tick_qos"]["overhead_vs_single_tenant"] = float(
+        np.median(
+            samples["service_tick_qos"]
+            / samples["service_tick_single_tenant"]
+        )
+        - 1.0
+    )
+    return out
+
+
 def bench_net(quick: bool) -> dict[str, dict]:
     """The TCP front door under external multi-process load: a
     single-process backend vs ≥2-worker multi-process shard placement
@@ -396,6 +513,7 @@ def run_suite(quick: bool) -> dict:
     benchmarks.update(bench_sims(quick))
     benchmarks.update(bench_faults(quick))
     benchmarks.update(bench_journal(quick))
+    benchmarks.update(bench_qos(quick))
     benchmarks.update(bench_net(quick))
     # Steady-state ratio: p50 excludes the fast engine's single cold-cache
     # call (its p99), which would otherwise drag a mean-based comparison.
@@ -405,6 +523,9 @@ def run_suite(quick: bool) -> dict:
     )
     journal_overhead = benchmarks["service_tick_journal_mem"][
         "overhead_vs_nodur"
+    ]
+    qos_overhead = benchmarks["service_tick_qos"][
+        "overhead_vs_single_tenant"
     ]
     net_speedup = (
         benchmarks["net_tcp_two_workers"]["ops_per_s"]
@@ -425,6 +546,7 @@ def run_suite(quick: bool) -> dict:
         "derived": {
             "multislot_speedup": speedup,
             "journal_mem_overhead": journal_overhead,
+            "qos_overhead": qos_overhead,
             "net_multiproc_speedup": net_speedup,
         },
     }
@@ -467,6 +589,11 @@ def main(argv: list[str] | None = None) -> int:
                         default=MAX_JOURNAL_OVERHEAD,
                         help="allowed in-memory journal p50 tick-latency "
                              "overhead vs durability off (default 0.10)")
+    parser.add_argument("--max-qos-overhead", type=float,
+                        default=MAX_QOS_OVERHEAD,
+                        help="allowed multi-tenant QoS p50 tick-latency "
+                             "overhead vs a single-tenant service "
+                             "(default 0.10)")
     parser.add_argument("--min-net-speedup", type=float,
                         default=MIN_NET_SPEEDUP,
                         help="required two-worker/single-process TCP "
@@ -485,6 +612,10 @@ def main(argv: list[str] | None = None) -> int:
     journal_overhead = result["derived"]["journal_mem_overhead"]
     print(
         f"in-memory journal tick-latency overhead: {journal_overhead:+.1%}"
+    )
+    qos_overhead = result["derived"]["qos_overhead"]
+    print(
+        f"multi-tenant QoS tick-latency overhead: {qos_overhead:+.1%}"
     )
     net_speedup = result["derived"]["net_multiproc_speedup"]
     cpus = result["meta"]["cpus"]
@@ -505,6 +636,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: journal overhead {journal_overhead:.1%} > "
             f"{args.max_journal_overhead:.0%}"
+        )
+        status = 1
+    if qos_overhead > args.max_qos_overhead:
+        print(
+            f"FAIL: QoS overhead {qos_overhead:.1%} > "
+            f"{args.max_qos_overhead:.0%}"
         )
         status = 1
     if cpus is not None and cpus > 1:

@@ -56,6 +56,9 @@ class SlotRequest:
     holds if granted (1 = single-slot optical packet).  ``priority`` is the
     QoS class, 0 = highest (the paper's future work): higher classes are
     scheduled first and lower classes only see their leftover channels.
+    ``tenant`` identifies the traffic owner for weighted fair sharing and
+    per-tenant admission/accounting (0 = the default single tenant; the
+    pre-tenant wire and journal encodings map to it).
     """
 
     input_fiber: int
@@ -63,6 +66,7 @@ class SlotRequest:
     output_fiber: int
     duration: int = 1
     priority: int = 0
+    tenant: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -102,6 +106,7 @@ def validate_slot_request(
     check_index(request.wavelength, k, "wavelength")
     check_positive_int(request.duration, "duration")
     check_nonnegative_int(request.priority, "priority")
+    check_nonnegative_int(request.tenant, "tenant")
     return request
 
 
@@ -130,7 +135,9 @@ def distribute_grants(
     for w, contenders in sorted(requests_by_wavelength.items()):
         channels = sorted(channels_by_wavelength.get(w, []))
         by_fiber = {r.input_fiber: r for r in contenders}
-        winners = policy.select(output_fiber, w, sorted(by_fiber), len(channels))
+        winners = policy.select_requests(
+            output_fiber, w, contenders, len(channels)
+        )
         winner_set = set(winners)
         for fiber, channel in zip(sorted(winner_set), channels):
             granted.append(GrantedRequest(by_fiber[fiber], channel))

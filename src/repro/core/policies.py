@@ -12,18 +12,22 @@ from __future__ import annotations
 
 import json
 from abc import ABC, abstractmethod
-from typing import Hashable, Sequence
+from typing import TYPE_CHECKING, Hashable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.util.rng import make_rng
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.distributed import SlotRequest
+
 __all__ = [
     "GrantPolicy",
     "FixedPriorityPolicy",
     "RandomPolicy",
     "RoundRobinPolicy",
+    "WeightedFairPolicy",
 ]
 
 
@@ -32,6 +36,11 @@ class GrantPolicy(ABC):
     output fiber.  Implementations may keep per-(output, wavelength) state
     across slots (round-robin) but must not share state across output fibers,
     so the per-output schedulers stay independent ("distributed")."""
+
+    #: True when every piece of mutable state is keyed by output fiber, so
+    #: per-worker policy instances over disjoint shards behave exactly like
+    #: one shared instance (multi-process placement relies on this).
+    state_partitioned_by_output: bool = True
 
     @abstractmethod
     def select(
@@ -42,6 +51,28 @@ class GrantPolicy(ABC):
         n: int,
     ) -> list[Hashable]:
         """Return ``min(n, len(requesters))`` distinct winners."""
+
+    def select_requests(
+        self,
+        output_fiber: int,
+        wavelength: int,
+        requests: "Sequence[SlotRequest]",
+        n: int,
+    ) -> list[int]:
+        """Pick the winning *input fibers* among full requests.
+
+        :func:`~repro.core.distributed.distribute_grants` calls this form so
+        policies can see request attributes beyond the requester id (tenant,
+        priority).  The default delegates to :meth:`select` over the sorted
+        input-fiber ids — byte-identical to the historical behaviour for
+        every id-based policy.
+        """
+        return self.select(
+            output_fiber,
+            wavelength,
+            sorted(r.input_fiber for r in requests),
+            n,
+        )
 
     def export_state(self) -> object | None:
         """JSON-encodable snapshot of the policy's mutable state.
@@ -90,6 +121,10 @@ class FixedPriorityPolicy(GrantPolicy):
 
 class RandomPolicy(GrantPolicy):
     """Uniform random winners (the paper's "random selecting")."""
+
+    #: One RNG feeds every output fiber's draws, so per-worker instances
+    #: would diverge from a single shared instance.
+    state_partitioned_by_output = False
 
     def __init__(self, seed: int | np.random.Generator | None = None) -> None:
         self._rng = make_rng(seed)
@@ -179,3 +214,187 @@ class RoundRobinPolicy(GrantPolicy):
     def reset(self) -> None:
         """Forget all rotation pointers (start of a fresh simulation)."""
         self._pointers.clear()
+
+
+class WeightedFairPolicy(GrantPolicy):
+    """Deficit-weighted fair sharing across *tenants* (multi-tenant QoS).
+
+    Each output fiber keeps one signed credit balance per tenant.  Every
+    time a channel is handed out, each tenant still contending for it earns
+    its weight in credits; the richest balance wins the channel and pays
+    the round's total earnings back.  Over any window of ``G`` grants under
+    persistent contention, tenant ``t`` therefore receives
+    ``G · w_t / Σw ± O(1)`` channels — weighted fairness with an ``O(1)``
+    deficit bound, the classic deficit/surplus round-robin argument.  A
+    backlogged tenant's balance grows every allocation it loses, so it is
+    served within ``2 · ceil(Σw / w_t)`` allocations — starvation-free
+    (property-tested in ``tests/test_wfq_properties.py``; the exact bound
+    from a fresh start is one deficit round of ``Σw`` allocations, in
+    which each backlogged tenant wins *exactly* ``w_t`` channels).
+
+    Within one tenant, winners rotate round-robin by input fiber (one
+    pointer per ``(output, tenant)``), so no input fiber starves inside its
+    tenant either.  All state is keyed by output fiber (balances *and*
+    pointers), keeping the per-output schedulers independent, and
+    :meth:`export_state` / :meth:`restore_state` round-trip through JSON so
+    the journal/snapshot path and :meth:`~repro.sim.engine.SlottedSimulator
+    .export_state` can carry it.
+
+    ``weights`` maps tenant id → positive integer weight; unknown tenants
+    get ``default_weight``.  Requests carry their tenant
+    (:attr:`~repro.core.distributed.SlotRequest.tenant`); id-based
+    :meth:`select` calls treat all requesters as tenant 0 (degrading to
+    plain round-robin), so the policy stays usable anywhere a
+    :class:`GrantPolicy` is.
+    """
+
+    def __init__(
+        self,
+        weights: "Mapping[int, int] | None" = None,
+        default_weight: int = 1,
+    ) -> None:
+        if default_weight < 1:
+            raise InvalidParameterError(
+                f"default_weight must be >= 1, got {default_weight}"
+            )
+        self.default_weight = int(default_weight)
+        self._weights: dict[int, int] = {}
+        if weights:
+            for tenant, w in weights.items():
+                if int(w) < 1:
+                    raise InvalidParameterError(
+                        f"tenant {tenant} weight must be >= 1, got {w}"
+                    )
+                self._weights[int(tenant)] = int(w)
+        # credits[output][tenant] -> signed balance; pointers[(output,
+        # tenant)] -> last winning input fiber (within-tenant rotation).
+        self._credits: dict[int, dict[int, int]] = {}
+        self._pointers: dict[tuple[int, int], int] = {}
+
+    def weight(self, tenant: int) -> int:
+        return self._weights.get(tenant, self.default_weight)
+
+    # -- state ---------------------------------------------------------------
+
+    def export_state(self) -> object:
+        return {
+            "credits": [
+                [o, t, c]
+                for o, balances in sorted(self._credits.items())
+                for t, c in sorted(balances.items())
+            ],
+            "pointers": [
+                [o, t, last]
+                for (o, t), last in sorted(self._pointers.items())
+            ],
+        }
+
+    def restore_state(self, state: object | None) -> None:
+        if (
+            not isinstance(state, dict)
+            or "credits" not in state
+            or "pointers" not in state
+        ):
+            raise InvalidParameterError(
+                f"WeightedFairPolicy needs a credits/pointers dict, "
+                f"got {state!r}"
+            )
+        self._credits = {}
+        for o, t, c in state["credits"]:
+            self._credits.setdefault(int(o), {})[int(t)] = int(c)
+        self._pointers = {
+            (int(o), int(t)): int(last) for o, t, last in state["pointers"]
+        }
+
+    def reset(self) -> None:
+        """Forget all balances and rotation pointers."""
+        self._credits.clear()
+        self._pointers.clear()
+
+    # -- selection -----------------------------------------------------------
+
+    def select(
+        self,
+        output_fiber: int,
+        wavelength: int,
+        requesters: Sequence[Hashable],
+        n: int,
+    ) -> list[Hashable]:
+        n = self._check(requesters, n)
+        return self._select_fibers(
+            output_fiber, {0: sorted(requesters)}, n
+        )
+
+    def select_requests(
+        self,
+        output_fiber: int,
+        wavelength: int,
+        requests: "Sequence[SlotRequest]",
+        n: int,
+    ) -> list[int]:
+        if len(requests) == 1 and n > 0:
+            # Uncontended allocation (the common case): a lone contender
+            # earns the whole pot and immediately spends it, so balances
+            # are untouched — only the rotation pointer advances.
+            r = requests[0]
+            self._pointers[(output_fiber, r.tenant)] = r.input_fiber
+            return [r.input_fiber]
+        fibers = [r.input_fiber for r in requests]
+        n = self._check(fibers, n)
+        by_tenant: dict[int, list[int]] = {}
+        for r in requests:
+            by_tenant.setdefault(r.tenant, []).append(r.input_fiber)
+        for contenders in by_tenant.values():
+            contenders.sort()
+        return self._select_fibers(output_fiber, by_tenant, n)
+
+    def _select_fibers(
+        self, output_fiber: int, by_tenant: dict[int, list[int]], n: int
+    ) -> list:
+        if n == 0:
+            return []
+        if len(by_tenant) == 1:
+            # One tenant contending: every round it earns the pot and pays
+            # it straight back, so balances cannot move — only the
+            # within-tenant rotation runs.
+            ((tenant, contenders),) = by_tenant.items()
+            return [
+                self._rotate(output_fiber, tenant, by_tenant)
+                for _ in range(min(n, len(contenders)))
+            ]
+        balances = self._credits.setdefault(output_fiber, {})
+        weights = {t: self.weight(t) for t in by_tenant}
+        winners: list = []
+        for _ in range(n):
+            eligible = sorted(t for t, c in by_tenant.items() if c)
+            if not eligible:
+                break
+            pot = 0
+            for t in eligible:
+                balances[t] = balances.get(t, 0) + weights[t]
+                pot += weights[t]
+            winner_tenant = max(eligible, key=lambda t: (balances[t], -t))
+            balances[winner_tenant] -= pot
+            winners.append(
+                self._rotate(output_fiber, winner_tenant, by_tenant)
+            )
+        # A tenant whose contenders are exhausted keeps its balance: the
+        # un-spent credit is exactly its deficit carried to the next slot.
+        return winners
+
+    def _rotate(
+        self, output_fiber: int, tenant: int, by_tenant: dict[int, list[int]]
+    ) -> int:
+        """Within-tenant round-robin: first contender after the previous
+        winner (in input-fiber order, wrapping); removes the pick."""
+        contenders = by_tenant[tenant]
+        key = (output_fiber, tenant)
+        last = self._pointers.get(key)
+        idx = 0
+        if last is not None:
+            idx = next(
+                (i for i, f in enumerate(contenders) if f > last), 0
+            )
+        winner = contenders.pop(idx)
+        self._pointers[key] = winner
+        return winner

@@ -21,6 +21,7 @@ from repro.experiments import (  # noqa: F401  (import for side effect)
     figures,
     hardware,
     multislot,
+    qos,
     scaling,
     size_sweep,
     tables_algos,

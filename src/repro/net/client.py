@@ -185,6 +185,11 @@ class NetClient:
         :class:`~repro.net.protocol.Reject` (or raises ProtocolError on a
         server-side ERROR)."""
         self._check_open()
+        if request.tenant and self.version < 2:
+            raise ProtocolError(
+                f"tenant {request.tenant} needs protocol >= 2; the server "
+                f"negotiated version {self.version}"
+            )
         seq = self._next_seq()
         fut: "asyncio.Future[proto.Grant | proto.Reject]" = (
             asyncio.get_running_loop().create_future()
@@ -200,6 +205,7 @@ class NetClient:
                 priority=request.priority,
                 timeout_ticks=timeout_ticks,
                 request_id=request_id,
+                tenant=request.tenant,
             )
         )
         return fut

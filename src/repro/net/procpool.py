@@ -220,12 +220,20 @@ def worker_main(
 def _request_from_wire(t: tuple) -> "Any":
     from repro.core.distributed import SlotRequest
 
-    return SlotRequest(t[0], t[1], t[2], duration=t[3], priority=t[4])
+    # Pre-tenant 5-tuples (mixed-version parent/worker during a rolling
+    # restart) map to tenant 0.
+    return SlotRequest(
+        t[0], t[1], t[2], duration=t[3], priority=t[4],
+        tenant=t[5] if len(t) > 5 else 0,
+    )
 
 
-def request_wire_tuple(r) -> tuple[int, int, int, int, int]:
+def request_wire_tuple(r) -> tuple[int, int, int, int, int, int]:
     """The pipe-side encoding of a SlotRequest (plain ints pickle fast)."""
-    return (r.input_fiber, r.wavelength, r.output_fiber, r.duration, r.priority)
+    return (
+        r.input_fiber, r.wavelength, r.output_fiber, r.duration, r.priority,
+        r.tenant,
+    )
 
 
 # -- parent-side pool --------------------------------------------------------

@@ -42,7 +42,7 @@ from repro.core.policies import FixedPriorityPolicy, GrantPolicy
 from repro.errors import InvalidParameterError, SimulationError
 from repro.net.procpool import ProcessShardPool, request_wire_tuple
 from repro.service.edge import PendingRequest, SubmissionEdge
-from repro.service.queue import BoundedQueue, OverflowPolicy
+from repro.service.queue import BoundedQueue, OverflowPolicy, TenantAdmission
 from repro.service.server import Rejected, RejectReason, ServiceGrant
 from repro.service.telemetry import Telemetry
 from repro.service.tickloop import InputAdmission
@@ -76,6 +76,7 @@ class ProcessShardedService:
         journal_dir: str | os.PathLike | None = None,
         queue_capacity: int | None = None,
         overflow: OverflowPolicy = OverflowPolicy.REJECT,
+        admission: "TenantAdmission | None" = None,
         max_batch_per_tick: int | None = None,
         tick_interval: float = 0.001,
         dedup_capacity: int = 0,
@@ -84,12 +85,13 @@ class ProcessShardedService:
         self.n_fibers = check_positive_int(n_fibers, "n_fibers")
         self.scheme = scheme
         self.policy = policy if policy is not None else FixedPriorityPolicy()
-        if self.policy.export_state() is not None:
+        if not self.policy.state_partitioned_by_output:
             raise InvalidParameterError(
-                "multi-process placement needs a stateless grant policy "
-                "(export_state() is None) — shards on different workers "
-                "cannot share one mutating policy object; use "
-                "FixedPriorityPolicy or a per-call-deterministic policy"
+                "multi-process placement needs a grant policy whose state "
+                "partitions by output fiber (state_partitioned_by_output) — "
+                "shards on different workers cannot share one mutating "
+                "policy object whose state crosses outputs; use "
+                "FixedPriorityPolicy, RoundRobinPolicy, or WeightedFairPolicy"
             )
         if max_batch_per_tick is not None:
             check_positive_int(max_batch_per_tick, "max_batch_per_tick")
@@ -103,7 +105,8 @@ class ProcessShardedService:
         self.edge = SubmissionEdge(self.telemetry, dedup_capacity=dedup_capacity)
         self._admission = InputAdmission(self.n_fibers, scheme.k)
         self.queues = [
-            BoundedQueue(queue_capacity, overflow) for _ in range(self.n_fibers)
+            BoundedQueue(queue_capacity, overflow, admission)
+            for _ in range(self.n_fibers)
         ]
         self.pool = ProcessShardPool(
             self.n_fibers,
@@ -173,17 +176,22 @@ class ProcessShardedService:
         pending = PendingRequest(
             request, future, deadline, time.perf_counter(), request_id
         )
-        self.edge.c_submitted.inc()
+        self.edge.note_submitted(request)
         queue = self.queues[request.output_fiber]
+        shed = queue.policy is OverflowPolicy.SHED
         offer = queue.offer(pending)
         if offer.evicted is not None:
-            self.edge.resolve_rejected(offer.evicted, RejectReason.DROPPED)
-        if not offer.accepted:
-            reason = (
-                RejectReason.QUEUE_FULL
-                if queue.policy is OverflowPolicy.REJECT
-                else RejectReason.DROPPED
+            self.edge.resolve_rejected(
+                offer.evicted,
+                RejectReason.ADMISSION_SHED if shed else RejectReason.DROPPED,
             )
+        if not offer.accepted:
+            if shed:
+                reason = RejectReason.ADMISSION_SHED
+            elif queue.policy is OverflowPolicy.REJECT:
+                reason = RejectReason.QUEUE_FULL
+            else:
+                reason = RejectReason.DROPPED
             self.edge.resolve_rejected(pending, reason)
         return future
 
@@ -252,7 +260,7 @@ class ProcessShardedService:
             for in_f, wl, channel, _dur in grant_tuples:
                 p = by_input[(in_f, wl)]
                 self._admission.hold(p.request)
-                self.edge.c_granted.inc()
+                self.edge.note_granted(p.request)
                 self.edge.resolve(p, ServiceGrant(p.request, channel, slot))
                 n_granted += 1
             for in_f, wl in rejected_pairs:

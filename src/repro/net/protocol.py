@@ -27,8 +27,20 @@ order.  ``seq == 0`` on an ERROR means the error is connection-level
 Version negotiation: the client's HELLO lists every protocol version it
 speaks; the server picks the highest it also speaks
 (:func:`negotiate_version`) and echoes it in WELCOME, or answers ERROR
-``no common protocol version`` and closes.  The current (only) version
-is 1.
+``no common protocol version`` and closes.
+
+Versions:
+
+* **1** — the original message set (``SUBMIT`` tag 0x05 carries no
+  tenant; every request is tenant 0).
+* **2** — adds the multi-tenant ``SUBMIT2`` tag (0x0A): the same body as
+  ``SUBMIT`` plus a ``tenant`` u32 after ``priority``, and the
+  ``ADMISSION_SHED`` reject-reason code.  A v2 peer still emits the v1
+  ``SUBMIT`` encoding whenever ``tenant == 0`` — the wire bytes of
+  single-tenant traffic are unchanged, so a v2 client interoperates with
+  a v1 server until it actually uses tenants (the client refuses to send
+  a tenanted request over a v1 connection, and a v2 server downgrades
+  ``ADMISSION_SHED`` to ``DROPPED`` when answering a v1 client).
 """
 
 from __future__ import annotations
@@ -64,7 +76,7 @@ __all__ = [
 ]
 
 #: Every protocol version this build speaks, ascending.
-PROTOCOL_VERSIONS: tuple[int, ...] = (1,)
+PROTOCOL_VERSIONS: tuple[int, ...] = (1, 2)
 
 #: Upper bound on one message payload; a protocol frame beyond this is
 #: corruption, not a big message (the largest legal message is a few
@@ -84,6 +96,8 @@ class MsgType(enum.IntEnum):
     REJECT = 0x07
     TICK_ADVANCE = 0x08
     TICK_DONE = 0x09
+    #: Protocol ≥ 2: SUBMIT with a tenant id (see module docstring).
+    SUBMIT2 = 0x0A
 
 
 class ErrorCode(enum.IntEnum):
@@ -115,6 +129,7 @@ _REASON_CODES: dict[RejectReason, int] = {
     RejectReason.SHARD_DOWN: 7,
     RejectReason.CIRCUIT_OPEN: 8,
     RejectReason.DUPLICATE: 9,
+    RejectReason.ADMISSION_SHED: 10,  # protocol >= 2 (v1 peers get DROPPED)
 }
 _CODE_REASONS = {code: reason for reason, code in _REASON_CODES.items()}
 assert len(_REASON_CODES) == len(RejectReason), "unmapped RejectReason"
@@ -169,7 +184,10 @@ class Bye:
 class Submit:
     """One slot request.  ``seq`` (> 0) correlates the response;
     ``timeout_ticks < 0`` means no deadline; ``request_id`` is the
-    optional idempotency key (empty = none)."""
+    optional idempotency key (empty = none); ``tenant`` is the traffic
+    owner (0 = default; non-zero needs a protocol ≥ 2 connection and is
+    carried by the ``SUBMIT2`` tag — tenant-0 submissions keep the v1
+    ``SUBMIT`` bytes)."""
 
     seq: int
     input_fiber: int
@@ -179,6 +197,7 @@ class Submit:
     priority: int = 0
     timeout_ticks: int = -1
     request_id: str = ""
+    tenant: int = 0
 
     def to_request(self) -> SlotRequest:
         return SlotRequest(
@@ -187,6 +206,7 @@ class Submit:
             self.output_fiber,
             duration=self.duration,
             priority=self.priority,
+            tenant=self.tenant,
         )
 
 
@@ -235,6 +255,7 @@ Message = (
 _WELCOME = struct.Struct("!HII")
 _ERROR_HEAD = struct.Struct("!QHH")
 _SUBMIT_HEAD = struct.Struct("!QIIIIiqH")
+_SUBMIT2_HEAD = struct.Struct("!QIIIIiIqH")  # + tenant u32 after priority
 _GRANT = struct.Struct("!QIq")
 _REJECT = struct.Struct("!QBq")
 _TICK_ADVANCE = struct.Struct("!I")
@@ -275,6 +296,24 @@ def encode_message(msg: Message) -> bytes:
         if len(rid) > _MAX_REQUEST_ID:
             raise ProtocolError(
                 f"request_id of {len(rid)} bytes exceeds {_MAX_REQUEST_ID}"
+            )
+        if msg.tenant:
+            # Protocol >= 2 encoding; tenant-0 submissions keep the v1
+            # SUBMIT bytes so single-tenant traffic is wire-identical.
+            return (
+                bytes([MsgType.SUBMIT2])
+                + _SUBMIT2_HEAD.pack(
+                    msg.seq,
+                    msg.input_fiber,
+                    msg.wavelength,
+                    msg.output_fiber,
+                    msg.duration,
+                    msg.priority,
+                    msg.tenant,
+                    msg.timeout_ticks,
+                    len(rid),
+                )
+                + rid
             )
         return (
             bytes([MsgType.SUBMIT])
@@ -370,6 +409,30 @@ def decode_message(payload: bytes) -> Message:
                 priority=prio,
                 timeout_ticks=timeout,
                 request_id=rid.decode("utf-8", "replace"),
+            )
+        if mtype is MsgType.SUBMIT2:
+            if len(payload) < 1 + _SUBMIT2_HEAD.size:
+                raise ProtocolError("SUBMIT2 body too short")
+            (seq, inf, wl, outf, dur, prio, tenant, timeout, rid_len) = (
+                _SUBMIT2_HEAD.unpack_from(payload, 1)
+            )
+            rid = payload[1 + _SUBMIT2_HEAD.size :]
+            if len(rid) != rid_len:
+                raise ProtocolError(
+                    "SUBMIT2 request_id length disagrees with header"
+                )
+            if seq == 0:
+                raise ProtocolError("SUBMIT2 seq must be > 0")
+            return Submit(
+                seq,
+                inf,
+                wl,
+                outf,
+                duration=dur,
+                priority=prio,
+                timeout_ticks=timeout,
+                request_id=rid.decode("utf-8", "replace"),
+                tenant=tenant,
             )
         if mtype is MsgType.GRANT:
             return Grant(*_exact(payload, _GRANT, "GRANT"))

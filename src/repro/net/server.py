@@ -33,7 +33,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.net import protocol as proto
-from repro.service.server import Rejected, ServiceGrant
+from repro.service.server import Rejected, RejectReason, ServiceGrant
 from repro.util.framing import FrameDecoder, encode_frame
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,14 +45,15 @@ _READ_CHUNK = 65536
 
 
 class _Conn:
-    """Per-connection state: writer + the futures watching it."""
+    """Per-connection state: writer, negotiated version, watched futures."""
 
-    __slots__ = ("writer", "watched", "closed")
+    __slots__ = ("writer", "watched", "closed", "version")
 
     def __init__(self, writer: asyncio.StreamWriter) -> None:
         self.writer = writer
         self.watched: "set[asyncio.Future]" = set()
         self.closed = False
+        self.version = max(proto.PROTOCOL_VERSIONS)
 
     def send(self, msg: "Message") -> None:
         if not self.closed:
@@ -213,6 +214,7 @@ class NetServer:
             )
             await self._flush(conn)
             return False
+        conn.version = version
         conn.send(
             proto.Welcome(version, self.service.n_fibers, self.service.scheme.k)
         )
@@ -242,6 +244,17 @@ class NetServer:
         return False
 
     def _handle_submit(self, conn: _Conn, msg: proto.Submit) -> None:
+        if msg.tenant and conn.version < 2:
+            # A v1 peer has no SUBMIT2 and should never have sent one.
+            conn.send(
+                proto.ErrorMsg(
+                    msg.seq,
+                    proto.ErrorCode.BAD_REQUEST,
+                    f"tenant {msg.tenant} needs protocol >= 2, connection "
+                    f"negotiated version {conn.version}",
+                )
+            )
+            return
         timeout = (
             None
             if msg.timeout_ticks < 0
@@ -276,10 +289,15 @@ class NetServer:
                 conn.send(proto.Grant(seq, outcome.channel, outcome.slot))
             else:
                 assert isinstance(outcome, Rejected)
+                reason = outcome.reason
+                if reason is RejectReason.ADMISSION_SHED and conn.version < 2:
+                    # v1 peers predate the code; the closest v1 semantic
+                    # is DROPPED (lost to queue pressure).
+                    reason = RejectReason.DROPPED
                 conn.send(
                     proto.Reject(
                         seq,
-                        outcome.reason,
+                        reason,
                         -1 if outcome.slot is None else outcome.slot,
                     )
                 )

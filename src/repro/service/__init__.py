@@ -52,7 +52,12 @@ from repro.service.journal import (
     RecordType,
     ShardJournal,
 )
-from repro.service.queue import BoundedQueue, Offer, OverflowPolicy
+from repro.service.queue import (
+    BoundedQueue,
+    Offer,
+    OverflowPolicy,
+    TenantAdmission,
+)
 from repro.service.server import (
     ExecutionMode,
     Rejected,
@@ -71,6 +76,7 @@ from repro.service.telemetry import (
     Counter,
     Gauge,
     Histogram,
+    SloAccountant,
     Telemetry,
     exponential_buckets,
 )
@@ -109,9 +115,11 @@ __all__ = [
     "ShardSnapshot",
     "ShardSupervisor",
     "ShardWorker",
+    "SloAccountant",
     "SubmissionEdge",
     "SupervisorConfig",
     "Telemetry",
+    "TenantAdmission",
     "exponential_buckets",
     "replay_journal",
 ]

@@ -8,7 +8,9 @@ contract the kill-at-every-tick test gates on
 
     load the latest valid snapshot, replay every journal record from the
     snapshot's tick onward in append order, and the rebuilt shard is
-    **bit-identical** to one that never crashed.
+    **bit-identical** to one that never crashed.  ``EVICT`` records (the
+    per-tenant admission shed) replay as a delete at the journaled queue
+    index, so mid-queue sheds recover exactly like front-of-queue drains.
 
 Replay is exact — unlike PR 4's aged checkpoints — because the server
 journals an ``ADVANCE`` for *every* shard each tick, down ones included:
@@ -109,14 +111,15 @@ class RecoveredShardState:
     ``"journal"`` (no snapshot yet — replayed from tick 0), or ``"cold"``
     (no durable state at all: the shard is genuinely fresh).  ``tick`` is
     the tick the state is valid *entering*; ``queue`` holds request
-    5-tuples in FIFO order, which the server cross-checks against the
-    surviving live queue.
+    6-tuples (:func:`repro.service.journal.request_tuple` form; pre-tenant
+    5-value records are normalized to tenant 0) in FIFO order, which the
+    server cross-checks against the surviving live queue.
     """
 
     shard: int
     tick: int
     busy: tuple[int, ...]
-    queue: tuple[tuple[int, int, int, int, int], ...]
+    queue: tuple[tuple[int, int, int, int, int, int], ...]
     policy_state: object | None
     source: str
     snapshot_tick: int | None
@@ -141,7 +144,7 @@ def replay_journal(
     if snapshot is not None:
         busy = list(snapshot.busy)
         queue: deque[tuple[int, ...]] = deque(
-            tuple(entry) for entry in snapshot.queue
+            _widen(tuple(entry)) for entry in snapshot.queue
         )
         tick = start = snapshot.tick
     else:
@@ -163,13 +166,22 @@ def replay_journal(
             busy = [b - 1 if b > 0 else 0 for b in busy]
             tick = rec.tick + 1
         elif rec.type is RecordType.ACCEPT:
-            queue.append(rec.values)
+            queue.append(_widen(rec.values))
         elif rec.type is RecordType.DEQUEUE:
             for _ in range(rec.values[0]):
                 if queue:
                     queue.popleft()
+        elif rec.type is RecordType.EVICT:
+            idx = rec.values[0]
+            if 0 <= idx < len(queue):
+                del queue[idx]
         # FAULT / SNAPSHOT: no state effect.
     return busy, tuple(queue), tick, replayed
+
+
+def _widen(values: tuple[int, ...]) -> tuple[int, ...]:
+    """Normalize a pre-tenant 5-value request tuple to the 6-value form."""
+    return values if len(values) != 5 else values + (0,)
 
 
 class DurabilityManager:
@@ -231,7 +243,7 @@ class DurabilityManager:
         shard: int,
         entering_tick: int,
         busy: Sequence[int],
-        queue: Iterable[tuple[int, int, int, int, int]],
+        queue: Iterable[tuple[int, int, int, int, int, int]],
         policy_state: object | None,
     ) -> None:
         """Persist one shard's state entering ``entering_tick``, prune old

@@ -101,7 +101,43 @@ class SubmissionEdge:
                 "server.rejected.circuit_open"
             ),
             RejectReason.DUPLICATE: self._c_duplicate,
+            RejectReason.ADMISSION_SHED: t.counter(
+                "server.rejected.admission_shed"
+            ),
         }
+        # Per-tenant accounting, materialized lazily (the single-tenant
+        # fast path never pays for tenants it has not seen).  Names are
+        # the ``tenant.<id>.*`` telemetry contract the QoS drills and
+        # docs/SERVICE.md rely on.
+        self._tenant_submitted: dict[int, object] = {}
+        self._tenant_granted: dict[int, object] = {}
+        self._tenant_rejected: dict[tuple[int, "RejectReason"], object] = {}
+
+    # -- per-tenant accounting ----------------------------------------------
+
+    def note_submitted(self, request: "SlotRequest") -> None:
+        """Count one accepted-for-processing submission (all front doors
+        call this instead of bumping ``c_submitted`` directly, so the
+        per-tenant ledger stays consistent with the aggregate)."""
+        self.c_submitted.inc()
+        tenant = request.tenant
+        c = self._tenant_submitted.get(tenant)
+        if c is None:
+            c = self._tenant_submitted[tenant] = self.telemetry.counter(
+                f"tenant.{tenant}.submitted"
+            )
+        c.inc()
+
+    def note_granted(self, request: "SlotRequest") -> None:
+        """Count one grant (aggregate + per-tenant)."""
+        self.c_granted.inc()
+        tenant = request.tenant
+        c = self._tenant_granted.get(tenant)
+        if c is None:
+            c = self._tenant_granted[tenant] = self.telemetry.counter(
+                f"tenant.{tenant}.granted"
+            )
+        c.inc()
 
     @property
     def dedup_enabled(self) -> bool:
@@ -131,8 +167,15 @@ class SubmissionEdge:
         if entry is not None:
             from repro.service.server import Rejected, RejectReason
 
-            self.c_submitted.inc()
+            self.note_submitted(request)
             self._c_duplicate.inc()
+            key = (request.tenant, RejectReason.DUPLICATE)
+            c = self._tenant_rejected.get(key)
+            if c is None:
+                c = self._tenant_rejected[key] = self.telemetry.counter(
+                    f"tenant.{request.tenant}.rejected.duplicate"
+                )
+            c.inc()
             if entry.outcome is not None:
                 future.set_result(entry.outcome)
             else:
@@ -180,4 +223,12 @@ class SubmissionEdge:
         from repro.service.server import Rejected
 
         self._reason_counters[reason].inc()
+        tenant = pending.request.tenant
+        key = (tenant, reason)
+        c = self._tenant_rejected.get(key)
+        if c is None:
+            c = self._tenant_rejected[key] = self.telemetry.counter(
+                f"tenant.{tenant}.rejected.{reason.value}"
+            )
+        c.inc()
         self.resolve(pending, Rejected(pending.request, reason, slot))

@@ -30,13 +30,22 @@ Record types and their replay semantics (see
 ==========  ==============================================  =============
 type        values                                          replay effect
 ==========  ==============================================  =============
-ACCEPT      (input, wavelength, output, duration, priority) queue.append
+ACCEPT      (input, wavelength, output, duration,           queue.append
+            priority, tenant)
 DEQUEUE     (count,)                                        pop ``count``
 GRANT       (input, wavelength, channel, duration) × n      busy[ch] = dur
 ADVANCE     ()                                              busy decays 1
 FAULT       (kind, a, b)                                    none (audit)
 SNAPSHOT    (snapshot tick,)                                none (marker)
+EVICT       (index,)                                        del queue[idx]
 ==========  ==============================================  =============
+
+``ACCEPT`` records written before the tenant dimension existed carry five
+values; replay and :func:`request_from_tuple` accept both widths (tenant
+defaults to 0), so old journals recover on new code.  ``EVICT`` is the
+admission-control shed: unlike ``DEQUEUE`` (which only pops the front),
+it removes the victim at an arbitrary queue index chosen by the
+per-tenant shed policy (:meth:`repro.service.queue.BoundedQueue.plan_admit`).
 
 ``GRANT`` records hold one *or more* grant 4-tuples back to back — the
 server journals a whole tick's grants for a shard as one record
@@ -92,6 +101,7 @@ class RecordType(IntEnum):
     ADVANCE = 4
     FAULT = 5
     SNAPSHOT = 6
+    EVICT = 7
 
 
 #: ``FAULT`` record kinds (first value).
@@ -174,23 +184,35 @@ def decode_records(buf: bytes) -> tuple[list[JournalRecord], int, bool]:
     return records, consumed, torn
 
 
-def request_tuple(request: "SlotRequest") -> tuple[int, int, int, int, int]:
-    """The journal/snapshot encoding of a request (5 small ints)."""
+def request_tuple(request: "SlotRequest") -> tuple[int, int, int, int, int, int]:
+    """The journal/snapshot encoding of a request (6 small ints)."""
     return (
         request.input_fiber,
         request.wavelength,
         request.output_fiber,
         request.duration,
         request.priority,
+        request.tenant,
     )
 
 
 def request_from_tuple(values: Sequence[int]) -> "SlotRequest":
-    """Inverse of :func:`request_tuple`."""
+    """Inverse of :func:`request_tuple`.
+
+    Accepts both the current 6-value form and the pre-tenant 5-value form
+    (journals and snapshots written by older builds), mapping the latter
+    to tenant 0.
+    """
     from repro.core.distributed import SlotRequest
 
-    i, w, o, duration, priority = values
-    return SlotRequest(int(i), int(w), int(o), int(duration), int(priority))
+    if len(values) == 5:
+        i, w, o, duration, priority = values
+        tenant = 0
+    else:
+        i, w, o, duration, priority, tenant = values
+    return SlotRequest(
+        int(i), int(w), int(o), int(duration), int(priority), int(tenant)
+    )
 
 
 # -- backends ----------------------------------------------------------------
@@ -353,15 +375,16 @@ class ShardJournal:
     # Convenience appenders, one per record type.
 
     def accept(self, tick: int, request: "SlotRequest") -> None:
-        body = _body_struct(5).pack(
+        body = _body_struct(6).pack(
             _T_ACCEPT,
             tick,
-            5,
+            6,
             request.input_fiber,
             request.wavelength,
             request.output_fiber,
             request.duration,
             request.priority,
+            request.tenant,
         )
         self._append_bytes(
             tick, _HEADER.pack(len(body), zlib.crc32(body)) + body
@@ -369,6 +392,14 @@ class ShardJournal:
 
     def dequeue(self, tick: int, count: int) -> None:
         body = _body_struct(1).pack(_T_DEQUEUE, tick, 1, count)
+        self._append_bytes(
+            tick, _HEADER.pack(len(body), zlib.crc32(body)) + body
+        )
+
+    def evict(self, tick: int, index: int) -> None:
+        """Journal an admission-control shed of ``queue[index]`` (the
+        write-ahead step of :data:`RecordType.EVICT`)."""
+        body = _body_struct(1).pack(_T_EVICT, tick, 1, index)
         self._append_bytes(
             tick, _HEADER.pack(len(body), zlib.crc32(body)) + body
         )
@@ -458,3 +489,4 @@ _T_ACCEPT = int(RecordType.ACCEPT)
 _T_DEQUEUE = int(RecordType.DEQUEUE)
 _T_GRANT = int(RecordType.GRANT)
 _T_ADVANCE = int(RecordType.ADVANCE)
+_T_EVICT = int(RecordType.EVICT)

@@ -11,6 +11,13 @@ all offered because they trade differently under the paper's traffic:
 * ``DROP_OLDEST`` — evict the head to admit the newcomer (freshest-first;
   best when stale requests are worthless, e.g. single-slot optical packets
   that missed their slot anyway).
+* ``SHED`` — per-tenant, class-aware admission control: on overflow, shed
+  the *least deserving* request in the queue (or refuse the newcomer if it
+  is itself least deserving) instead of blindly taking FIFO position as
+  the casualty.  "Least deserving" is deterministic: lowest priority class
+  first, then the tenant furthest over its weighted fair share of the
+  queue, then the youngest request within that tenant.  Requires a
+  :class:`TenantAdmission` contract.
 
 The queue is a plain single-threaded structure: the asyncio server is the
 only writer/reader, so no locking is needed — the event loop serializes
@@ -21,12 +28,20 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, Generic, Iterator, TypeVar
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Deque, Generic, Iterator, Mapping, TypeVar
 
 from repro.errors import InvalidParameterError
-from repro.util.validation import check_nonnegative_int
+from repro.util.validation import check_nonnegative_int, check_positive_int
 
-__all__ = ["OverflowPolicy", "Offer", "BoundedQueue"]
+__all__ = [
+    "OverflowPolicy",
+    "Offer",
+    "TenantAdmission",
+    "AdmissionDecision",
+    "BoundedQueue",
+]
 
 T = TypeVar("T")
 
@@ -37,6 +52,70 @@ class OverflowPolicy(enum.Enum):
     REJECT = "reject"
     DROP_TAIL = "drop_tail"
     DROP_OLDEST = "drop_oldest"
+    SHED = "shed"
+
+
+@dataclass(frozen=True)
+class TenantAdmission:
+    """Per-tenant admission contract for :data:`OverflowPolicy.SHED`.
+
+    ``weights`` maps tenant id → fair-share weight; unknown tenants get
+    ``default_weight``.  A tenant's fair share of a full queue is
+    proportional to its weight, and the shed victim is drawn from the
+    tenant most *over* that share (see :meth:`BoundedQueue.plan_admit`).
+    """
+
+    weights: Mapping[int, int] = field(default_factory=dict)
+    default_weight: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.default_weight, "default_weight")
+        for tenant, w in self.weights.items():
+            check_nonnegative_int(tenant, f"weights[{tenant}] tenant id")
+            check_positive_int(w, f"weights[{tenant}]")
+
+    def weight(self, tenant: int) -> int:
+        return self.weights.get(tenant, self.default_weight)
+
+
+class AdmissionDecision:
+    """Outcome prediction of one ``SHED`` enqueue attempt.
+
+    ``accepted`` — the newcomer will enter the queue.
+    ``evict_index`` — index (into the queue's current FIFO order) of the
+    victim that must be shed to make room, or ``None`` when no eviction
+    is needed (queue not full) or the newcomer itself is refused.
+
+    The split mirrors :meth:`BoundedQueue.plan_offer`: the write-ahead
+    journal needs the queue effect *before* it is applied, and an eviction
+    at an arbitrary index is its own record type
+    (:data:`repro.service.journal.RecordType.EVICT`).
+    """
+
+    __slots__ = ("accepted", "evict_index")
+
+    def __init__(self, accepted: bool, evict_index: int | None = None) -> None:
+        self.accepted = accepted
+        self.evict_index = evict_index
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionDecision(accepted={self.accepted}, "
+            f"evict_index={self.evict_index})"
+        )
+
+
+def _default_classify(item: object) -> tuple[int, int]:
+    """``(tenant, priority_class)`` of a queue item.
+
+    Understands the server's ``PendingRequest`` (via its ``.request``) and
+    bare request-like objects; anything else is the default tenant/class.
+    """
+    request = getattr(item, "request", item)
+    return (
+        int(getattr(request, "tenant", 0)),
+        int(getattr(request, "priority", 0)),
+    )
 
 
 class Offer(Generic[T]):
@@ -72,6 +151,8 @@ class BoundedQueue(Generic[T]):
         self,
         capacity: int | None = None,
         policy: OverflowPolicy = OverflowPolicy.REJECT,
+        admission: TenantAdmission | None = None,
+        classify: Callable[[T], tuple[int, int]] = _default_classify,
     ) -> None:
         if capacity is not None:
             check_nonnegative_int(capacity, "capacity")
@@ -79,8 +160,12 @@ class BoundedQueue(Generic[T]):
             raise InvalidParameterError(
                 f"policy must be an OverflowPolicy, got {policy!r}"
             )
+        if policy is OverflowPolicy.SHED and admission is None:
+            admission = TenantAdmission()
         self.capacity = capacity
         self.policy = policy
+        self.admission = admission
+        self.classify = classify
         self._items: Deque[T] = deque()
 
     def __len__(self) -> int:
@@ -103,14 +188,75 @@ class BoundedQueue(Generic[T]):
         the queue effect *before* it is applied, and this keeps the
         prediction logic next to :meth:`offer` instead of duplicated in
         the server."""
+        if self.policy is OverflowPolicy.SHED:
+            raise InvalidParameterError(
+                "SHED admission depends on the arriving item; use plan_admit"
+            )
         if not self.full:
             return True, False
         if self.policy is OverflowPolicy.DROP_OLDEST and self._items:
             return True, True
         return False, False
 
+    def plan_admit(self, item: T) -> AdmissionDecision:
+        """Predict a ``SHED`` enqueue without mutating (``plan_offer`` for
+        the admission-control policy, which must see the newcomer).
+
+        Victim selection, fully deterministic:
+
+        1. lowest priority class in the running (largest ``priority``
+           number — 0 is the highest class), then
+        2. within that class, the tenant most over its weighted fair
+           share, measured as ``occupancy / weight`` (exact
+           :class:`~fractions.Fraction` arithmetic — no float ties), then
+        3. within that tenant, the youngest request (the newcomer counts
+           as youngest of all).
+
+        If the victim is the newcomer itself, it is refused and the queue
+        untouched; otherwise the victim's current FIFO index is returned
+        for the caller to journal (``EVICT``) before applying.
+        """
+        if self.policy is not OverflowPolicy.SHED:
+            raise InvalidParameterError(
+                f"plan_admit needs OverflowPolicy.SHED, queue has {self.policy}"
+            )
+        if not self.full:
+            return AdmissionDecision(True)
+        assert self.admission is not None
+        classes: list[tuple[int, int]] = [
+            self.classify(queued) for queued in self._items
+        ]
+        classes.append(self.classify(item))  # newcomer = youngest index
+        occupancy: dict[int, int] = {}
+        for tenant, _cls in classes:
+            occupancy[tenant] = occupancy.get(tenant, 0) + 1
+        victim = max(
+            range(len(classes)),
+            key=lambda i: (
+                classes[i][1],
+                Fraction(
+                    occupancy[classes[i][0]],
+                    self.admission.weight(classes[i][0]),
+                ),
+                i,
+            ),
+        )
+        if victim == len(classes) - 1:
+            return AdmissionDecision(False)
+        return AdmissionDecision(True, victim)
+
     def offer(self, item: T) -> Offer[T]:
         """Try to enqueue ``item``; the policy decides on overflow."""
+        if self.policy is OverflowPolicy.SHED:
+            decision = self.plan_admit(item)
+            if not decision.accepted:
+                return Offer(False)
+            evicted: T | None = None
+            if decision.evict_index is not None:
+                evicted = self._items[decision.evict_index]
+                del self._items[decision.evict_index]
+            self._items.append(item)
+            return Offer(True, evicted)
         if not self.full:
             self._items.append(item)
             return Offer(True)

@@ -81,7 +81,7 @@ from repro.service.journal import (
     FAULT_OUTAGE,
     request_tuple,
 )
-from repro.service.queue import BoundedQueue, OverflowPolicy
+from repro.service.queue import BoundedQueue, OverflowPolicy, TenantAdmission
 from repro.service.shard import ShardWorker
 from repro.service.supervisor import ShardSupervisor, SupervisorConfig
 from repro.service.telemetry import Telemetry, exponential_buckets
@@ -149,6 +149,12 @@ class RejectReason(enum.Enum):
     #: retry of an already *granted* id replays the original grant
     #: instead of getting this).
     DUPLICATE = "duplicate"
+    #: Shed by per-tenant admission control (``SHED`` overflow policy):
+    #: either evicted from the queue as the least-deserving request, or
+    #: refused at the door because the newcomer itself was least
+    #: deserving.  Unlike ``DROPPED``, the casualty is chosen by priority
+    #: class and weighted tenant share, not FIFO position.
+    ADMISSION_SHED = "admission_shed"
 
 
 @dataclass(frozen=True, slots=True)
@@ -194,8 +200,11 @@ class SchedulingService:
     policy:
         Grant policy among same-wavelength contenders (default:
         deterministic :class:`FixedPriorityPolicy`).
-    queue_capacity, overflow:
+    queue_capacity, overflow, admission:
         Per-shard bounded-queue settings (``None`` = unbounded).
+        ``admission`` is the per-tenant weight contract consulted by the
+        ``SHED`` overflow policy (ignored otherwise; defaults to
+        equal-weight tenants).
     tick_interval:
         Sleep between ticks in :meth:`start`'s timer loop, seconds.
     max_batch_per_tick:
@@ -241,6 +250,7 @@ class SchedulingService:
         policy: GrantPolicy | None = None,
         queue_capacity: int | None = None,
         overflow: OverflowPolicy = OverflowPolicy.REJECT,
+        admission: TenantAdmission | None = None,
         tick_interval: float = 0.001,
         max_batch_per_tick: int | None = None,
         mode: ExecutionMode = ExecutionMode.INLINE,
@@ -301,7 +311,7 @@ class SchedulingService:
                     scheme,
                     shard_scheduler,
                     self.policy,
-                    BoundedQueue(queue_capacity, overflow),
+                    BoundedQueue(queue_capacity, overflow, admission),
                     self.telemetry,
                 )
             )
@@ -426,7 +436,7 @@ class SchedulingService:
         pending = _Pending(
             request, future, deadline, time.perf_counter(), request_id
         )
-        self._c_submitted.inc()
+        self.edge.note_submitted(request)
         shard = self.shards[request.output_fiber]
         breaker = (
             self.breakers[request.output_fiber]
@@ -446,24 +456,37 @@ class SchedulingService:
             self._resolve_rejected(pending, RejectReason.SHARD_DOWN)
             return future
         shard.offered.inc()
+        shed = shard.queue.policy is OverflowPolicy.SHED
         if self.durability is not None:
             # Write-ahead: journal the queue effect before applying it.
-            will_accept, will_evict = shard.queue.plan_offer()
             journal = self.durability.journal(request.output_fiber)
-            if will_evict:
-                journal.dequeue(self._slot, 1)
-            if will_accept:
-                journal.accept(self._slot, request)
+            if shed:
+                decision = shard.queue.plan_admit(pending)
+                if decision.evict_index is not None:
+                    journal.evict(self._slot, decision.evict_index)
+                if decision.accepted:
+                    journal.accept(self._slot, request)
+            else:
+                will_accept, will_evict = shard.queue.plan_offer()
+                if will_evict:
+                    journal.dequeue(self._slot, 1)
+                if will_accept:
+                    journal.accept(self._slot, request)
         offer = shard.queue.offer(pending)
         if offer.evicted is not None:
-            # DROP_OLDEST: the head made room and is lost.
-            self._resolve_rejected(offer.evicted, RejectReason.DROPPED)
-        if not offer.accepted:
-            reason = (
-                RejectReason.QUEUE_FULL
-                if shard.queue.policy is OverflowPolicy.REJECT
-                else RejectReason.DROPPED
+            # DROP_OLDEST: the head made room; SHED: the least-deserving
+            # request made room.  Either way the victim is lost.
+            self._resolve_rejected(
+                offer.evicted,
+                RejectReason.ADMISSION_SHED if shed else RejectReason.DROPPED,
             )
+        if not offer.accepted:
+            if shed:
+                reason = RejectReason.ADMISSION_SHED
+            elif shard.queue.policy is OverflowPolicy.REJECT:
+                reason = RejectReason.QUEUE_FULL
+            else:
+                reason = RejectReason.DROPPED
             self._resolve_rejected(pending, reason)
         shard.update_depth_gauge()
         return future
@@ -745,7 +768,7 @@ class SchedulingService:
                 r = g.request
                 self._admission.hold(r)
                 p = by_input[(r.input_fiber, r.wavelength)]
-                self._c_granted.inc()
+                self.edge.note_granted(r)
                 self._h_latency.observe(time.perf_counter() - p.submitted_at)
                 self._resolve(p, ServiceGrant(r, g.channel, slot))
                 if breaker is not None:

@@ -10,7 +10,12 @@ Encoding is a single CRC-guarded blob::
 
     magic "RSNP" | version u16 | body length u32 | CRC32(body) u32 | body
     body = shard i64 | tick i64 | k u32 | n_queue u32 | policy_len u32
-           | busy (k × i64) | queue (n_queue × 5 i64) | policy JSON bytes
+           | busy (k × i64) | queue (n_queue × 6 i64) | policy JSON bytes
+
+Version history: v1 queue entries were 5 ints (no tenant); v2 appends the
+tenant as a sixth.  The decoder reads both — v1 entries surface widened
+to the 6-int form with tenant 0, so pre-tenant snapshot files recover on
+current code.
 
 Corruption anywhere raises :class:`~repro.errors.DurabilityError` on
 decode; stores therefore *skip* invalid snapshots when asked for the
@@ -41,7 +46,9 @@ __all__ = [
 ]
 
 _MAGIC = b"RSNP"
-_VERSION = 1
+_VERSION = 2
+#: Queue-entry width (i64s) per snapshot version (v1 predates tenants).
+_ENTRY_WIDTH = {1: 5, 2: 6}
 _PREFIX = struct.Struct("!4sHII")  # magic, version, body length, CRC32(body)
 _BODY_HEAD = struct.Struct("!qqIII")  # shard, tick, k, n_queue, policy_len
 
@@ -50,8 +57,8 @@ _BODY_HEAD = struct.Struct("!qqIII")  # shard, tick, k, n_queue, policy_len
 class ShardSnapshot:
     """One shard's full durable state entering ``tick``.
 
-    ``queue`` holds request 5-tuples (input, wavelength, output, duration,
-    priority) in FIFO order; ``policy_state`` is the grant policy's
+    ``queue`` holds request 6-tuples (input, wavelength, output, duration,
+    priority, tenant) in FIFO order; ``policy_state`` is the grant policy's
     JSON-encodable export (``None`` for stateless policies).  Deadlines and
     submit timestamps are deliberately *not* durable: they are wall-clock
     quantities that do not survive a process, and the idempotency contract
@@ -61,7 +68,7 @@ class ShardSnapshot:
     shard: int
     tick: int
     busy: tuple[int, ...]
-    queue: tuple[tuple[int, int, int, int, int], ...] = ()
+    queue: tuple[tuple[int, int, int, int, int, int], ...] = ()
     policy_state: object | None = None
 
 
@@ -75,7 +82,9 @@ def encode_snapshot(snapshot: ShardSnapshot) -> bytes:
     if k:
         body += struct.pack(f"!{k}q", *snapshot.busy)
     for entry in snapshot.queue:
-        body += struct.pack("!5q", *entry)
+        if len(entry) == 5:  # pre-tenant caller: widen to the v2 form
+            entry = tuple(entry) + (0,)
+        body += struct.pack("!6q", *entry)
     body += policy
     return _PREFIX.pack(_MAGIC, _VERSION, len(body), zlib.crc32(body)) + body
 
@@ -89,7 +98,8 @@ def decode_snapshot(data: bytes) -> ShardSnapshot:
         raise DurabilityError(f"snapshot too short: {len(data)} bytes") from exc
     if magic != _MAGIC:
         raise DurabilityError(f"bad snapshot magic {magic!r}")
-    if version != _VERSION:
+    entry_width = _ENTRY_WIDTH.get(version)
+    if entry_width is None:
         raise DurabilityError(f"unsupported snapshot version {version}")
     body = data[_PREFIX.size : _PREFIX.size + length]
     if len(body) != length or zlib.crc32(body) != crc:
@@ -100,9 +110,13 @@ def decode_snapshot(data: bytes) -> ShardSnapshot:
         busy = struct.unpack_from(f"!{k}q", body, off) if k else ()
         off += 8 * k
         queue = []
+        entry_struct = struct.Struct(f"!{entry_width}q")
         for _ in range(n_queue):
-            queue.append(struct.unpack_from("!5q", body, off))
-            off += 40
+            entry = entry_struct.unpack_from(body, off)
+            if entry_width == 5:  # v1: widen to the tenant-carrying form
+                entry = entry + (0,)
+            queue.append(entry)
+            off += entry_struct.size
         policy_bytes = body[off : off + policy_len]
         if len(policy_bytes) != policy_len:
             raise DurabilityError("snapshot policy state truncated")

@@ -13,16 +13,25 @@ once, so the outcome counters partition the offered load::
 
     submitted == granted + rejected_contention + rejected_source
                + rejected_queue_full + dropped + timed_out + shutdown
-               + shard_down + circuit_open + duplicate
+               + shard_down + circuit_open + duplicate + admission_shed
 
 ``shard_down``/``circuit_open`` are fault-path outcomes (see
 :mod:`repro.faults` and ``docs/ROBUSTNESS.md``): requests refused because
 the owning shard was down, or short-circuited by that shard's open circuit
 breaker.  ``duplicate`` counts submissions deduplicated by request id —
 each resolved immediately with the original's grant or a ``DUPLICATE``
-refusal, never scheduled again (exactly-once; ``docs/SERVICE.md``).  All
-three are zero in a fault-free, retry-free run, reducing the invariant to
-its original form.
+refusal, never scheduled again (exactly-once; ``docs/SERVICE.md``).
+``admission_shed`` counts requests shed by per-tenant admission control
+(the ``SHED`` overflow policy — eviction *or* refusal at the door).  All
+four are zero in a fault-free, retry-free, unlimited-queue run, reducing
+the invariant to its original form.
+
+The same partition holds **per tenant**: the edge mirrors the aggregate
+counters as ``tenant.<id>.submitted`` / ``tenant.<id>.granted`` /
+``tenant.<id>.rejected.<reason>``, so conservation can be asserted for
+every tenant independently (the multi-tenant chaos drill does exactly
+that).  :class:`SloAccountant` folds those ledgers into per-tenant /
+per-class service-level reports.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Telemetry",
+    "SloAccountant",
     "exponential_buckets",
 ]
 
@@ -273,6 +283,110 @@ class Telemetry:
                     f"p50={h['p50']:.6f} p99={h['p99']:.6f} max={h['max']:.6f}"
                 )
         return "\n".join(lines)
+
+
+class SloAccountant:
+    """Per-tenant / per-class service-level accounting.
+
+    A tiny outcome ledger keyed ``(tenant, priority_class)``: feed it one
+    :meth:`record` per resolved request (``"granted"`` or a reject-reason
+    string), set grant-ratio floors with :meth:`set_target`, and
+    :meth:`report` answers whether each tenant — optionally each class
+    within it — met its service level over the window.
+
+    It is deliberately decoupled from :class:`Telemetry` (plain dicts, no
+    instruments): the QoS experiment and chaos drill drive it from resolved
+    futures, and nothing on the tick path pays for it unless wired in.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # (tenant, class) -> [submitted, granted, {reason: count}]
+        self._cells: dict[tuple[int, int], list] = {}
+        # (tenant, class | None) -> min grant ratio; None = all classes.
+        self._targets: dict[tuple[int, int | None], float] = {}
+
+    def set_target(
+        self,
+        tenant: int,
+        min_grant_ratio: float,
+        priority: int | None = None,
+    ) -> None:
+        """Require ``granted/submitted >= min_grant_ratio`` for ``tenant``
+        (one class when ``priority`` is given, the tenant rollup when
+        ``None``)."""
+        if not 0.0 <= min_grant_ratio <= 1.0:
+            raise InvalidParameterError(
+                f"min_grant_ratio must be in [0, 1], got {min_grant_ratio}"
+            )
+        self._targets[(tenant, priority)] = float(min_grant_ratio)
+
+    def record(self, tenant: int, priority: int, outcome: str) -> None:
+        """Account one resolved request: ``outcome`` is ``"granted"`` or a
+        reject-reason string (``RejectReason.value``)."""
+        key = (int(tenant), int(priority))
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = self._cells[key] = [0, 0, {}]
+            cell[0] += 1
+            if outcome == "granted":
+                cell[1] += 1
+            else:
+                cell[2][outcome] = cell[2].get(outcome, 0) + 1
+
+    def grant_ratio(self, tenant: int, priority: int | None = None) -> float:
+        """Observed ``granted/submitted`` (1.0 when nothing submitted)."""
+        submitted = granted = 0
+        with self._lock:
+            for (t, cls), cell in self._cells.items():
+                if t == tenant and (priority is None or cls == priority):
+                    submitted += cell[0]
+                    granted += cell[1]
+        return granted / submitted if submitted else 1.0
+
+    def report(self) -> dict[str, object]:
+        """Plain-data SLO report.
+
+        ``cells`` maps ``"tenant/class"`` to its ledger; ``tenants`` maps
+        each tenant id to its rollup (submitted, granted, grant_ratio,
+        target, met); ``all_met`` is the single pass/fail bit the drills
+        gate on (targets with no traffic count as met).
+        """
+        with self._lock:
+            cells = {
+                f"{t}/{cls}": {
+                    "submitted": cell[0],
+                    "granted": cell[1],
+                    "rejected": dict(sorted(cell[2].items())),
+                }
+                for (t, cls), cell in sorted(self._cells.items())
+            }
+            tenants_seen = sorted({t for t, _cls in self._cells})
+        tenants: dict[int, dict[str, object]] = {}
+        all_met = True
+        for t in tenants_seen:
+            ratio = self.grant_ratio(t)
+            target = self._targets.get((t, None))
+            met = target is None or ratio >= target
+            tenants[t] = {
+                "grant_ratio": ratio,
+                "target": target,
+                "met": met,
+            }
+            all_met = all_met and met
+        for (t, cls), target in sorted(
+            (k, v) for k, v in self._targets.items() if k[1] is not None
+        ):
+            ratio = self.grant_ratio(t, cls)
+            met = ratio >= target
+            tenants.setdefault(t, {})[f"class_{cls}"] = {
+                "grant_ratio": ratio,
+                "target": target,
+                "met": met,
+            }
+            all_met = all_met and met
+        return {"cells": cells, "tenants": tenants, "all_met": all_met}
 
 
 def merge_counters(snapshots: Iterable[Mapping[str, int]]) -> dict[str, int]:

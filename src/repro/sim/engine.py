@@ -249,6 +249,7 @@ class SlottedSimulator:
                 p.output_fiber,
                 p.duration,
                 p.priority,
+                p.tenant,
             )
             for p in submitted_packets
         ]
@@ -267,6 +268,7 @@ class SlottedSimulator:
         granted_inputs: list[int] = []
         granted_durations: list[int] = []
         granted_priorities: list[int] = []
+        granted_tenants: list[int] = []
         for g in schedule.granted:
             r = g.request
             if self._out_busy[r.output_fiber, g.channel] > 0:
@@ -289,6 +291,7 @@ class SlottedSimulator:
             granted_inputs.append(packet.input_fiber)
             granted_durations.append(packet.duration)
             granted_priorities.append(packet.priority)
+            granted_tenants.append(packet.tenant)
 
         counters = {
             "slot": slot,
@@ -301,8 +304,10 @@ class SlottedSimulator:
             "granted_inputs": granted_inputs,
             "granted_priorities": granted_priorities,
             "granted_durations": granted_durations,
+            "granted_tenants": granted_tenants,
             "submitted_inputs": [p.input_fiber for p in submitted_packets],
             "submitted_priorities": [p.priority for p in submitted_packets],
+            "submitted_tenants": [p.tenant for p in submitted_packets],
         }
 
         # End of slot: connections age by one.

@@ -28,6 +28,9 @@ class Packet:
     priority:
         QoS class, 0 = highest (strict-priority scheduling, the paper's
         stated future work).
+    tenant:
+        Traffic owner for multi-tenant fairness/accounting (0 = the
+        default single tenant).
     """
 
     packet_id: int
@@ -37,3 +40,4 @@ class Packet:
     output_fiber: int
     duration: int = 1
     priority: int = 0
+    tenant: int = 0

@@ -21,6 +21,7 @@ from repro.sim.duration import DeterministicDuration, DurationModel
 from repro.sim.packet import Packet
 from repro.util.validation import (
     check_index,
+    check_nonnegative_int,
     check_positive_int,
     check_probability,
 )
@@ -33,6 +34,8 @@ __all__ = [
     "TrafficModel",
     "BernoulliTraffic",
     "OnOffBurstyTraffic",
+    "TenantSpec",
+    "MultiTenantOnOffTraffic",
 ]
 
 
@@ -130,6 +133,13 @@ class ArrivalBatch:
     output_fiber: np.ndarray  #: ``(n,)`` int64 destination fiber per arrival
     duration: np.ndarray      #: ``(n,)`` int64 connection duration in slots
     priority: np.ndarray      #: ``(n,)`` int64 QoS class (0 = highest)
+    tenant: np.ndarray = None  #: ``(n,)`` int64 tenant id (defaults to 0s)
+
+    def __post_init__(self) -> None:
+        if self.tenant is None:
+            object.__setattr__(
+                self, "tenant", np.zeros(self.input_fiber.size, dtype=np.int64)
+            )
 
     @property
     def n(self) -> int:
@@ -156,6 +166,9 @@ class ArrivalBatch:
             ),
             priority=np.fromiter(
                 (p.priority for p in packets), dtype=np.int64, count=len(packets)
+            ),
+            tenant=np.fromiter(
+                (p.tenant for p in packets), dtype=np.int64, count=len(packets)
             ),
         )
 
@@ -207,13 +220,15 @@ class TrafficModel(ABC):
                 output_fiber=int(o),
                 duration=int(d),
                 priority=int(c),
+                tenant=int(t),
             )
-            for i, w, o, d, c in zip(
+            for i, w, o, d, c, t in zip(
                 batch.input_fiber,
                 batch.wavelength,
                 batch.output_fiber,
                 batch.duration,
                 batch.priority,
+                batch.tenant,
             )
         ]
 
@@ -391,3 +406,226 @@ class OnOffBurstyTraffic(TrafficModel):
         """Forget the on/off state (start of a fresh run)."""
         self._state = None
         self._dest = None
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant traffic
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class TenantSpec:
+    """One tenant's traffic contract.
+
+    ``weight`` is its fair-share weight (consumed by
+    :class:`~repro.core.policies.WeightedFairPolicy` and per-tenant
+    admission, not by the traffic model itself — it rides along so one
+    object describes the tenant end-to-end).  ``load`` is the tenant's
+    long-run offered load per *owned* input channel in packets/slot;
+    ``burst_length`` the mean ON-period length in slots; ``priority`` the
+    QoS class its packets carry (0 = highest).
+    """
+
+    tenant: int
+    weight: int = 1
+    load: float = 0.5
+    burst_length: float = 8.0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int(self.tenant, "tenant")
+        check_positive_int(self.weight, "weight")
+        check_probability(self.load, "load")
+        check_nonnegative_int(self.priority, "priority")
+        if self.burst_length < 1.0:
+            raise InvalidParameterError(
+                f"burst_length must be >= 1 slot, got {self.burst_length}"
+            )
+
+
+class MultiTenantOnOffTraffic(TrafficModel):
+    """Markov-modulated ON/OFF *tenants* with per-tenant backlogs.
+
+    The ``N·k`` input channels are partitioned into contiguous blocks, one
+    per tenant (channel ``c`` = input fiber ``c // k``, wavelength
+    ``c % k``).  Each tenant is a two-state Markov source: while ON it
+    generates ``Poisson(peak)`` packets per owned channel per slot into its
+    **backlog**; while OFF it generates nothing.  Every slot, the backlog
+    drains onto the tenant's idle channel block — at most one packet per
+    channel per slot (the interconnect's physical constraint) — so bursts
+    longer than the block persist as queued demand, exactly the
+    sub-wavelength many-streams regime of the traffic-grooming literature.
+
+    The ON/OFF chain is calibrated like :class:`OnOffBurstyTraffic`:
+    ``p(ON → OFF) = 1/burst_length`` fixes the mean burst, and the
+    stationary ON-probability is ``load/peak`` so the long-run generation
+    rate per channel equals ``load``.  ``peak`` (default 1.0) is the
+    packets-per-channel-per-slot rate *while ON* — the burstiness knob:
+    with ``peak`` near 1 and ``load`` well below it, tenants alternate
+    silence with channel-saturating bursts.
+
+    Draw order is batch-first and state-independent (one transition draw,
+    one generation draw, and one destination draw per slot, all
+    fixed-size), so one seed reproduces the run bit-identically in both
+    the Packet-list and array forms.
+
+    Accounting surface for the per-tenant conservation drills:
+    :attr:`generated` (total packets each tenant has generated) and
+    :meth:`backlog` (packets generated but not yet emitted), satisfying
+    ``generated == emitted + backlog`` per tenant at every slot boundary.
+    """
+
+    def __init__(
+        self,
+        n_fibers: int,
+        k: int,
+        tenants: Sequence[TenantSpec],
+        destinations: DestinationModel | None = None,
+        durations: DurationModel | None = None,
+        peak: float = 1.0,
+    ) -> None:
+        self.n_fibers = check_positive_int(n_fibers, "n_fibers")
+        self.k = check_positive_int(k, "k")
+        if not tenants:
+            raise InvalidParameterError("need at least one TenantSpec")
+        ids = [t.tenant for t in tenants]
+        if len(set(ids)) != len(ids):
+            raise InvalidParameterError(f"duplicate tenant ids in {ids}")
+        n_channels = self.n_fibers * self.k
+        if len(tenants) > n_channels:
+            raise InvalidParameterError(
+                f"{len(tenants)} tenants need at least one of the "
+                f"{n_channels} input channels each"
+            )
+        if peak <= 0.0:
+            raise InvalidParameterError(f"peak must be > 0, got {peak}")
+        self.tenants = tuple(tenants)
+        self.peak = float(peak)
+        for t in self.tenants:
+            if t.load > self.peak:
+                raise InvalidParameterError(
+                    f"tenant {t.tenant} load {t.load} exceeds peak {self.peak}"
+                )
+        self.destinations = destinations or UniformDestinations(self.n_fibers)
+        self.durations = durations or DeterministicDuration(1)
+        self._ids = itertools.count()
+        # Contiguous channel blocks, remainder spread over the first tenants.
+        T = len(self.tenants)
+        base, extra = divmod(n_channels, T)
+        sizes = [base + (1 if i < extra else 0) for i in range(T)]
+        starts = np.concatenate(([0], np.cumsum(sizes)[:-1])).astype(np.int64)
+        self._block_start = starts
+        self._block_size = np.asarray(sizes, dtype=np.int64)
+        # Chain parameters per tenant (stationary ON-prob = load/peak).
+        pi_on = np.array([t.load / self.peak for t in self.tenants])
+        self._p_end = np.array(
+            [0.0 if t.load >= self.peak else 1.0 / t.burst_length
+             for t in self.tenants]
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p_start = np.where(
+                pi_on >= 1.0, 1.0, self._p_end * pi_on / (1.0 - pi_on)
+            )
+        self._p_start = np.minimum(1.0, np.nan_to_num(p_start, nan=1.0))
+        self._pi_on = pi_on
+        self._priority = np.asarray(
+            [t.priority for t in self.tenants], dtype=np.int64
+        )
+        self._tenant_ids = np.asarray(ids, dtype=np.int64)
+        self._on: np.ndarray | None = None
+        self._backlog = np.zeros(T, dtype=np.int64)
+        #: Total packets generated per tenant position (monotonic).
+        self.generated = np.zeros(T, dtype=np.int64)
+
+    # -- accounting -----------------------------------------------------------
+
+    def backlog(self) -> dict[int, int]:
+        """Current backlog per tenant id (generated but not yet emitted)."""
+        return {
+            int(t): int(b) for t, b in zip(self._tenant_ids, self._backlog)
+        }
+
+    def generated_totals(self) -> dict[int, int]:
+        """Total packets generated per tenant id since the last reset."""
+        return {
+            int(t): int(g) for t, g in zip(self._tenant_ids, self.generated)
+        }
+
+    def channels_of(self, tenant: int) -> list[tuple[int, int]]:
+        """The ``(input_fiber, wavelength)`` block owned by ``tenant``."""
+        for i, tid in enumerate(self._tenant_ids):
+            if int(tid) == tenant:
+                start = int(self._block_start[i])
+                size = int(self._block_size[i])
+                return [
+                    divmod(c, self.k) for c in range(start, start + size)
+                ]
+        raise InvalidParameterError(f"unknown tenant {tenant}")
+
+    def _ensure_state(self, rng: np.random.Generator) -> None:
+        if self._on is None:
+            self._on = rng.random(len(self.tenants)) < self._pi_on
+
+    # -- draws ----------------------------------------------------------------
+
+    def arrivals_batch(
+        self, slot: int, rng: np.random.Generator
+    ) -> ArrivalBatch:
+        self._ensure_state(rng)
+        assert self._on is not None
+        T = len(self.tenants)
+        # 1) State transitions (one fixed-size draw).
+        u = rng.random(T)
+        starting = ~self._on & (u < self._p_start)
+        ending = self._on & (u < self._p_end)
+        self._on = (self._on & ~ending) | starting
+        # 2) Generation into backlogs (fixed-size draw, masked by state so
+        #    the stream advances identically whatever the states are).
+        gen = rng.poisson(self.peak * self._block_size.astype(float), size=T)
+        gen = np.where(self._on, gen, 0).astype(np.int64)
+        self._backlog += gen
+        self.generated += gen
+        # 3) Drain: each tenant emits min(backlog, block) onto its block's
+        #    first channels (deterministic placement — no draw).
+        emit = np.minimum(self._backlog, self._block_size)
+        self._backlog -= emit
+        n = int(emit.sum())
+        channels = np.concatenate(
+            [
+                np.arange(
+                    self._block_start[i], self._block_start[i] + emit[i],
+                    dtype=np.int64,
+                )
+                for i in range(T)
+            ]
+        ) if n else np.empty(0, dtype=np.int64)
+        tenant = np.repeat(self._tenant_ids, emit)
+        priority = np.repeat(self._priority, emit)
+        input_fibers = channels // self.k
+        wavelengths = channels % self.k
+        # 4) Per-packet attribute draws (destination, duration).
+        return ArrivalBatch(
+            slot=slot,
+            input_fiber=input_fibers,
+            wavelength=wavelengths,
+            output_fiber=self.destinations.sample_many(rng, input_fibers),
+            duration=self.durations.sample_many(rng, n),
+            priority=priority,
+            tenant=tenant,
+        )
+
+    def arrivals(self, slot: int, rng: np.random.Generator) -> list[Packet]:
+        return self._materialize(self.arrivals_batch(slot, rng), self._ids)
+
+    @property
+    def offered_load(self) -> float:
+        """Mean offered load per input channel across all tenants."""
+        total = float(
+            sum(t.load * s for t, s in zip(self.tenants, self._block_size))
+        )
+        return total / float(self.n_fibers * self.k) * self.durations.mean
+
+    def reset(self) -> None:
+        """Forget chain state, backlogs, and generation totals."""
+        self._on = None
+        self._backlog[:] = 0
+        self.generated[:] = 0

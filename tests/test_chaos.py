@@ -22,6 +22,8 @@ import asyncio
 
 import pytest
 
+pytestmark = pytest.mark.chaos
+
 from repro.core.break_first_available import BreakFirstAvailableScheduler
 from repro.core.distributed import SlotRequest
 from repro.faults import (
@@ -45,8 +47,15 @@ from repro.service import (
     ServiceGrant,
     SupervisorConfig,
 )
+from repro.core.policies import WeightedFairPolicy
+from repro.service import SloAccountant, TenantAdmission
 from repro.sim.duration import GeometricDuration
-from repro.sim.traffic import BernoulliTraffic
+from repro.sim.traffic import (
+    BernoulliTraffic,
+    HotspotDestinations,
+    MultiTenantOnOffTraffic,
+    TenantSpec,
+)
 from repro.util.rng import make_rng
 
 N_FIBERS = 4
@@ -389,3 +398,180 @@ class TestBackpressureUnderFaults:
             assert [o.reason for o in outcomes] == (
                 [RejectReason.SHARD_DOWN] * 3
             ), f"policy {overflow}"
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant QoS drill: seeded overload + SHED admission + a shard crash
+# ---------------------------------------------------------------------------
+
+QOS_WEIGHTS = {0: 4, 1: 2, 2: 1}
+QOS_SLOTS = 80
+#: Crash one shard mid-overload; the supervisor restores it from
+#: snapshot + journal (the journal now replays EVICT records, so the
+#: recovered queue reflects every admission decision the shed made).
+QOS_PLAN = FaultPlan(crashes=(ShardCrash(fiber=1, slot=20),))
+
+
+def make_qos_service(faults=QOS_PLAN, **kwargs):
+    kwargs.setdefault("breaker", BreakerConfig(failure_threshold=2, reset_ticks=4))
+    kwargs.setdefault("supervisor", SupervisorConfig(restart_delay_ticks=3))
+    kwargs.setdefault("durability", DurabilityConfig(snapshot_interval=4))
+    return SchedulingService(
+        N_FIBERS,
+        CircularConversion(K, 1, 1),
+        BreakFirstAvailableScheduler(),
+        policy=WeightedFairPolicy(QOS_WEIGHTS),
+        queue_capacity=6,
+        overflow=OverflowPolicy.SHED,
+        admission=TenantAdmission(QOS_WEIGHTS),
+        faults=faults,
+        **kwargs,
+    )
+
+
+async def drive_tenants(service, n_slots=QOS_SLOTS, seed=31):
+    """Seeded bursty overload: three tenants, 90% hotspot, tiny queues."""
+    traffic = MultiTenantOnOffTraffic(
+        N_FIBERS,
+        K,
+        tuple(
+            TenantSpec(t, weight=w, load=0.9, burst_length=5.0)
+            for t, w in QOS_WEIGHTS.items()
+        ),
+        destinations=HotspotDestinations(N_FIBERS, hot_fiber=0, hot_fraction=0.9),
+    )
+    rng = make_rng(seed)
+    futures = []
+    for slot in range(n_slots):
+        for p in traffic.arrivals(slot, rng):
+            futures.append(
+                service.submit_nowait(
+                    SlotRequest(
+                        p.input_fiber,
+                        p.wavelength,
+                        p.output_fiber,
+                        p.duration,
+                        p.priority,
+                        p.tenant,
+                    )
+                )
+            )
+        await service.tick()
+        await asyncio.sleep(0)
+    await service.drain()
+    return list(await asyncio.gather(*futures))
+
+
+#: Every terminal reject reason a submission can resolve to, as counter
+#: suffixes under ``server.rejected.`` / ``tenant.<t>.rejected.``.
+REJECT_SUFFIXES = tuple(r.value for r in RejectReason)
+
+
+class TestQoSChaosDrill:
+    @pytest.fixture(scope="class")
+    def drill(self):
+        async def go():
+            service = make_qos_service()
+            outcomes = await drive_tenants(service)
+            return service, outcomes
+
+        return run(go())
+
+    def _tenant_ledger(self, counters, tenant):
+        submitted = counters.get(f"tenant.{tenant}.submitted", 0)
+        granted = counters.get(f"tenant.{tenant}.granted", 0)
+        rejected = {
+            sfx: counters.get(f"tenant.{tenant}.rejected.{sfx}", 0)
+            for sfx in REJECT_SUFFIXES
+        }
+        return submitted, granted, rejected
+
+    def test_overload_and_crash_actually_happened(self, drill):
+        service, outcomes = drill
+        counters = service.telemetry.snapshot()["counters"]
+        assert counters.get("server.rejected.admission_shed", 0) > 0
+        assert counters["server.shard_crashes"] == 1
+        assert counters["server.shard_restarts"] == 1
+        assert service.supervisor.down_shards == ()
+
+    def test_per_tenant_conservation(self, drill):
+        """arrivals == grants + rejects (every typed reason) per tenant,
+        crash and recovery included — no tenant's requests evaporate."""
+        service, outcomes = drill
+        counters = service.telemetry.snapshot()["counters"]
+        by_tenant_outcomes = {t: 0 for t in QOS_WEIGHTS}
+        for o in outcomes:
+            by_tenant_outcomes[o.request.tenant] += 1
+        for t in QOS_WEIGHTS:
+            submitted, granted, rejected = self._tenant_ledger(counters, t)
+            assert submitted == by_tenant_outcomes[t], f"tenant {t}"
+            assert submitted == granted + sum(rejected.values()), (
+                f"tenant {t}: {submitted} != {granted} + {rejected}"
+            )
+
+    def test_tenant_ledgers_sum_to_aggregate(self, drill):
+        service, outcomes = drill
+        counters = service.telemetry.snapshot()["counters"]
+        totals = [self._tenant_ledger(counters, t) for t in QOS_WEIGHTS]
+        assert sum(s for s, _, _ in totals) == counters["server.submitted"]
+        assert sum(g for _, g, _ in totals) == counters["server.granted"]
+        for sfx in REJECT_SUFFIXES:
+            agg = counters.get(f"server.rejected.{sfx}", 0)
+            if sfx in ("dropped", "timed_out", "shutdown", "duplicate"):
+                # These live under server.<name>, not server.rejected.<name>.
+                agg = counters.get(f"server.{sfx}", 0)
+            assert agg == sum(r[sfx] for _, _, r in totals), sfx
+
+    def test_no_tenant_starves(self, drill):
+        """Starvation-freedom under overload *and* a crash: every tenant
+        lands grants, and the weight order is respected."""
+        service, outcomes = drill
+        grants = {t: 0 for t in QOS_WEIGHTS}
+        for o in outcomes:
+            if isinstance(o, ServiceGrant):
+                grants[o.request.tenant] += 1
+        assert all(g > 0 for g in grants.values()), grants
+        total = sum(grants.values())
+        # The lightest tenant keeps a non-trivial share (no priority cliff).
+        assert grants[2] / total >= 0.05, grants
+
+    def test_shed_victims_skew_to_over_share_tenants(self, drill):
+        """SHED evicts the most-over-share class first, so the weight-1
+        tenant absorbs at least its weight share of the shedding."""
+        service, outcomes = drill
+        counters = service.telemetry.snapshot()["counters"]
+        sheds = {
+            t: counters.get(f"tenant.{t}.rejected.admission_shed", 0)
+            for t in QOS_WEIGHTS
+        }
+        assert sum(sheds.values()) > 0
+        # Equal offered loads, weights 4:2:1 -> tenant 2 is over-share
+        # whenever queues fill, tenant 0 under-share.
+        assert sheds[2] >= sheds[0], sheds
+
+    def test_slo_accountant_report(self, drill):
+        """The drill's outcomes feed SloAccountant: targets chosen below
+        the achieved ratios are met, an impossible target is flagged."""
+        service, outcomes = drill
+        acct = SloAccountant()
+        acct.set_target(0, min_grant_ratio=0.2)
+        acct.set_target(2, min_grant_ratio=0.01)
+        for o in outcomes:
+            outcome = (
+                "granted" if isinstance(o, ServiceGrant) else o.reason.value
+            )
+            acct.record(o.request.tenant, o.request.priority, outcome)
+        report = acct.report()
+        assert report["tenants"][0]["met"]
+        assert report["tenants"][2]["met"]
+        assert report["all_met"]
+        strict = SloAccountant()
+        strict.set_target(2, min_grant_ratio=0.99)
+        for o in outcomes:
+            strict.record(
+                o.request.tenant,
+                o.request.priority,
+                "granted" if isinstance(o, ServiceGrant) else o.reason.value,
+            )
+        assert not strict.report()["tenants"][2]["met"]
+        assert not strict.report()["all_met"]

@@ -35,6 +35,7 @@ from repro.service import (
 )
 from repro.service.journal import JournalRecord, RecordType
 from repro.service.queue import OverflowPolicy
+from repro.service.durability import replay_journal
 from repro.service.snapshot import (
     FileSnapshotStore,
     MemorySnapshotStore,
@@ -378,7 +379,7 @@ class TestSnapshotCodec:
             shard=2,
             tick=40,
             busy=(0, 3, 1, 0, 2, 0),
-            queue=((0, 1, 2, 3, 0), (2, 5, 2, 1, 1)),
+            queue=((0, 1, 2, 3, 0, 0), (2, 5, 2, 1, 1, 4)),
             policy_state={"pointers": [[2, 1, 0]]},
         )
 
@@ -427,3 +428,91 @@ class TestSnapshotCodec:
         assert store.ticks(0) == (8, 12)
         # Other shards' files are untouched namespaces.
         assert store.latest(3) is None
+
+
+class TestTenantBackCompat:
+    """Pre-tenant durable state must recover on current code: v1 snapshots
+    and 5-value ACCEPT records both surface widened with tenant 0."""
+
+    def test_v1_snapshot_decodes_with_tenant_zero(self):
+        import json
+        import struct
+        import zlib
+
+        from repro.service import snapshot as snap_mod
+
+        busy = (0, 2, 0, 1, 0, 0)
+        queue_v1 = ((0, 1, 2, 3, 0), (2, 5, 2, 1, 1))  # 5 ints: no tenant
+        policy = json.dumps(None).encode("utf-8")
+        body = snap_mod._BODY_HEAD.pack(1, 7, len(busy), len(queue_v1), len(policy))
+        body += struct.pack(f"!{len(busy)}q", *busy)
+        for entry in queue_v1:
+            body += struct.pack("!5q", *entry)
+        body += policy
+        blob = (
+            snap_mod._PREFIX.pack(snap_mod._MAGIC, 1, len(body), zlib.crc32(body))
+            + body
+        )
+        snap = decode_snapshot(blob)
+        assert snap.shard == 1 and snap.tick == 7 and snap.busy == busy
+        assert snap.queue == tuple(entry + (0,) for entry in queue_v1)
+
+    def test_unknown_snapshot_version_rejected(self):
+        import struct
+        import zlib
+
+        from repro.service import snapshot as snap_mod
+
+        body = snap_mod._BODY_HEAD.pack(0, 0, 0, 0, 4) + b"null"
+        blob = (
+            snap_mod._PREFIX.pack(snap_mod._MAGIC, 9, len(body), zlib.crc32(body))
+            + body
+        )
+        with pytest.raises(DurabilityError):
+            decode_snapshot(blob)
+
+    def test_five_value_accept_replays_with_tenant_zero(self):
+        """A journal written before the tenant column replays cleanly."""
+        records = [
+            JournalRecord(RecordType.ACCEPT, 0, (0, 1, 2, 3, 0)),
+            JournalRecord(RecordType.ACCEPT, 0, (1, 4, 2, 1, 1, 9)),
+        ]
+        _, queue, _, replayed = replay_journal(records, None, K)
+        assert replayed == 2
+        assert queue == ((0, 1, 2, 3, 0, 0), (1, 4, 2, 1, 1, 9))
+
+    def test_evict_record_replays_the_shed(self):
+        """EVICT(i) must reproduce the admission decision on replay: the
+        evicted entry is gone, later entries keep their order."""
+        records = [
+            JournalRecord(RecordType.ACCEPT, 0, (0, 1, 0, 2, 0, 5)),
+            JournalRecord(RecordType.ACCEPT, 0, (1, 2, 0, 1, 0, 6)),
+            JournalRecord(RecordType.EVICT, 1, (0,)),
+            JournalRecord(RecordType.ACCEPT, 1, (2, 3, 0, 1, 1, 7)),
+        ]
+        _, queue, _, _ = replay_journal(records, None, K)
+        assert queue == ((1, 2, 0, 1, 0, 6), (2, 3, 0, 1, 1, 7))
+
+    def test_out_of_range_evict_is_ignored(self):
+        """Records older than the snapshot are skipped, which can orphan an
+        EVICT whose target entry lives inside the snapshot; replay must
+        tolerate the dangling index rather than crash."""
+        records = [
+            JournalRecord(RecordType.EVICT, 0, (3,)),
+            JournalRecord(RecordType.ACCEPT, 0, (0, 1, 0, 1, 0, 0)),
+        ]
+        _, queue, _, _ = replay_journal(records, None, K)
+        assert queue == ((0, 1, 0, 1, 0, 0),)
+
+    def test_shard_journal_evict_round_trips_through_codec(self):
+        """ShardJournal.evict writes a record that decodes back intact."""
+        from repro.service.journal import MemoryJournal, ShardJournal
+
+        backend = MemoryJournal()
+        journal = ShardJournal(backend)
+        journal.accept(0, SlotRequest(0, 1, 0, 2, 0, 5))
+        journal.evict(1, 0)
+        records = journal.records()
+        assert [r.type for r in records] == [RecordType.ACCEPT, RecordType.EVICT]
+        assert records[0].values == (0, 1, 0, 2, 0, 5)
+        assert records[1].values == (0,)

@@ -26,7 +26,7 @@ EXPECTED_IDS = {
     "INTRO", "APPROX",
     "CPLX-K", "CPLX-N", "CPLX-HK",
     "PERF-D", "MULTI", "FAIR", "HW",
-    "QOS", "ANALYT", "BATCH", "ASYNC", "ABLATE",
+    "QOS", "WFQ", "ANALYT", "BATCH", "ASYNC", "ABLATE",
     "PERF-TYPE", "PERF-BURST", "PERF-K",
 }
 
@@ -94,6 +94,10 @@ class TestSimulationExperiments:
 
     def test_fair_small(self):
         res = run_experiment("FAIR", n_fibers=4, k=6, slots=200)
+        assert res.passed, res.render()
+
+    def test_wfq_small(self):
+        res = run_experiment("WFQ", n_fibers=4, k=6, slots=300)
         assert res.passed, res.render()
 
     def test_hw(self):

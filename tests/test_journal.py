@@ -140,6 +140,17 @@ class TestCodec:
         r = SlotRequest(2, 5, 1, duration=3, priority=4)
         assert request_from_tuple(request_tuple(r)) == r
 
+    def test_request_tuple_carries_tenant(self):
+        r = SlotRequest(2, 5, 1, duration=3, priority=4, tenant=7)
+        t = request_tuple(r)
+        assert len(t) == 6 and t[-1] == 7
+        assert request_from_tuple(t) == r
+
+    def test_request_from_pre_tenant_tuple_defaults_to_zero(self):
+        # Journals written before the tenant column store 5-value tuples.
+        r = request_from_tuple((2, 5, 1, 3, 4))
+        assert r == SlotRequest(2, 5, 1, duration=3, priority=4, tenant=0)
+
 
 # -- backends ----------------------------------------------------------------
 

@@ -19,6 +19,8 @@ import asyncio
 
 import pytest
 
+pytestmark = [pytest.mark.net, pytest.mark.slow]
+
 from repro.core.break_first_available import BreakFirstAvailableScheduler
 from repro.core.distributed import SlotRequest
 from repro.core.first_available import FirstAvailableScheduler

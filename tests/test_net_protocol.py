@@ -63,6 +63,7 @@ messages_st = st.one_of(
         priority=st.integers(min_value=-(2**31), max_value=2**31 - 1),
         timeout_ticks=_I64,
         request_id=st.text(max_size=32),
+        tenant=_U32,  # 0 exercises the v1 SUBMIT bytes, >0 SUBMIT2
     ),
     st.builds(Grant, seq=_SEQ, channel=_U32, slot=_I64),
     st.builds(
@@ -89,6 +90,7 @@ class TestRoundTrip:
             MsgType.ERROR,
             MsgType.BYE,
             MsgType.SUBMIT,
+            MsgType.SUBMIT2,  # Submit with tenant != 0 encodes as SUBMIT2
             MsgType.GRANT,
             MsgType.REJECT,
             MsgType.TICK_ADVANCE,
@@ -183,9 +185,11 @@ class TestHandshake:
     def test_negotiate_none_when_disjoint(self):
         assert negotiate_version((7, 8), (1,)) is None
 
-    def test_current_version_is_one(self):
-        assert PROTOCOL_VERSIONS == (1,)
-        assert negotiate_version(PROTOCOL_VERSIONS) == 1
+    def test_current_versions_are_one_and_two(self):
+        assert PROTOCOL_VERSIONS == (1, 2)
+        assert negotiate_version(PROTOCOL_VERSIONS) == 2
+        # A v1-only peer still lands on 1.
+        assert negotiate_version((1,)) == 1
 
     def test_submit_converts_to_slot_request(self):
         s = Submit(5, input_fiber=2, wavelength=3, output_fiber=1, duration=4)

@@ -13,14 +13,17 @@ import warnings
 
 import pytest
 
+pytestmark = pytest.mark.net
+
 from repro.core.distributed import SlotRequest
 from repro.core.first_available import FirstAvailableScheduler
+from repro.core.policies import WeightedFairPolicy
 from repro.errors import ProtocolError
 from repro.graphs.conversion import NonCircularConversion
 from repro.net import protocol as proto
 from repro.net.client import NetClient
 from repro.net.server import NetServer
-from repro.service import SchedulingService
+from repro.service import OverflowPolicy, SchedulingService, TenantAdmission
 from repro.service.server import RejectReason
 from repro.util.framing import encode_frame
 
@@ -53,7 +56,7 @@ class TestHandshake:
             service, server = await _stack()
             client = await NetClient.connect("127.0.0.1", server.port)
             try:
-                assert client.version == 1
+                assert client.version == max(proto.PROTOCOL_VERSIONS) == 2
                 assert client.n_fibers == N_FIBERS
                 assert client.k == K
             finally:
@@ -213,6 +216,153 @@ class TestRequests:
                 await b.close()
                 await server.stop()
                 await service.stop()
+
+        run(go())
+
+
+class TestProtocolInterop:
+    """Wire v1/v2 coexistence: old clients keep working against a v2
+    server, tenant-aware messages are fenced off v1 connections, and the
+    ADMISSION_SHED reject code degrades to its closest v1 semantic."""
+
+    @staticmethod
+    def _qos_service() -> SchedulingService:
+        weights = {0: 1}
+        return SchedulingService(
+            N_FIBERS,
+            NonCircularConversion(K, 1, 1),
+            FirstAvailableScheduler(),
+            policy=WeightedFairPolicy(weights),
+            queue_capacity=2,
+            overflow=OverflowPolicy.SHED,
+            admission=TenantAdmission(weights),
+            durability=False,
+        )
+
+    def test_v1_only_client_negotiates_v1_and_still_schedules(self):
+        async def go():
+            service, server = await _stack()
+            client = await NetClient.connect(
+                "127.0.0.1", server.port, versions=(1,)
+            )
+            try:
+                assert client.version == 1
+                fut = client.submit_nowait(SlotRequest(0, 0, 0))
+                await client.tick(1)
+                outcome = await asyncio.wait_for(fut, 5)
+                assert isinstance(outcome, proto.Grant)
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_tenant_submit_on_v1_connection_raises_client_side(self):
+        async def go():
+            service, server = await _stack()
+            client = await NetClient.connect(
+                "127.0.0.1", server.port, versions=(1,)
+            )
+            try:
+                with pytest.raises(ProtocolError, match="needs protocol >= 2"):
+                    client.submit_nowait(SlotRequest(0, 0, 0, tenant=3))
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_forged_tenant_submit_on_v1_gets_bad_request(self):
+        """A peer that negotiates v1 and then ships a SUBMIT2 anyway (a
+        buggy or hostile client — ours refuses client-side) gets a typed
+        BAD_REQUEST, not a grant and not a dead connection."""
+
+        async def go():
+            service, server = await _stack()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    encode_frame(proto.encode_message(proto.Hello((1,))))
+                )
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(4096), 5)
+                welcome = proto.decode_message(data[8:])
+                assert isinstance(welcome, proto.Welcome)
+                assert welcome.version == 1
+                # tenant != 0 forces the SUBMIT2 encoding.
+                writer.write(
+                    encode_frame(
+                        proto.encode_message(
+                            proto.Submit(1, 0, 0, 0, tenant=5)
+                        )
+                    )
+                )
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(4096), 5)
+                msg = proto.decode_message(data[8:])
+                assert isinstance(msg, proto.ErrorMsg)
+                assert msg.seq == 1
+                assert msg.code == proto.ErrorCode.BAD_REQUEST
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    async def _overflow_rejects(self, versions):
+        """Drive a SHED-configured service past queue capacity and return
+        the Reject outcomes seen by a client speaking ``versions``."""
+        service = self._qos_service()
+        server = NetServer(service)
+        await server.start()
+        client = await NetClient.connect(
+            "127.0.0.1", server.port, versions=versions
+        )
+        try:
+            futs = [
+                client.submit_nowait(SlotRequest(i % N_FIBERS, 0, 0))
+                for i in range(6)
+            ]
+            await client.tick(1)
+            outcomes = await asyncio.wait_for(asyncio.gather(*futs), 5)
+            return [o for o in outcomes if isinstance(o, proto.Reject)]
+        finally:
+            await client.close()
+            await server.stop()
+            await service.stop()
+
+    def test_admission_shed_downgrades_to_dropped_for_v1(self):
+        async def go():
+            rejects = await self._overflow_rejects((1,))
+            # capacity 2, 6 submissions to one shard: sheds are certain.
+            dropped = [
+                r for r in rejects if r.reason is RejectReason.DROPPED
+            ]
+            assert len(dropped) >= 1
+            assert all(
+                r.reason is not RejectReason.ADMISSION_SHED for r in rejects
+            )
+
+        run(go())
+
+    def test_admission_shed_reported_verbatim_on_v2(self):
+        async def go():
+            rejects = await self._overflow_rejects(proto.PROTOCOL_VERSIONS)
+            shed = [
+                r
+                for r in rejects
+                if r.reason is RejectReason.ADMISSION_SHED
+            ]
+            assert len(shed) >= 1
+            assert all(
+                r.reason is not RejectReason.DROPPED for r in rejects
+            )
 
         run(go())
 

@@ -1,6 +1,17 @@
-"""Consistent-hash shard placement: determinism, balance, stability."""
+"""Consistent-hash shard placement: determinism, balance, stability.
+
+The hypothesis classes at the bottom state the ring's contract over
+*arbitrary* node sets and add/remove sequences: placement is always a
+total, deterministic, ±1-balanced map, and changing the worker set by one
+node moves at most twice the unavoidable minimum of shards (the fair
+share the joining/leaving node must gain/give up).
+"""
+
+import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import InvalidParameterError
 from repro.net.placement import HashRing
@@ -85,3 +96,89 @@ class TestStability:
         # walk adds a few moves over a bare ring, so allow headroom
         # above the ideal 1/4 while still requiring real stability.
         assert moved < n_shards // 2, f"{moved} of {n_shards} shards moved"
+
+
+# ---------------------------------------------------------------------------
+# Property suite: arbitrary node sets and add/remove sequences
+# ---------------------------------------------------------------------------
+
+#: Worker-id sets drawn from a sparse space so ids are arbitrary, not 0..n.
+_node_sets = st.sets(
+    st.integers(min_value=0, max_value=63), min_size=1, max_size=6
+).map(sorted)
+#: Enough shards per worker for the stability envelope to be meaningful
+#: (≥ 8 × the largest worker count the generator can produce).
+_shard_counts = st.sampled_from((48, 64, 96))
+
+
+def _loads(placement, nodes):
+    return {n: sum(1 for w in placement.values() if w == n) for n in nodes}
+
+
+class TestRingProperties:
+    @given(_node_sets, st.integers(min_value=1, max_value=96))
+    def test_total_balanced_deterministic(self, nodes, n_shards):
+        ring = HashRing(nodes)
+        placement = ring.placement(n_shards)
+        assert sorted(placement) == list(range(n_shards))
+        assert set(placement.values()) <= set(nodes)
+        loads = _loads(placement, nodes)
+        assert max(loads.values()) - min(loads.values()) <= 1
+        assert max(loads.values()) <= math.ceil(n_shards / len(nodes))
+        assert min(loads.values()) >= n_shards // len(nodes)
+        # Pure function: an independently built ring agrees exactly.
+        assert placement == HashRing(nodes).placement(n_shards)
+
+    @given(_node_sets, st.integers(min_value=1, max_value=64))
+    def test_shards_of_partitions_the_space(self, nodes, n_shards):
+        ring = HashRing(nodes)
+        seen: list[int] = []
+        for node in ring.nodes:
+            seen.extend(ring.shards_of(node, n_shards))
+        assert sorted(seen) == list(range(n_shards))
+
+
+class TestRingChurn:
+    """Minimal shard movement under arbitrary add/remove node sequences."""
+
+    @given(_node_sets, _shard_counts, st.data())
+    @settings(max_examples=50)
+    def test_each_step_moves_at_most_twice_the_fair_share(
+        self, nodes, n_shards, data
+    ):
+        nodes = list(nodes)
+        placement = HashRing(nodes).placement(n_shards)
+        for _ in range(data.draw(st.integers(min_value=1, max_value=5))):
+            can_add = len(nodes) < 6
+            can_remove = len(nodes) > 1
+            if can_add and (not can_remove or data.draw(st.booleans())):
+                joined = data.draw(
+                    st.integers(min_value=0, max_value=63).filter(
+                        lambda x: x not in nodes
+                    )
+                )
+                nodes.append(joined)
+                departed = None
+            else:
+                departed = data.draw(st.sampled_from(nodes))
+                nodes.remove(departed)
+                joined = None
+            after = HashRing(nodes).placement(n_shards)
+            moved = sum(
+                1 for o in range(n_shards) if placement[o] != after[o]
+            )
+            fair_share = math.ceil(n_shards / len(nodes))
+            assert moved <= 2 * fair_share, (
+                f"{moved} of {n_shards} shards moved "
+                f"(fair share {fair_share}, nodes now {sorted(nodes)})"
+            )
+            if joined is not None:
+                # The joiner must end up with a full fair share...
+                assert (
+                    sum(1 for w in after.values() if w == joined)
+                    >= n_shards // len(nodes)
+                )
+            if departed is not None:
+                # ...and a leaver's shards must all be reassigned.
+                assert departed not in after.values()
+            placement = after

@@ -7,6 +7,7 @@ from repro.core.policies import (
     FixedPriorityPolicy,
     RandomPolicy,
     RoundRobinPolicy,
+    WeightedFairPolicy,
 )
 from repro.errors import InvalidParameterError
 
@@ -106,3 +107,44 @@ class TestRoundRobin:
 
     def test_zero_grants(self):
         assert RoundRobinPolicy().select(0, 0, [0, 1], 0) == []
+
+
+class TestWeightedFairIdBased:
+    """The GrantPolicy-protocol surface of WeightedFairPolicy: id-based
+    ``select`` calls (no tenant information) must degrade to plain
+    single-tenant round-robin, and construction must validate weights.
+    The weighted/tenanted behavior itself is property-tested in
+    tests/test_wfq_properties.py."""
+
+    def test_id_based_select_degrades_to_round_robin(self):
+        wfq = WeightedFairPolicy({3: 9})
+        rr = RoundRobinPolicy()
+        for _ in range(7):
+            assert wfq.select(0, 0, [0, 1, 2], 1) == rr.select(
+                0, 0, [0, 1, 2], 1
+            )
+
+    def test_zero_grants(self):
+        assert WeightedFairPolicy().select(0, 0, [0, 1], 0) == []
+
+    def test_reset_restarts_the_decision_sequence(self):
+        policy = WeightedFairPolicy({0: 2, 1: 1})
+        before = [policy.select(0, 0, [0, 1, 2], 1) for _ in range(4)]
+        policy.reset()
+        after = [policy.select(0, 0, [0, 1, 2], 1) for _ in range(4)]
+        assert before == after
+
+    def test_unknown_tenant_gets_default_weight(self):
+        policy = WeightedFairPolicy({0: 4}, default_weight=2)
+        assert policy.weight(0) == 4
+        assert policy.weight(17) == 2
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WeightedFairPolicy({0: 0})
+        with pytest.raises(InvalidParameterError):
+            WeightedFairPolicy(default_weight=0)
+
+    def test_negative_grants_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WeightedFairPolicy().select(0, 0, [0, 1], -1)

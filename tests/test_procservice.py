@@ -8,6 +8,8 @@ import asyncio
 
 import pytest
 
+pytestmark = [pytest.mark.net, pytest.mark.slow]
+
 from repro.core.distributed import SlotRequest
 from repro.core.first_available import FirstAvailableScheduler
 from repro.core.policies import RandomPolicy
@@ -41,7 +43,7 @@ def run(coro):
 
 class TestConstruction:
     def test_stateful_policy_is_refused(self):
-        with pytest.raises(InvalidParameterError, match="stateless"):
+        with pytest.raises(InvalidParameterError, match="partitions by output"):
             _service(policy=RandomPolicy(seed=1))
 
     def test_placement_covers_every_shard(self):

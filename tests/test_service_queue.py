@@ -11,7 +11,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import InvalidParameterError
-from repro.service.queue import BoundedQueue, OverflowPolicy
+from repro.core.distributed import SlotRequest
+from repro.service.queue import BoundedQueue, OverflowPolicy, TenantAdmission
 
 
 class TestBasics:
@@ -150,13 +151,22 @@ class TestQueueModel:
         for op in ops:
             if op[0] == "offer":
                 counter += 1
-                # plan_offer must predict offer exactly, every time — this
-                # is what lets the server journal the effect write-ahead.
-                will_accept, will_evict = q.plan_offer()
+                # The plan call must predict offer exactly, every time —
+                # this is what lets the server journal the effect
+                # write-ahead.  SHED plans per-item (plan_admit); the
+                # other policies are item-blind (plan_offer).
+                if policy is OverflowPolicy.SHED:
+                    decision = q.plan_admit(counter)
+                    will_accept = decision.accepted
+                    will_evict = decision.evict_index is not None
+                else:
+                    will_accept, will_evict = q.plan_offer()
                 offer = q.offer(counter)
                 assert offer.accepted == will_accept
                 assert (offer.evicted is not None) == will_evict
-                # Reference model semantics:
+                # Reference model semantics (ints are all tenant 0 /
+                # class 0, so a full SHED queue refuses the newcomer —
+                # the youngest of an all-equal field — like DROP_TAIL):
                 full = capacity is not None and len(model) >= capacity
                 if not full:
                     model.append(counter)
@@ -187,7 +197,11 @@ class TestQueueModel:
     def test_capacity_zero_is_inert_for_every_policy(self, policy, n_offers):
         q = BoundedQueue(capacity=0, policy=policy)
         for i in range(n_offers):
-            assert q.plan_offer() == (False, False)
+            if policy is OverflowPolicy.SHED:
+                decision = q.plan_admit(i)
+                assert not decision.accepted and decision.evict_index is None
+            else:
+                assert q.plan_offer() == (False, False)
             offer = q.offer(i)
             assert not offer.accepted and offer.evicted is None
         assert q.depth == 0 and q.full and q.drain() == []
@@ -205,3 +219,103 @@ class TestQueueModel:
                 admitted.append(i)
         assert q.drain() == admitted
         assert sorted(admitted) == admitted  # FIFO never reorders
+
+
+def _req(tenant, priority=0):
+    return SlotRequest(0, 0, 0, 1, priority, tenant)
+
+
+class TestTenantAdmission:
+    def test_weight_lookup_and_default(self):
+        adm = TenantAdmission({0: 4, 1: 2}, default_weight=3)
+        assert adm.weight(0) == 4
+        assert adm.weight(1) == 2
+        assert adm.weight(99) == 3
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TenantAdmission({0: 0})
+        with pytest.raises(InvalidParameterError):
+            TenantAdmission(default_weight=0)
+        with pytest.raises(InvalidParameterError):
+            TenantAdmission({-1: 2})
+
+
+class TestShedVictimSelection:
+    """plan_admit's deterministic victim order: priority class first, then
+    the tenant most over its weighted fair share (exact fractions), then
+    the youngest request of that tenant — with the newcomer counting as
+    youngest of all."""
+
+    def _queue(self, weights, capacity):
+        return BoundedQueue(
+            capacity=capacity,
+            policy=OverflowPolicy.SHED,
+            admission=TenantAdmission(weights),
+        )
+
+    def test_not_full_admits_without_eviction(self):
+        q = self._queue({}, capacity=2)
+        q.offer(_req(0))
+        decision = q.plan_admit(_req(1))
+        assert decision.accepted and decision.evict_index is None
+
+    def test_lowest_class_is_shed_first(self):
+        q = self._queue({}, capacity=3)
+        a, b, c = _req(0, priority=0), _req(1, priority=2), _req(2, priority=1)
+        for r in (a, b, c):
+            assert q.offer(r).accepted
+        newcomer = _req(3, priority=1)
+        decision = q.plan_admit(newcomer)
+        assert decision.accepted and decision.evict_index == 1
+        offer = q.offer(newcomer)
+        assert offer.accepted and offer.evicted is b
+        assert list(q) == [a, c, newcomer]
+
+    def test_over_share_tenant_loses_within_class(self):
+        # Same class everywhere; tenant 0 (weight 3) holds 2 -> share 2/3,
+        # tenant 1 (weight 1) holds 2 -> share 2/1: tenant 1 is the most
+        # over-share, and its *younger* queued request is the victim.
+        q = self._queue({0: 3, 1: 1}, capacity=4)
+        items = [_req(0), _req(0), _req(1), _req(1)]
+        for r in items:
+            assert q.offer(r).accepted
+        decision = q.plan_admit(_req(2))
+        assert decision.accepted and decision.evict_index == 3
+
+    def test_newcomer_over_share_is_refused(self):
+        # Queue [t0, t1]; a second t1 request would put tenant 1 at 2/1
+        # with itself as the youngest -> the newcomer is its own victim.
+        q = self._queue({0: 1, 1: 1}, capacity=2)
+        a, b = _req(0), _req(1)
+        for r in (a, b):
+            assert q.offer(r).accepted
+        newcomer = _req(1)
+        decision = q.plan_admit(newcomer)
+        assert not decision.accepted and decision.evict_index is None
+        offer = q.offer(newcomer)
+        assert not offer.accepted and offer.evicted is None
+        assert list(q) == [a, b]
+
+    def test_fraction_tie_goes_to_youngest_overall(self):
+        # Equal weights, equal occupancy: every tenant sits at the same
+        # exact share, so the age rule alone decides -- newcomer refused.
+        q = self._queue({}, capacity=2)
+        for r in (_req(0), _req(1)):
+            assert q.offer(r).accepted
+        assert not q.plan_admit(_req(2)).accepted
+
+    def test_high_class_newcomer_displaces_low_class_holder(self):
+        # A full queue of background traffic cannot lock out a
+        # higher-class newcomer of the same tenant.
+        q = self._queue({}, capacity=2)
+        for r in (_req(0, priority=3), _req(0, priority=3)):
+            assert q.offer(r).accepted
+        decision = q.plan_admit(_req(0, priority=0))
+        # Victim is the *youngest* of the lowest class (index 1).
+        assert decision.accepted and decision.evict_index == 1
+
+    def test_plan_admit_requires_shed_policy(self):
+        q = BoundedQueue(capacity=1, policy=OverflowPolicy.REJECT)
+        with pytest.raises(InvalidParameterError):
+            q.plan_admit(_req(0))

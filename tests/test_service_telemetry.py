@@ -12,6 +12,7 @@ from repro.service.telemetry import (
     Counter,
     Gauge,
     Histogram,
+    SloAccountant,
     Telemetry,
     exponential_buckets,
 )
@@ -238,3 +239,75 @@ class TestSupervisorTelemetry:
         assert sup.checkpoint_of(0) is None
         sup.note_checkpoint(0, tick=3, busy=[2])
         assert sup.checkpoint_of(0) == (3, [2])
+
+
+class TestSloAccountant:
+    def test_empty_ratio_is_one(self):
+        assert SloAccountant().grant_ratio(0) == 1.0
+
+    def test_per_class_and_rollup_ratios(self):
+        slo = SloAccountant()
+        for _ in range(3):
+            slo.record(0, 0, "granted")
+        slo.record(0, 0, "contention")
+        slo.record(0, 1, "granted")
+        slo.record(0, 1, "admission_shed")
+        assert slo.grant_ratio(0, 0) == 3 / 4
+        assert slo.grant_ratio(0, 1) == 1 / 2
+        assert slo.grant_ratio(0) == 4 / 6
+
+    def test_report_cells_and_targets(self):
+        slo = SloAccountant()
+        slo.record(0, 0, "granted")
+        slo.record(0, 0, "granted")
+        slo.record(1, 2, "contention")
+        slo.set_target(0, 0.5)
+        slo.set_target(1, 0.5)
+        report = slo.report()
+        assert report["cells"]["0/0"] == {
+            "submitted": 2,
+            "granted": 2,
+            "rejected": {},
+        }
+        assert report["cells"]["1/2"]["rejected"] == {"contention": 1}
+        assert report["tenants"][0]["met"] is True
+        assert report["tenants"][1]["met"] is False
+        assert report["all_met"] is False
+
+    def test_untargeted_tenant_counts_as_met(self):
+        slo = SloAccountant()
+        slo.record(5, 0, "dropped")
+        report = slo.report()
+        assert report["tenants"][5]["target"] is None
+        assert report["tenants"][5]["met"] is True
+        assert report["all_met"] is True
+
+    def test_per_class_target_fails_while_rollup_passes(self):
+        slo = SloAccountant()
+        for _ in range(9):
+            slo.record(0, 0, "granted")
+        slo.record(0, 1, "timed_out")
+        slo.set_target(0, 0.8)          # rollup: 9/10 -> met
+        slo.set_target(0, 0.5, priority=1)  # class 1: 0/1 -> not met
+        report = slo.report()
+        assert report["tenants"][0]["met"] is True
+        assert report["tenants"][0]["class_1"]["met"] is False
+        assert report["all_met"] is False
+
+    def test_target_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SloAccountant().set_target(0, 1.5)
+
+    def test_thread_safety_smoke(self):
+        slo = SloAccountant()
+
+        def worker():
+            for _ in range(500):
+                slo.record(0, 0, "granted")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert slo.report()["cells"]["0/0"]["submitted"] == 2000

@@ -12,7 +12,9 @@ from repro.sim.duration import (
 from repro.sim.traffic import (
     BernoulliTraffic,
     HotspotDestinations,
+    MultiTenantOnOffTraffic,
     OnOffBurstyTraffic,
+    TenantSpec,
     UniformDestinations,
 )
 
@@ -221,3 +223,108 @@ class TestArrivalBatchEquality:
             ]
             assert list(batch.duration) == [p.duration for p in packets]
             assert list(batch.priority) == [p.priority for p in packets]
+
+
+class TestMultiTenantOnOff:
+    SPECS = (
+        TenantSpec(0, weight=4, load=0.6, burst_length=4.0),
+        TenantSpec(1, weight=2, load=0.4, burst_length=6.0),
+        TenantSpec(2, weight=1, load=0.2, burst_length=8.0, priority=2),
+    )
+
+    def _traffic(self, n_fibers=4, k=6, **kw):
+        return MultiTenantOnOffTraffic(n_fibers, k, self.SPECS, **kw)
+
+    def test_channel_blocks_partition_the_space(self):
+        t = self._traffic()
+        seen = []
+        for spec in self.SPECS:
+            block = t.channels_of(spec.tenant)
+            assert block  # every tenant owns at least one channel
+            seen.extend(block)
+        assert sorted(seen) == [(f, w) for f in range(4) for w in range(6)]
+        # Contiguous split of 24 channels over 3 tenants: 8 each.
+        assert all(len(t.channels_of(s.tenant)) == 8 for s in self.SPECS)
+
+    def test_unknown_tenant_raises(self):
+        with pytest.raises(InvalidParameterError):
+            self._traffic().channels_of(42)
+
+    def test_per_tenant_conservation(self, gen):
+        t = self._traffic()
+        emitted = {s.tenant: 0 for s in self.SPECS}
+        for slot in range(200):
+            for p in t.arrivals(slot, gen):
+                emitted[p.tenant] += 1
+            backlog = t.backlog()
+            generated = t.generated_totals()
+            for s in self.SPECS:
+                assert (
+                    generated[s.tenant]
+                    == emitted[s.tenant] + backlog[s.tenant]
+                )
+        assert sum(generated.values()) > 0
+
+    def test_packets_stay_on_their_tenant_block(self, gen):
+        t = self._traffic()
+        blocks = {s.tenant: set(t.channels_of(s.tenant)) for s in self.SPECS}
+        priorities = {s.tenant: s.priority for s in self.SPECS}
+        for slot in range(50):
+            for p in t.arrivals(slot, gen):
+                assert (p.input_fiber, p.wavelength) in blocks[p.tenant]
+                assert p.priority == priorities[p.tenant]
+
+    def test_batch_and_list_forms_agree(self):
+        a, b = self._traffic(), self._traffic()
+        rng_a = np.random.default_rng(99)
+        rng_b = np.random.default_rng(99)
+        for slot in range(30):
+            batch = a.arrivals_batch(slot, rng_a)
+            packets = b.arrivals(slot, rng_b)
+            assert len(packets) == len(batch.input_fiber)
+            for i, p in enumerate(packets):
+                assert p.input_fiber == batch.input_fiber[i]
+                assert p.wavelength == batch.wavelength[i]
+                assert p.output_fiber == batch.output_fiber[i]
+                assert p.tenant == batch.tenant[i]
+
+    def test_offered_load_is_block_weighted_mean(self):
+        t = self._traffic()
+        # Equal 8-channel blocks: mean of the three per-channel loads.
+        assert t.offered_load == pytest.approx((0.6 + 0.4 + 0.2) / 3)
+
+    def test_reset_restores_the_stream(self):
+        t = self._traffic()
+        rng = np.random.default_rng(7)
+        first = [len(t.arrivals(s, rng)) for s in range(20)]
+        t.reset()
+        assert t.backlog() == {0: 0, 1: 0, 2: 0}
+        assert t.generated_totals() == {0: 0, 1: 0, 2: 0}
+        rng = np.random.default_rng(7)
+        again = [len(t.arrivals(s, rng)) for s in range(20)]
+        assert first == again
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MultiTenantOnOffTraffic(2, 2, ())
+        with pytest.raises(InvalidParameterError):
+            MultiTenantOnOffTraffic(2, 2, (TenantSpec(0), TenantSpec(0)))
+        with pytest.raises(InvalidParameterError):
+            MultiTenantOnOffTraffic(1, 1, (TenantSpec(0), TenantSpec(1)))
+        with pytest.raises(InvalidParameterError):
+            MultiTenantOnOffTraffic(2, 2, (TenantSpec(0, load=0.9),), peak=0.5)
+        with pytest.raises(InvalidParameterError):
+            MultiTenantOnOffTraffic(2, 2, (TenantSpec(0),), peak=0.0)
+        with pytest.raises(InvalidParameterError):
+            TenantSpec(0, burst_length=0.5)
+        with pytest.raises(InvalidParameterError):
+            TenantSpec(0, weight=0)
+
+    def test_saturated_tenant_never_turns_off(self, gen):
+        # load == peak pins the chain ON (p_end = 0): generation runs at
+        # the full Poisson(block) rate every slot, so long-run emission
+        # approaches the 4-channel block ceiling.
+        t = MultiTenantOnOffTraffic(2, 2, (TenantSpec(0, load=1.0),))
+        counts = [len(t.arrivals(s, gen)) for s in range(300)]
+        assert max(counts) == 4  # block-saturating slots do occur
+        assert np.mean(counts) > 3.2
