@@ -1,12 +1,21 @@
-"""Deterministic perf-regression harness (``BENCH_PR7.json``).
+"""Deterministic perf-regression harness (``BENCH_PR8.json``).
 
 Runs a small, fixed-seed benchmark suite over the layers this repo's
 performance story rests on and writes one JSON document per run:
 
-* ``kernel`` group — the NumPy batch kernels and the memoized schedulers.
-  These are pure CPU micro-benchmarks, stable enough to gate in CI: a run
-  whose ``ops_per_s`` drops more than ``--threshold`` (default 30%) below
-  the committed baseline fails the comparison.
+* ``kernel`` group — the batch kernels (on the process-wide backend
+  selected by :mod:`repro.core.kernels`, recorded in
+  ``meta.kernel_backend``) and the memoized schedulers.  These are pure
+  CPU micro-benchmarks, stable enough to gate in CI: a run whose
+  ``ops_per_s`` drops more than ``--threshold`` (default 30%) below the
+  committed baseline fails the comparison — but only when current and
+  baseline ran the *same* kernel backend; ops/s across backends are not
+  comparable, so a mismatch skips the kernel gate with a printed notice.
+  The ``*_python`` variants pin the pure-Python reference backend, giving
+  every run a machine-local yardstick: ``derived.compiled_fa_speedup`` /
+  ``compiled_bfa_speedup`` are the active backend's ratio over it, and
+  ``--min-compiled-speedup`` (default 10×) gates the BFA ratio whenever
+  the active backend is the Numba-compiled one.
 * ``sim`` group — end-to-end slot throughput of the fast engine vs the full
   engine on the same seeded multi-slot traffic.  Not gated on absolute
   speed (CI machines vary) but on the *ratio*: the fast engine must stay at
@@ -29,8 +38,9 @@ performance story rests on and writes one JSON document per run:
 
 Usage::
 
-    python benchmarks/harness.py --quick --out BENCH_PR7.json
-    python benchmarks/harness.py --quick --compare BENCH_PR7.json
+    python benchmarks/harness.py --quick --out BENCH_PR8.json
+    python benchmarks/harness.py --quick --compare BENCH_PR8.json
+    python benchmarks/harness.py --quick --profile kernels
 
 The JSON layout::
 
@@ -42,9 +52,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import cProfile
 import json
 import os
 import platform
+import pstats
 import sys
 import tempfile
 import time
@@ -54,6 +66,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
+from repro.core import kernels as kernel_registry
 from repro.core.batch import batch_first_available
 from repro.core.batch_bfa import batch_break_first_available
 from repro.core.break_first_available import BreakFirstAvailableScheduler
@@ -81,6 +94,7 @@ MIN_MULTISLOT_SPEEDUP = 5.0
 MAX_JOURNAL_OVERHEAD = 0.10
 MAX_QOS_OVERHEAD = 0.10
 MIN_NET_SPEEDUP = 1.0
+MIN_COMPILED_SPEEDUP = 10.0
 
 
 def _time_calls(fn, calls: int) -> dict[str, float]:
@@ -109,20 +123,32 @@ def bench_kernels(quick: bool) -> dict[str, dict]:
     rows, k = (64, 16)
     calls = 60 if quick else 400
     req, avail = _kernel_inputs(rows, k, seed=42)
+
+    def fa():
+        batch_first_available(req, avail, 1, 1, check=False)
+
+    def bfa():
+        batch_break_first_available(req, avail, 1, 1, check=False)
+
+    # Warm the active backend outside the timed region: on the Numba
+    # backend the first call per signature pays JIT compilation (amortized
+    # across runs by its on-disk cache, but never part of steady state).
+    fa()
+    bfa()
     out = {}
-    out["batch_fa_kernel"] = {
-        "group": KERNEL,
-        **_time_calls(
-            lambda: batch_first_available(req, avail, 1, 1, check=False), calls
-        ),
-    }
-    out["batch_bfa_kernel"] = {
-        "group": KERNEL,
-        **_time_calls(
-            lambda: batch_break_first_available(req, avail, 1, 1, check=False),
-            calls,
-        ),
-    }
+    out["batch_fa_kernel"] = {"group": KERNEL, **_time_calls(fa, calls)}
+    out["batch_bfa_kernel"] = {"group": KERNEL, **_time_calls(bfa, calls)}
+    # The pure-Python reference backend on the same inputs: the in-run
+    # yardstick the compiled-speedup gate divides against.
+    with kernel_registry.use_backend("python"):
+        out["batch_fa_kernel_python"] = {
+            "group": KERNEL,
+            **_time_calls(fa, calls),
+        }
+        out["batch_bfa_kernel_python"] = {
+            "group": KERNEL,
+            **_time_calls(bfa, calls),
+        }
     return out
 
 
@@ -474,6 +500,71 @@ def bench_qos(quick: bool) -> dict[str, dict]:
     return out
 
 
+def bench_window(quick: bool) -> dict[str, dict]:
+    """Tick-window amortization on a backlogged service (informational).
+
+    The same seeded backlog is drained twice through otherwise identical
+    durable services: one ticking once per event-loop iteration
+    (``tick_window=1``, the pre-window behavior) and one catching up in
+    bursts of 8 (``tick_window=8``, with idle shards' ADVANCE journal
+    records coalesced per burst).  ``ops_per_s`` is ticks/s over the full
+    drain; the derived ``window_amortization`` ratio shows what the
+    window buys.  Not gated — the win depends on how deep queues run —
+    but the JSON diff makes drift visible.
+    """
+    n_fibers, k = 8, 16
+    n_requests = 400 if quick else 1200
+    rng = make_rng(29)
+    requests = [
+        SlotRequest(
+            int(rng.integers(n_fibers)),
+            int(rng.integers(k)),
+            int(rng.integers(n_fibers)),
+            duration=int(rng.integers(1, 4)),
+        )
+        for _ in range(n_requests)
+    ]
+    scheme = CircularConversion(k, 1, 1)
+
+    def run(window: int) -> tuple[int, float]:
+        async def go():
+            service = SchedulingService(
+                n_fibers,
+                scheme,
+                BreakFirstAvailableScheduler(),
+                max_batch_per_tick=4,
+                tick_window=window,
+            )
+            futures = [service.submit_nowait(r) for r in requests]
+            t0 = time.perf_counter()
+            while service.queue_depth_total > 0:
+                await service.tick_burst()
+            elapsed = time.perf_counter() - t0
+            ticks = service.slot
+            await asyncio.gather(*futures)
+            await service.stop()
+            return ticks, elapsed
+
+        return asyncio.run(go())
+
+    out = {}
+    for name, window in (
+        ("service_burst_w1", 1),
+        ("service_burst_w8", 8),
+    ):
+        run(window)  # warmup: imports, allocator, bytecode caches
+        ticks, elapsed = run(window)
+        out[name] = {
+            "group": SERVICE,
+            "calls": ticks,
+            "ops_per_s": ticks / elapsed,
+            "p50_s": elapsed / ticks,
+            "p99_s": elapsed / ticks,
+            "tick_window": window,
+        }
+    return out
+
+
 def bench_net(quick: bool) -> dict[str, dict]:
     """The TCP front door under external multi-process load: a
     single-process backend vs ≥2-worker multi-process shard placement
@@ -506,6 +597,19 @@ def bench_net(quick: bool) -> dict[str, dict]:
     return out
 
 
+#: ``--profile`` targets: one cProfile run per benchmark suite function.
+PROFILE_TARGETS = {
+    "kernels": bench_kernels,
+    "scheduler_cache": bench_scheduler_cache,
+    "sims": bench_sims,
+    "faults": bench_faults,
+    "journal": bench_journal,
+    "qos": bench_qos,
+    "window": bench_window,
+    "net": bench_net,
+}
+
+
 def run_suite(quick: bool) -> dict:
     benchmarks: dict[str, dict] = {}
     benchmarks.update(bench_kernels(quick))
@@ -514,6 +618,7 @@ def run_suite(quick: bool) -> dict:
     benchmarks.update(bench_faults(quick))
     benchmarks.update(bench_journal(quick))
     benchmarks.update(bench_qos(quick))
+    benchmarks.update(bench_window(quick))
     benchmarks.update(bench_net(quick))
     # Steady-state ratio: p50 excludes the fast engine's single cold-cache
     # call (its p99), which would otherwise drag a mean-based comparison.
@@ -531,12 +636,24 @@ def run_suite(quick: bool) -> dict:
         benchmarks["net_tcp_two_workers"]["ops_per_s"]
         / benchmarks["net_tcp_single_process"]["ops_per_s"]
     )
+    try:
+        import numba
+
+        numba_version: str | None = numba.__version__
+    except ImportError:
+        numba_version = None
     return {
         "meta": {
-            "version": 2,
+            "version": 3,
             "quick": quick,
             "python": platform.python_version(),
             "numpy": np.__version__,
+            # The honest basis of the kernel gates: ops/s from different
+            # kernel backends are not comparable, so compare() refuses to
+            # gate across a backend mismatch, and the compiled-speedup
+            # gate only binds when the Numba backend actually ran.
+            "kernel_backend": kernel_registry.get_backend().name,
+            "numba_version": numba_version,
             # The honest basis of the net gate: with one CPU the worker
             # processes time-share a core and multi-process ticks/s
             # legitimately trails single-process.
@@ -548,12 +665,42 @@ def run_suite(quick: bool) -> dict:
             "journal_mem_overhead": journal_overhead,
             "qos_overhead": qos_overhead,
             "net_multiproc_speedup": net_speedup,
+            "compiled_fa_speedup": (
+                benchmarks["batch_fa_kernel"]["ops_per_s"]
+                / benchmarks["batch_fa_kernel_python"]["ops_per_s"]
+            ),
+            "compiled_bfa_speedup": (
+                benchmarks["batch_bfa_kernel"]["ops_per_s"]
+                / benchmarks["batch_bfa_kernel_python"]["ops_per_s"]
+            ),
+            "window_amortization": (
+                benchmarks["service_burst_w8"]["ops_per_s"]
+                / benchmarks["service_burst_w1"]["ops_per_s"]
+            ),
         },
     }
 
 
 def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
-    """Regression messages for gated (kernel-group) benchmarks; empty = pass."""
+    """Regression messages for gated (kernel-group) benchmarks; empty = pass.
+
+    Refuses to gate when the two runs used different kernel backends
+    (``meta.kernel_backend``): a compiled run would trivially pass against
+    a pure-Python baseline and a pure-Python run would spuriously fail
+    against a compiled one — neither is a regression signal.  Baselines
+    written before the backend field existed are treated as the NumPy
+    backend, which is what they ran.
+    """
+    cur_backend = current["meta"].get("kernel_backend", "numpy")
+    base_backend = baseline["meta"].get("kernel_backend", "numpy")
+    if cur_backend != base_backend:
+        print(
+            f"kernel regression gate skipped: current run used the "
+            f"{cur_backend!r} kernel backend but the baseline used "
+            f"{base_backend!r}; ops/s are not comparable across backends "
+            f"(re-baseline with --out on the matching backend)"
+        )
+        return []
     failures = []
     for name, base in baseline["benchmarks"].items():
         if base.get("group") != KERNEL:
@@ -599,7 +746,30 @@ def main(argv: list[str] | None = None) -> int:
                         help="required two-worker/single-process TCP "
                              "ticks/s ratio; only enforced when "
                              "os.cpu_count() > 1 (default 1.0)")
+    parser.add_argument("--min-compiled-speedup", type=float,
+                        default=MIN_COMPILED_SPEEDUP,
+                        help="required batch-BFA ops/s ratio of the active "
+                             "kernel backend over the pure-Python reference; "
+                             "only enforced when the numba backend is active "
+                             "(default 10.0)")
+    parser.add_argument("--profile", metavar="SUITE", default=None,
+                        choices=sorted(PROFILE_TARGETS),
+                        help="profile one benchmark suite under cProfile, "
+                             "write <SUITE>.pstats, and exit (choices: "
+                             + ", ".join(sorted(PROFILE_TARGETS)) + ")")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        target = PROFILE_TARGETS[args.profile]
+        profiler = cProfile.Profile()
+        profiler.enable()
+        target(args.quick)
+        profiler.disable()
+        out = Path(f"{args.profile}.pstats")
+        profiler.dump_stats(out)
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+        print(f"wrote {out}")
+        return 0
 
     result = run_suite(args.quick)
     for name, b in sorted(result["benchmarks"].items()):
@@ -623,6 +793,15 @@ def main(argv: list[str] | None = None) -> int:
         f"TCP two-worker vs single-process ticks/s: {net_speedup:.2f}x "
         f"({cpus} cpu{'s' if cpus != 1 else ''})"
     )
+    backend = result["meta"]["kernel_backend"]
+    fa_speedup = result["derived"]["compiled_fa_speedup"]
+    bfa_speedup = result["derived"]["compiled_bfa_speedup"]
+    print(
+        f"kernel backend {backend!r} vs python reference: "
+        f"FA {fa_speedup:.1f}x, BFA {bfa_speedup:.1f}x"
+    )
+    window_gain = result["derived"]["window_amortization"]
+    print(f"tick-window amortization (W=8 vs W=1 ticks/s): {window_gain:.2f}x")
 
     if args.out:
         args.out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
@@ -655,6 +834,18 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "net speedup gate skipped: single-CPU machine "
             "(worker processes time-share one core)"
+        )
+    if backend == "numba":
+        if bfa_speedup < args.min_compiled_speedup:
+            print(
+                f"FAIL: compiled BFA speedup {bfa_speedup:.1f}x < "
+                f"{args.min_compiled_speedup}x over the python reference"
+            )
+            status = 1
+    else:
+        print(
+            f"compiled speedup gate skipped: active kernel backend is "
+            f"{backend!r}, not 'numba' (install the 'compiled' extra)"
         )
     if args.compare:
         baseline = json.loads(args.compare.read_text())

@@ -1,58 +1,28 @@
-"""Vectorized batch First Available across many output fibers.
+"""Batch First Available across many output fibers.
 
 The distributed schedulers are embarrassingly parallel across the ``N``
 output fibers.  On real hardware each output has its own scheduler; in a
-software simulation the same parallelism is best exploited by *vectorizing*
-over outputs with NumPy — one ``(M, k)`` request matrix, all ``M`` outputs
-advanced channel-by-channel in lock step, with the per-row wavelength
-pointers updated by boolean masks instead of Python loops.
+software simulation the same parallelism is best exploited by fusing the
+per-output loop into one pass over the whole ``(M, k)`` request matrix.
 
-The result is bit-identical to running :func:`~repro.core.first_available.
-first_available_fast` per row (tested), with one NumPy pass over ``k``
-channels instead of ``M`` Python passes; the ``BATCH`` benchmark measures
-the speedup.
+This module is the stable public entry point: it validates inputs,
+normalizes them to the contiguous array form every backend shares, and
+dispatches to the process-wide kernel backend
+(:mod:`repro.core.kernels`) — a Numba-compiled sweep, the lock-step NumPy
+vectorization, or the plain-Python greedy, selected by
+``REPRO_KERNEL_BACKEND`` / availability.  All backends are bit-identical
+to running :func:`~repro.core.first_available.first_available_fast` per
+row (tested); which one runs is purely a speed knob.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core import kernels
 from repro.errors import InvalidParameterError
 
 __all__ = ["batch_first_available"]
-
-# Below this many rows, NumPy per-call dispatch costs more than the whole
-# sweep; a plain-Python pass over the same greedy is far faster and remains
-# bit-identical (the two paths are tested against each other).
-_SCALAR_ROWS = 128
-
-
-def _fa_scalar(
-    req: np.ndarray, avail: np.ndarray, e: int, f: int
-) -> np.ndarray:
-    """Per-row First Available; same greedy as the vectorized sweep."""
-    m_rows, k = req.shape
-    rem = req.tolist()
-    avail_l = avail.tolist()
-    out = [[-1] * k for _ in range(m_rows)]
-    for m in range(m_rows):
-        c = rem[m]
-        a = avail_l[m]
-        row = out[m]
-        p = 0
-        for b in range(k):
-            lo = b - f
-            if p < lo:
-                p = lo
-            hi = b + e
-            if hi > k - 1:
-                hi = k - 1
-            while p <= hi and c[p] == 0:
-                p += 1
-            if a[b] and p <= hi:
-                c[p] -= 1
-                row[b] = p
-    return np.asarray(out, dtype=np.int64)
 
 
 def batch_first_available(
@@ -99,7 +69,7 @@ def batch_first_available(
     if available is None:
         avail = np.ones((m_rows, k), dtype=bool)
     else:
-        avail = np.asarray(available, dtype=bool)
+        avail = np.ascontiguousarray(available, dtype=bool)
         if check and avail.shape != (m_rows, k):
             raise InvalidParameterError(
                 f"availability shape {avail.shape} != request shape {(m_rows, k)}"
@@ -111,33 +81,6 @@ def batch_first_available(
             raise InvalidParameterError(
                 f"conversion degree {e + f + 1} exceeds k={k}"
             )
-
-    if m_rows <= _SCALAR_ROWS:
-        return _fa_scalar(req, avail, e, f)
-
-    remaining = req.astype(np.int64).copy()
-    assign = np.full((m_rows, k), -1, dtype=np.int64)
-    # Per-row wavelength pointer: smallest wavelength that may still serve a
-    # future channel.  Identical role to the scalar pointer in
-    # first_available_fast; each row's pointer only ever advances, so total
-    # advancement work is O(M k) in vectorized chunks.
-    p = np.zeros(m_rows, dtype=np.int64)
-    rows = np.arange(m_rows)
-    for b in range(k):
-        lo = max(0, b - f)
-        hi = min(k - 1, b + e)
-        np.maximum(p, lo, out=p)
-        # Advance pointers over exhausted wavelengths inside the window.
-        while True:
-            inside = p <= hi
-            need = inside & (remaining[rows, np.minimum(p, k - 1)] == 0)
-            if not need.any():
-                break
-            p[need] += 1
-        grant = avail[:, b] & (p <= hi) & (remaining[rows, np.minimum(p, k - 1)] > 0)
-        if grant.any():
-            g_rows = rows[grant]
-            g_wl = p[grant]
-            remaining[g_rows, g_wl] -= 1
-            assign[g_rows, b] = g_wl
-    return assign
+    return kernels.get_backend().fa_rows(
+        np.ascontiguousarray(req, dtype=np.int64), avail, int(e), int(f)
+    )

@@ -1,11 +1,11 @@
-"""Vectorized batch Break-and-First-Available across many output fibers.
+"""Batch Break-and-First-Available across many output fibers.
 
 Companion to :mod:`repro.core.batch` for *circular* conversion.  The key
-observation enabling vectorization: in the Lemma-2 shifted frame (wavelength
-offsets ``s = (w - pivot) mod k``, channel positions ``p = (b - u - 1) mod
-k``), the reduced adjacency of the paper's three-case analysis collapses to
-a single closed form that depends only on ``s`` and the break offset ``t`` —
-*not* on the row's pivot wavelength::
+observation enabling the fused/vectorized backends: in the Lemma-2 shifted
+frame (wavelength offsets ``s = (w - pivot) mod k``, channel positions
+``p = (b - u - 1) mod k``), the reduced adjacency of the paper's
+three-case analysis collapses to a single closed form that depends only on
+``s`` and the break offset ``t`` — *not* on the row's pivot wavelength::
 
     s = 0:   [0, f - t - 1]
     s >= 1:  [max(0, s - t - e - 1),  min(s - t + f - 1, k - 2)]
@@ -13,121 +13,25 @@ a single closed form that depends only on ``s`` and the break offset ``t`` —
 (the prefix case ``1 <= s <= t + e`` and the suffix case ``s >= k + t - f``
 are the clamped ends of the same line; both endpoints are non-decreasing in
 ``s``, which is exactly the Lemma-2 monotonicity).  Every row can therefore
-share one interval table per ``t`` and the First Available sweep vectorizes
+share one interval table per ``t``, and the First Available sweep fuses
 across rows just like :func:`~repro.core.batch.batch_first_available`.
 
-Results are bit-identical to running :func:`~repro.core.
-break_first_available.bfa_fast` per row (tested), including pivot selection
-and the first-best tie-break over the ``d`` break offsets.
+Like its companion, this module is the validating public entry point; the
+sweeps themselves live in the kernel backends (:mod:`repro.core.kernels`)
+and are selected process-wide.  Results are bit-identical to running
+:func:`~repro.core.break_first_available.bfa_fast` per row (tested),
+including pivot selection and the first-best tie-break over the ``d``
+break offsets, on every backend.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core import kernels
 from repro.errors import InvalidParameterError
 
 __all__ = ["batch_break_first_available"]
-
-# Same small-matrix cutover as repro.core.batch: under this many rows the
-# sweep runs as plain Python (bit-identical greedy, no NumPy dispatch cost).
-_SCALAR_ROWS = 128
-
-
-def _candidate_sweep_scalar(
-    counts_shifted: np.ndarray,
-    avail_pos: np.ndarray,
-    active: np.ndarray,
-    lo: np.ndarray,
-    hi: np.ndarray,
-    record: np.ndarray | None,
-) -> np.ndarray:
-    """Row-at-a-time variant of :func:`_candidate_sweep` (same greedy)."""
-    m_rows, k = counts_shifted.shape
-    granted = np.zeros(m_rows, dtype=np.int64)
-    lo_l = lo.tolist()
-    hi_l = hi.tolist()
-    counts_l = counts_shifted.tolist()
-    avail_l = avail_pos.tolist()
-    rec_l = None if record is None else record.tolist()
-    for m in range(m_rows):
-        if not active[m]:
-            continue
-        c = counts_l[m]
-        a = avail_l[m]
-        rec_row = None if rec_l is None else rec_l[m]
-        ptr = 0
-        g = 0
-        for p in range(k - 1):
-            while ptr < k and (c[ptr] == 0 or hi_l[ptr] < p):
-                ptr += 1
-            if a[p] and ptr < k and lo_l[ptr] <= p:
-                c[ptr] -= 1
-                g += 1
-                if rec_row is not None:
-                    rec_row[p] = ptr
-        granted[m] = g
-    if rec_l is not None:
-        record[...] = rec_l
-    return granted
-
-
-def _shift_gather(matrix: np.ndarray, start: np.ndarray) -> np.ndarray:
-    """Row-wise circular gather: ``out[m, j] = matrix[m, (start[m]+j) % k]``."""
-    m_rows, k = matrix.shape
-    idx = (start[:, None] + np.arange(k)[None, :]) % k
-    return np.take_along_axis(matrix, idx, axis=1)
-
-
-def _candidate_sweep(
-    counts_shifted: np.ndarray,
-    avail_pos: np.ndarray,
-    active: np.ndarray,
-    lo: np.ndarray,
-    hi: np.ndarray,
-    record: np.ndarray | None,
-) -> np.ndarray:
-    """One break offset's First Available sweep over all rows at once.
-
-    ``counts_shifted`` is logically consumed (its post-state is
-    unspecified); returns per-row grant counts.  When ``record`` is given
-    (``(M, k-1)`` int array), the granted offset ``s`` is stored per
-    position for assignment reconstruction.
-    """
-    m_rows, k = counts_shifted.shape
-    if m_rows <= _SCALAR_ROWS:
-        return _candidate_sweep_scalar(
-            counts_shifted, avail_pos, active, lo, hi, record
-        )
-    rows = np.arange(m_rows)
-    ptr = np.where(active, 0, k)  # inactive rows: pointer parked at the end
-    granted = np.zeros(m_rows, dtype=np.int64)
-    for p in range(k - 1):
-        # Advance each row's pointer past exhausted or expired groups.
-        while True:
-            inside = ptr < k
-            safe = np.minimum(ptr, k - 1)
-            need = inside & (
-                (counts_shifted[rows, safe] == 0) | (hi[safe] < p)
-            )
-            if not need.any():
-                break
-            ptr[need] += 1
-        safe = np.minimum(ptr, k - 1)
-        grant = (
-            active
-            & avail_pos[:, p]
-            & (ptr < k)
-            & (lo[safe] <= p)
-        )
-        if grant.any():
-            g_rows = rows[grant]
-            g_s = ptr[grant]
-            counts_shifted[g_rows, g_s] -= 1
-            granted[g_rows] += 1
-            if record is not None:
-                record[g_rows, p] = g_s
-    return granted
 
 
 def batch_break_first_available(
@@ -143,8 +47,8 @@ def batch_break_first_available(
     Parameters and return value mirror
     :func:`~repro.core.batch.batch_first_available`:
     ``assign[m, b]`` is the wavelength granted channel ``b`` of output ``m``
-    or ``-1``.  ``O(d k)`` NumPy passes of width ``M``.  ``check=False``
-    skips input validation for pre-validated inner-loop callers.
+    or ``-1``.  ``O(d k)`` work per row.  ``check=False`` skips input
+    validation for pre-validated inner-loop callers.
     """
     req = np.asarray(request_matrix)
     if check:
@@ -158,77 +62,18 @@ def batch_break_first_available(
     if available is None:
         avail = np.ones((m_rows, k), dtype=bool)
     else:
-        avail = np.asarray(available, dtype=bool)
+        avail = np.ascontiguousarray(available, dtype=bool)
         if check and avail.shape != (m_rows, k):
             raise InvalidParameterError(
                 f"availability shape {avail.shape} != request shape {(m_rows, k)}"
             )
-    d = e + f + 1
     if check:
         if e < 0 or f < 0:
             raise InvalidParameterError("conversion reaches must be nonnegative")
-        if d > k:
-            raise InvalidParameterError(f"conversion degree {d} exceeds k={k}")
-
-    remaining = req.astype(np.int64).copy()
-    assign = np.full((m_rows, k), -1, dtype=np.int64)
-    rows = np.arange(m_rows)
-
-    # -- pivot selection (vectorized mirror of bfa_fast) --------------------
-    # window_any[m, w]: some channel of λw's circular window is free.
-    window_any = np.zeros((m_rows, k), dtype=bool)
-    for t in range(-e, f + 1):
-        window_any |= np.roll(avail, -t, axis=1)
-    eligible = (remaining > 0) & window_any
-    has_pivot = eligible.any(axis=1)
-    pivot = np.where(has_pivot, eligible.argmax(axis=1), 0)
-    # Wavelengths before the pivot carrying requests are unmatchable
-    # (their whole window is occupied): zero them, as the scalar code does.
-    before = np.arange(k)[None, :] < pivot[:, None]
-    remaining[before & has_pivot[:, None]] = 0
-    remaining[rows[has_pivot], pivot[has_pivot]] -= 1
-
-    # Shared shifted views (independent of t).
-    counts_shifted0 = _shift_gather(remaining, pivot)
-
-    # -- try the d breaks, recording each candidate's grants ----------------
-    s_axis = np.arange(k)
-    best_size = np.full(m_rows, -1, dtype=np.int64)
-    best_t = np.full(m_rows, -e - 1, dtype=np.int64)
-    records: dict[int, np.ndarray | None] = {}
-    for t in range(-e, f + 1):
-        u = (pivot + t) % k
-        active = has_pivot & avail[rows, u]
-        if not active.any():
-            continue
-        lo = np.maximum(0, s_axis - t - e - 1)
-        hi = np.minimum(s_axis - t + f - 1, k - 2)
-        hi[0] = f - t - 1  # pivot's same-wavelength siblings
-        lo[0] = 0
-        avail_pos = _shift_gather(avail, (u + 1) % k)[:, : k - 1]
-        counts = counts_shifted0.copy()
-        record = np.full((m_rows, k - 1), -1, dtype=np.int64) if k > 1 else None
-        granted = _candidate_sweep(counts, avail_pos, active, lo, hi, record)
-        records[t] = record
-        size = np.where(active, granted + 1, -1)  # +1: the breaking edge
-        improved = active & (size > best_size)
-        best_size[improved] = size[improved]
-        best_t[improved] = t
-
-    # -- commit each row's winning break -------------------------------------
-    for t, record in records.items():
-        winners = has_pivot & (best_t == t)
-        if not winners.any():
-            continue
-        u = (pivot + t) % k
-        w_rows = rows[winners]
-        assign[w_rows, u[winners]] = pivot[winners]  # the breaking edge
-        if record is not None:
-            got = record[winners]  # (W, k-1) of granted offsets s or -1
-            for j, m in enumerate(w_rows):
-                ps = np.nonzero(got[j] >= 0)[0]
-                if ps.size:
-                    channels = (u[m] + 1 + ps) % k
-                    wavelengths = (pivot[m] + got[j, ps]) % k
-                    assign[m, channels] = wavelengths
-    return assign
+        if e + f + 1 > k:
+            raise InvalidParameterError(
+                f"conversion degree {e + f + 1} exceeds k={k}"
+            )
+    return kernels.get_backend().bfa_rows(
+        np.ascontiguousarray(req, dtype=np.int64), avail, int(e), int(f)
+    )

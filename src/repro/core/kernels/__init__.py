@@ -1,0 +1,193 @@
+"""Kernel backend registry: compiled, vectorized, and pure-Python sweeps.
+
+The batch schedulers (:func:`repro.core.batch.batch_first_available`,
+:func:`repro.core.batch_bfa.batch_break_first_available`) and the
+scheduler row path (:func:`repro.core.first_available.
+first_available_fast`, :func:`repro.core.break_first_available.bfa_fast`)
+dispatch their inner sweeps through one process-wide *backend* selected
+here:
+
+========  ==================================================================
+backend   implementation
+========  ==================================================================
+numba     ``@njit(cache=True)`` fused row sweeps (:mod:`._impl` compiled);
+          also accelerates the single-row scheduler path.  Needs the
+          ``[compiled]`` extra; auto-selected when importable.
+numpy     The lock-step vectorized sweeps (:mod:`.numpy_backend`), with the
+          :data:`SCALAR_ROWS` small-matrix cutover to the python backend.
+          The default when numba is absent.
+python    Plain list sweeps, zero NumPy dispatch (:mod:`.python_backend`).
+          Fastest for tiny batches; the fixed reference point for the
+          harness's backend-speedup ratio.
+========  ==================================================================
+
+Selection happens at import time from ``REPRO_KERNEL_BACKEND``: unset
+means "best available" (numba, else numpy); an explicit name is honored or
+rejected loudly — a misspelled or uninstallable backend raises
+:class:`~repro.errors.InvalidParameterError` rather than silently running
+slow.  Tests and benchmarks switch at runtime with :func:`set_backend` /
+:func:`use_backend`.
+
+All backends are bit-identical by contract — same grants, same tie-breaks,
+byte-for-byte equal assign matrices — enforced by the equivalence suites
+(``tests/test_kernels.py``, ``tests/test_batch*.py``).  Switching backends
+is purely a speed knob, like the memo cache.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "SCALAR_ROWS",
+    "ENV_VAR",
+    "BACKEND_NAMES",
+    "KernelBackend",
+    "available_backends",
+    "resolve_backend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+#: Environment variable consulted once at import time.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Valid backend names, in auto-selection preference order.
+BACKEND_NAMES = ("numba", "numpy", "python")
+
+#: Below this many rows the numpy backend hands the whole matrix to the
+#: plain-Python sweep (NumPy per-call dispatch costs more than the greedy
+#: pass on small matrices).  One module-level constant — read at call time,
+#: so tests can override it — instead of the two drifting copies that used
+#: to live in batch.py and batch_bfa.py.
+SCALAR_ROWS = 128
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One backend's entry points.
+
+    ``fa_rows`` / ``bfa_rows`` take C-contiguous ``(M, k)`` ``int64``
+    request and ``bool`` availability matrices plus ``(e, f)`` and return
+    the ``(M, k)`` ``int64`` assign matrix.  ``fa_row`` / ``bfa_row`` are
+    optional single-row accelerators for the scheduler path (``None`` on
+    backends whose row-at-a-time best is the existing Python code):
+    ``fa_row`` returns the ``(k,)`` assign row, ``bfa_row`` returns
+    ``(wl, ch, n, reduced_graphs, pivots_skipped)`` with grant pairs in
+    ``bfa_fast``'s emission order.
+    """
+
+    name: str
+    fa_rows: Callable[[np.ndarray, np.ndarray, int, int], np.ndarray]
+    bfa_rows: Callable[[np.ndarray, np.ndarray, int, int], np.ndarray]
+    fa_row: Callable[[np.ndarray, np.ndarray, int, int], np.ndarray] | None
+    bfa_row: (
+        Callable[
+            [np.ndarray, np.ndarray, int, int],
+            tuple[np.ndarray, np.ndarray, int, int, int],
+        ]
+        | None
+    )
+    version: str | None
+
+
+_loaded: dict[str, KernelBackend | None] = {}
+
+
+def _load(name: str) -> KernelBackend | None:
+    """Import one backend module; ``None`` when its dependency is absent."""
+    if name in _loaded:
+        return _loaded[name]
+    try:
+        module = importlib.import_module(f"repro.core.kernels.{name}_backend")
+    except ImportError:
+        _loaded[name] = None
+        return None
+    backend = KernelBackend(
+        name=module.NAME,
+        fa_rows=module.fa_rows,
+        bfa_rows=module.bfa_rows,
+        fa_row=getattr(module, "fa_row", None),
+        bfa_row=getattr(module, "bfa_row", None),
+        version=module.VERSION,
+    )
+    _loaded[name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names importable on this interpreter (preference order)."""
+    return tuple(name for name in BACKEND_NAMES if _load(name) is not None)
+
+
+def resolve_backend(requested: str | None) -> KernelBackend:
+    """Map a requested name (or ``None`` = best available) to a backend.
+
+    ``None`` / empty tries numba and degrades gracefully to numpy.  An
+    explicit name must exist *and* be importable — a typo or a request for
+    numba on an interpreter without it raises
+    :class:`~repro.errors.InvalidParameterError` with the valid choices.
+    """
+    if not requested:
+        for name in ("numba", "numpy"):
+            backend = _load(name)
+            if backend is not None:
+                return backend
+        raise InvalidParameterError(
+            "no kernel backend importable (numpy itself is missing?)"
+        )  # pragma: no cover - numpy is a hard dependency
+    name = requested.strip().lower()
+    if name not in BACKEND_NAMES:
+        raise InvalidParameterError(
+            f"unknown kernel backend {requested!r} (from ${ENV_VAR} or "
+            f"set_backend); valid names: {', '.join(BACKEND_NAMES)}"
+        )
+    backend = _load(name)
+    if backend is None:
+        raise InvalidParameterError(
+            f"kernel backend {name!r} is not importable on this interpreter "
+            f"(install the 'compiled' extra for numba); available: "
+            f"{', '.join(available_backends())}"
+        )
+    return backend
+
+
+#: The process-wide active backend, resolved once at import.
+_active: KernelBackend = resolve_backend(os.environ.get(ENV_VAR))
+
+
+def get_backend() -> KernelBackend:
+    """The active backend (what every kernel call dispatches through)."""
+    return _active
+
+
+def set_backend(name: str | None) -> KernelBackend:
+    """Switch the process-wide backend; returns the new one.
+
+    Purely a speed knob — all backends are bit-identical — but note the
+    schedule memo cache may still hold rows computed by the previous
+    backend (harmless for the same reason).
+    """
+    global _active
+    _active = resolve_backend(name)
+    return _active
+
+
+@contextmanager
+def use_backend(name: str | None) -> Iterator[KernelBackend]:
+    """Scoped :func:`set_backend` (tests, benchmark reference runs)."""
+    previous = _active
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        set_backend(previous.name)

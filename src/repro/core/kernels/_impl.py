@@ -1,0 +1,228 @@
+"""Loop-form FA/BFA kernels in Numba-compilable style.
+
+Every function here is written against the ``nopython`` subset — plain
+``for`` loops over preallocated NumPy arrays, no Python containers, no
+closures — and decorated with ``@njit(cache=True)`` **when numba is
+importable** (``NUMBA_AVAILABLE``).  When it is not, the same functions run
+interpreted, which is what lets the equivalence suite pin the exact code
+numba compiles on interpreters without numba installed
+(``tests/test_kernels.py``): the compiled backend and its interpreted twin
+are one source, not two implementations that can drift.
+
+These are *not* the fallback backends — :mod:`repro.core.kernels.
+python_backend` (list-based) and :mod:`repro.core.kernels.numpy_backend`
+(vectorized) carry the no-numba hot paths.  This module exists for the
+``numba`` backend, which calls these functions compiled.
+
+Contracts (shared by all backends, gated by the bit-identity tests):
+
+* ``fa_rows_kernel(req, avail, e, f)`` — the clipped-window First
+  Available greedy of :func:`repro.core.first_available.
+  first_available_fast`, fused over all ``(M, k)`` rows.  Returns the
+  ``assign`` matrix (``assign[m, b]`` = granted wavelength or ``-1``).
+* ``bfa_rows_kernel(req, avail, e, f)`` — the circular
+  Break-and-First-Available of :func:`repro.core.break_first_available.
+  bfa_fast` fused over all rows: pivot selection with unmatchable-pivot
+  skipping, the Lemma-2 shifted-frame interval decode per break offset
+  ``t ∈ [-e, f]``, and the first-best tie-break over the ``d = e+f+1``
+  breaks.  Returns the ``assign`` matrix.
+* ``bfa_row_kernel(req_row, avail_row, e, f)`` — single-row BFA returning
+  the grant pairs **in bfa_fast's emission order** (breaking edge first,
+  then ascending shifted position) plus its counters, so scheduler-path
+  callers can reconstruct ``bfa_fast``'s exact ``(grants, stats)``.
+
+Inputs must be C-contiguous ``int64`` / ``bool_`` arrays with ``e, f``
+plain ints; the backend wrappers normalize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed (CI)
+    from numba import njit as _njit
+
+    def _maybe_jit(fn):
+        return _njit(cache=True)(fn)
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the interpreted twin
+    def _maybe_jit(fn):
+        return fn
+
+    NUMBA_AVAILABLE = False
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "fa_rows_kernel",
+    "bfa_rows_kernel",
+    "bfa_row_core",
+    "bfa_row_kernel",
+]
+
+
+@_maybe_jit
+def fa_rows_kernel(req, avail, e, f):
+    """Fused First Available over all rows (clipped non-circular windows)."""
+    m_rows, k = req.shape
+    out = np.full((m_rows, k), -1, np.int64)
+    rem = np.empty(k, np.int64)
+    for m in range(m_rows):
+        for w in range(k):
+            rem[w] = req[m, w]
+        p = 0  # advancing wavelength pointer, as in first_available_fast
+        for b in range(k):
+            lo = b - f
+            if p < lo:
+                p = lo
+            hi = b + e
+            if hi > k - 1:
+                hi = k - 1
+            while p <= hi and rem[p] == 0:
+                p += 1
+            if avail[m, b] and p <= hi:
+                rem[p] -= 1
+                out[m, b] = p
+    return out
+
+
+@_maybe_jit
+def bfa_row_core(rem, avail, e, f, wl, ch):
+    """One row of Break-and-First-Available (bfa_fast's exact greedy).
+
+    ``rem`` is consumed.  Fills ``wl``/``ch`` with the winning break's
+    grant pairs in emission order (pivot's breaking edge first, then
+    ascending shifted position) and returns ``(n_grants, reduced_graphs,
+    pivots_skipped)``.
+    """
+    k = rem.shape[0]
+    skipped = 0
+    # Pivot: first wavelength carrying a request with any free channel in
+    # its circular window; unmatchable candidates are zeroed and skipped.
+    pivot = -1
+    for w in range(k):
+        if rem[w] == 0:
+            continue
+        found = False
+        for t in range(-e, f + 1):
+            if avail[(w + t) % k]:
+                found = True
+                break
+        if found:
+            pivot = w
+            break
+        rem[w] = 0
+        skipped += 1
+    if pivot < 0:
+        return 0, 0, skipped
+    rem[pivot] -= 1
+
+    # The reduced instance's left side, in ascending pivot offset order
+    # (the Lemma-2 shifted ordering); only the intervals depend on t.
+    entry_s = np.empty(k, np.int64)
+    entry_w = np.empty(k, np.int64)
+    base = np.empty(k, np.int64)
+    ng = 0
+    for s in range(k):
+        w = (pivot + s) % k
+        if rem[w] > 0:
+            entry_s[ng] = s
+            entry_w[ng] = w
+            base[ng] = rem[w]
+            ng += 1
+    n_avail = 0
+    for b in range(k):
+        if avail[b]:
+            n_avail += 1
+    total = 1
+    for gi in range(ng):
+        total += base[gi]
+    perfect = total if total < n_avail else n_avail
+    d = e + f + 1
+
+    lows = np.empty(k, np.int64)
+    highs = np.empty(k, np.int64)
+    counts = np.empty(k, np.int64)
+    cur_wl = np.empty(k, np.int64)
+    cur_ch = np.empty(k, np.int64)
+    best_n = -1
+    reduced = 0
+    for t in range(-e, f + 1):
+        u = (pivot + t) % k
+        if not avail[u]:
+            continue
+        reduced += 1
+        # Interval decode per group (bfa_fast's three cases).
+        wrap = k + t - f
+        for gi in range(ng):
+            s = entry_s[gi]
+            if s == 0:
+                lows[gi] = 0
+                highs[gi] = f - t - 1
+            elif s >= 1 and s <= t + e:
+                lows[gi] = 0
+                highs[gi] = s + f - t - 1
+            elif s >= wrap:
+                length = t - (s - k) + e
+                lows[gi] = (k - 1) - length
+                highs[gi] = k - 2
+            else:
+                lo = (entry_w[gi] - e - u - 1) % k
+                lows[gi] = lo
+                highs[gi] = lo + d - 1
+            counts[gi] = base[gi]
+        cur_n = 1
+        cur_wl[0] = pivot
+        cur_ch[0] = u
+        gi = 0
+        for p in range(k - 1):
+            channel = u + 1 + p
+            if channel >= k:
+                channel -= k
+            if not avail[channel]:
+                continue
+            while gi < ng and (
+                counts[gi] == 0 or highs[gi] < lows[gi] or highs[gi] < p
+            ):
+                gi += 1
+            if gi < ng and lows[gi] <= p:
+                counts[gi] -= 1
+                cur_wl[cur_n] = entry_w[gi]
+                cur_ch[cur_n] = channel
+                cur_n += 1
+        if cur_n > best_n:  # first-best tie-break over the d breaks
+            best_n = cur_n
+            for i in range(cur_n):
+                wl[i] = cur_wl[i]
+                ch[i] = cur_ch[i]
+            if best_n >= perfect:
+                break
+    return best_n, reduced, skipped
+
+
+@_maybe_jit
+def bfa_rows_kernel(req, avail, e, f):
+    """Fused Break-and-First-Available over all rows (circular windows)."""
+    m_rows, k = req.shape
+    out = np.full((m_rows, k), -1, np.int64)
+    rem = np.empty(k, np.int64)
+    wl = np.empty(k, np.int64)
+    ch = np.empty(k, np.int64)
+    for m in range(m_rows):
+        for w in range(k):
+            rem[w] = req[m, w]
+        n, _reduced, _skipped = bfa_row_core(rem, avail[m], e, f, wl, ch)
+        for i in range(n):
+            out[m, ch[i]] = wl[i]
+    return out
+
+
+@_maybe_jit
+def bfa_row_kernel(req_row, avail_row, e, f):
+    """Single-row BFA: ``(wl, ch, n_grants, reduced_graphs, pivots_skipped)``."""
+    k = req_row.shape[0]
+    rem = req_row.copy()
+    wl = np.empty(k, np.int64)
+    ch = np.empty(k, np.int64)
+    n, reduced, skipped = bfa_row_core(rem, avail_row, e, f, wl, ch)
+    return wl, ch, n, reduced, skipped

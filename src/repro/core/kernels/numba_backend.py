@@ -1,0 +1,65 @@
+"""Numba kernel backend: the ``@njit(cache=True)``-compiled FA/BFA sweeps.
+
+A thin shim over :mod:`repro.core.kernels._impl`, where the kernels
+actually live (written once in nopython style, jitted at import when numba
+is present, interpreted otherwise so they stay testable everywhere).
+Importing this module on an interpreter without numba raises
+``ImportError`` — the registry treats that as "backend unavailable" and
+falls back to :mod:`repro.core.kernels.numpy_backend`.
+
+Unlike the fallback backends this one also provides *row* kernels
+(``fa_row`` / ``bfa_row``): with compilation, one fused pass beats the
+scalar Python loops of ``first_available_fast`` / ``bfa_fast`` even for a
+single row, so the scheduler path (``schedule_output_fiber`` → per-output
+``schedule()``) rides the compiled code too.
+
+Compilation cost: the first call of each kernel signature JIT-compiles
+(~seconds); ``cache=True`` persists the machine code in ``__pycache__`` so
+subsequent processes skip it.  The benchmark harness warms the kernels
+before timing (see docs/PERFORMANCE.md, "Compiled kernels").
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+
+from repro.core.kernels import _impl
+
+if not _impl.NUMBA_AVAILABLE:  # pragma: no cover - defensive double-check
+    raise ImportError("numba backend requested but numba failed to import")
+
+NAME = "numba"
+VERSION = numba.__version__
+
+
+def fa_rows(req: np.ndarray, avail: np.ndarray, e: int, f: int) -> np.ndarray:
+    return _impl.fa_rows_kernel(req, avail, int(e), int(f))
+
+
+def bfa_rows(req: np.ndarray, avail: np.ndarray, e: int, f: int) -> np.ndarray:
+    return _impl.bfa_rows_kernel(req, avail, int(e), int(f))
+
+
+def fa_row(req_row: np.ndarray, avail_row: np.ndarray, e: int, f: int) -> np.ndarray:
+    """One row of First Available: the ``(k,)`` assign row."""
+    return _impl.fa_rows_kernel(
+        req_row.reshape(1, -1), avail_row.reshape(1, -1), int(e), int(f)
+    )[0]
+
+
+def bfa_row(
+    req_row: np.ndarray, avail_row: np.ndarray, e: int, f: int
+) -> tuple[np.ndarray, np.ndarray, int, int, int]:
+    """One row of BFA: ``(wl, ch, n, reduced_graphs, pivots_skipped)`` with
+    pairs in bfa_fast's emission order."""
+    return _impl.bfa_row_kernel(req_row, avail_row, int(e), int(f))
+
+
+def warmup(k: int = 4) -> None:
+    """Force JIT compilation of every kernel signature (bench/CI warm-up)."""
+    req = np.ones((2, k), dtype=np.int64)
+    avail = np.ones((2, k), dtype=np.bool_)
+    fa_rows(req, avail, 1, 1)
+    bfa_rows(req, avail, 1, 1)
+    bfa_row(req[0], avail[0], 1, 1)

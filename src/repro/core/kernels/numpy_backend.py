@@ -1,0 +1,199 @@
+"""Vectorized NumPy kernel backend (the numba-less default).
+
+Carries the lock-step vectorized sweeps that used to live inside
+``repro/core/batch.py`` and ``repro/core/batch_bfa.py``: all ``M`` rows
+advanced channel-by-channel with boolean-mask pointer updates, ``O(k)``
+(FA) / ``O(dk)`` (BFA) NumPy passes of width ``M``.
+
+Below the registry's ``SCALAR_ROWS`` cutover (read at call time, so tests
+can override it) both kernels delegate to the list-based
+:mod:`repro.core.kernels.python_backend` — NumPy's per-call dispatch costs
+more than the whole greedy pass on small matrices.  Above it, the
+vectorized sweeps here win and keep winning as ``M`` grows.
+
+See :mod:`repro.core.batch_bfa` for the Lemma-2 closed form that makes the
+BFA candidate sweep vectorizable at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.core.kernels as _registry
+from repro.core.kernels import python_backend
+
+NAME = "numpy"
+VERSION = np.__version__
+
+
+def fa_rows(req: np.ndarray, avail: np.ndarray, e: int, f: int) -> np.ndarray:
+    if req.shape[0] <= _registry.SCALAR_ROWS:
+        return python_backend.fa_rows(req, avail, e, f)
+    return _fa_rows_vec(req, avail, e, f)
+
+
+def bfa_rows(req: np.ndarray, avail: np.ndarray, e: int, f: int) -> np.ndarray:
+    if req.shape[0] <= _registry.SCALAR_ROWS:
+        return python_backend.bfa_rows(req, avail, e, f)
+    return _bfa_rows_vec(req, avail, e, f)
+
+
+def _fa_rows_vec(
+    req: np.ndarray, avail: np.ndarray, e: int, f: int
+) -> np.ndarray:
+    m_rows, k = req.shape
+    remaining = req.copy()
+    assign = np.full((m_rows, k), -1, dtype=np.int64)
+    # Per-row wavelength pointer: smallest wavelength that may still serve a
+    # future channel.  Identical role to the scalar pointer in
+    # first_available_fast; each row's pointer only ever advances, so total
+    # advancement work is O(M k) in vectorized chunks.
+    p = np.zeros(m_rows, dtype=np.int64)
+    rows = np.arange(m_rows)
+    for b in range(k):
+        lo = max(0, b - f)
+        hi = min(k - 1, b + e)
+        np.maximum(p, lo, out=p)
+        # Advance pointers over exhausted wavelengths inside the window.
+        while True:
+            inside = p <= hi
+            need = inside & (remaining[rows, np.minimum(p, k - 1)] == 0)
+            if not need.any():
+                break
+            p[need] += 1
+        grant = avail[:, b] & (p <= hi) & (remaining[rows, np.minimum(p, k - 1)] > 0)
+        if grant.any():
+            g_rows = rows[grant]
+            g_wl = p[grant]
+            remaining[g_rows, g_wl] -= 1
+            assign[g_rows, b] = g_wl
+    return assign
+
+
+def _shift_gather(matrix: np.ndarray, start: np.ndarray) -> np.ndarray:
+    """Row-wise circular gather: ``out[m, j] = matrix[m, (start[m]+j) % k]``."""
+    m_rows, k = matrix.shape
+    idx = (start[:, None] + np.arange(k)[None, :]) % k
+    return np.take_along_axis(matrix, idx, axis=1)
+
+
+def _candidate_sweep(
+    counts_shifted: np.ndarray,
+    avail_pos: np.ndarray,
+    active: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    record: np.ndarray | None,
+) -> np.ndarray:
+    """One break offset's First Available sweep over all rows at once.
+
+    ``counts_shifted`` is logically consumed (its post-state is
+    unspecified); returns per-row grant counts.  When ``record`` is given
+    (``(M, k-1)`` int array), the granted offset ``s`` is stored per
+    position for assignment reconstruction.
+    """
+    m_rows, k = counts_shifted.shape
+    rows = np.arange(m_rows)
+    ptr = np.where(active, 0, k)  # inactive rows: pointer parked at the end
+    granted = np.zeros(m_rows, dtype=np.int64)
+    for p in range(k - 1):
+        # Advance each row's pointer past exhausted or expired groups.
+        while True:
+            inside = ptr < k
+            safe = np.minimum(ptr, k - 1)
+            need = inside & (
+                (counts_shifted[rows, safe] == 0) | (hi[safe] < p)
+            )
+            if not need.any():
+                break
+            ptr[need] += 1
+        safe = np.minimum(ptr, k - 1)
+        grant = (
+            active
+            & avail_pos[:, p]
+            & (ptr < k)
+            & (lo[safe] <= p)
+        )
+        if grant.any():
+            g_rows = rows[grant]
+            g_s = ptr[grant]
+            counts_shifted[g_rows, g_s] -= 1
+            granted[g_rows] += 1
+            if record is not None:
+                record[g_rows, p] = g_s
+    return granted
+
+
+def _bfa_rows_vec(
+    req: np.ndarray, avail: np.ndarray, e: int, f: int
+) -> np.ndarray:
+    m_rows, k = req.shape
+    d = e + f + 1
+    remaining = req.copy()
+    assign = np.full((m_rows, k), -1, dtype=np.int64)
+    rows = np.arange(m_rows)
+
+    # -- pivot selection (vectorized mirror of bfa_fast) --------------------
+    # window_any[m, w]: some channel of λw's circular window is free.
+    window_any = np.zeros((m_rows, k), dtype=bool)
+    for t in range(-e, f + 1):
+        window_any |= np.roll(avail, -t, axis=1)
+    eligible = (remaining > 0) & window_any
+    has_pivot = eligible.any(axis=1)
+    pivot = np.where(has_pivot, eligible.argmax(axis=1), 0)
+    # Wavelengths before the pivot carrying requests are unmatchable
+    # (their whole window is occupied): zero them, as the scalar code does.
+    before = np.arange(k)[None, :] < pivot[:, None]
+    remaining[before & has_pivot[:, None]] = 0
+    remaining[rows[has_pivot], pivot[has_pivot]] -= 1
+
+    # Shared shifted views (independent of t).
+    counts_shifted0 = _shift_gather(remaining, pivot)
+
+    # -- try the d breaks, recording each candidate's grants ----------------
+    s_axis = np.arange(k)
+    best_size = np.full(m_rows, -1, dtype=np.int64)
+    best_t = np.full(m_rows, -e - 1, dtype=np.int64)
+    records: dict[int, np.ndarray | None] = {}
+    for t in range(-e, f + 1):
+        u = (pivot + t) % k
+        active = has_pivot & avail[rows, u]
+        if not active.any():
+            continue
+        lo = np.maximum(0, s_axis - t - e - 1)
+        hi = np.minimum(s_axis - t + f - 1, k - 2)
+        hi[0] = f - t - 1  # pivot's same-wavelength siblings
+        lo[0] = 0
+        avail_pos = _shift_gather(avail, (u + 1) % k)[:, : k - 1]
+        counts = counts_shifted0.copy()
+        record = np.full((m_rows, k - 1), -1, dtype=np.int64) if k > 1 else None
+        granted = _candidate_sweep(counts, avail_pos, active, lo, hi, record)
+        records[t] = record
+        size = np.where(active, granted + 1, -1)  # +1: the breaking edge
+        improved = active & (size > best_size)
+        best_size[improved] = size[improved]
+        best_t[improved] = t
+
+    # -- commit each row's winning break -------------------------------------
+    for t, record in records.items():
+        winners = has_pivot & (best_t == t)
+        if not winners.any():
+            continue
+        u = (pivot + t) % k
+        w_rows = rows[winners]
+        assign[w_rows, u[winners]] = pivot[winners]  # the breaking edge
+        if record is not None:
+            got = record[winners]  # (W, k-1) of granted offsets s or -1
+            for j, m in enumerate(w_rows):
+                ps = np.nonzero(got[j] >= 0)[0]
+                if ps.size:
+                    channels = (u[m] + 1 + ps) % k
+                    wavelengths = (pivot[m] + got[j, ps]) % k
+                    assign[m, channels] = wavelengths
+    return assign
+
+
+#: The scheduler row path keeps its existing list-based implementations
+#: (a one-row NumPy sweep would be pure dispatch overhead).
+fa_row = None
+bfa_row = None

@@ -1,0 +1,165 @@
+"""Pure-Python kernel backend: plain list sweeps, zero NumPy dispatch.
+
+The fastest path for *small* batches on a stock interpreter: below the
+registry's ``SCALAR_ROWS`` cutover, NumPy's per-call dispatch costs more
+than the whole greedy pass, and plain Python lists beat array indexing by
+a further constant factor.  :mod:`repro.core.kernels.numpy_backend`
+delegates its small-matrix regime here; selecting
+``REPRO_KERNEL_BACKEND=python`` outright runs *everything* here (the
+degenerate fallback, and the fixed reference point the harness's
+backend-speedup ratio is measured against).
+
+Both kernels are line-for-line ports of the scalar algorithms
+(:func:`repro.core.first_available.first_available_fast`,
+:func:`repro.core.break_first_available.bfa_fast`) emitting the batch
+``assign``-matrix encoding; the hypothesis equivalence suites pin them to
+those oracles and to the other backends bit-for-bit.
+
+No imports from the rest of ``repro.core`` — backend modules must stay
+self-contained so the registry can load them while the package is still
+initializing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NAME = "python"
+VERSION = None
+
+
+def fa_rows(req: np.ndarray, avail: np.ndarray, e: int, f: int) -> np.ndarray:
+    """Per-row First Available (clipped windows); the batch FA greedy."""
+    m_rows, k = req.shape
+    rem = req.tolist()
+    avail_l = avail.tolist()
+    out = [[-1] * k for _ in range(m_rows)]
+    for m in range(m_rows):
+        c = rem[m]
+        a = avail_l[m]
+        row = out[m]
+        p = 0
+        for b in range(k):
+            lo = b - f
+            if p < lo:
+                p = lo
+            hi = b + e
+            if hi > k - 1:
+                hi = k - 1
+            while p <= hi and c[p] == 0:
+                p += 1
+            if a[b] and p <= hi:
+                c[p] -= 1
+                row[b] = p
+    return np.asarray(out, dtype=np.int64)
+
+
+def _bfa_row(c: list, a: list, e: int, f: int, row: list) -> None:
+    """One row of Break-and-First-Available (bfa_fast's exact greedy).
+
+    ``c`` (request counts) is consumed; grants land in ``row`` as
+    ``row[channel] = wavelength``.
+    """
+    k = len(c)
+    # Pivot: first wavelength carrying a request with any free channel in
+    # its circular window; unmatchable candidates are zeroed and skipped.
+    pivot = -1
+    for w in range(k):
+        if c[w] == 0:
+            continue
+        found = False
+        for t in range(-e, f + 1):
+            if a[(w + t) % k]:
+                found = True
+                break
+        if found:
+            pivot = w
+            break
+        c[w] = 0
+    if pivot < 0:
+        return
+    c[pivot] -= 1
+
+    entry_s: list[int] = []
+    entry_w: list[int] = []
+    base: list[int] = []
+    for s in range(k):
+        w = (pivot + s) % k
+        if c[w] > 0:
+            entry_s.append(s)
+            entry_w.append(w)
+            base.append(c[w])
+    ng = len(entry_s)
+    n_avail = sum(1 for b in range(k) if a[b])
+    perfect = min(sum(base) + 1, n_avail)
+    d = e + f + 1
+
+    best_n = -1
+    best_wl: list[int] = []
+    best_ch: list[int] = []
+    for t in range(-e, f + 1):
+        u = (pivot + t) % k
+        if not a[u]:
+            continue
+        # Interval decode per group (bfa_fast's three cases).
+        lows = [0] * ng
+        highs = [0] * ng
+        wrap = k + t - f
+        for gi in range(ng):
+            s = entry_s[gi]
+            if s == 0:
+                highs[gi] = f - t - 1
+            elif 1 <= s <= t + e:
+                highs[gi] = s + f - t - 1
+            elif s >= wrap:
+                length = t - (s - k) + e
+                lows[gi] = (k - 1) - length
+                highs[gi] = k - 2
+            else:
+                lo = (entry_w[gi] - e - u - 1) % k
+                lows[gi] = lo
+                highs[gi] = lo + d - 1
+        counts = base.copy()
+        cur_wl = [pivot]
+        cur_ch = [u]
+        gi = 0
+        for p in range(k - 1):
+            channel = u + 1 + p
+            if channel >= k:
+                channel -= k
+            if not a[channel]:
+                continue
+            while gi < ng and (
+                counts[gi] == 0 or highs[gi] < lows[gi] or highs[gi] < p
+            ):
+                gi += 1
+            if gi < ng and lows[gi] <= p:
+                counts[gi] -= 1
+                cur_wl.append(entry_w[gi])
+                cur_ch.append(channel)
+        n = len(cur_wl)
+        if n > best_n:  # first-best tie-break over the d breaks
+            best_n = n
+            best_wl = cur_wl
+            best_ch = cur_ch
+            if best_n >= perfect:
+                break
+    for i in range(best_n):
+        row[best_ch[i]] = best_wl[i]
+
+
+def bfa_rows(req: np.ndarray, avail: np.ndarray, e: int, f: int) -> np.ndarray:
+    """Per-row Break-and-First-Available (circular); the batch BFA greedy."""
+    m_rows, k = req.shape
+    rem = req.tolist()
+    avail_l = avail.tolist()
+    out = [[-1] * k for _ in range(m_rows)]
+    for m in range(m_rows):
+        _bfa_row(rem[m], avail_l[m], e, f, out[m])
+    return np.asarray(out, dtype=np.int64)
+
+
+#: The scheduler row path keeps its existing list-based implementations
+#: (first_available_fast / bfa_fast *are* this backend's row kernels).
+fa_row = None
+bfa_row = None

@@ -140,6 +140,13 @@ def replay_journal(
     function is pure redo: ``GRANT`` books a channel, ``ADVANCE`` ages
     every channel by one slot and moves the tick forward, ``ACCEPT`` /
     ``DEQUEUE`` rebuild the queue.
+
+    A batched ``ADVANCE`` (``values = (count,)``, written by
+    :meth:`~repro.service.journal.ShardJournal.flush_deferred`) ages every
+    channel by ``count`` slots.  One that *spans* the snapshot tick —
+    compaction keeps the whole record when any covered tick is at or past
+    the cutoff — is clipped: only the ticks from the snapshot onward are
+    applied, since the earlier ones are already inside the snapshot.
     """
     if snapshot is not None:
         busy = list(snapshot.busy)
@@ -153,6 +160,18 @@ def replay_journal(
         tick = start = 0
     replayed = 0
     for rec in records:
+        if rec.type is RecordType.ADVANCE:
+            # () advances one tick; (count,) advances count consecutive
+            # ticks from rec.tick.  Clip to the suffix past the snapshot.
+            count = rec.values[0] if rec.values else 1
+            end = rec.tick + count
+            if end <= start:
+                continue
+            replayed += 1
+            eff = end - max(rec.tick, start)
+            busy = [b - eff if b > eff else 0 for b in busy]
+            tick = end
+            continue
         if rec.tick < start:
             continue
         replayed += 1
@@ -162,9 +181,6 @@ def replay_journal(
             vals = rec.values
             for i in range(0, len(vals), 4):
                 busy[vals[i + 2]] = vals[i + 3]
-        elif rec.type is RecordType.ADVANCE:
-            busy = [b - 1 if b > 0 else 0 for b in busy]
-            tick = rec.tick + 1
         elif rec.type is RecordType.ACCEPT:
             queue.append(_widen(rec.values))
         elif rec.type is RecordType.DEQUEUE:

@@ -34,7 +34,8 @@ ACCEPT      (input, wavelength, output, duration,           queue.append
             priority, tenant)
 DEQUEUE     (count,)                                        pop ``count``
 GRANT       (input, wavelength, channel, duration) × n      busy[ch] = dur
-ADVANCE     ()                                              busy decays 1
+ADVANCE     () or (count,)                                  busy decays 1
+                                                            (or ``count``)
 FAULT       (kind, a, b)                                    none (audit)
 SNAPSHOT    (snapshot tick,)                                none (marker)
 EVICT       (index,)                                        del queue[idx]
@@ -51,6 +52,15 @@ per-tenant shed policy (:meth:`repro.service.queue.BoundedQueue.plan_admit`).
 server journals a whole tick's grants for a shard as one record
 (:meth:`ShardJournal.grant_batch`), which keeps the write-ahead step off
 the tick-latency budget (``bench_journal``'s <10% gate).
+
+``ADVANCE`` likewise batches: a record with no values advances one tick
+(the historical form), while ``values = (count,)`` advances ``count``
+consecutive ticks starting at ``record.tick``.  The tick-window server
+defers idle-tick advances (:meth:`ShardJournal.defer_advance`) and
+coalesces a run into one record; any other append — or an explicit
+:meth:`ShardJournal.flush_deferred` — flushes the run first, so batches
+only ever span ticks where *nothing else happened* on the shard and the
+write-ahead ordering is preserved record for record.
 
 Backends are duck-typed byte sinks (:class:`MemoryJournal`,
 :class:`FileJournal`); :class:`repro.faults.TornWriter` wraps one to sever
@@ -182,6 +192,21 @@ def decode_records(buf: bytes) -> tuple[list[JournalRecord], int, bool]:
             return records, off, True
         off += _HEADER.size + len(body)
     return records, consumed, torn
+
+
+def _entry_key(record: JournalRecord) -> int:
+    """The compaction key of a record: the *last* tick its effect covers.
+
+    For a batched ``ADVANCE`` (``values = (count,)``) that is the end tick
+    ``tick + count - 1``; for everything else it is ``record.tick``.  Keying
+    the in-memory mirror on the end tick means :meth:`ShardJournal.compact`
+    can never drop a batch whose run spans the snapshot cutoff — replay
+    handles the partially-covered record instead
+    (:func:`repro.service.durability.replay_journal`).
+    """
+    if record.type is RecordType.ADVANCE and record.values:
+        return record.tick + record.values[0] - 1
+    return record.tick
 
 
 def request_tuple(request: "SlotRequest") -> tuple[int, int, int, int, int, int]:
@@ -339,9 +364,12 @@ class ShardJournal:
         existing = backend.load()
         if existing:
             adopted, _, _ = decode_records(existing)
-            self._entries = [(r.tick, encode_record(r)) for r in adopted]
+            self._entries = [(_entry_key(r), encode_record(r)) for r in adopted]
         self._pending_records = 0
         self._pending_bytes = 0
+        # Deferred-ADVANCE run: [start, start + count) not yet journaled.
+        self._deferred_start = 0
+        self._deferred_count = 0
         if telemetry is not None:
             self._c_records = telemetry.counter("durability.journal.records")
             self._c_bytes = telemetry.counter("durability.journal.bytes")
@@ -370,11 +398,15 @@ class ShardJournal:
 
     def append(self, record: JournalRecord) -> None:
         """Encode, append, and flush ``record`` (the WAL step)."""
-        self._append_bytes(record.tick, encode_record(record))
+        if self._deferred_count:
+            self.flush_deferred()
+        self._append_bytes(_entry_key(record), encode_record(record))
 
     # Convenience appenders, one per record type.
 
     def accept(self, tick: int, request: "SlotRequest") -> None:
+        if self._deferred_count:
+            self.flush_deferred()
         body = _body_struct(6).pack(
             _T_ACCEPT,
             tick,
@@ -391,6 +423,8 @@ class ShardJournal:
         )
 
     def dequeue(self, tick: int, count: int) -> None:
+        if self._deferred_count:
+            self.flush_deferred()
         body = _body_struct(1).pack(_T_DEQUEUE, tick, 1, count)
         self._append_bytes(
             tick, _HEADER.pack(len(body), zlib.crc32(body)) + body
@@ -399,6 +433,8 @@ class ShardJournal:
     def evict(self, tick: int, index: int) -> None:
         """Journal an admission-control shed of ``queue[index]`` (the
         write-ahead step of :data:`RecordType.EVICT`)."""
+        if self._deferred_count:
+            self.flush_deferred()
         body = _body_struct(1).pack(_T_EVICT, tick, 1, index)
         self._append_bytes(
             tick, _HEADER.pack(len(body), zlib.crc32(body)) + body
@@ -418,6 +454,8 @@ class ShardJournal:
         """Journal a whole tick's grants for this shard as one ``GRANT``
         record of back-to-back ``(input, wavelength, channel, duration)``
         4-tuples."""
+        if self._deferred_count:
+            self.flush_deferred()
         values: list[int] = []
         for g in grants:
             values.extend(g)
@@ -428,9 +466,60 @@ class ShardJournal:
         )
 
     def advance(self, tick: int) -> None:
+        if self._deferred_count:
+            self.flush_deferred()
         body = _body_struct(0).pack(_T_ADVANCE, tick, 0)
         self._append_bytes(
             tick, _HEADER.pack(len(body), zlib.crc32(body)) + body
+        )
+        self._flush_counters()
+
+    def defer_advance(self, tick: int) -> None:
+        """Buffer tick ``tick``'s ADVANCE for coalescing.
+
+        Consecutive deferred ticks accumulate into one run; the run is
+        journaled as a single batched ``ADVANCE`` record by
+        :meth:`flush_deferred` — which every *other* appender calls first,
+        so a run only ever spans ticks where nothing else happened on this
+        shard and the journal's record order still equals the event order.
+        A non-consecutive tick flushes the old run and starts a new one.
+
+        Callers (the tick-window server loop) must ensure a deferred tick's
+        effect is applied exactly like :meth:`advance`'s; the write-ahead
+        guarantee weakens only for *idle* ticks: a crash between deferral
+        and flush loses at most the pure clock advances of the open window,
+        which recovery re-derives from the resume tick.
+        """
+        if (
+            self._deferred_count
+            and tick == self._deferred_start + self._deferred_count
+        ):
+            self._deferred_count += 1
+            return
+        if self._deferred_count:
+            self.flush_deferred()
+        self._deferred_start = tick
+        self._deferred_count = 1
+
+    def flush_deferred(self) -> None:
+        """Journal the pending deferred-ADVANCE run (no-op when empty).
+
+        A run of one is written in the historical no-values form; a longer
+        run becomes one ``ADVANCE`` record with ``values = (count,)`` at
+        the run's start tick, mirrored under its *end* tick
+        (:func:`_entry_key`) so compaction keeps spanning batches.
+        """
+        count = self._deferred_count
+        if not count:
+            return
+        self._deferred_count = 0
+        start = self._deferred_start
+        if count == 1:
+            body = _body_struct(0).pack(_T_ADVANCE, start, 0)
+        else:
+            body = _body_struct(1).pack(_T_ADVANCE, start, 1, count)
+        self._append_bytes(
+            start + count - 1, _HEADER.pack(len(body), zlib.crc32(body)) + body
         )
         self._flush_counters()
 
@@ -444,6 +533,8 @@ class ShardJournal:
 
     def records(self) -> tuple[JournalRecord, ...]:
         """The in-memory mirror, decoded (tests and introspection)."""
+        if self._deferred_count:
+            self.flush_deferred()
         decoded, _, _ = decode_records(
             b"".join(data for _tick, data in self._entries)
         )
@@ -455,13 +546,21 @@ class ShardJournal:
         This — not the mirror — is what recovery replays: it proves the
         state was actually journaled, and it observes torn tails.
         """
+        if self._deferred_count:
+            self.flush_deferred()
         self._flush_counters()
         records, _, torn = decode_records(self._backend.load())
         return records, torn
 
     def compact(self, before_tick: int) -> int:
         """Drop records with ``tick < before_tick`` (covered by a retained
-        snapshot); atomically rewrites the backend.  Returns records kept."""
+        snapshot); atomically rewrites the backend.  Returns records kept.
+
+        The mirror is keyed on each record's *last* covered tick
+        (:func:`_entry_key`), so a batched ``ADVANCE`` whose run spans
+        ``before_tick`` is retained and replay clips it."""
+        if self._deferred_count:
+            self.flush_deferred()
         kept = [e for e in self._entries if e[0] >= before_tick]
         if len(kept) != len(self._entries):
             self._backend.rewrite(b"".join(data for _tick, data in kept))
@@ -475,11 +574,15 @@ class ShardJournal:
         strip the write-ahead of an in-flight tick (trailing GRANTs with
         no ADVANCE) after a process kill, so replay and the parent's
         redelivered tick cannot double-apply them."""
-        entries = [(r.tick, encode_record(r)) for r in records]
+        if self._deferred_count:
+            self.flush_deferred()
+        entries = [(_entry_key(r), encode_record(r)) for r in records]
         self._backend.rewrite(b"".join(data for _tick, data in entries))
         self._entries = entries
 
     def close(self) -> None:
+        if self._deferred_count:
+            self.flush_deferred()
         self._flush_counters()
         self._backend.close()
 

@@ -206,9 +206,21 @@ class SchedulingService:
         ``SHED`` overflow policy (ignored otherwise; defaults to
         equal-weight tenants).
     tick_interval:
-        Sleep between ticks in :meth:`start`'s timer loop, seconds.
+        Sleep between tick bursts in :meth:`start`'s timer loop, seconds.
     max_batch_per_tick:
         Cap on requests drained per shard per tick (``None`` = all).
+    tick_window:
+        Ticks :meth:`tick_burst` (and so :meth:`start`'s timer loop) may
+        run back to back per event-loop iteration: the first tick always
+        runs, and the burst continues — up to ``tick_window`` ticks —
+        only while shard queues are non-empty, amortizing per-iteration
+        overhead exactly when the service is behind.  Within a burst,
+        idle shards' ``ADVANCE`` journal records are deferred and
+        coalesced into one batched record
+        (:meth:`~repro.service.journal.ShardJournal.defer_advance`);
+        any non-idle event on a shard flushes its run first, so grant
+        ordering and recovery are unchanged.  Default 1 — every tick is
+        its own iteration, the pre-window behavior.
     mode, max_workers:
         Fan-out execution (see :class:`ExecutionMode`) and thread-pool
         width for the non-inline modes.
@@ -253,6 +265,7 @@ class SchedulingService:
         admission: TenantAdmission | None = None,
         tick_interval: float = 0.001,
         max_batch_per_tick: int | None = None,
+        tick_window: int = 1,
         mode: ExecutionMode = ExecutionMode.INLINE,
         max_workers: int | None = None,
         telemetry: Telemetry | None = None,
@@ -276,6 +289,10 @@ class SchedulingService:
             check_positive_int(max_batch_per_tick, "max_batch_per_tick")
         self.tick_interval = float(tick_interval)
         self.max_batch_per_tick = max_batch_per_tick
+        self.tick_window = check_positive_int(tick_window, "tick_window")
+        # True while tick_burst() has a window open: idle-shard ADVANCEs
+        # are deferred for coalescing instead of journaled per tick.
+        self._window_open = False
         self.mode = mode
         self.max_workers = max_workers
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -792,7 +809,11 @@ class SchedulingService:
                 # The connections busy[] tracks live in the interconnect,
                 # so the physical clock advances for down shards too —
                 # this is what makes recovery pure replay with no aging.
-                self.durability.journal(shard.output_fiber).advance(slot)
+                journal = self.durability.journal(shard.output_fiber)
+                if self._window_open:
+                    journal.defer_advance(slot)
+                else:
+                    journal.advance(slot)
             if not shard.down:
                 shard.advance()
                 if self.durability is None:
@@ -865,6 +886,33 @@ class SchedulingService:
         check_positive_int(n, "n")
         return sum([await self.tick() for _ in range(n)])
 
+    async def tick_burst(self) -> int:
+        """Run one burst of up to ``tick_window`` ticks; returns grants.
+
+        The first tick always runs; the burst continues only while shard
+        queues hold work, so an idle service still ticks exactly once per
+        timer iteration and a backlogged one catches up ``tick_window``
+        slots at a time.  While the window is open, idle shards'
+        ``ADVANCE`` records are deferred; the burst ends by flushing every
+        shard's run, so the journals are always fully written between
+        bursts (a crash *inside* a burst loses at most the open window's
+        pure clock advances — see
+        :meth:`~repro.service.journal.ShardJournal.defer_advance`).
+        """
+        self._window_open = self.tick_window > 1
+        try:
+            granted = await self.tick()
+            ticks = 1
+            while ticks < self.tick_window and self.queue_depth_total > 0:
+                granted += await self.tick()
+                ticks += 1
+        finally:
+            self._window_open = False
+            if self.durability is not None:
+                for shard in self.shards:
+                    self.durability.journal(shard.output_fiber).flush_deferred()
+        return granted
+
     async def drain(self, max_ticks: int = 10_000) -> None:
         """Tick until every shard queue is empty (all futures resolved)."""
         ticks = 0
@@ -877,7 +925,9 @@ class SchedulingService:
             ticks += 1
 
     def start(self) -> None:
-        """Run ticks on a background task every ``tick_interval`` seconds."""
+        """Run tick bursts on a background task every ``tick_interval``
+        seconds (each burst is up to ``tick_window`` ticks; see
+        :meth:`tick_burst`)."""
         if self._timer_task is not None:
             raise SimulationError("service already started")
         if self._closed:
@@ -888,7 +938,7 @@ class SchedulingService:
 
     async def _timer_loop(self) -> None:
         while True:
-            await self.tick()
+            await self.tick_burst()
             await asyncio.sleep(self.tick_interval)
 
     async def stop(self) -> None:

@@ -1,0 +1,335 @@
+"""Tick-window batching: coalesced ADVANCE journaling and burst equivalence.
+
+The contract under test: :meth:`SchedulingService.tick_burst` may run up to
+``tick_window`` ticks per event-loop iteration, deferring idle shards'
+``ADVANCE`` journal records and coalescing each run into one batched record
+(``values = (count,)``) — and none of that may change a single grant,
+rejection, busy residual, or recovery outcome.  Per-tick and windowed runs
+of the same schedule must be bit-identical, batched records must replay
+exactly like the per-tick form (including batches that *span* a snapshot
+cutoff, which compaction must retain), and killing every shard at a burst
+boundary must recover bit-identically, exactly like the per-tick
+kill-at-every-tick gate.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.break_first_available import BreakFirstAvailableScheduler
+from repro.core.distributed import SlotRequest
+from repro.graphs.conversion import CircularConversion
+from repro.service import DurabilityConfig, SchedulingService, ServiceGrant
+from repro.service.durability import replay_journal
+from repro.service.journal import (
+    JournalRecord,
+    MemoryJournal,
+    RecordType,
+    ShardJournal,
+)
+from repro.service.snapshot import ShardSnapshot
+from repro.util.rng import make_rng
+
+N_FIBERS = 3
+K = 6
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def record_types(journal):
+    return [(r.type, r.tick, r.values) for r in journal.records()]
+
+
+class TestDeferAdvance:
+    def test_consecutive_run_coalesces_into_one_record(self):
+        j = ShardJournal(MemoryJournal())
+        for tick in range(3, 8):
+            j.defer_advance(tick)
+        j.flush_deferred()
+        assert record_types(j) == [(RecordType.ADVANCE, 3, (5,))]
+
+    def test_run_of_one_uses_the_historical_form(self):
+        j = ShardJournal(MemoryJournal())
+        j.defer_advance(4)
+        j.flush_deferred()
+        assert record_types(j) == [(RecordType.ADVANCE, 4, ())]
+
+    def test_flush_when_empty_is_a_noop(self):
+        j = ShardJournal(MemoryJournal())
+        j.flush_deferred()
+        assert record_types(j) == []
+
+    def test_non_consecutive_tick_starts_a_new_run(self):
+        j = ShardJournal(MemoryJournal())
+        j.defer_advance(0)
+        j.defer_advance(1)
+        j.defer_advance(5)  # gap: flushes [0, 2), starts a new run
+        j.flush_deferred()
+        assert record_types(j) == [
+            (RecordType.ADVANCE, 0, (2,)),
+            (RecordType.ADVANCE, 5, ()),
+        ]
+
+    def test_any_other_append_flushes_the_run_first(self):
+        """Write-ahead ordering: a batch may only span idle ticks, so any
+        real event forces the pending advances out ahead of it."""
+        j = ShardJournal(MemoryJournal())
+        j.defer_advance(0)
+        j.defer_advance(1)
+        j.dequeue(2, 1)
+        j.defer_advance(2)
+        j.grant(3, 0, 1, 2, 1)
+        j.flush_deferred()
+        types = [(r.type, r.tick) for r in j.records()]
+        assert types == [
+            (RecordType.ADVANCE, 0),  # batched (0, 1) flushed by dequeue
+            (RecordType.DEQUEUE, 2),
+            (RecordType.ADVANCE, 2),  # flushed by grant
+            (RecordType.GRANT, 3),
+        ]
+
+    def test_reload_and_close_flush_the_run(self):
+        backend = MemoryJournal()
+        j = ShardJournal(backend)
+        j.defer_advance(0)
+        j.defer_advance(1)
+        records, torn = j.reload()
+        assert not torn
+        assert [(r.tick, r.values) for r in records] == [(0, (2,))]
+        j.defer_advance(2)
+        j.close()
+        reopened = ShardJournal(MemoryJournal())
+        decoded, _ = ShardJournal(backend).reload()
+        assert [(r.tick, r.values) for r in decoded] == [(0, (2,)), (2, ())]
+        del reopened
+
+    def test_compact_keeps_a_batch_spanning_the_cutoff(self):
+        """The mirror keys batched records on their *end* tick: a snapshot
+        cutoff inside the run must not drop the ticks past it."""
+        j = ShardJournal(MemoryJournal())
+        for tick in range(0, 6):
+            j.defer_advance(tick)
+        j.flush_deferred()  # one record: tick 0, count 6, covers [0, 6)
+        j.compact(before_tick=4)
+        assert record_types(j) == [(RecordType.ADVANCE, 0, (6,))]
+        j.compact(before_tick=6)  # now fully covered: dropped
+        assert record_types(j) == []
+
+    def test_reopen_adopts_batched_records_under_end_tick_keys(self):
+        backend = MemoryJournal()
+        j = ShardJournal(backend)
+        for tick in range(0, 4):
+            j.defer_advance(tick)
+        j.flush_deferred()
+        reopened = ShardJournal(backend)
+        reopened.compact(before_tick=2)  # spans: must keep the batch
+        assert record_types(reopened) == [(RecordType.ADVANCE, 0, (4,))]
+
+
+class TestBatchedReplay:
+    def test_batched_advance_ages_by_count(self):
+        busy, queue, tick, replayed = replay_journal(
+            [
+                JournalRecord(RecordType.GRANT, 0, (0, 1, 2, 5)),
+                JournalRecord(RecordType.ADVANCE, 0, (3,)),
+            ],
+            None,
+            K,
+        )
+        assert busy[2] == 2  # 5 - 3
+        assert tick == 3
+        assert replayed == 2
+
+    def test_batched_advance_floors_at_zero(self):
+        busy, _, tick, _ = replay_journal(
+            [
+                JournalRecord(RecordType.GRANT, 0, (0, 1, 2, 2)),
+                JournalRecord(RecordType.ADVANCE, 0, (4,)),
+            ],
+            None,
+            K,
+        )
+        assert busy == [0] * K
+        assert tick == 4
+
+    def test_batch_spanning_the_snapshot_is_clipped(self):
+        """Only the ticks from the snapshot onward are applied; the
+        earlier ones are already inside the snapshot's busy[]."""
+        snapshot = ShardSnapshot(0, 4, (3, 0, 0, 0, 0, 0), (), None)
+        busy, _, tick, replayed = replay_journal(
+            [JournalRecord(RecordType.ADVANCE, 2, (4,))],  # covers [2, 6)
+            snapshot,
+            K,
+        )
+        assert busy[0] == 1  # 3 - (6 - 4): two effective ticks
+        assert tick == 6
+        assert replayed == 1
+
+    def test_batch_fully_before_the_snapshot_is_skipped(self):
+        snapshot = ShardSnapshot(0, 6, (3, 0, 0, 0, 0, 0), (), None)
+        busy, _, tick, replayed = replay_journal(
+            [JournalRecord(RecordType.ADVANCE, 2, (4,))],  # covers [2, 6)
+            snapshot,
+            K,
+        )
+        assert busy[0] == 3
+        assert tick == 6
+        assert replayed == 0
+
+    def test_batched_equals_per_tick_replay(self):
+        per_tick = [JournalRecord(RecordType.GRANT, 0, (0, 1, 3, 4))] + [
+            JournalRecord(RecordType.ADVANCE, t) for t in range(3)
+        ]
+        batched = [
+            JournalRecord(RecordType.GRANT, 0, (0, 1, 3, 4)),
+            JournalRecord(RecordType.ADVANCE, 0, (3,)),
+        ]
+        a = replay_journal(per_tick, None, K)
+        b = replay_journal(batched, None, K)
+        assert a[0] == b[0] and a[2] == b[2]
+
+
+def build_schedule(seed=17, n_slots=10, load=0.7, outputs=None):
+    """Deterministic request list; ``outputs`` restricts target fibers so
+    some shards stay idle (exercising ADVANCE coalescing)."""
+    rng = make_rng(seed)
+    requests = []
+    for _slot in range(n_slots):
+        for i in range(N_FIBERS):
+            for w in range(K):
+                if rng.random() < load:
+                    out = (
+                        outputs[int(rng.integers(len(outputs)))]
+                        if outputs
+                        else int(rng.integers(N_FIBERS))
+                    )
+                    requests.append(
+                        SlotRequest(
+                            i, w, out, duration=int(rng.integers(1, 4))
+                        )
+                    )
+    return requests
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("durability", DurabilityConfig(snapshot_interval=4))
+    return SchedulingService(
+        N_FIBERS,
+        CircularConversion(K, 1, 1),
+        BreakFirstAvailableScheduler(),
+        max_batch_per_tick=2,
+        **kwargs,
+    )
+
+
+async def drain_with_bursts(service, requests, crash_at_bursts=()):
+    """Submit everything, then drain via tick_burst; optionally kill and
+    recover every shard at the given burst boundaries."""
+    futures = [service.submit_nowait(r) for r in requests]
+    bursts = 0
+    while service.queue_depth_total > 0:
+        if bursts in crash_at_bursts:
+            for o in range(N_FIBERS):
+                service.shards[o].crash()
+            for o in range(N_FIBERS):
+                service.recover_shard(o)
+        await service.tick_burst()
+        bursts += 1
+    outcomes = list(await asyncio.gather(*futures))
+    return outcomes, bursts
+
+
+class TestWindowedServiceEquivalence:
+    def test_windowed_run_is_bit_identical_to_per_tick(self):
+        requests = build_schedule()
+
+        async def go(window):
+            service = make_service(tick_window=window)
+            outcomes, bursts = await drain_with_bursts(service, requests)
+            busy = [s.busy_snapshot() for s in service.shards]
+            ticks = service.slot
+            await service.stop()
+            return outcomes, busy, ticks, bursts
+
+        base_outcomes, base_busy, base_ticks, base_bursts = run(go(1))
+        assert any(isinstance(o, ServiceGrant) for o in base_outcomes)
+        for window in (2, 4, 16):
+            outcomes, busy, ticks, bursts = run(go(window))
+            assert outcomes == base_outcomes, f"window={window}"
+            assert busy == base_busy, f"window={window}"
+            assert ticks == base_ticks, f"window={window}"
+        # The window must actually amortize: fewer event-loop iterations.
+        _, _, _, bursts16 = run(go(16))
+        assert bursts16 < base_bursts
+
+    def test_idle_shards_get_coalesced_advances(self):
+        """All traffic to fiber 0: the other shards' journals should carry
+        batched ADVANCE records, and replay to the same clock."""
+        requests = build_schedule(outputs=[0])
+
+        async def go():
+            service = make_service(tick_window=8)
+            await drain_with_bursts(service, requests)
+            ticks = service.slot
+            journals = [
+                service.durability.journal(o).records()
+                for o in range(N_FIBERS)
+            ]
+            await service.stop()
+            return ticks, journals
+
+        ticks, journals = run(go())
+        idle_advances = [
+            r
+            for r in journals[1]
+            if r.type is RecordType.ADVANCE and r.values
+        ]
+        assert idle_advances, "no coalesced ADVANCE on an idle shard"
+        assert any(r.values[0] > 1 for r in idle_advances)
+        # The idle shard's journal still accounts for every tick.
+        busy, _, tick, _ = replay_journal(journals[1], None, K)
+        assert tick == ticks
+        assert busy == [0] * K
+
+    def test_burst_always_runs_at_least_one_tick(self):
+        async def go():
+            service = make_service(tick_window=8)
+            await service.tick_burst()  # empty queues: exactly one tick
+            slot = service.slot
+            await service.stop()
+            return slot
+
+        assert run(go()) == 1
+
+    def test_tick_window_validation(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            make_service(tick_window=0)
+
+
+class TestKillAtBurstBoundary:
+    def test_recovery_at_every_burst_boundary_is_bit_identical(self):
+        """The windowed analogue of the kill-at-every-tick gate: bursts
+        end by flushing every deferred run, so durable state at a burst
+        boundary is complete and recovery must be exact."""
+        requests = build_schedule(seed=23)
+
+        async def go(crash_at_bursts=()):
+            service = make_service(tick_window=4)
+            outcomes, bursts = await drain_with_bursts(
+                service, requests, crash_at_bursts
+            )
+            busy = [s.busy_snapshot() for s in service.shards]
+            await service.stop()
+            return outcomes, busy, bursts
+
+        base_outcomes, base_busy, n_bursts = run(go())
+        assert n_bursts >= 3, "schedule too shallow to exercise bursts"
+        for crash_burst in range(1, n_bursts):
+            outcomes, busy, _ = run(go(crash_at_bursts=(crash_burst,)))
+            label = f"crash at burst {crash_burst}"
+            assert outcomes == base_outcomes, label
+            assert busy == base_busy, label
