@@ -1,4 +1,4 @@
-"""Deterministic perf-regression harness (``BENCH_PR8.json``).
+"""Deterministic perf-regression harness (``BENCH_PR9.json``).
 
 Runs a small, fixed-seed benchmark suite over the layers this repo's
 performance story rests on and writes one JSON document per run:
@@ -35,11 +35,15 @@ performance story rests on and writes one JSON document per run:
   single-process ticks/s by ``--min-net-speedup`` — but only when the
   machine has more than one CPU (``meta.cpus`` records the truth);
   scheduling across processes cannot pay for its pickling on one core.
+* ``reshard`` group — the live-migration pause vs the baseline tick on
+  the same two-worker service.  Gated on the derived
+  ``reshard_stall_ticks`` ratio (``--max-reshard-stall``, default 20):
+  one move must never displace more than that many slots of work.
 
 Usage::
 
-    python benchmarks/harness.py --quick --out BENCH_PR8.json
-    python benchmarks/harness.py --quick --compare BENCH_PR8.json
+    python benchmarks/harness.py --quick --out BENCH_PR9.json
+    python benchmarks/harness.py --quick --compare BENCH_PR9.json
     python benchmarks/harness.py --quick --profile kernels
 
 The JSON layout::
@@ -89,12 +93,14 @@ SIM = "sim"
 SERVICE = "service"
 QOS = "qos"
 NET = "net"
+RESHARD = "reshard"
 REGRESSION_THRESHOLD = 0.30
 MIN_MULTISLOT_SPEEDUP = 5.0
 MAX_JOURNAL_OVERHEAD = 0.10
 MAX_QOS_OVERHEAD = 0.10
 MIN_NET_SPEEDUP = 1.0
 MIN_COMPILED_SPEEDUP = 10.0
+MAX_RESHARD_STALL_TICKS = 20.0
 
 
 def _time_calls(fn, calls: int) -> dict[str, float]:
@@ -597,6 +603,39 @@ def bench_net(quick: bool) -> dict[str, dict]:
     return out
 
 
+def bench_reshard(quick: bool) -> dict[str, dict]:
+    """Live-migration pause vs. the baseline tick on the same service
+    (:mod:`benchmarks.bench_reshard`).  The gated figure is the derived
+    ``reshard_stall_ticks`` — migration-pause p50 over tick-latency p50,
+    i.e. how many slots of scheduling one live move displaces.  Both
+    sides of the ratio run in the same process against the same worker
+    pool, so machine drift cancels the way it does in the paired
+    service benchmarks."""
+    from bench_reshard import run_reshard_bench
+
+    ticks = 60 if quick else 200
+    r = run_reshard_bench(ticks, migrate_every=10)
+    if not r.conserved:
+        raise RuntimeError("reshard bench: a submission went unresolved")
+    return {
+        "reshard_tick_baseline": {
+            "group": RESHARD,
+            "calls": r.ticks,
+            "ops_per_s": 1.0 / r.tick_p50_s,
+            "p50_s": r.tick_p50_s,
+            "p99_s": r.tick_p99_s,
+        },
+        "reshard_migration_pause": {
+            "group": RESHARD,
+            "calls": r.migrations,
+            "ops_per_s": 1.0 / r.pause_p50_s,
+            "p50_s": r.pause_p50_s,
+            "p99_s": r.pause_p99_s,
+            "payload_p50_bytes": r.payload_p50_bytes,
+        },
+    }
+
+
 #: ``--profile`` targets: one cProfile run per benchmark suite function.
 PROFILE_TARGETS = {
     "kernels": bench_kernels,
@@ -607,6 +646,7 @@ PROFILE_TARGETS = {
     "qos": bench_qos,
     "window": bench_window,
     "net": bench_net,
+    "reshard": bench_reshard,
 }
 
 
@@ -620,6 +660,7 @@ def run_suite(quick: bool) -> dict:
     benchmarks.update(bench_qos(quick))
     benchmarks.update(bench_window(quick))
     benchmarks.update(bench_net(quick))
+    benchmarks.update(bench_reshard(quick))
     # Steady-state ratio: p50 excludes the fast engine's single cold-cache
     # call (its p99), which would otherwise drag a mean-based comparison.
     speedup = (
@@ -676,6 +717,10 @@ def run_suite(quick: bool) -> dict:
             "window_amortization": (
                 benchmarks["service_burst_w8"]["ops_per_s"]
                 / benchmarks["service_burst_w1"]["ops_per_s"]
+            ),
+            "reshard_stall_ticks": (
+                benchmarks["reshard_migration_pause"]["p50_s"]
+                / benchmarks["reshard_tick_baseline"]["p50_s"]
             ),
         },
     }
@@ -752,6 +797,11 @@ def main(argv: list[str] | None = None) -> int:
                              "kernel backend over the pure-Python reference; "
                              "only enforced when the numba backend is active "
                              "(default 10.0)")
+    parser.add_argument("--max-reshard-stall", type=float,
+                        default=MAX_RESHARD_STALL_TICKS,
+                        help="allowed live-migration pause, measured in "
+                             "baseline ticks displaced per move "
+                             "(default 20)")
     parser.add_argument("--profile", metavar="SUITE", default=None,
                         choices=sorted(PROFILE_TARGETS),
                         help="profile one benchmark suite under cProfile, "
@@ -802,6 +852,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     window_gain = result["derived"]["window_amortization"]
     print(f"tick-window amortization (W=8 vs W=1 ticks/s): {window_gain:.2f}x")
+    stall = result["derived"]["reshard_stall_ticks"]
+    print(f"live-migration pause: {stall:.1f} baseline ticks per move")
 
     if args.out:
         args.out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
@@ -821,6 +873,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: QoS overhead {qos_overhead:.1%} > "
             f"{args.max_qos_overhead:.0%}"
+        )
+        status = 1
+    if stall > args.max_reshard_stall:
+        print(
+            f"FAIL: live-migration stall {stall:.1f} ticks/move > "
+            f"{args.max_reshard_stall}"
         )
         status = 1
     if cpus is not None and cpus > 1:

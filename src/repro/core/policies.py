@@ -92,6 +92,35 @@ class GrantPolicy(ABC):
                 f"{state!r}"
             )
 
+    def export_output_state(self, output_fiber: int) -> object | None:
+        """The slice of :meth:`export_state` keyed by ``output_fiber``.
+
+        Live shard migration ships exactly one output fiber's worth of
+        policy state in the handoff payload
+        (:mod:`repro.service.resharding`), so partitioned policies must
+        be able to cut that slice out and graft it back in.  ``None``
+        for stateless policies and for policies whose state is *not*
+        partitioned by output (their canonical state lives with whoever
+        drives the tick, never with a shard owner).
+        """
+        return None
+
+    def absorb_output_state(
+        self, output_fiber: int, state: object | None
+    ) -> None:
+        """Graft a slice exported by another instance for ``output_fiber``
+        (inverse of :meth:`export_output_state`; accepts its JSON
+        round-trip).  Replaces any state this instance already holds for
+        that output fiber."""
+        if state is not None:
+            raise InvalidParameterError(
+                f"{type(self).__name__} carries no per-output state; "
+                f"cannot absorb {state!r}"
+            )
+
+    def discard_output_state(self, output_fiber: int) -> None:
+        """Forget ``output_fiber``'s slice (the shard migrated away)."""
+
     def _check(self, requesters: Sequence[Hashable], n: int) -> int:
         if n < 0:
             raise InvalidParameterError(f"grant count must be >= 0, got {n}")
@@ -189,6 +218,36 @@ class RoundRobinPolicy(GrantPolicy):
         self._pointers = {
             (int(o), int(w)): last for o, w, last in state["pointers"]
         }
+
+    def export_output_state(self, output_fiber: int) -> object | None:
+        pointers = [
+            [o, w, last]
+            for (o, w), last in sorted(self._pointers.items())
+            if o == output_fiber
+        ]
+        return {"pointers": pointers} if pointers else None
+
+    def absorb_output_state(
+        self, output_fiber: int, state: object | None
+    ) -> None:
+        self.discard_output_state(output_fiber)
+        if state is None:
+            return
+        if not isinstance(state, dict) or "pointers" not in state:
+            raise InvalidParameterError(
+                f"RoundRobinPolicy needs a pointers dict, got {state!r}"
+            )
+        for o, w, last in state["pointers"]:
+            if int(o) != output_fiber:
+                raise InvalidParameterError(
+                    f"slice for output {output_fiber} contains a pointer "
+                    f"for output {o}"
+                )
+            self._pointers[(int(o), int(w))] = last
+
+    def discard_output_state(self, output_fiber: int) -> None:
+        for key in [k for k in self._pointers if k[0] == output_fiber]:
+            del self._pointers[key]
 
     def select(
         self,
@@ -310,6 +369,55 @@ class WeightedFairPolicy(GrantPolicy):
         """Forget all balances and rotation pointers."""
         self._credits.clear()
         self._pointers.clear()
+
+    def export_output_state(self, output_fiber: int) -> object | None:
+        credits = [
+            [output_fiber, t, c]
+            for t, c in sorted(self._credits.get(output_fiber, {}).items())
+        ]
+        pointers = [
+            [o, t, last]
+            for (o, t), last in sorted(self._pointers.items())
+            if o == output_fiber
+        ]
+        if not credits and not pointers:
+            return None
+        return {"credits": credits, "pointers": pointers}
+
+    def absorb_output_state(
+        self, output_fiber: int, state: object | None
+    ) -> None:
+        self.discard_output_state(output_fiber)
+        if state is None:
+            return
+        if (
+            not isinstance(state, dict)
+            or "credits" not in state
+            or "pointers" not in state
+        ):
+            raise InvalidParameterError(
+                f"WeightedFairPolicy needs a credits/pointers dict, "
+                f"got {state!r}"
+            )
+        for o, t, c in state["credits"]:
+            if int(o) != output_fiber:
+                raise InvalidParameterError(
+                    f"slice for output {output_fiber} contains a balance "
+                    f"for output {o}"
+                )
+            self._credits.setdefault(int(o), {})[int(t)] = int(c)
+        for o, t, last in state["pointers"]:
+            if int(o) != output_fiber:
+                raise InvalidParameterError(
+                    f"slice for output {output_fiber} contains a pointer "
+                    f"for output {o}"
+                )
+            self._pointers[(int(o), int(t))] = int(last)
+
+    def discard_output_state(self, output_fiber: int) -> None:
+        self._credits.pop(output_fiber, None)
+        for key in [k for k in self._pointers if k[0] == output_fiber]:
+            del self._pointers[key]
 
     # -- selection -----------------------------------------------------------
 

@@ -23,6 +23,8 @@ __all__ = [
     "RetryExhaustedError",
     "DurabilityError",
     "JournalCrashError",
+    "MigrationError",
+    "CrashPointError",
     "ProtocolError",
     "FramingError",
     "WorkerProcessError",
@@ -102,6 +104,22 @@ class JournalCrashError(FaultError):
     """A simulated process death severed a journal write mid-record
     (fault injection only — see :class:`repro.faults.TornWriter`).  Real
     crashes do not raise; they just leave the same torn tail behind."""
+
+
+class MigrationError(ReproError, RuntimeError):
+    """A live shard migration cannot proceed or verify: the handoff
+    payload is corrupt, the move is ill-formed (source does not own the
+    shard, destination is retired), or the adopted replica's replayed
+    state disagrees with what the source exported.  The placement is only
+    ever flipped *after* verification, so a raised migration leaves the
+    source authoritative and the service serving."""
+
+
+class CrashPointError(FaultError):
+    """A simulated process death at a named crash point (fault injection
+    only — see :class:`repro.faults.CrashPoints`).  Tests arm a point,
+    catch this, and assert the interrupted operation can be re-driven to
+    a bit-identical end state."""
 
 
 class ProtocolError(ReproError, RuntimeError):

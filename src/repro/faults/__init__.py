@@ -15,7 +15,7 @@ See ``docs/ROBUSTNESS.md`` for the full fault model and the chaos-harness
 usage, and ``tests/test_chaos.py`` for the seeded end-to-end drill.
 """
 
-from repro.faults.crashpoints import TornWriter
+from repro.faults.crashpoints import CrashPoints, TornWriter
 from repro.faults.injector import FaultInjector, as_injector
 from repro.faults.plan import (
     ChannelOutage,
@@ -27,6 +27,7 @@ from repro.faults.plan import (
 __all__ = [
     "ChannelOutage",
     "ConverterDegradation",
+    "CrashPoints",
     "FaultInjector",
     "FaultPlan",
     "ShardCrash",

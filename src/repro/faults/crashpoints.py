@@ -1,4 +1,5 @@
-"""Crash points: sever a journal append mid-record.
+"""Crash points: sever a journal append mid-record, or die at a named
+step of a multi-phase operation.
 
 The durability layer's torn-write tolerance claim — a crash during a
 journal write costs at most the record being written — needs a way to
@@ -8,17 +9,61 @@ journal backend (duck-typed: ``append``/``flush``/``load``/``rewrite``/
 before raising :class:`~repro.errors.JournalCrashError`, simulating the
 process dying with the write half-issued.
 
-The wrapper deliberately avoids importing :mod:`repro.service` (the
-service imports :mod:`repro.faults`, not the other way around), so it can
-live with the rest of the fault model.
+:class:`CrashPoints` generalizes the idea to *named* points: a multi-phase
+operation (live shard migration is the canonical user — see
+:mod:`repro.service.resharding`) calls :meth:`CrashPoints.reached` at each
+phase boundary, and a test arms exactly the phases it wants to die at.
+An armed point fires **once** (it disarms itself), so re-driving the
+interrupted operation runs to completion — which is precisely the
+recovery contract the kill-at-every-phase tests assert.
+
+Both helpers deliberately avoid importing :mod:`repro.service` (the
+service imports :mod:`repro.faults`, not the other way around), so they
+can live with the rest of the fault model.
 """
 
 from __future__ import annotations
 
-from repro.errors import InvalidParameterError, JournalCrashError
+from typing import Iterable
+
+from repro.errors import (
+    CrashPointError,
+    InvalidParameterError,
+    JournalCrashError,
+)
 from repro.util.validation import check_nonnegative_int
 
-__all__ = ["TornWriter"]
+__all__ = ["TornWriter", "CrashPoints"]
+
+
+class CrashPoints:
+    """Named crash points for multi-phase operations.
+
+    ``arm`` — point names to die at (each fires once, then disarms, so a
+    retry of the killed operation proceeds past it).  The instrumented
+    code calls :meth:`reached` at every phase boundary; unarmed points
+    just record the visit in :attr:`visited` (order preserved, repeats
+    kept), which lets tests assert an operation's phase trace without
+    killing anything.
+    """
+
+    def __init__(self, arm: Iterable[str] = ()) -> None:
+        self._armed = set(arm)
+        #: Every point name passed to :meth:`reached`, in call order.
+        self.visited: list[str] = []
+        #: Points that actually fired (armed at visit time).
+        self.fired: list[str] = []
+
+    def reached(self, name: str) -> None:
+        """Record the visit; die here if ``name`` is armed (one-shot)."""
+        self.visited.append(name)
+        if name in self._armed:
+            self._armed.discard(name)
+            self.fired.append(name)
+            raise CrashPointError(f"simulated crash at {name!r}")
+
+    def armed(self, name: str) -> bool:
+        return name in self._armed
 
 
 class TornWriter:

@@ -31,6 +31,8 @@ from repro.net.protocol import (
     ErrorMsg,
     Grant,
     Hello,
+    Migrate,
+    Migrated,
     Reject,
     Submit,
     TickAdvance,
@@ -66,6 +68,8 @@ __all__ = [
     "Reject",
     "TickAdvance",
     "TickDone",
+    "Migrate",
+    "Migrated",
     "encode_message",
     "decode_message",
     "negotiate_version",

@@ -231,6 +231,32 @@ class NetClient:
             fut.cancel()
             raise
 
+    async def migrate(self, shard: int, destination: int) -> proto.Migrated:
+        """Ask the server to live-migrate ``shard`` to worker
+        ``destination`` (protocol ≥ 3 admin op); awaits the MIGRATED
+        report.  Raises :class:`~repro.errors.ProtocolError` if the
+        server refuses (old protocol, bad move, backend without
+        migration support)."""
+        self._check_open()
+        if self.version < 3:
+            raise ProtocolError(
+                f"MIGRATE needs protocol >= 3; the server negotiated "
+                f"version {self.version}"
+            )
+        seq = self._next_seq()
+        fut: "asyncio.Future[proto.Migrated]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[seq] = fut
+        self._send(proto.Migrate(seq, shard, destination))
+        try:
+            await self._writer.drain()
+            return await fut
+        except asyncio.CancelledError:
+            self._pending.pop(seq, None)
+            fut.cancel()
+            raise
+
     async def tick(self, count: int = 1) -> proto.TickDone:
         """Ask the server to run ``count`` slot ticks; awaits TICK_DONE."""
         self._check_open()
@@ -280,7 +306,7 @@ class NetClient:
             self._fail_pending(error)
 
     def _dispatch(self, msg: "proto.Message") -> None:
-        if isinstance(msg, (proto.Grant, proto.Reject)):
+        if isinstance(msg, (proto.Grant, proto.Reject, proto.Migrated)):
             fut = self._pending.pop(msg.seq, None)
             if fut is not None and not fut.done():
                 fut.set_result(msg)

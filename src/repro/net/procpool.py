@@ -39,7 +39,11 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.distributed import schedule_output_fiber
-from repro.errors import WorkerProcessError
+from repro.errors import (
+    InvalidParameterError,
+    MigrationError,
+    WorkerProcessError,
+)
 from repro.net.placement import HashRing
 from repro.service.durability import replay_journal
 from repro.service.journal import (
@@ -48,6 +52,7 @@ from repro.service.journal import (
     RecordType,
     ShardJournal,
 )
+from repro.service.resharding import HandoffPayload
 from repro.util.validation import check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -62,6 +67,9 @@ __all__ = ["ProcessShardPool", "worker_main"]
 #: Poison modes accepted by the test-only ``poison`` op.
 POISON_AFTER_GRANT = "after_grant"
 POISON_BEFORE_REPLY = "before_reply"
+#: Die after installing an adopted shard, before acknowledging it — the
+#: destination-side mid-handoff kill (the parent's retry re-adopts).
+POISON_AFTER_ADOPT = "after_adopt"
 
 
 # -- worker process ----------------------------------------------------------
@@ -111,12 +119,16 @@ class _WorkerShard:
         return out
 
 
+def _journal_path(journal_dir: str, worker_id: int, o: int) -> Path:
+    return Path(journal_dir) / f"worker-{worker_id}" / f"shard-{o}.wal"
+
+
 def _open_journal(journal_dir: str | None, worker_id: int, o: int) -> ShardJournal:
     if journal_dir is None:
         return ShardJournal(MemoryJournal())
-    d = Path(journal_dir) / f"worker-{worker_id}"
-    d.mkdir(parents=True, exist_ok=True)
-    return ShardJournal(FileJournal(d / f"shard-{o}.wal"))
+    path = _journal_path(journal_dir, worker_id, o)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return ShardJournal(FileJournal(path))
 
 
 def worker_main(
@@ -203,6 +215,138 @@ def worker_main(
             if poison == POISON_BEFORE_REPLY:
                 os._exit(1)  # died after completing, before replying
             conn.send(("tick_done", result))
+        elif op == "run_shard":
+            # Stateful-policy mode: one shard, policy state threaded
+            # through the reply (see ProcessShardedService's stateful
+            # tick).  Never answered from the journal — a respawn strips
+            # this call's write-ahead GRANTs (they sit after the last
+            # ADVANCE), so the retry re-runs the identical computation
+            # on the identical pre-draw policy state.
+            _slot, o, req_tuples, policy_state = msg[1], msg[2], msg[3], msg[4]
+            shard = shards[o]
+            if _slot < shard.next_tick:
+                conn.send(
+                    (
+                        "error",
+                        f"stateful tick {_slot} redelivered to shard {o} "
+                        f"after its clock advanced to {shard.next_tick}",
+                    )
+                )
+                continue
+            policy.restore_state(policy_state)
+            requests = [_request_from_wire(t) for t in req_tuples]
+            _res, granted, rejected_reqs = schedule_output_fiber(
+                scheme,
+                scheduler,
+                policy,
+                o,
+                requests,
+                shard.availability(),
+                None,
+            )
+            grant_tuples = [
+                (
+                    g.request.input_fiber,
+                    g.request.wavelength,
+                    g.channel,
+                    g.request.duration,
+                )
+                for g in granted
+            ]
+            if grant_tuples:
+                shard.journal.grant_batch(_slot, grant_tuples)
+                if poison == POISON_AFTER_GRANT:
+                    os._exit(1)  # died between grant journaling and reply
+                for _in, _wl, ch, dur in grant_tuples:
+                    shard.busy[ch] = dur
+            if poison == POISON_BEFORE_REPLY:
+                os._exit(1)
+            conn.send(
+                (
+                    "shard_done",
+                    (
+                        grant_tuples,
+                        [(r.input_fiber, r.wavelength) for r in rejected_reqs],
+                        policy.export_state(),
+                    ),
+                )
+            )
+        elif op == "finish_tick":
+            # Stateful-policy mode, end of tick: advance every owned
+            # shard.  Self-healing: a respawn between the per-shard calls
+            # and here stripped the already-granted shards' write-ahead
+            # GRANTs, so the parent sends every shard's grant tuples back
+            # and any shard whose journal lost them re-applies before
+            # advancing (idempotent — a shard that kept its grants skips).
+            _slot, grants_by_shard = msg[1], msg[2]
+            for o, shard in shards.items():
+                if _slot < shard.next_tick:
+                    continue
+                if not shard.replayed_grants(_slot):
+                    tuples = grants_by_shard.get(o) or []
+                    if tuples:
+                        shard.journal.grant_batch(_slot, tuples)
+                        for _in, _wl, ch, dur in tuples:
+                            shard.busy[ch] = dur
+                shard.advance(_slot)
+            conn.send(("ok",))
+        elif op == "export_shard":
+            o = msg[1]
+            shard = shards.get(o)
+            if shard is None:
+                conn.send(
+                    ("error", f"worker {worker_id} does not own shard {o}")
+                )
+                continue
+            payload = HandoffPayload.from_records(
+                o,
+                scheme.k,
+                shard.next_tick,
+                shard.busy,
+                shard.journal.records(),
+                policy.export_output_state(o),
+            )
+            conn.send(("handoff", payload.encode()))
+        elif op == "adopt_shard":
+            o, blob = msg[1], msg[2]
+            try:
+                payload = HandoffPayload.decode(blob)
+                if payload.shard != o:
+                    raise MigrationError(
+                        f"payload is for shard {payload.shard}, not {o}"
+                    )
+                records = payload.records()
+            except MigrationError as exc:
+                conn.send(("error", f"adopt_shard {o}: {exc}"))
+                continue
+            # Idempotent: a retried adopt replaces the previous replica.
+            old = shards.pop(o, None)
+            if old is not None:
+                old.journal.close()
+            journal = _open_journal(journal_dir, worker_id, o)
+            journal.rewrite_records(records)
+            shard = _WorkerShard(o, scheme.k, journal)
+            policy.absorb_output_state(o, payload.policy_state)
+            shards[o] = shard
+            if poison == POISON_AFTER_ADOPT:
+                os._exit(1)  # died with the replica installed, unacked
+            conn.send(("adopted", (shard.next_tick, list(shard.busy))))
+        elif op == "release_shard":
+            # Idempotent cleanup: safe on a worker that never owned (or
+            # already released) the shard.
+            o = msg[1]
+            shard = shards.pop(o, None)
+            if shard is not None:
+                shard.journal.close()
+            policy.discard_output_state(o)
+            if journal_dir is not None:
+                try:
+                    _journal_path(journal_dir, worker_id, o).unlink(
+                        missing_ok=True
+                    )
+                except OSError:
+                    pass
+            conn.send(("ok",))
         elif op == "busy":
             conn.send(("busy", {o: list(s.busy) for o, s in shards.items()}))
         elif op == "poison":
@@ -240,7 +384,7 @@ def request_wire_tuple(r) -> tuple[int, int, int, int, int, int]:
 
 
 class _WorkerHandle:
-    __slots__ = ("worker_id", "process", "conn", "lock", "respawns")
+    __slots__ = ("worker_id", "process", "conn", "lock", "respawns", "retired")
 
     def __init__(self, worker_id: int) -> None:
         self.worker_id = worker_id
@@ -248,6 +392,9 @@ class _WorkerHandle:
         self.conn = None
         self.lock = threading.Lock()
         self.respawns = 0
+        # A retired worker's id stays allocated (ids are dense list
+        # indices) but it has no process and accepts no calls.
+        self.retired = False
 
 
 class ProcessShardPool:
@@ -280,10 +427,17 @@ class ProcessShardPool:
         self.scheduler = scheduler
         self.policy = policy
         self.journal_dir = None if journal_dir is None else str(journal_dir)
+        self.ring_replicas = ring_replicas
         self.ring = HashRing(range(n_workers), replicas=ring_replicas)
+        #: Live shard → worker map.  Seeded from the bounded-load ring,
+        #: then *mutated* by live migration: :meth:`set_owner` flips one
+        #: entry atomically between ticks, and worker respawns read this
+        #: map (never the ring), so a respawned worker reopens exactly the
+        #: shards it currently owns.
         self.placement = self.ring.placement(n_fibers)
         self._ctx = mp.get_context("spawn")
         self._workers = [_WorkerHandle(i) for i in range(n_workers)]
+        self._executor_width = n_workers
         self._executor = ThreadPoolExecutor(
             max_workers=n_workers, thread_name_prefix="repro-procpool"
         )
@@ -293,10 +447,39 @@ class ProcessShardPool:
 
     @property
     def n_workers(self) -> int:
+        """Allocated worker ids (including retired ones — see
+        :meth:`active_workers` for the live set)."""
         return len(self._workers)
 
+    def active_workers(self) -> list[int]:
+        """Ascending ids of workers that accept calls (not retired)."""
+        return [h.worker_id for h in self._workers if not h.retired]
+
     def shards_of(self, worker_id: int) -> list[int]:
-        return self.ring.shards_of(worker_id, self.n_fibers)
+        """Ascending shards currently placed on ``worker_id`` (live map,
+        not the ring — migrations move entries)."""
+        return sorted(o for o, w in self.placement.items() if w == worker_id)
+
+    def set_owner(self, shard: int, worker_id: int) -> None:
+        """Atomically flip one shard's owner (the migration engine's FLIP
+        phase; callers must hold the tick boundary)."""
+        if not 0 <= shard < self.n_fibers:
+            raise InvalidParameterError(
+                f"shard must be in [0, {self.n_fibers}), got {shard}"
+            )
+        h = self._check_worker(worker_id)
+        if h.retired:
+            raise WorkerProcessError(
+                f"worker {worker_id} is retired; cannot own shard {shard}"
+            )
+        self.placement[shard] = worker_id
+
+    def _check_worker(self, worker_id: int) -> _WorkerHandle:
+        if not 0 <= worker_id < len(self._workers):
+            raise InvalidParameterError(
+                f"no worker {worker_id} (ids 0..{len(self._workers) - 1})"
+            )
+        return self._workers[worker_id]
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -343,7 +526,9 @@ class ProcessShardPool:
         """Send one op and wait for its reply, respawning on crash."""
         if self._closed:
             raise WorkerProcessError("pool is stopped")
-        h = self._workers[worker_id]
+        h = self._check_worker(worker_id)
+        if h.retired:
+            raise WorkerProcessError(f"worker {worker_id} is retired")
         with h.lock:
             last: BaseException | None = None
             for _attempt in range(self.MAX_RETRIES):
@@ -382,6 +567,58 @@ class ProcessShardPool:
         h.respawns += 1
         self._spawn(h)
 
+    # -- elasticity ----------------------------------------------------------
+
+    def add_worker(self) -> int:
+        """Spawn a fresh worker with no shards; returns its id.
+
+        The autoscaler's scale-out primitive: the new worker only becomes
+        useful once the migration engine moves shards onto it.  Grows the
+        call executor so every active worker still gets its own thread
+        (safe between ticks — no calls are in flight at the boundary).
+        """
+        if self._closed:
+            raise WorkerProcessError("pool is stopped")
+        worker_id = len(self._workers)
+        h = _WorkerHandle(worker_id)
+        self._workers.append(h)
+        n_active = len(self.active_workers())
+        if n_active > self._executor_width:
+            old = self._executor
+            self._executor_width = n_active
+            self._executor = ThreadPoolExecutor(
+                max_workers=n_active, thread_name_prefix="repro-procpool"
+            )
+            old.shutdown(wait=True)
+        self._spawn(h)
+        return worker_id
+
+    def remove_worker(self, worker_id: int) -> None:
+        """Retire an empty worker: stop its process, refuse future calls.
+
+        The worker must own no shards (migrate them away first) — the
+        pool refuses to orphan placed shards.  Idempotent.  Ids are never
+        reused; :meth:`active_workers` shrinks instead.
+        """
+        h = self._check_worker(worker_id)
+        if h.retired:
+            return
+        owned = self.shards_of(worker_id)
+        if owned:
+            raise WorkerProcessError(
+                f"worker {worker_id} still owns shards {owned}; "
+                "migrate them away before removing it"
+            )
+        if len(self.active_workers()) <= 1:
+            raise WorkerProcessError(
+                "cannot remove the last active worker"
+            )
+        with h.lock:
+            self._shutdown_worker_locked(h)
+            h.retired = True
+
+    # -- chaos / shutdown ----------------------------------------------------
+
     def kill_worker(self, worker_id: int) -> None:
         """Hard-kill a worker (tests/chaos): SIGKILL, no cleanup."""
         h = self._workers[worker_id]
@@ -389,26 +626,32 @@ class ProcessShardPool:
             h.process.kill()
             h.process.join(timeout=5.0)
 
+    def _shutdown_worker_locked(self, h: _WorkerHandle) -> None:
+        """Cleanly stop one worker process (caller holds ``h.lock``)."""
+        try:
+            if h.conn is not None and h.process.is_alive():
+                h.conn.send(("stop",))
+                self._recv(h, timeout=5.0)
+        except (EOFError, OSError, BrokenPipeError, WorkerProcessError):
+            pass
+        finally:
+            if h.conn is not None:
+                h.conn.close()
+                h.conn = None
+            if h.process is not None:
+                h.process.join(timeout=5.0)
+                if h.process.is_alive():
+                    h.process.kill()
+                    h.process.join(timeout=5.0)
+
     def stop(self) -> None:
         """Stop every worker cleanly; idempotent."""
         if self._closed:
             return
         self._closed = True
         for h in self._workers:
+            if h.retired:
+                continue
             with h.lock:
-                try:
-                    if h.conn is not None and h.process.is_alive():
-                        h.conn.send(("stop",))
-                        self._recv(h, timeout=5.0)
-                except (EOFError, OSError, BrokenPipeError, WorkerProcessError):
-                    pass
-                finally:
-                    if h.conn is not None:
-                        h.conn.close()
-                        h.conn = None
-                    if h.process is not None:
-                        h.process.join(timeout=5.0)
-                        if h.process.is_alive():
-                            h.process.kill()
-                            h.process.join(timeout=5.0)
+                self._shutdown_worker_locked(h)
         self._executor.shutdown(wait=True)

@@ -23,11 +23,26 @@ replay, and the in-flight tick is re-delivered idempotently — grants a
 dead worker had already journaled are replayed from the journal, never
 re-scheduled.
 
-Statefulness rule: the grant policy must be **stateless**
-(``export_state() is None``, e.g. the default
-:class:`~repro.core.policies.FixedPriorityPolicy`) — the same caveat as
-the in-process THREADS mode, because shards on different workers cannot
-share one mutating policy object.
+Statefulness rule: a policy whose mutable state partitions by output
+fiber (``state_partitioned_by_output`` — FixedPriority, RoundRobin,
+WeightedFair) runs on per-worker instances and ticks fan out in
+parallel.  A policy with *cross-output* state (``RandomPolicy``: one RNG
+feeds every output's draws) runs in **stateful mode**: the parent owns
+the canonical policy state and threads it through one worker call per
+contended shard, in global fiber order — each reply ships the post-draw
+state back — so the draw sequence is bit-identical to the in-process
+``INLINE`` service and the simulator, at the price of serializing the
+contended shards' scheduling.  Crash recovery stays exact in both modes
+(see the ``finish_tick`` self-healing note in
+:func:`repro.net.procpool.worker_main`).
+
+The shard→worker placement is **live**: the migration engine
+(:mod:`repro.service.resharding`, surfaced here as
+:meth:`ProcessShardedService.migrate_shard` / :meth:`rebalance`) moves
+shards between workers at tick boundaries, and
+:meth:`~ProcessShardedService.add_worker` /
+:meth:`~ProcessShardedService.remove_worker` grow and shrink the worker
+set under the :class:`~repro.service.autoscaler.Autoscaler`.
 """
 
 from __future__ import annotations
@@ -43,14 +58,24 @@ from repro.errors import InvalidParameterError, SimulationError
 from repro.net.procpool import ProcessShardPool, request_wire_tuple
 from repro.service.edge import PendingRequest, SubmissionEdge
 from repro.service.queue import BoundedQueue, OverflowPolicy, TenantAdmission
+from repro.service.ratelimit import RateLimitConfig, TokenBucketLimiter
+from repro.service.resharding import (
+    MigrationReport,
+    ShardMigrator,
+    ShardMove,
+)
 from repro.service.server import Rejected, RejectReason, ServiceGrant
-from repro.service.telemetry import Telemetry
+from repro.service.telemetry import Telemetry, exponential_buckets
 from repro.service.tickloop import InputAdmission
 from repro.util.validation import check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.base import Scheduler
+    from repro.faults.crashpoints import CrashPoints
     from repro.graphs.conversion import ConversionScheme
+
+#: Tick-duration buckets: 10 µs … ~40 s (mirrors the in-process service).
+_TICK_BUCKETS = exponential_buckets(10e-6, 2.0, 22)
 
 __all__ = ["ProcessShardedService"]
 
@@ -80,19 +105,20 @@ class ProcessShardedService:
         max_batch_per_tick: int | None = None,
         tick_interval: float = 0.001,
         dedup_capacity: int = 0,
+        rate_limit: "RateLimitConfig | None" = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         self.n_fibers = check_positive_int(n_fibers, "n_fibers")
         self.scheme = scheme
         self.policy = policy if policy is not None else FixedPriorityPolicy()
-        if not self.policy.state_partitioned_by_output:
-            raise InvalidParameterError(
-                "multi-process placement needs a grant policy whose state "
-                "partitions by output fiber (state_partitioned_by_output) — "
-                "shards on different workers cannot share one mutating "
-                "policy object whose state crosses outputs; use "
-                "FixedPriorityPolicy, RoundRobinPolicy, or WeightedFairPolicy"
-            )
+        # Cross-output policy state (RandomPolicy) → stateful mode: the
+        # parent owns the canonical state and threads it through one
+        # worker call per contended shard in fiber order (see module
+        # docstring); partitioned policies fan out in parallel.
+        self._stateful = not self.policy.state_partitioned_by_output
+        self._policy_state = (
+            self.policy.export_state() if self._stateful else None
+        )
         if max_batch_per_tick is not None:
             check_positive_int(max_batch_per_tick, "max_batch_per_tick")
         if tick_interval < 0:
@@ -119,9 +145,18 @@ class ProcessShardedService:
         self._slot = 0
         self._closed = False
         self._timer_task: "asyncio.Task[None] | None" = None
+        self.rate_limiter = (
+            TokenBucketLimiter(rate_limit, self.telemetry)
+            if rate_limit is not None
+            else None
+        )
+        self._migrator = ShardMigrator(self.pool, self.telemetry)
         self._c_ticks = self.telemetry.counter("server.ticks")
         self._g_slot = self.telemetry.gauge("server.slot")
         self._g_depth = self.telemetry.gauge("server.queue_depth_total")
+        self._h_tick = self.telemetry.histogram(
+            "server.tick_seconds", _TICK_BUCKETS
+        )
 
     # -- introspection -------------------------------------------------------
 
@@ -177,6 +212,13 @@ class ProcessShardedService:
             request, future, deadline, time.perf_counter(), request_id
         )
         self.edge.note_submitted(request)
+        if self.rate_limiter is not None and not self.rate_limiter.allow(
+            request.tenant
+        ):
+            self.edge.resolve_rejected(
+                pending, RejectReason.RATE_LIMITED, self._slot
+            )
+            return future
         queue = self.queues[request.output_fiber]
         shed = queue.policy is OverflowPolicy.SHED
         offer = queue.offer(pending)
@@ -226,29 +268,62 @@ class ProcessShardedService:
             if survivors:
                 work[o] = survivors
 
-        # 3: fan out to the worker processes.  EVERY worker runs the tick
-        # (workers advance their owned shards' channel clocks even with no
-        # requests this slot — the physical clock never skips).
-        payloads: dict[int, list[tuple[int, list[tuple]]]] = {
-            w: [] for w in range(self.pool.n_workers)
-        }
-        for o, survivors in work.items():
-            payloads[self.pool.placement[o]].append(
-                (o, [request_wire_tuple(p.request) for p in survivors])
+        # 3: fan out to the worker processes (every *active* worker runs
+        # the tick — workers advance their owned shards' channel clocks
+        # even with no requests this slot; the physical clock never
+        # skips).  Stateful mode serializes contended shards instead.
+        by_shard: dict[int, tuple[list, list]] = {}
+        if self._stateful:
+            # One call per contended shard, global fiber order, policy
+            # state threaded through the replies (module docstring).
+            for o in sorted(work):
+                wire = [request_wire_tuple(p.request) for p in work[o]]
+                grant_tuples, rejected_pairs, new_state = (
+                    await self.pool.call_async(
+                        loop,
+                        self.pool.placement[o],
+                        "run_shard",
+                        slot,
+                        o,
+                        wire,
+                        self._policy_state,
+                    )
+                )
+                self._policy_state = new_state
+                by_shard[o] = (grant_tuples, rejected_pairs)
+            # End of tick: every active worker advances its shards,
+            # carrying the tick's grants for crash self-healing.
+            grants_by_worker: dict[int, dict[int, list]] = {
+                w: {} for w in self.pool.active_workers()
+            }
+            for o, (grant_tuples, _rej) in by_shard.items():
+                grants_by_worker[self.pool.placement[o]][o] = grant_tuples
+            await asyncio.gather(
+                *(
+                    self.pool.call_async(loop, w, "finish_tick", slot, grants)
+                    for w, grants in grants_by_worker.items()
+                )
             )
-        replies = await asyncio.gather(
-            *(
-                self.pool.call_async(loop, w, "run_tick", slot, payload)
-                for w, payload in payloads.items()
+        else:
+            payloads: dict[int, list[tuple[int, list[tuple]]]] = {
+                w: [] for w in self.pool.active_workers()
+            }
+            for o, survivors in work.items():
+                payloads[self.pool.placement[o]].append(
+                    (o, [request_wire_tuple(p.request) for p in survivors])
+                )
+            replies = await asyncio.gather(
+                *(
+                    self.pool.call_async(loop, w, "run_tick", slot, payload)
+                    for w, payload in payloads.items()
+                )
             )
-        )
+            for reply in replies:
+                for o, grant_tuples, rejected_pairs in reply:
+                    by_shard[o] = (grant_tuples, rejected_pairs)
 
         # 4: commit in fiber order (resolution order matches the
         # in-process service, so counters and futures line up exactly).
-        by_shard: dict[int, tuple[list, list]] = {}
-        for reply in replies:
-            for o, grant_tuples, rejected_pairs in reply:
-                by_shard[o] = (grant_tuples, rejected_pairs)
         n_granted = 0
         for o in sorted(work):
             survivors = work[o]
@@ -270,10 +345,13 @@ class ProcessShardedService:
 
         # 5: advance the input-side clock (workers advanced theirs in 3).
         self._admission.decay()
+        if self.rate_limiter is not None:
+            self.rate_limiter.advance()
         self._slot += 1
         self._c_ticks.inc()
         self._g_slot.set(self._slot)
         self._g_depth.set(self.queue_depth_total)
+        self._h_tick.observe(loop.time() - now)
         return n_granted
 
     # -- run modes -----------------------------------------------------------
@@ -306,6 +384,92 @@ class ProcessShardedService:
         while True:
             await self.tick()
             await asyncio.sleep(self.tick_interval)
+
+    # -- live resharding / elasticity ---------------------------------------
+
+    def active_workers(self) -> list[int]:
+        """Ascending ids of workers currently accepting shards."""
+        return self.pool.active_workers()
+
+    def worker_queue_depth(self, worker_id: int) -> int:
+        """Parent-side queued requests bound for ``worker_id``'s shards
+        (the autoscaler's hotspot signal — no cross-process call)."""
+        return sum(
+            self.queues[o].depth for o in self.pool.shards_of(worker_id)
+        )
+
+    def migrate_shard(
+        self,
+        shard: int,
+        destination: int,
+        *,
+        crashpoints: "CrashPoints | None" = None,
+    ) -> MigrationReport:
+        """Live-migrate one shard to ``destination`` at this tick boundary.
+
+        Call between ticks (never concurrently with :meth:`tick` — the
+        quiesce phase of :mod:`repro.service.resharding` is the tick
+        boundary itself).  Blocks until the handoff verifies; the
+        placement flip is atomic, so the next tick routes the shard to
+        its new owner and redelivered grants replay from the transferred
+        journal exactly once.
+        """
+        return self._migrator.migrate(
+            shard, destination, crashpoints=crashpoints
+        )
+
+    def rebalance(
+        self,
+        moves: "list[ShardMove] | None" = None,
+        *,
+        target: dict[int, int] | None = None,
+        crashpoints: "CrashPoints | None" = None,
+    ) -> list[MigrationReport]:
+        """Run many migrations, planned into conflict-free waves.
+
+        Pass explicit ``moves`` or a ``target`` placement (the engine
+        diffs it against the live map).  Same tick-boundary contract as
+        :meth:`migrate_shard`.
+        """
+        if (moves is None) == (target is None):
+            raise InvalidParameterError(
+                "pass exactly one of moves= or target="
+            )
+        if target is not None:
+            moves = self._migrator.moves_to(target)
+        return self._migrator.execute(moves, crashpoints=crashpoints)
+
+    def add_worker(self) -> int:
+        """Spawn a fresh, empty worker process; returns its id."""
+        return self.pool.add_worker()
+
+    def remove_worker(
+        self, worker_id: int, *, drain: bool = True
+    ) -> list[MigrationReport]:
+        """Retire a worker; with ``drain`` (default) its shards are first
+        live-migrated to the remaining active workers, least-loaded
+        first (deterministic).  Returns the drain's migration reports."""
+        reports: list[MigrationReport] = []
+        if drain:
+            owned = self.pool.shards_of(worker_id)
+            others = [
+                w for w in self.pool.active_workers() if w != worker_id
+            ]
+            if owned and not others:
+                raise InvalidParameterError(
+                    "cannot drain the last active worker"
+                )
+            load = {w: len(self.pool.shards_of(w)) for w in others}
+            moves = []
+            for o in owned:
+                dest = min(others, key=lambda w: (load[w], w))
+                load[dest] += 1
+                moves.append(
+                    ShardMove(shard=o, source=worker_id, destination=dest)
+                )
+            reports = self._migrator.execute(moves)
+        self.pool.remove_worker(worker_id)
+        return reports
 
     # -- chaos (tests) -------------------------------------------------------
 

@@ -41,6 +41,14 @@ Versions:
   a v1 server until it actually uses tenants (the client refuses to send
   a tenanted request over a v1 connection, and a v2 server downgrades
   ``ADMISSION_SHED`` to ``DROPPED`` when answering a v1 client).
+* **3** — adds the ``RATE_LIMITED`` reject-reason code (per-tenant
+  token-bucket limiting; a v3 server downgrades it to ``DROPPED`` for
+  v ≤ 2 peers — both mean "refused by load pressure, never scheduled")
+  and the ``MIGRATE`` (0x0B) / ``MIGRATED`` (0x0C) admin pair: a client
+  asks the server to live-migrate one shard to a destination worker and
+  receives the migration report (see :mod:`repro.service.resharding`);
+  servers whose backing service cannot migrate answer ERROR
+  ``BAD_REQUEST``.
 """
 
 from __future__ import annotations
@@ -67,6 +75,8 @@ __all__ = [
     "Reject",
     "TickAdvance",
     "TickDone",
+    "Migrate",
+    "Migrated",
     "Message",
     "encode_message",
     "decode_message",
@@ -76,7 +86,7 @@ __all__ = [
 ]
 
 #: Every protocol version this build speaks, ascending.
-PROTOCOL_VERSIONS: tuple[int, ...] = (1, 2)
+PROTOCOL_VERSIONS: tuple[int, ...] = (1, 2, 3)
 
 #: Upper bound on one message payload; a protocol frame beyond this is
 #: corruption, not a big message (the largest legal message is a few
@@ -98,6 +108,10 @@ class MsgType(enum.IntEnum):
     TICK_DONE = 0x09
     #: Protocol ≥ 2: SUBMIT with a tenant id (see module docstring).
     SUBMIT2 = 0x0A
+    #: Protocol ≥ 3: admin request — live-migrate one shard.
+    MIGRATE = 0x0B
+    #: Protocol ≥ 3: the MIGRATE's report.
+    MIGRATED = 0x0C
 
 
 class ErrorCode(enum.IntEnum):
@@ -130,6 +144,7 @@ _REASON_CODES: dict[RejectReason, int] = {
     RejectReason.CIRCUIT_OPEN: 8,
     RejectReason.DUPLICATE: 9,
     RejectReason.ADMISSION_SHED: 10,  # protocol >= 2 (v1 peers get DROPPED)
+    RejectReason.RATE_LIMITED: 11,  # protocol >= 3 (v<=2 peers get DROPPED)
 }
 _CODE_REASONS = {code: reason for reason, code in _REASON_CODES.items()}
 assert len(_REASON_CODES) == len(RejectReason), "unmapped RejectReason"
@@ -245,8 +260,46 @@ class TickDone:
     granted: int
 
 
+@dataclass(frozen=True, slots=True)
+class Migrate:
+    """Protocol ≥ 3 admin request: live-migrate ``shard`` to worker
+    ``destination`` at the next tick boundary.  ``seq`` (> 0) correlates
+    the MIGRATED (or ERROR) reply."""
+
+    seq: int
+    shard: int
+    destination: int
+
+
+@dataclass(frozen=True, slots=True)
+class Migrated:
+    """The MIGRATE ``seq`` completed: the shard now lives on
+    ``destination`` (moved from ``source``), ``next_tick`` is its verified
+    resume slot, ``payload_bytes``/``journal_records`` size the handoff,
+    and ``resumed`` flags a re-driven (post-flip recovery) migration."""
+
+    seq: int
+    shard: int
+    source: int
+    destination: int
+    next_tick: int
+    payload_bytes: int
+    journal_records: int
+    resumed: bool = False
+
+
 Message = (
-    Hello | Welcome | ErrorMsg | Bye | Submit | Grant | Reject | TickAdvance | TickDone
+    Hello
+    | Welcome
+    | ErrorMsg
+    | Bye
+    | Submit
+    | Grant
+    | Reject
+    | TickAdvance
+    | TickDone
+    | Migrate
+    | Migrated
 )
 
 
@@ -260,6 +313,8 @@ _GRANT = struct.Struct("!QIq")
 _REJECT = struct.Struct("!QBq")
 _TICK_ADVANCE = struct.Struct("!I")
 _TICK_DONE = struct.Struct("!qI")
+_MIGRATE = struct.Struct("!QII")
+_MIGRATED = struct.Struct("!QIIIQQQB")
 
 _MAX_ERROR_TEXT = 1024
 _MAX_REQUEST_ID = 256
@@ -339,6 +394,21 @@ def encode_message(msg: Message) -> bytes:
         return bytes([MsgType.TICK_ADVANCE]) + _TICK_ADVANCE.pack(msg.count)
     if isinstance(msg, TickDone):
         return bytes([MsgType.TICK_DONE]) + _TICK_DONE.pack(msg.slot, msg.granted)
+    if isinstance(msg, Migrate):
+        return bytes([MsgType.MIGRATE]) + _MIGRATE.pack(
+            msg.seq, msg.shard, msg.destination
+        )
+    if isinstance(msg, Migrated):
+        return bytes([MsgType.MIGRATED]) + _MIGRATED.pack(
+            msg.seq,
+            msg.shard,
+            msg.source,
+            msg.destination,
+            msg.next_tick,
+            msg.payload_bytes,
+            msg.journal_records,
+            1 if msg.resumed else 0,
+        )
     raise ProtocolError(f"cannot encode {type(msg).__name__}")
 
 
@@ -444,6 +514,20 @@ def decode_message(payload: bytes) -> Message:
             if count == 0:
                 raise ProtocolError("TICK_ADVANCE count must be > 0")
             return TickAdvance(count)
+        if mtype is MsgType.MIGRATE:
+            seq, shard, destination = _exact(payload, _MIGRATE, "MIGRATE")
+            if seq == 0:
+                raise ProtocolError("MIGRATE seq must be > 0")
+            return Migrate(seq, shard, destination)
+        if mtype is MsgType.MIGRATED:
+            (seq, shard, src, dst, tick, nbytes, nrecords, resumed) = _exact(
+                payload, _MIGRATED, "MIGRATED"
+            )
+            if resumed > 1:
+                raise ProtocolError(f"MIGRATED resumed flag {resumed} not 0/1")
+            return Migrated(
+                seq, shard, src, dst, tick, nbytes, nrecords, bool(resumed)
+            )
         # TICK_DONE
         return TickDone(*_exact(payload, _TICK_DONE, "TICK_DONE"))
     except struct.error as exc:  # defensive: any unpack slip is typed

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 from repro.errors import (
     FramingError,
     InvalidParameterError,
+    MigrationError,
     ProtocolError,
     SimulationError,
 )
@@ -233,6 +234,9 @@ class NetServer:
                     granted += await self.service.tick()
             conn.send(proto.TickDone(self.service.slot, granted))
             return True
+        if isinstance(msg, proto.Migrate):
+            await self._handle_migrate(conn, msg)
+            return True
         conn.send(
             proto.ErrorMsg(
                 0,
@@ -242,6 +246,53 @@ class NetServer:
         )
         await self._flush(conn)
         return False
+
+    async def _handle_migrate(self, conn: _Conn, msg: proto.Migrate) -> None:
+        """Protocol ≥ 3 admin op: live-migrate one shard, reply MIGRATED.
+
+        Runs under the tick lock — the migration engine's quiesce phase
+        *is* the tick boundary, so no tick may interleave with it.
+        """
+        if conn.version < 3:
+            conn.send(
+                proto.ErrorMsg(
+                    msg.seq,
+                    proto.ErrorCode.BAD_REQUEST,
+                    f"MIGRATE needs protocol >= 3, connection negotiated "
+                    f"version {conn.version}",
+                )
+            )
+            return
+        migrate = getattr(self.service, "migrate_shard", None)
+        if migrate is None:
+            conn.send(
+                proto.ErrorMsg(
+                    msg.seq,
+                    proto.ErrorCode.BAD_REQUEST,
+                    "this server's backend does not support live migration",
+                )
+            )
+            return
+        try:
+            async with self._tick_lock:
+                report = migrate(msg.shard, msg.destination)
+        except (InvalidParameterError, MigrationError) as exc:
+            conn.send(
+                proto.ErrorMsg(msg.seq, proto.ErrorCode.BAD_REQUEST, str(exc))
+            )
+            return
+        conn.send(
+            proto.Migrated(
+                msg.seq,
+                report.shard,
+                report.source,
+                report.destination,
+                report.next_tick,
+                report.payload_bytes,
+                report.journal_records,
+                report.resumed,
+            )
+        )
 
     def _handle_submit(self, conn: _Conn, msg: proto.Submit) -> None:
         if msg.tenant and conn.version < 2:
@@ -293,6 +344,10 @@ class NetServer:
                 if reason is RejectReason.ADMISSION_SHED and conn.version < 2:
                     # v1 peers predate the code; the closest v1 semantic
                     # is DROPPED (lost to queue pressure).
+                    reason = RejectReason.DROPPED
+                elif reason is RejectReason.RATE_LIMITED and conn.version < 3:
+                    # Same downgrade for the v3 rate-limiter code: to a
+                    # v<=2 peer it is a load-pressure drop.
                     reason = RejectReason.DROPPED
                 conn.send(
                     proto.Reject(

@@ -30,6 +30,11 @@ See ``docs/SERVICE.md`` for the architecture and
 ``benchmarks/bench_service.py`` for throughput/latency numbers.
 """
 
+from repro.service.autoscaler import (
+    Autoscaler,
+    AutoscalerConfig,
+    ScaleDecision,
+)
 from repro.service.breaker import BreakerConfig, BreakerState, CircuitBreaker
 from repro.service.client import (
     LoadGenerator,
@@ -58,6 +63,15 @@ from repro.service.queue import (
     OverflowPolicy,
     TenantAdmission,
 )
+from repro.service.ratelimit import RateLimitConfig, TokenBucketLimiter
+from repro.service.resharding import (
+    HandoffPayload,
+    MigrationReport,
+    ShardMigrator,
+    ShardMove,
+    plan_waves,
+    wave_bound,
+)
 from repro.service.server import (
     ExecutionMode,
     Rejected,
@@ -82,6 +96,8 @@ from repro.service.telemetry import (
 )
 
 __all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
     "BoundedQueue",
     "BreakerConfig",
     "BreakerState",
@@ -93,25 +109,31 @@ __all__ = [
     "FileJournal",
     "FileSnapshotStore",
     "Gauge",
+    "HandoffPayload",
     "Histogram",
     "JournalRecord",
     "LoadGenerator",
     "LoadReport",
     "MemoryJournal",
     "MemorySnapshotStore",
+    "MigrationReport",
     "Offer",
     "OverflowPolicy",
     "PendingRequest",
+    "RateLimitConfig",
     "RecordType",
     "RecoveredShardState",
     "Rejected",
     "RejectReason",
     "RetryBudget",
     "RetryPolicy",
+    "ScaleDecision",
     "SchedulingClient",
     "SchedulingService",
     "ServiceGrant",
     "ShardJournal",
+    "ShardMigrator",
+    "ShardMove",
     "ShardSnapshot",
     "ShardSupervisor",
     "ShardWorker",
@@ -120,6 +142,9 @@ __all__ = [
     "SupervisorConfig",
     "Telemetry",
     "TenantAdmission",
+    "TokenBucketLimiter",
     "exponential_buckets",
+    "plan_waves",
     "replay_journal",
+    "wave_bound",
 ]

@@ -1,0 +1,220 @@
+"""Elastic autoscaling over the live-migration engine.
+
+The migration engine (:mod:`repro.service.resharding`) makes shard
+ownership a runtime decision; this module supplies the *policy* that
+exercises it: an :class:`Autoscaler` that watches per-worker queue depth
+once per tick and reacts to sustained pressure with one of three moves —
+
+* **split** — a worker has been hot for ``hysteresis_ticks`` straight
+  observations and the fleet is below ``max_workers``: spawn a fresh
+  worker and live-migrate the deeper half of the hot worker's shards
+  onto it.
+* **relocate** — same hot streak but the fleet is already at
+  ``max_workers``: move the hot worker's deepest shard to the
+  least-loaded other worker.
+* **merge** — *every* worker has been cold for the streak and the fleet
+  is above ``min_workers``: drain the least-loaded worker onto the rest
+  and retire it.
+
+Two dampers keep it from flapping: the hysteresis streak (one noisy tick
+never triggers anything) and a ``cooldown_ticks`` refractory period after
+every action (migrations pause ticks; back-to-back moves would stack the
+pauses the autoscaler exists to relieve).
+
+Determinism: decisions are a pure function of the observed depth
+sequence and the config — ties break toward the lowest worker/shard id
+(except merge's victim, which prefers the *highest* id so scale-in
+unwinds scale-out) — so a seeded drill autoscales identically on every
+run, which is what lets the migration drill compare grants against an
+unmigrated reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidParameterError
+from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.resharding import MigrationReport
+
+__all__ = ["Autoscaler", "AutoscalerConfig", "ScaleDecision"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Watermarks and dampers for :class:`Autoscaler`.
+
+    ``high_watermark``/``low_watermark`` are per-worker queued-request
+    thresholds; a worker above the high mark is *hot*, a fleet entirely
+    below the low mark is *cold*.  A condition must persist for
+    ``hysteresis_ticks`` consecutive observations to trigger, and after
+    any action the autoscaler sleeps for ``cooldown_ticks`` observations.
+    ``min_workers``/``max_workers`` bound the fleet.
+    """
+
+    high_watermark: int = 64
+    low_watermark: int = 8
+    hysteresis_ticks: int = 3
+    cooldown_ticks: int = 10
+    min_workers: int = 1
+    max_workers: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.high_watermark, "high_watermark")
+        if not 0 <= self.low_watermark < self.high_watermark:
+            raise InvalidParameterError(
+                f"need 0 <= low_watermark < high_watermark, got "
+                f"{self.low_watermark} / {self.high_watermark}"
+            )
+        check_positive_int(self.hysteresis_ticks, "hysteresis_ticks")
+        if self.cooldown_ticks < 0:
+            raise InvalidParameterError(
+                f"cooldown_ticks must be >= 0, got {self.cooldown_ticks}"
+            )
+        check_positive_int(self.min_workers, "min_workers")
+        if self.max_workers < self.min_workers:
+            raise InvalidParameterError(
+                f"need max_workers >= min_workers, got "
+                f"{self.max_workers} < {self.min_workers}"
+            )
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One executed autoscaling action.
+
+    ``action`` is ``"split"``, ``"merge"``, or ``"relocate"``; ``worker``
+    is the hot worker (split/relocate) or the retired worker (merge);
+    ``new_worker`` is the spawned id on a split; ``reports`` are the
+    live migrations the action performed, in execution order.
+    """
+
+    action: str
+    worker: int
+    reports: "tuple[MigrationReport, ...]"
+    new_worker: int | None = None
+
+
+class Autoscaler:
+    """Queue-depth-driven split/merge/relocate policy for a sharded
+    service.
+
+    ``service`` needs the elasticity surface of
+    :class:`~repro.net.procservice.ProcessShardedService`:
+    ``active_workers()``, ``worker_queue_depth(w)``, ``queues`` (indexed
+    by shard), ``pool.shards_of(w)``, ``add_worker()``,
+    ``remove_worker(w)``, ``migrate_shard(o, w)``, and ``rebalance()``.
+    Call :meth:`observe` once per tick boundary (never mid-tick); it
+    returns the :class:`ScaleDecision` it executed, or ``None``.
+    """
+
+    def __init__(
+        self,
+        service,
+        config: AutoscalerConfig | None = None,
+        telemetry=None,
+    ) -> None:
+        self.service = service
+        self.config = config if config is not None else AutoscalerConfig()
+        t = telemetry if telemetry is not None else service.telemetry
+        self._c_observations = t.counter("autoscaler.observations")
+        self._c_splits = t.counter("autoscaler.splits")
+        self._c_merges = t.counter("autoscaler.merges")
+        self._c_relocations = t.counter("autoscaler.relocations")
+        self._hot_streak = 0
+        self._cold_streak = 0
+        self._cooldown = 0
+        self.decisions: list[ScaleDecision] = []
+
+    # -- signal --------------------------------------------------------------
+
+    def depths(self) -> dict[int, int]:
+        """Per-active-worker queued-request depth, the hotspot signal."""
+        return {
+            w: self.service.worker_queue_depth(w)
+            for w in self.service.active_workers()
+        }
+
+    def _hottest(self, depths: dict[int, int]) -> int:
+        return max(sorted(depths), key=lambda w: depths[w])
+
+    # -- the per-tick observation -------------------------------------------
+
+    def observe(self) -> ScaleDecision | None:
+        """Account one tick's depths; execute at most one action."""
+        self._c_observations.inc()
+        cfg = self.config
+        depths = self.depths()
+        hot = max(depths.values()) > cfg.high_watermark
+        cold = max(depths.values()) < cfg.low_watermark
+        self._hot_streak = self._hot_streak + 1 if hot else 0
+        self._cold_streak = self._cold_streak + 1 if cold else 0
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        decision: ScaleDecision | None = None
+        if self._hot_streak >= cfg.hysteresis_ticks:
+            decision = self._scale_out(depths)
+        elif self._cold_streak >= cfg.hysteresis_ticks:
+            decision = self._scale_in(depths)
+        if decision is not None:
+            self._hot_streak = self._cold_streak = 0
+            self._cooldown = cfg.cooldown_ticks
+            self.decisions.append(decision)
+        return decision
+
+    # -- actions -------------------------------------------------------------
+
+    def _shard_depth(self, o: int) -> int:
+        return self.service.queues[o].depth
+
+    def _scale_out(self, depths: dict[int, int]) -> ScaleDecision | None:
+        hottest = self._hottest(depths)
+        owned = self.service.pool.shards_of(hottest)
+        if len(owned) < 2:
+            # One shard is an indivisible hotspot; relocating it to an
+            # equally loaded worker would only move the problem.
+            return None
+        if len(depths) < self.config.max_workers:
+            new = self.service.add_worker()
+            # Deeper half first so the split actually halves the load;
+            # ties (and the all-idle case) break by shard id.
+            ranked = sorted(owned, key=lambda o: (-self._shard_depth(o), o))
+            moving = sorted(ranked[: len(owned) // 2])
+            from repro.service.resharding import ShardMove
+
+            reports = self.service.rebalance(
+                moves=[
+                    ShardMove(shard=o, source=hottest, destination=new)
+                    for o in moving
+                ]
+            )
+            self._c_splits.inc()
+            return ScaleDecision(
+                "split", hottest, tuple(reports), new_worker=new
+            )
+        # Fleet at max: shed the deepest shard to the coldest other worker.
+        coldest = min(
+            (w for w in sorted(depths) if w != hottest),
+            key=lambda w: depths[w],
+            default=None,
+        )
+        if coldest is None or depths[coldest] >= depths[hottest]:
+            return None
+        victim = min(owned, key=lambda o: (-self._shard_depth(o), o))
+        report = self.service.migrate_shard(victim, coldest)
+        self._c_relocations.inc()
+        return ScaleDecision("relocate", hottest, (report,))
+
+    def _scale_in(self, depths: dict[int, int]) -> ScaleDecision | None:
+        if len(depths) <= self.config.min_workers:
+            return None
+        # Retire the least-loaded worker; ties prefer the highest id so
+        # scale-in unwinds scale-out (last spawned, first retired).
+        victim = min(sorted(depths, reverse=True), key=lambda w: depths[w])
+        reports = self.service.remove_worker(victim)
+        self._c_merges.inc()
+        return ScaleDecision("merge", victim, tuple(reports))

@@ -104,6 +104,9 @@ class SubmissionEdge:
             RejectReason.ADMISSION_SHED: t.counter(
                 "server.rejected.admission_shed"
             ),
+            RejectReason.RATE_LIMITED: t.counter(
+                "server.rejected.rate_limited"
+            ),
         }
         # Per-tenant accounting, materialized lazily (the single-tenant
         # fast path never pays for tenants it has not seen).  Names are

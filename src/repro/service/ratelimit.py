@@ -1,0 +1,133 @@
+"""Per-tenant token-bucket rate limiting at the submission edge.
+
+Migration and autoscaling (``docs/ROBUSTNESS.md``) keep the service alive
+under shifting load, but a single hot tenant can still starve the tick
+budget before admission control ever sees a queue.  This module puts the
+classic token bucket at the front door: each tenant holds a bucket of
+``burst`` tokens refilled by ``rate_per_tick`` tokens at every slot tick,
+and a submission that finds the bucket empty is resolved immediately with
+:data:`~repro.service.server.RejectReason.RATE_LIMITED` — it never touches
+a queue, a shard, or the journal.
+
+Determinism: refill is driven by the tick loop (:meth:`TokenBucketLimiter
+.advance` is called once per slot), never by wall-clock time, and token
+arithmetic uses :class:`fractions.Fraction`, so two seeded runs make
+bit-identical admit/limit decisions.  That is what lets the migration
+drill compare a rate-limited run against its unmigrated reference
+grant-for-grant.
+
+The ``RATE_LIMITED`` outcome participates in the conservation invariant
+(:mod:`repro.service.telemetry`) both in aggregate and per tenant, exactly
+like every other reject reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["RateLimitConfig", "TokenBucketLimiter"]
+
+_RateLike = "int | float | str | Fraction"
+
+
+def _as_fraction(value, what: str, minimum: Fraction) -> Fraction:
+    try:
+        f = Fraction(value)
+    except (TypeError, ValueError, ZeroDivisionError) as exc:
+        raise InvalidParameterError(f"{what} must be numeric, got {value!r}") from exc
+    if f < minimum:
+        raise InvalidParameterError(f"{what} must be >= {minimum}, got {value!r}")
+    return f
+
+
+@dataclass(frozen=True)
+class RateLimitConfig:
+    """Token-bucket parameters: a default and optional per-tenant overrides.
+
+    ``rate_per_tick`` tokens are added to each bucket at every slot tick
+    (fractional rates are exact — ``Fraction(1, 3)`` admits one request
+    every three ticks); ``burst`` caps the bucket, bounding how many
+    back-to-back submissions a briefly idle tenant may land in one tick.
+    ``per_tenant`` maps tenant ids to ``(rate_per_tick, burst)`` pairs for
+    tenants whose contract differs from the default.
+    """
+
+    rate_per_tick: "int | float | str | Fraction" = 1
+    burst: "int | float | str | Fraction" = 1
+    per_tenant: Mapping[int, tuple] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _as_fraction(self.rate_per_tick, "rate_per_tick", Fraction(0))
+        _as_fraction(self.burst, "burst", Fraction(1))
+        for tenant, pair in self.per_tenant.items():
+            if len(pair) != 2:
+                raise InvalidParameterError(
+                    f"per_tenant[{tenant}] must be (rate_per_tick, burst), "
+                    f"got {pair!r}"
+                )
+            _as_fraction(pair[0], f"per_tenant[{tenant}] rate_per_tick", Fraction(0))
+            _as_fraction(pair[1], f"per_tenant[{tenant}] burst", Fraction(1))
+
+    def limits_for(self, tenant: int) -> tuple[Fraction, Fraction]:
+        """Effective ``(rate_per_tick, burst)`` for ``tenant``."""
+        pair = self.per_tenant.get(tenant)
+        if pair is not None:
+            return Fraction(pair[0]), Fraction(pair[1])
+        return Fraction(self.rate_per_tick), Fraction(self.burst)
+
+
+class TokenBucketLimiter:
+    """Tick-driven per-tenant token buckets.
+
+    The server calls :meth:`allow` once per submission (before queueing)
+    and :meth:`advance` once per slot tick (after scheduling), so the
+    admit/limit sequence is a pure function of the submission order and
+    the config — no clocks involved.
+    """
+
+    def __init__(self, config: RateLimitConfig, telemetry=None) -> None:
+        if not isinstance(config, RateLimitConfig):
+            raise InvalidParameterError(
+                f"config must be a RateLimitConfig, got {type(config).__name__}"
+            )
+        self.config = config
+        # tenant -> [tokens, rate, burst]; buckets start full so a fresh
+        # tenant gets its contractual burst immediately.
+        self._buckets: dict[int, list[Fraction]] = {}
+        if telemetry is not None:
+            self._c_allowed = telemetry.counter("server.rate_limiter.allowed")
+            self._c_limited = telemetry.counter("server.rate_limiter.limited")
+        else:
+            self._c_allowed = self._c_limited = None
+
+    def _bucket(self, tenant: int) -> list[Fraction]:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            rate, burst = self.config.limits_for(tenant)
+            bucket = self._buckets[tenant] = [burst, rate, burst]
+        return bucket
+
+    def allow(self, tenant: int) -> bool:
+        """Spend one token from ``tenant``'s bucket; False when empty."""
+        bucket = self._bucket(int(tenant))
+        if bucket[0] >= 1:
+            bucket[0] -= 1
+            if self._c_allowed is not None:
+                self._c_allowed.inc()
+            return True
+        if self._c_limited is not None:
+            self._c_limited.inc()
+        return False
+
+    def advance(self) -> None:
+        """Refill every live bucket by its per-tick rate (tick boundary)."""
+        for bucket in self._buckets.values():
+            bucket[0] = min(bucket[2], bucket[0] + bucket[1])
+
+    def tokens(self, tenant: int) -> Fraction:
+        """Current token balance (tests / introspection)."""
+        return self._bucket(int(tenant))[0]

@@ -82,6 +82,7 @@ from repro.service.journal import (
     request_tuple,
 )
 from repro.service.queue import BoundedQueue, OverflowPolicy, TenantAdmission
+from repro.service.ratelimit import RateLimitConfig, TokenBucketLimiter
 from repro.service.shard import ShardWorker
 from repro.service.supervisor import ShardSupervisor, SupervisorConfig
 from repro.service.telemetry import Telemetry, exponential_buckets
@@ -155,6 +156,10 @@ class RejectReason(enum.Enum):
     #: deserving.  Unlike ``DROPPED``, the casualty is chosen by priority
     #: class and weighted tenant share, not FIFO position.
     ADMISSION_SHED = "admission_shed"
+    #: Refused at the edge by the per-tenant token-bucket rate limiter
+    #: (:mod:`repro.service.ratelimit`) — the tenant's bucket was empty,
+    #: so the request never reached a queue or a shard.
+    RATE_LIMITED = "rate_limited"
 
 
 @dataclass(frozen=True, slots=True)
@@ -250,6 +255,12 @@ class SchedulingService:
         (snapshot cadence, file backend, fsync, dedup capacity) or
         ``False``/``None`` to disable, which falls back to the PR 4 aged
         checkpoints.  See ``docs/ROBUSTNESS.md``, "Durability & recovery".
+    rate_limit:
+        Optional :class:`~repro.service.ratelimit.RateLimitConfig`; when
+        given, every submission spends a token from its tenant's bucket
+        and an empty bucket resolves the request ``RATE_LIMITED`` at the
+        edge (never queued).  Buckets refill at each tick, so limiting is
+        deterministic — no clocks (``docs/SERVICE.md``).
     """
 
     def __init__(
@@ -273,6 +284,7 @@ class SchedulingService:
         breaker: BreakerConfig | None = None,
         supervisor: SupervisorConfig | None = None,
         durability: "DurabilityConfig | bool | None" = True,
+        rate_limit: "RateLimitConfig | None" = None,
     ) -> None:
         self.n_fibers = check_positive_int(n_fibers, "n_fibers")
         self.scheme = scheme
@@ -367,6 +379,11 @@ class SchedulingService:
             if durability is not None
             else None
         )
+        self.rate_limiter: TokenBucketLimiter | None = (
+            TokenBucketLimiter(rate_limit, self.telemetry)
+            if rate_limit is not None
+            else None
+        )
         # The transport edge: futures, dedup, per-reason counters (shared
         # implementation with the TCP/multi-process front doors).
         self.edge = SubmissionEdge(
@@ -454,6 +471,11 @@ class SchedulingService:
             request, future, deadline, time.perf_counter(), request_id
         )
         self.edge.note_submitted(request)
+        if self.rate_limiter is not None and not self.rate_limiter.allow(
+            request.tenant
+        ):
+            self._resolve_rejected(pending, RejectReason.RATE_LIMITED)
+            return future
         shard = self.shards[request.output_fiber]
         breaker = (
             self.breakers[request.output_fiber]
@@ -835,6 +857,8 @@ class SchedulingService:
                     policy_state,
                 )
         self._admission.decay()
+        if self.rate_limiter is not None:
+            self.rate_limiter.advance()
         self._slot += 1
         self._c_ticks.inc()
         self._g_slot.set(self._slot)

@@ -14,6 +14,7 @@ once, so the outcome counters partition the offered load::
     submitted == granted + rejected_contention + rejected_source
                + rejected_queue_full + dropped + timed_out + shutdown
                + shard_down + circuit_open + duplicate + admission_shed
+               + rate_limited
 
 ``shard_down``/``circuit_open`` are fault-path outcomes (see
 :mod:`repro.faults` and ``docs/ROBUSTNESS.md``): requests refused because
@@ -22,9 +23,12 @@ breaker.  ``duplicate`` counts submissions deduplicated by request id —
 each resolved immediately with the original's grant or a ``DUPLICATE``
 refusal, never scheduled again (exactly-once; ``docs/SERVICE.md``).
 ``admission_shed`` counts requests shed by per-tenant admission control
-(the ``SHED`` overflow policy — eviction *or* refusal at the door).  All
-four are zero in a fault-free, retry-free, unlimited-queue run, reducing
-the invariant to its original form.
+(the ``SHED`` overflow policy — eviction *or* refusal at the door).
+``rate_limited`` counts requests refused at the edge by the per-tenant
+token-bucket limiter (:mod:`repro.service.ratelimit`) — resolved before
+ever touching a queue or shard.  All five are zero in a fault-free,
+retry-free, unlimited-queue, unlimited-rate run, reducing the invariant
+to its original form.
 
 The same partition holds **per tenant**: the edge mirrors the aggregate
 counters as ``tenant.<id>.submitted`` / ``tenant.<id>.granted`` /

@@ -1,0 +1,289 @@
+"""The elastic autoscaler (:mod:`repro.service.autoscaler`).
+
+Decision logic runs against a fake in-memory service (fast, no worker
+processes): hysteresis streaks, cooldown, split/merge/relocate selection,
+fleet bounds, and decision determinism.  One end-to-end test drives a
+real :class:`~repro.net.procservice.ProcessShardedService` through an
+autoscaler-initiated split under a manufactured hotspot.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service.autoscaler import Autoscaler, AutoscalerConfig
+from repro.service.resharding import MigrationReport, ShardMove
+from repro.service.telemetry import Telemetry
+
+
+class _Queue:
+    def __init__(self) -> None:
+        self.depth = 0
+
+
+class _FakePool:
+    def __init__(self, service) -> None:
+        self._service = service
+
+    def shards_of(self, worker_id):
+        return sorted(
+            o
+            for o, w in self._service.placement.items()
+            if w == worker_id
+        )
+
+
+class FakeService:
+    """The elasticity surface the autoscaler needs, minus the processes."""
+
+    def __init__(self, n_shards=8, n_workers=2) -> None:
+        self.telemetry = Telemetry()
+        self.placement = {o: o % n_workers for o in range(n_shards)}
+        self.queues = [_Queue() for _ in range(n_shards)]
+        self.pool = _FakePool(self)
+        self._workers = list(range(n_workers))
+        self.log: list[tuple] = []
+
+    # -- signal surface ------------------------------------------------------
+
+    def active_workers(self):
+        return sorted(self._workers)
+
+    def worker_queue_depth(self, worker_id):
+        return sum(self.queues[o].depth for o in self.pool.shards_of(worker_id))
+
+    # -- elasticity surface --------------------------------------------------
+
+    def _report(self, shard, source, destination) -> MigrationReport:
+        return MigrationReport(
+            shard=shard,
+            source=source,
+            destination=destination,
+            payload_bytes=0,
+            journal_records=0,
+            next_tick=0,
+            pause_seconds=0.0,
+        )
+
+    def add_worker(self):
+        new = max(self._workers) + 1 if self._workers else 0
+        self._workers.append(new)
+        self.log.append(("add", new))
+        return new
+
+    def migrate_shard(self, shard, destination):
+        source = self.placement[shard]
+        self.placement[shard] = destination
+        self.log.append(("migrate", shard, source, destination))
+        return self._report(shard, source, destination)
+
+    def rebalance(self, moves=None, **_kwargs):
+        return [self.migrate_shard(m.shard, m.destination) for m in moves]
+
+    def remove_worker(self, worker_id, *, drain=True):
+        reports = []
+        if drain:
+            others = [w for w in self._workers if w != worker_id]
+            for i, o in enumerate(self.pool.shards_of(worker_id)):
+                reports.append(
+                    self.migrate_shard(o, others[i % len(others)])
+                )
+        self._workers.remove(worker_id)
+        self.log.append(("remove", worker_id))
+        return reports
+
+    # -- test drivers --------------------------------------------------------
+
+    def set_depth(self, shard, depth):
+        self.queues[shard].depth = depth
+
+
+def _autoscaler(service, **kwargs) -> Autoscaler:
+    defaults = dict(
+        high_watermark=10,
+        low_watermark=2,
+        hysteresis_ticks=3,
+        cooldown_ticks=2,
+        min_workers=1,
+        max_workers=4,
+    )
+    defaults.update(kwargs)
+    return Autoscaler(service, AutoscalerConfig(**defaults))
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"high_watermark": 0},
+            {"low_watermark": -1},
+            {"low_watermark": 10, "high_watermark": 10},
+            {"hysteresis_ticks": 0},
+            {"cooldown_ticks": -1},
+            {"min_workers": 0},
+            {"min_workers": 4, "max_workers": 2},
+        ],
+    )
+    def test_bad_parameters_are_typed(self, kwargs):
+        defaults = dict(high_watermark=10, low_watermark=2)
+        defaults.update(kwargs)
+        with pytest.raises(InvalidParameterError):
+            AutoscalerConfig(**defaults)
+
+
+class TestDecisions:
+    def test_hysteresis_delays_the_split(self):
+        service = FakeService()
+        scaler = _autoscaler(service)
+        service.set_depth(0, 50)  # worker 0 is hot
+        assert scaler.observe() is None
+        assert scaler.observe() is None
+        decision = scaler.observe()  # third consecutive hot tick
+        assert decision is not None and decision.action == "split"
+        assert decision.worker == 0
+        assert decision.new_worker == 2
+        # Half of worker 0's shards moved, deepest first.
+        assert 0 in service.pool.shards_of(2)
+        assert len(service.pool.shards_of(2)) == 2
+
+    def test_one_calm_tick_resets_the_streak(self):
+        service = FakeService()
+        scaler = _autoscaler(service)
+        service.set_depth(0, 50)
+        scaler.observe()
+        scaler.observe()
+        service.set_depth(0, 0)  # calm
+        assert scaler.observe() is None
+        service.set_depth(0, 50)
+        assert scaler.observe() is None  # streak restarted at 1
+        assert scaler.observe() is None
+        assert scaler.observe() is not None
+
+    def test_cooldown_suppresses_back_to_back_actions(self):
+        service = FakeService()
+        scaler = _autoscaler(service, cooldown_ticks=3)
+        service.set_depth(0, 50)
+        for _ in range(3):
+            scaler.observe()
+        assert len(scaler.decisions) == 1
+        service.set_depth(1, 50)  # still hot elsewhere
+        for _ in range(3):
+            assert scaler.observe() is None  # refractory
+        # Streak kept accruing during cooldown, so the next observation
+        # past it may act immediately.
+        assert scaler.observe() is not None
+        assert len(scaler.decisions) == 2
+
+    def test_split_respects_max_workers_and_relocates_instead(self):
+        service = FakeService(n_shards=8, n_workers=4)
+        scaler = _autoscaler(service, max_workers=4, cooldown_ticks=0)
+        service.set_depth(0, 30)
+        service.set_depth(4, 25)  # both on worker 0
+        for _ in range(2):
+            assert scaler.observe() is None
+        decision = scaler.observe()
+        assert decision.action == "relocate"
+        assert decision.worker == 0
+        # The deepest shard went to the least-loaded other worker.
+        assert service.placement[0] != 0
+        assert len(decision.reports) == 1
+
+    def test_single_shard_hotspot_is_left_alone(self):
+        service = FakeService(n_shards=2, n_workers=2)
+        scaler = _autoscaler(service)
+        service.set_depth(0, 99)
+        for _ in range(5):
+            assert scaler.observe() is None
+
+    def test_cold_fleet_merges_and_unwinds_scale_out(self):
+        service = FakeService()
+        scaler = _autoscaler(service, cooldown_ticks=0, min_workers=1)
+        # Everything idle: after the streak, the highest-id worker drains.
+        assert scaler.observe() is None
+        assert scaler.observe() is None
+        decision = scaler.observe()
+        assert decision.action == "merge"
+        assert decision.worker == 1
+        assert service.active_workers() == [0]
+        assert all(w == 0 for w in service.placement.values())
+        # min_workers floor: no further merges.
+        for _ in range(5):
+            assert scaler.observe() is None
+
+    def test_decisions_are_deterministic(self):
+        def drive():
+            service = FakeService()
+            scaler = _autoscaler(service, cooldown_ticks=1)
+            depths = [50, 50, 50, 0, 0, 0, 0, 0, 0, 50, 50, 50, 50]
+            for d in depths:
+                service.set_depth(0, d)
+                scaler.observe()
+            return [
+                (dec.action, dec.worker, dec.new_worker)
+                for dec in scaler.decisions
+            ], service.log
+
+        assert drive() == drive()
+
+    def test_telemetry_counters(self):
+        service = FakeService()
+        scaler = _autoscaler(service, cooldown_ticks=0)
+        service.set_depth(0, 50)
+        for _ in range(3):
+            scaler.observe()
+        counters = service.telemetry.counters("autoscaler")
+        assert counters["autoscaler.observations"] == 3
+        assert counters["autoscaler.splits"] == 1
+        assert counters["autoscaler.merges"] == 0
+
+
+@pytest.mark.net
+@pytest.mark.slow
+class TestLiveSplit:
+    def test_autoscaler_splits_a_real_hotspot(self):
+        from repro.core.distributed import SlotRequest
+        from repro.core.first_available import FirstAvailableScheduler
+        from repro.graphs.conversion import NonCircularConversion
+        from repro.net.procservice import ProcessShardedService
+        from repro.service.server import ServiceGrant
+
+        async def go():
+            service = ProcessShardedService(
+                4,
+                NonCircularConversion(3, 1, 1),
+                FirstAvailableScheduler(),
+                n_workers=2,
+            )
+            scaler = Autoscaler(
+                service,
+                AutoscalerConfig(
+                    high_watermark=2,
+                    low_watermark=1,
+                    hysteresis_ticks=1,
+                    cooldown_ticks=0,
+                    max_workers=3,
+                ),
+            )
+            try:
+                hot = service.pool.shards_of(0)
+                futures = [
+                    service.submit_nowait(SlotRequest(i % 4, w, o))
+                    for o in hot
+                    for i, w in enumerate((0, 1, 2))
+                ]
+                decision = scaler.observe()  # pre-tick: queues are deep
+                assert decision is not None and decision.action == "split"
+                assert decision.new_worker == 2
+                assert service.active_workers() == [0, 1, 2]
+                assert service.pool.shards_of(2)
+                await service.drain()
+                outcomes = await asyncio.gather(*futures)
+                assert any(
+                    isinstance(o, ServiceGrant) for o in outcomes
+                )
+                assert len(outcomes) == len(futures)
+            finally:
+                await service.stop()
+
+        asyncio.run(go())

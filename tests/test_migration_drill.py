@@ -1,0 +1,234 @@
+"""The PR-9 acceptance drill: live resharding under fire.
+
+One seeded run interleaves **three live migrations** with 20 slots of
+Bernoulli traffic:
+
+* a plain engine-driven move (``migrate_shard``);
+* a move whose destination process is poisoned to die (``os._exit``)
+  *mid-handoff*, immediately after journaling the adopted replica — the
+  pool's respawn+redeliver machinery must heal it;
+* an autoscaler-initiated split under the drill's own queue pressure.
+
+The audit, against a migration-free reference run on identical traffic:
+
+* **bit-identity** — every slot's grant set (winners *and* assigned
+  channels) and reject set match the reference exactly;
+* **conservation** — ``submitted == granted + every reject reason`` in
+  the telemetry counters, and every future resolved exactly once;
+* **exactly-once** — a ``request_id`` granted before a migration replays
+  the *same* grant when retried after its shard has moved owners.
+
+Everything is seeded; a failure reproduces exactly.
+"""
+
+import asyncio
+
+import pytest
+
+pytestmark = [pytest.mark.net, pytest.mark.slow]
+
+from repro.core.distributed import SlotRequest
+from repro.core.first_available import FirstAvailableScheduler
+from repro.graphs.conversion import NonCircularConversion
+from repro.net.procpool import POISON_AFTER_ADOPT
+from repro.net.procservice import ProcessShardedService
+from repro.service import Rejected, RejectReason, ServiceGrant
+from repro.service.autoscaler import Autoscaler, AutoscalerConfig
+from repro.sim.duration import DeterministicDuration
+from repro.sim.traffic import BernoulliTraffic
+from repro.util.rng import spawn_rngs
+
+SEED = 20030422
+N_FIBERS = 4
+K = 3
+N_SLOTS = 20
+LOAD = 0.9
+
+PLAIN_MIGRATE_AT = 4
+SIGKILL_MIGRATE_AT = 9
+AUTOSCALE_AT = 14
+PROBE_SLOT = 2
+
+
+def _traffic():
+    return BernoulliTraffic(
+        N_FIBERS, K, load=LOAD, durations=DeterministicDuration(2)
+    )
+
+
+def _drive(drill: bool):
+    """One full run; ``drill=True`` adds the three migrations."""
+    traffic = _traffic()
+    traffic_rng, _ = spawn_rngs(SEED, 2)
+
+    async def go():
+        service = ProcessShardedService(
+            N_FIBERS,
+            NonCircularConversion(K, 1, 1),
+            FirstAvailableScheduler(),
+            n_workers=2,
+            dedup_capacity=32,
+        )
+        scaler = Autoscaler(
+            service,
+            AutoscalerConfig(
+                high_watermark=2,
+                low_watermark=1,
+                hysteresis_ticks=1,
+                cooldown_ticks=0,
+                min_workers=1,
+                max_workers=3,
+            ),
+        )
+        slots = []
+        reports = []
+        probe_first = probe_replay = None
+        respawned_worker = None
+        try:
+            for slot in range(N_SLOTS):
+                if drill and slot == PLAIN_MIGRATE_AT:
+                    destination = 1 - service.placement[0]
+                    reports.append(service.migrate_shard(0, destination))
+                if drill and slot == SIGKILL_MIGRATE_AT:
+                    destination = 1 - service.placement[2]
+                    service.pool.call(
+                        destination, "poison", POISON_AFTER_ADOPT
+                    )
+                    reports.append(service.migrate_shard(2, destination))
+                    respawned_worker = destination
+                pairs = []
+                for p in traffic.arrivals(slot, traffic_rng):
+                    r = SlotRequest(
+                        p.input_fiber,
+                        p.wavelength,
+                        p.output_fiber,
+                        p.duration,
+                        p.priority,
+                    )
+                    pairs.append((r, service.submit_nowait(r)))
+                if slot == PROBE_SLOT:
+                    # The exactly-once probe rides along in BOTH runs so
+                    # the recorded slots stay comparable.
+                    probe_first = service.submit_nowait(
+                        SlotRequest(0, 0, 0), request_id="drill-probe"
+                    )
+                if drill and slot == AUTOSCALE_AT:
+                    # Queues are deep pre-tick: one observation is enough
+                    # for the 1-tick-hysteresis scaler to split.
+                    decision = scaler.observe()
+                    assert decision is not None
+                    assert decision.action == "split"
+                    assert decision.new_worker == 2
+                    reports.extend(decision.reports)
+                await service.tick()
+                granted = set()
+                rejected = set()
+                for r, f in pairs:
+                    out = f.result()
+                    if isinstance(out, ServiceGrant):
+                        granted.add(
+                            (
+                                r.input_fiber,
+                                r.wavelength,
+                                r.output_fiber,
+                                out.channel,
+                            )
+                        )
+                    else:
+                        rejected.add(
+                            (
+                                r.input_fiber,
+                                r.wavelength,
+                                r.output_fiber,
+                                out.reason.value,
+                            )
+                        )
+                slots.append({"granted": granted, "rejected": rejected})
+            # Retry the probe id after every migration has happened: the
+            # original grant must replay, not reschedule.
+            probe_replay = service.submit_nowait(
+                SlotRequest(0, 0, 0), request_id="drill-probe"
+            )
+            out_first = await asyncio.wait_for(probe_first, 10)
+            out_replay = await asyncio.wait_for(probe_replay, 10)
+            counters = dict(service.telemetry.counters())
+            if respawned_worker is not None:
+                respawns = service.pool._workers[respawned_worker].respawns
+            else:
+                respawns = 0
+            placement = dict(service.placement)
+            workers = service.active_workers()
+        finally:
+            await service.stop()
+        return {
+            "slots": slots,
+            "reports": reports,
+            "counters": counters,
+            "probe": (out_first, out_replay),
+            "respawns": respawns,
+            "placement": placement,
+            "workers": workers,
+        }
+
+    return asyncio.run(go())
+
+
+def _conservation(counters):
+    granted = counters.get("server.granted", 0)
+    rejected = sum(
+        n
+        for name, n in counters.items()
+        if name.startswith("server.rejected.")
+    )
+    terminal = sum(
+        counters.get(f"server.{name}", 0)
+        for name in ("dropped", "timed_out", "shutdown", "duplicate")
+    )
+    return counters.get("server.submitted", 0), granted + rejected + terminal
+
+
+def test_migration_drill_is_bit_identical_to_reference():
+    reference = _drive(drill=False)
+    drilled = _drive(drill=True)
+
+    # Three live migrations actually happened (the split may move more
+    # than one shard — each move is its own report).
+    assert len(drilled["reports"]) >= 3
+    assert {r.shard for r in drilled["reports"][:2]} == {0, 2}
+    assert all(not r.resumed for r in drilled["reports"])
+    # The poisoned destination died mid-handoff and was respawned.
+    assert drilled["respawns"] == 1
+    # The split brought worker 2 into the fleet with real ownership.
+    assert drilled["workers"] == [0, 1, 2]
+    assert 2 in drilled["placement"].values()
+
+    # Bit-identity, slot by slot.
+    assert len(drilled["slots"]) == len(reference["slots"]) == N_SLOTS
+    for slot, (ref, got) in enumerate(
+        zip(reference["slots"], drilled["slots"])
+    ):
+        assert got["granted"] == ref["granted"], f"slot {slot} grants drifted"
+        assert got["rejected"] == ref["rejected"], f"slot {slot} rejects drifted"
+    # The workload exercised contention and multi-slot blocking.
+    assert sum(len(s["granted"]) for s in reference["slots"]) > 0
+    assert any(
+        reason == RejectReason.CONTENTION.value
+        for s in reference["slots"]
+        for (_, _, _, reason) in s["rejected"]
+    )
+
+    # Conservation holds on both sides of the drill.
+    for run in (reference, drilled):
+        submitted, resolved = _conservation(run["counters"])
+        assert submitted == resolved
+        # Exactly-once: the retried id replayed the original grant.
+        first, replay = run["probe"]
+        assert isinstance(first, ServiceGrant)
+        assert replay is first
+        assert run["counters"].get("server.duplicate", 0) == 1
+
+
+def test_drill_reference_run_makes_no_migrations():
+    reference = _drive(drill=False)
+    assert reference["reports"] == []
+    assert reference["workers"] == [0, 1]

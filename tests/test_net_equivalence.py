@@ -24,7 +24,7 @@ pytestmark = [pytest.mark.net, pytest.mark.slow]
 from repro.core.break_first_available import BreakFirstAvailableScheduler
 from repro.core.distributed import SlotRequest
 from repro.core.first_available import FirstAvailableScheduler
-from repro.core.policies import FixedPriorityPolicy
+from repro.core.policies import FixedPriorityPolicy, RandomPolicy
 from repro.graphs.conversion import CircularConversion, NonCircularConversion
 from repro.net import protocol as proto
 from repro.net.client import NetClient
@@ -42,13 +42,13 @@ SEED = 20030422
 LOAD = 0.9
 
 
-def _run_simulator(scheme, scheduler, traffic, n_slots):
+def _run_simulator(scheme, scheduler, traffic, n_slots, policy=None):
     sim = SlottedSimulator(
         N_FIBERS,
         scheme,
         scheduler,
         traffic,
-        policy=FixedPriorityPolicy(),
+        policy=policy if policy is not None else FixedPriorityPolicy(),
         seed=SEED,
     )
     slots = []
@@ -105,7 +105,14 @@ def _sort_outcomes(pairs):
 
 
 def _run_proc_service(
-    scheme, scheduler, traffic, n_slots, *, journal_dir=None, kill_at=()
+    scheme,
+    scheduler,
+    traffic,
+    n_slots,
+    *,
+    journal_dir=None,
+    kill_at=(),
+    policy=None,
 ):
     """Drive ProcessShardedService one tick per traffic slot; optionally
     SIGKILL the worker owning shard ``slot % n_workers`` before the
@@ -119,6 +126,7 @@ def _run_proc_service(
             scheduler,
             n_workers=2,
             journal_dir=journal_dir,
+            policy=policy,
         )
         slots = []
         blocked = []
@@ -255,6 +263,57 @@ def test_kill_and_recover_does_not_drift_a_grant(tmp_path):
         N_SLOTS,
         journal_dir=tmp_path,
         kill_at=(8, 17),  # 8 % 2 == 0 kills worker 0; 17 % 2 kills worker 1
+    )
+    _assert_identical(sim_slots, sim_blocked, svc_slots, svc_blocked)
+
+
+def test_stateful_random_policy_is_bit_identical():
+    """RandomPolicy has one RNG spanning all outputs — the case the
+    multi-process service used to refuse.  Stateful mode threads the
+    canonical RNG state through serialized per-shard worker calls in
+    global fiber order, so every draw lands in the same sequence as the
+    simulator's single-process policy."""
+    scheme = NonCircularConversion(8, 1, 1)
+    durations = DeterministicDuration(2)
+    sim_slots, sim_blocked = _run_simulator(
+        scheme,
+        FirstAvailableScheduler(),
+        _traffic(scheme, durations),
+        N_SLOTS,
+        policy=RandomPolicy(seed=777),
+    )
+    svc_slots, svc_blocked = _run_proc_service(
+        scheme,
+        FirstAvailableScheduler(),
+        _traffic(scheme, durations),
+        N_SLOTS,
+        policy=RandomPolicy(seed=777),
+    )
+    _assert_identical(sim_slots, sim_blocked, svc_slots, svc_blocked)
+
+
+def test_stateful_kill_and_recover_does_not_drift(tmp_path):
+    """SIGKILL workers mid-run under the stateful policy: the respawn
+    strips uncommitted write-ahead, the parent's finish_tick re-journals
+    lost grants, and the retried per-shard calls re-run with the same
+    pre-draw RNG state — no grant drifts."""
+    scheme = NonCircularConversion(8, 1, 1)
+    durations = DeterministicDuration(3)
+    sim_slots, sim_blocked = _run_simulator(
+        scheme,
+        FirstAvailableScheduler(),
+        _traffic(scheme, durations),
+        N_SLOTS,
+        policy=RandomPolicy(seed=777),
+    )
+    svc_slots, svc_blocked = _run_proc_service(
+        scheme,
+        FirstAvailableScheduler(),
+        _traffic(scheme, durations),
+        N_SLOTS,
+        journal_dir=tmp_path,
+        kill_at=(8, 17),
+        policy=RandomPolicy(seed=777),
     )
     _assert_identical(sim_slots, sim_blocked, svc_slots, svc_blocked)
 

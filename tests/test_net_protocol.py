@@ -19,6 +19,8 @@ from repro.net.protocol import (
     ErrorMsg,
     Grant,
     Hello,
+    Migrate,
+    Migrated,
     MsgType,
     Reject,
     Submit,
@@ -74,6 +76,18 @@ messages_st = st.one_of(
     ),
     st.builds(TickAdvance, count=st.integers(min_value=1, max_value=0xFFFFFFFF)),
     st.builds(TickDone, slot=_I64, granted=_U32),
+    st.builds(Migrate, seq=_SEQ, shard=_U32, destination=_U32),
+    st.builds(
+        Migrated,
+        seq=_SEQ,
+        shard=_U32,
+        source=_U32,
+        destination=_U32,
+        next_tick=st.integers(min_value=0, max_value=2**64 - 1),
+        payload_bytes=st.integers(min_value=0, max_value=2**64 - 1),
+        journal_records=st.integers(min_value=0, max_value=2**64 - 1),
+        resumed=st.booleans(),
+    ),
 )
 
 
@@ -95,6 +109,8 @@ class TestRoundTrip:
             MsgType.REJECT,
             MsgType.TICK_ADVANCE,
             MsgType.TICK_DONE,
+            MsgType.MIGRATE,
+            MsgType.MIGRATED,
         }
         assert sampled == set(MsgType)
 
@@ -104,6 +120,7 @@ class TestRoundTrip:
         # Pinned values: the wire contract, not the enum definition order.
         assert reject_reason_code(RejectReason.CONTENTION) == 1
         assert reject_reason_code(RejectReason.DUPLICATE) == 9
+        assert reject_reason_code(RejectReason.RATE_LIMITED) == 11
 
     def test_unknown_reason_code_is_typed(self):
         with pytest.raises(ProtocolError):
@@ -185,11 +202,12 @@ class TestHandshake:
     def test_negotiate_none_when_disjoint(self):
         assert negotiate_version((7, 8), (1,)) is None
 
-    def test_current_versions_are_one_and_two(self):
-        assert PROTOCOL_VERSIONS == (1, 2)
-        assert negotiate_version(PROTOCOL_VERSIONS) == 2
-        # A v1-only peer still lands on 1.
+    def test_current_versions_are_one_two_three(self):
+        assert PROTOCOL_VERSIONS == (1, 2, 3)
+        assert negotiate_version(PROTOCOL_VERSIONS) == 3
+        # Older single-version peers still land on their version.
         assert negotiate_version((1,)) == 1
+        assert negotiate_version((2,)) == 2
 
     def test_submit_converts_to_slot_request(self):
         s = Submit(5, input_fiber=2, wavelength=3, output_fiber=1, duration=4)

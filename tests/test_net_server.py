@@ -56,7 +56,7 @@ class TestHandshake:
             service, server = await _stack()
             client = await NetClient.connect("127.0.0.1", server.port)
             try:
-                assert client.version == max(proto.PROTOCOL_VERSIONS) == 2
+                assert client.version == max(proto.PROTOCOL_VERSIONS) == 3
                 assert client.n_fibers == N_FIBERS
                 assert client.k == K
             finally:

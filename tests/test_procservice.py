@@ -42,9 +42,18 @@ def run(coro):
 
 
 class TestConstruction:
-    def test_stateful_policy_is_refused(self):
-        with pytest.raises(InvalidParameterError, match="partitions by output"):
-            _service(policy=RandomPolicy(seed=1))
+    def test_stateful_policy_is_accepted(self):
+        # Pre-resharding builds refused policies that do not partition by
+        # output; stateful mode now threads the canonical policy state
+        # through per-shard run_shard calls (see docs/SERVICE.md).
+        async def go():
+            service = _service(policy=RandomPolicy(seed=1))
+            try:
+                assert service._stateful
+            finally:
+                await service.stop()
+
+        run(go())
 
     def test_placement_covers_every_shard(self):
         async def go():

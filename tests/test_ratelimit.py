@@ -1,0 +1,241 @@
+"""Per-tenant token-bucket rate limiting (:mod:`repro.service.ratelimit`).
+
+Unit coverage for the bucket mechanics (deterministic tick-driven refill,
+fractional rates, per-tenant overrides) plus the service-level contract:
+a ``RATE_LIMITED`` request resolves at the edge, participates in the
+conservation invariant (aggregate and per tenant), and never touches a
+queue or a shard.
+"""
+
+import asyncio
+from fractions import Fraction
+
+import pytest
+
+from repro.core.distributed import SlotRequest
+from repro.core.first_available import FirstAvailableScheduler
+from repro.errors import InvalidParameterError
+from repro.graphs.conversion import NonCircularConversion
+from repro.service.ratelimit import RateLimitConfig, TokenBucketLimiter
+from repro.service.server import (
+    Rejected,
+    RejectReason,
+    SchedulingService,
+    ServiceGrant,
+)
+from repro.service.telemetry import Telemetry
+
+N_FIBERS, K = 4, 3
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _service(**kwargs) -> SchedulingService:
+    return SchedulingService(
+        N_FIBERS,
+        NonCircularConversion(K, 1, 1),
+        FirstAvailableScheduler(),
+        **kwargs,
+    )
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        cfg = RateLimitConfig()
+        assert cfg.limits_for(0) == (Fraction(1), Fraction(1))
+
+    def test_per_tenant_override(self):
+        cfg = RateLimitConfig(rate_per_tick=2, burst=4, per_tenant={7: (1, 1)})
+        assert cfg.limits_for(0) == (Fraction(2), Fraction(4))
+        assert cfg.limits_for(7) == (Fraction(1), Fraction(1))
+
+    def test_fractional_rate_is_exact(self):
+        cfg = RateLimitConfig(rate_per_tick=Fraction(1, 3), burst=1)
+        assert cfg.limits_for(0)[0] == Fraction(1, 3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_per_tick": -1},
+            {"burst": 0},
+            {"rate_per_tick": "nope"},
+            {"per_tenant": {1: (1,)}},
+            {"per_tenant": {1: (1, 0)}},
+        ],
+    )
+    def test_bad_parameters_are_typed(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            RateLimitConfig(**kwargs)
+
+    def test_limiter_requires_config(self):
+        with pytest.raises(InvalidParameterError):
+            TokenBucketLimiter({"rate": 1})
+
+
+class TestBucketMechanics:
+    def test_burst_then_starve_then_refill(self):
+        limiter = TokenBucketLimiter(RateLimitConfig(rate_per_tick=1, burst=3))
+        assert [limiter.allow(0) for _ in range(5)] == [
+            True,
+            True,
+            True,
+            False,
+            False,
+        ]
+        limiter.advance()
+        assert limiter.allow(0)
+        assert not limiter.allow(0)
+
+    def test_refill_caps_at_burst(self):
+        limiter = TokenBucketLimiter(RateLimitConfig(rate_per_tick=5, burst=2))
+        for _ in range(10):
+            limiter.advance()
+        assert limiter.tokens(0) == 2
+
+    def test_fractional_rate_admits_every_nth_tick(self):
+        limiter = TokenBucketLimiter(
+            RateLimitConfig(rate_per_tick=Fraction(1, 3), burst=1)
+        )
+        assert limiter.allow(0)  # the initial burst token
+        admitted = []
+        for _ in range(9):
+            limiter.advance()
+            admitted.append(limiter.allow(0))
+        # Exactly one admit per three ticks — no float drift, ever.
+        assert admitted == [False, False, True] * 3
+
+    def test_tenants_are_independent(self):
+        limiter = TokenBucketLimiter(
+            RateLimitConfig(rate_per_tick=1, burst=1, per_tenant={1: (1, 3)})
+        )
+        assert limiter.allow(0)
+        assert not limiter.allow(0)
+        assert [limiter.allow(1) for _ in range(4)] == [True, True, True, False]
+
+    def test_decision_sequence_is_deterministic(self):
+        def drive():
+            limiter = TokenBucketLimiter(
+                RateLimitConfig(rate_per_tick=Fraction(2, 3), burst=2)
+            )
+            out = []
+            for step in range(30):
+                out.append(limiter.allow(step % 2))
+                if step % 3 == 0:
+                    limiter.advance()
+            return out
+
+        assert drive() == drive()
+
+    def test_telemetry_counters(self):
+        t = Telemetry()
+        limiter = TokenBucketLimiter(
+            RateLimitConfig(rate_per_tick=1, burst=1), t
+        )
+        limiter.allow(0)
+        limiter.allow(0)
+        counters = t.counters("server.rate_limiter")
+        assert counters["server.rate_limiter.allowed"] == 1
+        assert counters["server.rate_limiter.limited"] == 1
+
+
+class TestServiceIntegration:
+    def test_rate_limited_resolves_at_the_edge(self):
+        async def go():
+            service = _service(
+                rate_limit=RateLimitConfig(rate_per_tick=1, burst=2)
+            )
+            futures = [
+                service.submit_nowait(SlotRequest(o, 0, o)) for o in range(4)
+            ]
+            assert service.queue_depth_total == 2  # two never queued
+            await service.tick()
+            outcomes = await asyncio.gather(*futures)
+            await service.stop()
+            return outcomes, service.telemetry.counters()
+
+        outcomes, counters = run(go())
+        granted = [o for o in outcomes if isinstance(o, ServiceGrant)]
+        limited = [
+            o
+            for o in outcomes
+            if isinstance(o, Rejected)
+            and o.reason is RejectReason.RATE_LIMITED
+        ]
+        assert len(granted) == 2 and len(limited) == 2
+        assert counters["server.rejected.rate_limited"] == 2
+        # Conservation: submitted == granted + rate_limited here.
+        assert counters["server.submitted"] == 4
+        assert counters["server.granted"] == 2
+
+    def test_per_tenant_conservation_holds(self):
+        async def go():
+            service = _service(
+                rate_limit=RateLimitConfig(
+                    rate_per_tick=1, burst=1, per_tenant={2: (4, 4)}
+                )
+            )
+            futures = []
+            for i in range(3):
+                futures.append(
+                    service.submit_nowait(SlotRequest(i, 0, 0, tenant=1))
+                )
+                futures.append(
+                    service.submit_nowait(SlotRequest(i, 1, 1, tenant=2))
+                )
+            await service.tick()
+            await asyncio.gather(*futures)
+            counters = service.telemetry.counters()
+            await service.stop()
+            return counters
+
+        counters = run(go())
+        # Tenant 1: burst 1 -> one through, two limited.
+        assert counters["tenant.1.submitted"] == 3
+        assert counters["tenant.1.rejected.rate_limited"] == 2
+        assert (
+            counters["tenant.1.submitted"]
+            == counters["tenant.1.granted"]
+            + counters.get("tenant.1.rejected.contention", 0)
+            + counters["tenant.1.rejected.rate_limited"]
+        )
+        # Tenant 2's override admits all three.
+        assert counters["tenant.2.submitted"] == 3
+        assert "tenant.2.rejected.rate_limited" not in counters
+
+    def test_buckets_refill_across_ticks(self):
+        async def go():
+            service = _service(
+                rate_limit=RateLimitConfig(rate_per_tick=1, burst=1)
+            )
+            outcomes = []
+            for _ in range(3):
+                fut = service.submit_nowait(SlotRequest(0, 0, 0))
+                await service.tick()
+                outcomes.append(await fut)
+            await service.stop()
+            return outcomes
+
+        outcomes = run(go())
+        # One submission per tick never trips a rate of 1/tick.
+        assert all(isinstance(o, ServiceGrant) for o in outcomes)
+
+    def test_unlimited_by_default(self):
+        async def go():
+            service = _service()
+            assert service.rate_limiter is None
+            futures = [
+                service.submit_nowait(SlotRequest(i % N_FIBERS, i // N_FIBERS, 0))
+                for i in range(8)
+            ]
+            await service.tick()
+            outcomes = await asyncio.gather(*futures)
+            await service.stop()
+            return outcomes
+
+        outcomes = run(go())
+        assert not any(
+            isinstance(o, Rejected) and o.reason is RejectReason.RATE_LIMITED
+            for o in outcomes
+        )

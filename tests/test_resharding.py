@@ -1,0 +1,391 @@
+"""Live shard migration (:mod:`repro.service.resharding`).
+
+Three layers of coverage:
+
+* the :class:`HandoffPayload` codec — bit-identical round trips, typed
+  :class:`~repro.errors.MigrationError` on truncation/corruption;
+* the migration engine against real worker processes — placement flips,
+  busy[] survives the move bit-identically, policy slices travel, and a
+  run with migrations interleaved makes the same grants as one without;
+* crash injection — an armed :class:`~repro.faults.CrashPoints` kills
+  the engine at every phase of the state machine and a re-drive
+  converges; a worker process dying *mid-handoff* (``os._exit`` after
+  adoption) is healed by the pool's respawn+redeliver machinery.
+"""
+
+import asyncio
+
+import pytest
+
+pytestmark = [pytest.mark.net, pytest.mark.slow]
+
+from repro.core.distributed import SlotRequest
+from repro.core.first_available import FirstAvailableScheduler
+from repro.core.policies import RoundRobinPolicy
+from repro.errors import (
+    CrashPointError,
+    InvalidParameterError,
+    MigrationError,
+    WorkerProcessError,
+)
+from repro.faults import CrashPoints
+from repro.graphs.conversion import NonCircularConversion
+from repro.net.procpool import POISON_AFTER_ADOPT
+from repro.net.procservice import ProcessShardedService
+from repro.service.journal import JournalRecord, RecordType
+from repro.service.resharding import (
+    MIGRATION_PHASES,
+    HandoffPayload,
+    ShardMove,
+)
+from repro.service.server import ServiceGrant
+
+N_FIBERS, K = 4, 3
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _service(**kwargs) -> ProcessShardedService:
+    kwargs.setdefault("n_workers", 2)
+    return ProcessShardedService(
+        N_FIBERS,
+        NonCircularConversion(K, 1, 1),
+        FirstAvailableScheduler(),
+        **kwargs,
+    )
+
+
+class TestHandoffPayload:
+    def _payload(self, **kwargs) -> HandoffPayload:
+        records = [
+            JournalRecord(RecordType.GRANT, 0, (0, 0, 0, 0, 1, 0, 0)),
+            JournalRecord(RecordType.ADVANCE, 0, ()),
+        ]
+        defaults = dict(
+            shard=2,
+            k=3,
+            next_tick=1,
+            busy=(0, 4, 0),
+            records=records,
+            policy_state={"pointers": [[2, 0, 5]]},
+        )
+        defaults.update(kwargs)
+        return HandoffPayload.from_records(**defaults)
+
+    def test_round_trip_is_bit_identical(self):
+        payload = self._payload()
+        blob = payload.encode()
+        again = HandoffPayload.decode(blob)
+        assert again == payload
+        assert again.encode() == blob
+        assert [r.type for r in again.records()] == [
+            RecordType.GRANT,
+            RecordType.ADVANCE,
+        ]
+
+    def test_round_trip_without_policy_state(self):
+        payload = self._payload(policy_state=None)
+        assert HandoffPayload.decode(payload.encode()).policy_state is None
+
+    def test_round_trip_with_snapshot(self):
+        payload = self._payload(snapshot=b"\x00\x01snapbytes")
+        assert (
+            HandoffPayload.decode(payload.encode()).snapshot
+            == b"\x00\x01snapbytes"
+        )
+
+    def test_truncation_at_every_boundary_is_typed(self):
+        blob = self._payload().encode()
+        for cut in range(len(blob)):
+            with pytest.raises(MigrationError):
+                HandoffPayload.decode(blob[:cut])
+
+    def test_single_byte_corruption_is_typed(self):
+        blob = self._payload().encode()
+        for pos in range(len(blob)):
+            hostile = bytearray(blob)
+            hostile[pos] ^= 0xFF
+            with pytest.raises(MigrationError):
+                HandoffPayload.decode(bytes(hostile))
+
+    def test_trailing_garbage_is_typed(self):
+        with pytest.raises(MigrationError):
+            HandoffPayload.decode(self._payload().encode() + b"x")
+
+    def test_bad_magic_is_typed(self):
+        blob = bytearray(self._payload().encode())
+        blob[:4] = b"NOPE"
+        with pytest.raises(MigrationError, match="magic"):
+            HandoffPayload.decode(bytes(blob))
+
+    def test_torn_journal_stream_is_typed(self):
+        payload = self._payload()
+        torn = HandoffPayload(
+            shard=payload.shard,
+            k=payload.k,
+            next_tick=payload.next_tick,
+            busy=payload.busy,
+            journal=payload.journal[:-3],
+        )
+        with pytest.raises(MigrationError, match="torn"):
+            torn.records()
+
+
+class TestLiveMigration:
+    def test_placement_flips_and_busy_survives(self):
+        async def go():
+            service = _service()
+            try:
+                fut = service.submit_nowait(SlotRequest(0, 0, 0, duration=5))
+                await service.tick()
+                assert isinstance(await fut, ServiceGrant)
+                busy_before = service.worker_busy(0)
+                source = service.placement[0]
+                destination = 1 - source
+                report = service.migrate_shard(0, destination)
+                assert service.placement[0] == destination
+                assert report.source == source
+                assert report.destination == destination
+                assert report.journal_records >= 2
+                assert not report.resumed
+                # The destination's replica carries the identical clock.
+                assert service.worker_busy(0) == busy_before
+                # And keeps ticking from it.
+                await service.tick()
+                assert max(service.worker_busy(0)) == max(busy_before) - 1
+            finally:
+                await service.stop()
+
+        run(go())
+
+    def test_migrated_run_grants_identically(self):
+        """The tentpole bit-identity claim in miniature: interleaving
+        migrations between ticks changes no grant decision."""
+
+        def traffic(slot):
+            return [
+                SlotRequest(
+                    (slot + i) % N_FIBERS, i % K, (slot * 2 + i) % N_FIBERS
+                )
+                for i in range(3)
+            ]
+
+        async def drive(migrate_at):
+            service = _service()
+            slots = []
+            try:
+                for slot in range(12):
+                    if slot in migrate_at:
+                        shard = migrate_at[slot]
+                        destination = 1 - service.placement[shard]
+                        service.migrate_shard(shard, destination)
+                    pairs = [
+                        (r, service.submit_nowait(r)) for r in traffic(slot)
+                    ]
+                    await service.tick()
+                    slots.append(
+                        sorted(
+                            (
+                                r.input_fiber,
+                                r.wavelength,
+                                r.output_fiber,
+                                f.result().channel
+                                if isinstance(f.result(), ServiceGrant)
+                                else -1,
+                            )
+                            for r, f in pairs
+                        )
+                    )
+            finally:
+                await service.stop()
+            return slots
+
+        reference = run(drive({}))
+        migrated = run(drive({3: 0, 6: 2, 9: 0}))
+        assert migrated == reference
+
+    def test_round_robin_policy_slice_travels(self):
+        """RoundRobinPolicy partitions per output: the migrating shard's
+        pointer slice must move with it, so post-move rotation continues
+        where the old owner left off (same winners as an unmigrated run)."""
+
+        def burst(slot):
+            # Three inputs race for output 0, wavelength 0, every slot.
+            return [SlotRequest(i, 0, 0) for i in range(3)]
+
+        async def drive(migrate):
+            service = _service(policy=RoundRobinPolicy())
+            winners = []
+            try:
+                for slot in range(6):
+                    if migrate and slot == 3:
+                        service.migrate_shard(0, 1 - service.placement[0])
+                    pairs = [
+                        (r, service.submit_nowait(r)) for r in burst(slot)
+                    ]
+                    await service.tick()
+                    winners.append(
+                        sorted(
+                            r.input_fiber
+                            for r, f in pairs
+                            if isinstance(f.result(), ServiceGrant)
+                        )
+                    )
+            finally:
+                await service.stop()
+            return winners
+
+        assert run(drive(True)) == run(drive(False))
+
+    def test_rebalance_to_target_placement(self):
+        async def go():
+            service = _service()
+            try:
+                before = dict(service.placement)
+                target = {o: o % 2 for o in range(N_FIBERS)}
+                reports = service.rebalance(target=target)
+                assert service.placement == target
+                # The moves were exactly the disagreeing shards.
+                assert {r.shard for r in reports} == {
+                    o for o in range(N_FIBERS) if before[o] != target[o]
+                }
+                await service.tick()
+            finally:
+                await service.stop()
+
+        run(go())
+
+    def test_bad_moves_are_typed(self):
+        async def go():
+            service = _service()
+            try:
+                with pytest.raises(MigrationError, match="not active"):
+                    service.migrate_shard(0, 99)
+                with pytest.raises(MigrationError, match="not placed"):
+                    service.migrate_shard(99, 0)
+                with pytest.raises(InvalidParameterError, match="exactly one"):
+                    service.rebalance()
+                with pytest.raises(InvalidParameterError, match="exactly one"):
+                    service.rebalance(
+                        moves=[ShardMove(0, 0, 1)], target={0: 1}
+                    )
+            finally:
+                await service.stop()
+
+        run(go())
+
+
+class TestElasticity:
+    def test_add_then_drain_then_remove(self):
+        async def go():
+            service = _service()
+            try:
+                new = service.add_worker()
+                assert new == 2
+                assert service.active_workers() == [0, 1, 2]
+                service.migrate_shard(0, new)
+                service.migrate_shard(1, new)
+                fut = service.submit_nowait(SlotRequest(0, 0, 0))
+                await service.tick()
+                assert isinstance(await fut, ServiceGrant)
+                # Removing while the worker owns shards requires a drain.
+                with pytest.raises(WorkerProcessError, match="migrate"):
+                    service.pool.remove_worker(new)
+                reports = service.remove_worker(new)
+                assert {r.shard for r in reports} == {0, 1}
+                assert service.active_workers() == [0, 1]
+                # The retired id is a tombstone, not reusable.
+                with pytest.raises(WorkerProcessError, match="retired"):
+                    service.pool.call(new, "busy")
+                assert service.add_worker() == 3
+                # Traffic still flows after the churn.
+                fut2 = service.submit_nowait(SlotRequest(1, 1, 0))
+                await service.tick()
+                assert isinstance(await fut2, ServiceGrant)
+            finally:
+                await service.stop()
+
+        run(go())
+
+    def test_cannot_remove_last_worker(self):
+        async def go():
+            service = _service(n_workers=1)
+            try:
+                # The pool refuses while shards are owned; the service's
+                # drain path refuses because there is nowhere to drain to.
+                with pytest.raises(WorkerProcessError, match="owns shards"):
+                    service.pool.remove_worker(0)
+                with pytest.raises(InvalidParameterError, match="last active"):
+                    service.remove_worker(0)
+            finally:
+                await service.stop()
+
+        run(go())
+
+
+class TestCrashInjection:
+    @pytest.mark.parametrize("phase", MIGRATION_PHASES)
+    def test_kill_at_every_phase_then_redrive_converges(self, phase):
+        async def go():
+            service = _service()
+            try:
+                fut = service.submit_nowait(SlotRequest(0, 0, 0, duration=4))
+                await service.tick()
+                assert isinstance(await fut, ServiceGrant)
+                busy_before = service.worker_busy(0)
+                source = service.placement[0]
+                destination = 1 - source
+                crashpoints = CrashPoints(arm=[phase])
+                with pytest.raises(CrashPointError, match=phase):
+                    service.migrate_shard(
+                        0, destination, crashpoints=crashpoints
+                    )
+                # Pre-flip deaths leave the source authoritative;
+                # post-flip deaths leave the destination authoritative.
+                pre_flip = phase in MIGRATION_PHASES[:3]
+                assert service.placement[0] == (
+                    source if pre_flip else destination
+                )
+                # Re-driving the same move converges either way...
+                report = service.migrate_shard(
+                    0, destination, crashpoints=crashpoints
+                )
+                assert service.placement[0] == destination
+                assert report.resumed == (not pre_flip)
+                # ...with the replica's clock bit-identical throughout.
+                assert service.worker_busy(0) == busy_before
+                await service.tick()
+                assert max(service.worker_busy(0)) == max(busy_before) - 1
+            finally:
+                await service.stop()
+
+        run(go())
+
+    def test_worker_death_mid_handoff_is_healed(self):
+        """The destination process dies (``os._exit``) immediately after
+        journaling the adopted replica: the pool respawns it, redelivers
+        the adopt, and the migration completes with the identical clock."""
+
+        async def go():
+            service = _service()
+            try:
+                fut = service.submit_nowait(SlotRequest(0, 0, 0, duration=4))
+                await service.tick()
+                assert isinstance(await fut, ServiceGrant)
+                busy_before = service.worker_busy(0)
+                source = service.placement[0]
+                destination = 1 - source
+                service.pool.call(destination, "poison", POISON_AFTER_ADOPT)
+                report = service.migrate_shard(0, destination)
+                assert service.pool._workers[destination].respawns == 1
+                assert service.placement[0] == destination
+                assert not report.resumed
+                assert service.worker_busy(0) == busy_before
+                await service.tick()
+                assert max(service.worker_busy(0)) == max(busy_before) - 1
+            finally:
+                await service.stop()
+
+        run(go())

@@ -1,0 +1,134 @@
+"""Property suite for the migration wave planner.
+
+:func:`repro.service.resharding.plan_waves` colors simultaneous shard
+moves into conflict-free waves.  The properties the robustness story
+leans on (``docs/ROBUSTNESS.md``, "Live resharding"):
+
+* within one wave no worker appears in two moves — in particular, no
+  worker is ever both a source and a destination in the same wave;
+* every move is scheduled exactly once;
+* the number of waves never exceeds the documented ``2·Δ − 1`` bound
+  (``Δ`` = the maximum number of moves touching one worker);
+* planning is deterministic in the move *set* (input order immaterial).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.service.resharding import (
+    ShardMove,
+    max_move_degree,
+    plan_waves,
+    wave_bound,
+)
+
+
+@st.composite
+def move_sets(draw, max_moves=24, max_workers=8):
+    """Distinct-shard move lists over a small worker fleet."""
+    n_moves = draw(st.integers(min_value=0, max_value=max_moves))
+    shards = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=255),
+            min_size=n_moves,
+            max_size=n_moves,
+            unique=True,
+        )
+    )
+    moves = []
+    for shard in shards:
+        source = draw(st.integers(min_value=0, max_value=max_workers - 1))
+        destination = draw(
+            st.integers(min_value=0, max_value=max_workers - 1).filter(
+                lambda w: w != source
+            )
+        )
+        moves.append(ShardMove(shard=shard, source=source, destination=destination))
+    return moves
+
+
+class TestWaveProperties:
+    @given(move_sets())
+    def test_no_worker_twice_in_a_wave(self, moves):
+        for wave in plan_waves(moves):
+            participants = [w for m in wave for w in (m.source, m.destination)]
+            assert len(participants) == len(set(participants))
+
+    @given(move_sets())
+    def test_no_worker_is_source_and_destination_in_a_wave(self, moves):
+        # Implied by the stronger property above, but this is the
+        # contract the docs state — assert it directly.
+        for wave in plan_waves(moves):
+            sources = {m.source for m in wave}
+            destinations = {m.destination for m in wave}
+            assert not (sources & destinations)
+
+    @given(move_sets())
+    def test_every_move_scheduled_exactly_once(self, moves):
+        planned = [m for wave in plan_waves(moves) for m in wave]
+        assert sorted(planned) == sorted(moves)
+
+    @given(move_sets())
+    def test_wave_count_within_documented_bound(self, moves):
+        waves = plan_waves(moves)
+        assert len(waves) <= wave_bound(moves)
+        # And the bound itself is what the docstring says it is.
+        d = max_move_degree(moves)
+        assert wave_bound(moves) == (2 * d - 1 if d else 0)
+
+    @given(move_sets(), st.randoms(use_true_random=False))
+    def test_plan_is_deterministic_in_the_move_set(self, moves, rng):
+        shuffled = list(moves)
+        rng.shuffle(shuffled)
+        assert plan_waves(shuffled) == plan_waves(moves)
+
+    @given(move_sets())
+    def test_waves_are_never_empty(self, moves):
+        waves = plan_waves(moves)
+        assert all(wave for wave in waves)
+        if not moves:
+            assert waves == []
+
+
+class TestWaveUnits:
+    def test_self_move_is_rejected(self):
+        with pytest.raises(InvalidParameterError, match="source == destination"):
+            ShardMove(shard=0, source=1, destination=1)
+
+    def test_duplicate_shard_is_rejected(self):
+        moves = [
+            ShardMove(shard=3, source=0, destination=1),
+            ShardMove(shard=3, source=1, destination=2),
+        ]
+        with pytest.raises(InvalidParameterError, match="two moves"):
+            plan_waves(moves)
+
+    def test_disjoint_moves_share_one_wave(self):
+        moves = [
+            ShardMove(shard=0, source=0, destination=1),
+            ShardMove(shard=1, source=2, destination=3),
+        ]
+        assert plan_waves(moves) == [sorted(moves)]
+
+    def test_chain_is_serialized(self):
+        # 0 -> 1 and 1 -> 2 share worker 1: two waves, source-then-dest
+        # never collapses into one.
+        moves = [
+            ShardMove(shard=0, source=0, destination=1),
+            ShardMove(shard=1, source=1, destination=2),
+        ]
+        waves = plan_waves(moves)
+        assert len(waves) == 2
+        assert [len(w) for w in waves] == [1, 1]
+
+    def test_degree_and_bound_on_a_star(self):
+        # Three moves all landing on worker 0: Δ = 3, bound = 5, and the
+        # planner needs exactly Δ waves (one landing per wave).
+        moves = [
+            ShardMove(shard=o, source=o + 1, destination=0) for o in range(3)
+        ]
+        assert max_move_degree(moves) == 3
+        assert wave_bound(moves) == 5
+        assert len(plan_waves(moves)) == 3
