@@ -1,0 +1,142 @@
+"""Benchmark the chaos proxy's passthrough tax.
+
+The network chaos drill (``tests/test_net_chaos.py``) routes every
+frame through :class:`repro.net.chaos.ChaosProxy`.  For the drill's
+timing assertions to mean anything, the proxy itself must be cheap when
+its plan is empty — this benchmark measures submit+tick round-trip
+latency direct vs proxied and reports the overhead ratio.  It is
+informational (the harness does not gate on it): a proxy hop doubles
+the kernel socket crossings, so some overhead is expected; what matters
+is that it stays a small constant factor, not a per-frame stall.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_net_chaos.py
+
+or under pytest for a smoke-sized run with shape assertions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.core.distributed import SlotRequest
+from repro.core.first_available import FirstAvailableScheduler
+from repro.faults.net import NetFaultPlan
+from repro.graphs.conversion import NonCircularConversion
+from repro.net.chaos import ChaosProxy
+from repro.net.client import NetClient
+from repro.net.server import NetServer
+from repro.service import SchedulingService
+from repro.util.tables import format_table
+
+N_FIBERS, K = 8, 4
+
+
+@dataclass
+class ChaosBenchResult:
+    path: str
+    slots: int
+    submitted: int
+    granted: int
+    elapsed: float
+    slots_per_second: float
+
+
+async def _drive(port: int, slots: int) -> tuple[int, int, float]:
+    client = await NetClient.connect("127.0.0.1", port)
+    submitted = granted = 0
+    t0 = time.perf_counter()
+    try:
+        for slot in range(slots):
+            futs = [
+                client.submit_nowait(
+                    SlotRequest((slot + j) % N_FIBERS, j % K, j % N_FIBERS)
+                )
+                for j in range(4)
+            ]
+            submitted += len(futs)
+            await client.tick(1)
+            for outcome in await asyncio.gather(*futs):
+                granted += outcome.__class__.__name__ == "Grant"
+    finally:
+        elapsed = time.perf_counter() - t0
+        await client.close()
+    return submitted, granted, elapsed
+
+
+def run_chaos_bench(*, proxied: bool, slots: int = 200) -> ChaosBenchResult:
+    async def go() -> ChaosBenchResult:
+        service = SchedulingService(
+            N_FIBERS,
+            NonCircularConversion(K, 1, 1),
+            FirstAvailableScheduler(),
+            durability=False,
+        )
+        server = NetServer(service)
+        await server.start()
+        proxy = None
+        try:
+            port = server.port
+            if proxied:
+                proxy = ChaosProxy(
+                    "127.0.0.1", server.port, NetFaultPlan()
+                )
+                await proxy.start()
+                port = proxy.port
+            submitted, granted, elapsed = await _drive(port, slots)
+        finally:
+            if proxy is not None:
+                await proxy.close()
+            await server.stop()
+            await service.stop()
+        return ChaosBenchResult(
+            path="proxied" if proxied else "direct",
+            slots=slots,
+            submitted=submitted,
+            granted=granted,
+            elapsed=elapsed,
+            slots_per_second=slots / elapsed if elapsed > 0 else 0.0,
+        )
+
+    return asyncio.run(go())
+
+
+def render(results: list[ChaosBenchResult]) -> str:
+    return format_table(
+        ["path", "slots", "submitted", "granted", "elapsed (s)", "slots/s"],
+        [
+            (r.path, r.slots, r.submitted, r.granted,
+             round(r.elapsed, 4), round(r.slots_per_second, 1))
+            for r in results
+        ],
+        title="Chaos proxy passthrough tax (empty fault plan): "
+        "direct TCP vs client -> proxy -> server",
+    )
+
+
+# -- pytest entry points (smoke-sized: shapes, not absolute speed) ----------
+
+def test_chaos_proxy_passthrough_shape():
+    direct = run_chaos_bench(proxied=False, slots=30)
+    proxied = run_chaos_bench(proxied=True, slots=30)
+    for r in (direct, proxied):
+        assert r.submitted == 4 * 30
+        assert r.granted > 0
+        assert r.slots_per_second > 0
+    # Identical service semantics on both paths.
+    assert proxied.granted == direct.granted
+
+
+def main() -> None:
+    direct = run_chaos_bench(proxied=False)
+    proxied = run_chaos_bench(proxied=True)
+    print(render([direct, proxied]))
+    ratio = direct.elapsed and proxied.elapsed / direct.elapsed
+    print(f"proxy overhead: {ratio:.2f}x elapsed (informational)")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,7 @@ __all__ = [
     "MigrationError",
     "CrashPointError",
     "ProtocolError",
+    "ConnectionLostError",
     "FramingError",
     "WorkerProcessError",
 ]
@@ -128,6 +129,16 @@ class ProtocolError(ReproError, RuntimeError):
     or no protocol version in common.  Always a *typed* failure — corrupt
     or truncated network input must surface as this (or a subclass), never
     as a bare ``struct.error`` or a reader that hangs."""
+
+
+class ConnectionLostError(ProtocolError):
+    """The transport under a :mod:`repro.net` connection died mid-flight:
+    reset, EOF inside a frame, or a failed liveness probe.  Unlike its
+    parent this is *retryable* — the peer said nothing wrong, the wire
+    just went away — so :class:`repro.net.client.ResilientNetClient`
+    reconnects and redelivers on exactly this type (and on
+    :class:`FramingError`, where killing the connection is the protocol's
+    own corruption response)."""
 
 
 class FramingError(ProtocolError):

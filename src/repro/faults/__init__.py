@@ -10,6 +10,10 @@ repo degrades against:
 * :mod:`~repro.faults.injector` — :class:`FaultInjector`, the per-slot
   query object consumed by both simulation engines (``faults=`` parameter)
   and the scheduling service.
+* :mod:`~repro.faults.net` — :class:`NetFaultPlan` and its timed wire
+  faults (latency spikes, write stalls, mid-frame resets, byte
+  corruption, duplicate delivery, partitions), executed by
+  :class:`repro.net.chaos.ChaosProxy` against the TCP stack.
 
 See ``docs/ROBUSTNESS.md`` for the full fault model and the chaos-harness
 usage, and ``tests/test_chaos.py`` for the seeded end-to-end drill.
@@ -17,6 +21,15 @@ usage, and ``tests/test_chaos.py`` for the seeded end-to-end drill.
 
 from repro.faults.crashpoints import CrashPoints, TornWriter
 from repro.faults.injector import FaultInjector, as_injector
+from repro.faults.net import (
+    ConnReset,
+    CorruptByte,
+    DuplicateFrame,
+    LatencySpike,
+    NetFaultPlan,
+    Partition,
+    WriteStall,
+)
 from repro.faults.plan import (
     ChannelOutage,
     ConverterDegradation,
@@ -26,11 +39,18 @@ from repro.faults.plan import (
 
 __all__ = [
     "ChannelOutage",
+    "ConnReset",
     "ConverterDegradation",
+    "CorruptByte",
     "CrashPoints",
+    "DuplicateFrame",
     "FaultInjector",
     "FaultPlan",
+    "LatencySpike",
+    "NetFaultPlan",
+    "Partition",
     "ShardCrash",
     "TornWriter",
+    "WriteStall",
     "as_injector",
 ]

@@ -18,11 +18,16 @@ process:
   :class:`~repro.sim.engine.SlottedSimulator`.
 * :mod:`repro.net.loadgen` — a process-based load generator that drives
   the TCP front door from separate OS processes.
+* :mod:`repro.net.chaos` — a fault-injecting TCP proxy executing seeded
+  :class:`~repro.faults.net.NetFaultPlan` wire faults, paired with
+  :class:`~repro.net.client.ResilientNetClient`'s reconnect/redelivery
+  and heartbeat liveness (protocol v4).
 
 See ``docs/SERVICE.md`` ("Wire protocol" and "Multi-process deployment").
 """
 
-from repro.net.client import NetClient
+from repro.net.chaos import ChaosProxy
+from repro.net.client import NetClient, ResilientNetClient
 from repro.net.placement import HashRing
 from repro.net.procservice import ProcessShardedService
 from repro.net.protocol import (
@@ -33,6 +38,8 @@ from repro.net.protocol import (
     Hello,
     Migrate,
     Migrated,
+    Ping,
+    Pong,
     Reject,
     Submit,
     TickAdvance,
@@ -70,11 +77,15 @@ __all__ = [
     "TickDone",
     "Migrate",
     "Migrated",
+    "Ping",
+    "Pong",
     "encode_message",
     "decode_message",
     "negotiate_version",
     "NetServer",
     "NetClient",
+    "ResilientNetClient",
+    "ChaosProxy",
     "NetLoadReport",
     "run_load",
     "HashRing",

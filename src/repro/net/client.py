@@ -21,16 +21,29 @@ import asyncio
 from collections import deque
 from typing import TYPE_CHECKING
 
-from repro.errors import FramingError, ProtocolError
+from repro.errors import ConnectionLostError, FramingError, ProtocolError
 from repro.net import protocol as proto
+from repro.service.server import RejectReason
 from repro.util.framing import FrameDecoder, encode_frame
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.distributed import SlotRequest
 
-__all__ = ["NetClient"]
+__all__ = ["NetClient", "ResilientNetClient", "RETRYABLE_NET_ERRORS"]
 
 _READ_CHUNK = 65536
+
+#: Exception types that mean "the wire died, the request may still be
+#: in doubt" — :class:`ResilientNetClient` reconnects and redelivers on
+#: these.  A plain :class:`ProtocolError` (server-side ERROR reply) is
+#: deliberately absent: the server answered, retrying would loop.
+RETRYABLE_NET_ERRORS = (
+    ConnectionLostError,
+    FramingError,
+    ConnectionError,
+    asyncio.TimeoutError,
+    OSError,
+)
 
 
 class NetClient:
@@ -55,6 +68,12 @@ class NetClient:
         self._seq = 0
         self._pending: "dict[int, asyncio.Future[proto.Grant | proto.Reject]]" = {}
         self._tick_waiters: "deque[asyncio.Future[proto.TickDone]]" = deque()
+        self._ping_waiters: "dict[int, asyncio.Future[proto.Pong]]" = {}
+        self._ping_token = 0
+        #: The server's slot as last reported by TICK_DONE or PONG
+        #: (``-1`` until either arrives).  A reconnecting client PINGs to
+        #: resync this before re-driving ticks.
+        self.server_slot = -1
         self._closing = False
         self._conn_error: Exception | None = None
         self._reader_task = asyncio.get_running_loop().create_task(
@@ -120,6 +139,28 @@ class NetClient:
     def closed(self) -> bool:
         return self._closing
 
+    @property
+    def healthy(self) -> bool:
+        """True while the connection is open and has seen no transport
+        or protocol failure."""
+        return not self._closing and self._conn_error is None
+
+    def abort(self, reason: str = "connection aborted") -> None:
+        """Kill the transport *now* (liveness failure, chaos).
+
+        Unlike :meth:`close` this sends nothing: the reader wakes on the
+        reset and every in-flight future fails with
+        :class:`~repro.errors.ConnectionLostError` — the retryable kind —
+        so a resilient wrapper reconnects instead of surfacing the error.
+        """
+        if self._closing:
+            return
+        if self._conn_error is None:
+            self._conn_error = ConnectionLostError(reason)
+        transport = self._writer.transport
+        if transport is not None:
+            transport.abort()
+
     async def close(self) -> None:
         """Send BYE (best-effort), tear the connection down, reap the
         reader task, and cancel anything still pending.  Idempotent."""
@@ -147,9 +188,14 @@ class NetClient:
         """Resolve every in-flight future: with ``error`` when the
         connection died underneath us, by cancellation on clean close
         (cancelled futures never warn about unretrieved exceptions)."""
-        pending = list(self._pending.values()) + list(self._tick_waiters)
+        pending = (
+            list(self._pending.values())
+            + list(self._tick_waiters)
+            + list(self._ping_waiters.values())
+        )
         self._pending.clear()
         self._tick_waiters.clear()
+        self._ping_waiters.clear()
         for fut in pending:
             if fut.done():
                 continue
@@ -257,6 +303,33 @@ class NetClient:
             fut.cancel()
             raise
 
+    async def ping(self) -> proto.Pong:
+        """Heartbeat (protocol ≥ 4): awaits the PONG echoing our token.
+
+        The PONG carries the server's slot, refreshing
+        :attr:`server_slot` — reconnect logic pings before re-driving
+        ticks so advancement stays idempotent."""
+        self._check_open()
+        if self.version < 4:
+            raise ProtocolError(
+                f"PING needs protocol >= 4; the server negotiated "
+                f"version {self.version}"
+            )
+        self._ping_token += 1
+        token = self._ping_token
+        fut: "asyncio.Future[proto.Pong]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._ping_waiters[token] = fut
+        self._send(proto.Ping(token))
+        try:
+            await self._writer.drain()
+            return await fut
+        except asyncio.CancelledError:
+            self._ping_waiters.pop(token, None)
+            fut.cancel()
+            raise
+
     async def tick(self, count: int = 1) -> proto.TickDone:
         """Ask the server to run ``count`` slot ticks; awaits TICK_DONE."""
         self._check_open()
@@ -286,23 +359,36 @@ class NetClient:
                 data = await self._reader.read(_READ_CHUNK)
                 if not data:
                     if not decoder.at_boundary:
-                        error = ProtocolError("server closed mid-frame")
+                        error = ConnectionLostError("server closed mid-frame")
                     elif not self._closing:
-                        error = ConnectionResetError("server closed")
+                        error = ConnectionLostError("server closed")
                     break
                 for payload in decoder.feed(data):
                     msg = proto.decode_message(payload)
                     if isinstance(msg, proto.Bye):
+                        if not self._closing:
+                            # Server-initiated goodbye (idle reap, drain):
+                            # the connection is gone for all future calls,
+                            # and retryably so — a resilient wrapper should
+                            # reconnect, not surface an error.
+                            error = ConnectionLostError(
+                                "server closed the connection (BYE)"
+                            )
                         return
                     self._dispatch(msg)
         except (FramingError, ProtocolError) as exc:
             error = exc
         except (ConnectionError, OSError) as exc:
             if not self._closing:
-                error = ProtocolError(f"connection lost: {exc}")
+                error = ConnectionLostError(f"connection lost: {exc}")
         finally:
-            if error is not None:
+            # abort() may already have pinned a cause; keep the first.
+            if error is None:
+                error = self._conn_error if not self._closing else None
+            elif self._conn_error is None:
                 self._conn_error = error
+            else:
+                error = self._conn_error
             self._fail_pending(error)
 
     def _dispatch(self, msg: "proto.Message") -> None:
@@ -311,12 +397,24 @@ class NetClient:
             if fut is not None and not fut.done():
                 fut.set_result(msg)
         elif isinstance(msg, proto.TickDone):
+            self.server_slot = max(self.server_slot, msg.slot)
             if self._tick_waiters:
                 fut = self._tick_waiters.popleft()
                 if not fut.done():
                     fut.set_result(msg)
+        elif isinstance(msg, proto.Pong):
+            self.server_slot = max(self.server_slot, msg.slot)
+            fut = self._ping_waiters.pop(msg.token, None)
+            if fut is not None and not fut.done():
+                fut.set_result(msg)
         elif isinstance(msg, proto.ErrorMsg):
             if msg.seq == 0:
+                if msg.code == proto.ErrorCode.BAD_FRAME:
+                    # The server killed the connection because *our*
+                    # bytes arrived corrupt — wire damage, retryable.
+                    raise ConnectionLostError(
+                        f"server dropped corrupt stream: {msg.message}"
+                    )
                 raise ProtocolError(
                     f"connection-level error {msg.code}: {msg.message}"
                 )
@@ -329,3 +427,323 @@ class NetClient:
             raise ProtocolError(
                 f"unexpected {type(msg).__name__} from server"
             )
+
+
+class ResilientNetClient:
+    """A self-healing façade over :class:`NetClient` (protocol ≥ 4).
+
+    Survives the faults :class:`repro.net.chaos.ChaosProxy` injects —
+    resets, corruption-killed connections, partitions — by reconnecting
+    with exponential backoff and *redelivering* in-doubt requests under
+    their original ``request_id``, so the server's exactly-once dedup
+    (:meth:`repro.service.edge.SubmissionEdge.check_duplicate`) replays
+    the recorded outcome instead of double-granting.
+
+    The liveness contract:
+
+    * Every submit carries a ``request_id`` (caller-supplied or
+      auto-generated), making redelivery safe.
+    * ``timeout_ticks`` deadlines are pinned to an absolute *server slot*
+      at first send; redelivery shrinks the remaining budget, so a
+      request cannot outlive its deadline by riding a reconnect.  An
+      in-doubt DUPLICATE (redelivery raced the still-pending original)
+      waits one tick and resubmits — dedup then replays the real outcome.
+    * :meth:`advance_to` is the idempotent tick driver: it PINGs after
+      reconnect to learn the true server slot and only requests the
+      missing ticks, never double-ticking.
+    * When the reconnect deadline is exhausted, :meth:`submit` degrades
+      gracefully: it resolves with a synthesized
+      ``Reject(reason=UNAVAILABLE, slot=-1)`` instead of hanging on a
+      partition (tick driving raises
+      :class:`~repro.errors.ConnectionLostError` instead — there is no
+      meaningful degraded tick).
+    * An optional heartbeat task PINGs every ``heartbeat_interval``
+      seconds and aborts the connection after ``liveness_timeout``
+      without a PONG; the next operation then reconnects.
+
+    The shutdown-hygiene contract of :class:`NetClient` carries over:
+    :meth:`close` reaps the heartbeat task and the inner client.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        versions: tuple[int, ...] = proto.PROTOCOL_VERSIONS,
+        connect_timeout: float = 10.0,
+        reconnect_backoff: float = 0.05,
+        reconnect_backoff_max: float = 1.0,
+        reconnect_deadline: float = 10.0,
+        heartbeat_interval: float | None = None,
+        liveness_timeout: float | None = None,
+        id_prefix: str = "rc",
+    ) -> None:
+        for name, value in (
+            ("connect_timeout", connect_timeout),
+            ("reconnect_backoff", reconnect_backoff),
+            ("reconnect_backoff_max", reconnect_backoff_max),
+            ("reconnect_deadline", reconnect_deadline),
+        ):
+            if value <= 0:
+                raise ProtocolError(f"{name} must be > 0, got {value}")
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ProtocolError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval}"
+            )
+        self.host = host
+        self.port = port
+        self.versions = tuple(versions)
+        self.connect_timeout = connect_timeout
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_backoff_max = reconnect_backoff_max
+        self.reconnect_deadline = reconnect_deadline
+        self.heartbeat_interval = heartbeat_interval
+        self.liveness_timeout = (
+            liveness_timeout
+            if liveness_timeout is not None
+            else (None if heartbeat_interval is None else 2 * heartbeat_interval)
+        )
+        self.id_prefix = id_prefix
+        self.version = 0
+        self.n_fibers = 0
+        self.k = 0
+        #: Completed reconnects (0 while the first connection lives).
+        self.reconnects = 0
+        #: Synthesized UNAVAILABLE rejects (reconnect budget exhausted).
+        self.unavailable_rejects = 0
+        self._client: NetClient | None = None
+        self._conn_lock = asyncio.Lock()
+        self._hb_task: asyncio.Task | None = None
+        self._closed = False
+        self._had_connection = False
+        self._auto_seq = 0
+        self._ticked = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    async def connect(cls, host: str, port: int, **kwargs) -> "ResilientNetClient":
+        """Connect (retrying within the reconnect deadline) and start the
+        heartbeat task if one is configured."""
+        self = cls(host, port, **kwargs)
+        await self._ensure_connected()
+        if self.heartbeat_interval is not None:
+            self._hb_task = asyncio.get_running_loop().create_task(
+                self._heartbeat_loop(), name="repro-netclient-heartbeat"
+            )
+        return self
+
+    async def __aenter__(self) -> "ResilientNetClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def server_slot(self) -> int:
+        """Last slot the server reported (``-1`` before the first PONG)."""
+        return -1 if self._client is None else self._client.server_slot
+
+    async def close(self) -> None:
+        """Reap the heartbeat, close the inner client, wake waiters."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._hb_task is not None:
+            self._hb_task.cancel()
+            try:
+                await self._hb_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        async with self._conn_lock:
+            if self._client is not None:
+                await self._client.close()
+                self._client = None
+        self._signal_tick()
+
+    # -- connection management -----------------------------------------------
+
+    async def _ensure_connected(self) -> NetClient:
+        """Return a healthy inner client, reconnecting with backoff.
+
+        Raises :class:`~repro.errors.ConnectionLostError` once
+        ``reconnect_deadline`` seconds of attempts fail — the caller
+        decides whether that degrades (submit) or propagates (ticking).
+        """
+        if self._closed:
+            raise ProtocolError("client is closed")
+        c = self._client
+        if c is not None and c.healthy:
+            return c
+        async with self._conn_lock:
+            if self._closed:
+                raise ProtocolError("client is closed")
+            c = self._client
+            if c is not None and c.healthy:
+                return c
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            backoff = self.reconnect_backoff
+            attempts = 0
+            while True:
+                if self._client is not None:
+                    old, self._client = self._client, None
+                    await old.close()
+                try:
+                    c = await NetClient.connect(
+                        self.host,
+                        self.port,
+                        versions=self.versions,
+                        timeout=self.connect_timeout,
+                    )
+                    self._client = c
+                    if c.version >= 4:
+                        # Resync the server slot before anyone re-drives
+                        # ticks or re-pins a deadline.
+                        await c.ping()
+                except (ProtocolError, *RETRYABLE_NET_ERRORS) as exc:
+                    attempts += 1
+                    if loop.time() - start + backoff > self.reconnect_deadline:
+                        raise ConnectionLostError(
+                            f"reconnect to {self.host}:{self.port} failed for "
+                            f"{self.reconnect_deadline}s ({attempts} attempts): "
+                            f"{exc}"
+                        ) from exc
+                    await asyncio.sleep(backoff)
+                    backoff = min(backoff * 2, self.reconnect_backoff_max)
+                    continue
+                if self._had_connection:
+                    self.reconnects += 1
+                self._had_connection = True
+                self.version, self.n_fibers, self.k = (
+                    c.version, c.n_fibers, c.k,
+                )
+                return c
+
+    async def _heartbeat_loop(self) -> None:
+        while not self._closed:
+            await asyncio.sleep(self.heartbeat_interval)
+            c = self._client
+            if c is None or not c.healthy or c.version < 4:
+                continue
+            try:
+                await asyncio.wait_for(c.ping(), self.liveness_timeout)
+            except (ProtocolError, *RETRYABLE_NET_ERRORS):
+                c.abort(
+                    f"no PONG within {self.liveness_timeout}s liveness window"
+                )
+
+    def _signal_tick(self) -> None:
+        old = self._ticked
+        self._ticked = asyncio.Event()
+        old.set()
+
+    # -- requests ------------------------------------------------------------
+
+    async def submit(
+        self,
+        request: "SlotRequest",
+        *,
+        timeout_ticks: int = -1,
+        request_id: str = "",
+        deadline_slot: int | None = None,
+    ) -> "proto.Grant | proto.Reject":
+        """Submit with at-most-once effect and graceful degradation.
+
+        Resolves with the server's Grant/Reject; on reconnect-budget
+        exhaustion resolves with a synthesized
+        ``Reject(reason=UNAVAILABLE, slot=-1)`` rather than hanging.
+
+        ``deadline_slot`` pins the absolute expiry slot; otherwise a
+        non-negative ``timeout_ticks`` is converted against the server
+        slot known when the coroutine first runs.  Callers racing a tick
+        driver (the chaos drill) should pin ``deadline_slot`` themselves
+        from :attr:`server_slot` *before* scheduling the coroutine, so
+        the deadline cannot slip onto a later slot.
+        """
+        if self._closed:
+            raise ProtocolError("client is closed")
+        if deadline_slot is not None and deadline_slot < 0:
+            raise ProtocolError(
+                f"deadline_slot must be >= 0, got {deadline_slot}"
+            )
+        if not request_id:
+            self._auto_seq += 1
+            request_id = f"{self.id_prefix}-{self._auto_seq}"
+        while True:
+            try:
+                client = await self._ensure_connected()
+            except ConnectionLostError:
+                self.unavailable_rejects += 1
+                return proto.Reject(0, RejectReason.UNAVAILABLE, slot=-1)
+            if deadline_slot is None and timeout_ticks >= 0:
+                deadline_slot = max(client.server_slot, 0) + timeout_ticks
+            tt = timeout_ticks
+            if deadline_slot is not None:
+                tt = max(0, deadline_slot - max(client.server_slot, 0))
+            try:
+                reply = await client.submit(
+                    request, timeout_ticks=tt, request_id=request_id
+                )
+            except RETRYABLE_NET_ERRORS:
+                continue  # reconnect and redeliver under the same id
+            if (
+                isinstance(reply, proto.Reject)
+                and reply.reason is RejectReason.DUPLICATE
+            ):
+                # In doubt.  Either our redelivery raced the still-pending
+                # original, or the *network* delivered our SUBMIT twice
+                # and the immediate DUPLICATE reject outran the real
+                # outcome (both carry our seq).  The wrapper never reuses
+                # a request_id across logical requests, so a DUPLICATE
+                # can only mean "the original is still in flight": wait
+                # for a tick to resolve it, then resubmit — dedup replays
+                # the recorded grant (or treats a released reject as a
+                # fresh, already-expired request).
+                ev = self._ticked
+                try:
+                    await asyncio.wait_for(ev.wait(), 5.0)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            return reply
+
+    async def advance_to(self, target_slot: int) -> int:
+        """Idempotently drive the server to ``target_slot``.
+
+        After any reconnect the handshake PING re-learns the true server
+        slot, so only the missing ticks are requested — a tick burst
+        severed mid-flight is never replayed.  Returns the server slot
+        (≥ ``target_slot``).  Raises
+        :class:`~repro.errors.ConnectionLostError` when the reconnect
+        budget is exhausted.
+        """
+        if target_slot < 0:
+            raise ProtocolError(f"target_slot must be >= 0, got {target_slot}")
+        while True:
+            client = await self._ensure_connected()
+            if client.version < 4:
+                raise ProtocolError(
+                    "advance_to needs protocol >= 4 (PING slot resync); "
+                    f"the server negotiated version {client.version}"
+                )
+            if client.server_slot >= target_slot:
+                return client.server_slot
+            try:
+                await client.tick(target_slot - client.server_slot)
+            except RETRYABLE_NET_ERRORS:
+                continue
+            self._signal_tick()
+
+    async def tick(self, count: int = 1) -> int:
+        """Run ``count`` further ticks (idempotent via :meth:`advance_to`);
+        returns the resulting server slot."""
+        if count < 1:
+            raise ProtocolError(f"count must be >= 1, got {count}")
+        client = await self._ensure_connected()
+        return await self.advance_to(max(client.server_slot, 0) + count)

@@ -34,6 +34,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
@@ -70,6 +71,10 @@ POISON_BEFORE_REPLY = "before_reply"
 #: Die after installing an adopted shard, before acknowledging it — the
 #: destination-side mid-handoff kill (the parent's retry re-adopts).
 POISON_AFTER_ADOPT = "after_adopt"
+#: Stall (sleep) before answering the next op — the unresponsive-worker
+#: drill: the worker is alive but wedged, so the parent's receive
+#: timeout must trip, kill it, and respawn.  ``("stall", seconds)``.
+POISON_STALL = "stall"
 
 
 # -- worker process ----------------------------------------------------------
@@ -147,6 +152,7 @@ def worker_main(
         for o in shard_ids
     }
     poison: str | None = None
+    stall_s = 0.0
     conn.send(("ready", {o: s.next_tick for o, s in shards.items()}))
     while True:
         try:
@@ -154,6 +160,12 @@ def worker_main(
         except (EOFError, OSError):
             break
         op = msg[0]
+        if poison == POISON_STALL and op != "poison":
+            # Wedged, not dead: sleep through the parent's receive
+            # timeout (it kills and respawns us), then serve normally —
+            # one-shot, like the other poisons.
+            poison = None
+            time.sleep(stall_s)
         if op == "run_tick":
             _slot, work = msg[1], msg[2]
             result: list[tuple[int, list, list]] = []
@@ -173,6 +185,12 @@ def worker_main(
                     ]
                     result.append((o, winners, rejected))
                     continue
+                # Catch up slots this shard missed while its worker was
+                # unreachable (parent ticks kept running): pure journaled
+                # clock decay, so availability reflects the start of
+                # ``_slot`` exactly as if the worker had been up.
+                while shard.next_tick < _slot:
+                    shard.advance(shard.next_tick)
                 _res, granted, rejected_reqs = schedule_output_fiber(
                     scheme,
                     scheduler,
@@ -210,8 +228,11 @@ def worker_main(
             if poison == POISON_AFTER_GRANT and granted_any:
                 os._exit(1)  # died between grant journaling and advance
             for shard in shards.values():
-                if _slot >= shard.next_tick:
-                    shard.advance(_slot)
+                # The while form also catches up idle shards that missed
+                # slots during a partition (journaled ADVANCE per missed
+                # slot keeps crash replay exact).
+                while shard.next_tick <= _slot:
+                    shard.advance(shard.next_tick)
             if poison == POISON_BEFORE_REPLY:
                 os._exit(1)  # died after completing, before replying
             conn.send(("tick_done", result))
@@ -234,6 +255,9 @@ def worker_main(
                 )
                 continue
             policy.restore_state(policy_state)
+            # Same missed-slot catch-up as run_tick (partition healing).
+            while shard.next_tick < _slot:
+                shard.advance(shard.next_tick)
             requests = [_request_from_wire(t) for t in req_tuples]
             _res, granted, rejected_reqs = schedule_output_fiber(
                 scheme,
@@ -282,6 +306,11 @@ def worker_main(
             for o, shard in shards.items():
                 if _slot < shard.next_tick:
                     continue
+                # Partition healing: decay the missed slots *before*
+                # re-applying this slot's grants (they were computed
+                # against availability at the start of ``_slot``).
+                while shard.next_tick < _slot:
+                    shard.advance(shard.next_tick)
                 if not shard.replayed_grants(_slot):
                     tuples = grants_by_shard.get(o) or []
                     if tuples:
@@ -351,6 +380,8 @@ def worker_main(
             conn.send(("busy", {o: list(s.busy) for o, s in shards.items()}))
         elif op == "poison":
             poison = msg[1]
+            if poison == POISON_STALL:
+                stall_s = float(msg[2]) if len(msg) > 2 else 60.0
             conn.send(("ok",))
         elif op == "stop":
             for s in shards.values():
@@ -383,8 +414,21 @@ def request_wire_tuple(r) -> tuple[int, int, int, int, int, int]:
 # -- parent-side pool --------------------------------------------------------
 
 
+class _WorkerUnresponsive(Exception):
+    """A live worker process stopped answering within the pool's receive
+    timeout (wedged, not dead) — the caller kills and respawns it."""
+
+
 class _WorkerHandle:
-    __slots__ = ("worker_id", "process", "conn", "lock", "respawns", "retired")
+    __slots__ = (
+        "worker_id",
+        "process",
+        "conn",
+        "lock",
+        "respawns",
+        "retired",
+        "partitioned",
+    )
 
     def __init__(self, worker_id: int) -> None:
         self.worker_id = worker_id
@@ -395,6 +439,10 @@ class _WorkerHandle:
         # A retired worker's id stays allocated (ids are dense list
         # indices) but it has no process and accepts no calls.
         self.retired = False
+        # Chaos hook (partition_worker): while True, calls fail fast as
+        # WorkerProcessError — the parent-side view of an edge↔worker
+        # partition (the process is fine; we just cannot reach it).
+        self.partitioned = False
 
 
 class ProcessShardPool:
@@ -420,14 +468,30 @@ class ProcessShardPool:
         n_workers: int = 2,
         journal_dir: str | os.PathLike | None = None,
         ring_replicas: int = 256,
+        unresponsive_timeout: float = 30.0,
+        telemetry=None,
     ) -> None:
         self.n_fibers = check_positive_int(n_fibers, "n_fibers")
         check_positive_int(n_workers, "n_workers")
+        if unresponsive_timeout <= 0:
+            raise InvalidParameterError(
+                "unresponsive_timeout must be > 0, got "
+                f"{unresponsive_timeout}"
+            )
         self.scheme = scheme
         self.scheduler = scheduler
         self.policy = policy
         self.journal_dir = None if journal_dir is None else str(journal_dir)
         self.ring_replicas = ring_replicas
+        #: How long ``_recv`` waits for a *live* worker before declaring
+        #: it wedged.  A wedged worker is killed and respawned like a
+        #: crashed one (ticks are idempotent on redelivery).
+        self.unresponsive_timeout = float(unresponsive_timeout)
+        self.telemetry = telemetry
+        self._c_unresponsive = (
+            None if telemetry is None
+            else telemetry.counter("procpool.unresponsive")
+        )
         self.ring = HashRing(range(n_workers), replicas=ring_replicas)
         #: Live shard → worker map.  Seeded from the bounded-load ring,
         #: then *mutated* by live migration: :meth:`set_owner` flips one
@@ -502,14 +566,30 @@ class ProcessShardPool:
         h.process.start()
         child_conn.close()
         h.conn = parent_conn
-        tag, _payload = self._recv(h)
+        try:
+            # Start-up is not a liveness question: a fresh interpreter +
+            # journal replay legitimately takes longer than a tuned-down
+            # ``unresponsive_timeout``, so the ready handshake gets its
+            # own (generous) budget.
+            tag, _payload = self._recv(
+                h, timeout=max(30.0, self.unresponsive_timeout)
+            )
+        except _WorkerUnresponsive as exc:
+            raise WorkerProcessError(str(exc)) from exc
         if tag != "ready":
             raise WorkerProcessError(
                 f"worker {h.worker_id} failed to start: {tag!r}"
             )
 
-    def _recv(self, h: _WorkerHandle, timeout: float = 30.0):
-        """Receive one reply, noticing a dead process promptly."""
+    def _recv(self, h: _WorkerHandle, timeout: float | None = None):
+        """Receive one reply, noticing a dead process promptly.
+
+        ``timeout`` defaults to the pool's ``unresponsive_timeout``;
+        exceeding it raises :class:`_WorkerUnresponsive` so ``call`` can
+        kill and respawn the wedged process.
+        """
+        if timeout is None:
+            timeout = self.unresponsive_timeout
         waited = 0.0
         step = 0.02
         while not h.conn.poll(step):
@@ -517,7 +597,7 @@ class ProcessShardPool:
             if not h.process.is_alive():
                 raise EOFError(f"worker {h.worker_id} died")
             if waited >= timeout:
-                raise WorkerProcessError(
+                raise _WorkerUnresponsive(
                     f"worker {h.worker_id} unresponsive for {timeout}s"
                 )
         return h.conn.recv()
@@ -529,6 +609,10 @@ class ProcessShardPool:
         h = self._check_worker(worker_id)
         if h.retired:
             raise WorkerProcessError(f"worker {worker_id} is retired")
+        if h.partitioned:
+            raise WorkerProcessError(
+                f"worker {worker_id} unreachable (partitioned)"
+            )
         with h.lock:
             last: BaseException | None = None
             for _attempt in range(self.MAX_RETRIES):
@@ -542,8 +626,13 @@ class ProcessShardPool:
                             f"worker {worker_id}: {payload[0]}"
                         )
                     return payload[0] if payload else None
-                except (EOFError, OSError, BrokenPipeError) as exc:
+                except (
+                    EOFError, OSError, BrokenPipeError, _WorkerUnresponsive,
+                ) as exc:
                     last = exc
+                    if isinstance(exc, _WorkerUnresponsive):
+                        if self._c_unresponsive is not None:
+                            self._c_unresponsive.inc()
                     self._respawn_locked(h)
             raise WorkerProcessError(
                 f"worker {worker_id} kept dying "
@@ -558,11 +647,18 @@ class ProcessShardPool:
         )
 
     def _respawn_locked(self, h: _WorkerHandle) -> None:
-        """Replace a dead worker (caller holds ``h.lock``)."""
+        """Replace a dead or wedged worker (caller holds ``h.lock``).
+
+        Kills the old process if it is still alive — an unresponsive
+        worker must not linger next to its replacement (it would fight
+        over the journal on the next respawn).
+        """
         if h.conn is not None:
             h.conn.close()
             h.conn = None
         if h.process is not None:
+            if h.process.is_alive():
+                h.process.kill()
             h.process.join(timeout=5.0)
         h.respawns += 1
         self._spawn(h)
@@ -626,13 +722,26 @@ class ProcessShardPool:
             h.process.kill()
             h.process.join(timeout=5.0)
 
+    def partition_worker(self, worker_id: int, active: bool = True) -> None:
+        """Simulate an edge↔worker partition (tests/chaos).
+
+        While active, :meth:`call` fails fast with
+        :class:`WorkerProcessError` — the process itself keeps running
+        with its state intact, exactly like a network split.  Pass
+        ``active=False`` to heal.
+        """
+        self._check_worker(worker_id).partitioned = active
+
     def _shutdown_worker_locked(self, h: _WorkerHandle) -> None:
         """Cleanly stop one worker process (caller holds ``h.lock``)."""
         try:
             if h.conn is not None and h.process.is_alive():
                 h.conn.send(("stop",))
                 self._recv(h, timeout=5.0)
-        except (EOFError, OSError, BrokenPipeError, WorkerProcessError):
+        except (
+            EOFError, OSError, BrokenPipeError, WorkerProcessError,
+            _WorkerUnresponsive,
+        ):
             pass
         finally:
             if h.conn is not None:

@@ -54,8 +54,13 @@ from typing import TYPE_CHECKING
 
 from repro.core.distributed import SlotRequest, validate_slot_request
 from repro.core.policies import FixedPriorityPolicy, GrantPolicy
-from repro.errors import InvalidParameterError, SimulationError
+from repro.errors import (
+    InvalidParameterError,
+    SimulationError,
+    WorkerProcessError,
+)
 from repro.net.procpool import ProcessShardPool, request_wire_tuple
+from repro.service.breaker import BreakerConfig, CircuitBreaker
 from repro.service.edge import PendingRequest, SubmissionEdge
 from repro.service.queue import BoundedQueue, OverflowPolicy, TenantAdmission
 from repro.service.ratelimit import RateLimitConfig, TokenBucketLimiter
@@ -106,7 +111,9 @@ class ProcessShardedService:
         tick_interval: float = 0.001,
         dedup_capacity: int = 0,
         rate_limit: "RateLimitConfig | None" = None,
+        breaker: BreakerConfig | None = None,
         telemetry: Telemetry | None = None,
+        unresponsive_timeout: float = 30.0,
     ) -> None:
         self.n_fibers = check_positive_int(n_fibers, "n_fibers")
         self.scheme = scheme
@@ -141,6 +148,22 @@ class ProcessShardedService:
             self.policy,
             n_workers=n_workers,
             journal_dir=journal_dir,
+            unresponsive_timeout=unresponsive_timeout,
+            telemetry=self.telemetry,
+        )
+        # Per-shard breakers fed by connection health: a worker call that
+        # exhausts the pool's respawn budget counts a failure against
+        # every shard it owns; shards that answer count successes.  An
+        # open breaker short-circuits new submissions CIRCUIT_OPEN while
+        # queued ones degrade UNAVAILABLE — same three-state machine as
+        # the in-process service, driven by the same slot clock.
+        self.breakers = (
+            [
+                CircuitBreaker(breaker, self.telemetry, shard=o)
+                for o in range(self.n_fibers)
+            ]
+            if breaker is not None
+            else None
         )
         self._slot = 0
         self._closed = False
@@ -190,18 +213,27 @@ class ProcessShardedService:
         request: SlotRequest,
         timeout: float | None = None,
         *,
+        timeout_ticks: int | None = None,
         request_id: str | None = None,
     ) -> "asyncio.Future[ServiceGrant | Rejected]":
         """Enqueue ``request``; same contract as the in-process service
-        (validation, deadline, dedup, overflow policy)."""
+        (validation, wall-clock and slot deadlines, dedup, overflow
+        policy)."""
         if self._closed:
             raise SimulationError("service is stopped")
         validate_slot_request(request, self.n_fibers, self.scheme.k)
         if timeout is not None and timeout < 0:
             raise InvalidParameterError(f"timeout must be >= 0, got {timeout}")
+        if timeout_ticks is not None and timeout_ticks < 0:
+            raise InvalidParameterError(
+                f"timeout_ticks must be >= 0, got {timeout_ticks}"
+            )
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[ServiceGrant | Rejected]" = loop.create_future()
         deadline = None if timeout is None else loop.time() + timeout
+        deadline_slot = (
+            None if timeout_ticks is None else self._slot + timeout_ticks
+        )
         if request_id is not None:
             request_id = self.edge.check_duplicate(
                 request, request_id, future, self._slot
@@ -209,7 +241,12 @@ class ProcessShardedService:
             if future.done():
                 return future
         pending = PendingRequest(
-            request, future, deadline, time.perf_counter(), request_id
+            request,
+            future,
+            deadline,
+            time.perf_counter(),
+            request_id,
+            deadline_slot,
         )
         self.edge.note_submitted(request)
         if self.rate_limiter is not None and not self.rate_limiter.allow(
@@ -218,6 +255,11 @@ class ProcessShardedService:
             self.edge.resolve_rejected(
                 pending, RejectReason.RATE_LIMITED, self._slot
             )
+            return future
+        if self.breakers is not None and not self.breakers[
+            request.output_fiber
+        ].allow(self._slot):
+            self.edge.resolve_rejected(pending, RejectReason.CIRCUIT_OPEN)
             return future
         queue = self.queues[request.output_fiber]
         shed = queue.policy is OverflowPolicy.SHED
@@ -259,7 +301,7 @@ class ProcessShardedService:
         for o in range(self.n_fibers):
             drained = self.queues[o].drain(self.max_batch_per_tick)
             survivors, expired, blocked = self._admission.admit(
-                drained, now, seen_inputs
+                drained, now, seen_inputs, slot
             )
             for p in expired:
                 self.edge.resolve_rejected(p, RejectReason.TIMED_OUT, slot)
@@ -272,38 +314,59 @@ class ProcessShardedService:
         # the tick — workers advance their owned shards' channel clocks
         # even with no requests this slot; the physical clock never
         # skips).  Stateful mode serializes contended shards instead.
+        # A worker that stays unreachable through the pool's respawn
+        # budget (an edge↔worker partition) degrades gracefully: its
+        # shards' requests resolve UNAVAILABLE this tick instead of
+        # blowing up the whole tick, its breakers count the failure, and
+        # the worker's clocks catch up by journaled ADVANCE replay once
+        # it heals (see worker_main's missed-slot catch-up).
         by_shard: dict[int, tuple[list, list]] = {}
+        unavailable: set[int] = set()
         if self._stateful:
             # One call per contended shard, global fiber order, policy
-            # state threaded through the replies (module docstring).
+            # state threaded through the replies (module docstring).  A
+            # failed call leaves the canonical pre-draw state in place,
+            # so the next reachable shard draws exactly what it would
+            # have drawn had the dead shard never been contended.
             for o in sorted(work):
                 wire = [request_wire_tuple(p.request) for p in work[o]]
-                grant_tuples, rejected_pairs, new_state = (
-                    await self.pool.call_async(
-                        loop,
-                        self.pool.placement[o],
-                        "run_shard",
-                        slot,
-                        o,
-                        wire,
-                        self._policy_state,
+                try:
+                    grant_tuples, rejected_pairs, new_state = (
+                        await self.pool.call_async(
+                            loop,
+                            self.pool.placement[o],
+                            "run_shard",
+                            slot,
+                            o,
+                            wire,
+                            self._policy_state,
+                        )
                     )
-                )
+                except WorkerProcessError:
+                    unavailable.add(o)
+                    continue
                 self._policy_state = new_state
                 by_shard[o] = (grant_tuples, rejected_pairs)
             # End of tick: every active worker advances its shards,
-            # carrying the tick's grants for crash self-healing.
+            # carrying the tick's grants for crash self-healing.  An
+            # unreachable worker misses its advance and catches up later.
             grants_by_worker: dict[int, dict[int, list]] = {
                 w: {} for w in self.pool.active_workers()
             }
             for o, (grant_tuples, _rej) in by_shard.items():
                 grants_by_worker[self.pool.placement[o]][o] = grant_tuples
-            await asyncio.gather(
+            finish_replies = await asyncio.gather(
                 *(
                     self.pool.call_async(loop, w, "finish_tick", slot, grants)
                     for w, grants in grants_by_worker.items()
-                )
+                ),
+                return_exceptions=True,
             )
+            for reply in finish_replies:
+                if isinstance(reply, BaseException) and not isinstance(
+                    reply, WorkerProcessError
+                ):
+                    raise reply
         else:
             payloads: dict[int, list[tuple[int, list[tuple]]]] = {
                 w: [] for w in self.pool.active_workers()
@@ -312,13 +375,20 @@ class ProcessShardedService:
                 payloads[self.pool.placement[o]].append(
                     (o, [request_wire_tuple(p.request) for p in survivors])
                 )
+            calls = list(payloads.items())
             replies = await asyncio.gather(
                 *(
                     self.pool.call_async(loop, w, "run_tick", slot, payload)
-                    for w, payload in payloads.items()
-                )
+                    for w, payload in calls
+                ),
+                return_exceptions=True,
             )
-            for reply in replies:
+            for (_w, payload), reply in zip(calls, replies):
+                if isinstance(reply, WorkerProcessError):
+                    unavailable.update(o for o, _wire in payload)
+                    continue
+                if isinstance(reply, BaseException):
+                    raise reply
                 for o, grant_tuples, rejected_pairs in reply:
                     by_shard[o] = (grant_tuples, rejected_pairs)
 
@@ -327,6 +397,15 @@ class ProcessShardedService:
         n_granted = 0
         for o in sorted(work):
             survivors = work[o]
+            breaker = self.breakers[o] if self.breakers is not None else None
+            if o in unavailable:
+                for p in survivors:
+                    self.edge.resolve_rejected(
+                        p, RejectReason.UNAVAILABLE, slot
+                    )
+                    if breaker is not None:
+                        breaker.record_failure(slot)
+                continue
             grant_tuples, rejected_pairs = by_shard[o]
             by_input = {
                 (p.request.input_fiber, p.request.wavelength): p
@@ -337,11 +416,17 @@ class ProcessShardedService:
                 self._admission.hold(p.request)
                 self.edge.note_granted(p.request)
                 self.edge.resolve(p, ServiceGrant(p.request, channel, slot))
+                if breaker is not None:
+                    breaker.record_success(slot)
                 n_granted += 1
             for in_f, wl in rejected_pairs:
                 self.edge.resolve_rejected(
                     by_input[(in_f, wl)], RejectReason.CONTENTION, slot
                 )
+                if breaker is not None:
+                    # Losing contention is a healthy outcome — the worker
+                    # answered; it counts toward closing, not opening.
+                    breaker.record_success(slot)
 
         # 5: advance the input-side clock (workers advanced theirs in 3).
         self._admission.decay()

@@ -49,6 +49,16 @@ Versions:
   receives the migration report (see :mod:`repro.service.resharding`);
   servers whose backing service cannot migrate answer ERROR
   ``BAD_REQUEST``.
+* **4** — liveness: the ``PING`` (0x0D) / ``PONG`` (0x0E) heartbeat pair
+  (the PONG echoes the PING's token and carries the server's current
+  slot, so a reconnecting client resyncs its logical clock from the
+  heartbeat), and the ``UNAVAILABLE`` reject-reason code (the request's
+  backend is partitioned away — a v4 server downgrades it to
+  ``SHARD_DOWN`` for v ≤ 3 peers: both mean "the owner of this output
+  fiber cannot serve you right now").  v4 also pins the deterministic
+  ``timeout_ticks`` semantics: the deadline is ``submit slot +
+  timeout_ticks`` on the *server's* logical clock, so an expired request
+  resolves ``TIMED_OUT`` instead of waiting out a partition.
 """
 
 from __future__ import annotations
@@ -77,6 +87,8 @@ __all__ = [
     "TickDone",
     "Migrate",
     "Migrated",
+    "Ping",
+    "Pong",
     "Message",
     "encode_message",
     "decode_message",
@@ -86,7 +98,7 @@ __all__ = [
 ]
 
 #: Every protocol version this build speaks, ascending.
-PROTOCOL_VERSIONS: tuple[int, ...] = (1, 2, 3)
+PROTOCOL_VERSIONS: tuple[int, ...] = (1, 2, 3, 4)
 
 #: Upper bound on one message payload; a protocol frame beyond this is
 #: corruption, not a big message (the largest legal message is a few
@@ -112,6 +124,11 @@ class MsgType(enum.IntEnum):
     MIGRATE = 0x0B
     #: Protocol ≥ 3: the MIGRATE's report.
     MIGRATED = 0x0C
+    #: Protocol ≥ 4: liveness probe (client → server).
+    PING = 0x0D
+    #: Protocol ≥ 4: heartbeat reply — echoes the token, carries the
+    #: server's current slot (the reconnect clock-resync source).
+    PONG = 0x0E
 
 
 class ErrorCode(enum.IntEnum):
@@ -127,6 +144,10 @@ class ErrorCode(enum.IntEnum):
     SHUTTING_DOWN = 4
     #: Anything else the server could not act on.
     INTERNAL = 5
+    #: The byte *stream* is corrupt (CRC mismatch / absurd length): the
+    #: connection dies, but the peer said nothing wrong — clients treat
+    #: this as connection loss (reconnect), not a protocol violation.
+    BAD_FRAME = 6
 
 
 # -- stable RejectReason <-> u8 codes ---------------------------------------
@@ -145,6 +166,7 @@ _REASON_CODES: dict[RejectReason, int] = {
     RejectReason.DUPLICATE: 9,
     RejectReason.ADMISSION_SHED: 10,  # protocol >= 2 (v1 peers get DROPPED)
     RejectReason.RATE_LIMITED: 11,  # protocol >= 3 (v<=2 peers get DROPPED)
+    RejectReason.UNAVAILABLE: 12,  # protocol >= 4 (v<=3 peers get SHARD_DOWN)
 }
 _CODE_REASONS = {code: reason for reason, code in _REASON_CODES.items()}
 assert len(_REASON_CODES) == len(RejectReason), "unmapped RejectReason"
@@ -288,6 +310,25 @@ class Migrated:
     resumed: bool = False
 
 
+@dataclass(frozen=True, slots=True)
+class Ping:
+    """Protocol ≥ 4 liveness probe.  ``token`` correlates the PONG (the
+    client's liveness detector matches replies to probes, so a stale
+    PONG from before a stall never masks a fresh miss)."""
+
+    token: int
+
+
+@dataclass(frozen=True, slots=True)
+class Pong:
+    """The PING ``token``'s heartbeat reply; ``slot`` is the server's
+    current (next-to-run) slot index — a reconnecting client resyncs its
+    logical clock from this before redelivering in-flight requests."""
+
+    token: int
+    slot: int
+
+
 Message = (
     Hello
     | Welcome
@@ -300,6 +341,8 @@ Message = (
     | TickDone
     | Migrate
     | Migrated
+    | Ping
+    | Pong
 )
 
 
@@ -315,6 +358,8 @@ _TICK_ADVANCE = struct.Struct("!I")
 _TICK_DONE = struct.Struct("!qI")
 _MIGRATE = struct.Struct("!QII")
 _MIGRATED = struct.Struct("!QIIIQQQB")
+_PING = struct.Struct("!Q")
+_PONG = struct.Struct("!Qq")
 
 _MAX_ERROR_TEXT = 1024
 _MAX_REQUEST_ID = 256
@@ -409,6 +454,10 @@ def encode_message(msg: Message) -> bytes:
             msg.journal_records,
             1 if msg.resumed else 0,
         )
+    if isinstance(msg, Ping):
+        return bytes([MsgType.PING]) + _PING.pack(msg.token)
+    if isinstance(msg, Pong):
+        return bytes([MsgType.PONG]) + _PONG.pack(msg.token, msg.slot)
     raise ProtocolError(f"cannot encode {type(msg).__name__}")
 
 
@@ -528,6 +577,10 @@ def decode_message(payload: bytes) -> Message:
             return Migrated(
                 seq, shard, src, dst, tick, nbytes, nrecords, bool(resumed)
             )
+        if mtype is MsgType.PING:
+            return Ping(*_exact(payload, _PING, "PING"))
+        if mtype is MsgType.PONG:
+            return Pong(*_exact(payload, _PONG, "PONG"))
         # TICK_DONE
         return TickDone(*_exact(payload, _TICK_DONE, "TICK_DONE"))
     except struct.error as exc:  # defensive: any unpack slip is typed

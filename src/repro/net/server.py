@@ -17,8 +17,21 @@ Per-connection discipline:
   future, so responses may interleave with later requests;
 * TICK_ADVANCE runs ticks under one server-wide lock (ticks are global,
   connections must not interleave halves of them) and answers TICK_DONE;
+* PING (protocol ≥ 4) answers PONG carrying the current slot — the
+  heartbeat that feeds the client-side liveness detector and resyncs a
+  reconnecting client's logical clock;
 * corrupt frames or protocol violations get a best-effort ERROR with
   ``seq == 0`` and the connection dies — a reader is never left hanging.
+
+Liveness discipline (protocol v4, PR 10):
+
+* ``handshake_timeout`` — a peer that connects and never completes the
+  HELLO within the deadline is shed (best-effort ERROR
+  ``HANDSHAKE_REQUIRED`` + close), so a half-open socket cannot pin a
+  connection task forever;
+* ``idle_timeout`` — a greeted connection that stays silent longer than
+  the window is reaped (best-effort BYE + close).  v4 clients heartbeat
+  (PING counts as traffic), so only dead or wedged peers are reaped.
 """
 
 from __future__ import annotations
@@ -68,11 +81,34 @@ class NetServer:
     lifecycle stays with the caller (``stop()`` closes sockets, not the
     service).  ``port=0`` binds an ephemeral port, readable from
     :attr:`port` after :meth:`start`.
+
+    ``handshake_timeout`` (seconds) sheds peers that connect but never
+    complete the HELLO; ``idle_timeout`` (seconds, default off) reaps
+    greeted connections with no inbound traffic for that long — see the
+    module docstring's liveness discipline.
     """
 
-    def __init__(self, service, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        handshake_timeout: float | None = 10.0,
+        idle_timeout: float | None = None,
+    ) -> None:
+        if handshake_timeout is not None and handshake_timeout <= 0:
+            raise InvalidParameterError(
+                f"handshake_timeout must be > 0, got {handshake_timeout}"
+            )
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise InvalidParameterError(
+                f"idle_timeout must be > 0, got {idle_timeout}"
+            )
         self.service = service
         self.host = host
+        self.handshake_timeout = handshake_timeout
+        self.idle_timeout = idle_timeout
         self._requested_port = port
         self._server: asyncio.base_events.Server | None = None
         self._conns: set[_Conn] = set()
@@ -153,14 +189,39 @@ class NetServer:
         decoder = FrameDecoder(max_payload=proto.MAX_MESSAGE)
         greeted = False
         while True:
-            data = await reader.read(_READ_CHUNK)
+            read_timeout = (
+                self.handshake_timeout if not greeted else self.idle_timeout
+            )
+            try:
+                if read_timeout is None:
+                    data = await reader.read(_READ_CHUNK)
+                else:
+                    data = await asyncio.wait_for(
+                        reader.read(_READ_CHUNK), read_timeout
+                    )
+            except asyncio.TimeoutError:
+                if not greeted:
+                    # Half-open peer: never finished HELLO — shed it.
+                    conn.send(
+                        proto.ErrorMsg(
+                            0,
+                            proto.ErrorCode.HANDSHAKE_REQUIRED,
+                            f"no HELLO within {self.handshake_timeout}s "
+                            "handshake deadline",
+                        )
+                    )
+                else:
+                    # Idle reaping: a silent (non-heartbeating) peer.
+                    conn.send(proto.Bye())
+                await self._flush(conn)
+                return
             if not data:
                 return  # peer closed (mid-frame EOFs just die with it)
             try:
                 payloads = decoder.feed(data)
             except FramingError as exc:
                 conn.send(
-                    proto.ErrorMsg(0, proto.ErrorCode.BAD_REQUEST, str(exc))
+                    proto.ErrorMsg(0, proto.ErrorCode.BAD_FRAME, str(exc))
                 )
                 break
             for payload in payloads:
@@ -237,6 +298,20 @@ class NetServer:
         if isinstance(msg, proto.Migrate):
             await self._handle_migrate(conn, msg)
             return True
+        if isinstance(msg, proto.Ping):
+            if conn.version < 4:
+                conn.send(
+                    proto.ErrorMsg(
+                        0,
+                        proto.ErrorCode.BAD_REQUEST,
+                        f"PING needs protocol >= 4, connection negotiated "
+                        f"version {conn.version}",
+                    )
+                )
+                await self._flush(conn)
+                return False
+            conn.send(proto.Pong(msg.token, self.service.slot))
+            return True
         conn.send(
             proto.ErrorMsg(
                 0,
@@ -306,15 +381,16 @@ class NetServer:
                 )
             )
             return
-        timeout = (
-            None
-            if msg.timeout_ticks < 0
-            else msg.timeout_ticks * self.service.tick_interval
-        )
+        # timeout_ticks is a deterministic slot deadline (submit slot +
+        # timeout_ticks on the server's logical clock), not a wall-clock
+        # conversion: the same schedule expires the same requests at the
+        # same slots every run, partitions included.
         try:
             future = self.service.submit_nowait(
                 msg.to_request(),
-                timeout,
+                timeout_ticks=(
+                    None if msg.timeout_ticks < 0 else msg.timeout_ticks
+                ),
                 request_id=msg.request_id or None,
             )
         except (InvalidParameterError, SimulationError) as exc:
@@ -349,6 +425,11 @@ class NetServer:
                     # Same downgrade for the v3 rate-limiter code: to a
                     # v<=2 peer it is a load-pressure drop.
                     reason = RejectReason.DROPPED
+                elif reason is RejectReason.UNAVAILABLE and conn.version < 4:
+                    # v<=3 peers predate the partition code; SHARD_DOWN is
+                    # the closest older semantic (the owner of this output
+                    # fiber cannot serve you right now).
+                    reason = RejectReason.SHARD_DOWN
                 conn.send(
                     proto.Reject(
                         seq,

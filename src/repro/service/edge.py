@@ -35,9 +35,25 @@ __all__ = ["PendingRequest", "SubmissionEdge"]
 
 class PendingRequest:
     """Envelope for one in-flight submission: request + future + deadline
-    + submit timestamp (+ the caller's idempotency key when dedup is on)."""
+    + submit timestamp (+ the caller's idempotency key when dedup is on).
 
-    __slots__ = ("request", "future", "deadline", "submitted_at", "request_id")
+    Two deadline flavors coexist: ``deadline`` is a wall-clock event-loop
+    time (legacy ``timeout`` seconds), ``deadline_slot`` is a slot index —
+    the request expires ``TIMED_OUT`` when a tick drains it at
+    ``slot >= deadline_slot``.  Slot deadlines are the deterministic form
+    the wire protocol's ``timeout_ticks`` maps to: they advance with the
+    logical clock, not the wall, so a replayed schedule expires the same
+    requests at the same slots every run.
+    """
+
+    __slots__ = (
+        "request",
+        "future",
+        "deadline",
+        "deadline_slot",
+        "submitted_at",
+        "request_id",
+    )
 
     def __init__(
         self,
@@ -46,10 +62,12 @@ class PendingRequest:
         deadline: float | None,
         submitted_at: float,
         request_id: str | None = None,
+        deadline_slot: int | None = None,
     ) -> None:
         self.request = request
         self.future = future
         self.deadline = deadline
+        self.deadline_slot = deadline_slot
         self.submitted_at = submitted_at
         self.request_id = request_id
 
@@ -106,6 +124,9 @@ class SubmissionEdge:
             ),
             RejectReason.RATE_LIMITED: t.counter(
                 "server.rejected.rate_limited"
+            ),
+            RejectReason.UNAVAILABLE: t.counter(
+                "server.rejected.unavailable"
             ),
         }
         # Per-tenant accounting, materialized lazily (the single-tenant

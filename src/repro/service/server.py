@@ -160,6 +160,15 @@ class RejectReason(enum.Enum):
     #: (:mod:`repro.service.ratelimit`) — the tenant's bucket was empty,
     #: so the request never reached a queue or a shard.
     RATE_LIMITED = "rate_limited"
+    #: The backend responsible for this request is unreachable — an
+    #: edge↔worker partition or a worker that stayed unresponsive through
+    #: the pool's respawn budget.  Unlike ``SHARD_DOWN`` (the shard
+    #: itself crashed and its state is gone until supervision heals it),
+    #: the shard's state is intact somewhere we cannot currently reach;
+    #: the typed reject is the graceful degradation, and retrying after
+    #: the partition heals is expected to succeed.  Wire protocol ≥ 4;
+    #: older peers see ``SHARD_DOWN``.
+    UNAVAILABLE = "unavailable"
 
 
 @dataclass(frozen=True, slots=True)
@@ -435,13 +444,18 @@ class SchedulingService:
         request: SlotRequest,
         timeout: float | None = None,
         *,
+        timeout_ticks: int | None = None,
         request_id: str | None = None,
     ) -> "asyncio.Future[ServiceGrant | Rejected]":
         """Enqueue ``request`` and return the future of its outcome.
 
         Must be called from the event loop.  ``timeout`` (seconds) is a
         deadline checked at tick time — a request that no tick has drained
-        before the deadline resolves as ``TIMED_OUT``.  Malformed requests
+        before the deadline resolves as ``TIMED_OUT``.  ``timeout_ticks``
+        is the deterministic flavor: the request expires when a tick
+        drains it at ``slot >= submit slot + timeout_ticks`` (so ``0``
+        expires at the very next drain).  The two may be combined;
+        whichever trips first wins.  Malformed requests
         raise :class:`InvalidParameterError` immediately; overflow of a
         bounded queue resolves the future per the shard's overflow policy.
 
@@ -458,9 +472,16 @@ class SchedulingService:
         validate_slot_request(request, self.n_fibers, self.scheme.k)
         if timeout is not None and timeout < 0:
             raise InvalidParameterError(f"timeout must be >= 0, got {timeout}")
+        if timeout_ticks is not None and timeout_ticks < 0:
+            raise InvalidParameterError(
+                f"timeout_ticks must be >= 0, got {timeout_ticks}"
+            )
         loop = asyncio.get_running_loop()
         future: asyncio.Future[ServiceGrant | Rejected] = loop.create_future()
         deadline = None if timeout is None else loop.time() + timeout
+        deadline_slot = (
+            None if timeout_ticks is None else self._slot + timeout_ticks
+        )
         if request_id is not None:
             request_id = self.edge.check_duplicate(
                 request, request_id, future, self._slot
@@ -468,7 +489,12 @@ class SchedulingService:
             if future.done():
                 return future
         pending = _Pending(
-            request, future, deadline, time.perf_counter(), request_id
+            request,
+            future,
+            deadline,
+            time.perf_counter(),
+            request_id,
+            deadline_slot,
         )
         self.edge.note_submitted(request)
         if self.rate_limiter is not None and not self.rate_limiter.allow(
@@ -706,7 +732,7 @@ class SchedulingService:
             drained = shard.queue.drain(self.max_batch_per_tick)
             shard.update_depth_gauge()
             survivors, expired, blocked = self._admission.admit(
-                drained, now, seen_inputs
+                drained, now, seen_inputs, slot
             )
             for p in expired:
                 self._resolve_rejected(p, RejectReason.TIMED_OUT, slot)

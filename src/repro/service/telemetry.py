@@ -14,7 +14,7 @@ once, so the outcome counters partition the offered load::
     submitted == granted + rejected_contention + rejected_source
                + rejected_queue_full + dropped + timed_out + shutdown
                + shard_down + circuit_open + duplicate + admission_shed
-               + rate_limited
+               + rate_limited + unavailable
 
 ``shard_down``/``circuit_open`` are fault-path outcomes (see
 :mod:`repro.faults` and ``docs/ROBUSTNESS.md``): requests refused because
@@ -26,7 +26,10 @@ refusal, never scheduled again (exactly-once; ``docs/SERVICE.md``).
 (the ``SHED`` overflow policy — eviction *or* refusal at the door).
 ``rate_limited`` counts requests refused at the edge by the per-tenant
 token-bucket limiter (:mod:`repro.service.ratelimit`) — resolved before
-ever touching a queue or shard.  All five are zero in a fault-free,
+ever touching a queue or shard.  ``unavailable`` counts requests typed
+out by an edge↔worker partition (the owning worker process stayed
+unreachable through the pool's respawn budget — graceful degradation,
+not a hang; ``docs/ROBUSTNESS.md``).  All six are zero in a fault-free,
 retry-free, unlimited-queue, unlimited-rate run, reducing the invariant
 to its original form.
 

@@ -55,20 +55,29 @@ class InputAdmission:
         drained: "list[PendingRequest]",
         now: float,
         seen_inputs: set[tuple[int, int]],
+        slot: int | None = None,
     ) -> "tuple[list[PendingRequest], list[PendingRequest], list[PendingRequest]]":
         """Partition ``drained`` into ``(survivors, expired, blocked)``.
 
         Deadline expiry is checked first (a request that waited too long
         is TIMED_OUT even if its input is also busy), then the busy
         matrix and this tick's earlier survivors.  Survivors claim their
-        input in ``seen_inputs`` as a side effect.
+        input in ``seen_inputs`` as a side effect.  Expiry honors both
+        deadline flavors: wall-clock (``deadline`` vs ``now``) and slot
+        (``deadline_slot`` vs ``slot`` — the deterministic form wire
+        ``timeout_ticks`` maps to; ignored when the caller passes no
+        slot).
         """
         survivors: "list[PendingRequest]" = []
         expired: "list[PendingRequest]" = []
         blocked: "list[PendingRequest]" = []
         for p in drained:
             r = p.request
-            if p.deadline is not None and now >= p.deadline:
+            if (p.deadline is not None and now >= p.deadline) or (
+                p.deadline_slot is not None
+                and slot is not None
+                and slot >= p.deadline_slot
+            ):
                 expired.append(p)
             elif (
                 self.in_busy[r.input_fiber][r.wavelength] > 0

@@ -22,6 +22,8 @@ from repro.net.protocol import (
     Migrate,
     Migrated,
     MsgType,
+    Ping,
+    Pong,
     Reject,
     Submit,
     TickAdvance,
@@ -88,6 +90,12 @@ messages_st = st.one_of(
         journal_records=st.integers(min_value=0, max_value=2**64 - 1),
         resumed=st.booleans(),
     ),
+    st.builds(Ping, token=st.integers(min_value=0, max_value=2**64 - 1)),
+    st.builds(
+        Pong,
+        token=st.integers(min_value=0, max_value=2**64 - 1),
+        slot=_I64,
+    ),
 )
 
 
@@ -111,6 +119,8 @@ class TestRoundTrip:
             MsgType.TICK_DONE,
             MsgType.MIGRATE,
             MsgType.MIGRATED,
+            MsgType.PING,
+            MsgType.PONG,
         }
         assert sampled == set(MsgType)
 
@@ -202,12 +212,13 @@ class TestHandshake:
     def test_negotiate_none_when_disjoint(self):
         assert negotiate_version((7, 8), (1,)) is None
 
-    def test_current_versions_are_one_two_three(self):
-        assert PROTOCOL_VERSIONS == (1, 2, 3)
-        assert negotiate_version(PROTOCOL_VERSIONS) == 3
+    def test_current_versions_are_one_through_four(self):
+        assert PROTOCOL_VERSIONS == (1, 2, 3, 4)
+        assert negotiate_version(PROTOCOL_VERSIONS) == 4
         # Older single-version peers still land on their version.
         assert negotiate_version((1,)) == 1
         assert negotiate_version((2,)) == 2
+        assert negotiate_version((3,)) == 3
 
     def test_submit_converts_to_slot_request(self):
         s = Submit(5, input_fiber=2, wavelength=3, output_fiber=1, duration=4)

@@ -24,7 +24,7 @@ from repro.net import protocol as proto
 from repro.net.client import NetClient
 from repro.net.server import NetServer
 from repro.service import OverflowPolicy, SchedulingService, TenantAdmission
-from repro.service.server import RejectReason
+from repro.service.server import Rejected, RejectReason
 from repro.util.framing import encode_frame
 
 N_FIBERS, K = 4, 3
@@ -56,7 +56,7 @@ class TestHandshake:
             service, server = await _stack()
             client = await NetClient.connect("127.0.0.1", server.port)
             try:
-                assert client.version == max(proto.PROTOCOL_VERSIONS) == 3
+                assert client.version == max(proto.PROTOCOL_VERSIONS) == 4
                 assert client.n_fibers == N_FIBERS
                 assert client.k == K
             finally:
@@ -485,3 +485,242 @@ class TestShutdownHygiene:
             await service.stop()
 
         run(go())
+
+
+class TestLiveness:
+    """Protocol-v4 liveness: handshake deadline, idle reaping (PR 10)."""
+
+    def test_handshake_deadline_sheds_silent_peers(self):
+        async def go():
+            service = _service()
+            server = NetServer(service, handshake_timeout=0.2)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                # Say nothing: the server must shed us, not hold the fd.
+                data = await asyncio.wait_for(reader.read(65536), 5)
+                msg = proto.decode_message(data[8:])  # one frame
+                assert isinstance(msg, proto.ErrorMsg)
+                assert msg.code == proto.ErrorCode.HANDSHAKE_REQUIRED
+                assert "handshake deadline" in msg.message
+                assert await asyncio.wait_for(reader.read(65536), 5) == b""
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_handshake_within_deadline_is_unaffected(self):
+        async def go():
+            service = _service()
+            server = NetServer(service, handshake_timeout=5.0)
+            await server.start()
+            client = await NetClient.connect("127.0.0.1", server.port)
+            try:
+                assert isinstance(await client.ping(), proto.Pong)
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_idle_timeout_reaps_greeted_connections(self):
+        async def go():
+            service = _service()
+            server = NetServer(service, idle_timeout=0.2)
+            await server.start()
+            client = await NetClient.connect("127.0.0.1", server.port)
+            try:
+                # Go quiet after the handshake: the server sends BYE and
+                # closes.  The client must observe the loss (retryably) —
+                # a reaped connection that still looks healthy would trap
+                # a resilient wrapper into submitting down a dead pipe.
+                await asyncio.sleep(0.5)
+                assert not client.healthy
+                with pytest.raises(ProtocolError):
+                    client._check_open()
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_heartbeats_keep_an_idle_connection_alive(self):
+        async def go():
+            service = _service()
+            server = NetServer(service, idle_timeout=0.4)
+            await server.start()
+            client = await NetClient.connect("127.0.0.1", server.port)
+            try:
+                for _ in range(4):
+                    await asyncio.sleep(0.2)
+                    await asyncio.wait_for(client.ping(), 5)
+                # Still greeted and serving after > idle_timeout of
+                # wall time, because PINGs reset the idle clock.
+                fut = client.submit_nowait(SlotRequest(0, 0, 0))
+                await client.tick(1)
+                assert isinstance(await asyncio.wait_for(fut, 5), proto.Grant)
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+    def test_invalid_timeouts_are_refused(self):
+        from repro.errors import InvalidParameterError
+
+        service = _service()
+        try:
+            with pytest.raises(InvalidParameterError):
+                NetServer(service, handshake_timeout=0.0)
+            with pytest.raises(InvalidParameterError):
+                NetServer(service, idle_timeout=-1.0)
+        finally:
+            run(service.stop())
+
+
+class TestTickDeadlines:
+    """``timeout_ticks`` end-to-end over the wire: deterministic slot
+    deadlines on both the SUBMIT (tenant 0) and SUBMIT2 (tenant != 0)
+    paths (PR 10 satellite)."""
+
+    def _deadline_service(self) -> SchedulingService:
+        # One grant per tick: later queue entries are drained on later
+        # slots, exceeding their tick deadline without any wall-clock
+        # sleeping.
+        return SchedulingService(
+            N_FIBERS,
+            NonCircularConversion(K, 1, 1),
+            FirstAvailableScheduler(),
+            durability=False,
+            max_batch_per_tick=1,
+            admission=TenantAdmission(default_weight=1),
+        )
+
+    def _run_deadline_drill(self, tenant: int):
+        async def go():
+            service = self._deadline_service()
+            server = NetServer(service)
+            await server.start()
+            client = await NetClient.connect("127.0.0.1", server.port)
+            try:
+                # One output fiber: the per-shard batch cap (1) spreads
+                # the drains over slots 0, 1, 2 — distinct inputs so
+                # source admission never interferes.
+                futs = [
+                    client.submit_nowait(
+                        SlotRequest(i, 0, 0, tenant=tenant),
+                        timeout_ticks=1,
+                    )
+                    for i in range(3)
+                ]
+                for _ in range(4):
+                    await client.tick(1)
+                outcomes = await asyncio.wait_for(asyncio.gather(*futs), 5)
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+            return outcomes
+
+        outcomes = run(go())
+        grants = [o for o in outcomes if isinstance(o, proto.Grant)]
+        timed_out = [
+            o
+            for o in outcomes
+            if isinstance(o, proto.Reject)
+            and o.reason is RejectReason.TIMED_OUT
+        ]
+        # Deadline slot is submit slot (0) + 1: the slot-0 drain grants
+        # exactly one, the slot-1 drain happens at the deadline and every
+        # later drain is past it — all deterministic, no wall clock.
+        assert len(grants) == 1
+        assert grants[0].slot == 0
+        assert len(timed_out) == 2
+        assert {o.slot for o in timed_out} <= {1, 2, 3}
+
+    def test_submit_path_expires_on_slot_deadline(self):
+        self._run_deadline_drill(tenant=0)
+
+    def test_submit2_path_expires_on_slot_deadline(self):
+        self._run_deadline_drill(tenant=7)
+
+    def test_timeout_zero_expires_at_first_drain_after_backlog(self):
+        async def go():
+            service = self._deadline_service()
+            server = NetServer(service)
+            await server.start()
+            client = await NetClient.connect("127.0.0.1", server.port)
+            try:
+                blocker = client.submit_nowait(SlotRequest(0, 0, 0))
+                doomed = client.submit_nowait(
+                    SlotRequest(1, 0, 1), timeout_ticks=0
+                )
+                await client.tick(2)
+                b, d = await asyncio.wait_for(
+                    asyncio.gather(blocker, doomed), 5
+                )
+                assert isinstance(b, proto.Grant)
+                assert isinstance(d, proto.Reject)
+                assert d.reason is RejectReason.TIMED_OUT
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+
+        run(go())
+
+
+class TestUnavailableDowngrade:
+    """UNAVAILABLE joins the wire vocabulary at v4; older peers get the
+    closest pre-v4 semantic (SHARD_DOWN)."""
+
+    class _UnavailableService(SchedulingService):
+        def submit_nowait(self, request, timeout=None, **kwargs):
+            fut = asyncio.get_running_loop().create_future()
+            fut.set_result(
+                Rejected(request, RejectReason.UNAVAILABLE, slot=None)
+            )
+            return fut
+
+    async def _reject_seen_by(self, versions):
+        service = self._UnavailableService(
+            N_FIBERS,
+            NonCircularConversion(K, 1, 1),
+            FirstAvailableScheduler(),
+            durability=False,
+        )
+        server = NetServer(service)
+        await server.start()
+        client = await NetClient.connect(
+            "127.0.0.1", server.port, versions=versions
+        )
+        try:
+            reply = await asyncio.wait_for(
+                client.submit_nowait(SlotRequest(0, 0, 0)), 5
+            )
+        finally:
+            await client.close()
+            await server.stop()
+            await service.stop()
+        assert isinstance(reply, proto.Reject)
+        return reply.reason
+
+    def test_v4_peer_sees_unavailable(self):
+        assert (
+            run(self._reject_seen_by(proto.PROTOCOL_VERSIONS))
+            is RejectReason.UNAVAILABLE
+        )
+
+    def test_v3_peer_sees_shard_down(self):
+        assert (
+            run(self._reject_seen_by((1, 2, 3)))
+            is RejectReason.SHARD_DOWN
+        )

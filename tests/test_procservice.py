@@ -18,9 +18,11 @@ from repro.graphs.conversion import NonCircularConversion
 from repro.net.procpool import (
     POISON_AFTER_GRANT,
     POISON_BEFORE_REPLY,
+    POISON_STALL,
     ProcessShardPool,
 )
 from repro.net.procservice import ProcessShardedService
+from repro.service.breaker import BreakerConfig
 from repro.service.queue import OverflowPolicy
 from repro.service.server import Rejected, RejectReason, ServiceGrant
 
@@ -297,3 +299,129 @@ class TestPoolEdges:
                 pool.call(0, "no-such-op")
         finally:
             pool.stop()
+
+
+class TestPartitionUnavailable:
+    """Edge↔worker partitions degrade to typed UNAVAILABLE rejects and
+    feed the breakers; healing replays missed slots (PR 10)."""
+
+    def test_partition_degrades_then_heals(self):
+        async def go():
+            service = _service(
+                breaker=BreakerConfig(failure_threshold=1, reset_ticks=2)
+            )
+            try:
+                victim = service.placement[0]
+                dark = set(service.pool.shards_of(victim))
+                healthy_out = next(
+                    o for o in range(N_FIBERS) if o not in dark
+                )
+                service.pool.partition_worker(victim)
+
+                # Slot 0: the dark shard's request degrades UNAVAILABLE;
+                # the healthy worker's shard still grants — a partition
+                # never blows up the whole tick.
+                f_dark = service.submit_nowait(SlotRequest(0, 0, 0))
+                f_ok = service.submit_nowait(SlotRequest(1, 0, healthy_out))
+                await service.tick()
+                out = await f_dark
+                assert isinstance(out, Rejected)
+                assert out.reason is RejectReason.UNAVAILABLE
+                assert isinstance(await f_ok, ServiceGrant)
+
+                # The failure opened shard 0's breaker: the next submit
+                # short-circuits CIRCUIT_OPEN without touching the pool.
+                out = await service.submit_nowait(SlotRequest(0, 0, 0))
+                assert isinstance(out, Rejected)
+                assert out.reason is RejectReason.CIRCUIT_OPEN
+
+                # Heal.  The next ticks redeliver the missed slots to the
+                # worker (catch-up ADVANCE), and once reset_ticks elapse
+                # the half-open probe goes through and closes the breaker.
+                service.pool.partition_worker(victim, active=False)
+                await service.tick()
+                await service.tick()
+                f_probe = service.submit_nowait(SlotRequest(0, 0, 0))
+                await service.tick()
+                assert isinstance(await f_probe, ServiceGrant)
+
+                counters = service.telemetry.snapshot()["counters"]
+                assert counters["server.rejected.unavailable"] == 1
+                assert counters["server.rejected.circuit_open"] == 1
+                # Conservation: every submission resolved exactly once.
+                assert counters["server.submitted"] == 4
+                assert counters["server.granted"] == 2
+                assert (
+                    counters["server.granted"]
+                    + counters["server.rejected.unavailable"]
+                    + counters["server.rejected.circuit_open"]
+                    == counters["server.submitted"]
+                )
+            finally:
+                await service.stop()
+
+        run(go())
+
+    def test_partitioned_call_fails_fast_without_respawn(self):
+        pool = ProcessShardPool(
+            N_FIBERS,
+            NonCircularConversion(K, 1, 1),
+            FirstAvailableScheduler(),
+            None,
+            n_workers=1,
+        )
+        try:
+            pool.partition_worker(0)
+            with pytest.raises(WorkerProcessError, match="partitioned"):
+                pool.call(0, "busy")
+            # The process is alive the whole time — a partition is a
+            # network condition, not a crash.
+            assert pool._workers[0].respawns == 0
+            pool.partition_worker(0, active=False)
+            pool.call(0, "busy")  # healed: answers again
+        finally:
+            pool.stop()
+
+
+class TestUnresponsiveWorker:
+    """A wedged (not dead) worker trips the pool's receive timeout and is
+    killed + respawned — configurable, observable, fast (PR 10)."""
+
+    def test_stalled_worker_is_replaced_within_timeout(self):
+        async def go():
+            service = _service(unresponsive_timeout=0.3)
+            try:
+                victim = service.placement[0]
+                # Wedge the worker for far longer than the pool tolerates
+                # (but far less than the legacy hardwired 30 s).
+                service.pool.call(victim, "poison", POISON_STALL, 2.0)
+                loop = asyncio.get_running_loop()
+                t0 = loop.time()
+                fut = service.submit_nowait(SlotRequest(0, 0, 0))
+                n = await service.tick()
+                out = await fut
+                elapsed = loop.time() - t0
+                assert n == 1
+                assert isinstance(out, ServiceGrant)
+                # One kill + respawn, attributed in telemetry.
+                assert service.pool._workers[victim].respawns == 1
+                counters = service.telemetry.snapshot()["counters"]
+                assert counters["procpool.unresponsive"] >= 1
+                # The whole recovery ran on the configured budget, not
+                # the old 30-second constant.
+                assert elapsed < 10.0
+            finally:
+                await service.stop()
+
+        run(go())
+
+    def test_unresponsive_timeout_is_validated(self):
+        with pytest.raises(InvalidParameterError, match="unresponsive"):
+            ProcessShardPool(
+                N_FIBERS,
+                NonCircularConversion(K, 1, 1),
+                FirstAvailableScheduler(),
+                None,
+                n_workers=1,
+                unresponsive_timeout=0.0,
+            )
